@@ -1,0 +1,125 @@
+// CLX-3: dense linear order inequality constraints (Def. 2). The paper's
+// evaluation loop decides satisfiability and entailment of such constraints
+// inside every valuation; this bench verifies the operations stay cheap and
+// scale polynomially in formula size.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/constraint/order_solver.h"
+#include "src/constraint/temporal_constraint.h"
+
+namespace vqldb {
+namespace {
+
+TemporalConstraint RandomFormula(Rng* rng, size_t disjuncts) {
+  std::vector<TemporalConstraint> parts;
+  for (size_t i = 0; i < disjuncts; ++i) {
+    double lo = rng->UniformDouble(0, 50.0 * double(disjuncts));
+    parts.push_back(
+        TemporalConstraint::ClosedInterval(lo, lo + rng->UniformDouble(1, 50)));
+  }
+  return TemporalConstraint::Or(std::move(parts));
+}
+
+OrderConjunction RandomConjunction(Rng* rng, size_t atoms, int vars) {
+  CompareOp ops[] = {CompareOp::kLt, CompareOp::kLe, CompareOp::kEq,
+                     CompareOp::kNe, CompareOp::kGe, CompareOp::kGt};
+  OrderConjunction c;
+  for (size_t i = 0; i < atoms; ++i) {
+    OrderTerm lhs = OrderTerm::Var(static_cast<int>(rng->UniformU64(vars)));
+    OrderTerm rhs = rng->Bernoulli(0.5)
+                        ? OrderTerm::Var(static_cast<int>(rng->UniformU64(vars)))
+                        : OrderTerm::Const(double(rng->UniformInt(0, 100)));
+    c.push_back(OrderAtom{lhs, ops[rng->UniformU64(6)], rhs});
+  }
+  return c;
+}
+
+void PrintSeries() {
+  std::printf("== CLX-3: dense-order constraint operations ==\n");
+  std::printf("normalization of a k-disjunct C~ formula to canonical "
+              "interval-set form:\n");
+  std::printf("%-10s %-12s\n", "disjuncts", "fragments");
+  Rng rng(3);
+  for (size_t k : {4, 16, 64, 256}) {
+    TemporalConstraint f = RandomFormula(&rng, k);
+    std::printf("%-10zu %-12zu\n", k, f.ToIntervalSet().fragment_count());
+  }
+  std::printf("\n");
+}
+
+void BM_TemporalNormalize(benchmark::State& state) {
+  Rng rng(7);
+  TemporalConstraint f = RandomFormula(&rng, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.ToIntervalSet());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TemporalNormalize)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_TemporalEntailment(benchmark::State& state) {
+  Rng rng(11);
+  TemporalConstraint a = RandomFormula(&rng, static_cast<size_t>(state.range(0)));
+  TemporalConstraint b = RandomFormula(&rng, static_cast<size_t>(state.range(0)));
+  IntervalSet sa = a.ToIntervalSet();
+  IntervalSet sb = b.ToIntervalSet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.SubsetOf(sb));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TemporalEntailment)->RangeMultiplier(4)->Range(4, 1024)->Complexity();
+
+void BM_OrderSatisfiability(benchmark::State& state) {
+  Rng rng(13);
+  size_t atoms = static_cast<size_t>(state.range(0));
+  OrderConjunction c = RandomConjunction(&rng, atoms, int(atoms / 2 + 2));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OrderSolver::Satisfiable(c));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OrderSatisfiability)->RangeMultiplier(2)->Range(4, 128)->Complexity();
+
+void BM_OrderEntailment(benchmark::State& state) {
+  Rng rng(17);
+  size_t atoms = static_cast<size_t>(state.range(0));
+  OrderConjunction c = RandomConjunction(&rng, atoms, int(atoms / 2 + 2));
+  OrderAtom goal{OrderTerm::Var(0), CompareOp::kLe, OrderTerm::Var(1)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OrderSolver::Entails(c, goal));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_OrderEntailment)->RangeMultiplier(2)->Range(4, 128)->Complexity();
+
+void BM_IntervalSetOps(benchmark::State& state) {
+  Rng rng(23);
+  TemporalConstraint a = RandomFormula(&rng, static_cast<size_t>(state.range(0)));
+  TemporalConstraint b = RandomFormula(&rng, static_cast<size_t>(state.range(0)));
+  IntervalSet sa = a.ToIntervalSet();
+  IntervalSet sb = b.ToIntervalSet();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sa.Union(sb));
+    benchmark::DoNotOptimize(sa.Intersect(sb));
+    benchmark::DoNotOptimize(sa.Complement());
+  }
+}
+BENCHMARK(BM_IntervalSetOps)->Arg(16)->Arg(256);
+
+}  // namespace
+}  // namespace vqldb
+
+int main(int argc, char** argv) {
+  vqldb::PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,98 @@
+// FIG-1: indexing by segmentation (paper Figure 1). Regenerates the
+// cost/quality series for the segmentation scheme over growing synthetic
+// news archives, then times index build and retrieval.
+//
+// Expected shape: descriptor count grows with the number of shots
+// (annotation effort ~ timeline length); retrieval recall is 1 but
+// precision degrades because whole segments come back (the Aguierre-Smith &
+// Davenport criticism the paper cites: "strict temporal partitioning
+// results in rough descriptions").
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+#include "src/video/indexing_schemes.h"
+#include "src/video/synthetic.h"
+
+namespace vqldb {
+namespace {
+
+VideoTimeline Archive(size_t shots) {
+  SyntheticArchiveConfig config;
+  config.seed = 42;
+  config.num_shots = shots;
+  config.num_entities = 8;
+  config.mean_shot_seconds = 8.0;
+  config.presence_probability = 0.3;
+  return GenerateArchive(config);
+}
+
+void PrintSeries() {
+  std::printf("== FIG-1: segmentation indexing (Figure 1) ==\n");
+  std::printf("%-8s %-12s %-14s %-12s %-10s %-10s\n", "shots", "descriptors",
+              "time-records", "duration(s)", "precision", "recall");
+  for (size_t shots : {25, 50, 100, 200, 400}) {
+    VideoTimeline timeline = Archive(shots);
+    SegmentationIndex index;
+    if (!index.Build(timeline).ok()) continue;
+    IndexStats stats = index.Stats();
+    double precision = 0, recall = 0;
+    size_t probes = 0;
+    for (const std::string& name : timeline.EntityNames()) {
+      RetrievalQuality q = MeasureQuality(index.OccurrencesOf(name),
+                                          timeline.FindTrack(name)->extent);
+      precision += q.precision;
+      recall += q.recall;
+      ++probes;
+    }
+    std::printf("%-8zu %-12zu %-14zu %-12.0f %-10.3f %-10.3f\n", shots,
+                stats.descriptor_count, stats.time_records,
+                timeline.duration(), precision / probes, recall / probes);
+  }
+  std::printf("\n");
+}
+
+void BM_SegmentationBuild(benchmark::State& state) {
+  VideoTimeline timeline = Archive(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    SegmentationIndex index;
+    benchmark::DoNotOptimize(index.Build(timeline));
+  }
+  state.counters["shots"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_SegmentationBuild)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_SegmentationOccurrencesOf(benchmark::State& state) {
+  VideoTimeline timeline = Archive(static_cast<size_t>(state.range(0)));
+  SegmentationIndex index;
+  if (!index.Build(timeline).ok()) return;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.OccurrencesOf("actor3"));
+  }
+}
+BENCHMARK(BM_SegmentationOccurrencesOf)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_SegmentationEntitiesAt(benchmark::State& state) {
+  VideoTimeline timeline = Archive(static_cast<size_t>(state.range(0)));
+  SegmentationIndex index;
+  if (!index.Build(timeline).ok()) return;
+  double t = timeline.duration() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.EntitiesAt(t));
+  }
+}
+BENCHMARK(BM_SegmentationEntitiesAt)->Arg(50)->Arg(800);
+
+}  // namespace
+}  // namespace vqldb
+
+int main(int argc, char** argv) {
+  vqldb::PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,95 @@
+// FIG-2: indexing by stratification (paper Figure 2). Regenerates the
+// cost/quality series for the stratification scheme — exact retrieval, but
+// one descriptor (stratum) per occurrence run, so annotation effort grows
+// with the number of appearances rather than the number of entities.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+#include "src/video/indexing_schemes.h"
+#include "src/video/synthetic.h"
+
+namespace vqldb {
+namespace {
+
+VideoTimeline Archive(size_t shots) {
+  SyntheticArchiveConfig config;
+  config.seed = 42;
+  config.num_shots = shots;
+  config.num_entities = 8;
+  config.mean_shot_seconds = 8.0;
+  config.presence_probability = 0.3;
+  return GenerateArchive(config);
+}
+
+void PrintSeries() {
+  std::printf("== FIG-2: stratification indexing (Figure 2) ==\n");
+  std::printf("%-8s %-12s %-16s %-10s %-10s\n", "shots", "strata",
+              "strata/entity", "precision", "recall");
+  for (size_t shots : {25, 50, 100, 200, 400}) {
+    VideoTimeline timeline = Archive(shots);
+    StratificationIndex index;
+    if (!index.Build(timeline).ok()) continue;
+    IndexStats stats = index.Stats();
+    double precision = 0, recall = 0;
+    size_t probes = 0;
+    for (const std::string& name : timeline.EntityNames()) {
+      RetrievalQuality q = MeasureQuality(index.OccurrencesOf(name),
+                                          timeline.FindTrack(name)->extent);
+      precision += q.precision;
+      recall += q.recall;
+      ++probes;
+    }
+    std::printf("%-8zu %-12zu %-16.1f %-10.3f %-10.3f\n", shots,
+                stats.descriptor_count,
+                double(stats.descriptor_count) / double(probes),
+                precision / probes, recall / probes);
+  }
+  std::printf("\n");
+}
+
+void BM_StratificationBuild(benchmark::State& state) {
+  VideoTimeline timeline = Archive(static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    StratificationIndex index;
+    benchmark::DoNotOptimize(index.Build(timeline));
+  }
+}
+BENCHMARK(BM_StratificationBuild)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_StratificationOccurrencesOf(benchmark::State& state) {
+  VideoTimeline timeline = Archive(static_cast<size_t>(state.range(0)));
+  StratificationIndex index;
+  if (!index.Build(timeline).ok()) return;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.OccurrencesOf("actor3"));
+  }
+}
+BENCHMARK(BM_StratificationOccurrencesOf)->Arg(50)->Arg(200)->Arg(800);
+
+void BM_StratificationEntitiesAt(benchmark::State& state) {
+  // EntitiesAt scans all strata: linear in the archive — the cost of not
+  // having the per-entity aggregation of Fig. 3.
+  VideoTimeline timeline = Archive(static_cast<size_t>(state.range(0)));
+  StratificationIndex index;
+  if (!index.Build(timeline).ok()) return;
+  double t = timeline.duration() / 2;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.EntitiesAt(t));
+  }
+}
+BENCHMARK(BM_StratificationEntitiesAt)->Arg(50)->Arg(800);
+
+}  // namespace
+}  // namespace vqldb
+
+int main(int argc, char** argv) {
+  vqldb::PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

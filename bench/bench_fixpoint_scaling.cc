@@ -1,0 +1,143 @@
+// CLX-1: data complexity of query evaluation. For the arithmetic-order
+// constraint fragment the paper reports PTIME data complexity ([37], end of
+// Section 6.3.2): with the program fixed, evaluation time grows polynomially
+// in the database size. This bench fixes the Section 6.2 derived-relation
+// program and grows the archive, and also runs the naive-vs-semi-naive
+// ablation called out in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/engine/query.h"
+#include "src/lang/parser.h"
+#include "src/video/annotator.h"
+#include "src/video/synthetic.h"
+
+namespace vqldb {
+namespace {
+
+// Fixed program: containment + co-occurrence + appears (quadratic-ish IDB).
+const char* kProgram = R"(
+  contains(G1, G2) <- Interval(G1), Interval(G2), G2.duration => G1.duration.
+  appears(O, G) <- Interval(G), Object(O), O in G.entities.
+  cooccur(O1, O2, G) <- Interval(G), Object(O1), Object(O2),
+                        O1 in G.entities, O2 in G.entities, O1 != O2.
+)";
+
+std::unique_ptr<VideoDatabase> Archive(size_t entities) {
+  SyntheticArchiveConfig config;
+  config.seed = 42;
+  config.num_shots = entities * 6;
+  config.num_entities = entities;
+  config.presence_probability = 0.25;
+  VideoTimeline timeline = GenerateArchive(config);
+  auto db = std::make_unique<VideoDatabase>();
+  Annotator annotator(db.get());
+  VQLDB_CHECK_OK(annotator.AnnotateTimeline(timeline));
+  // Also annotate each ground-truth shot as a scene over the entities that
+  // appear in it, so `contains` has real work.
+  size_t n = 0;
+  for (const Shot& shot : timeline.shots()) {
+    if (++n % 4 != 0) continue;  // every 4th shot is a tagged scene
+    std::vector<std::string> present;
+    for (const std::string& name :
+         timeline.EntitiesAt((shot.begin_time + shot.end_time) / 2)) {
+      present.push_back(name);
+    }
+    VQLDB_CHECK_OK(annotator
+                       .AnnotateScene("scene" + std::to_string(n),
+                                      GeneralizedInterval::Single(
+                                          shot.begin_time, shot.end_time),
+                                      present)
+                       .status());
+  }
+  return db;
+}
+
+void PrintSeries() {
+  std::printf("== CLX-1: fixpoint evaluation, fixed program, growing DB ==\n");
+  std::printf("%-10s %-12s %-14s %-14s %-16s\n", "entities", "intervals",
+              "derived", "time (ms)", "facts/ms");
+  for (size_t entities : {4, 8, 16, 32}) {
+    auto db = Archive(entities);
+    QuerySession session(db.get());
+    VQLDB_CHECK_OK(session.Load(kProgram));
+    auto begin = std::chrono::steady_clock::now();
+    auto interp = session.Materialize();
+    auto end = std::chrono::steady_clock::now();
+    VQLDB_CHECK_OK(interp.status());
+    double ms = std::chrono::duration<double, std::milli>(end - begin).count();
+    size_t derived = (*interp)->size();
+    std::printf("%-10zu %-12zu %-14zu %-14.2f %-16.0f\n", entities,
+                db->BaseIntervals().size(), derived, ms,
+                ms > 0 ? derived / ms : 0);
+  }
+  std::printf("(polynomial growth expected: the program is fixed, PTIME "
+              "data complexity)\n\n");
+}
+
+void BM_Fixpoint(benchmark::State& state) {
+  auto db = Archive(static_cast<size_t>(state.range(0)));
+  auto program = Parser::ParseProgram(kProgram);
+  std::vector<Rule> rules;
+  for (const Rule* r : program->Rules()) rules.push_back(*r);
+  for (auto _ : state) {
+    auto eval = Evaluator::Make(db.get(), rules);
+    auto fp = eval->Fixpoint();
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_Fixpoint)->RangeMultiplier(2)->Range(4, 32)->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_FixpointNaiveVsSemiNaive(benchmark::State& state) {
+  // Ablation: recursion benefits from delta-driven evaluation.
+  auto db = Archive(12);
+  // Add a recursive chain over containment.
+  const char* recursive = R"(
+    contains(G1, G2) <- Interval(G1), Interval(G2), G2.duration => G1.duration.
+    nested(G1, G2) <- contains(G1, G2).
+    nested(G1, G3) <- nested(G1, G2), contains(G2, G3).
+  )";
+  auto program = Parser::ParseProgram(recursive);
+  std::vector<Rule> rules;
+  for (const Rule* r : program->Rules()) rules.push_back(*r);
+  EvalOptions options;
+  options.semi_naive = state.range(0) == 1;
+  for (auto _ : state) {
+    auto eval = Evaluator::Make(db.get(), rules, options);
+    auto fp = eval->Fixpoint();
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetLabel(options.semi_naive ? "semi-naive" : "naive");
+}
+BENCHMARK(BM_FixpointNaiveVsSemiNaive)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CachedQueryAfterMaterialize(benchmark::State& state) {
+  auto db = Archive(16);
+  QuerySession session(db.get());
+  VQLDB_CHECK_OK(session.Load(kProgram));
+  VQLDB_CHECK_OK(session.Materialize().status());
+  for (auto _ : state) {
+    auto r = session.Query("?- cooccur(O1, O2, G).");
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_CachedQueryAfterMaterialize);
+
+}  // namespace
+}  // namespace vqldb
+
+int main(int argc, char** argv) {
+  vqldb::PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

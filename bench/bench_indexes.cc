@@ -1,0 +1,164 @@
+// Ablation: the VideoDatabase secondary indexes — attribute-value hash
+// index, temporal stabbing/overlap index (sorted fragments + prefix-max
+// pruning), inverted entity->intervals index — against their linear-scan
+// baselines, plus goal-directed vs full-materialization query evaluation.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/engine/query.h"
+#include "src/video/annotator.h"
+#include "src/video/synthetic.h"
+
+namespace vqldb {
+namespace {
+
+std::unique_ptr<VideoDatabase> BigArchive(size_t entities, size_t shots) {
+  SyntheticArchiveConfig config;
+  config.seed = 42;
+  config.num_shots = shots;
+  config.num_entities = entities;
+  config.presence_probability = 0.25;
+  VideoTimeline timeline = GenerateArchive(config);
+  auto db = std::make_unique<VideoDatabase>();
+  Annotator annotator(db.get());
+  VQLDB_CHECK_OK(annotator.AnnotateTimeline(timeline));
+  size_t n = 0;
+  for (const Shot& shot : timeline.shots()) {
+    std::vector<std::string> present =
+        timeline.EntitiesAt((shot.begin_time + shot.end_time) / 2);
+    VQLDB_CHECK_OK(annotator
+                       .AnnotateScene("scene" + std::to_string(++n),
+                                      GeneralizedInterval::Single(
+                                          shot.begin_time, shot.end_time),
+                                      present)
+                       .status());
+  }
+  return db;
+}
+
+void PrintSeries() {
+  std::printf("== index ablations (see DESIGN.md section 2, S4) ==\n");
+  std::printf("temporal stabbing query vs linear duration scan, growing "
+              "interval count:\n");
+  std::printf("%-10s %-14s %-14s\n", "intervals", "index (ns)", "scan (ns)");
+  for (size_t shots : {100, 400, 1600}) {
+    auto db = BigArchive(8, shots);
+    double t = 500.0;
+    // Indexed.
+    auto begin = std::chrono::steady_clock::now();
+    int reps = 2000;
+    size_t hits = 0;
+    for (int i = 0; i < reps; ++i) {
+      hits = db->IntervalsContaining(t).size();
+    }
+    auto end = std::chrono::steady_clock::now();
+    double index_ns =
+        std::chrono::duration<double, std::nano>(end - begin).count() / reps;
+    // Linear baseline.
+    begin = std::chrono::steady_clock::now();
+    size_t scan_hits = 0;
+    for (int i = 0; i < reps; ++i) {
+      scan_hits = 0;
+      for (ObjectId id : db->AllIntervals()) {
+        auto d = db->DurationOf(id);
+        if (d.ok() && d->Contains(t)) ++scan_hits;
+      }
+    }
+    end = std::chrono::steady_clock::now();
+    double scan_ns =
+        std::chrono::duration<double, std::nano>(end - begin).count() / reps;
+    VQLDB_CHECK(hits == scan_hits);
+    std::printf("%-10zu %-14.0f %-14.0f\n", db->AllIntervals().size(),
+                index_ns, scan_ns);
+  }
+  std::printf("\n");
+}
+
+void BM_AttributeIndexLookup(benchmark::State& state) {
+  auto db = BigArchive(16, static_cast<size_t>(state.range(0)));
+  Value probe = Value::String("actor7");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->FindByAttribute("name", probe));
+  }
+}
+BENCHMARK(BM_AttributeIndexLookup)->Arg(100)->Arg(800);
+
+void BM_AttributeScanBaseline(benchmark::State& state) {
+  auto db = BigArchive(16, static_cast<size_t>(state.range(0)));
+  Value probe = Value::String("actor7");
+  for (auto _ : state) {
+    std::vector<ObjectId> hits;
+    for (ObjectId id : db->Entities()) {
+      auto v = db->GetAttribute(id, "name");
+      if (v.ok() && *v == probe) hits.push_back(id);
+    }
+    benchmark::DoNotOptimize(hits);
+  }
+}
+BENCHMARK(BM_AttributeScanBaseline)->Arg(100)->Arg(800);
+
+void BM_TemporalStabbing(benchmark::State& state) {
+  auto db = BigArchive(8, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->IntervalsContaining(500.0));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_TemporalStabbing)->RangeMultiplier(4)->Range(100, 1600)
+    ->Complexity();
+
+void BM_TemporalOverlapWindow(benchmark::State& state) {
+  auto db = BigArchive(8, static_cast<size_t>(state.range(0)));
+  IntervalSet window({TimeInterval::Closed(400, 600)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->IntervalsOverlapping(window));
+  }
+}
+BENCHMARK(BM_TemporalOverlapWindow)->Arg(100)->Arg(1600);
+
+void BM_InvertedEntityIndex(benchmark::State& state) {
+  auto db = BigArchive(8, 800);
+  ObjectId actor = *db->Resolve("actor3");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(db->IntervalsWithEntity(actor));
+  }
+}
+BENCHMARK(BM_InvertedEntityIndex);
+
+void BM_GoalDirectedVsFull(benchmark::State& state) {
+  auto db = BigArchive(8, 200);
+  QuerySession session(db.get());
+  // A relevant cone plus an expensive unrelated one.
+  VQLDB_CHECK_OK(session.AddRule(
+      "appears(O, G) <- Interval(G), Object(O), O in G.entities."));
+  VQLDB_CHECK_OK(session.AddRule(
+      "noise(G1, G2) <- Interval(G1), Interval(G2), "
+      "G2.duration => G1.duration."));
+  bool goal_directed = state.range(0) == 1;
+  for (auto _ : state) {
+    session.Invalidate();
+    auto r = goal_directed
+                 ? session.QueryGoalDirected("?- appears(O, G).")
+                 : session.Query("?- appears(O, G).");
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(goal_directed ? "goal-directed" : "full-materialize");
+}
+BENCHMARK(BM_GoalDirectedVsFull)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vqldb
+
+int main(int argc, char** argv) {
+  vqldb::PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,141 @@
+// FIG-Q: the paper's query workload at scale — the six Section 6.1 query
+// shapes over growing generalized-interval archives, timed end-to-end
+// (fixpoint cached, per-query answering measured).
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/engine/query.h"
+#include "src/video/annotator.h"
+#include "src/video/synthetic.h"
+
+namespace vqldb {
+namespace {
+
+struct Workload {
+  std::unique_ptr<VideoDatabase> db;
+  std::unique_ptr<QuerySession> session;
+};
+
+Workload Build(size_t entities) {
+  SyntheticArchiveConfig config;
+  config.seed = 42;
+  config.num_shots = entities * 8;
+  config.num_entities = entities;
+  config.presence_probability = 0.3;
+  VideoTimeline timeline = GenerateArchive(config);
+  Workload w;
+  w.db = std::make_unique<VideoDatabase>();
+  Annotator annotator(w.db.get());
+  VQLDB_CHECK_OK(annotator.AnnotateTimeline(timeline));
+  // Scenes for relation-style queries.
+  size_t n = 0;
+  for (const Shot& shot : timeline.shots()) {
+    if (++n % 5 != 0) continue;
+    std::vector<std::string> present =
+        timeline.EntitiesAt((shot.begin_time + shot.end_time) / 2);
+    VQLDB_CHECK_OK(annotator
+                       .AnnotateScene("scene" + std::to_string(n),
+                                      GeneralizedInterval::Single(
+                                          shot.begin_time, shot.end_time),
+                                      present, "news")
+                       .status());
+    if (present.size() >= 2) {
+      VQLDB_CHECK_OK(annotator.AssertRelation(
+          "interviews", {present[0], present[1], "scene" + std::to_string(n)}));
+    }
+  }
+  w.session = std::make_unique<QuerySession>(w.db.get());
+  const char* rules[] = {
+      // Q1: objects in the domain of a given sequence.
+      "q1(O) <- Interval(occ_actor0), Object(O), O in occ_actor0.entities.",
+      // Q2: intervals where a given object appears.
+      "q2(G) <- Interval(G), Object(O), O in G.entities, "
+      "O.name = \"actor1\".",
+      // Q3: object within a temporal frame.
+      "q3(G) <- Interval(G), Object(O), O in G.entities, "
+      "G.duration => (t >= 0 and t <= 200).",
+      // Q4: co-occurrence (subset form).
+      "q4(G) <- Interval(G), Object(O1), Object(O2), O1 in G.entities, "
+      "O2 in G.entities, O1.name = \"actor0\", O2.name = \"actor1\".",
+      // Q5: pairs in a relation within an interval.
+      "q5(O1, O2, G) <- Interval(G), Object(O1), Object(O2), "
+      "O1 in G.entities, O2 in G.entities, interviews(O1, O2, G).",
+      // Q6: intervals by attribute value of a member object.
+      "q6(G) <- Interval(G), Object(O), O in G.entities, "
+      "O.role = \"anchor\".",
+  };
+  for (const char* rule : rules) {
+    VQLDB_CHECK_OK(w.session->AddRule(rule));
+  }
+  VQLDB_CHECK_OK(w.session->Materialize().status());
+  return w;
+}
+
+void PrintSeries() {
+  std::printf("== FIG-Q: the six Section 6.1 query shapes at scale ==\n");
+  std::printf("%-10s %-12s", "entities", "intervals");
+  for (int q = 1; q <= 6; ++q) std::printf(" q%d(us/ans)", q);
+  std::printf("\n");
+  for (size_t entities : {8, 16, 32}) {
+    Workload w = Build(entities);
+    std::printf("%-10zu %-12zu", entities, w.db->BaseIntervals().size());
+    for (int q = 1; q <= 6; ++q) {
+      std::string query = "?- q" + std::to_string(q) +
+                          (q == 5 ? "(O1, O2, G)." : (q == 1 ? "(O)." : "(G)."));
+      auto begin = std::chrono::steady_clock::now();
+      size_t answers = 0;
+      const int reps = 20;
+      for (int i = 0; i < reps; ++i) {
+        auto r = w.session->Query(query);
+        VQLDB_CHECK_OK(r.status());
+        answers = r->rows.size();
+      }
+      auto end = std::chrono::steady_clock::now();
+      double us =
+          std::chrono::duration<double, std::micro>(end - begin).count() / reps;
+      std::printf(" %5.0f/%-4zu", us, answers);
+    }
+    std::printf("\n");
+  }
+  std::printf("\n");
+}
+
+void BM_MaterializeWorkload(benchmark::State& state) {
+  size_t entities = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    Workload w = Build(entities);
+    benchmark::DoNotOptimize(w.session.get());
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_MaterializeWorkload)->Arg(8)->Arg(16)->Arg(32)->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SingleQuery(benchmark::State& state) {
+  Workload w = Build(16);
+  const char* queries[] = {"?- q1(O).", "?- q2(G).", "?- q3(G).",
+                           "?- q4(G).", "?- q5(O1, O2, G).", "?- q6(G)."};
+  const char* query = queries[state.range(0)];
+  for (auto _ : state) {
+    auto r = w.session->Query(query);
+    benchmark::DoNotOptimize(r);
+  }
+  state.SetLabel(query);
+}
+BENCHMARK(BM_SingleQuery)->DenseRange(0, 5);
+
+}  // namespace
+}  // namespace vqldb
+
+int main(int argc, char** argv) {
+  vqldb::PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// CLX-2: set-order constraints (Def. 3). The paper (citing [37]) claims
+// satisfaction and entailment of conjunctions are solvable in polynomial
+// time; this bench measures the closure-based solver's scaling in the
+// number of constraints and variables.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/logging.h"
+
+#include <cstdio>
+#include <chrono>
+
+#include "src/common/rng.h"
+#include "src/setcon/set_solver.h"
+
+namespace vqldb {
+namespace {
+
+SetConjunction RandomConjunction(Rng* rng, size_t constraints, int vars,
+                                 int domain) {
+  SetConjunction c;
+  for (size_t i = 0; i < constraints; ++i) {
+    int var = static_cast<int>(rng->UniformU64(vars));
+    switch (rng->UniformU64(4)) {
+      case 0:
+        // Lower bounds draw from the low quarter of the domain so random
+        // conjunctions keep a satisfiable/unsatisfiable mix.
+        c.push_back(SetConstraint::Member(
+            static_cast<Element>(rng->UniformU64(domain / 4)), var));
+        break;
+      case 1: {
+        std::vector<Element> s;
+        for (int k = 0; k < 3; ++k) {
+          s.push_back(static_cast<Element>(rng->UniformU64(domain / 4)));
+        }
+        c.push_back(SetConstraint::LowerBound(ElementSet(std::move(s)), var));
+        break;
+      }
+      case 2: {
+        // Upper bounds always permit the low quarter plus random extras.
+        std::vector<Element> s;
+        for (Element e = 0; e < domain / 4; ++e) s.push_back(e);
+        for (int k = 0; k < domain / 2; ++k) {
+          s.push_back(static_cast<Element>(rng->UniformU64(domain)));
+        }
+        c.push_back(SetConstraint::UpperBound(var, ElementSet(std::move(s))));
+        break;
+      }
+      default:
+        c.push_back(SetConstraint::Subset(
+            var, static_cast<int>(rng->UniformU64(vars))));
+    }
+  }
+  return c;
+}
+
+void PrintSeries() {
+  std::printf("== CLX-2: set-order constraint solving (polynomial claim) ==\n");
+  std::printf("%-14s %-10s %-16s\n", "constraints", "vars", "sat time (us)");
+  Rng rng(5);
+  for (size_t m : {16, 64, 256, 1024}) {
+    int vars = static_cast<int>(m / 4 + 2);
+    SetConjunction c = RandomConjunction(&rng, m, vars, 32);
+    auto begin = std::chrono::steady_clock::now();
+    int reps = 50;
+    bool sat = false;
+    for (int i = 0; i < reps; ++i) {
+      sat = SetSolver::Satisfiable(c);
+    }
+    auto end = std::chrono::steady_clock::now();
+    double us = std::chrono::duration<double, std::micro>(end - begin).count() /
+                reps;
+    std::printf("%-14zu %-10d %-16.1f %s\n", m, vars, us,
+                sat ? "(sat)" : "(unsat)");
+  }
+  std::printf("\n");
+}
+
+void BM_SetSatisfiability(benchmark::State& state) {
+  Rng rng(9);
+  size_t m = static_cast<size_t>(state.range(0));
+  SetConjunction c = RandomConjunction(&rng, m, int(m / 4 + 2), 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetSolver::Satisfiable(c));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SetSatisfiability)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_SetEntailment(benchmark::State& state) {
+  Rng rng(15);
+  size_t m = static_cast<size_t>(state.range(0));
+  SetConjunction c = RandomConjunction(&rng, m, int(m / 4 + 2), 32);
+  SetConstraint goal = SetConstraint::Member(3, 0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetSolver::Entails(c, goal));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SetEntailment)->RangeMultiplier(4)->Range(16, 1024)->Complexity();
+
+void BM_SetMinimalSolution(benchmark::State& state) {
+  Rng rng(21);
+  size_t m = static_cast<size_t>(state.range(0));
+  SetConjunction c = RandomConjunction(&rng, m, int(m / 4 + 2), 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetSolver::SolveMinimal(c));
+  }
+}
+BENCHMARK(BM_SetMinimalSolution)->Arg(64)->Arg(512);
+
+void BM_QuantifierElimination(benchmark::State& state) {
+  Rng rng(27);
+  size_t m = static_cast<size_t>(state.range(0));
+  SetConjunction c = RandomConjunction(&rng, m, int(m / 4 + 2), 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SetSolver::EliminateVariable(c, 0));
+  }
+}
+BENCHMARK(BM_QuantifierElimination)->Arg(64)->Arg(512);
+
+}  // namespace
+}  // namespace vqldb
+
+int main(int argc, char** argv) {
+  vqldb::PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,136 @@
+// CLX-4: the DEXPTIME-hardness driver for Datalog with set-order constraints
+// ([36] in the paper). The source of hardness is subset construction: rules
+// that build set-structured objects can force exponentially many derived
+// values in the size of the base domain. Our constructive concatenation
+// closure exhibits exactly that driver — k base intervals close under (+)
+// into 2^k - 1 canonical objects — in contrast with CLX-1's polynomial
+// fragment.
+//
+// Additionally measures entailment over growing *disjunctions* (the
+// branching that makes general entailment expensive) via OrderSolver's
+// DNF distribution, including the guardrail that reports blow-up instead of
+// hanging.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+
+#include "src/constraint/order_solver.h"
+#include "src/engine/evaluator.h"
+#include "src/lang/parser.h"
+
+namespace vqldb {
+namespace {
+
+std::unique_ptr<VideoDatabase> Intervals(size_t k) {
+  auto db = std::make_unique<VideoDatabase>();
+  for (size_t i = 0; i < k; ++i) {
+    double begin = 10.0 * static_cast<double>(i);
+    VQLDB_CHECK_OK(db->CreateInterval("g" + std::to_string(i),
+                                      GeneralizedInterval::Single(begin,
+                                                                  begin + 5))
+                       .status());
+  }
+  return db;
+}
+
+std::vector<Rule> ClosureProgram() {
+  auto rule = Parser::ParseRule("cat(G1 ++ G2) <- Interval(G1), Interval(G2).");
+  VQLDB_CHECK(rule.ok());
+  return {*rule};
+}
+
+void PrintSeries() {
+  std::printf("== CLX-4: exponential answer-set growth (DEXPTIME driver) ==\n");
+  std::printf("all-pairs concatenation closure of k base intervals:\n");
+  std::printf("%-6s %-12s %-14s %-12s\n", "k", "objects", "expected=2^k-1",
+              "time (ms)");
+  for (size_t k : {2, 4, 6, 8, 10}) {
+    auto db = Intervals(k);
+    EvalOptions options;
+    options.max_facts = 1u << 22;
+    auto eval = Evaluator::Make(db.get(), ClosureProgram(), options);
+    VQLDB_CHECK(eval.ok());
+    auto begin = std::chrono::steady_clock::now();
+    auto fp = eval->Fixpoint();
+    auto end = std::chrono::steady_clock::now();
+    VQLDB_CHECK(fp.ok());
+    double ms = std::chrono::duration<double, std::milli>(end - begin).count();
+    std::printf("%-6zu %-12zu %-14zu %-12.2f\n", k, db->AllIntervals().size(),
+                (size_t(1) << k) - 1, ms);
+  }
+  std::printf("(exponential in k — contrast with CLX-1's polynomial series; "
+              "this is the paper's DEXPTIME-complete fragment [36])\n\n");
+}
+
+void BM_SubsetClosure(benchmark::State& state) {
+  size_t k = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto db = Intervals(k);
+    EvalOptions options;
+    options.max_facts = 1u << 22;
+    auto eval = Evaluator::Make(db.get(), ClosureProgram(), options);
+    state.ResumeTiming();
+    auto fp = eval->Fixpoint();
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_SubsetClosure)->DenseRange(2, 10, 2)->Complexity()
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DnfEntailmentBranching(benchmark::State& state) {
+  // conjunction => (d1 or ... or dk) distributes the negation over k
+  // two-atom disjuncts: 2^k branches.
+  int k = static_cast<int>(state.range(0));
+  OrderConjunction c = {OrderAtom{OrderTerm::Var(0), CompareOp::kGt,
+                                  OrderTerm::Const(0)},
+                        OrderAtom{OrderTerm::Var(0), CompareOp::kLt,
+                                  OrderTerm::Const(1000)}};
+  OrderDnf dnf;
+  for (int i = 0; i < k; ++i) {
+    dnf.push_back({OrderAtom{OrderTerm::Var(0), CompareOp::kGt,
+                             OrderTerm::Const(double(i))},
+                   OrderAtom{OrderTerm::Var(0), CompareOp::kLt,
+                             OrderTerm::Const(double(i + 1))}});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(OrderSolver::EntailsDnf(c, dnf));
+  }
+  state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_DnfEntailmentBranching)->DenseRange(2, 12, 2)->Complexity();
+
+void BM_DnfBlowupGuard(benchmark::State& state) {
+  // The guardrail: a distribution beyond max_branches returns
+  // ResourceExhausted quickly instead of enumerating.
+  OrderConjunction c = {OrderAtom{OrderTerm::Var(0), CompareOp::kGt,
+                                  OrderTerm::Const(0)}};
+  OrderDnf dnf;
+  for (int i = 0; i < 64; ++i) {
+    dnf.push_back({OrderAtom{OrderTerm::Var(0), CompareOp::kGt,
+                             OrderTerm::Const(double(i))},
+                   OrderAtom{OrderTerm::Var(0), CompareOp::kLt,
+                             OrderTerm::Const(double(i + 1))}});
+  }
+  for (auto _ : state) {
+    auto r = OrderSolver::EntailsDnf(c, dnf, /*max_branches=*/4096);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_DnfBlowupGuard);
+
+}  // namespace
+}  // namespace vqldb
+
+int main(int argc, char** argv) {
+  vqldb::PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

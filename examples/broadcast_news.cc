@@ -1,0 +1,95 @@
+// Broadcast news: the scenario of the paper's Figures 1-3. A synthetic news
+// programme is generated, shots are detected from rendered frame features,
+// and the same footage is indexed three ways — segmentation (Fig. 1),
+// stratification (Fig. 2) and generalized intervals (Fig. 3) — then queried
+// through the rule language to show what each scheme can and cannot answer.
+//
+// Run: ./build/examples/broadcast_news
+
+#include <iomanip>
+#include <iostream>
+
+#include "src/common/logging.h"
+
+#include "src/engine/query.h"
+#include "src/storage/catalog.h"
+#include "src/video/annotator.h"
+#include "src/video/indexing_schemes.h"
+#include "src/video/shot_detector.h"
+#include "src/video/synthetic.h"
+
+using namespace vqldb;
+
+int main() {
+  // 1. "Footage": a 10-minute news programme with 5 recurring people.
+  SyntheticArchiveConfig config;
+  config.seed = 7;
+  config.num_shots = 60;
+  config.num_entities = 5;
+  config.mean_shot_seconds = 10.0;
+  config.presence_probability = 0.35;
+  VideoTimeline timeline = GenerateArchive(config);
+  std::cout << "Generated news programme: " << timeline.duration()
+            << "s, " << timeline.shots().size() << " shots, "
+            << timeline.EntityNames().size() << " people\n\n";
+
+  // 2. Machine-derived indices (Section 5.1): shot-change detection over
+  // rendered colour-histogram features.
+  FrameRenderConfig render;
+  render.fps = 12.5;
+  FrameStream stream = RenderFrameStream(timeline, render);
+  auto shots = ShotDetector().Detect(stream);
+  VQLDB_CHECK_OK(shots.status());
+  std::cout << "Shot detector: " << shots->size() << " shots detected from "
+            << stream.frame_count() << " frames (ground truth "
+            << timeline.shots().size() << ")\n\n";
+
+  // 3. The three indexing schemes over the same content.
+  std::cout << std::left << std::setw(24) << "scheme" << std::setw(14)
+            << "descriptors" << std::setw(14) << "time-records"
+            << std::setw(12) << "precision" << "recall\n";
+  const std::string probe = "actor0";
+  const GeneralizedInterval& truth = timeline.FindTrack(probe)->extent;
+  for (auto& scheme : AllIndexingSchemes()) {
+    VQLDB_CHECK_OK(scheme->Build(timeline));
+    IndexStats stats = scheme->Stats();
+    RetrievalQuality q = MeasureQuality(scheme->OccurrencesOf(probe), truth);
+    std::cout << std::left << std::setw(24) << scheme->SchemeName()
+              << std::setw(14) << stats.descriptor_count << std::setw(14)
+              << stats.time_records << std::setw(12) << std::setprecision(3)
+              << q.precision << q.recall << "\n";
+  }
+
+  // 4. Fig. 3's retrieval win, through the query language: one identifier,
+  // all occurrences.
+  VideoDatabase db;
+  GeneralizedIntervalIndex gii;
+  VQLDB_CHECK_OK(gii.Build(timeline));
+  VQLDB_CHECK_OK(gii.PopulateDatabase(&db));
+  QuerySession session(&db);
+  VQLDB_CHECK_OK(session.Load(StandardRuleLibrary()));
+
+  std::cout << "\n?- appears(actor0, G).  (one generalized interval traces "
+               "every occurrence)\n";
+  auto appearances = session.Query("?- appears(actor0, G).");
+  VQLDB_CHECK_OK(appearances.status());
+  for (const auto& row : appearances->rows) {
+    ObjectId gi = row[0].oid_value();
+    std::cout << "   " << db.DisplayName(gi) << " = "
+              << db.DurationOf(gi)->ToString() << "\n";
+  }
+
+  // 5. Temporal reasoning across occurrence intervals.
+  VQLDB_CHECK_OK(session.AddRule(
+      "early(G) <- Interval(G), G.duration => (t >= 0 and t <= 120)."));
+  auto early = session.Query("?- early(G).");
+  VQLDB_CHECK_OK(early.status());
+  std::cout << "\npeople appearing only in the first two minutes: "
+            << early->rows.size() << "\n";
+
+  auto contains = session.Query("?- contains(G1, G2).");
+  VQLDB_CHECK_OK(contains.status());
+  std::cout << "containment pairs among occurrence intervals: "
+            << contains->rows.size() << "\n";
+  return 0;
+}

@@ -1,0 +1,132 @@
+// Quickstart: the paper's own worked example ("The Rope", Section 5.2) from
+// zero to answers — declare the database in the query language, ask the six
+// Section 6.1 queries and the Section 6.2 derived relations, and persist the
+// archive.
+//
+// Run: ./build/examples/quickstart
+
+#include <iostream>
+
+#include "src/common/logging.h"
+
+#include "src/engine/query.h"
+#include "src/storage/text_format.h"
+
+using namespace vqldb;
+
+namespace {
+
+constexpr const char* kRope = R"(
+  // Entities of interest (O) with their attributes.
+  object o1 { name: "David", role: "Victim" }.
+  object o2 { name: "Philip", realname: "Farley Granger", role: "Murderer" }.
+  object o3 { name: "Brandon", realname: "John Dall", role: "Murderer" }.
+  object o4 { identification: "Chest" }.
+  object o5 { name: "Janet", realname: "Joan Chandler" }.
+  object o6 { name: "Kenneth", realname: "Douglas Dick" }.
+  object o7 { name: "Mr.Kentley", realname: "Cedric Hardwicke" }.
+  object o8 { name: "Mrs.Atwater", realname: "Constance Collier" }.
+  object o9 { name: "Rupert Cadell", realname: "James Stewart" }.
+
+  // Generalized intervals (I) with duration constraints (Sigma / lambda2)
+  // and entity sets (lambda1).
+  interval gi1 { duration: (t > 0 and t < 10),
+                 entities: {o1, o2, o3, o4},
+                 subject: "murder", victim: o1, murderer: {o2, o3} }.
+  interval gi2 { duration: (t > 15 and t < 40),
+                 entities: {o1, o2, o3, o4, o5, o6, o7, o8, o9},
+                 subject: "Giving a party", host: {o2, o3},
+                 guest: {o5, o6, o7, o8, o9} }.
+
+  // Relation facts (R): David's body is in the chest during both scenes.
+  in(o1, o4, gi1).
+  in(o1, o4, gi2).
+)";
+
+void Show(QuerySession& session, VideoDatabase& db, const char* label,
+          const char* query) {
+  std::cout << "-- " << label << "\n   " << query << "\n";
+  auto result = session.Query(query);
+  if (!result.ok()) {
+    std::cout << "   error: " << result.status() << "\n";
+    return;
+  }
+  std::cout << "   " << result->ToString(&db);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+  VideoDatabase db;
+  QuerySession session(&db);
+
+  Status st = session.Load(kRope);
+  if (!st.ok()) {
+    std::cerr << "failed to load the Rope archive: " << st << "\n";
+    return 1;
+  }
+  VideoDatabase::Stats stats = db.GetStats();
+  std::cout << "Loaded 'The Rope': " << stats.entity_count << " entities, "
+            << stats.base_interval_count << " generalized intervals, "
+            << stats.fact_count << " facts\n\n";
+
+  // The six example queries of Section 6.1.
+  VQLDB_CHECK_OK(session.AddRule(
+      "q1(O) <- Interval(gi1), Object(O), O in gi1.entities."));
+  Show(session, db, "objects in the domain of sequence gi1", "?- q1(O).");
+
+  VQLDB_CHECK_OK(session.AddRule(
+      "q2(G) <- Interval(G), Object(o9), o9 in G.entities."));
+  Show(session, db, "intervals where Rupert Cadell appears", "?- q2(G).");
+
+  VQLDB_CHECK_OK(session.AddRule(
+      "q3(G) <- Interval(G), Object(o1), o1 in G.entities, "
+      "G.duration => (t > 0 and t < 12)."));
+  Show(session, db, "does David appear within the frame (0, 12)?",
+       "?- q3(G).");
+
+  VQLDB_CHECK_OK(session.AddRule(
+      "q4(G) <- Interval(G), {o2, o3} subset G.entities."));
+  Show(session, db, "intervals where Philip and Brandon appear together",
+       "?- q4(G).");
+
+  VQLDB_CHECK_OK(session.AddRule(
+      "q5(O1, O2, G) <- Interval(G), Object(O1), Object(O2), "
+      "O1 in G.entities, O2 in G.entities, in(O1, O2, G)."));
+  Show(session, db, "pairs related by `in` within an interval",
+       "?- q5(O1, O2, G).");
+
+  VQLDB_CHECK_OK(session.AddRule(
+      "q6(G) <- Interval(G), Object(O), O in G.entities, "
+      "O.role = \"Murderer\"."));
+  Show(session, db, "intervals containing an object with role Murderer",
+       "?- q6(G).");
+
+  // Section 6.2: inferring new relationships.
+  VQLDB_CHECK_OK(session.AddRule(
+      "contains(G1, G2) <- Interval(G1), Interval(G2), "
+      "G2.duration => G1.duration."));
+  Show(session, db, "containment between intervals (Section 6.2)",
+       "?- contains(G1, G2).");
+
+  VQLDB_CHECK_OK(session.AddRule(
+      "whole_movie(G1 ++ G2) <- Interval(G1), Interval(G2), Object(o1), "
+      "o1 in G1.entities, o1 in G2.entities, G1.duration => (t < 12)."));
+  Show(session, db, "constructive rule: concatenate David's scenes",
+       "?- whole_movie(G).");
+
+  // The derived interval is a first-class object:
+  for (ObjectId id : db.DerivedIntervals()) {
+    std::cout << "derived interval " << db.DisplayName(id) << ": duration "
+              << db.DurationOf(id)->ToString() << ", "
+              << db.EntitiesOf(id)->size() << " entities\n";
+  }
+
+  // Round-trip the archive through the text format.
+  auto text = TextFormat::Dump(db);
+  VQLDB_CHECK_OK(text.status());
+  std::cout << "\n-- text archive (loadable, Section 5.2 notation) --\n"
+            << *text;
+  return 0;
+}

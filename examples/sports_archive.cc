@@ -1,0 +1,108 @@
+// Sports archive: a football-match archive showing schema-less modeling
+// (events with different attribute sets, as in [1]'s AVIS examples),
+// relations among objects within intervals, recursion over derived
+// relations, and persistence of the whole archive.
+//
+// Run: ./build/examples/sports_archive
+
+#include <iostream>
+
+#include "src/common/logging.h"
+
+#include "src/engine/query.h"
+#include "src/storage/binary_format.h"
+#include "src/storage/text_format.h"
+
+using namespace vqldb;
+
+namespace {
+
+constexpr const char* kMatch = R"(
+  // Players and staff — objects carry whatever attributes fit them.
+  object keeper   { name: "Olsen", team: "blue", position: "goalkeeper" }.
+  object striker  { name: "Abara", team: "red", position: "forward",
+                    shirt: 9 }.
+  object winger   { name: "Costa", team: "red", position: "winger",
+                    shirt: 11 }.
+  object referee  { name: "Meyer" }.
+
+  // Annotated match phases (seconds from kickoff).
+  interval warmup   { duration: (t >= 0 and t < 900),
+                      entities: {keeper, striker, winger},
+                      phase: "warmup" }.
+  interval firsthalf { duration: (t >= 900 and t < 3600),
+                       entities: {keeper, striker, winger, referee},
+                       phase: "play" }.
+  // The goal: a non-continuous scene — the build-up and the replay.
+  interval goal     { duration: (t >= 2100 and t <= 2112) or
+                                (t >= 2160 and t <= 2190),
+                      entities: {keeper, striker, winger},
+                      phase: "play", event: "goal", scorer: striker,
+                      assist: winger }.
+  interval secondhalf { duration: (t >= 4500 and t < 7200),
+                        entities: {keeper, striker, winger, referee},
+                        phase: "play" }.
+
+  // Relations among objects within intervals (R in the 7-tuple).
+  passes_to(winger, striker, goal).
+  beats(striker, keeper, goal).
+  books(referee, striker, secondhalf).
+)";
+
+}  // namespace
+
+int main() {
+  VideoDatabase db;
+  QuerySession session(&db);
+  VQLDB_CHECK_OK(session.Load(kMatch));
+
+  std::cout << "match archive: " << db.Entities().size() << " people, "
+            << db.BaseIntervals().size() << " annotated intervals, "
+            << db.fact_count() << " facts\n\n";
+
+  // Who was involved in the goal, and how?
+  VQLDB_CHECK_OK(session.AddRule(
+      "involved(O, R) <- Interval(G), Object(O), Anyobject(R), "
+      "O in G.entities, passes_to(O, R, G)."));
+  auto passes = session.Query("?- involved(O, R).");
+  VQLDB_CHECK_OK(passes.status());
+  std::cout << "passes in the goal scene:\n" << passes->ToString(&db);
+
+  // The goal happened during the first half: temporal entailment.
+  VQLDB_CHECK_OK(session.AddRule(
+      "during_phase(E, P) <- Interval(E), Interval(P), "
+      "E.duration => P.duration, E != P."));
+  auto during = session.Query("?- during_phase(goal, P).");
+  VQLDB_CHECK_OK(during.status());
+  std::cout << "\nthe goal lies within: " << during->ToString(&db);
+
+  // Attribute-based retrieval across teams.
+  VQLDB_CHECK_OK(session.AddRule(
+      "red_on_screen(O, G) <- Interval(G), Object(O), O in G.entities, "
+      "O.team = \"red\"."));
+  auto reds = session.Query("?- red_on_screen(O, goal).");
+  VQLDB_CHECK_OK(reds.status());
+  std::cout << "\nred players in the goal scene: " << reds->ToString(&db);
+
+  // A chain: who contributed to a goal a booked player scored?
+  VQLDB_CHECK_OK(session.AddRule(
+      "contributed(O, G) <- Interval(G), Object(O), passes_to(O, S, G)."));
+  VQLDB_CHECK_OK(session.AddRule(
+      "booked(O) <- Interval(G), Object(O), books(R, O, G)."));
+  VQLDB_CHECK_OK(session.AddRule(
+      "assist_to_booked(O) <- contributed(O, G), Object(S), "
+      "passes_to(O, S, G), booked(S)."));
+  auto assists = session.Query("?- assist_to_booked(O).");
+  VQLDB_CHECK_OK(assists.status());
+  std::cout << "\nassisted a (later booked) scorer: " << assists->ToString(&db);
+
+  // Persist both ways and verify.
+  VQLDB_CHECK_OK(TextFormat::DumpToFile(db, "/tmp/match.vql"));
+  VQLDB_CHECK_OK(BinaryFormat::Save(db, "/tmp/match.vqdb"));
+  auto restored = BinaryFormat::Load("/tmp/match.vqdb");
+  VQLDB_CHECK_OK(restored.status());
+  std::cout << "\narchive saved to /tmp/match.vql (text) and /tmp/match.vqdb"
+               " (binary, "
+            << restored->Entities().size() << " entities restored)\n";
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Hash-combination helpers used by interpretation fact sets and indexes.
+
+#ifndef VQLDB_COMMON_HASH_H_
+#define VQLDB_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string_view>
+
+namespace vqldb {
+
+/// Mixes `v` into an accumulating hash `seed` (boost::hash_combine recipe,
+/// 64-bit constants).
+inline void HashCombine(size_t* seed, size_t v) {
+  *seed ^= v + 0x9e3779b97f4a7c15ULL + (*seed << 12) + (*seed >> 4);
+}
+
+template <typename T>
+void HashCombineValue(size_t* seed, const T& v) {
+  HashCombine(seed, std::hash<T>{}(v));
+}
+
+/// FNV-1a over raw bytes; stable across platforms.
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 1469598103934665603ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace vqldb
+
+#endif  // VQLDB_COMMON_HASH_H_

@@ -1,0 +1,61 @@
+// Minimal leveled logging and check macros (Arrow/glog style).
+
+#ifndef VQLDB_COMMON_LOGGING_H_
+#define VQLDB_COMMON_LOGGING_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace vqldb {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Process-wide minimum level actually emitted. Defaults to kInfo.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+/// Accumulates one log line and emits it (to stderr) on destruction.
+/// kFatal aborts the process after emitting.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  bool enabled_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace vqldb
+
+#define VQLDB_LOG(level)                                                    \
+  ::vqldb::internal::LogMessage(::vqldb::LogLevel::k##level, __FILE__, __LINE__)
+
+/// Invariant check: always on (also in release builds), aborts on failure.
+/// Use for programming errors, never for user input (return Status for that).
+#define VQLDB_CHECK(cond)                                                   \
+  if (!(cond))                                                              \
+  VQLDB_LOG(Fatal) << "Check failed: " #cond " "
+
+#define VQLDB_CHECK_OK(expr)                                                \
+  do {                                                                      \
+    ::vqldb::Status _st = (expr);                                           \
+    if (!_st.ok()) VQLDB_LOG(Fatal) << "Status not OK: " << _st.ToString(); \
+  } while (0)
+
+#define VQLDB_DCHECK(cond) assert(cond)
+
+#endif  // VQLDB_COMMON_LOGGING_H_

@@ -1,0 +1,81 @@
+// Result<T>: a value or a Status, in the style of arrow::Result.
+
+#ifndef VQLDB_COMMON_RESULT_H_
+#define VQLDB_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "src/common/status.h"
+
+namespace vqldb {
+
+/// Holds either a value of type T or an error Status.
+///
+/// Usage:
+///   Result<int> ParsePort(const std::string& s);
+///   ...
+///   VQLDB_ASSIGN_OR_RETURN(int port, ParsePort(s));
+template <typename T>
+class Result {
+ public:
+  /// Constructs from an error status. Aborts (in debug) if the status is OK —
+  /// an OK Result must carry a value.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT implicit
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT implicit
+
+  Result(const Result&) = default;
+  Result(Result&&) noexcept = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) noexcept = default;
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  const T& ValueOrDie() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& ValueOrDie() & {
+    assert(ok());
+    return *value_;
+  }
+  T ValueOrDie() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+  /// Returns the value if OK, else `fallback`.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ holds a value
+  std::optional<T> value_;
+};
+
+}  // namespace vqldb
+
+#define VQLDB_CONCAT_IMPL(a, b) a##b
+#define VQLDB_CONCAT(a, b) VQLDB_CONCAT_IMPL(a, b)
+
+/// Evaluates a Result<T> expression; on error, returns its Status from the
+/// enclosing function; on success, assigns the value to `lhs`.
+#define VQLDB_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  VQLDB_ASSIGN_OR_RETURN_IMPL(VQLDB_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define VQLDB_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // VQLDB_COMMON_RESULT_H_

@@ -1,0 +1,65 @@
+// Deterministic pseudo-random number generation for tests, benchmarks and
+// synthetic workload generation. splitmix64 core: fast, seedable, and stable
+// across platforms (unlike std::default_random_engine distributions).
+
+#ifndef VQLDB_COMMON_RNG_H_
+#define VQLDB_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vqldb {
+
+/// Deterministic RNG. The same seed yields the same sequence on every
+/// platform, which keeps synthetic workloads reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ULL) : state_(seed) {}
+
+  /// Next raw 64-bit value (splitmix64).
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  uint64_t UniformU64(uint64_t n) { return Next() % n; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(UniformU64(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + UniformDouble() * (hi - lo);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool Bernoulli(double p) { return UniformDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (std::size_t i = v->size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(UniformU64(i));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_COMMON_RNG_H_

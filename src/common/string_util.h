@@ -1,0 +1,53 @@
+// Small string helpers shared across modules.
+
+#ifndef VQLDB_COMMON_STRING_UTIL_H_
+#define VQLDB_COMMON_STRING_UTIL_H_
+
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vqldb {
+
+/// Joins the elements of `parts` with `sep` between them.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Splits `s` at every occurrence of `sep` (single character).
+/// "a,,b" -> {"a", "", "b"}; "" -> {""}.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase.
+std::string ToLower(std::string_view s);
+
+/// True if `s` starts with / ends with the given prefix/suffix.
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+/// Renders a double without trailing zeros ("3" not "3.000000"), with enough
+/// precision to round-trip.
+std::string FormatDouble(double v);
+
+/// Quotes and escapes a string for the query-language / storage text format:
+/// `ab"c` -> `"ab\"c"`.
+std::string QuoteString(std::string_view s);
+
+/// Joins with a callable formatter: JoinMapped(v, ", ", [](auto& x){...}).
+template <typename Container, typename Fn>
+std::string JoinMapped(const Container& items, std::string_view sep, Fn fn) {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& item : items) {
+    if (!first) os << sep;
+    first = false;
+    os << fn(item);
+  }
+  return os.str();
+}
+
+}  // namespace vqldb
+
+#endif  // VQLDB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,90 @@
+// Comparison operators of the concrete domains (Defs. 1-2): =, <, <= and
+// their negations !=, >=, >.
+
+#ifndef VQLDB_CONSTRAINT_COMPARE_OP_H_
+#define VQLDB_CONSTRAINT_COMPARE_OP_H_
+
+#include <string>
+
+namespace vqldb {
+
+enum class CompareOp : int { kLt = 0, kLe, kEq, kNe, kGe, kGt };
+
+/// Logical negation: not(<) is >=, not(=) is !=, etc.
+inline CompareOp Negate(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGe;
+    case CompareOp::kLe:
+      return CompareOp::kGt;
+    case CompareOp::kEq:
+      return CompareOp::kNe;
+    case CompareOp::kNe:
+      return CompareOp::kEq;
+    case CompareOp::kGe:
+      return CompareOp::kLt;
+    case CompareOp::kGt:
+      return CompareOp::kLe;
+  }
+  return CompareOp::kEq;
+}
+
+/// Argument swap: a op b  iff  b Flip(op) a.
+inline CompareOp Flip(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return CompareOp::kGt;
+    case CompareOp::kLe:
+      return CompareOp::kGe;
+    case CompareOp::kGe:
+      return CompareOp::kLe;
+    case CompareOp::kGt:
+      return CompareOp::kLt;
+    case CompareOp::kEq:
+    case CompareOp::kNe:
+      return op;
+  }
+  return op;
+}
+
+inline const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kGe:
+      return ">=";
+    case CompareOp::kGt:
+      return ">";
+  }
+  return "?";
+}
+
+/// Evaluates `a op b` over any totally ordered type.
+template <typename T>
+bool EvalCompare(const T& a, CompareOp op, const T& b) {
+  switch (op) {
+    case CompareOp::kLt:
+      return a < b;
+    case CompareOp::kLe:
+      return a <= b;
+    case CompareOp::kEq:
+      return a == b;
+    case CompareOp::kNe:
+      return a != b;
+    case CompareOp::kGe:
+      return a >= b;
+    case CompareOp::kGt:
+      return a > b;
+  }
+  return false;
+}
+
+}  // namespace vqldb
+
+#endif  // VQLDB_CONSTRAINT_COMPARE_OP_H_

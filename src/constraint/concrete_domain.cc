@@ -1,0 +1,85 @@
+#include "src/constraint/concrete_domain.h"
+
+#include <algorithm>
+
+namespace vqldb {
+
+void ConcreteDomain::RegisterPredicate(const std::string& pred_name, int arity,
+                                       DomainPredicateFn fn) {
+  predicates_[{pred_name, arity}] = std::move(fn);
+}
+
+bool ConcreteDomain::HasPredicate(const std::string& pred_name,
+                                  int arity) const {
+  return predicates_.count({pred_name, arity}) > 0;
+}
+
+Result<bool> ConcreteDomain::Evaluate(
+    const std::string& pred_name, const std::vector<DomainValue>& args) const {
+  auto it = predicates_.find({pred_name, static_cast<int>(args.size())});
+  if (it == predicates_.end()) {
+    // Distinguish "unknown name" from "wrong arity" for better errors.
+    bool name_known = std::any_of(
+        predicates_.begin(), predicates_.end(),
+        [&](const auto& kv) { return kv.first.first == pred_name; });
+    if (name_known) {
+      return Status::InvalidArgument("predicate " + pred_name +
+                                     " not registered with arity " +
+                                     std::to_string(args.size()));
+    }
+    return Status::NotFound("unknown concrete-domain predicate " + pred_name);
+  }
+  return it->second(args);
+}
+
+std::vector<std::pair<std::string, int>> ConcreteDomain::ListPredicates()
+    const {
+  std::vector<std::pair<std::string, int>> out;
+  out.reserve(predicates_.size());
+  for (const auto& [key, fn] : predicates_) out.push_back(key);
+  return out;
+}
+
+namespace {
+
+bool AllNumbers(const std::vector<DomainValue>& args) {
+  return std::all_of(args.begin(), args.end(), [](const DomainValue& v) {
+    return v.sort == DomainValue::Sort::kNumber;
+  });
+}
+
+bool AllStrings(const std::vector<DomainValue>& args) {
+  return std::all_of(args.begin(), args.end(), [](const DomainValue& v) {
+    return v.sort == DomainValue::Sort::kString;
+  });
+}
+
+}  // namespace
+
+ConcreteDomain ConcreteDomain::StandardOrder() {
+  ConcreteDomain d("standard-order");
+  auto num2 = [](auto cmp) {
+    return [cmp](const std::vector<DomainValue>& a) {
+      return AllNumbers(a) && cmp(a[0].number, a[1].number);
+    };
+  };
+  d.RegisterPredicate("lt", 2, num2([](double x, double y) { return x < y; }));
+  d.RegisterPredicate("le", 2, num2([](double x, double y) { return x <= y; }));
+  d.RegisterPredicate("eq", 2, num2([](double x, double y) { return x == y; }));
+  d.RegisterPredicate("ne", 2, num2([](double x, double y) { return x != y; }));
+  d.RegisterPredicate("ge", 2, num2([](double x, double y) { return x >= y; }));
+  d.RegisterPredicate("gt", 2, num2([](double x, double y) { return x > y; }));
+  d.RegisterPredicate("between", 3, [](const std::vector<DomainValue>& a) {
+    return AllNumbers(a) && a[1].number <= a[0].number &&
+           a[0].number <= a[2].number;
+  });
+  d.RegisterPredicate("streq", 2, [](const std::vector<DomainValue>& a) {
+    return AllStrings(a) && a[0].text == a[1].text;
+  });
+  d.RegisterPredicate("strne", 2, [](const std::vector<DomainValue>& a) {
+    return AllStrings(a) && a[0].text != a[1].text;
+  });
+  return d;
+}
+
+}  // namespace vqldb

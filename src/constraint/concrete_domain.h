@@ -1,0 +1,73 @@
+// Concrete domains (Def. 1): a domain dom(D) together with a set of named
+// predicate symbols, each with an arity and an interpretation over dom(D)^n.
+//
+// The engine's built-in comparison predicates are registered here, and
+// applications can extend the registry with their own evaluable predicates
+// (e.g. near(x, y) over frame coordinates) without touching the engine.
+
+#ifndef VQLDB_CONSTRAINT_CONCRETE_DOMAIN_H_
+#define VQLDB_CONSTRAINT_CONCRETE_DOMAIN_H_
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace vqldb {
+
+/// A value of a concrete domain, restricted here to the two primitive carrier
+/// sorts the data model's atomic values use (numbers and strings).
+struct DomainValue {
+  enum class Sort { kNumber, kString };
+  Sort sort = Sort::kNumber;
+  double number = 0;
+  std::string text;
+
+  static DomainValue Number(double v) { return {Sort::kNumber, v, {}}; }
+  static DomainValue String(std::string s) {
+    return {Sort::kString, 0, std::move(s)};
+  }
+  bool operator==(const DomainValue&) const = default;
+};
+
+/// An n-ary evaluable predicate over DomainValues.
+using DomainPredicateFn = std::function<bool(const std::vector<DomainValue>&)>;
+
+/// A concrete domain: name plus predicate table. Lookup key is
+/// (predicate name, arity), so the same name may be overloaded on arity.
+class ConcreteDomain {
+ public:
+  explicit ConcreteDomain(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+  /// Registers predicate `pred_name` with the given arity. Overwrites any
+  /// previous registration with the same (name, arity).
+  void RegisterPredicate(const std::string& pred_name, int arity,
+                         DomainPredicateFn fn);
+
+  bool HasPredicate(const std::string& pred_name, int arity) const;
+
+  /// Evaluates `pred_name(args)`. NotFound if unregistered; InvalidArgument
+  /// on arity mismatch with every registration of that name.
+  Result<bool> Evaluate(const std::string& pred_name,
+                        const std::vector<DomainValue>& args) const;
+
+  /// All registered (name, arity) pairs, sorted.
+  std::vector<std::pair<std::string, int>> ListPredicates() const;
+
+  /// The standard dense-order domain over the rationals/reals: predicates
+  /// lt/2, le/2, eq/2, ne/2, ge/2, gt/2 over numbers, plus between/3 and
+  /// string equality streq/2, strne/2.
+  static ConcreteDomain StandardOrder();
+
+ private:
+  std::string name_;
+  std::map<std::pair<std::string, int>, DomainPredicateFn> predicates_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_CONSTRAINT_CONCRETE_DOMAIN_H_

@@ -1,0 +1,221 @@
+#include "src/constraint/generalized_interval.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+std::vector<Fragment> GeneralizedInterval::Normalize(
+    std::vector<Fragment> fragments) {
+  std::sort(fragments.begin(), fragments.end(),
+            [](const Fragment& a, const Fragment& b) {
+              if (a.begin != b.begin) return a.begin < b.begin;
+              return a.end < b.end;
+            });
+  std::vector<Fragment> out;
+  for (const Fragment& f : fragments) {
+    if (!out.empty() && f.begin <= out.back().end) {
+      out.back().end = std::max(out.back().end, f.end);
+    } else {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+Result<GeneralizedInterval> GeneralizedInterval::Make(
+    std::vector<Fragment> fragments) {
+  for (const Fragment& f : fragments) {
+    if (std::isnan(f.begin) || std::isnan(f.end) || std::isinf(f.begin) ||
+        std::isinf(f.end)) {
+      return Status::InvalidArgument("fragment bounds must be finite");
+    }
+    if (f.end < f.begin) {
+      return Status::InvalidArgument(
+          "fragment end " + FormatDouble(f.end) + " precedes begin " +
+          FormatDouble(f.begin));
+    }
+  }
+  return GeneralizedInterval(Normalize(std::move(fragments)));
+}
+
+GeneralizedInterval GeneralizedInterval::Single(double begin, double end) {
+  VQLDB_CHECK(begin <= end) << "invalid fragment [" << begin << "," << end << "]";
+  return GeneralizedInterval({Fragment{begin, end}});
+}
+
+double GeneralizedInterval::Measure() const {
+  double total = 0;
+  for (const Fragment& f : fragments_) total += f.Measure();
+  return total;
+}
+
+bool GeneralizedInterval::Contains(double t) const {
+  auto it = std::upper_bound(
+      fragments_.begin(), fragments_.end(), t,
+      [](double v, const Fragment& f) { return v < f.begin; });
+  if (it == fragments_.begin()) return false;
+  return std::prev(it)->Contains(t);
+}
+
+GeneralizedInterval GeneralizedInterval::Concat(
+    const GeneralizedInterval& other) const {
+  std::vector<Fragment> all = fragments_;
+  all.insert(all.end(), other.fragments_.begin(), other.fragments_.end());
+  return GeneralizedInterval(Normalize(std::move(all)));
+}
+
+GeneralizedInterval GeneralizedInterval::Intersect(
+    const GeneralizedInterval& other) const {
+  std::vector<Fragment> out;
+  size_t i = 0, j = 0;
+  while (i < fragments_.size() && j < other.fragments_.size()) {
+    const Fragment& a = fragments_[i];
+    const Fragment& b = other.fragments_[j];
+    double lo = std::max(a.begin, b.begin);
+    double hi = std::min(a.end, b.end);
+    if (lo <= hi) out.push_back(Fragment{lo, hi});
+    if (a.end < b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return GeneralizedInterval(Normalize(std::move(out)));
+}
+
+GeneralizedInterval GeneralizedInterval::Difference(
+    const GeneralizedInterval& other) const {
+  std::vector<Fragment> out;
+  for (const Fragment& a : fragments_) {
+    double cursor = a.begin;
+    for (const Fragment& b : other.fragments_) {
+      if (b.end < cursor) continue;
+      if (b.begin > a.end) break;
+      if (b.begin > cursor) out.push_back(Fragment{cursor, b.begin});
+      cursor = std::max(cursor, b.end);
+      if (cursor >= a.end) break;
+    }
+    if (cursor < a.end) out.push_back(Fragment{cursor, a.end});
+  }
+  return GeneralizedInterval(Normalize(std::move(out)));
+}
+
+bool GeneralizedInterval::SubsetOf(const GeneralizedInterval& other) const {
+  // Each fragment of this must lie inside a single fragment of other
+  // (fragments are maximal, so a fragment cannot straddle a gap).
+  size_t j = 0;
+  for (const Fragment& a : fragments_) {
+    while (j < other.fragments_.size() && other.fragments_[j].end < a.begin) ++j;
+    if (j == other.fragments_.size()) return false;
+    const Fragment& b = other.fragments_[j];
+    if (!(b.begin <= a.begin && a.end <= b.end)) return false;
+  }
+  return true;
+}
+
+bool GeneralizedInterval::Overlaps(const GeneralizedInterval& other) const {
+  size_t i = 0, j = 0;
+  while (i < fragments_.size() && j < other.fragments_.size()) {
+    const Fragment& a = fragments_[i];
+    const Fragment& b = other.fragments_[j];
+    if (std::max(a.begin, b.begin) <= std::min(a.end, b.end)) return true;
+    if (a.end < b.end) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+bool GeneralizedInterval::Before(const GeneralizedInterval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return End() < other.Begin();
+}
+
+bool GeneralizedInterval::Meets(const GeneralizedInterval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return End() == other.Begin();
+}
+
+bool GeneralizedInterval::HullOverlaps(const GeneralizedInterval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return Begin() < other.Begin() && End() > other.Begin() && End() < other.End();
+}
+
+bool GeneralizedInterval::Starts(const GeneralizedInterval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return Begin() == other.Begin() && End() < other.End();
+}
+
+bool GeneralizedInterval::Finishes(const GeneralizedInterval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return End() == other.End() && Begin() > other.Begin();
+}
+
+bool GeneralizedInterval::During(const GeneralizedInterval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return false;
+  return SubsetOf(other) && !(*this == other);
+}
+
+Fragment GeneralizedInterval::Hull() const {
+  if (IsEmpty()) return Fragment{0, 0};
+  return Fragment{Begin(), End()};
+}
+
+IntervalSet GeneralizedInterval::ToIntervalSet() const {
+  std::vector<TimeInterval> ivs;
+  ivs.reserve(fragments_.size());
+  for (const Fragment& f : fragments_) {
+    ivs.push_back(TimeInterval::Closed(f.begin, f.end));
+  }
+  return IntervalSet(std::move(ivs));
+}
+
+Result<GeneralizedInterval> GeneralizedInterval::FromIntervalSet(
+    const IntervalSet& set) {
+  std::vector<Fragment> fragments;
+  fragments.reserve(set.fragment_count());
+  for (const TimeInterval& iv : set.fragments()) {
+    if (iv.lo_unbounded() || iv.hi_unbounded()) {
+      return Status::InvalidArgument(
+          "unbounded interval " + iv.ToString() +
+          " cannot be a generalized video interval");
+    }
+    if (iv.lo_open() || iv.hi_open()) {
+      return Status::InvalidArgument(
+          "open interval " + iv.ToString() +
+          " cannot be a generalized video interval (Def. 4 intervals are "
+          "closed)");
+    }
+    fragments.push_back(Fragment{iv.lo(), iv.hi()});
+  }
+  return GeneralizedInterval(Normalize(std::move(fragments)));
+}
+
+TemporalConstraint GeneralizedInterval::ToConstraint() const {
+  std::vector<TemporalConstraint> disjuncts;
+  disjuncts.reserve(fragments_.size());
+  for (const Fragment& f : fragments_) {
+    if (f.begin == f.end) {
+      disjuncts.push_back(TemporalConstraint::Atom(CompareOp::kEq, f.begin));
+    } else {
+      disjuncts.push_back(TemporalConstraint::ClosedInterval(f.begin, f.end));
+    }
+  }
+  return TemporalConstraint::Or(std::move(disjuncts));
+}
+
+std::string GeneralizedInterval::ToString() const {
+  if (fragments_.empty()) return "{}";
+  return JoinMapped(fragments_, " u ", [](const Fragment& f) {
+    return "[" + FormatDouble(f.begin) + "," + FormatDouble(f.end) + "]";
+  });
+}
+
+}  // namespace vqldb

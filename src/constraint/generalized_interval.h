@@ -1,0 +1,136 @@
+// GeneralizedInterval (Def. 5): a set of pairwise non-overlapping closed,
+// bounded time intervals — the temporal extent of one description in a video
+// sequence. This is the paper's central temporal notion (Section 3, Fig. 3):
+// a single generalized interval traces *all* occurrences of an entity.
+//
+// Distinct from IntervalSet: IntervalSet is the semantics of arbitrary C~
+// formulas (open bounds, unbounded rays); a GeneralizedInterval is the
+// restricted, always-realizable shape that actual video fragments have
+// (Def. 4: closed [x1, x2] with x1 <= x2). Conversions both ways are provided.
+
+#ifndef VQLDB_CONSTRAINT_GENERALIZED_INTERVAL_H_
+#define VQLDB_CONSTRAINT_GENERALIZED_INTERVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraint/interval_set.h"
+#include "src/constraint/temporal_constraint.h"
+
+namespace vqldb {
+
+/// One closed bounded fragment [begin, end] of a video timeline.
+struct Fragment {
+  double begin = 0;
+  double end = 0;
+
+  double Measure() const { return end - begin; }
+  bool Contains(double t) const { return begin <= t && t <= end; }
+  bool operator==(const Fragment&) const = default;
+};
+
+/// Canonical set of pairwise non-overlapping fragments, sorted by begin.
+/// Fragments that overlap or share an endpoint are merged on construction,
+/// so the Def. 5 non-overlap invariant always holds.
+class GeneralizedInterval {
+ public:
+  /// The empty temporal extent.
+  GeneralizedInterval() = default;
+
+  /// Builds the canonical form from arbitrary fragments (any order, overlaps
+  /// allowed; fragments with end < begin are rejected).
+  static Result<GeneralizedInterval> Make(std::vector<Fragment> fragments);
+
+  /// Single continuous fragment [begin, end]. Requires begin <= end (checked
+  /// with VQLDB_CHECK — use Make for untrusted input).
+  static GeneralizedInterval Single(double begin, double end);
+
+  const std::vector<Fragment>& fragments() const { return fragments_; }
+  size_t fragment_count() const { return fragments_.size(); }
+  bool IsEmpty() const { return fragments_.empty(); }
+
+  /// First instant of the extent. Undefined on empty.
+  double Begin() const { return fragments_.front().begin; }
+  /// Last instant of the extent. Undefined on empty.
+  double End() const { return fragments_.back().end; }
+
+  /// Total play time (sum of fragment lengths).
+  double Measure() const;
+
+  bool Contains(double t) const;
+
+  /// Concatenation `this (+) other` (Section 6.1): the union of the two
+  /// extents, re-normalized. Associative, commutative and idempotent
+  /// (I (+) I == I), which the paper relies on for termination of
+  /// constructive rules.
+  GeneralizedInterval Concat(const GeneralizedInterval& other) const;
+
+  /// Common extent (point-set intersection).
+  GeneralizedInterval Intersect(const GeneralizedInterval& other) const;
+
+  /// Point-set difference this \ other. The result of removing a closed set
+  /// from a closed set can be half-open; we close the resulting fragments
+  /// (frame extents in video are closed), so Difference is an
+  /// over-approximation at isolated boundary points.
+  GeneralizedInterval Difference(const GeneralizedInterval& other) const;
+
+  /// Point-set inclusion: every instant of `this` is in `other`. This is
+  /// exactly the paper's `contains(G2, G1)` test "G1.duration => G2.duration"
+  /// from Section 6.2 (with the roles as written there: contains(G1,G2) iff
+  /// G2.duration entails G1.duration, i.e. SubsetOf(G2, G1)).
+  bool SubsetOf(const GeneralizedInterval& other) const;
+
+  /// Shares at least one instant with `other`.
+  bool Overlaps(const GeneralizedInterval& other) const;
+
+  // ---- Allen-style temporal relations, lifted to generalized intervals by
+  // comparing extents pointwise / by hull where noted. All are false if
+  // either side is empty.
+
+  /// Every instant of `this` precedes every instant of `other` strictly.
+  bool Before(const GeneralizedInterval& other) const;
+  /// `this` ends exactly where `other` begins (hulls meet at one instant).
+  bool Meets(const GeneralizedInterval& other) const;
+  /// Hulls overlap properly: begins before, ends inside.
+  bool HullOverlaps(const GeneralizedInterval& other) const;
+  /// Same begin, `this` ends strictly earlier (on hulls).
+  bool Starts(const GeneralizedInterval& other) const;
+  /// Same end, `this` begins strictly later (on hulls).
+  bool Finishes(const GeneralizedInterval& other) const;
+  /// Strict point-set containment of this in other.
+  bool During(const GeneralizedInterval& other) const;
+  /// Identical extents.
+  bool operator==(const GeneralizedInterval& other) const {
+    return fragments_ == other.fragments_;
+  }
+
+  /// The smallest single interval covering the extent.
+  Fragment Hull() const;
+
+  /// The denoted point set as an IntervalSet (all fragments closed).
+  IntervalSet ToIntervalSet() const;
+
+  /// Extracts a GeneralizedInterval from an IntervalSet, requiring every
+  /// fragment to be closed and bounded (else InvalidArgument).
+  static Result<GeneralizedInterval> FromIntervalSet(const IntervalSet& set);
+
+  /// The C~ duration formula of this extent, e.g.
+  /// "(t >= 0 and t <= 5) or (t >= 9 and t <= 12)".
+  TemporalConstraint ToConstraint() const;
+
+  /// e.g. "[0,5] u [9,12]"; "{}" when empty.
+  std::string ToString() const;
+
+ private:
+  explicit GeneralizedInterval(std::vector<Fragment> canonical)
+      : fragments_(std::move(canonical)) {}
+
+  static std::vector<Fragment> Normalize(std::vector<Fragment> fragments);
+
+  std::vector<Fragment> fragments_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_CONSTRAINT_GENERALIZED_INTERVAL_H_

@@ -1,0 +1,114 @@
+#include "src/constraint/interval.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+namespace {
+
+// Compares lower bounds: returns -1/0/+1 when bound a=(va, open_a) is
+// before/equal/after b as a *lower* bound. A closed lower bound at v precedes
+// an open lower bound at v (it includes the point v).
+int CompareLower(double va, bool oa, double vb, bool ob) {
+  if (va < vb) return -1;
+  if (va > vb) return 1;
+  if (oa == ob) return 0;
+  return oa ? 1 : -1;
+}
+
+// Compares upper bounds: a closed upper bound at v is *after* an open one.
+int CompareUpper(double va, bool oa, double vb, bool ob) {
+  if (va < vb) return -1;
+  if (va > vb) return 1;
+  if (oa == ob) return 0;
+  return oa ? -1 : 1;
+}
+
+}  // namespace
+
+bool TimeInterval::Overlaps(const TimeInterval& other) const {
+  return !Intersect(other).IsEmpty();
+}
+
+bool TimeInterval::Mergeable(const TimeInterval& other) const {
+  if (IsEmpty() || other.IsEmpty()) return true;  // union trivially convex
+  // Order so that a has the smaller lower bound.
+  const TimeInterval* a = this;
+  const TimeInterval* b = &other;
+  if (CompareLower(other.lo_, other.lo_open_, lo_, lo_open_) < 0) std::swap(a, b);
+  // They merge iff b starts no later than "just after" a ends: either they
+  // overlap, or a.hi == b.lo with at least one of the two bounds closed.
+  if (b->lo_ < a->hi_) return true;
+  if (b->lo_ > a->hi_) return false;
+  return !(a->hi_open_ && b->lo_open_);
+}
+
+TimeInterval TimeInterval::Intersect(const TimeInterval& other) const {
+  double lo;
+  bool lo_open;
+  if (CompareLower(lo_, lo_open_, other.lo_, other.lo_open_) >= 0) {
+    lo = lo_;
+    lo_open = lo_open_;
+  } else {
+    lo = other.lo_;
+    lo_open = other.lo_open_;
+  }
+  double hi;
+  bool hi_open;
+  if (CompareUpper(hi_, hi_open_, other.hi_, other.hi_open_) <= 0) {
+    hi = hi_;
+    hi_open = hi_open_;
+  } else {
+    hi = other.hi_;
+    hi_open = other.hi_open_;
+  }
+  return TimeInterval(lo, lo_open, hi, hi_open);
+}
+
+TimeInterval TimeInterval::MergeWith(const TimeInterval& other) const {
+  if (IsEmpty()) return other;
+  if (other.IsEmpty()) return *this;
+  double lo;
+  bool lo_open;
+  if (CompareLower(lo_, lo_open_, other.lo_, other.lo_open_) <= 0) {
+    lo = lo_;
+    lo_open = lo_open_;
+  } else {
+    lo = other.lo_;
+    lo_open = other.lo_open_;
+  }
+  double hi;
+  bool hi_open;
+  if (CompareUpper(hi_, hi_open_, other.hi_, other.hi_open_) >= 0) {
+    hi = hi_;
+    hi_open = hi_open_;
+  } else {
+    hi = other.hi_;
+    hi_open = other.hi_open_;
+  }
+  return TimeInterval(lo, lo_open, hi, hi_open);
+}
+
+bool TimeInterval::SubsetOf(const TimeInterval& other) const {
+  if (IsEmpty()) return true;
+  if (other.IsEmpty()) return false;
+  return CompareLower(lo_, lo_open_, other.lo_, other.lo_open_) >= 0 &&
+         CompareUpper(hi_, hi_open_, other.hi_, other.hi_open_) <= 0;
+}
+
+std::string TimeInterval::ToString() const {
+  if (IsEmpty()) return "{}";
+  if (lo_ == hi_) return "{" + FormatDouble(lo_) + "}";
+  std::ostringstream os;
+  os << (lo_open_ ? "(" : "[");
+  os << (lo_unbounded() ? "-inf" : FormatDouble(lo_));
+  os << ", ";
+  os << (hi_unbounded() ? "+inf" : FormatDouble(hi_));
+  os << (hi_open_ ? ")" : "]");
+  return os.str();
+}
+
+}  // namespace vqldb

@@ -1,0 +1,124 @@
+// TimeInterval: one convex subset of the dense time line (Def. 4 of the
+// paper, generalized to open/half-open/unbounded intervals so that arbitrary
+// dense linear order inequality constraints over a single variable normalize
+// exactly to a finite union of TimeIntervals; see interval_set.h).
+
+#ifndef VQLDB_CONSTRAINT_INTERVAL_H_
+#define VQLDB_CONSTRAINT_INTERVAL_H_
+
+#include <limits>
+#include <string>
+
+namespace vqldb {
+
+/// A convex interval over the reals with open/closed endpoints.
+///
+/// The paper's Def. 4 interval (x1, x2) with x1 <= x2 denotes the closed
+/// interval {t | x1 <= t <= x2}; that is `TimeInterval::Closed(x1, x2)`.
+/// Unbounded ends are represented by +/-infinity with an open bound.
+class TimeInterval {
+ public:
+  /// Constructs the closed interval [lo, hi]. Requires lo <= hi.
+  static TimeInterval Closed(double lo, double hi) {
+    return TimeInterval(lo, false, hi, false);
+  }
+  /// Constructs the open interval (lo, hi). Empty unless lo < hi.
+  static TimeInterval Open(double lo, double hi) {
+    return TimeInterval(lo, true, hi, true);
+  }
+  /// [lo, hi)
+  static TimeInterval ClosedOpen(double lo, double hi) {
+    return TimeInterval(lo, false, hi, true);
+  }
+  /// (lo, hi]
+  static TimeInterval OpenClosed(double lo, double hi) {
+    return TimeInterval(lo, true, hi, false);
+  }
+  /// The single point {p}.
+  static TimeInterval Point(double p) { return Closed(p, p); }
+  /// (-inf, hi] or (-inf, hi)
+  static TimeInterval AtMost(double hi, bool open = false) {
+    return TimeInterval(-Inf(), true, hi, open);
+  }
+  /// [lo, +inf) or (lo, +inf)
+  static TimeInterval AtLeast(double lo, bool open = false) {
+    return TimeInterval(lo, open, Inf(), true);
+  }
+  /// The whole line (-inf, +inf).
+  static TimeInterval All() { return TimeInterval(-Inf(), true, Inf(), true); }
+
+  TimeInterval(double lo, bool lo_open, double hi, bool hi_open)
+      : lo_(lo), hi_(hi), lo_open_(lo_open), hi_open_(hi_open) {
+    // +/-infinity are not points of the line: infinite bounds are always
+    // open, keeping representations canonical.
+    if (lo_ == -Inf()) lo_open_ = true;
+    if (hi_ == Inf()) hi_open_ = true;
+  }
+
+  double lo() const { return lo_; }
+  double hi() const { return hi_; }
+  bool lo_open() const { return lo_open_; }
+  bool hi_open() const { return hi_open_; }
+  bool lo_unbounded() const { return lo_ == -Inf(); }
+  bool hi_unbounded() const { return hi_ == Inf(); }
+
+  /// True iff the interval denotes the empty set ([a,b] with a > b, or an
+  /// open/half-open interval with lo >= hi).
+  bool IsEmpty() const {
+    if (lo_ > hi_) return true;
+    if (lo_ == hi_) return lo_open_ || hi_open_;
+    return false;
+  }
+
+  /// True iff the point t lies inside the interval.
+  bool Contains(double t) const {
+    if (t < lo_ || (t == lo_ && lo_open_)) return false;
+    if (t > hi_ || (t == hi_ && hi_open_)) return false;
+    return true;
+  }
+
+  /// True iff `this` and `other` share at least one point.
+  bool Overlaps(const TimeInterval& other) const;
+
+  /// True iff `this` and `other` are overlapping or immediately adjacent so
+  /// that their union is convex (e.g. [1,2) and [2,3] merge; (1,2) and (2,3)
+  /// do not — the point 2 is missing).
+  bool Mergeable(const TimeInterval& other) const;
+
+  /// Intersection (possibly empty).
+  TimeInterval Intersect(const TimeInterval& other) const;
+
+  /// Convex hull of the union; only a true union when Mergeable(other).
+  TimeInterval MergeWith(const TimeInterval& other) const;
+
+  /// True iff every point of `this` lies in `other`.
+  bool SubsetOf(const TimeInterval& other) const;
+
+  /// Length hi - lo (0 for points, +inf for unbounded, 0 for empty).
+  double Measure() const {
+    if (IsEmpty()) return 0.0;
+    return hi_ - lo_;
+  }
+
+  bool operator==(const TimeInterval& other) const {
+    if (IsEmpty() && other.IsEmpty()) return true;
+    return lo_ == other.lo_ && hi_ == other.hi_ && lo_open_ == other.lo_open_ &&
+           hi_open_ == other.hi_open_;
+  }
+  bool operator!=(const TimeInterval& other) const { return !(*this == other); }
+
+  /// Renders in mathematical notation, e.g. "[1, 2)", "(-inf, 3]", "{5}".
+  std::string ToString() const;
+
+  static double Inf() { return std::numeric_limits<double>::infinity(); }
+
+ private:
+  double lo_;
+  double hi_;
+  bool lo_open_;
+  bool hi_open_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_CONSTRAINT_INTERVAL_H_

@@ -1,0 +1,132 @@
+#include "src/constraint/interval_set.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+namespace {
+
+bool LowerBoundLess(const TimeInterval& a, const TimeInterval& b) {
+  if (a.lo() != b.lo()) return a.lo() < b.lo();
+  // Closed lower bound sorts before open at the same value.
+  if (a.lo_open() != b.lo_open()) return !a.lo_open();
+  // Tie-break on upper bound for determinism.
+  if (a.hi() != b.hi()) return a.hi() < b.hi();
+  return !a.hi_open() && b.hi_open();
+}
+
+}  // namespace
+
+IntervalSet::IntervalSet(std::vector<TimeInterval> intervals) {
+  intervals.erase(
+      std::remove_if(intervals.begin(), intervals.end(),
+                     [](const TimeInterval& i) { return i.IsEmpty(); }),
+      intervals.end());
+  std::sort(intervals.begin(), intervals.end(), LowerBoundLess);
+  for (const TimeInterval& iv : intervals) {
+    if (!fragments_.empty() && fragments_.back().Mergeable(iv)) {
+      fragments_.back() = fragments_.back().MergeWith(iv);
+    } else {
+      fragments_.push_back(iv);
+    }
+  }
+}
+
+bool IntervalSet::Contains(double t) const {
+  // Fragments are sorted; binary search on lower bound then check.
+  auto it = std::upper_bound(
+      fragments_.begin(), fragments_.end(), t,
+      [](double v, const TimeInterval& iv) { return v < iv.lo(); });
+  if (it == fragments_.begin()) return false;
+  return std::prev(it)->Contains(t);
+}
+
+IntervalSet IntervalSet::Union(const IntervalSet& other) const {
+  std::vector<TimeInterval> all = fragments_;
+  all.insert(all.end(), other.fragments_.begin(), other.fragments_.end());
+  return IntervalSet(std::move(all));
+}
+
+IntervalSet IntervalSet::Intersect(const IntervalSet& other) const {
+  std::vector<TimeInterval> out;
+  size_t i = 0, j = 0;
+  while (i < fragments_.size() && j < other.fragments_.size()) {
+    TimeInterval inter = fragments_[i].Intersect(other.fragments_[j]);
+    if (!inter.IsEmpty()) out.push_back(inter);
+    // Advance the fragment that ends first.
+    const TimeInterval& a = fragments_[i];
+    const TimeInterval& b = other.fragments_[j];
+    if (a.hi() < b.hi() || (a.hi() == b.hi() && a.hi_open() && !b.hi_open())) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::Complement() const {
+  std::vector<TimeInterval> out;
+  double prev_hi = -TimeInterval::Inf();
+  bool prev_hi_open = true;  // nothing before -inf
+  for (const TimeInterval& iv : fragments_) {
+    // Gap between previous upper bound and this lower bound. The gap bound is
+    // open where the fragment bound is closed and vice versa.
+    TimeInterval gap(prev_hi, !prev_hi_open, iv.lo(), !iv.lo_open());
+    if (!gap.IsEmpty()) out.push_back(gap);
+    prev_hi = iv.hi();
+    prev_hi_open = iv.hi_open();
+  }
+  TimeInterval tail(prev_hi, !prev_hi_open, TimeInterval::Inf(), true);
+  if (!tail.IsEmpty()) out.push_back(tail);
+  return IntervalSet(std::move(out));
+}
+
+IntervalSet IntervalSet::Difference(const IntervalSet& other) const {
+  return Intersect(other.Complement());
+}
+
+bool IntervalSet::SubsetOf(const IntervalSet& other) const {
+  // this subset-of other  iff  this \ other == {}.
+  // Direct two-pointer walk avoiding full materialization would be possible;
+  // Difference keeps the code simple and fragment counts are small.
+  return Difference(other).IsEmpty();
+}
+
+bool IntervalSet::Overlaps(const IntervalSet& other) const {
+  size_t i = 0, j = 0;
+  while (i < fragments_.size() && j < other.fragments_.size()) {
+    if (fragments_[i].Overlaps(other.fragments_[j])) return true;
+    const TimeInterval& a = fragments_[i];
+    const TimeInterval& b = other.fragments_[j];
+    if (a.hi() < b.hi() || (a.hi() == b.hi() && a.hi_open() && !b.hi_open())) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return false;
+}
+
+double IntervalSet::Measure() const {
+  double total = 0;
+  for (const TimeInterval& iv : fragments_) total += iv.Measure();
+  return total;
+}
+
+TimeInterval IntervalSet::Span() const {
+  if (fragments_.empty()) return TimeInterval::Open(0, 0);  // canonical empty
+  const TimeInterval& first = fragments_.front();
+  const TimeInterval& last = fragments_.back();
+  return TimeInterval(first.lo(), first.lo_open(), last.hi(), last.hi_open());
+}
+
+std::string IntervalSet::ToString() const {
+  if (fragments_.empty()) return "{}";
+  return JoinMapped(fragments_, " u ",
+                    [](const TimeInterval& iv) { return iv.ToString(); });
+}
+
+}  // namespace vqldb

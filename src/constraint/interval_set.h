@@ -1,0 +1,82 @@
+// IntervalSet: a finite union of disjoint TimeIntervals in canonical form.
+//
+// Every dense linear order inequality constraint over a single time variable
+// (the set C~ of the paper, Section 5.2: atoms `t op c` closed under
+// conjunction and disjunction) denotes exactly such a set, and conversely.
+// IntervalSet is therefore the canonical semantic representation of temporal
+// attribute values: satisfiability is non-emptiness and entailment c1 => c2
+// is point-set inclusion.
+
+#ifndef VQLDB_CONSTRAINT_INTERVAL_SET_H_
+#define VQLDB_CONSTRAINT_INTERVAL_SET_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "src/constraint/interval.h"
+
+namespace vqldb {
+
+/// Canonical finite union of intervals: fragments are non-empty, pairwise
+/// non-mergeable (disjoint and not adjacent), and sorted by lower bound.
+class IntervalSet {
+ public:
+  /// The empty set.
+  IntervalSet() = default;
+
+  /// Builds the canonical form of the union of `intervals` (any order,
+  /// overlaps allowed, empties dropped).
+  explicit IntervalSet(std::vector<TimeInterval> intervals);
+  IntervalSet(std::initializer_list<TimeInterval> intervals)
+      : IntervalSet(std::vector<TimeInterval>(intervals)) {}
+
+  static IntervalSet Empty() { return IntervalSet(); }
+  static IntervalSet All() { return IntervalSet({TimeInterval::All()}); }
+
+  const std::vector<TimeInterval>& fragments() const { return fragments_; }
+  size_t fragment_count() const { return fragments_.size(); }
+  bool IsEmpty() const { return fragments_.empty(); }
+
+  bool Contains(double t) const;
+
+  /// Set algebra; all results are canonical.
+  IntervalSet Union(const IntervalSet& other) const;
+  IntervalSet Intersect(const IntervalSet& other) const;
+  IntervalSet Complement() const;
+  IntervalSet Difference(const IntervalSet& other) const;
+
+  /// True iff every point of `this` is in `other` (constraint entailment:
+  /// this => other).
+  bool SubsetOf(const IntervalSet& other) const;
+
+  /// True iff the two sets share at least one point.
+  bool Overlaps(const IntervalSet& other) const;
+
+  /// Total length (sum of fragment measures; +inf if any fragment unbounded).
+  double Measure() const;
+
+  /// Smallest convex interval covering the set; empty interval if empty.
+  TimeInterval Span() const;
+
+  /// Least point of the set, if bounded below (undefined on empty; check
+  /// IsEmpty first). For an open lower bound this is the infimum.
+  double Min() const { return fragments_.front().lo(); }
+  /// Greatest point / supremum of the set (see Min()).
+  double Max() const { return fragments_.back().hi(); }
+
+  bool operator==(const IntervalSet& other) const {
+    return fragments_ == other.fragments_;
+  }
+  bool operator!=(const IntervalSet& other) const { return !(*this == other); }
+
+  /// e.g. "[0, 5) u {7} u (9, +inf)"; "{}" when empty.
+  std::string ToString() const;
+
+ private:
+  std::vector<TimeInterval> fragments_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_CONSTRAINT_INTERVAL_SET_H_

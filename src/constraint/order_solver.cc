@@ -1,0 +1,361 @@
+#include "src/constraint/order_solver.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+namespace {
+
+// Reachability strength in the order graph.
+enum Strength : uint8_t { kNone = 0, kWeak = 1, kStrict = 2 };
+
+// The order graph of a conjunction: one node per variable and per distinct
+// constant, weak (<=) and strict (<) edges, plus recorded disequalities.
+class OrderGraph {
+ public:
+  explicit OrderGraph(const OrderConjunction& conjunction) {
+    // Intern nodes.
+    for (const OrderAtom& atom : conjunction) {
+      Intern(atom.lhs);
+      Intern(atom.rhs);
+    }
+    EnsureIds();
+    size_t n = NodeCount();
+    reach_.assign(n, std::vector<uint8_t>(n, kNone));
+    for (size_t i = 0; i < n; ++i) reach_[i][i] = kWeak;
+
+    // Order edges between consecutive distinct constants.
+    std::vector<std::pair<double, int>> consts(const_node_.begin(),
+                                               const_node_.end());
+    for (size_t i = 0; i + 1 < consts.size(); ++i) {
+      AddEdge(consts[i].second, consts[i + 1].second, kStrict);
+    }
+
+    for (const OrderAtom& atom : conjunction) {
+      int a = Node(atom.lhs);
+      int b = Node(atom.rhs);
+      switch (atom.op) {
+        case CompareOp::kLe:
+          AddEdge(a, b, kWeak);
+          break;
+        case CompareOp::kLt:
+          AddEdge(a, b, kStrict);
+          break;
+        case CompareOp::kGe:
+          AddEdge(b, a, kWeak);
+          break;
+        case CompareOp::kGt:
+          AddEdge(b, a, kStrict);
+          break;
+        case CompareOp::kEq:
+          AddEdge(a, b, kWeak);
+          AddEdge(b, a, kWeak);
+          break;
+        case CompareOp::kNe:
+          disequalities_.emplace_back(a, b);
+          break;
+      }
+    }
+    Close();
+  }
+
+  /// Floyd-Warshall closure; a path is strict if any edge on it is strict.
+  void Close() {
+    size_t n = NodeCount();
+    for (size_t k = 0; k < n; ++k) {
+      for (size_t i = 0; i < n; ++i) {
+        if (reach_[i][k] == kNone) continue;
+        for (size_t j = 0; j < n; ++j) {
+          if (reach_[k][j] == kNone) continue;
+          uint8_t via = std::max(reach_[i][k], reach_[k][j]);
+          if (via > reach_[i][j]) reach_[i][j] = via;
+        }
+      }
+    }
+  }
+
+  bool Satisfiable() const {
+    size_t n = NodeCount();
+    // A strict cycle (x < ... <= x) is a contradiction in any order.
+    for (size_t i = 0; i < n; ++i) {
+      if (reach_[i][i] == kStrict) return false;
+    }
+    // x != y while x and y are forced equal (mutual weak reachability).
+    for (const auto& [a, b] : disequalities_) {
+      if (a == b) return false;  // x != x
+      if (reach_[a][b] >= kWeak && reach_[b][a] >= kWeak) return false;
+    }
+    return true;
+  }
+
+  int NodeOf(const OrderTerm& t) const {
+    if (t.is_var()) {
+      auto it = var_node_.find(t.variable);
+      return it == var_node_.end() ? -1 : it->second;
+    }
+    auto it = const_node_.find(t.constant);
+    return it == const_node_.end() ? -1 : it->second;
+  }
+
+  size_t NodeCount() const { return var_node_.size() + const_node_.size(); }
+
+  Strength Reach(int a, int b) const { return Strength(reach_[a][b]); }
+
+  const std::map<int, int>& var_nodes() const { return var_node_; }
+  const std::map<double, int>& const_nodes() const { return const_node_; }
+  const std::vector<std::pair<int, int>>& disequalities() const {
+    return disequalities_;
+  }
+
+ private:
+  void Intern(const OrderTerm& t) {
+    if (t.is_var()) {
+      var_node_.emplace(t.variable, 0);
+    } else {
+      const_node_.emplace(t.constant, 0);
+    }
+  }
+
+  int Node(const OrderTerm& t) { return NodeOf(t); }
+
+  void EnsureIds() {
+    if (ids_assigned_) return;
+    int next = 0;
+    for (auto& [var, id] : var_node_) id = next++;
+    for (auto& [c, id] : const_node_) id = next++;
+    ids_assigned_ = true;
+  }
+
+  void AddEdge(int a, int b, Strength s) {
+    if (s > reach_[a][b]) reach_[a][b] = s;
+  }
+
+  std::map<int, int> var_node_;
+  std::map<double, int> const_node_;
+  std::vector<std::vector<uint8_t>> reach_;
+  std::vector<std::pair<int, int>> disequalities_;
+  bool ids_assigned_ = false;
+};
+
+}  // namespace
+
+std::string OrderTerm::ToString() const {
+  if (is_var()) return "x" + std::to_string(variable);
+  return FormatDouble(constant);
+}
+
+std::string OrderAtom::ToString() const {
+  return lhs.ToString() + " " + CompareOpToString(op) + " " + rhs.ToString();
+}
+
+std::string ToString(const OrderConjunction& conjunction) {
+  if (conjunction.empty()) return "true";
+  return JoinMapped(conjunction, " and ",
+                    [](const OrderAtom& a) { return a.ToString(); });
+}
+
+bool OrderSolver::Satisfiable(const OrderConjunction& conjunction) {
+  // The node-id assignment in OrderGraph requires a first pass; constructing
+  // the graph performs interning, id assignment, edge insertion and closure.
+  OrderGraph graph(conjunction);
+  return graph.Satisfiable();
+}
+
+bool OrderSolver::Entails(const OrderConjunction& conjunction,
+                          const OrderAtom& atom) {
+  OrderConjunction with_negation = conjunction;
+  with_negation.push_back(atom.Negated());
+  return !Satisfiable(with_negation);
+}
+
+bool OrderSolver::EntailsAll(const OrderConjunction& conjunction,
+                             const OrderConjunction& atoms) {
+  for (const OrderAtom& atom : atoms) {
+    if (!Entails(conjunction, atom)) return false;
+  }
+  return true;
+}
+
+Result<bool> OrderSolver::EntailsDnf(const OrderConjunction& conjunction,
+                                     const OrderDnf& dnf, size_t max_branches) {
+  // conjunction => (C1 or ... or Ck)  iff
+  // conjunction and not(C1) and ... and not(Ck) is unsatisfiable.
+  // Each not(Ci) is a disjunction of negated atoms; distribute into branches.
+  size_t branches = 1;
+  for (const OrderConjunction& disjunct : dnf) {
+    if (disjunct.empty()) return true;  // an empty disjunct is `true`
+    branches *= disjunct.size();
+    if (branches > max_branches) {
+      return Status::ResourceExhausted(
+          "DNF entailment distribution exceeds " +
+          std::to_string(max_branches) + " branches");
+    }
+  }
+  if (dnf.empty()) {
+    // Empty disjunction is `false`; entailed only if conjunction is unsat.
+    return !Satisfiable(conjunction);
+  }
+
+  std::vector<size_t> choice(dnf.size(), 0);
+  while (true) {
+    OrderConjunction branch = conjunction;
+    for (size_t i = 0; i < dnf.size(); ++i) {
+      branch.push_back(dnf[i][choice[i]].Negated());
+    }
+    if (Satisfiable(branch)) return false;
+    // Next combination.
+    size_t i = 0;
+    while (i < dnf.size()) {
+      if (++choice[i] < dnf[i].size()) break;
+      choice[i] = 0;
+      ++i;
+    }
+    if (i == dnf.size()) break;
+  }
+  return true;
+}
+
+bool OrderSolver::SatisfiableDnf(const OrderDnf& dnf) {
+  for (const OrderConjunction& disjunct : dnf) {
+    if (Satisfiable(disjunct)) return true;
+  }
+  return false;
+}
+
+Result<std::vector<std::pair<int, double>>> OrderSolver::Solve(
+    const OrderConjunction& conjunction) {
+  OrderGraph graph(conjunction);
+  if (!graph.Satisfiable()) {
+    return Status::NotFound("conjunction is unsatisfiable");
+  }
+
+  size_t n = graph.NodeCount();
+  // Merge mutually weakly reachable nodes into classes.
+  std::vector<int> cls(n, -1);
+  int num_classes = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (cls[i] >= 0) continue;
+    cls[i] = num_classes;
+    for (size_t j = i + 1; j < n; ++j) {
+      if (graph.Reach(int(i), int(j)) >= kWeak &&
+          graph.Reach(int(j), int(i)) >= kWeak) {
+        cls[j] = num_classes;
+      }
+    }
+    ++num_classes;
+  }
+
+  // Per-class constant value (if the class contains a constant), and
+  // constant lower/upper bounds induced by reachability from/to constants.
+  std::vector<double> fixed(num_classes, std::numeric_limits<double>::quiet_NaN());
+  for (const auto& [value, node] : graph.const_nodes()) {
+    fixed[cls[node]] = value;
+  }
+  std::vector<double> lower(num_classes, -std::numeric_limits<double>::infinity());
+  std::vector<double> upper(num_classes, std::numeric_limits<double>::infinity());
+  for (const auto& [value, node] : graph.const_nodes()) {
+    for (size_t j = 0; j < n; ++j) {
+      if (graph.Reach(node, int(j)) != kNone && cls[node] != cls[j]) {
+        lower[cls[j]] = std::max(lower[cls[j]], value);
+      }
+      if (graph.Reach(int(j), node) != kNone && cls[node] != cls[j]) {
+        upper[cls[j]] = std::min(upper[cls[j]], value);
+      }
+    }
+  }
+
+  // Topological order of classes by reachability (classes form a DAG).
+  std::vector<int> order;
+  std::vector<bool> placed(num_classes, false);
+  // Pick representative node per class.
+  std::vector<int> rep(num_classes, -1);
+  for (size_t i = 0; i < n; ++i) {
+    if (rep[cls[i]] < 0) rep[cls[i]] = int(i);
+  }
+  while (int(order.size()) < num_classes) {
+    for (int c = 0; c < num_classes; ++c) {
+      if (placed[c]) continue;
+      bool ready = true;
+      for (int d = 0; d < num_classes; ++d) {
+        if (d == c || placed[d]) continue;
+        if (graph.Reach(rep[d], rep[c]) != kNone) {
+          ready = false;
+          break;
+        }
+      }
+      if (ready) {
+        order.push_back(c);
+        placed[c] = true;
+      }
+    }
+  }
+
+  // Disequality partners per class (forced-equal nodes share a class, so a
+  // satisfiable conjunction never has a disequality within one class).
+  std::vector<std::vector<int>> diseq(num_classes);
+  for (const auto& [a, b] : graph.disequalities()) {
+    diseq[cls[a]].push_back(cls[b]);
+    diseq[cls[b]].push_back(cls[a]);
+  }
+
+  // Assign values in topological order: constants keep their value; free
+  // classes are placed strictly between their effective bounds (dense order
+  // guarantees room), avoiding the finitely many values their disequality
+  // partners already hold.
+  std::vector<double> value(num_classes, 0);
+  std::vector<bool> assigned(num_classes, false);
+  for (int c : order) {
+    if (!std::isnan(fixed[c])) {
+      value[c] = fixed[c];
+      assigned[c] = true;
+      continue;
+    }
+    double lo = lower[c];
+    double hi = upper[c];
+    for (int d = 0; d < num_classes; ++d) {
+      if (!assigned[d] || d == c) continue;
+      if (graph.Reach(rep[d], rep[c]) != kNone) lo = std::max(lo, value[d]);
+      if (graph.Reach(rep[c], rep[d]) != kNone) hi = std::min(hi, value[d]);
+    }
+    double v;
+    if (std::isinf(lo) && std::isinf(hi)) {
+      v = 0;
+    } else if (std::isinf(hi)) {
+      v = lo + 1;
+    } else if (std::isinf(lo)) {
+      v = hi - 1;
+    } else {
+      v = (lo + hi) / 2;
+    }
+    auto is_forbidden = [&](double candidate) {
+      for (int d : diseq[c]) {
+        if (!std::isnan(fixed[d]) && fixed[d] == candidate) return true;
+        if (assigned[d] && value[d] == candidate) return true;
+      }
+      return false;
+    };
+    // Nudge strictly upward inside the bound; the forbidden set is finite,
+    // so this terminates.
+    while (is_forbidden(v)) {
+      v = std::isinf(hi) ? v + 1 : (v + hi) / 2;
+    }
+    value[c] = v;
+    assigned[c] = true;
+  }
+
+  std::vector<std::pair<int, double>> solution;
+  for (const auto& [var, node] : graph.var_nodes()) {
+    solution.emplace_back(var, value[cls[node]]);
+  }
+  return solution;
+}
+
+}  // namespace vqldb

@@ -1,0 +1,98 @@
+// Dense linear order inequality constraints (Def. 2): formulas x op y and
+// x op c over variables interpreted in a countably infinite dense order,
+// with op in {=, <, <=, !=, >=, >} and no arithmetic.
+//
+// This module decides satisfiability and entailment of conjunctions (and
+// small DNFs) of such constraints. The decision procedure builds the order
+// graph over variables and mentioned constants, computes <=-reachability,
+// and checks for cycles through strict edges, violated disequalities and
+// merged distinct constants — the classic polynomial procedure for dense
+// orders (cf. [18, 19] in the paper).
+
+#ifndef VQLDB_CONSTRAINT_ORDER_SOLVER_H_
+#define VQLDB_CONSTRAINT_ORDER_SOLVER_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraint/compare_op.h"
+
+namespace vqldb {
+
+/// A term of an order constraint: a variable (id) or a constant (value).
+struct OrderTerm {
+  enum class Kind { kVariable, kConstant };
+  Kind kind;
+  int variable = 0;    // valid iff kind == kVariable
+  double constant = 0;  // valid iff kind == kConstant
+
+  static OrderTerm Var(int id) {
+    return OrderTerm{Kind::kVariable, id, 0};
+  }
+  static OrderTerm Const(double v) {
+    return OrderTerm{Kind::kConstant, 0, v};
+  }
+  bool is_var() const { return kind == Kind::kVariable; }
+  std::string ToString() const;
+};
+
+/// A primitive dense-order constraint `lhs op rhs`.
+struct OrderAtom {
+  OrderTerm lhs;
+  CompareOp op;
+  OrderTerm rhs;
+
+  /// The negated atom (dense orders are total, so every negation is again a
+  /// primitive constraint).
+  OrderAtom Negated() const { return OrderAtom{lhs, Negate(op), rhs}; }
+  std::string ToString() const;
+};
+
+/// A conjunction of primitive constraints.
+using OrderConjunction = std::vector<OrderAtom>;
+
+/// A disjunction of conjunctions (DNF).
+using OrderDnf = std::vector<OrderConjunction>;
+
+/// Decision procedures over dense-order constraint formulas.
+class OrderSolver {
+ public:
+  /// Satisfiability of a conjunction: is there an assignment of the variables
+  /// to points of a dense order (containing the mentioned constants with the
+  /// standard order) satisfying every atom?
+  static bool Satisfiable(const OrderConjunction& conjunction);
+
+  /// Entailment of a single atom: conjunction => atom, i.e. every solution of
+  /// the conjunction satisfies the atom. Decided as
+  /// unsat(conjunction and not(atom)). An unsatisfiable conjunction entails
+  /// everything.
+  static bool Entails(const OrderConjunction& conjunction, const OrderAtom& atom);
+
+  /// Entailment of a conjunction: all atoms entailed.
+  static bool EntailsAll(const OrderConjunction& conjunction,
+                         const OrderConjunction& atoms);
+
+  /// Entailment of a DNF: conjunction => (d1 or d2 or ...). Decided as
+  /// unsat(conjunction and not(d1) and not(d2) ...), distributing the negated
+  /// disjuncts. `max_branches` caps the distribution blow-up; exceeding it
+  /// returns ResourceExhausted.
+  static Result<bool> EntailsDnf(const OrderConjunction& conjunction,
+                                 const OrderDnf& dnf,
+                                 size_t max_branches = 1u << 16);
+
+  /// Satisfiability of a DNF (any disjunct satisfiable).
+  static bool SatisfiableDnf(const OrderDnf& dnf);
+
+  /// Produces one concrete solution of a satisfiable conjunction (variable id
+  /// -> value); NotFound if unsatisfiable. Useful for testing and debugging.
+  static Result<std::vector<std::pair<int, double>>> Solve(
+      const OrderConjunction& conjunction);
+};
+
+/// Renders "x0 < x1 and x1 <= 3" style text.
+std::string ToString(const OrderConjunction& conjunction);
+
+}  // namespace vqldb
+
+#endif  // VQLDB_CONSTRAINT_ORDER_SOLVER_H_

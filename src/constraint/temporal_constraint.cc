@@ -1,0 +1,185 @@
+#include "src/constraint/temporal_constraint.h"
+
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+TemporalConstraint TemporalConstraint::True() {
+  TemporalConstraint c;
+  c.kind_ = Kind::kTrue;
+  return c;
+}
+
+TemporalConstraint TemporalConstraint::False() {
+  TemporalConstraint c;
+  c.kind_ = Kind::kFalse;
+  return c;
+}
+
+TemporalConstraint TemporalConstraint::Atom(CompareOp op, double constant) {
+  TemporalConstraint c;
+  c.kind_ = Kind::kAtom;
+  c.op_ = op;
+  c.constant_ = constant;
+  return c;
+}
+
+TemporalConstraint TemporalConstraint::And(
+    std::vector<TemporalConstraint> children) {
+  if (children.empty()) return True();
+  if (children.size() == 1) return std::move(children.front());
+  TemporalConstraint c;
+  c.kind_ = Kind::kAnd;
+  c.children_ = std::move(children);
+  return c;
+}
+
+TemporalConstraint TemporalConstraint::Or(
+    std::vector<TemporalConstraint> children) {
+  if (children.empty()) return False();
+  if (children.size() == 1) return std::move(children.front());
+  TemporalConstraint c;
+  c.kind_ = Kind::kOr;
+  c.children_ = std::move(children);
+  return c;
+}
+
+TemporalConstraint TemporalConstraint::ClosedInterval(double lo, double hi) {
+  return And({Atom(CompareOp::kGe, lo), Atom(CompareOp::kLe, hi)});
+}
+
+TemporalConstraint TemporalConstraint::FromIntervalSet(const IntervalSet& set) {
+  std::vector<TemporalConstraint> disjuncts;
+  for (const TimeInterval& iv : set.fragments()) {
+    std::vector<TemporalConstraint> conj;
+    if (!iv.lo_unbounded() && iv.lo() == iv.hi()) {
+      disjuncts.push_back(Atom(CompareOp::kEq, iv.lo()));
+      continue;
+    }
+    if (!iv.lo_unbounded()) {
+      conj.push_back(Atom(iv.lo_open() ? CompareOp::kGt : CompareOp::kGe, iv.lo()));
+    }
+    if (!iv.hi_unbounded()) {
+      conj.push_back(Atom(iv.hi_open() ? CompareOp::kLt : CompareOp::kLe, iv.hi()));
+    }
+    disjuncts.push_back(And(std::move(conj)));
+  }
+  return Or(std::move(disjuncts));
+}
+
+IntervalSet TemporalConstraint::ToIntervalSet() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return IntervalSet::All();
+    case Kind::kFalse:
+      return IntervalSet::Empty();
+    case Kind::kAtom:
+      switch (op_) {
+        case CompareOp::kLt:
+          return IntervalSet({TimeInterval::AtMost(constant_, /*open=*/true)});
+        case CompareOp::kLe:
+          return IntervalSet({TimeInterval::AtMost(constant_, /*open=*/false)});
+        case CompareOp::kEq:
+          return IntervalSet({TimeInterval::Point(constant_)});
+        case CompareOp::kNe:
+          return IntervalSet({TimeInterval::Point(constant_)}).Complement();
+        case CompareOp::kGe:
+          return IntervalSet({TimeInterval::AtLeast(constant_, /*open=*/false)});
+        case CompareOp::kGt:
+          return IntervalSet({TimeInterval::AtLeast(constant_, /*open=*/true)});
+      }
+      return IntervalSet::Empty();
+    case Kind::kAnd: {
+      IntervalSet acc = IntervalSet::All();
+      for (const TemporalConstraint& child : children_) {
+        acc = acc.Intersect(child.ToIntervalSet());
+        if (acc.IsEmpty()) break;
+      }
+      return acc;
+    }
+    case Kind::kOr: {
+      IntervalSet acc;
+      for (const TemporalConstraint& child : children_) {
+        acc = acc.Union(child.ToIntervalSet());
+      }
+      return acc;
+    }
+  }
+  return IntervalSet::Empty();
+}
+
+TemporalConstraint TemporalConstraint::Negation() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return False();
+    case Kind::kFalse:
+      return True();
+    case Kind::kAtom:
+      return Atom(Negate(op_), constant_);
+    case Kind::kAnd: {
+      std::vector<TemporalConstraint> negs;
+      negs.reserve(children_.size());
+      for (const TemporalConstraint& child : children_) {
+        negs.push_back(child.Negation());
+      }
+      return Or(std::move(negs));
+    }
+    case Kind::kOr: {
+      std::vector<TemporalConstraint> negs;
+      negs.reserve(children_.size());
+      for (const TemporalConstraint& child : children_) {
+        negs.push_back(child.Negation());
+      }
+      return And(std::move(negs));
+    }
+  }
+  return False();
+}
+
+std::string TemporalConstraint::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "true";
+    case Kind::kFalse:
+      return "false";
+    case Kind::kAtom:
+      return std::string("t ") + CompareOpToString(op_) + " " +
+             FormatDouble(constant_);
+    case Kind::kAnd:
+    case Kind::kOr: {
+      const char* sep = kind_ == Kind::kAnd ? " and " : " or ";
+      std::string body =
+          JoinMapped(children_, sep, [this](const TemporalConstraint& c) {
+            // Parenthesize child disjunctions inside conjunctions and vice
+            // versa to keep the output unambiguous.
+            if (c.kind_ == Kind::kAnd || c.kind_ == Kind::kOr) {
+              return "(" + c.ToString() + ")";
+            }
+            return c.ToString();
+          });
+      return body;
+    }
+  }
+  return "?";
+}
+
+size_t TemporalConstraint::AtomCount() const {
+  switch (kind_) {
+    case Kind::kTrue:
+    case Kind::kFalse:
+      return 0;
+    case Kind::kAtom:
+      return 1;
+    case Kind::kAnd:
+    case Kind::kOr: {
+      size_t n = 0;
+      for (const TemporalConstraint& c : children_) n += c.AtomCount();
+      return n;
+    }
+  }
+  return 0;
+}
+
+}  // namespace vqldb

@@ -1,0 +1,87 @@
+// TemporalConstraint: the constraint language C~ of the paper (Section 5.2) —
+// primitive atoms `t op c` over a single implicit time variable t, closed
+// under conjunction and disjunction. These formulas are the values of the
+// `duration` attribute of generalized-interval objects.
+//
+// The canonical semantics of a formula is an IntervalSet; satisfiability and
+// entailment reduce to non-emptiness and inclusion of the denoted point sets
+// (the point-based approach of [39] the paper adopts).
+
+#ifndef VQLDB_CONSTRAINT_TEMPORAL_CONSTRAINT_H_
+#define VQLDB_CONSTRAINT_TEMPORAL_CONSTRAINT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/constraint/compare_op.h"
+#include "src/constraint/interval_set.h"
+
+namespace vqldb {
+
+/// A formula of C~ as an explicit syntax tree. Value-semantic.
+class TemporalConstraint {
+ public:
+  enum class Kind { kTrue, kFalse, kAtom, kAnd, kOr };
+
+  /// The formula `true` (denotes the whole time line).
+  static TemporalConstraint True();
+  /// The formula `false` (denotes the empty set).
+  static TemporalConstraint False();
+  /// The primitive constraint `t op c`.
+  static TemporalConstraint Atom(CompareOp op, double c);
+  /// Conjunction / disjunction of subformulas (empty And is true, empty Or is
+  /// false).
+  static TemporalConstraint And(std::vector<TemporalConstraint> children);
+  static TemporalConstraint Or(std::vector<TemporalConstraint> children);
+
+  /// Convenience: the paper's closed-interval pattern `t >= lo and t <= hi`.
+  static TemporalConstraint ClosedInterval(double lo, double hi);
+
+  /// Builds the minimal formula denoting exactly `set` (a disjunction over
+  /// fragments, each fragment a conjunction of at most two atoms).
+  static TemporalConstraint FromIntervalSet(const IntervalSet& set);
+
+  TemporalConstraint() : kind_(Kind::kTrue) {}
+
+  Kind kind() const { return kind_; }
+  CompareOp op() const { return op_; }
+  double constant() const { return constant_; }
+  const std::vector<TemporalConstraint>& children() const { return children_; }
+
+  /// The denoted point set.
+  IntervalSet ToIntervalSet() const;
+
+  /// Satisfiability: does some time point satisfy the formula?
+  bool Satisfiable() const { return !ToIntervalSet().IsEmpty(); }
+
+  /// Entailment `this => other`: every point satisfying `this` satisfies
+  /// `other`. (Equivalently: this and not(other) unsatisfiable.)
+  bool Entails(const TemporalConstraint& other) const {
+    return ToIntervalSet().SubsetOf(other.ToIntervalSet());
+  }
+
+  /// Semantic equivalence (same denoted point set).
+  bool EquivalentTo(const TemporalConstraint& other) const {
+    return ToIntervalSet() == other.ToIntervalSet();
+  }
+
+  /// Logical negation, pushed to atoms (no explicit Not node is needed since
+  /// every primitive has a primitive negation over a dense order).
+  TemporalConstraint Negation() const;
+
+  /// Surface syntax, e.g. "(t > 1 and t < 5) or t = 7".
+  std::string ToString() const;
+
+  /// Number of atoms in the tree.
+  size_t AtomCount() const;
+
+ private:
+  Kind kind_;
+  CompareOp op_ = CompareOp::kEq;  // valid iff kind_ == kAtom
+  double constant_ = 0;            // valid iff kind_ == kAtom
+  std::vector<TemporalConstraint> children_;  // valid iff kAnd / kOr
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_CONSTRAINT_TEMPORAL_CONSTRAINT_H_

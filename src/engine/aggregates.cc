@@ -1,0 +1,96 @@
+#include "src/engine/aggregates.h"
+
+#include <set>
+
+namespace vqldb {
+namespace aggregates {
+
+namespace {
+
+Status CheckColumn(const QueryResult& result, size_t column) {
+  if (column >= result.columns.size()) {
+    return Status::OutOfRange("column " + std::to_string(column) +
+                              " out of range (result has " +
+                              std::to_string(result.columns.size()) +
+                              " columns)");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+size_t Count(const QueryResult& result) { return result.rows.size(); }
+
+Result<size_t> CountDistinct(const QueryResult& result, size_t column) {
+  VQLDB_RETURN_NOT_OK(CheckColumn(result, column));
+  std::set<Value> seen;
+  for (const auto& row : result.rows) seen.insert(row[column]);
+  return seen.size();
+}
+
+Result<std::map<Value, size_t>> GroupCount(const QueryResult& result,
+                                           size_t column) {
+  VQLDB_RETURN_NOT_OK(CheckColumn(result, column));
+  std::map<Value, size_t> groups;
+  for (const auto& row : result.rows) ++groups[row[column]];
+  return groups;
+}
+
+Result<double> Sum(const QueryResult& result, size_t column) {
+  VQLDB_RETURN_NOT_OK(CheckColumn(result, column));
+  double total = 0;
+  for (const auto& row : result.rows) {
+    VQLDB_ASSIGN_OR_RETURN(double v, row[column].AsDouble());
+    total += v;
+  }
+  return total;
+}
+
+Result<Value> Min(const QueryResult& result, size_t column) {
+  VQLDB_RETURN_NOT_OK(CheckColumn(result, column));
+  if (result.rows.empty()) return Status::NotFound("empty result");
+  // Rows are sorted lexicographically, but not by an arbitrary column; scan.
+  const Value* best = &result.rows.front()[column];
+  for (const auto& row : result.rows) {
+    if (row[column].Compare(*best) < 0) best = &row[column];
+  }
+  return *best;
+}
+
+Result<Value> Max(const QueryResult& result, size_t column) {
+  VQLDB_RETURN_NOT_OK(CheckColumn(result, column));
+  if (result.rows.empty()) return Status::NotFound("empty result");
+  const Value* best = &result.rows.front()[column];
+  for (const auto& row : result.rows) {
+    if (row[column].Compare(*best) > 0) best = &row[column];
+  }
+  return *best;
+}
+
+Result<double> TotalDuration(const VideoDatabase& db,
+                             const QueryResult& result, size_t column) {
+  VQLDB_RETURN_NOT_OK(CheckColumn(result, column));
+  IntervalSet all;
+  for (const auto& row : result.rows) {
+    const Value& v = row[column];
+    if (!v.is_oid() || !db.IsInterval(v.oid_value())) {
+      return Status::TypeError("column " + result.columns[column] +
+                               " holds non-interval value " + v.ToString());
+    }
+    VQLDB_ASSIGN_OR_RETURN(IntervalSet duration,
+                           db.DurationOf(v.oid_value()));
+    all = all.Union(duration);
+  }
+  return all.Measure();
+}
+
+Result<size_t> ColumnIndex(const QueryResult& result,
+                           const std::string& name) {
+  for (size_t i = 0; i < result.columns.size(); ++i) {
+    if (result.columns[i] == name) return i;
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+}  // namespace aggregates
+}  // namespace vqldb

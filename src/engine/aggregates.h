@@ -1,0 +1,51 @@
+// Aggregation over query answers — the paper's Section 7 future-work
+// direction ("abstraction mechanisms such as classification, aggregation,
+// and generalization") realized as library-level reductions over
+// QueryResult. The rule language itself stays pure (positive Datalog with
+// constraints); aggregates post-process answer sets.
+
+#ifndef VQLDB_ENGINE_AGGREGATES_H_
+#define VQLDB_ENGINE_AGGREGATES_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/engine/query.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+namespace aggregates {
+
+/// Number of answer rows (already distinct — answer sets are sets).
+size_t Count(const QueryResult& result);
+
+/// Number of distinct values in `column`. OutOfRange on a bad column.
+Result<size_t> CountDistinct(const QueryResult& result, size_t column);
+
+/// Per-value row counts of `column`, keyed by the value.
+Result<std::map<Value, size_t>> GroupCount(const QueryResult& result,
+                                           size_t column);
+
+/// Sum of a numeric column (TypeError when a value is not numeric).
+Result<double> Sum(const QueryResult& result, size_t column);
+
+/// Smallest / largest value of a column under the model's total order;
+/// NotFound on an empty result.
+Result<Value> Min(const QueryResult& result, size_t column);
+Result<Value> Max(const QueryResult& result, size_t column);
+
+/// Total play time (sum of duration measures) of the interval objects in
+/// `column`, counting overlapping time once (pointwise union). TypeError on
+/// non-interval values.
+Result<double> TotalDuration(const VideoDatabase& db,
+                             const QueryResult& result, size_t column);
+
+/// Resolves a column name to its index; NotFound for unknown names.
+Result<size_t> ColumnIndex(const QueryResult& result,
+                           const std::string& name);
+
+}  // namespace aggregates
+}  // namespace vqldb
+
+#endif  // VQLDB_ENGINE_AGGREGATES_H_

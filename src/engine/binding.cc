@@ -1,0 +1,34 @@
+#include "src/engine/binding.h"
+
+namespace vqldb {
+
+Result<Value> ResolveConst(const ConstExpr& expr, const VideoDatabase& db) {
+  switch (expr.kind) {
+    case ConstExpr::Kind::kInt:
+      return Value::Int(expr.int_value);
+    case ConstExpr::Kind::kDouble:
+      return Value::Double(expr.double_value);
+    case ConstExpr::Kind::kString:
+      return Value::String(expr.text);
+    case ConstExpr::Kind::kBool:
+      return Value::Bool(expr.bool_value);
+    case ConstExpr::Kind::kSymbol: {
+      VQLDB_ASSIGN_OR_RETURN(ObjectId id, db.Resolve(expr.text));
+      return Value::Oid(id);
+    }
+    case ConstExpr::Kind::kSet: {
+      std::vector<Value> elements;
+      elements.reserve(expr.elements.size());
+      for (const ConstExpr& e : expr.elements) {
+        VQLDB_ASSIGN_OR_RETURN(Value v, ResolveConst(e, db));
+        elements.push_back(std::move(v));
+      }
+      return Value::Set(std::move(elements));
+    }
+    case ConstExpr::Kind::kTemporal:
+      return Value::Temporal(expr.temporal.ToIntervalSet());
+  }
+  return Status::Internal("unhandled ConstExpr kind");
+}
+
+}  // namespace vqldb

@@ -1,0 +1,51 @@
+// Valuations (Def. 15): partial assignments of variables to values built up
+// during rule evaluation, plus resolution of parse-time constants and terms
+// to model Values against a database's symbol table.
+
+#ifndef VQLDB_ENGINE_BINDING_H_
+#define VQLDB_ENGINE_BINDING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lang/ast.h"
+#include "src/model/database.h"
+#include "src/model/value.h"
+
+namespace vqldb {
+
+/// A partial valuation over a fixed, pre-numbered variable set (the rule
+/// compiler numbers each rule's variables densely). Bind/unbind are O(1),
+/// which matters in the backtracking join loop.
+class BindingEnv {
+ public:
+  explicit BindingEnv(size_t num_vars)
+      : values_(num_vars), bound_(num_vars, false) {}
+
+  bool IsBound(int var) const { return bound_[static_cast<size_t>(var)]; }
+
+  const Value& Get(int var) const { return values_[static_cast<size_t>(var)]; }
+
+  void Bind(int var, Value value) {
+    values_[static_cast<size_t>(var)] = std::move(value);
+    bound_[static_cast<size_t>(var)] = true;
+  }
+
+  void Unbind(int var) { bound_[static_cast<size_t>(var)] = false; }
+
+  size_t size() const { return values_.size(); }
+
+ private:
+  std::vector<Value> values_;
+  std::vector<bool> bound_;
+};
+
+/// Resolves a parse-time constant to a model Value. Symbols resolve through
+/// the database symbol table to oids; temporal constants normalize to their
+/// IntervalSet semantics; set literals resolve element-wise.
+Result<Value> ResolveConst(const ConstExpr& expr, const VideoDatabase& db);
+
+}  // namespace vqldb
+
+#endif  // VQLDB_ENGINE_BINDING_H_

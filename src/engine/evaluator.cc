@@ -1,0 +1,548 @@
+#include "src/engine/evaluator.h"
+
+#include <algorithm>
+
+#include "src/engine/binding.h"
+#include "src/lang/analyzer.h"
+
+namespace vqldb {
+
+Result<Evaluator> Evaluator::Make(VideoDatabase* db, std::vector<Rule> rules,
+                                  EvalOptions options) {
+  if (db == nullptr) {
+    return Status::InvalidArgument("database must not be null");
+  }
+  Evaluator eval(db, options);
+  std::map<std::string, size_t> arities;
+  for (Rule& rule : rules) {
+    VQLDB_RETURN_NOT_OK(Analyzer::CheckRule(rule, &arities));
+    VQLDB_ASSIGN_OR_RETURN(
+        CompiledRule compiled,
+        RuleCompiler::Compile(rule, *db, options.reorder_body));
+    eval.rules_.push_back(std::move(compiled));
+    eval.source_rules_.push_back(std::move(rule));
+  }
+  return eval;
+}
+
+Result<Interpretation> Evaluator::Edb() const {
+  Interpretation edb;
+  for (const std::string& relation : db_->RelationNames()) {
+    for (const Fact& fact : db_->FactsFor(relation)) {
+      edb.Add(fact);
+    }
+  }
+  return edb;
+}
+
+bool Evaluator::InClass(ObjectId id, BuiltinClass builtin) const {
+  switch (builtin) {
+    case BuiltinClass::kInterval:
+      return db_->IsInterval(id);
+    case BuiltinClass::kObject:
+      return db_->IsEntity(id);
+    case BuiltinClass::kAnyobject:
+      return db_->Exists(id);
+    case BuiltinClass::kNone:
+      return false;
+  }
+  return false;
+}
+
+std::vector<ObjectId> Evaluator::DomainOf(
+    BuiltinClass builtin, const std::vector<ObjectId>* interval_delta) {
+  switch (builtin) {
+    case BuiltinClass::kInterval:
+      if (interval_delta != nullptr) return *interval_delta;
+      return db_->AllIntervals();
+    case BuiltinClass::kObject:
+      return db_->Entities();
+    case BuiltinClass::kAnyobject: {
+      if (interval_delta != nullptr) return *interval_delta;
+      std::vector<ObjectId> out = db_->Entities();
+      std::vector<ObjectId> intervals = db_->AllIntervals();
+      out.insert(out.end(), intervals.begin(), intervals.end());
+      return out;
+    }
+    case BuiltinClass::kNone:
+      return {};
+  }
+  return {};
+}
+
+Status Evaluator::MaterializeExtendedDomain() {
+  // Def. 19: extend the current interval domain with all pairwise
+  // concatenations. Materializing registers each new object, so repeated
+  // calls converge to the closure under (+).
+  std::vector<ObjectId> snapshot = db_->AllIntervals();
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    for (size_t j = i + 1; j < snapshot.size(); ++j) {
+      Result<ObjectId> r = db_->Concatenate(snapshot[i], snapshot[j]);
+      if (!r.ok()) return r.status();
+      if (db_->derived_interval_count() > options_.max_facts) {
+        return Status::ResourceExhausted(
+            "extended active domain exceeds max_facts");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status Evaluator::ResolveOperand(const CompiledOperand& operand,
+                                 const BindingEnv& env, Value* out,
+                                 bool* defined) {
+  *defined = true;
+  switch (operand.kind) {
+    case CompiledOperand::Kind::kValue:
+    case CompiledOperand::Kind::kTemporal:
+      *out = operand.value;
+      return Status::OK();
+    case CompiledOperand::Kind::kVar:
+      *out = env.Get(operand.var);
+      return Status::OK();
+    case CompiledOperand::Kind::kAccess: {
+      Value base = operand.base_is_var ? env.Get(operand.var)
+                                       : operand.base_value;
+      if (!base.is_oid()) {
+        if (options_.strict_types) {
+          return Status::TypeError("attribute access on non-object value " +
+                                   base.ToString());
+        }
+        *defined = false;
+        return Status::OK();
+      }
+      auto obj = db_->GetObject(base.oid_value());
+      if (!obj.ok()) {
+        *defined = false;
+        return Status::OK();
+      }
+      const Value* v = (*obj)->FindAttribute(operand.attribute);
+      if (v == nullptr) {
+        *defined = false;  // undefined attribute: the constraint fails
+        return Status::OK();
+      }
+      *out = *v;
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled operand kind");
+}
+
+Status Evaluator::CheckConstraint(const CompiledConstraint& constraint,
+                                  const BindingEnv& env, bool* ok) {
+  ++stats_.constraint_checks;
+  *ok = false;
+  Value lhs, rhs;
+  bool lhs_defined = false, rhs_defined = false;
+  VQLDB_RETURN_NOT_OK(ResolveOperand(constraint.lhs, env, &lhs, &lhs_defined));
+  VQLDB_RETURN_NOT_OK(ResolveOperand(constraint.rhs, env, &rhs, &rhs_defined));
+  if (!lhs_defined || !rhs_defined) return Status::OK();  // *ok stays false
+
+  auto type_fail = [&](const std::string& message) -> Status {
+    if (options_.strict_types) {
+      return Status::TypeError(message + " in constraint " + constraint.source);
+    }
+    return Status::OK();  // *ok stays false
+  };
+
+  switch (constraint.kind) {
+    case ConstraintExpr::Kind::kCompare: {
+      if (constraint.op == CompareOp::kEq || constraint.op == CompareOp::kNe) {
+        *ok = EvalCompare(lhs.Compare(rhs), constraint.op, 0);
+        return Status::OK();
+      }
+      // Order comparisons require comparable sorts.
+      bool comparable = (lhs.is_numeric() && rhs.is_numeric()) ||
+                        (lhs.is_string() && rhs.is_string());
+      if (!comparable) {
+        return type_fail("order comparison between " + lhs.ToString() +
+                         " and " + rhs.ToString());
+      }
+      *ok = EvalCompare(lhs.Compare(rhs), constraint.op, 0);
+      return Status::OK();
+    }
+
+    case ConstraintExpr::Kind::kMembership: {
+      if (rhs.is_set()) {
+        auto r = rhs.SetContains(lhs);
+        *ok = r.ok() && *r;
+        return Status::OK();
+      }
+      if (rhs.is_temporal() && lhs.is_numeric()) {
+        auto t = lhs.AsDouble();
+        *ok = t.ok() && rhs.temporal_value().Contains(*t);
+        return Status::OK();
+      }
+      return type_fail("membership in non-set value " + rhs.ToString());
+    }
+
+    case ConstraintExpr::Kind::kSubset: {
+      if (lhs.is_set() && rhs.is_set()) {
+        auto r = lhs.SetSubsetOf(rhs);
+        *ok = r.ok() && *r;
+        return Status::OK();
+      }
+      if (lhs.is_temporal() && rhs.is_temporal()) {
+        *ok = lhs.temporal_value().SubsetOf(rhs.temporal_value());
+        return Status::OK();
+      }
+      return type_fail("subset between " + lhs.ToString() + " and " +
+                       rhs.ToString());
+    }
+
+    case ConstraintExpr::Kind::kEntails: {
+      // c1 => c2 over C~: inclusion of the denoted point sets (a constraint
+      // entails another iff c1 and not(c2) is unsatisfiable; Def. 2 remark).
+      if (lhs.is_temporal() && rhs.is_temporal()) {
+        *ok = lhs.temporal_value().SubsetOf(rhs.temporal_value());
+        return Status::OK();
+      }
+      return type_fail("entailment between non-temporal values " +
+                       lhs.ToString() + " and " + rhs.ToString());
+    }
+
+    case ConstraintExpr::Kind::kBefore:
+    case ConstraintExpr::Kind::kMeets:
+    case ConstraintExpr::Kind::kOverlaps: {
+      // Interval-operator constraints (the `equals, before, ...` operators
+      // of the related SQL-like languages, lifted to generalized intervals):
+      //   before:   every instant of lhs precedes every instant of rhs
+      //   meets:    sup(lhs) == inf(rhs)
+      //   overlaps: the extents share at least one instant.
+      if (!lhs.is_temporal() || !rhs.is_temporal()) {
+        return type_fail("temporal relation between non-temporal values " +
+                         lhs.ToString() + " and " + rhs.ToString());
+      }
+      const IntervalSet& a = lhs.temporal_value();
+      const IntervalSet& b = rhs.temporal_value();
+      if (constraint.kind == ConstraintExpr::Kind::kOverlaps) {
+        *ok = a.Overlaps(b);
+      } else if (a.IsEmpty() || b.IsEmpty()) {
+        *ok = false;
+      } else if (constraint.kind == ConstraintExpr::Kind::kBefore) {
+        *ok = a.Max() < b.Min() ||
+              (a.Max() == b.Min() &&
+               (a.fragments().back().hi_open() ||
+                b.fragments().front().lo_open()));
+      } else {  // kMeets
+        *ok = a.Max() == b.Min();
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled constraint kind");
+}
+
+Status Evaluator::EmitHead(const CompiledRule& rule, const BindingEnv& env,
+                           Interpretation* out) {
+  Fact fact;
+  fact.relation = rule.head_predicate;
+  fact.args.reserve(rule.head.size());
+  for (const CompiledHeadTerm& ht : rule.head) {
+    switch (ht.kind) {
+      case CompiledHeadTerm::Kind::kValue:
+        fact.args.push_back(ht.value);
+        break;
+      case CompiledHeadTerm::Kind::kVar:
+        fact.args.push_back(env.Get(ht.var));
+        break;
+      case CompiledHeadTerm::Kind::kConcat: {
+        ObjectId acc;
+        bool first = true;
+        for (const CompiledTerm& op : ht.concat_operands) {
+          const Value& v = op.is_var ? env.Get(op.var) : op.value;
+          if (!v.is_oid() || !db_->IsInterval(v.oid_value())) {
+            if (options_.strict_types) {
+              return Status::TypeError(
+                  "concatenation operand " + v.ToString() +
+                  " is not an interval object in rule " + rule.head_predicate);
+            }
+            return Status::OK();  // silently skip this valuation
+          }
+          if (first) {
+            acc = v.oid_value();
+            first = false;
+          } else {
+            size_t before = db_->derived_interval_count();
+            VQLDB_ASSIGN_OR_RETURN(acc, db_->Concatenate(acc, v.oid_value()));
+            stats_.intervals_created +=
+                db_->derived_interval_count() - before;
+          }
+        }
+        fact.args.push_back(Value::Oid(acc));
+        break;
+      }
+    }
+  }
+  ++stats_.rule_firings;
+  if (out->Add(std::move(fact))) ++stats_.derived_facts;
+  return Status::OK();
+}
+
+Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
+                            const Interpretation& full,
+                            const Interpretation* delta, int delta_pos,
+                            const std::vector<ObjectId>* interval_delta,
+                            BindingEnv* env, Interpretation* out) {
+  if (step_idx == rule.steps.size()) {
+    return EmitHead(rule, *env, out);
+  }
+  const CompiledStep& step = rule.steps[step_idx];
+  const CompiledLiteral& lit = step.literal;
+  bool restricted = delta_pos == static_cast<int>(step_idx);
+
+  // Checks the step's post-constraints and recurses on success.
+  auto proceed = [&]() -> Status {
+    for (const CompiledConstraint& c : step.post_constraints) {
+      bool ok = false;
+      VQLDB_RETURN_NOT_OK(CheckConstraint(c, *env, &ok));
+      if (!ok) return Status::OK();
+    }
+    return EvalSteps(rule, step_idx + 1, full, delta, delta_pos,
+                     interval_delta, env, out);
+  };
+
+  if (lit.builtin != BuiltinClass::kNone) {
+    const CompiledTerm& arg = lit.args[0];
+    const std::vector<ObjectId>* domain_delta =
+        (restricted && lit.builtin != BuiltinClass::kObject) ? interval_delta
+                                                             : nullptr;
+    if (!arg.is_var || env->IsBound(arg.var)) {
+      const Value& v = arg.is_var ? env->Get(arg.var) : arg.value;
+      if (!v.is_oid() || !InClass(v.oid_value(), lit.builtin)) {
+        return Status::OK();
+      }
+      if (domain_delta != nullptr &&
+          std::find(domain_delta->begin(), domain_delta->end(),
+                    v.oid_value()) == domain_delta->end()) {
+        return Status::OK();
+      }
+      return proceed();
+    }
+    for (ObjectId id : DomainOf(lit.builtin, domain_delta)) {
+      if (!InClass(id, lit.builtin)) continue;
+      env->Bind(arg.var, Value::Oid(id));
+      Status st = proceed();
+      env->Unbind(arg.var);
+      VQLDB_RETURN_NOT_OK(st);
+    }
+    return Status::OK();
+  }
+
+  // Concrete-domain predicate (Def. 1): evaluate as a computable check over
+  // the bound arguments.
+  if (options_.concrete_domain != nullptr &&
+      options_.concrete_domain->HasPredicate(
+          lit.predicate, static_cast<int>(lit.args.size()))) {
+    std::vector<DomainValue> args;
+    args.reserve(lit.args.size());
+    for (const CompiledTerm& arg : lit.args) {
+      const Value* v;
+      if (arg.is_var) {
+        if (!env->IsBound(arg.var)) {
+          return Status::EvaluationError(
+              "argument of concrete-domain predicate " + lit.predicate +
+              " is unbound; computable predicates cannot bind variables");
+        }
+        v = &env->Get(arg.var);
+      } else {
+        v = &arg.value;
+      }
+      if (v->is_numeric()) {
+        args.push_back(DomainValue::Number(*v->AsDouble()));
+      } else if (v->is_string()) {
+        args.push_back(DomainValue::String(v->string_value()));
+      } else {
+        if (options_.strict_types) {
+          return Status::TypeError("concrete-domain predicate " +
+                                   lit.predicate +
+                                   " applied to non-atomic value " +
+                                   v->ToString());
+        }
+        return Status::OK();  // non-atomic argument: the check fails
+      }
+    }
+    VQLDB_ASSIGN_OR_RETURN(bool holds,
+                           options_.concrete_domain->Evaluate(lit.predicate,
+                                                              args));
+    return holds ? proceed() : Status::OK();
+  }
+
+  // Relational literal: pick the candidate fact list, using an index on the
+  // first bound argument position when one exists.
+  const Interpretation& source = restricted ? *delta : full;
+  int index_pos = -1;
+  const Value* index_value = nullptr;
+  for (size_t i = 0; i < lit.args.size(); ++i) {
+    const CompiledTerm& arg = lit.args[i];
+    if (!arg.is_var) {
+      index_pos = static_cast<int>(i);
+      index_value = &arg.value;
+      break;
+    }
+    if (env->IsBound(arg.var)) {
+      index_pos = static_cast<int>(i);
+      index_value = &env->Get(arg.var);
+      break;
+    }
+  }
+
+  auto try_fact = [&](const Fact& fact) -> Status {
+    if (fact.args.size() != lit.args.size()) return Status::OK();
+    // Match arguments, recording bindings made here for backtracking.
+    int bound_here[16];
+    size_t num_bound = 0;
+    std::vector<int> overflow;
+    bool matched = true;
+    for (size_t i = 0; i < lit.args.size(); ++i) {
+      const CompiledTerm& arg = lit.args[i];
+      if (!arg.is_var) {
+        if (arg.value != fact.args[i]) {
+          matched = false;
+          break;
+        }
+      } else if (env->IsBound(arg.var)) {
+        if (env->Get(arg.var) != fact.args[i]) {
+          matched = false;
+          break;
+        }
+      } else {
+        env->Bind(arg.var, fact.args[i]);
+        if (num_bound < 16) {
+          bound_here[num_bound++] = arg.var;
+        } else {
+          overflow.push_back(arg.var);
+        }
+      }
+    }
+    Status st = matched ? proceed() : Status::OK();
+    for (size_t i = 0; i < num_bound; ++i) env->Unbind(bound_here[i]);
+    for (int v : overflow) env->Unbind(v);
+    return st;
+  };
+
+  if (index_pos >= 0) {
+    const std::vector<Fact>& facts = source.FactsFor(lit.predicate);
+    for (size_t fi : source.Lookup(lit.predicate,
+                                   static_cast<size_t>(index_pos),
+                                   *index_value)) {
+      VQLDB_RETURN_NOT_OK(try_fact(facts[fi]));
+    }
+  } else {
+    for (const Fact& fact : source.FactsFor(lit.predicate)) {
+      VQLDB_RETURN_NOT_OK(try_fact(fact));
+    }
+  }
+  return Status::OK();
+}
+
+Status Evaluator::EvalRule(const CompiledRule& rule, const Interpretation& full,
+                           const Interpretation* delta, int delta_pos,
+                           const std::vector<ObjectId>* interval_delta,
+                           Interpretation* out) {
+  BindingEnv env(rule.num_vars);
+  for (const CompiledConstraint& c : rule.ground_constraints) {
+    bool ok = false;
+    VQLDB_RETURN_NOT_OK(CheckConstraint(c, env, &ok));
+    if (!ok) return Status::OK();
+  }
+  return EvalSteps(rule, 0, full, delta, delta_pos, interval_delta, &env, out);
+}
+
+Result<Interpretation> Evaluator::ApplyOnce(
+    const Interpretation& interpretation) {
+  Interpretation out;
+  for (const Fact& f : interpretation.AllFacts()) out.Add(f);
+  // The database extract's ground facts are facts of the program, hence
+  // immediate consequences of any interpretation.
+  VQLDB_ASSIGN_OR_RETURN(Interpretation edb, Edb());
+  for (const Fact& f : edb.AllFacts()) out.Add(f);
+  if (options_.extended_active_domain) {
+    VQLDB_RETURN_NOT_OK(MaterializeExtendedDomain());
+  }
+  for (const CompiledRule& rule : rules_) {
+    VQLDB_RETURN_NOT_OK(EvalRule(rule, interpretation, nullptr, -1, nullptr,
+                                 &out));
+  }
+  return out;
+}
+
+Result<Interpretation> Evaluator::Fixpoint() {
+  stats_ = EvalStats{};
+  VQLDB_ASSIGN_OR_RETURN(Interpretation interp, Edb());
+
+  // Round 1: every rule, unrestricted.
+  Interpretation delta;
+  std::vector<ObjectId> interval_delta;
+  {
+    if (options_.extended_active_domain) {
+      VQLDB_RETURN_NOT_OK(MaterializeExtendedDomain());
+    }
+    size_t derived_before = db_->derived_interval_count();
+    Interpretation out;
+    for (const CompiledRule& rule : rules_) {
+      VQLDB_RETURN_NOT_OK(EvalRule(rule, interp, nullptr, -1, nullptr, &out));
+    }
+    for (const Fact& f : out.AllFacts()) {
+      if (interp.Add(f)) delta.Add(f);
+    }
+    const std::vector<ObjectId>& derived = db_->DerivedIntervals();
+    interval_delta.assign(derived.begin() + derived_before, derived.end());
+    ++stats_.iterations;
+  }
+
+  while (!delta.empty() || !interval_delta.empty()) {
+    if (stats_.iterations >= options_.max_iterations) {
+      return Status::EvaluationError(
+          "fixpoint did not converge within " +
+          std::to_string(options_.max_iterations) + " iterations");
+    }
+    if (interp.size() > options_.max_facts) {
+      return Status::ResourceExhausted(
+          "fixpoint exceeds max_facts = " + std::to_string(options_.max_facts));
+    }
+    if (options_.extended_active_domain) {
+      // Materialization itself grows the domain; deltas cannot track it
+      // faithfully, so extended-domain evaluation always runs naive rounds.
+      VQLDB_RETURN_NOT_OK(MaterializeExtendedDomain());
+    }
+
+    size_t derived_before = db_->derived_interval_count();
+    Interpretation out;
+    if (options_.semi_naive && !options_.extended_active_domain) {
+      for (const CompiledRule& rule : rules_) {
+        for (size_t pos = 0; pos < rule.steps.size(); ++pos) {
+          const CompiledLiteral& lit = rule.steps[pos].literal;
+          bool applicable;
+          if (lit.builtin == BuiltinClass::kNone) {
+            applicable = !delta.FactsFor(lit.predicate).empty();
+          } else {
+            applicable = lit.builtin != BuiltinClass::kObject &&
+                         !interval_delta.empty();
+          }
+          if (!applicable) continue;
+          VQLDB_RETURN_NOT_OK(EvalRule(rule, interp, &delta,
+                                       static_cast<int>(pos), &interval_delta,
+                                       &out));
+        }
+      }
+    } else {
+      for (const CompiledRule& rule : rules_) {
+        VQLDB_RETURN_NOT_OK(
+            EvalRule(rule, interp, nullptr, -1, nullptr, &out));
+      }
+    }
+
+    Interpretation next_delta;
+    for (const Fact& f : out.AllFacts()) {
+      if (interp.Add(f)) next_delta.Add(f);
+    }
+    const std::vector<ObjectId>& derived = db_->DerivedIntervals();
+    interval_delta.assign(derived.begin() + derived_before, derived.end());
+    delta = std::move(next_delta);
+    ++stats_.iterations;
+  }
+  return interp;
+}
+
+}  // namespace vqldb

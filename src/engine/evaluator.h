@@ -1,0 +1,132 @@
+// Bottom-up evaluation of programs: the immediate-consequence operator T_P
+// (Defs. 21-22) and its least fixpoint, computed naively or semi-naively.
+//
+// The extended active domain (Defs. 19-20) is handled as follows: the
+// builtin Interval(G) literal ranges over the database's interval objects —
+// base intervals plus every derived interval materialized so far; when
+// options.extended_active_domain is set, it additionally ranges over the
+// pairwise concatenations of those intervals (materializing them on demand),
+// which is the literal Def. 21 semantics. The default leaves concatenation
+// materialization to constructive rule heads, which is how programs actually
+// create new sequences and keeps Interval() enumeration linear.
+//
+// Constructive heads (G1 ++ G2) call VideoDatabase::Concatenate, whose
+// constituent-set-canonical ids make (+) idempotent — the termination
+// argument of Section 6.1 (I1 (+) I1 == I1) holds exactly, so fixpoints of
+// constructive programs are finite.
+
+#ifndef VQLDB_ENGINE_EVALUATOR_H_
+#define VQLDB_ENGINE_EVALUATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraint/concrete_domain.h"
+#include "src/engine/interpretation.h"
+#include "src/engine/rule_compiler.h"
+#include "src/lang/ast.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+
+struct EvalOptions {
+  /// Optional concrete domain (Def. 1): body literals whose predicate is
+  /// registered here with a matching arity evaluate as computable checks
+  /// over atomic values (e.g. spatial predicates like near/2) instead of
+  /// matching stored facts. Such literals do not bind variables — every
+  /// argument must be bound by an earlier literal. Not owned.
+  const ConcreteDomain* concrete_domain = nullptr;
+  /// Fixpoint iteration cap (safety net; EvaluationError when exceeded).
+  size_t max_iterations = 100000;
+  /// Total derived-fact cap (safety net against runaway programs).
+  size_t max_facts = 10000000;
+  /// Use semi-naive (delta-driven) evaluation; naive otherwise.
+  bool semi_naive = true;
+  /// Greedy bound-first reordering of rule body literals (the classic join
+  /// heuristic); off by default — the written order is the author's plan.
+  bool reorder_body = false;
+  /// Full Def. 21 extended-active-domain semantics for Interval():
+  /// enumerate pairwise concatenations of all current intervals too.
+  bool extended_active_domain = false;
+  /// When true, type mismatches inside constraints (e.g. `in` on a non-set)
+  /// raise TypeError; when false they simply fail the constraint.
+  bool strict_types = false;
+};
+
+/// Statistics of one evaluation, for benchmarks and the EXPERIMENTS harness.
+struct EvalStats {
+  size_t iterations = 0;
+  size_t derived_facts = 0;       // facts beyond the EDB
+  size_t rule_firings = 0;        // successful head emissions (incl. dups)
+  size_t constraint_checks = 0;
+  size_t intervals_created = 0;   // derived intervals materialized
+};
+
+/// Evaluates a fixed set of rules over a database. The evaluator owns no
+/// state between calls except the compiled rules; the database is mutated
+/// only by constructive rules (derived interval materialization).
+class Evaluator {
+ public:
+  /// Compiles `rules` against `db`. The rules must pass Analyzer checks.
+  static Result<Evaluator> Make(VideoDatabase* db, std::vector<Rule> rules,
+                                EvalOptions options = {});
+
+  /// Least fixpoint containing the EDB: all database relation facts plus the
+  /// program's own facts, closed under the rules.
+  Result<Interpretation> Fixpoint();
+
+  /// One application of T_P to an arbitrary interpretation (Def. 22):
+  /// returns I plus all immediate consequences. Exposed for the semantics
+  /// property tests (monotonicity, continuity, fixpoint-is-model).
+  Result<Interpretation> ApplyOnce(const Interpretation& interpretation);
+
+  /// The EDB: database facts plus program facts (what Fixpoint starts from).
+  Result<Interpretation> Edb() const;
+
+  const EvalStats& stats() const { return stats_; }
+  const std::vector<CompiledRule>& compiled_rules() const { return rules_; }
+
+ private:
+  Evaluator(VideoDatabase* db, EvalOptions options)
+      : db_(db), options_(options) {}
+
+  // Evaluates one rule against `full`, with literal `delta_pos` (if >= 0)
+  // restricted to `delta`; emits derived facts through EmitHead into `out`.
+  Status EvalRule(const CompiledRule& rule, const Interpretation& full,
+                  const Interpretation* delta, int delta_pos,
+                  const std::vector<ObjectId>* interval_delta,
+                  Interpretation* out);
+
+  Status EvalSteps(const CompiledRule& rule, size_t step_idx,
+                   const Interpretation& full, const Interpretation* delta,
+                   int delta_pos, const std::vector<ObjectId>* interval_delta,
+                   class BindingEnv* env, Interpretation* out);
+
+  Status EmitHead(const CompiledRule& rule, const class BindingEnv& env,
+                  Interpretation* out);
+
+  // Constraint checking; `ok` receives the verdict. Status is non-OK only
+  // for hard errors (strict_types).
+  Status CheckConstraint(const CompiledConstraint& constraint,
+                         const class BindingEnv& env, bool* ok);
+  Status ResolveOperand(const CompiledOperand& operand,
+                        const class BindingEnv& env, Value* out, bool* defined);
+
+  // Enumerate the object domain of a builtin class literal.
+  std::vector<ObjectId> DomainOf(BuiltinClass builtin,
+                                 const std::vector<ObjectId>* interval_delta);
+  Status MaterializeExtendedDomain();
+
+  bool InClass(ObjectId id, BuiltinClass builtin) const;
+
+  VideoDatabase* db_;
+  EvalOptions options_;
+  std::vector<CompiledRule> rules_;
+  std::vector<Rule> source_rules_;
+  EvalStats stats_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_ENGINE_EVALUATOR_H_

@@ -1,0 +1,82 @@
+#include "src/engine/interpretation.h"
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+bool Interpretation::Add(Fact fact) {
+  PredicateStore& store = stores_[fact.relation];
+  if (store.members.count(fact)) return false;
+  store.members.insert(fact);
+  store.facts.push_back(std::move(fact));
+  ++total_;
+  return true;
+}
+
+bool Interpretation::Contains(const Fact& fact) const {
+  auto it = stores_.find(fact.relation);
+  return it != stores_.end() && it->second.members.count(fact) > 0;
+}
+
+const std::vector<Fact>& Interpretation::FactsFor(
+    const std::string& predicate) const {
+  static const std::vector<Fact> kEmpty;
+  auto it = stores_.find(predicate);
+  return it == stores_.end() ? kEmpty : it->second.facts;
+}
+
+const std::vector<size_t>& Interpretation::EmptyIndex() {
+  static const std::vector<size_t> kEmpty;
+  return kEmpty;
+}
+
+const std::vector<size_t>& Interpretation::Lookup(const std::string& predicate,
+                                                  size_t pos,
+                                                  const Value& value) const {
+  auto it = stores_.find(predicate);
+  if (it == stores_.end()) return EmptyIndex();
+  const PredicateStore& store = it->second;
+  auto& index = store.index[pos];
+  size_t& upto = store.indexed_upto[pos];
+  // Extend the index over facts added since the last lookup at this position.
+  for (; upto < store.facts.size(); ++upto) {
+    const Fact& f = store.facts[upto];
+    if (pos < f.args.size()) index[f.args[pos]].push_back(upto);
+  }
+  auto vit = index.find(value);
+  return vit == index.end() ? EmptyIndex() : vit->second;
+}
+
+std::vector<std::string> Interpretation::Predicates() const {
+  std::vector<std::string> out;
+  for (const auto& [name, store] : stores_) {
+    if (!store.facts.empty()) out.push_back(name);
+  }
+  return out;
+}
+
+bool Interpretation::SubsetOf(const Interpretation& other) const {
+  for (const auto& [name, store] : stores_) {
+    for (const Fact& f : store.facts) {
+      if (!other.Contains(f)) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<Fact> Interpretation::AllFacts() const {
+  std::vector<Fact> out;
+  out.reserve(total_);
+  for (const auto& [name, store] : stores_) {
+    out.insert(out.end(), store.facts.begin(), store.facts.end());
+  }
+  return out;
+}
+
+std::string Interpretation::ToString() const {
+  std::vector<std::string> parts;
+  for (const Fact& f : AllFacts()) parts.push_back(f.ToString());
+  return "{" + Join(parts, ", ") + "}";
+}
+
+}  // namespace vqldb

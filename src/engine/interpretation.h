@@ -1,0 +1,74 @@
+// Interpretation: a set of ground atoms (Section 6.3.2 — "an interpretation
+// of a program is any subset of all ground atomic formulas built from
+// predicate symbols in the language and elements in D"), stored per
+// predicate with lazily built per-argument hash indexes for joins.
+
+#ifndef VQLDB_ENGINE_INTERPRETATION_H_
+#define VQLDB_ENGINE_INTERPRETATION_H_
+
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "src/model/object.h"
+#include "src/model/value.h"
+
+namespace vqldb {
+
+/// A mutable, indexed set of ground facts. Insertion order is preserved per
+/// predicate (useful for deterministic output); membership is hash-based.
+class Interpretation {
+ public:
+  Interpretation() = default;
+
+  /// Adds a fact; returns true iff it was not already present.
+  bool Add(Fact fact);
+
+  bool Contains(const Fact& fact) const;
+
+  /// All facts of `predicate` in insertion order (empty for unknown names).
+  const std::vector<Fact>& FactsFor(const std::string& predicate) const;
+
+  /// Positions of facts of `predicate` whose argument `pos` equals `value`
+  /// (indexes into FactsFor(predicate)). Builds/extends the index lazily.
+  const std::vector<size_t>& Lookup(const std::string& predicate, size_t pos,
+                                    const Value& value) const;
+
+  /// All predicate names with at least one fact, sorted.
+  std::vector<std::string> Predicates() const;
+
+  size_t size() const { return total_; }
+  bool empty() const { return total_ == 0; }
+
+  /// Set inclusion (for the fixpoint/monotonicity property tests).
+  bool SubsetOf(const Interpretation& other) const;
+  bool operator==(const Interpretation& other) const {
+    return total_ == other.total_ && SubsetOf(other);
+  }
+
+  /// Every fact, grouped by predicate (sorted), insertion order within.
+  std::vector<Fact> AllFacts() const;
+
+  std::string ToString() const;
+
+ private:
+  struct PredicateStore {
+    std::vector<Fact> facts;
+    std::unordered_set<Fact> members;
+    // arg position -> value -> fact indexes; extended lazily.
+    mutable std::map<size_t, std::unordered_map<Value, std::vector<size_t>>>
+        index;
+    mutable std::map<size_t, size_t> indexed_upto;  // per position
+  };
+
+  static const std::vector<size_t>& EmptyIndex();
+
+  std::map<std::string, PredicateStore> stores_;
+  size_t total_ = 0;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_ENGINE_INTERPRETATION_H_

@@ -1,0 +1,291 @@
+#include "src/engine/query.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/engine/binding.h"
+#include "src/lang/analyzer.h"
+#include "src/lang/parser.h"
+
+namespace vqldb {
+
+std::string QueryResult::ToString(const VideoDatabase* db) const {
+  std::ostringstream os;
+  auto render = [&](const Value& v) -> std::string {
+    if (db != nullptr && v.is_oid()) return db->DisplayName(v.oid_value());
+    return v.ToString();
+  };
+  os << "(" << rows.size() << " answer" << (rows.size() == 1 ? "" : "s")
+     << ")";
+  if (!columns.empty()) {
+    os << " [";
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (i) os << ", ";
+      os << columns[i];
+    }
+    os << "]";
+  }
+  os << "\n";
+  for (const auto& row : rows) {
+    os << "  ";
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) os << ", ";
+      os << render(row[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+QuerySession::QuerySession(VideoDatabase* db, EvalOptions options)
+    : db_(db), options_(options) {}
+
+Status QuerySession::ApplyDecl(const ObjectDecl& decl, VideoDatabase* db) {
+  ObjectId id;
+  if (decl.is_interval) {
+    // Find the (required) duration attribute first.
+    const ConstExpr* duration = nullptr;
+    for (const auto& [name, value] : decl.attributes) {
+      if (name == kAttrDuration) duration = &value;
+    }
+    if (duration == nullptr) {
+      return Status::InvalidArgument("interval " + decl.symbol +
+                                     " has no duration attribute");
+    }
+    if (duration->kind != ConstExpr::Kind::kTemporal) {
+      return Status::InvalidArgument("duration of interval " + decl.symbol +
+                                     " must be a temporal constraint");
+    }
+    VQLDB_ASSIGN_OR_RETURN(
+        id, db->CreateInterval(decl.symbol,
+                               duration->temporal.ToIntervalSet()));
+  } else {
+    VQLDB_ASSIGN_OR_RETURN(id, db->CreateEntity(decl.symbol));
+  }
+  for (const auto& [name, value] : decl.attributes) {
+    if (decl.is_interval && name == kAttrDuration) continue;  // already set
+    VQLDB_ASSIGN_OR_RETURN(Value v, ResolveConst(value, *db));
+    VQLDB_RETURN_NOT_OK(
+        db->SetAttribute(id, name, std::move(v))
+            .WithContext("declaration of " + decl.symbol));
+  }
+  return Status::OK();
+}
+
+Status QuerySession::ApplyFact(const Rule& fact_rule, VideoDatabase* db) {
+  if (!fact_rule.IsFact()) {
+    return Status::InvalidArgument(fact_rule.ToString() + " is not a fact");
+  }
+  Fact fact;
+  fact.relation = fact_rule.head.predicate;
+  for (const Term& t : fact_rule.head.args) {
+    if (t.kind != Term::Kind::kConstant) {
+      return Status::InvalidArgument("fact " + fact_rule.head.ToString() +
+                                     " must be ground");
+    }
+    VQLDB_ASSIGN_OR_RETURN(Value v, ResolveConst(t.constant, *db));
+    fact.args.push_back(std::move(v));
+  }
+  return db->AssertFact(std::move(fact));
+}
+
+Status QuerySession::Load(std::string_view program_text) {
+  VQLDB_ASSIGN_OR_RETURN(Program program,
+                         Parser::ParseProgram(program_text));
+  VQLDB_RETURN_NOT_OK(Analyzer::CheckProgram(program));
+  for (const Statement& s : program.statements) {
+    switch (s.kind) {
+      case Statement::Kind::kDecl:
+        VQLDB_RETURN_NOT_OK(ApplyDecl(s.decl, db_));
+        break;
+      case Statement::Kind::kRule:
+        if (s.rule.IsFact() && !s.rule.IsConstructive()) {
+          VQLDB_RETURN_NOT_OK(ApplyFact(s.rule, db_));
+        } else {
+          rules_.push_back(s.rule);
+        }
+        break;
+      case Statement::Kind::kQuery:
+        break;  // checked; execution is explicit via Query()
+    }
+  }
+  Invalidate();
+  return Status::OK();
+}
+
+Status QuerySession::AddRule(std::string_view rule_text) {
+  VQLDB_ASSIGN_OR_RETURN(Rule rule, Parser::ParseRule(rule_text));
+  return AddRule(std::move(rule));
+}
+
+Status QuerySession::AddRule(Rule rule) {
+  std::map<std::string, size_t> arities;
+  VQLDB_RETURN_NOT_OK(Analyzer::CheckRule(rule, &arities));
+  if (rule.IsFact() && !rule.IsConstructive()) {
+    VQLDB_RETURN_NOT_OK(ApplyFact(rule, db_));
+  } else {
+    rules_.push_back(std::move(rule));
+  }
+  Invalidate();
+  return Status::OK();
+}
+
+Result<const Interpretation*> QuerySession::Materialize() {
+  if (!cache_.has_value()) {
+    VQLDB_ASSIGN_OR_RETURN(Evaluator eval,
+                           Evaluator::Make(db_, rules_, options_));
+    VQLDB_ASSIGN_OR_RETURN(Interpretation interp, eval.Fixpoint());
+    last_stats_ = eval.stats();
+    cache_ = std::move(interp);
+  }
+  return &*cache_;
+}
+
+Result<QueryResult> QuerySession::Query(std::string_view query_text) {
+  VQLDB_ASSIGN_OR_RETURN(struct Query q, Parser::ParseQuery(query_text));
+  return Run(q);
+}
+
+std::vector<Rule> QuerySession::RelevantRules(
+    const std::string& predicate) const {
+  // Transitive closure of the head -> body-predicate dependency graph,
+  // seeded at the goal predicate.
+  std::set<std::string> reachable = {predicate};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Rule& rule : rules_) {
+      if (!reachable.count(rule.head.predicate)) continue;
+      for (const Atom& atom : rule.body) {
+        if (!atom.IsBuiltinClass() && reachable.insert(atom.predicate).second) {
+          changed = true;
+        }
+      }
+    }
+  }
+  std::vector<Rule> relevant;
+  for (const Rule& rule : rules_) {
+    if (reachable.count(rule.head.predicate)) relevant.push_back(rule);
+  }
+  return relevant;
+}
+
+Result<QueryResult> QuerySession::QueryGoalDirected(
+    std::string_view query_text) {
+  VQLDB_ASSIGN_OR_RETURN(struct Query q, Parser::ParseQuery(query_text));
+  return RunGoalDirected(q);
+}
+
+Result<QueryResult> QuerySession::RunGoalDirected(const struct Query& query) {
+  VQLDB_ASSIGN_OR_RETURN(
+      Evaluator eval,
+      Evaluator::Make(db_, RelevantRules(query.goal.predicate), options_));
+  VQLDB_ASSIGN_OR_RETURN(Interpretation interp, eval.Fixpoint());
+  last_stats_ = eval.stats();
+  return AnswerFrom(interp, query);
+}
+
+Result<QueryResult> QuerySession::Run(const struct Query& query) {
+  VQLDB_ASSIGN_OR_RETURN(const Interpretation* interp, Materialize());
+  return AnswerFrom(*interp, query);
+}
+
+Result<QueryResult> QuerySession::AnswerFrom(const Interpretation& interp_ref,
+                                             const struct Query& query) {
+  const Interpretation* interp = &interp_ref;
+
+  QueryResult result;
+  // Column layout: distinct variables in first-occurrence order; a map from
+  // goal argument position to output column (or a constant to filter by).
+  struct ArgSpec {
+    bool is_var = false;
+    int column = -1;   // first column this variable maps to
+    Value constant;
+  };
+  std::vector<ArgSpec> specs;
+  std::map<std::string, int> var_columns;
+  for (const Term& t : query.goal.args) {
+    ArgSpec spec;
+    if (t.kind == Term::Kind::kVariable) {
+      spec.is_var = true;
+      auto [it, inserted] = var_columns.emplace(
+          t.variable, static_cast<int>(result.columns.size()));
+      if (inserted) result.columns.push_back(t.variable);
+      spec.column = it->second;
+    } else if (t.kind == Term::Kind::kConstant) {
+      VQLDB_ASSIGN_OR_RETURN(spec.constant, ResolveConst(t.constant, *db_));
+    } else {
+      return Status::InvalidArgument(
+          "constructive terms are not allowed in query goals");
+    }
+    specs.push_back(std::move(spec));
+  }
+
+  auto match_args = [&](const std::vector<Value>& args) -> bool {
+    if (args.size() != specs.size()) return false;
+    std::vector<const Value*> bound(result.columns.size(), nullptr);
+    for (size_t i = 0; i < specs.size(); ++i) {
+      const ArgSpec& spec = specs[i];
+      if (spec.is_var) {
+        const Value*& slot = bound[static_cast<size_t>(spec.column)];
+        if (slot == nullptr) {
+          slot = &args[i];
+        } else if (*slot != args[i]) {
+          return false;  // repeated variable must match itself
+        }
+      } else if (spec.constant != args[i]) {
+        return false;
+      }
+    }
+    std::vector<Value> row;
+    row.reserve(bound.size());
+    for (const Value* v : bound) row.push_back(*v);
+    result.rows.push_back(std::move(row));
+    return true;
+  };
+
+  if (IsBuiltinClassPredicate(query.goal.predicate)) {
+    // ?- Interval(G). style goals enumerate the object domain.
+    std::vector<ObjectId> domain;
+    if (query.goal.predicate == kPredInterval) {
+      domain = db_->AllIntervals();
+    } else if (query.goal.predicate == kPredObject) {
+      domain = db_->Entities();
+    } else {
+      domain = db_->Entities();
+      std::vector<ObjectId> intervals = db_->AllIntervals();
+      domain.insert(domain.end(), intervals.begin(), intervals.end());
+    }
+    for (ObjectId id : domain) {
+      match_args({Value::Oid(id)});
+    }
+  } else {
+    for (const Fact& fact : interp->FactsFor(query.goal.predicate)) {
+      match_args(fact.args);
+    }
+  }
+
+  std::sort(result.rows.begin(), result.rows.end(),
+            [](const std::vector<Value>& a, const std::vector<Value>& b) {
+              for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+                int c = a[i].Compare(b[i]);
+                if (c != 0) return c < 0;
+              }
+              return a.size() < b.size();
+            });
+  result.rows.erase(
+      std::unique(result.rows.begin(), result.rows.end(),
+                  [](const std::vector<Value>& a, const std::vector<Value>& b) {
+                    if (a.size() != b.size()) return false;
+                    for (size_t i = 0; i < a.size(); ++i) {
+                      if (a[i] != b[i]) return false;
+                    }
+                    return true;
+                  }),
+      result.rows.end());
+  return result;
+}
+
+}  // namespace vqldb

@@ -1,0 +1,96 @@
+// QuerySession: the user-facing entry point tying everything together.
+// Load a program (declarations populate the database, facts assert into it,
+// rules accumulate), then ask queries (Def. 13) against the least fixpoint
+// of the rules over the database.
+
+#ifndef VQLDB_ENGINE_QUERY_H_
+#define VQLDB_ENGINE_QUERY_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/engine/evaluator.h"
+#include "src/engine/interpretation.h"
+#include "src/lang/ast.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+
+/// The answer set of a query: one column per distinct variable of the goal
+/// (in first-occurrence order), rows deduplicated and sorted.
+struct QueryResult {
+  std::vector<std::string> columns;
+  std::vector<std::vector<Value>> rows;
+
+  bool empty() const { return rows.empty(); }
+  size_t size() const { return rows.size(); }
+
+  /// Tabular rendering; when `db` is given, oids print as their symbols.
+  std::string ToString(const VideoDatabase* db = nullptr) const;
+};
+
+/// A stateful session over one database.
+///
+/// Fixpoints are cached between queries and invalidated when rules are
+/// added. Mutating the database outside the session requires Invalidate().
+class QuerySession {
+ public:
+  explicit QuerySession(VideoDatabase* db, EvalOptions options = {});
+
+  /// Parses and applies a whole program: declarations create objects, fact
+  /// rules assert database facts, proper rules accumulate in the session.
+  /// Embedded queries (?- ...) are checked but not executed — use Query().
+  Status Load(std::string_view program_text);
+
+  /// Parses and adds a single rule.
+  Status AddRule(std::string_view rule_text);
+  Status AddRule(Rule rule);
+
+  /// Runs "?- goal." and returns its answer set.
+  Result<QueryResult> Query(std::string_view query_text);
+  Result<QueryResult> Run(const struct Query& query);
+
+  /// Goal-directed variant: evaluates only the rules whose head predicates
+  /// the goal (transitively) depends on, instead of materializing the whole
+  /// program. Sound and complete for positive programs (the pruned rules
+  /// cannot contribute facts of the goal's dependency cone). Bypasses the
+  /// fixpoint cache; prefer it for one-shot queries over large rule sets.
+  Result<QueryResult> QueryGoalDirected(std::string_view query_text);
+  Result<QueryResult> RunGoalDirected(const struct Query& query);
+
+  /// The rules in the dependency cone of `predicate` (exposed for tests).
+  std::vector<Rule> RelevantRules(const std::string& predicate) const;
+
+  /// The materialized least fixpoint (computing it if stale).
+  Result<const Interpretation*> Materialize();
+
+  /// Drops the cached fixpoint (required after external db mutation).
+  void Invalidate() { cache_.reset(); }
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  VideoDatabase* database() { return db_; }
+  const EvalStats& last_stats() const { return last_stats_; }
+
+  /// Applies one declaration to a database (exposed for the storage layer).
+  static Status ApplyDecl(const ObjectDecl& decl, VideoDatabase* db);
+
+  /// Asserts a ground fact rule into a database.
+  static Status ApplyFact(const Rule& fact_rule, VideoDatabase* db);
+
+ private:
+  Result<QueryResult> AnswerFrom(const Interpretation& interp,
+                                 const struct Query& query);
+
+  VideoDatabase* db_;
+  EvalOptions options_;
+  std::vector<Rule> rules_;
+  std::optional<Interpretation> cache_;
+  EvalStats last_stats_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_ENGINE_QUERY_H_

@@ -1,0 +1,360 @@
+#include "src/engine/rule_compiler.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "src/engine/binding.h"
+
+namespace vqldb {
+
+namespace {
+
+BuiltinClass ClassOf(const std::string& predicate) {
+  if (predicate == kPredInterval) return BuiltinClass::kInterval;
+  if (predicate == kPredObject) return BuiltinClass::kObject;
+  if (predicate == kPredAnyobject) return BuiltinClass::kAnyobject;
+  return BuiltinClass::kNone;
+}
+
+class CompileContext {
+ public:
+  explicit CompileContext(const VideoDatabase& db) : db_(db) {}
+
+  int SlotOf(const std::string& name) {
+    auto it = slots_.find(name);
+    if (it != slots_.end()) return it->second;
+    int slot = static_cast<int>(names_.size());
+    slots_.emplace(name, slot);
+    names_.push_back(name);
+    return slot;
+  }
+
+  Result<CompiledTerm> CompileTerm(const Term& term) {
+    switch (term.kind) {
+      case Term::Kind::kVariable:
+        return CompiledTerm::Var(SlotOf(term.variable));
+      case Term::Kind::kConstant: {
+        VQLDB_ASSIGN_OR_RETURN(Value v, ResolveConst(term.constant, db_));
+        return CompiledTerm::Const(std::move(v));
+      }
+      case Term::Kind::kConcat:
+        return Status::InvalidArgument(
+            "constructive term " + term.ToString() +
+            " cannot appear in this position");
+    }
+    return Status::Internal("unhandled term kind");
+  }
+
+  Result<CompiledOperand> CompileOperand(const Operand& operand) {
+    CompiledOperand out;
+    switch (operand.kind) {
+      case Operand::Kind::kTerm:
+        if (operand.term.kind == Term::Kind::kVariable) {
+          out.kind = CompiledOperand::Kind::kVar;
+          out.var = SlotOf(operand.term.variable);
+          out.vars.push_back(out.var);
+        } else {
+          VQLDB_ASSIGN_OR_RETURN(Value v,
+                                 ResolveConst(operand.term.constant, db_));
+          out.kind = CompiledOperand::Kind::kValue;
+          out.value = std::move(v);
+        }
+        return out;
+      case Operand::Kind::kAccess:
+        out.kind = CompiledOperand::Kind::kAccess;
+        out.attribute = operand.attribute;
+        if (operand.term.kind == Term::Kind::kVariable) {
+          out.base_is_var = true;
+          out.var = SlotOf(operand.term.variable);
+          out.vars.push_back(out.var);
+        } else {
+          VQLDB_ASSIGN_OR_RETURN(Value v,
+                                 ResolveConst(operand.term.constant, db_));
+          out.base_is_var = false;
+          out.base_value = std::move(v);
+        }
+        return out;
+      case Operand::Kind::kTemporal:
+        out.kind = CompiledOperand::Kind::kTemporal;
+        out.value = Value::Temporal(operand.temporal.ToIntervalSet());
+        return out;
+    }
+    return Status::Internal("unhandled operand kind");
+  }
+
+  Result<CompiledHeadTerm> CompileHeadTerm(const Term& term) {
+    CompiledHeadTerm out;
+    switch (term.kind) {
+      case Term::Kind::kVariable:
+        out.kind = CompiledHeadTerm::Kind::kVar;
+        out.var = SlotOf(term.variable);
+        return out;
+      case Term::Kind::kConstant: {
+        VQLDB_ASSIGN_OR_RETURN(Value v, ResolveConst(term.constant, db_));
+        out.kind = CompiledHeadTerm::Kind::kValue;
+        out.value = std::move(v);
+        return out;
+      }
+      case Term::Kind::kConcat: {
+        out.kind = CompiledHeadTerm::Kind::kConcat;
+        for (const Term& op : term.operands) {
+          VQLDB_ASSIGN_OR_RETURN(CompiledTerm ct, CompileTerm(op));
+          if (!ct.is_var && !ct.value.is_oid()) {
+            return Status::TypeError(
+                "concatenation operand " + op.ToString() +
+                " must denote an interval object");
+          }
+          out.concat_operands.push_back(std::move(ct));
+        }
+        return out;
+      }
+    }
+    return Status::Internal("unhandled head term kind");
+  }
+
+  const std::vector<std::string>& names() const { return names_; }
+
+ private:
+  const VideoDatabase& db_;
+  std::map<std::string, int> slots_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace
+
+namespace {
+
+// Greedy bound-first ordering over compiled literals: repeatedly pick the
+// literal maximizing (bound argument positions, then fewest free variables),
+// treating builtin class literals as maximally unselective when unbound.
+std::vector<CompiledLiteral> ReorderLiterals(
+    std::vector<CompiledLiteral> literals) {
+  std::vector<CompiledLiteral> ordered;
+  std::set<int> bound;
+  std::vector<bool> used(literals.size(), false);
+  for (size_t step = 0; step < literals.size(); ++step) {
+    int best = -1;
+    int best_score = std::numeric_limits<int>::min();
+    for (size_t i = 0; i < literals.size(); ++i) {
+      if (used[i]) continue;
+      const CompiledLiteral& lit = literals[i];
+      int bound_args = 0;
+      int free_vars = 0;
+      for (const CompiledTerm& t : lit.args) {
+        if (!t.is_var || bound.count(t.var)) {
+          ++bound_args;
+        } else {
+          ++free_vars;
+        }
+      }
+      int score = 100 * bound_args - free_vars;
+      // An unbound builtin enumerates the whole object domain: deprioritize.
+      if (lit.builtin != BuiltinClass::kNone && bound_args == 0) score -= 1000;
+      if (score > best_score) {
+        best_score = score;
+        best = static_cast<int>(i);
+      }
+    }
+    used[static_cast<size_t>(best)] = true;
+    for (const CompiledTerm& t : literals[static_cast<size_t>(best)].args) {
+      if (t.is_var) bound.insert(t.var);
+    }
+    ordered.push_back(std::move(literals[static_cast<size_t>(best)]));
+  }
+  return ordered;
+}
+
+}  // namespace
+
+Result<CompiledRule> RuleCompiler::Compile(const Rule& rule,
+                                           const VideoDatabase& db,
+                                           bool reorder_body) {
+  CompileContext ctx(db);
+  CompiledRule out;
+  out.name = rule.name;
+  out.head_predicate = rule.head.predicate;
+  out.is_constructive = rule.IsConstructive();
+
+  // Compile body literals first so that variable slots are numbered in
+  // binding order (heads reuse body slots; the analyzer guarantees range
+  // restriction).
+  std::vector<CompiledLiteral> literals;
+  for (const Atom& atom : rule.body) {
+    CompiledLiteral lit;
+    lit.predicate = atom.predicate;
+    lit.builtin = ClassOf(atom.predicate);
+    for (const Term& t : atom.args) {
+      VQLDB_ASSIGN_OR_RETURN(CompiledTerm ct, ctx.CompileTerm(t));
+      lit.args.push_back(std::move(ct));
+    }
+    literals.push_back(std::move(lit));
+  }
+  if (reorder_body) literals = ReorderLiterals(std::move(literals));
+
+  // Compile constraints and record their variable requirements.
+  struct PendingConstraint {
+    CompiledConstraint compiled;
+    std::set<int> needed;
+  };
+  std::vector<PendingConstraint> pending;
+  for (const ConstraintExpr& c : rule.constraints) {
+    PendingConstraint pc;
+    pc.compiled.kind = c.kind;
+    pc.compiled.op = c.op;
+    pc.compiled.source = c.ToString();
+    VQLDB_ASSIGN_OR_RETURN(pc.compiled.lhs, ctx.CompileOperand(c.lhs));
+    VQLDB_ASSIGN_OR_RETURN(pc.compiled.rhs, ctx.CompileOperand(c.rhs));
+    for (int v : pc.compiled.lhs.vars) pc.needed.insert(v);
+    for (int v : pc.compiled.rhs.vars) pc.needed.insert(v);
+    pending.push_back(std::move(pc));
+  }
+
+  // Schedule: after each literal, attach every not-yet-scheduled constraint
+  // whose variables are all bound by the literals so far.
+  std::set<int> bound;
+  std::vector<bool> scheduled(pending.size(), false);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (pending[i].needed.empty()) {
+      out.ground_constraints.push_back(pending[i].compiled);
+      scheduled[i] = true;
+    }
+  }
+  for (CompiledLiteral& lit : literals) {
+    CompiledStep step;
+    for (const CompiledTerm& t : lit.args) {
+      if (t.is_var) bound.insert(t.var);
+    }
+    step.literal = std::move(lit);
+    for (size_t i = 0; i < pending.size(); ++i) {
+      if (scheduled[i]) continue;
+      bool ready = std::all_of(
+          pending[i].needed.begin(), pending[i].needed.end(),
+          [&](int v) { return bound.count(v) > 0; });
+      if (ready) {
+        step.post_constraints.push_back(pending[i].compiled);
+        scheduled[i] = true;
+      }
+    }
+    out.steps.push_back(std::move(step));
+  }
+  for (size_t i = 0; i < pending.size(); ++i) {
+    if (!scheduled[i]) {
+      return Status::InvalidArgument(
+          "constraint " + pending[i].compiled.source +
+          " uses variables never bound by a body literal (range restriction)");
+    }
+  }
+
+  // Head template.
+  for (const Term& t : rule.head.args) {
+    VQLDB_ASSIGN_OR_RETURN(CompiledHeadTerm ht, ctx.CompileHeadTerm(t));
+    if (ht.kind == CompiledHeadTerm::Kind::kVar &&
+        !bound.count(ht.var) && !rule.IsFact()) {
+      return Status::InvalidArgument(
+          "head variable " + ctx.names()[static_cast<size_t>(ht.var)] +
+          " is not bound by any body literal (range restriction)");
+    }
+    if (ht.kind == CompiledHeadTerm::Kind::kConcat) {
+      for (const CompiledTerm& op : ht.concat_operands) {
+        if (op.is_var && !bound.count(op.var)) {
+          return Status::InvalidArgument(
+              "concatenation operand variable " +
+              ctx.names()[static_cast<size_t>(op.var)] +
+              " is not bound by any body literal (range restriction)");
+        }
+      }
+    }
+    out.head.push_back(std::move(ht));
+  }
+
+  out.var_names = ctx.names();
+  out.num_vars = out.var_names.size();
+  return out;
+}
+
+std::string ExplainRule(const CompiledRule& rule) {
+  std::ostringstream os;
+  os << "rule " << (rule.name.empty() ? rule.head_predicate : rule.name)
+     << " (" << rule.num_vars << " variable"
+     << (rule.num_vars == 1 ? "" : "s") << ")\n";
+  auto term_name = [&](const CompiledTerm& t) {
+    return t.is_var ? rule.var_names[static_cast<size_t>(t.var)]
+                    : t.value.ToString();
+  };
+
+  for (const CompiledConstraint& c : rule.ground_constraints) {
+    os << "  pre-check " << c.source << "\n";
+  }
+
+  std::set<int> bound;
+  for (size_t i = 0; i < rule.steps.size(); ++i) {
+    const CompiledStep& step = rule.steps[i];
+    const CompiledLiteral& lit = step.literal;
+    os << "  " << (i + 1) << ". ";
+    if (lit.builtin != BuiltinClass::kNone) {
+      const CompiledTerm& arg = lit.args[0];
+      bool arg_bound = !arg.is_var || bound.count(arg.var);
+      os << (arg_bound ? "check " : "enumerate ") << lit.predicate << "("
+         << term_name(arg) << ")";
+      if (!arg_bound) os << "  [scan object domain]";
+    } else {
+      os << "match " << lit.predicate << "(";
+      for (size_t a = 0; a < lit.args.size(); ++a) {
+        if (a) os << ", ";
+        os << term_name(lit.args[a]);
+      }
+      os << ")";
+      // Mirror the evaluator's access-path choice: index on the first
+      // constant or already-bound argument position, else a full scan.
+      int index_pos = -1;
+      for (size_t a = 0; a < lit.args.size(); ++a) {
+        const CompiledTerm& arg = lit.args[a];
+        if (!arg.is_var || bound.count(arg.var)) {
+          index_pos = static_cast<int>(a);
+          break;
+        }
+      }
+      if (index_pos >= 0) {
+        os << "  [index probe on argument " << (index_pos + 1) << "]";
+      } else {
+        os << "  [full scan]";
+      }
+    }
+    os << "\n";
+    for (const CompiledTerm& t : lit.args) {
+      if (t.is_var) bound.insert(t.var);
+    }
+    for (const CompiledConstraint& c : step.post_constraints) {
+      os << "     check " << c.source << "\n";
+    }
+  }
+
+  os << "  emit " << rule.head_predicate << "(";
+  for (size_t i = 0; i < rule.head.size(); ++i) {
+    if (i) os << ", ";
+    const CompiledHeadTerm& ht = rule.head[i];
+    switch (ht.kind) {
+      case CompiledHeadTerm::Kind::kValue:
+        os << ht.value.ToString();
+        break;
+      case CompiledHeadTerm::Kind::kVar:
+        os << rule.var_names[static_cast<size_t>(ht.var)];
+        break;
+      case CompiledHeadTerm::Kind::kConcat: {
+        for (size_t k = 0; k < ht.concat_operands.size(); ++k) {
+          if (k) os << " ++ ";
+          os << term_name(ht.concat_operands[k]);
+        }
+        os << "  [materialize derived interval]";
+        break;
+      }
+    }
+  }
+  os << ")\n";
+  return os.str();
+}
+
+}  // namespace vqldb

@@ -1,0 +1,118 @@
+// Compiles parsed rules into an executable plan:
+//   * variables are numbered densely (BindingEnv slots);
+//   * parse-time constants are resolved to Values (symbols to oids);
+//   * body literals keep their written order (the classic Datalog
+//     convention: the author controls the join order), and each constraint
+//     is scheduled immediately after the earliest literal prefix that binds
+//     all of its variables;
+//   * the head is compiled to an emission template, including constructive
+//     (++) concatenation terms.
+
+#ifndef VQLDB_ENGINE_RULE_COMPILER_H_
+#define VQLDB_ENGINE_RULE_COMPILER_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraint/interval_set.h"
+#include "src/lang/ast.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+
+/// A compiled term: a resolved constant or a variable slot.
+struct CompiledTerm {
+  bool is_var = false;
+  Value value;  // when !is_var
+  int var = -1;  // when is_var
+
+  static CompiledTerm Const(Value v) { return CompiledTerm{false, std::move(v), -1}; }
+  static CompiledTerm Var(int slot) { return CompiledTerm{true, Value(), slot}; }
+};
+
+/// Builtin class predicates are dispatched specially (they range over the
+/// database's object domain rather than stored facts).
+enum class BuiltinClass { kNone, kInterval, kObject, kAnyobject };
+
+/// A compiled body literal.
+struct CompiledLiteral {
+  std::string predicate;
+  BuiltinClass builtin = BuiltinClass::kNone;
+  std::vector<CompiledTerm> args;
+};
+
+/// A compiled constraint operand.
+struct CompiledOperand {
+  enum class Kind { kValue, kVar, kAccess, kTemporal };
+  Kind kind = Kind::kValue;
+  Value value;            // kValue; also the temporal Value for kTemporal
+  int var = -1;           // kVar; base slot for kAccess when base_is_var
+  bool base_is_var = false;   // kAccess
+  Value base_value;       // kAccess with constant (symbol) base
+  std::string attribute;  // kAccess
+  std::vector<int> vars;  // all variable slots this operand needs bound
+};
+
+/// A compiled constraint atom.
+struct CompiledConstraint {
+  ConstraintExpr::Kind kind = ConstraintExpr::Kind::kCompare;
+  CompareOp op = CompareOp::kEq;
+  CompiledOperand lhs;
+  CompiledOperand rhs;
+  std::string source;  // original text, for error messages
+};
+
+/// One execution step: match a literal, then check any constraints that have
+/// just become fully bound.
+struct CompiledStep {
+  CompiledLiteral literal;
+  std::vector<CompiledConstraint> post_constraints;
+};
+
+/// A compiled head term: constant, variable, or concatenation of slots.
+struct CompiledHeadTerm {
+  enum class Kind { kValue, kVar, kConcat };
+  Kind kind = Kind::kValue;
+  Value value;
+  int var = -1;
+  std::vector<CompiledTerm> concat_operands;  // each a var or an oid constant
+};
+
+/// The executable rule.
+struct CompiledRule {
+  std::string name;
+  std::string head_predicate;
+  std::vector<CompiledHeadTerm> head;
+  std::vector<CompiledStep> steps;
+  /// Constraints with no variables at all (checked once, before stepping).
+  std::vector<CompiledConstraint> ground_constraints;
+  size_t num_vars = 0;
+  std::vector<std::string> var_names;  // slot -> surface name
+  bool is_constructive = false;
+};
+
+class RuleCompiler {
+ public:
+  /// Compiles `rule` against `db` (for symbol resolution). The rule must
+  /// already have passed Analyzer::CheckRule. When `reorder_body` is set,
+  /// body literals are greedily reordered: at each step pick the literal
+  /// with the most bound argument positions (constants or already-bound
+  /// variables), preferring relational literals over builtin class
+  /// enumerations — the classic bound-first join heuristic. Constraint
+  /// scheduling is unaffected (still as early as possible).
+  static Result<CompiledRule> Compile(const Rule& rule,
+                                      const VideoDatabase& db,
+                                      bool reorder_body = false);
+};
+
+/// Renders the executable plan of a compiled rule — step order, the access
+/// path each literal will use (index probe vs. scan vs. domain enumeration),
+/// and where each constraint is checked. The EXPLAIN facility behind the
+/// shell's `.explain` command.
+std::string ExplainRule(const CompiledRule& rule);
+
+}  // namespace vqldb
+
+#endif  // VQLDB_ENGINE_RULE_COMPILER_H_

@@ -1,0 +1,149 @@
+#include "src/lang/analyzer.h"
+
+#include <algorithm>
+#include <set>
+
+namespace vqldb {
+
+namespace {
+
+bool TermHasConstructive(const Term& term) {
+  if (term.kind == Term::Kind::kConcat) return true;
+  return false;
+}
+
+bool TermIsGround(const Term& term) {
+  switch (term.kind) {
+    case Term::Kind::kConstant:
+      return true;
+    case Term::Kind::kVariable:
+      return false;
+    case Term::Kind::kConcat:
+      return std::all_of(term.operands.begin(), term.operands.end(),
+                         TermIsGround);
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Analyzer::CheckAtomArity(const Atom& atom,
+                                std::map<std::string, size_t>* arities) {
+  if (atom.IsBuiltinClass()) {
+    if (atom.args.size() != 1) {
+      return Status::InvalidArgument(
+          "builtin predicate " + atom.predicate + " is unary, used with " +
+          std::to_string(atom.args.size()) + " arguments");
+    }
+    return Status::OK();
+  }
+  auto [it, inserted] = arities->emplace(atom.predicate, atom.args.size());
+  if (!inserted && it->second != atom.args.size()) {
+    return Status::InvalidArgument(
+        "predicate " + atom.predicate + " used with arity " +
+        std::to_string(atom.args.size()) + " but previously with arity " +
+        std::to_string(it->second));
+  }
+  return Status::OK();
+}
+
+Status Analyzer::CheckRule(const Rule& rule,
+                           std::map<std::string, size_t>* arities) {
+  const std::string where =
+      rule.name.empty() ? rule.ToString() : "rule " + rule.name;
+
+  // Builtins may not be redefined.
+  if (rule.head.IsBuiltinClass()) {
+    return Status::InvalidArgument("cannot define builtin predicate " +
+                                   rule.head.predicate + " in " + where);
+  }
+
+  // Arity checks.
+  VQLDB_RETURN_NOT_OK(CheckAtomArity(rule.head, arities));
+  for (const Atom& atom : rule.body) {
+    VQLDB_RETURN_NOT_OK(CheckAtomArity(atom, arities));
+  }
+
+  // Constructive terms only in heads.
+  for (const Atom& atom : rule.body) {
+    for (const Term& t : atom.args) {
+      if (TermHasConstructive(t)) {
+        return Status::InvalidArgument(
+            "constructive term " + t.ToString() +
+            " may only appear in a rule head (Section 6.1), found in body of " +
+            where);
+      }
+    }
+  }
+  for (const ConstraintExpr& c : rule.constraints) {
+    for (const Operand* op : {&c.lhs, &c.rhs}) {
+      if ((op->kind == Operand::Kind::kTerm ||
+           op->kind == Operand::Kind::kAccess) &&
+          TermHasConstructive(op->term)) {
+        return Status::InvalidArgument(
+            "constructive term " + op->term.ToString() +
+            " may only appear in a rule head, found in constraint of " + where);
+      }
+    }
+  }
+
+  // Facts must be ground.
+  if (rule.IsFact()) {
+    for (const Term& t : rule.head.args) {
+      if (!TermIsGround(t)) {
+        return Status::InvalidArgument("fact " + rule.head.ToString() +
+                                       " must be ground");
+      }
+    }
+    return Status::OK();
+  }
+
+  // Range restriction (Def. 11): every variable occurs in a body literal.
+  std::set<std::string> bound;
+  for (const Atom& atom : rule.body) {
+    for (const std::string& v : VariablesOf(atom)) bound.insert(v);
+  }
+  for (const std::string& v : VariablesOf(rule)) {
+    if (!bound.count(v)) {
+      return Status::InvalidArgument(
+          "variable " + v + " does not occur in any body literal (range "
+          "restriction, Def. 11) in " + where);
+    }
+  }
+  return Status::OK();
+}
+
+Status Analyzer::CheckQuery(const Query& query,
+                            std::map<std::string, size_t>* arities) {
+  VQLDB_RETURN_NOT_OK(CheckAtomArity(query.goal, arities));
+  for (const Term& t : query.goal.args) {
+    if (TermHasConstructive(t)) {
+      return Status::InvalidArgument(
+          "constructive term in query goal " + query.goal.ToString() +
+          " is not allowed");
+    }
+  }
+  return Status::OK();
+}
+
+Status Analyzer::CheckProgram(const Program& program) {
+  std::map<std::string, size_t> arities;
+  for (const Statement& s : program.statements) {
+    switch (s.kind) {
+      case Statement::Kind::kRule:
+        VQLDB_RETURN_NOT_OK(CheckRule(s.rule, &arities));
+        break;
+      case Statement::Kind::kQuery:
+        VQLDB_RETURN_NOT_OK(CheckQuery(s.query, &arities));
+        break;
+      case Statement::Kind::kDecl:
+        if (s.decl.symbol.empty()) {
+          return Status::InvalidArgument("declaration without a symbol");
+        }
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace vqldb

@@ -1,0 +1,42 @@
+// Static semantic analysis of parsed programs:
+//
+//   * range restriction (Def. 11): every variable of a rule — in the head,
+//     in constraints, anywhere — occurs in a positive body literal;
+//   * constructive terms (++) appear in rule heads only (Section 6.1);
+//   * builtin class predicates (Interval, Object, Anyobject) are unary and
+//     must not be redefined by rule heads;
+//   * every predicate is used with a single arity throughout the program;
+//   * facts (body-less rules) are ground.
+
+#ifndef VQLDB_LANG_ANALYZER_H_
+#define VQLDB_LANG_ANALYZER_H_
+
+#include <map>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/lang/ast.h"
+
+namespace vqldb {
+
+class Analyzer {
+ public:
+  /// Checks a single rule; the arity map accumulates predicate arities
+  /// across calls (pass the same map for a whole program).
+  static Status CheckRule(const Rule& rule, std::map<std::string, size_t>* arities);
+
+  /// Checks a query goal: builtin arity, arity consistency.
+  static Status CheckQuery(const Query& query,
+                           std::map<std::string, size_t>* arities);
+
+  /// Checks a whole program (all rules + queries, shared arity map).
+  static Status CheckProgram(const Program& program);
+
+ private:
+  static Status CheckAtomArity(const Atom& atom,
+                               std::map<std::string, size_t>* arities);
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_LANG_ANALYZER_H_

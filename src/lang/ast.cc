@@ -1,0 +1,336 @@
+#include "src/lang/ast.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+bool IsBuiltinClassPredicate(const std::string& name) {
+  return name == kPredInterval || name == kPredObject || name == kPredAnyobject;
+}
+
+ConstExpr ConstExpr::Int(int64_t v) {
+  ConstExpr c;
+  c.kind = Kind::kInt;
+  c.int_value = v;
+  return c;
+}
+
+ConstExpr ConstExpr::Double(double v) {
+  ConstExpr c;
+  c.kind = Kind::kDouble;
+  c.double_value = v;
+  return c;
+}
+
+ConstExpr ConstExpr::String(std::string s) {
+  ConstExpr c;
+  c.kind = Kind::kString;
+  c.text = std::move(s);
+  return c;
+}
+
+ConstExpr ConstExpr::Bool(bool b) {
+  ConstExpr c;
+  c.kind = Kind::kBool;
+  c.bool_value = b;
+  return c;
+}
+
+ConstExpr ConstExpr::Symbol(std::string name) {
+  ConstExpr c;
+  c.kind = Kind::kSymbol;
+  c.text = std::move(name);
+  return c;
+}
+
+ConstExpr ConstExpr::Set(std::vector<ConstExpr> elements) {
+  ConstExpr c;
+  c.kind = Kind::kSet;
+  c.elements = std::move(elements);
+  return c;
+}
+
+ConstExpr ConstExpr::Temporal(TemporalConstraint t) {
+  ConstExpr c;
+  c.kind = Kind::kTemporal;
+  c.temporal = std::move(t);
+  return c;
+}
+
+std::string ConstExpr::ToString() const {
+  switch (kind) {
+    case Kind::kInt:
+      return std::to_string(int_value);
+    case Kind::kDouble:
+      return FormatDouble(double_value);
+    case Kind::kString:
+      return QuoteString(text);
+    case Kind::kBool:
+      return bool_value ? "true" : "false";
+    case Kind::kSymbol:
+      return text;
+    case Kind::kSet:
+      return "{" +
+             JoinMapped(elements, ", ",
+                        [](const ConstExpr& e) { return e.ToString(); }) +
+             "}";
+    case Kind::kTemporal:
+      return "(" + temporal.ToString() + ")";
+  }
+  return "?";
+}
+
+Term Term::Constant(ConstExpr c) {
+  Term t;
+  t.kind = Kind::kConstant;
+  t.constant = std::move(c);
+  return t;
+}
+
+Term Term::Variable(std::string name) {
+  Term t;
+  t.kind = Kind::kVariable;
+  t.variable = std::move(name);
+  return t;
+}
+
+Term Term::Concat(std::vector<Term> operands) {
+  // Flatten nested concatenations: (a ++ b) ++ c has the same meaning as
+  // a ++ b ++ c ((+) is associative).
+  std::vector<Term> flat;
+  for (Term& op : operands) {
+    if (op.kind == Kind::kConcat) {
+      for (Term& inner : op.operands) flat.push_back(std::move(inner));
+    } else {
+      flat.push_back(std::move(op));
+    }
+  }
+  Term t;
+  t.kind = Kind::kConcat;
+  t.operands = std::move(flat);
+  return t;
+}
+
+std::string Term::ToString() const {
+  switch (kind) {
+    case Kind::kConstant:
+      return constant.ToString();
+    case Kind::kVariable:
+      return variable;
+    case Kind::kConcat:
+      return JoinMapped(operands, " ++ ",
+                        [](const Term& t) { return t.ToString(); });
+  }
+  return "?";
+}
+
+std::string Atom::ToString() const {
+  return predicate + "(" +
+         JoinMapped(args, ", ", [](const Term& t) { return t.ToString(); }) +
+         ")";
+}
+
+Operand Operand::FromTerm(Term t) {
+  Operand o;
+  o.kind = Kind::kTerm;
+  o.term = std::move(t);
+  return o;
+}
+
+Operand Operand::Access(Term base, std::string attribute) {
+  Operand o;
+  o.kind = Kind::kAccess;
+  o.term = std::move(base);
+  o.attribute = std::move(attribute);
+  return o;
+}
+
+Operand Operand::Temporal(TemporalConstraint c) {
+  Operand o;
+  o.kind = Kind::kTemporal;
+  o.temporal = std::move(c);
+  return o;
+}
+
+std::string Operand::ToString() const {
+  switch (kind) {
+    case Kind::kTerm:
+      return term.ToString();
+    case Kind::kAccess:
+      return term.ToString() + "." + attribute;
+    case Kind::kTemporal:
+      return "(" + temporal.ToString() + ")";
+  }
+  return "?";
+}
+
+std::string ConstraintExpr::ToString() const {
+  switch (kind) {
+    case Kind::kCompare:
+      return lhs.ToString() + " " + CompareOpToString(op) + " " +
+             rhs.ToString();
+    case Kind::kMembership:
+      return lhs.ToString() + " in " + rhs.ToString();
+    case Kind::kSubset:
+      return lhs.ToString() + " subset " + rhs.ToString();
+    case Kind::kEntails:
+      return lhs.ToString() + " => " + rhs.ToString();
+    case Kind::kBefore:
+      return lhs.ToString() + " before " + rhs.ToString();
+    case Kind::kMeets:
+      return lhs.ToString() + " meets " + rhs.ToString();
+    case Kind::kOverlaps:
+      return lhs.ToString() + " overlaps " + rhs.ToString();
+  }
+  return "?";
+}
+
+bool Rule::IsConstructive() const {
+  return std::any_of(head.args.begin(), head.args.end(),
+                     [](const Term& t) { return t.IsConstructive(); });
+}
+
+std::string Rule::ToString() const {
+  std::string out;
+  if (!name.empty()) out += name + ": ";
+  out += head.ToString();
+  if (!IsFact()) {
+    out += " <- ";
+    std::vector<std::string> parts;
+    for (const Atom& a : body) parts.push_back(a.ToString());
+    for (const ConstraintExpr& c : constraints) parts.push_back(c.ToString());
+    out += Join(parts, ", ");
+  }
+  out += ".";
+  return out;
+}
+
+std::string ObjectDecl::ToString() const {
+  std::string out = is_interval ? "interval " : "object ";
+  out += symbol + " { " +
+         JoinMapped(attributes, ", ",
+                    [](const auto& kv) {
+                      return kv.first + ": " + kv.second.ToString();
+                    }) +
+         " }.";
+  return out;
+}
+
+std::string Query::ToString() const { return "?- " + goal.ToString() + "."; }
+
+std::string Statement::ToString() const {
+  switch (kind) {
+    case Kind::kRule:
+      return rule.ToString();
+    case Kind::kDecl:
+      return decl.ToString();
+    case Kind::kQuery:
+      return query.ToString();
+  }
+  return "?";
+}
+
+std::vector<const Rule*> Program::Rules() const {
+  std::vector<const Rule*> out;
+  for (const Statement& s : statements) {
+    if (s.kind == Statement::Kind::kRule) out.push_back(&s.rule);
+  }
+  return out;
+}
+
+std::vector<const ObjectDecl*> Program::Decls() const {
+  std::vector<const ObjectDecl*> out;
+  for (const Statement& s : statements) {
+    if (s.kind == Statement::Kind::kDecl) out.push_back(&s.decl);
+  }
+  return out;
+}
+
+std::vector<const Query*> Program::Queries() const {
+  std::vector<const Query*> out;
+  for (const Statement& s : statements) {
+    if (s.kind == Statement::Kind::kQuery) out.push_back(&s.query);
+  }
+  return out;
+}
+
+std::string Program::ToString() const {
+  std::string out;
+  for (const Statement& s : statements) {
+    out += s.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+namespace {
+
+void AddVar(std::vector<std::string>* vars, const std::string& name) {
+  if (std::find(vars->begin(), vars->end(), name) == vars->end()) {
+    vars->push_back(name);
+  }
+}
+
+void CollectTerm(const Term& term, std::vector<std::string>* vars) {
+  switch (term.kind) {
+    case Term::Kind::kVariable:
+      AddVar(vars, term.variable);
+      break;
+    case Term::Kind::kConcat:
+      for (const Term& op : term.operands) CollectTerm(op, vars);
+      break;
+    case Term::Kind::kConstant:
+      break;
+  }
+}
+
+void CollectOperand(const Operand& operand, std::vector<std::string>* vars) {
+  if (operand.kind == Operand::Kind::kTerm ||
+      operand.kind == Operand::Kind::kAccess) {
+    CollectTerm(operand.term, vars);
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> VariablesOf(const Term& term) {
+  std::vector<std::string> vars;
+  CollectTerm(term, &vars);
+  return vars;
+}
+
+std::vector<std::string> VariablesOf(const Atom& atom) {
+  std::vector<std::string> vars;
+  for (const Term& t : atom.args) CollectTerm(t, &vars);
+  return vars;
+}
+
+std::vector<std::string> VariablesOf(const Operand& operand) {
+  std::vector<std::string> vars;
+  CollectOperand(operand, &vars);
+  return vars;
+}
+
+std::vector<std::string> VariablesOf(const ConstraintExpr& constraint) {
+  std::vector<std::string> vars;
+  CollectOperand(constraint.lhs, &vars);
+  CollectOperand(constraint.rhs, &vars);
+  return vars;
+}
+
+std::vector<std::string> VariablesOf(const Rule& rule) {
+  std::vector<std::string> vars;
+  for (const Term& t : rule.head.args) CollectTerm(t, &vars);
+  for (const Atom& a : rule.body) {
+    for (const Term& t : a.args) CollectTerm(t, &vars);
+  }
+  for (const ConstraintExpr& c : rule.constraints) {
+    CollectOperand(c.lhs, &vars);
+    CollectOperand(c.rhs, &vars);
+  }
+  return vars;
+}
+
+}  // namespace vqldb

@@ -1,0 +1,185 @@
+// Abstract syntax of the rule-based constraint query language (Defs. 8-13).
+//
+// A program is a list of statements:
+//   * object / interval declarations (the database extract syntax of
+//     Section 5.2, e.g. `object o1 { name: "David", role: "Victim" }.`),
+//   * rules `head <- body.` (facts when the body is empty), optionally named
+//     `r: head <- body.`,
+//   * queries `?- q(X, c).`.
+//
+// Rule bodies mix positive literals (relational atoms and the builtins
+// Interval/Object/Anyobject) with constraint atoms: comparisons over
+// attribute accesses (Def. 9 inequality atoms), set-order constraints
+// (`in` / `subset`, Def. 3), and temporal entailment `=>` between duration
+// expressions. Constructive interval terms `G1 ++ G2` (the paper's
+// concatenation) may appear in rule heads only (checked by the analyzer).
+
+#ifndef VQLDB_LANG_AST_H_
+#define VQLDB_LANG_AST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/constraint/compare_op.h"
+#include "src/constraint/temporal_constraint.h"
+
+namespace vqldb {
+
+/// The builtin class predicates (Def. 8).
+inline constexpr const char* kPredInterval = "Interval";
+inline constexpr const char* kPredObject = "Object";
+inline constexpr const char* kPredAnyobject = "Anyobject";
+
+bool IsBuiltinClassPredicate(const std::string& name);
+
+/// A parse-time constant. Symbols (o1, gi2, ...) are resolved against the
+/// database's symbol table at evaluation time.
+struct ConstExpr {
+  enum class Kind { kInt, kDouble, kString, kBool, kSymbol, kSet, kTemporal };
+
+  Kind kind = Kind::kInt;
+  int64_t int_value = 0;
+  double double_value = 0;
+  bool bool_value = false;
+  std::string text;  // string contents or symbol name
+  std::vector<ConstExpr> elements;  // kSet
+  TemporalConstraint temporal;      // kTemporal
+
+  static ConstExpr Int(int64_t v);
+  static ConstExpr Double(double v);
+  static ConstExpr String(std::string s);
+  static ConstExpr Bool(bool b);
+  static ConstExpr Symbol(std::string name);
+  static ConstExpr Set(std::vector<ConstExpr> elements);
+  static ConstExpr Temporal(TemporalConstraint c);
+
+  std::string ToString() const;
+};
+
+/// A term of an atom (Section 6.1): constant, variable, or constructive
+/// concatenation of interval terms.
+struct Term {
+  enum class Kind { kConstant, kVariable, kConcat };
+
+  Kind kind = Kind::kVariable;
+  ConstExpr constant;            // kConstant
+  std::string variable;          // kVariable
+  std::vector<Term> operands;    // kConcat (flattened, size >= 2)
+
+  static Term Constant(ConstExpr c);
+  static Term Variable(std::string name);
+  static Term Concat(std::vector<Term> operands);
+
+  bool IsConstructive() const { return kind == Kind::kConcat; }
+  std::string ToString() const;
+};
+
+/// A positive literal P(t1, ..., tn).
+struct Atom {
+  std::string predicate;
+  std::vector<Term> args;
+
+  bool IsBuiltinClass() const { return IsBuiltinClassPredicate(predicate); }
+  std::string ToString() const;
+};
+
+/// One side of a constraint atom.
+struct Operand {
+  enum class Kind {
+    kTerm,      // a constant or variable
+    kAccess,    // X.attr or symbol.attr (attribute access)
+    kTemporal,  // a parenthesized C~ formula, e.g. (t > a and t < b)
+  };
+
+  Kind kind = Kind::kTerm;
+  Term term;              // kTerm; for kAccess, the base (variable/symbol)
+  std::string attribute;  // kAccess
+  TemporalConstraint temporal;  // kTemporal
+
+  static Operand FromTerm(Term t);
+  static Operand Access(Term base, std::string attribute);
+  static Operand Temporal(TemporalConstraint c);
+
+  std::string ToString() const;
+};
+
+/// A constraint atom of a rule body.
+struct ConstraintExpr {
+  enum class Kind {
+    kCompare,     // lhs op rhs (inequality atoms, Def. 9)
+    kMembership,  // lhs in rhs (set-order: c in X~)
+    kSubset,      // lhs subset rhs (set-order: X~ subseteq Y~)
+    kEntails,     // lhs => rhs (temporal entailment, e.g. G.duration => (...))
+    kBefore,      // lhs before rhs   (every instant of lhs precedes rhs)
+    kMeets,       // lhs meets rhs    (sup(lhs) == inf(rhs))
+    kOverlaps,    // lhs overlaps rhs (the extents share an instant)
+  };
+
+  Kind kind = Kind::kCompare;
+  CompareOp op = CompareOp::kEq;  // kCompare only
+  Operand lhs;
+  Operand rhs;
+
+  std::string ToString() const;
+};
+
+/// A definite clause (Def. 10). A ground, body-less rule is a fact.
+struct Rule {
+  std::string name;  // optional ("r: head <- body.")
+  Atom head;
+  std::vector<Atom> body;
+  std::vector<ConstraintExpr> constraints;
+
+  bool IsFact() const { return body.empty() && constraints.empty(); }
+  /// True iff the head contains a constructive (++) term.
+  bool IsConstructive() const;
+  std::string ToString() const;
+};
+
+/// An object / interval declaration (database extract syntax).
+struct ObjectDecl {
+  bool is_interval = false;
+  std::string symbol;
+  std::vector<std::pair<std::string, ConstExpr>> attributes;
+
+  std::string ToString() const;
+};
+
+/// ?- q(s). (Def. 13)
+struct Query {
+  Atom goal;
+  std::string ToString() const;
+};
+
+struct Statement {
+  enum class Kind { kRule, kDecl, kQuery };
+  Kind kind = Kind::kRule;
+  Rule rule;
+  ObjectDecl decl;
+  Query query;
+
+  std::string ToString() const;
+};
+
+/// A parsed program (Def. 12 plus declarations and queries).
+struct Program {
+  std::vector<Statement> statements;
+
+  std::vector<const Rule*> Rules() const;
+  std::vector<const ObjectDecl*> Decls() const;
+  std::vector<const Query*> Queries() const;
+  std::string ToString() const;
+};
+
+/// Collects the distinct variable names of an expression (the paper's var()
+/// function, Section 6.3.1), in first-occurrence order.
+std::vector<std::string> VariablesOf(const Term& term);
+std::vector<std::string> VariablesOf(const Atom& atom);
+std::vector<std::string> VariablesOf(const Operand& operand);
+std::vector<std::string> VariablesOf(const ConstraintExpr& constraint);
+std::vector<std::string> VariablesOf(const Rule& rule);
+
+}  // namespace vqldb
+
+#endif  // VQLDB_LANG_AST_H_

@@ -1,0 +1,255 @@
+#include "src/lang/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+
+namespace vqldb {
+
+namespace {
+
+const std::map<std::string, TokenKind>& Keywords() {
+  static const std::map<std::string, TokenKind> kKeywords = {
+      {"in", TokenKind::kKwIn},         {"subset", TokenKind::kKwSubset},
+      {"before", TokenKind::kKwBefore}, {"meets", TokenKind::kKwMeets},
+      {"overlaps", TokenKind::kKwOverlaps},
+      {"and", TokenKind::kKwAnd},       {"or", TokenKind::kKwOr},
+      {"true", TokenKind::kKwTrue},     {"false", TokenKind::kKwFalse},
+      {"object", TokenKind::kKwObject}, {"interval", TokenKind::kKwInterval},
+  };
+  return kKeywords;
+}
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+char Lexer::Advance() {
+  char c = source_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::SkipWhitespaceAndComments() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if ((c == '/' && Peek(1) == '/') || c == '%') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else {
+      break;
+    }
+  }
+}
+
+Token Lexer::Make(TokenKind kind, std::string text) {
+  Token t;
+  t.kind = kind;
+  t.text = std::move(text);
+  t.line = tok_line_;
+  t.column = tok_column_;
+  return t;
+}
+
+Token Lexer::Error(const std::string& message) {
+  return Make(TokenKind::kError, message);
+}
+
+Token Lexer::ScanIdentifier() {
+  size_t start = pos_;
+  while (!AtEnd() && IsIdentChar(Peek())) Advance();
+  std::string name(source_.substr(start, pos_ - start));
+
+  // Qualified name: base.attr with no intervening space, attr starting with a
+  // letter/underscore. A dot not followed by an identifier start (e.g. the
+  // statement terminator before a newline or '(') is not consumed here.
+  if (Peek() == '.' && IsIdentStart(Peek(1))) {
+    Advance();  // '.'
+    size_t astart = pos_;
+    while (!AtEnd() && IsIdentChar(Peek())) Advance();
+    Token t = Make(TokenKind::kQualified, std::move(name));
+    t.attr = std::string(source_.substr(astart, pos_ - astart));
+    return t;
+  }
+
+  auto kw = Keywords().find(name);
+  if (kw != Keywords().end()) return Make(kw->second, std::move(name));
+  bool upper = std::isupper(static_cast<unsigned char>(name[0]));
+  return Make(upper ? TokenKind::kVariable : TokenKind::kIdent,
+              std::move(name));
+}
+
+Token Lexer::ScanNumber() {
+  size_t start = pos_;
+  bool is_integer = true;
+  if (Peek() == '-') Advance();
+  while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) Advance();
+  // A '.' is part of the number only when a digit follows (so "5." closes a
+  // statement after the literal 5).
+  if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    is_integer = false;
+    Advance();
+    while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+      Advance();
+    }
+  }
+  if (Peek() == 'e' || Peek() == 'E') {
+    char sign = Peek(1);
+    size_t digits = (sign == '+' || sign == '-') ? 2 : 1;
+    if (std::isdigit(static_cast<unsigned char>(Peek(digits)))) {
+      is_integer = false;
+      Advance();  // e
+      if (sign == '+' || sign == '-') Advance();
+      while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
+        Advance();
+      }
+    }
+  }
+  std::string text(source_.substr(start, pos_ - start));
+  Token t = Make(TokenKind::kNumber, text);
+  t.number = std::strtod(text.c_str(), nullptr);
+  t.is_integer = is_integer;
+  return t;
+}
+
+Token Lexer::ScanString() {
+  Advance();  // opening quote
+  std::string out;
+  while (!AtEnd() && Peek() != '"') {
+    char c = Advance();
+    if (c == '\\' && !AtEnd()) {
+      char esc = Advance();
+      switch (esc) {
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        default:
+          return Error(std::string("unknown escape sequence \\") + esc);
+      }
+    } else if (c == '\n') {
+      return Error("unterminated string literal (newline)");
+    } else {
+      out.push_back(c);
+    }
+  }
+  if (AtEnd()) return Error("unterminated string literal");
+  Advance();  // closing quote
+  return Make(TokenKind::kString, std::move(out));
+}
+
+Token Lexer::Next() {
+  SkipWhitespaceAndComments();
+  tok_line_ = line_;
+  tok_column_ = column_;
+  if (AtEnd()) return Make(TokenKind::kEof);
+
+  char c = Peek();
+  if (IsIdentStart(c)) return ScanIdentifier();
+  if (std::isdigit(static_cast<unsigned char>(c))) return ScanNumber();
+  if (c == '-' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+    return ScanNumber();
+  }
+  if (c == '"') return ScanString();
+
+  Advance();
+  switch (c) {
+    case '(':
+      return Make(TokenKind::kLParen);
+    case ')':
+      return Make(TokenKind::kRParen);
+    case '{':
+      return Make(TokenKind::kLBrace);
+    case '}':
+      return Make(TokenKind::kRBrace);
+    case ',':
+      return Make(TokenKind::kComma);
+    case ':':
+      if (Peek() == '-') {  // accept Prolog-style ':-' as rule arrow
+        Advance();
+        return Make(TokenKind::kArrow);
+      }
+      return Make(TokenKind::kColon);
+    case '.':
+      return Make(TokenKind::kDot);
+    case '<':
+      if (Peek() == '-') {
+        Advance();
+        return Make(TokenKind::kArrow);
+      }
+      if (Peek() == '=') {
+        Advance();
+        return Make(TokenKind::kLe);
+      }
+      return Make(TokenKind::kLt);
+    case '>':
+      if (Peek() == '=') {
+        Advance();
+        return Make(TokenKind::kGe);
+      }
+      return Make(TokenKind::kGt);
+    case '=':
+      if (Peek() == '>') {
+        Advance();
+        return Make(TokenKind::kEntails);
+      }
+      return Make(TokenKind::kEq);
+    case '!':
+      if (Peek() == '=') {
+        Advance();
+        return Make(TokenKind::kNe);
+      }
+      return Error("expected '=' after '!'");
+    case '?':
+      if (Peek() == '-') {
+        Advance();
+        return Make(TokenKind::kQueryArrow);
+      }
+      return Error("expected '-' after '?'");
+    case '+':
+      if (Peek() == '+') {
+        Advance();
+        return Make(TokenKind::kConcat);
+      }
+      return Error("expected '+' after '+' (the concatenation operator is '++')");
+    default:
+      return Error(std::string("unexpected character '") + c + "'");
+  }
+}
+
+Result<std::vector<Token>> Lexer::Tokenize() {
+  std::vector<Token> tokens;
+  while (true) {
+    Token t = Next();
+    if (t.kind == TokenKind::kError) {
+      return Status::ParseError(t.text + " at line " + std::to_string(t.line) +
+                                ", column " + std::to_string(t.column));
+    }
+    bool eof = t.kind == TokenKind::kEof;
+    tokens.push_back(std::move(t));
+    if (eof) break;
+  }
+  return tokens;
+}
+
+}  // namespace vqldb

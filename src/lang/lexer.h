@@ -1,0 +1,50 @@
+// Lexer for the rule-based constraint query language.
+
+#ifndef VQLDB_LANG_LEXER_H_
+#define VQLDB_LANG_LEXER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lang/token.h"
+
+namespace vqldb {
+
+/// Scans source text into tokens. Tokenize() returns the full token stream
+/// (ending with kEof) or a ParseError with line/column information.
+class Lexer {
+ public:
+  explicit Lexer(std::string_view source) : source_(source) {}
+
+  /// Scans everything; the last token is always kEof on success.
+  Result<std::vector<Token>> Tokenize();
+
+ private:
+  Token Next();
+  Token ScanIdentifier();
+  Token ScanNumber();
+  Token ScanString();
+  Token Make(TokenKind kind, std::string text = "");
+  Token Error(const std::string& message);
+  void SkipWhitespaceAndComments();
+
+  char Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < source_.size() ? source_[i] : '\0';
+  }
+  char Advance();
+  bool AtEnd() const { return pos_ >= source_.size(); }
+
+  std::string_view source_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  int tok_line_ = 1;
+  int tok_column_ = 1;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_LANG_LEXER_H_

@@ -1,0 +1,382 @@
+#include "src/lang/parser.h"
+
+#include <cctype>
+#include <cmath>
+
+#include "src/lang/lexer.h"
+
+namespace vqldb {
+
+namespace {
+
+CompareOp TokenToCompareOp(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEq:
+      return CompareOp::kEq;
+    case TokenKind::kNe:
+      return CompareOp::kNe;
+    case TokenKind::kLt:
+      return CompareOp::kLt;
+    case TokenKind::kLe:
+      return CompareOp::kLe;
+    case TokenKind::kGt:
+      return CompareOp::kGt;
+    case TokenKind::kGe:
+      return CompareOp::kGe;
+    default:
+      return CompareOp::kEq;
+  }
+}
+
+bool IsCompareToken(TokenKind kind) {
+  return kind == TokenKind::kEq || kind == TokenKind::kNe ||
+         kind == TokenKind::kLt || kind == TokenKind::kLe ||
+         kind == TokenKind::kGt || kind == TokenKind::kGe;
+}
+
+ConstExpr NumberConst(const Token& t) {
+  if (t.is_integer && std::fabs(t.number) < 9.0e18) {
+    return ConstExpr::Int(static_cast<int64_t>(t.number));
+  }
+  return ConstExpr::Double(t.number);
+}
+
+}  // namespace
+
+const Token& Parser::Peek(size_t ahead) const {
+  size_t i = pos_ + ahead;
+  if (i >= tokens_.size()) i = tokens_.size() - 1;  // the trailing kEof
+  return tokens_[i];
+}
+
+const Token& Parser::Advance() {
+  const Token& t = tokens_[pos_];
+  if (pos_ + 1 < tokens_.size()) ++pos_;
+  return t;
+}
+
+bool Parser::Match(TokenKind kind) {
+  if (Check(kind)) {
+    Advance();
+    return true;
+  }
+  return false;
+}
+
+Result<Token> Parser::Expect(TokenKind kind, const char* context) {
+  if (Check(kind)) return Advance();
+  return Status::ParseError(std::string("expected ") + TokenKindToString(kind) +
+                            " in " + context + ", got " + Peek().ToString());
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  return Status::ParseError(message + " at " + Peek().ToString());
+}
+
+Result<Program> Parser::ParseProgram(std::string_view source) {
+  VQLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(source).Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Program_();
+}
+
+Result<Rule> Parser::ParseRule(std::string_view source) {
+  VQLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(source).Tokenize());
+  Parser parser(std::move(tokens));
+  VQLDB_ASSIGN_OR_RETURN(Rule rule, parser.Rule_());
+  if (!parser.AtEnd()) {
+    return parser.ErrorHere("trailing input after rule");
+  }
+  return rule;
+}
+
+Result<Query> Parser::ParseQuery(std::string_view source) {
+  VQLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(source).Tokenize());
+  Parser parser(std::move(tokens));
+  parser.Match(TokenKind::kQueryArrow);  // optional
+  VQLDB_ASSIGN_OR_RETURN(Atom goal, parser.Atom_());
+  parser.Match(TokenKind::kDot);  // optional terminator
+  if (!parser.AtEnd()) {
+    return parser.ErrorHere("trailing input after query");
+  }
+  return Query{std::move(goal)};
+}
+
+Result<TemporalConstraint> Parser::ParseTemporal(std::string_view source) {
+  VQLDB_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lexer(source).Tokenize());
+  Parser parser(std::move(tokens));
+  VQLDB_ASSIGN_OR_RETURN(TemporalConstraint c, parser.Temporal_());
+  if (!parser.AtEnd()) {
+    return parser.ErrorHere("trailing input after temporal constraint");
+  }
+  return c;
+}
+
+Result<Program> Parser::Program_() {
+  Program program;
+  while (!AtEnd()) {
+    VQLDB_ASSIGN_OR_RETURN(Statement s, Statement_());
+    program.statements.push_back(std::move(s));
+  }
+  return program;
+}
+
+Result<Statement> Parser::Statement_() {
+  Statement s;
+  if (Check(TokenKind::kKwObject) || Check(TokenKind::kKwInterval)) {
+    s.kind = Statement::Kind::kDecl;
+    VQLDB_ASSIGN_OR_RETURN(s.decl, Decl_());
+    return s;
+  }
+  if (Check(TokenKind::kQueryArrow)) {
+    s.kind = Statement::Kind::kQuery;
+    VQLDB_ASSIGN_OR_RETURN(s.query, Query_());
+    return s;
+  }
+  s.kind = Statement::Kind::kRule;
+  VQLDB_ASSIGN_OR_RETURN(s.rule, Rule_());
+  return s;
+}
+
+Result<ObjectDecl> Parser::Decl_() {
+  ObjectDecl decl;
+  decl.is_interval = Check(TokenKind::kKwInterval);
+  Advance();  // 'object' / 'interval'
+  VQLDB_ASSIGN_OR_RETURN(Token name, Expect(TokenKind::kIdent, "declaration"));
+  decl.symbol = name.text;
+  VQLDB_RETURN_NOT_OK(Expect(TokenKind::kLBrace, "declaration").status());
+  if (!Check(TokenKind::kRBrace)) {
+    while (true) {
+      VQLDB_ASSIGN_OR_RETURN(Token attr,
+                             Expect(TokenKind::kIdent, "attribute name"));
+      VQLDB_RETURN_NOT_OK(Expect(TokenKind::kColon, "attribute").status());
+      VQLDB_ASSIGN_OR_RETURN(ConstExpr value, Const_());
+      decl.attributes.emplace_back(attr.text, std::move(value));
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  VQLDB_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "declaration").status());
+  VQLDB_RETURN_NOT_OK(Expect(TokenKind::kDot, "declaration").status());
+  return decl;
+}
+
+Result<Query> Parser::Query_() {
+  VQLDB_RETURN_NOT_OK(Expect(TokenKind::kQueryArrow, "query").status());
+  VQLDB_ASSIGN_OR_RETURN(Atom goal, Atom_());
+  VQLDB_RETURN_NOT_OK(Expect(TokenKind::kDot, "query").status());
+  return Query{std::move(goal)};
+}
+
+Result<Rule> Parser::Rule_() {
+  Rule rule;
+  // Optional rule name: IDENT ':' not followed by what an attribute would
+  // need (names only occur at statement level, so lookahead is safe).
+  if (Check(TokenKind::kIdent) && Peek(1).kind == TokenKind::kColon) {
+    rule.name = Advance().text;
+    Advance();  // ':'
+  }
+  VQLDB_ASSIGN_OR_RETURN(rule.head, Atom_());
+  if (Match(TokenKind::kArrow)) {
+    while (true) {
+      // An atom begins with a predicate name directly followed by '('.
+      bool is_atom =
+          (Check(TokenKind::kIdent) || Check(TokenKind::kVariable) ||
+           Check(TokenKind::kKwIn)) &&
+          Peek(1).kind == TokenKind::kLParen;
+      if (is_atom) {
+        VQLDB_ASSIGN_OR_RETURN(Atom atom, Atom_());
+        rule.body.push_back(std::move(atom));
+      } else {
+        VQLDB_ASSIGN_OR_RETURN(ConstraintExpr c, Constraint_());
+        rule.constraints.push_back(std::move(c));
+      }
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  VQLDB_RETURN_NOT_OK(Expect(TokenKind::kDot, "rule").status());
+  return rule;
+}
+
+Result<Atom> Parser::Atom_() {
+  Atom atom;
+  if (Check(TokenKind::kIdent) || Check(TokenKind::kVariable)) {
+    atom.predicate = Advance().text;
+  } else if (Check(TokenKind::kKwIn)) {
+    // The paper's example relation is literally named `in`; allow it as a
+    // predicate name when followed by '('.
+    Advance();
+    atom.predicate = "in";
+  } else {
+    return ErrorHere("expected predicate name");
+  }
+  VQLDB_RETURN_NOT_OK(Expect(TokenKind::kLParen, "atom").status());
+  if (!Check(TokenKind::kRParen)) {
+    while (true) {
+      VQLDB_ASSIGN_OR_RETURN(Term t, TermExpr_());
+      atom.args.push_back(std::move(t));
+      if (!Match(TokenKind::kComma)) break;
+    }
+  }
+  VQLDB_RETURN_NOT_OK(Expect(TokenKind::kRParen, "atom").status());
+  return atom;
+}
+
+Result<Term> Parser::TermExpr_() {
+  VQLDB_ASSIGN_OR_RETURN(Term first, ConcatOperand_());
+  if (!Check(TokenKind::kConcat)) return first;
+  std::vector<Term> operands;
+  operands.push_back(std::move(first));
+  while (Match(TokenKind::kConcat)) {
+    VQLDB_ASSIGN_OR_RETURN(Term next, ConcatOperand_());
+    operands.push_back(std::move(next));
+  }
+  return Term::Concat(std::move(operands));
+}
+
+Result<Term> Parser::ConcatOperand_() {
+  if (Check(TokenKind::kVariable)) {
+    return Term::Variable(Advance().text);
+  }
+  VQLDB_ASSIGN_OR_RETURN(ConstExpr c, Const_());
+  return Term::Constant(std::move(c));
+}
+
+Result<ConstExpr> Parser::Const_() {
+  if (Check(TokenKind::kNumber)) {
+    return NumberConst(Advance());
+  }
+  if (Check(TokenKind::kString)) {
+    return ConstExpr::String(Advance().text);
+  }
+  if (Match(TokenKind::kKwTrue)) return ConstExpr::Bool(true);
+  if (Match(TokenKind::kKwFalse)) return ConstExpr::Bool(false);
+  if (Check(TokenKind::kIdent)) {
+    return ConstExpr::Symbol(Advance().text);
+  }
+  if (Match(TokenKind::kLBrace)) {
+    std::vector<ConstExpr> elements;
+    if (!Check(TokenKind::kRBrace)) {
+      while (true) {
+        VQLDB_ASSIGN_OR_RETURN(ConstExpr e, Const_());
+        elements.push_back(std::move(e));
+        if (!Match(TokenKind::kComma)) break;
+      }
+    }
+    VQLDB_RETURN_NOT_OK(Expect(TokenKind::kRBrace, "set literal").status());
+    return ConstExpr::Set(std::move(elements));
+  }
+  if (Check(TokenKind::kLParen)) {
+    // A parenthesized temporal formula, possibly continued by top-level
+    // connectives: "(t > 0 and t < 5) or (t > 9 and t < 12)". The temporal
+    // grammar owns the leading '(' (a parenthesized prim).
+    VQLDB_ASSIGN_OR_RETURN(TemporalConstraint c, Temporal_());
+    return ConstExpr::Temporal(std::move(c));
+  }
+  return ErrorHere("expected a constant");
+}
+
+Result<ConstraintExpr> Parser::Constraint_() {
+  ConstraintExpr c;
+  VQLDB_ASSIGN_OR_RETURN(c.lhs, Operand_());
+  if (IsCompareToken(Peek().kind)) {
+    c.kind = ConstraintExpr::Kind::kCompare;
+    c.op = TokenToCompareOp(Advance().kind);
+  } else if (Match(TokenKind::kKwIn)) {
+    c.kind = ConstraintExpr::Kind::kMembership;
+  } else if (Match(TokenKind::kKwSubset)) {
+    c.kind = ConstraintExpr::Kind::kSubset;
+  } else if (Match(TokenKind::kEntails)) {
+    c.kind = ConstraintExpr::Kind::kEntails;
+  } else if (Match(TokenKind::kKwBefore)) {
+    c.kind = ConstraintExpr::Kind::kBefore;
+  } else if (Match(TokenKind::kKwMeets)) {
+    c.kind = ConstraintExpr::Kind::kMeets;
+  } else if (Match(TokenKind::kKwOverlaps)) {
+    c.kind = ConstraintExpr::Kind::kOverlaps;
+  } else {
+    return ErrorHere("expected a constraint operator (=, !=, <, <=, >, >=, "
+                     "in, subset, =>, before, meets, overlaps)");
+  }
+  VQLDB_ASSIGN_OR_RETURN(c.rhs, Operand_());
+  return c;
+}
+
+Result<Operand> Parser::Operand_() {
+  if (Check(TokenKind::kQualified)) {
+    Token t = Advance();
+    bool upper = std::isupper(static_cast<unsigned char>(t.text[0]));
+    Term base = upper ? Term::Variable(t.text)
+                      : Term::Constant(ConstExpr::Symbol(t.text));
+    return Operand::Access(std::move(base), t.attr);
+  }
+  if (Check(TokenKind::kVariable)) {
+    return Operand::FromTerm(Term::Variable(Advance().text));
+  }
+  if (Check(TokenKind::kLParen)) {
+    VQLDB_ASSIGN_OR_RETURN(TemporalConstraint c, Temporal_());
+    return Operand::Temporal(std::move(c));
+  }
+  VQLDB_ASSIGN_OR_RETURN(ConstExpr c, Const_());
+  return Operand::FromTerm(Term::Constant(std::move(c)));
+}
+
+Result<TemporalConstraint> Parser::Temporal_() {
+  std::vector<TemporalConstraint> disjuncts;
+  VQLDB_ASSIGN_OR_RETURN(TemporalConstraint first, TemporalConj_());
+  disjuncts.push_back(std::move(first));
+  while (Match(TokenKind::kKwOr)) {
+    VQLDB_ASSIGN_OR_RETURN(TemporalConstraint next, TemporalConj_());
+    disjuncts.push_back(std::move(next));
+  }
+  return TemporalConstraint::Or(std::move(disjuncts));
+}
+
+Result<TemporalConstraint> Parser::TemporalConj_() {
+  std::vector<TemporalConstraint> conjuncts;
+  VQLDB_ASSIGN_OR_RETURN(TemporalConstraint first, TemporalPrim_());
+  conjuncts.push_back(std::move(first));
+  while (Match(TokenKind::kKwAnd)) {
+    VQLDB_ASSIGN_OR_RETURN(TemporalConstraint next, TemporalPrim_());
+    conjuncts.push_back(std::move(next));
+  }
+  return TemporalConstraint::And(std::move(conjuncts));
+}
+
+Result<TemporalConstraint> Parser::TemporalPrim_() {
+  if (Match(TokenKind::kKwTrue)) return TemporalConstraint::True();
+  if (Match(TokenKind::kKwFalse)) return TemporalConstraint::False();
+  if (Match(TokenKind::kLParen)) {
+    VQLDB_ASSIGN_OR_RETURN(TemporalConstraint c, Temporal_());
+    VQLDB_RETURN_NOT_OK(
+        Expect(TokenKind::kRParen, "temporal constraint").status());
+    return c;
+  }
+  // `t op NUMBER`
+  if (Check(TokenKind::kIdent) && Peek().text == "t") {
+    Advance();
+    if (!IsCompareToken(Peek().kind)) {
+      return ErrorHere("expected comparison operator after 't'");
+    }
+    CompareOp op = TokenToCompareOp(Advance().kind);
+    VQLDB_ASSIGN_OR_RETURN(Token num,
+                           Expect(TokenKind::kNumber, "temporal constraint"));
+    return TemporalConstraint::Atom(op, num.number);
+  }
+  // `NUMBER op t`
+  if (Check(TokenKind::kNumber)) {
+    Token num = Advance();
+    if (!IsCompareToken(Peek().kind)) {
+      return ErrorHere("expected comparison operator after number");
+    }
+    CompareOp op = TokenToCompareOp(Advance().kind);
+    VQLDB_ASSIGN_OR_RETURN(Token tv,
+                           Expect(TokenKind::kIdent, "temporal constraint"));
+    if (tv.text != "t") {
+      return Status::ParseError("temporal constraints range over the time "
+                                "variable 't', got " + tv.text);
+    }
+    return TemporalConstraint::Atom(Flip(op), num.number);
+  }
+  return ErrorHere("expected a temporal constraint ('t op number')");
+}
+
+}  // namespace vqldb

@@ -1,0 +1,88 @@
+// Recursive-descent parser for the rule-based constraint query language.
+//
+// Grammar (EBNF; see token.h for lexical conventions):
+//
+//   program      := statement*
+//   statement    := decl | query | rule
+//   decl         := ("object" | "interval") IDENT "{" [attr ("," attr)*] "}" "."
+//   attr         := IDENT ":" const
+//   query        := "?-" atom "."
+//   rule         := [IDENT ":"] atom ["<-" body] "."
+//   body         := element ("," element)*
+//   element      := atom | constraint
+//   atom         := pred "(" [term ("," term)*] ")"
+//   pred         := IDENT | VARIABLE | "in"        (capitalized builtins and
+//                                                   the paper's `in` relation)
+//   term         := cterm ("++" cterm)*
+//   cterm        := VARIABLE | const
+//   const        := NUMBER | STRING | "true" | "false" | IDENT
+//                 | "{" [const ("," const)*] "}" | "(" temporal ")"
+//   constraint   := operand (cmp | "in" | "subset" | "=>") operand
+//   operand      := QUALIFIED | VARIABLE | const
+//   cmp          := "=" | "!=" | "<" | "<=" | ">" | ">="
+//   temporal     := tconj ("or" tconj)*
+//   tconj        := tprim ("and" tprim)*
+//   tprim        := "t" cmp NUMBER | NUMBER cmp "t" | "true" | "false"
+//                 | "(" temporal ")"
+
+#ifndef VQLDB_LANG_PARSER_H_
+#define VQLDB_LANG_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lang/ast.h"
+#include "src/lang/token.h"
+
+namespace vqldb {
+
+/// Parses complete programs or single fragments. All entry points return
+/// ParseError with position information on malformed input.
+class Parser {
+ public:
+  /// Parses a whole program (declarations, rules, queries).
+  static Result<Program> ParseProgram(std::string_view source);
+
+  /// Parses a single rule (must consume all input).
+  static Result<Rule> ParseRule(std::string_view source);
+
+  /// Parses a single query "?- q(...)." (the "?-" may be omitted).
+  static Result<Query> ParseQuery(std::string_view source);
+
+  /// Parses a C~ temporal formula, e.g. "t > 1 and t < 5".
+  static Result<TemporalConstraint> ParseTemporal(std::string_view source);
+
+ private:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<Program> Program_();
+  Result<Statement> Statement_();
+  Result<ObjectDecl> Decl_();
+  Result<Query> Query_();
+  Result<Rule> Rule_();
+  Result<Atom> Atom_();
+  Result<Term> TermExpr_();
+  Result<Term> ConcatOperand_();
+  Result<ConstExpr> Const_();
+  Result<ConstraintExpr> Constraint_();
+  Result<Operand> Operand_();
+  Result<TemporalConstraint> Temporal_();
+  Result<TemporalConstraint> TemporalConj_();
+  Result<TemporalConstraint> TemporalPrim_();
+
+  const Token& Peek(size_t ahead = 0) const;
+  const Token& Advance();
+  bool Check(TokenKind kind) const { return Peek().kind == kind; }
+  bool Match(TokenKind kind);
+  Result<Token> Expect(TokenKind kind, const char* context);
+  Status ErrorHere(const std::string& message) const;
+  bool AtEnd() const { return Peek().kind == TokenKind::kEof; }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_LANG_PARSER_H_

@@ -1,0 +1,92 @@
+#include "src/lang/token.h"
+
+namespace vqldb {
+
+const char* TokenKindToString(TokenKind kind) {
+  switch (kind) {
+    case TokenKind::kEof:
+      return "end of input";
+    case TokenKind::kIdent:
+      return "identifier";
+    case TokenKind::kVariable:
+      return "variable";
+    case TokenKind::kQualified:
+      return "qualified name";
+    case TokenKind::kString:
+      return "string";
+    case TokenKind::kNumber:
+      return "number";
+    case TokenKind::kLParen:
+      return "'('";
+    case TokenKind::kRParen:
+      return "')'";
+    case TokenKind::kLBrace:
+      return "'{'";
+    case TokenKind::kRBrace:
+      return "'}'";
+    case TokenKind::kComma:
+      return "','";
+    case TokenKind::kColon:
+      return "':'";
+    case TokenKind::kDot:
+      return "'.'";
+    case TokenKind::kArrow:
+      return "'<-'";
+    case TokenKind::kQueryArrow:
+      return "'?-'";
+    case TokenKind::kEntails:
+      return "'=>'";
+    case TokenKind::kConcat:
+      return "'++'";
+    case TokenKind::kEq:
+      return "'='";
+    case TokenKind::kNe:
+      return "'!='";
+    case TokenKind::kLt:
+      return "'<'";
+    case TokenKind::kLe:
+      return "'<='";
+    case TokenKind::kGt:
+      return "'>'";
+    case TokenKind::kGe:
+      return "'>='";
+    case TokenKind::kKwIn:
+      return "'in'";
+    case TokenKind::kKwSubset:
+      return "'subset'";
+    case TokenKind::kKwBefore:
+      return "'before'";
+    case TokenKind::kKwMeets:
+      return "'meets'";
+    case TokenKind::kKwOverlaps:
+      return "'overlaps'";
+    case TokenKind::kKwAnd:
+      return "'and'";
+    case TokenKind::kKwOr:
+      return "'or'";
+    case TokenKind::kKwTrue:
+      return "'true'";
+    case TokenKind::kKwFalse:
+      return "'false'";
+    case TokenKind::kKwObject:
+      return "'object'";
+    case TokenKind::kKwInterval:
+      return "'interval'";
+    case TokenKind::kError:
+      return "lexical error";
+  }
+  return "?";
+}
+
+std::string Token::ToString() const {
+  std::string out = TokenKindToString(kind);
+  if (!text.empty()) {
+    out += " \"" + text;
+    if (kind == TokenKind::kQualified) out += "." + attr;
+    out += "\"";
+  }
+  out += " at " + std::to_string(line) + ":" + std::to_string(column);
+  return out;
+}
+
+}  // namespace vqldb

@@ -1,0 +1,78 @@
+// Tokens of the rule-based constraint query language (Section 6.1 syntax).
+//
+// Lexical conventions (following the paper's examples):
+//   * identifiers starting with an uppercase letter are variables (G, O1);
+//   * identifiers starting with a lowercase letter are constants / symbols /
+//     predicate names (o1, gi2, in, q) — except the capitalized builtins
+//     Interval, Object, Anyobject, which the parser recognizes by the
+//     following '(';
+//   * `X.attr` written without spaces lexes as one qualified-name token
+//     (attribute access); a '.' that is not part of a qualified name or a
+//     number terminates a statement;
+//   * strings are double-quoted with backslash escapes; `//` and `%` start
+//     line comments.
+
+#ifndef VQLDB_LANG_TOKEN_H_
+#define VQLDB_LANG_TOKEN_H_
+
+#include <cstdint>
+#include <string>
+
+namespace vqldb {
+
+enum class TokenKind : int {
+  kEof = 0,
+  kIdent,       // lowercase-initial identifier
+  kVariable,    // uppercase-initial identifier
+  kQualified,   // base.attr (text = base, attr in `attr` field)
+  kString,      // "..."
+  kNumber,      // integer or decimal literal (value in `number`)
+  kLParen,      // (
+  kRParen,      // )
+  kLBrace,      // {
+  kRBrace,      // }
+  kComma,       // ,
+  kColon,       // :
+  kDot,         // .   (statement terminator)
+  kArrow,       // <-
+  kQueryArrow,  // ?-
+  kEntails,     // =>
+  kConcat,      // ++
+  kEq,          // =
+  kNe,          // !=
+  kLt,          // <
+  kLe,          // <=
+  kGt,          // >
+  kGe,          // >=
+  kKwIn,        // in
+  kKwSubset,    // subset
+  kKwBefore,    // before   (temporal relation)
+  kKwMeets,     // meets    (temporal relation)
+  kKwOverlaps,  // overlaps (temporal relation)
+  kKwAnd,       // and
+  kKwOr,        // or
+  kKwTrue,      // true
+  kKwFalse,     // false
+  kKwObject,    // object   (declaration)
+  kKwInterval,  // interval (declaration)
+  kError,       // lexical error; message in text
+};
+
+const char* TokenKindToString(TokenKind kind);
+
+struct Token {
+  TokenKind kind = TokenKind::kEof;
+  std::string text;   // identifier text / string contents / error message
+  std::string attr;   // attribute part of a qualified name
+  double number = 0;  // numeric value for kNumber
+  bool is_integer = false;  // the literal had no '.' / exponent
+  int line = 0;
+  int column = 0;
+
+  /// Debug rendering, e.g. `variable "G1" at 3:7`.
+  std::string ToString() const;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_LANG_TOKEN_H_

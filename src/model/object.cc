@@ -1,0 +1,86 @@
+#include "src/model/object.h"
+
+#include <algorithm>
+
+#include "src/common/hash.h"
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+Status VideoObject::SetAttribute(const std::string& name, Value value) {
+  if (name.empty()) {
+    return Status::InvalidArgument("attribute name must not be empty");
+  }
+  if (value.is_null()) {
+    return Status::InvalidArgument("attribute " + name +
+                                   " must have a value (Def. 7)");
+  }
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const auto& kv, const std::string& n) { return kv.first < n; });
+  if (it != attrs_.end() && it->first == name) {
+    it->second = std::move(value);
+  } else {
+    attrs_.insert(it, {name, std::move(value)});
+  }
+  return Status::OK();
+}
+
+const Value* VideoObject::FindAttribute(const std::string& name) const {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const auto& kv, const std::string& n) { return kv.first < n; });
+  if (it != attrs_.end() && it->first == name) return &it->second;
+  return nullptr;
+}
+
+Result<Value> VideoObject::GetAttribute(const std::string& name) const {
+  const Value* v = FindAttribute(name);
+  if (v == nullptr) {
+    return Status::NotFound("object " + id_.ToString() +
+                            " has no attribute " + name);
+  }
+  return *v;
+}
+
+bool VideoObject::RemoveAttribute(const std::string& name) {
+  auto it = std::lower_bound(
+      attrs_.begin(), attrs_.end(), name,
+      [](const auto& kv, const std::string& n) { return kv.first < n; });
+  if (it != attrs_.end() && it->first == name) {
+    attrs_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+std::vector<std::string> VideoObject::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(attrs_.size());
+  for (const auto& [name, value] : attrs_) names.push_back(name);
+  return names;
+}
+
+std::string VideoObject::ToString() const {
+  return "(" + id_.ToString() + ", [" +
+         JoinMapped(attrs_, ", ",
+                    [](const auto& kv) {
+                      return kv.first + ": " + kv.second.ToString();
+                    }) +
+         "])";
+}
+
+size_t Fact::Hash() const {
+  size_t h = 0;
+  HashCombineValue(&h, relation);
+  for (const Value& v : args) HashCombine(&h, v.Hash());
+  return h;
+}
+
+std::string Fact::ToString() const {
+  return relation + "(" +
+         JoinMapped(args, ", ", [](const Value& v) { return v.ToString(); }) +
+         ")";
+}
+
+}  // namespace vqldb

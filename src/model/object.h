@@ -1,0 +1,95 @@
+// VideoObject (Def. 7): a pair (oid, [A1: v1, ..., Am: vm]) of an object
+// identity and an attribute/value tuple. Both kinds of objects in the model —
+// semantic entities and generalized-interval objects — are VideoObjects;
+// interval objects additionally obey the `duration`/`entities` attribute
+// conventions enforced by VideoDatabase.
+
+#ifndef VQLDB_MODEL_OBJECT_H_
+#define VQLDB_MODEL_OBJECT_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/model/value.h"
+
+namespace vqldb {
+
+/// Well-known attribute names (Section 5.2 examples).
+inline constexpr const char* kAttrEntities = "entities";
+inline constexpr const char* kAttrDuration = "duration";
+
+/// A v-object: object identity plus attribute tuple. Attribute names are
+/// unique within an object (Def. 7 requires distinct Ai); values follow
+/// Def. 6. The attribute list is kept sorted by name.
+class VideoObject {
+ public:
+  VideoObject() = default;
+  explicit VideoObject(ObjectId id) : id_(id) {}
+
+  ObjectId id() const { return id_; }
+  void set_id(ObjectId id) { id_ = id; }
+
+  /// Sets (or overwrites) attribute `name`. Null values are rejected —
+  /// "if an attribute is defined for a given object, then it also has a
+  /// value for that object" (Section 5.2).
+  Status SetAttribute(const std::string& name, Value value);
+
+  /// The paper's o.Ai: pointer to the value, or nullptr when undefined.
+  const Value* FindAttribute(const std::string& name) const;
+
+  /// o.Ai as a Result; NotFound when the attribute is undefined.
+  Result<Value> GetAttribute(const std::string& name) const;
+
+  bool HasAttribute(const std::string& name) const {
+    return FindAttribute(name) != nullptr;
+  }
+
+  /// Removes the attribute if present; returns whether it was present.
+  bool RemoveAttribute(const std::string& name);
+
+  /// attr(o): the set of attribute names, sorted.
+  std::vector<std::string> AttributeNames() const;
+
+  /// value(o): the attribute tuple, sorted by name.
+  const std::vector<std::pair<std::string, Value>>& attributes() const {
+    return attrs_;
+  }
+
+  size_t attribute_count() const { return attrs_.size(); }
+
+  /// Paper-style rendering:
+  /// (id3, [name: "David", role: "Victim"]).
+  std::string ToString() const;
+
+  bool operator==(const VideoObject& other) const {
+    return id_ == other.id_ && attrs_ == other.attrs_;
+  }
+
+ private:
+  ObjectId id_;
+  std::vector<std::pair<std::string, Value>> attrs_;  // sorted by name
+};
+
+/// A ground relation fact R(v1, ..., vn) (Section 5.1: the set R of relations
+/// on O x I, generalized to arbitrary value arguments).
+struct Fact {
+  std::string relation;
+  std::vector<Value> args;
+
+  bool operator==(const Fact& other) const {
+    return relation == other.relation && args == other.args;
+  }
+  size_t Hash() const;
+  /// in(id3, id6, id1)
+  std::string ToString() const;
+};
+
+}  // namespace vqldb
+
+template <>
+struct std::hash<vqldb::Fact> {
+  size_t operator()(const vqldb::Fact& f) const { return f.Hash(); }
+};
+
+#endif  // VQLDB_MODEL_OBJECT_H_

@@ -1,0 +1,299 @@
+#include "src/model/value.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/common/string_util.h"
+#include "src/constraint/temporal_constraint.h"
+
+namespace vqldb {
+
+Value Value::Bool(bool v) {
+  Value out;
+  out.kind_ = Kind::kBool;
+  out.bool_ = v;
+  return out;
+}
+
+Value Value::Int(int64_t v) {
+  Value out;
+  out.kind_ = Kind::kInt;
+  out.int_ = v;
+  return out;
+}
+
+Value Value::Double(double v) {
+  Value out;
+  out.kind_ = Kind::kDouble;
+  out.double_ = v;
+  return out;
+}
+
+Value Value::String(std::string v) {
+  Value out;
+  out.kind_ = Kind::kString;
+  out.string_ = std::move(v);
+  return out;
+}
+
+Value Value::Oid(ObjectId id) {
+  Value out;
+  out.kind_ = Kind::kOid;
+  out.oid_ = id;
+  return out;
+}
+
+Value Value::Temporal(IntervalSet set) {
+  Value out;
+  out.kind_ = Kind::kTemporal;
+  out.temporal_ = std::make_shared<const IntervalSet>(std::move(set));
+  return out;
+}
+
+Value Value::Set(std::vector<Value> elements) {
+  std::sort(elements.begin(), elements.end(),
+            [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+  elements.erase(std::unique(elements.begin(), elements.end(),
+                             [](const Value& a, const Value& b) {
+                               return a.Compare(b) == 0;
+                             }),
+                 elements.end());
+  Value out;
+  out.kind_ = Kind::kSet;
+  out.set_ = std::make_shared<const std::vector<Value>>(std::move(elements));
+  return out;
+}
+
+bool Value::bool_value() const {
+  VQLDB_DCHECK(is_bool());
+  return bool_;
+}
+
+int64_t Value::int_value() const {
+  VQLDB_DCHECK(is_int());
+  return int_;
+}
+
+double Value::double_value() const {
+  VQLDB_DCHECK(is_double());
+  return double_;
+}
+
+const std::string& Value::string_value() const {
+  VQLDB_DCHECK(is_string());
+  return string_;
+}
+
+ObjectId Value::oid_value() const {
+  VQLDB_DCHECK(is_oid());
+  return oid_;
+}
+
+const IntervalSet& Value::temporal_value() const {
+  VQLDB_DCHECK(is_temporal());
+  return *temporal_;
+}
+
+const std::vector<Value>& Value::set_elements() const {
+  VQLDB_DCHECK(is_set());
+  return *set_;
+}
+
+Result<double> Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(int_);
+  if (is_double()) return double_;
+  return Status::TypeError("value " + ToString() + " is not numeric");
+}
+
+Result<bool> Value::SetContains(const Value& element) const {
+  if (!is_set()) {
+    return Status::TypeError("membership test on non-set value " + ToString());
+  }
+  // Elements are sorted by Compare; binary search.
+  return std::binary_search(
+      set_->begin(), set_->end(), element,
+      [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+}
+
+Result<bool> Value::SetSubsetOf(const Value& other) const {
+  if (!is_set() || !other.is_set()) {
+    return Status::TypeError("subset test requires two set values, got " +
+                             ToString() + " and " + other.ToString());
+  }
+  return std::includes(
+      other.set_->begin(), other.set_->end(), set_->begin(), set_->end(),
+      [](const Value& a, const Value& b) { return a.Compare(b) < 0; });
+}
+
+namespace {
+
+int KindRank(Value::Kind k) {
+  switch (k) {
+    case Value::Kind::kNull:
+      return 0;
+    case Value::Kind::kBool:
+      return 1;
+    case Value::Kind::kInt:
+    case Value::Kind::kDouble:
+      return 2;  // numerics compare cross-kind
+    case Value::Kind::kString:
+      return 3;
+    case Value::Kind::kOid:
+      return 4;
+    case Value::Kind::kTemporal:
+      return 5;
+    case Value::Kind::kSet:
+      return 6;
+  }
+  return 7;
+}
+
+int CompareDoubles(double a, double b) {
+  if (a < b) return -1;
+  if (a > b) return 1;
+  return 0;
+}
+
+int CompareIntervalSets(const IntervalSet& a, const IntervalSet& b) {
+  const auto& fa = a.fragments();
+  const auto& fb = b.fragments();
+  size_t n = std::min(fa.size(), fb.size());
+  for (size_t i = 0; i < n; ++i) {
+    if (int c = CompareDoubles(fa[i].lo(), fb[i].lo())) return c;
+    if (fa[i].lo_open() != fb[i].lo_open()) return fa[i].lo_open() ? 1 : -1;
+    if (int c = CompareDoubles(fa[i].hi(), fb[i].hi())) return c;
+    if (fa[i].hi_open() != fb[i].hi_open()) return fa[i].hi_open() ? -1 : 1;
+  }
+  if (fa.size() != fb.size()) return fa.size() < fb.size() ? -1 : 1;
+  return 0;
+}
+
+}  // namespace
+
+int Value::Compare(const Value& other) const {
+  int ra = KindRank(kind_);
+  int rb = KindRank(other.kind_);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (kind_) {
+    case Kind::kNull:
+      return 0;
+    case Kind::kBool:
+      return int(bool_) - int(other.bool_);
+    case Kind::kInt:
+    case Kind::kDouble: {
+      // Cross-kind numeric comparison; exact int comparison when both ints.
+      if (is_int() && other.is_int()) {
+        if (int_ != other.int_) return int_ < other.int_ ? -1 : 1;
+        return 0;
+      }
+      double a = is_int() ? double(int_) : double_;
+      double b = other.is_int() ? double(other.int_) : other.double_;
+      return CompareDoubles(a, b);
+    }
+    case Kind::kString:
+      return string_.compare(other.string_);
+    case Kind::kOid:
+      if (oid_ != other.oid_) return oid_ < other.oid_ ? -1 : 1;
+      return 0;
+    case Kind::kTemporal:
+      return CompareIntervalSets(*temporal_, *other.temporal_);
+    case Kind::kSet: {
+      const auto& a = *set_;
+      const auto& b = *other.set_;
+      size_t n = std::min(a.size(), b.size());
+      for (size_t i = 0; i < n; ++i) {
+        if (int c = a[i].Compare(b[i])) return c;
+      }
+      if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+      return 0;
+    }
+  }
+  return 0;
+}
+
+size_t Value::Hash() const {
+  size_t h = static_cast<size_t>(KindRank(kind_));
+  switch (kind_) {
+    case Kind::kNull:
+      break;
+    case Kind::kBool:
+      HashCombine(&h, bool_ ? 1 : 0);
+      break;
+    case Kind::kInt:
+    case Kind::kDouble: {
+      // Ints and equal-valued doubles must hash alike (Compare == 0).
+      double v = is_int() ? double(int_) : double_;
+      HashCombineValue(&h, v);
+      break;
+    }
+    case Kind::kString:
+      HashCombineValue(&h, string_);
+      break;
+    case Kind::kOid:
+      HashCombineValue(&h, oid_.raw);
+      break;
+    case Kind::kTemporal:
+      for (const TimeInterval& iv : temporal_->fragments()) {
+        HashCombineValue(&h, iv.lo());
+        HashCombineValue(&h, iv.hi());
+        HashCombine(&h, (iv.lo_open() ? 1u : 0u) | (iv.hi_open() ? 2u : 0u));
+      }
+      break;
+    case Kind::kSet:
+      for (const Value& v : *set_) HashCombine(&h, v.Hash());
+      break;
+  }
+  return h;
+}
+
+std::string Value::ToString() const {
+  switch (kind_) {
+    case Kind::kNull:
+      return "null";
+    case Kind::kBool:
+      return bool_ ? "true" : "false";
+    case Kind::kInt:
+      return std::to_string(int_);
+    case Kind::kDouble:
+      return FormatDouble(double_);
+    case Kind::kString:
+      return QuoteString(string_);
+    case Kind::kOid:
+      return oid_.ToString();
+    case Kind::kTemporal:
+      return "(" + TemporalConstraint::FromIntervalSet(*temporal_).ToString() +
+             ")";
+    case Kind::kSet:
+      return "{" +
+             JoinMapped(*set_, ", ",
+                        [](const Value& v) { return v.ToString(); }) +
+             "}";
+  }
+  return "?";
+}
+
+Value Value::UnionWith(const Value& a, const Value& b) {
+  if (a.is_null()) return b;
+  if (b.is_null()) return a;
+  if (a == b) return a;
+  if (a.is_temporal() && b.is_temporal()) {
+    return Temporal(a.temporal_value().Union(b.temporal_value()));
+  }
+  std::vector<Value> elements;
+  if (a.is_set()) {
+    elements = a.set_elements();
+  } else {
+    elements.push_back(a);
+  }
+  if (b.is_set()) {
+    const auto& bs = b.set_elements();
+    elements.insert(elements.end(), bs.begin(), bs.end());
+  } else {
+    elements.push_back(b);
+  }
+  return Set(std::move(elements));
+}
+
+}  // namespace vqldb

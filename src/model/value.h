@@ -1,0 +1,143 @@
+// Value (Def. 6): the smallest set containing atomic constants (D), object
+// identities (ID) and temporal constraints (C~), closed under finite set
+// formation. Values are what attributes of v-objects hold and what relation
+// facts range over.
+
+#ifndef VQLDB_MODEL_VALUE_H_
+#define VQLDB_MODEL_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraint/interval_set.h"
+
+namespace vqldb {
+
+/// A logical object identity (Section 5.2): an opaque id that uniquely
+/// identifies an entity object or a generalized-interval object. Whether an
+/// id denotes an entity or an interval is recorded by the VideoDatabase that
+/// issued it.
+struct ObjectId {
+  uint64_t raw = 0;
+
+  bool valid() const { return raw != 0; }
+  auto operator<=>(const ObjectId&) const = default;
+
+  /// "id42"; "id?" when invalid.
+  std::string ToString() const {
+    return valid() ? "id" + std::to_string(raw) : "id?";
+  }
+};
+
+/// A value of the data model. Immutable once constructed; set values are
+/// kept canonical (sorted by the total order Compare, duplicates removed),
+/// so equality is structural equality.
+class Value {
+ public:
+  enum class Kind : uint8_t {
+    kNull = 0,   // "attribute not defined" marker in some APIs
+    kBool,
+    kInt,
+    kDouble,
+    kString,
+    kOid,
+    kTemporal,   // a C~ constraint, canonically an IntervalSet
+    kSet,
+  };
+
+  /// Null value (kind kNull).
+  Value() = default;
+
+  static Value Bool(bool v);
+  static Value Int(int64_t v);
+  static Value Double(double v);
+  static Value String(std::string v);
+  static Value Oid(ObjectId id);
+  static Value Temporal(IntervalSet set);
+  /// Canonicalizes (sorts by Compare, dedups) the given elements.
+  static Value Set(std::vector<Value> elements);
+  /// The empty set.
+  static Value EmptySet() { return Set({}); }
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_int() const { return kind_ == Kind::kInt; }
+  bool is_double() const { return kind_ == Kind::kDouble; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_oid() const { return kind_ == Kind::kOid; }
+  bool is_temporal() const { return kind_ == Kind::kTemporal; }
+  bool is_set() const { return kind_ == Kind::kSet; }
+  /// Int or double.
+  bool is_numeric() const { return is_int() || is_double(); }
+
+  // Accessors; each VQLDB_DCHECKs the kind in debug builds.
+  bool bool_value() const;
+  int64_t int_value() const;
+  double double_value() const;
+  const std::string& string_value() const;
+  ObjectId oid_value() const;
+  const IntervalSet& temporal_value() const;
+  const std::vector<Value>& set_elements() const;
+
+  /// Numeric value as double (int is widened). TypeError if not numeric.
+  Result<double> AsDouble() const;
+
+  /// Membership test for set values. TypeError if this is not a set.
+  Result<bool> SetContains(const Value& element) const;
+  /// Subset test between two set values.
+  Result<bool> SetSubsetOf(const Value& other) const;
+
+  /// Total order over all values: first by kind rank, then within a kind.
+  /// Numeric values of different kinds (int vs double) compare by numeric
+  /// value so that Int(2) == Double(2.0) under Compare == 0.
+  /// Returns <0, 0, >0.
+  int Compare(const Value& other) const;
+
+  bool operator==(const Value& other) const { return Compare(other) == 0; }
+  bool operator!=(const Value& other) const { return Compare(other) != 0; }
+  bool operator<(const Value& other) const { return Compare(other) < 0; }
+
+  /// Structural hash consistent with Compare-equality.
+  size_t Hash() const;
+
+  /// Surface syntax used by the query language and the text storage format:
+  /// 42, 3.5, "text", true, id7, (t >= 0 and t <= 5), {v1, v2}.
+  std::string ToString() const;
+
+  /// Paper's value union used by concatenation (Section 6.1): e.Ai =
+  /// e1.Ai U e2.Ai. Sets unite; temporal values unite pointwise; equal
+  /// values collapse (so union is idempotent); otherwise the two values are
+  /// lifted to a set. A null operand yields the other operand.
+  static Value UnionWith(const Value& a, const Value& b);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  int64_t int_ = 0;
+  double double_ = 0;
+  ObjectId oid_;
+  std::string string_;
+  // Indirection keeps sizeof(Value) small for the common scalar case.
+  std::shared_ptr<const IntervalSet> temporal_;
+  std::shared_ptr<const std::vector<Value>> set_;
+};
+
+}  // namespace vqldb
+
+template <>
+struct std::hash<vqldb::ObjectId> {
+  size_t operator()(const vqldb::ObjectId& id) const {
+    return std::hash<uint64_t>{}(id.raw);
+  }
+};
+
+template <>
+struct std::hash<vqldb::Value> {
+  size_t operator()(const vqldb::Value& v) const { return v.Hash(); }
+};
+
+#endif  // VQLDB_MODEL_VALUE_H_

@@ -1,0 +1,104 @@
+#include "src/setcon/set_constraint.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+ElementSet::ElementSet(std::vector<Element> elements)
+    : elements_(std::move(elements)) {
+  std::sort(elements_.begin(), elements_.end());
+  elements_.erase(std::unique(elements_.begin(), elements_.end()),
+                  elements_.end());
+}
+
+bool ElementSet::Contains(Element e) const {
+  return std::binary_search(elements_.begin(), elements_.end(), e);
+}
+
+bool ElementSet::SubsetOf(const ElementSet& other) const {
+  return std::includes(other.elements_.begin(), other.elements_.end(),
+                       elements_.begin(), elements_.end());
+}
+
+ElementSet ElementSet::Union(const ElementSet& other) const {
+  std::vector<Element> out;
+  out.reserve(elements_.size() + other.elements_.size());
+  std::set_union(elements_.begin(), elements_.end(), other.elements_.begin(),
+                 other.elements_.end(), std::back_inserter(out));
+  ElementSet result;
+  result.elements_ = std::move(out);
+  return result;
+}
+
+ElementSet ElementSet::Intersect(const ElementSet& other) const {
+  std::vector<Element> out;
+  std::set_intersection(elements_.begin(), elements_.end(),
+                        other.elements_.begin(), other.elements_.end(),
+                        std::back_inserter(out));
+  ElementSet result;
+  result.elements_ = std::move(out);
+  return result;
+}
+
+ElementSet ElementSet::Difference(const ElementSet& other) const {
+  std::vector<Element> out;
+  std::set_difference(elements_.begin(), elements_.end(),
+                      other.elements_.begin(), other.elements_.end(),
+                      std::back_inserter(out));
+  ElementSet result;
+  result.elements_ = std::move(out);
+  return result;
+}
+
+void ElementSet::Insert(Element e) {
+  auto it = std::lower_bound(elements_.begin(), elements_.end(), e);
+  if (it == elements_.end() || *it != e) elements_.insert(it, e);
+}
+
+std::string ElementSet::ToString() const {
+  return "{" +
+         JoinMapped(elements_, ", ",
+                    [](Element e) { return std::to_string(e); }) +
+         "}";
+}
+
+std::string SetConstraint::ToString() const {
+  switch (kind) {
+    case Kind::kMember:
+      return std::to_string(element) + " in X" + std::to_string(var);
+    case Kind::kUpperBound:
+      return "X" + std::to_string(var) + " subseteq " + set.ToString();
+    case Kind::kLowerBound:
+      return set.ToString() + " subseteq X" + std::to_string(var);
+    case Kind::kSubset:
+      return "X" + std::to_string(var) + " subseteq X" + std::to_string(var2);
+  }
+  return "?";
+}
+
+std::string ToString(const SetConjunction& conjunction) {
+  if (conjunction.empty()) return "true";
+  return JoinMapped(conjunction, " and ",
+                    [](const SetConstraint& c) { return c.ToString(); });
+}
+
+Element ElementTable::Intern(const std::string& key) {
+  auto it = by_key_.find(key);
+  if (it != by_key_.end()) return it->second;
+  Element id = static_cast<Element>(by_id_.size());
+  by_key_.emplace(key, id);
+  by_id_.push_back(key);
+  return id;
+}
+
+std::string ElementTable::Lookup(Element id) const {
+  if (id < 0 || static_cast<size_t>(id) >= by_id_.size()) {
+    return "?" + std::to_string(id);
+  }
+  return by_id_[static_cast<size_t>(id)];
+}
+
+}  // namespace vqldb

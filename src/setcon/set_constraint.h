@@ -1,0 +1,116 @@
+// Set-order constraints (Def. 3): over variables X~, Y~ ranging over finite
+// sets of elements of a domain D, the primitive constraints
+//
+//   c in X~        (membership; a derived form of {c} subseteq X~)
+//   X~ subseteq s  (upper bound by a constant set)
+//   s subseteq X~  (lower bound by a constant set)
+//   X~ subseteq Y~ (variable-variable inclusion)
+//
+// No set functions (union/intersection) appear — this is the restricted
+// fragment of [5] that [37] shows decidable in polynomial time, which the
+// paper adopts to declaratively constrain query answers (e.g.
+// `{o1, o2} subseteq G.entities`).
+//
+// Elements are interned ids; ElementTable maps application values to ids.
+
+#ifndef VQLDB_SETCON_SET_CONSTRAINT_H_
+#define VQLDB_SETCON_SET_CONSTRAINT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace vqldb {
+
+/// An interned domain element.
+using Element = int64_t;
+
+/// A finite set of elements as a sorted, duplicate-free vector.
+class ElementSet {
+ public:
+  ElementSet() = default;
+  /// Canonicalizes (sorts, dedups) arbitrary input.
+  explicit ElementSet(std::vector<Element> elements);
+  ElementSet(std::initializer_list<Element> elements)
+      : ElementSet(std::vector<Element>(elements)) {}
+
+  const std::vector<Element>& elements() const { return elements_; }
+  size_t size() const { return elements_.size(); }
+  bool empty() const { return elements_.empty(); }
+
+  bool Contains(Element e) const;
+  bool SubsetOf(const ElementSet& other) const;
+  ElementSet Union(const ElementSet& other) const;
+  ElementSet Intersect(const ElementSet& other) const;
+  ElementSet Difference(const ElementSet& other) const;
+  void Insert(Element e);
+
+  bool operator==(const ElementSet&) const = default;
+
+  /// "{1, 4, 9}"
+  std::string ToString() const;
+
+ private:
+  std::vector<Element> elements_;
+};
+
+/// One primitive set-order constraint.
+struct SetConstraint {
+  enum class Kind {
+    kMember,      // element in var
+    kUpperBound,  // var subseteq set
+    kLowerBound,  // set subseteq var
+    kSubset,      // var subseteq var2
+  };
+
+  Kind kind;
+  int var = 0;      // the (first) set variable
+  int var2 = 0;     // valid iff kind == kSubset
+  Element element = 0;  // valid iff kind == kMember
+  ElementSet set;   // valid iff kUpperBound / kLowerBound
+
+  static SetConstraint Member(Element e, int var) {
+    SetConstraint c{Kind::kMember, var, 0, e, {}};
+    return c;
+  }
+  static SetConstraint UpperBound(int var, ElementSet s) {
+    SetConstraint c{Kind::kUpperBound, var, 0, 0, std::move(s)};
+    return c;
+  }
+  static SetConstraint LowerBound(ElementSet s, int var) {
+    SetConstraint c{Kind::kLowerBound, var, 0, 0, std::move(s)};
+    return c;
+  }
+  static SetConstraint Subset(int var, int var2) {
+    SetConstraint c{Kind::kSubset, var, var2, 0, {}};
+    return c;
+  }
+
+  /// "X0 subseteq {1, 2}" style rendering.
+  std::string ToString() const;
+};
+
+/// A conjunction of set-order constraints.
+using SetConjunction = std::vector<SetConstraint>;
+
+std::string ToString(const SetConjunction& conjunction);
+
+/// Bidirectional interning of string-keyed domain elements. The solver works
+/// on Element ids; applications register the values they mention.
+class ElementTable {
+ public:
+  /// Returns the id of `key`, interning it on first use.
+  Element Intern(const std::string& key);
+  /// Reverse lookup; "?<id>" if the id was never interned.
+  std::string Lookup(Element id) const;
+  size_t size() const { return by_key_.size(); }
+
+ private:
+  std::map<std::string, Element> by_key_;
+  std::vector<std::string> by_id_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_SETCON_SET_CONSTRAINT_H_

@@ -1,0 +1,225 @@
+#include "src/setcon/set_solver.h"
+
+#include <algorithm>
+
+namespace vqldb {
+
+SetClosure::SetClosure(const SetConjunction& conjunction) {
+  // Collect variables.
+  for (const SetConstraint& c : conjunction) {
+    index_.emplace(c.var, 0);
+    if (c.kind == SetConstraint::Kind::kSubset) index_.emplace(c.var2, 0);
+  }
+  int next = 0;
+  for (auto& [var, idx] : index_) {
+    idx = next++;
+    variables_.push_back(var);
+  }
+  size_t n = variables_.size();
+  reach_.assign(n, std::vector<bool>(n, false));
+  lower_.assign(n, ElementSet());
+  upper_.assign(n, std::nullopt);
+  for (size_t i = 0; i < n; ++i) reach_[i][i] = true;
+
+  // Direct edges and direct bounds.
+  for (const SetConstraint& c : conjunction) {
+    int i = index_.at(c.var);
+    switch (c.kind) {
+      case SetConstraint::Kind::kMember:
+        lower_[i].Insert(c.element);
+        break;
+      case SetConstraint::Kind::kLowerBound:
+        lower_[i] = lower_[i].Union(c.set);
+        break;
+      case SetConstraint::Kind::kUpperBound:
+        upper_[i] = upper_[i] ? upper_[i]->Intersect(c.set) : c.set;
+        break;
+      case SetConstraint::Kind::kSubset:
+        reach_[i][index_.at(c.var2)] = true;
+        break;
+    }
+  }
+
+  // Transitive closure of subseteq-edges (Floyd-Warshall).
+  for (size_t k = 0; k < n; ++k) {
+    for (size_t i = 0; i < n; ++i) {
+      if (!reach_[i][k]) continue;
+      for (size_t j = 0; j < n; ++j) {
+        if (reach_[k][j]) reach_[i][j] = true;
+      }
+    }
+  }
+
+  // Propagate: L*(X) = union of direct lower bounds of all Y with Y -> X;
+  // U*(X) = intersection of direct upper bounds of all Z with X -> Z.
+  std::vector<ElementSet> direct_lower = lower_;
+  std::vector<std::optional<ElementSet>> direct_upper = upper_;
+  for (size_t i = 0; i < n; ++i) {
+    ElementSet l = direct_lower[i];
+    std::optional<ElementSet> u = direct_upper[i];
+    for (size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      if (reach_[j][i]) l = l.Union(direct_lower[j]);
+      if (reach_[i][j] && direct_upper[j]) {
+        u = u ? u->Intersect(*direct_upper[j]) : *direct_upper[j];
+      }
+    }
+    lower_[i] = std::move(l);
+    upper_[i] = std::move(u);
+  }
+
+  // Satisfiability: every bounded variable's tight lower bound must fit.
+  for (size_t i = 0; i < n; ++i) {
+    if (upper_[i] && !lower_[i].SubsetOf(*upper_[i])) {
+      satisfiable_ = false;
+      break;
+    }
+  }
+}
+
+int SetClosure::IndexOf(int var) const {
+  auto it = index_.find(var);
+  return it == index_.end() ? -1 : it->second;
+}
+
+const ElementSet& SetClosure::Lower(int var) const {
+  int i = IndexOf(var);
+  return i < 0 ? empty_ : lower_[i];
+}
+
+const std::optional<ElementSet>& SetClosure::Upper(int var) const {
+  int i = IndexOf(var);
+  return i < 0 ? none_ : upper_[i];
+}
+
+bool SetClosure::Reaches(int from, int to) const {
+  if (from == to) return true;  // reflexive, even for unmentioned variables
+  int i = IndexOf(from);
+  int j = IndexOf(to);
+  if (i < 0 || j < 0) return false;  // an unmentioned variable reaches only itself
+  return reach_[i][j];
+}
+
+bool SetSolver::Satisfiable(const SetConjunction& conjunction) {
+  return SetClosure(conjunction).Satisfiable();
+}
+
+bool SetSolver::Entails(const SetConjunction& conjunction,
+                        const SetConstraint& atom) {
+  SetClosure closure(conjunction);
+  if (!closure.Satisfiable()) return true;
+
+  switch (atom.kind) {
+    case SetConstraint::Kind::kMember:
+      // Every solution contains L*(X) in X, and the minimal solution is
+      // exactly L*(X): entailed iff the element is forced, i.e. in L*(X).
+      return closure.Lower(atom.var).Contains(atom.element);
+
+    case SetConstraint::Kind::kLowerBound:
+      return atom.set.SubsetOf(closure.Lower(atom.var));
+
+    case SetConstraint::Kind::kUpperBound: {
+      // X subseteq s holds everywhere iff every element permitted in X lies
+      // in s. If X is unbounded above, a fresh element outside s can always
+      // be added to X (and to everything reachable from X) — not entailed.
+      const std::optional<ElementSet>& u = closure.Upper(atom.var);
+      return u && u->SubsetOf(atom.set);
+    }
+
+    case SetConstraint::Kind::kSubset: {
+      // X subseteq Y is entailed iff (a) a subseteq-path forces it, or
+      // (b) everything permitted in X (U*(X)) is forced into Y (L*(Y)).
+      // Otherwise some element e (in U*(X) \ L*(Y), or fresh when X is
+      // unbounded) can be added to X and all its supersets without touching
+      // Y — a counterexample solution.
+      if (closure.Reaches(atom.var, atom.var2)) return true;
+      const std::optional<ElementSet>& u = closure.Upper(atom.var);
+      return u && u->SubsetOf(closure.Lower(atom.var2));
+    }
+  }
+  return false;
+}
+
+bool SetSolver::EntailsAll(const SetConjunction& conjunction,
+                           const SetConjunction& atoms) {
+  for (const SetConstraint& atom : atoms) {
+    if (!Entails(conjunction, atom)) return false;
+  }
+  return true;
+}
+
+Result<std::map<int, ElementSet>> SetSolver::SolveMinimal(
+    const SetConjunction& conjunction) {
+  SetClosure closure(conjunction);
+  if (!closure.Satisfiable()) {
+    return Status::NotFound("set-order conjunction is unsatisfiable");
+  }
+  std::map<int, ElementSet> solution;
+  for (int var : closure.variables()) {
+    solution[var] = closure.Lower(var);
+  }
+  return solution;
+}
+
+SetSolver::Elimination SetSolver::EliminateVariable(
+    const SetConjunction& conjunction, int var) {
+  Elimination out;
+  // Split constraints into those mentioning `var` and the rest.
+  ElementSet lower;                        // union of lower bounds of var
+  std::optional<ElementSet> upper;         // intersection of upper bounds
+  std::vector<int> subs;                   // Z with Z subseteq var
+  std::vector<int> supers;                 // Y with var subseteq Y
+  for (const SetConstraint& c : conjunction) {
+    bool mentions = c.var == var ||
+                    (c.kind == SetConstraint::Kind::kSubset && c.var2 == var);
+    if (!mentions) {
+      out.conjunction.push_back(c);
+      continue;
+    }
+    switch (c.kind) {
+      case SetConstraint::Kind::kMember:
+        lower.Insert(c.element);
+        break;
+      case SetConstraint::Kind::kLowerBound:
+        lower = lower.Union(c.set);
+        break;
+      case SetConstraint::Kind::kUpperBound:
+        upper = upper ? upper->Intersect(c.set) : c.set;
+        break;
+      case SetConstraint::Kind::kSubset:
+        if (c.var == var && c.var2 == var) break;  // var subseteq var: trivial
+        if (c.var == var) {
+          supers.push_back(c.var2);
+        } else {
+          subs.push_back(c.var);
+        }
+        break;
+    }
+  }
+
+  // Resolve every lower bound against every upper bound through var:
+  //   s subseteq var and var subseteq t  ==>  s subseteq t (ground check)
+  //   s subseteq var and var subseteq Y  ==>  s subseteq Y
+  //   Z subseteq var and var subseteq t  ==>  Z subseteq t
+  //   Z subseteq var and var subseteq Y  ==>  Z subseteq Y
+  if (upper && !lower.SubsetOf(*upper)) {
+    out.satisfiable = false;
+    return out;
+  }
+  for (int y : supers) {
+    if (!lower.empty()) {
+      out.conjunction.push_back(SetConstraint::LowerBound(lower, y));
+    }
+  }
+  for (int z : subs) {
+    if (upper) {
+      out.conjunction.push_back(SetConstraint::UpperBound(z, *upper));
+    }
+    for (int y : supers) {
+      if (z != y) out.conjunction.push_back(SetConstraint::Subset(z, y));
+    }
+  }
+  return out;
+}
+
+}  // namespace vqldb

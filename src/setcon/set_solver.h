@@ -1,0 +1,97 @@
+// Polynomial-time satisfiability, entailment and quantifier elimination for
+// conjunctions of set-order constraints, following the closure construction
+// of Srivastava, Ramakrishnan & Revesz ("Constraint objects", PPCP'94 — [37]
+// in the paper).
+//
+// The closure computes, for every set variable X:
+//   L*(X)  — the tightest derivable lower bound: the union of all constant
+//            lower bounds of variables that reach X along subseteq-edges;
+//   U*(X)  — the tightest derivable upper bound: the intersection of all
+//            constant upper bounds of variables reachable from X (absent if
+//            no upper bound constrains X, in which case X is unbounded).
+//
+// A conjunction is satisfiable iff L*(X) subseteq U*(X) wherever U* exists;
+// the assignment X := L*(X) is then the (unique) minimal solution. Entailment
+// is decided from L*/U*/reachability alone (see the .cc for the case
+// analysis and completeness argument).
+
+#ifndef VQLDB_SETCON_SET_SOLVER_H_
+#define VQLDB_SETCON_SET_SOLVER_H_
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/setcon/set_constraint.h"
+
+namespace vqldb {
+
+/// The closure of a conjunction: reachability plus tight bounds per variable.
+class SetClosure {
+ public:
+  explicit SetClosure(const SetConjunction& conjunction);
+
+  /// All distinct variables mentioned.
+  const std::vector<int>& variables() const { return variables_; }
+
+  /// Tightest lower bound L*(X); empty set if none.
+  const ElementSet& Lower(int var) const;
+
+  /// Tightest upper bound U*(X); nullopt when X is unbounded above.
+  const std::optional<ElementSet>& Upper(int var) const;
+
+  /// True iff there is a subseteq-path from `from` to `to` (reflexive).
+  bool Reaches(int from, int to) const;
+
+  bool Satisfiable() const { return satisfiable_; }
+
+ private:
+  int IndexOf(int var) const;
+
+  std::vector<int> variables_;
+  std::map<int, int> index_;                      // var -> dense index
+  std::vector<std::vector<bool>> reach_;          // reflexive-transitive
+  std::vector<ElementSet> lower_;
+  std::vector<std::optional<ElementSet>> upper_;
+  bool satisfiable_ = true;
+  ElementSet empty_;
+  std::optional<ElementSet> none_;
+};
+
+/// Decision procedures over set-order conjunctions.
+class SetSolver {
+ public:
+  /// Is some assignment of finite sets to the variables a solution?
+  static bool Satisfiable(const SetConjunction& conjunction);
+
+  /// Entailment conjunction => atom (true for every solution). An
+  /// unsatisfiable conjunction entails everything. Complete for the Def. 3
+  /// fragment assuming an infinite element domain.
+  static bool Entails(const SetConjunction& conjunction,
+                      const SetConstraint& atom);
+
+  /// conjunction => every atom of `atoms`.
+  static bool EntailsAll(const SetConjunction& conjunction,
+                         const SetConjunction& atoms);
+
+  /// The minimal solution (X := L*(X) for every variable); NotFound if
+  /// unsatisfiable.
+  static Result<std::map<int, ElementSet>> SolveMinimal(
+      const SetConjunction& conjunction);
+
+  /// Existential quantifier elimination: returns a conjunction over the
+  /// remaining variables equivalent to (exists var. conjunction).
+  /// `satisfiable` is false when elimination exposes a ground contradiction
+  /// (a constant lower bound not included in a constant upper bound).
+  struct Elimination {
+    bool satisfiable = true;
+    SetConjunction conjunction;
+  };
+  static Elimination EliminateVariable(const SetConjunction& conjunction,
+                                       int var);
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_SETCON_SET_SOLVER_H_

@@ -1,0 +1,203 @@
+#include "src/shell/repl.h"
+
+#include <sstream>
+
+#include "src/common/string_util.h"
+#include "src/engine/rule_compiler.h"
+#include "src/lang/parser.h"
+#include "src/storage/binary_format.h"
+#include "src/storage/catalog.h"
+#include "src/storage/text_format.h"
+
+namespace vqldb {
+
+namespace {
+
+bool IsBinaryPath(std::string_view path) { return EndsWith(path, ".vqdb"); }
+
+}  // namespace
+
+Repl::Repl(VideoDatabase* db, EvalOptions options)
+    : db_(db), session_(db, options) {}
+
+std::string Repl::Execute(std::string_view line) {
+  std::string trimmed(Trim(line));
+  if (trimmed.empty() && buffer_.empty()) return "";
+
+  // Meta-commands act immediately (never buffered).
+  if (buffer_.empty() && trimmed.size() > 1 && trimmed[0] == '.' &&
+      !std::isdigit(static_cast<unsigned char>(trimmed[1]))) {
+    size_t space = trimmed.find(' ');
+    std::string command = trimmed.substr(0, space);
+    std::string argument =
+        space == std::string::npos
+            ? ""
+            : std::string(Trim(trimmed.substr(space + 1)));
+    return Meta(command, argument);
+  }
+
+  // Buffer until the statement terminator.
+  if (!buffer_.empty()) buffer_ += "\n";
+  buffer_ += trimmed;
+  if (!EndsWith(Trim(buffer_), ".")) {
+    return "";  // continuation expected
+  }
+  std::string input = std::move(buffer_);
+  buffer_.clear();
+  return Dispatch(input);
+}
+
+std::string Repl::Dispatch(const std::string& input) {
+  std::string_view trimmed = Trim(input);
+  if (StartsWith(trimmed, "?-")) {
+    auto result = session_.Query(trimmed);
+    if (!result.ok()) return "error: " + result.status().ToString() + "\n";
+    return result->ToString(db_);
+  }
+  Status st = session_.Load(trimmed);
+  if (!st.ok()) return "error: " + st.ToString() + "\n";
+  if (journal_.has_value()) {
+    // Mirror data statements; Append itself rejects rules/queries, which
+    // simply stay out of the journal.
+    Status jst = journal_->Append(std::string(trimmed));
+    if (!jst.ok() && !jst.IsInvalidArgument()) {
+      return "ok (journal write failed: " + jst.ToString() + ")\n";
+    }
+  }
+  return "ok\n";
+}
+
+std::string Repl::Meta(const std::string& command,
+                       const std::string& argument) {
+  if (command == ".quit" || command == ".exit") {
+    done_ = true;
+    return "";
+  }
+  if (command == ".help") return Help();
+  if (command == ".stats") return Stats();
+  if (command == ".rules") return ListRules();
+  if (command == ".objects") return ListObjects();
+  if (command == ".lib") {
+    const char* text = nullptr;
+    if (argument == "std") {
+      text = StandardRuleLibrary();
+    } else if (argument == "taxonomy") {
+      text = TaxonomyRuleLibrary();
+    } else {
+      return "usage: .lib std|taxonomy\n";
+    }
+    Status st = session_.Load(text);
+    return st.ok() ? "library loaded\n" : "error: " + st.ToString() + "\n";
+  }
+  if (command == ".load") {
+    if (argument.empty()) return "usage: .load <path>\n";
+    if (IsBinaryPath(argument)) {
+      return "error: binary snapshots restore into a fresh database; start "
+             "vql with the snapshot as an argument\n";
+    }
+    auto loaded = TextFormat::LoadFromFile(argument, db_);
+    if (!loaded.ok()) return "error: " + loaded.status().ToString() + "\n";
+    for (const Rule& rule : loaded->rules) {
+      Status st = session_.AddRule(rule);
+      if (!st.ok()) return "error: " + st.ToString() + "\n";
+    }
+    session_.Invalidate();
+    return "loaded " + argument + " (" +
+           std::to_string(loaded->rules.size()) + " rules)\n";
+  }
+  if (command == ".save") {
+    if (argument.empty()) return "usage: .save <path[.vql|.vqdb]>\n";
+    Status st = IsBinaryPath(argument) ? BinaryFormat::Save(*db_, argument)
+                                       : TextFormat::DumpToFile(*db_, argument);
+    return st.ok() ? "saved " + argument + "\n"
+                   : "error: " + st.ToString() + "\n";
+  }
+  if (command == ".clearbuf") {
+    buffer_.clear();
+    return "input buffer cleared\n";
+  }
+  if (command == ".explain") {
+    if (argument.empty()) return "usage: .explain <rule ending with '.'>\n";
+    auto rule = Parser::ParseRule(argument);
+    if (!rule.ok()) return "error: " + rule.status().ToString() + "\n";
+    auto compiled = RuleCompiler::Compile(*rule, *db_);
+    if (!compiled.ok()) return "error: " + compiled.status().ToString() + "\n";
+    return ExplainRule(*compiled);
+  }
+  if (command == ".journal") {
+    if (argument == "off") {
+      journal_.reset();
+      return "journaling off\n";
+    }
+    if (argument.empty()) {
+      return journal_.has_value() ? "journaling to " + journal_->path() + "\n"
+                                  : "journaling off (usage: .journal <path>)\n";
+    }
+    auto journal = Journal::Open(argument);
+    if (!journal.ok()) return "error: " + journal.status().ToString() + "\n";
+    journal_ = std::move(*journal);
+    return "journaling data statements to " + argument + "\n";
+  }
+  return "unknown command " + command + " (try .help)\n";
+}
+
+std::string Repl::Help() const {
+  return
+      "statements end with '.', and may span lines:\n"
+      "  object o1 { name: \"David\" }.          declare an entity\n"
+      "  interval gi1 { duration: (t > 0 and t < 9), entities: {o1} }.\n"
+      "  in(o1, gi1).                           assert a fact\n"
+      "  q(G) <- Interval(G), o1 in G.entities. add a rule\n"
+      "  ?- q(G).                               run a query\n"
+      "meta commands:\n"
+      "  .help             this text\n"
+      "  .stats            database statistics\n"
+      "  .objects          list named objects\n"
+      "  .rules            list session rules\n"
+      "  .lib std|taxonomy load a bundled rule library\n"
+      "  .load <path>      load a .vql text archive\n"
+      "  .save <path>      save archive (.vql text, .vqdb binary)\n"
+      "  .explain <rule>   show the execution plan of a rule\n"
+      "  .journal <path>   mirror data statements to an append-only log\n"
+      "  .journal off      stop journaling\n"
+      "  .clearbuf         discard a half-entered statement\n"
+      "  .quit             leave\n";
+}
+
+std::string Repl::Stats() const {
+  VideoDatabase::Stats s = db_->GetStats();
+  std::ostringstream os;
+  os << s.entity_count << " entities, " << s.base_interval_count
+     << " base intervals, " << s.derived_interval_count
+     << " derived intervals, " << s.fact_count << " facts over "
+     << s.relation_count << " relations, " << session_.rules().size()
+     << " rules\n";
+  return os.str();
+}
+
+std::string Repl::ListRules() const {
+  if (session_.rules().empty()) return "(no rules)\n";
+  std::string out;
+  for (const Rule& rule : session_.rules()) {
+    out += rule.ToString();
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Repl::ListObjects() const {
+  std::ostringstream os;
+  for (ObjectId id : db_->Entities()) {
+    os << "object   " << db_->DisplayName(id) << "\n";
+  }
+  for (ObjectId id : db_->BaseIntervals()) {
+    auto duration = db_->DurationOf(id);
+    os << "interval " << db_->DisplayName(id);
+    if (duration.ok()) os << " " << duration->ToString();
+    os << "\n";
+  }
+  if (os.str().empty()) return "(empty database)\n";
+  return os.str();
+}
+
+}  // namespace vqldb

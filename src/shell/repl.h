@@ -1,0 +1,56 @@
+// Repl: the interactive shell core behind the `vql` tool. Executes one
+// input line at a time — meta-commands (".help", ".load", ...), queries
+// ("?- goal.") and ordinary statements (declarations, facts, rules) — and
+// returns the text to display. Separated from the terminal loop so the
+// behavior is unit-testable.
+
+#ifndef VQLDB_SHELL_REPL_H_
+#define VQLDB_SHELL_REPL_H_
+
+#include <string>
+#include <string_view>
+
+#include <optional>
+
+#include "src/common/result.h"
+#include "src/engine/query.h"
+#include "src/model/database.h"
+#include "src/storage/journal.h"
+
+namespace vqldb {
+
+class Repl {
+ public:
+  explicit Repl(VideoDatabase* db, EvalOptions options = {});
+
+  /// Executes one line. Returns the text to print (possibly empty). Errors
+  /// are rendered into the returned text — the shell never aborts on user
+  /// input. Multi-line statements are buffered until a terminating '.'.
+  std::string Execute(std::string_view line);
+
+  /// True after ".quit" / ".exit".
+  bool done() const { return done_; }
+
+  /// True while a continuation line is expected (unterminated statement).
+  bool pending() const { return !buffer_.empty(); }
+
+  QuerySession& session() { return session_; }
+
+ private:
+  std::string Dispatch(const std::string& input);
+  std::string Meta(const std::string& command, const std::string& argument);
+  std::string Help() const;
+  std::string Stats() const;
+  std::string ListRules() const;
+  std::string ListObjects() const;
+
+  VideoDatabase* db_;
+  QuerySession session_;
+  std::string buffer_;
+  std::optional<Journal> journal_;  // ".journal <path>" mirrors data statements
+  bool done_ = false;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_SHELL_REPL_H_

@@ -1,0 +1,36 @@
+// Binary storage: a compact, checksummed snapshot format for archives too
+// large for the text format. Varint-encoded, little-endian doubles, CRC32
+// trailer. Object ids are remapped on load (two-pass: objects first, then
+// attributes and facts), so snapshots restore into any fresh database.
+
+#ifndef VQLDB_STORAGE_BINARY_FORMAT_H_
+#define VQLDB_STORAGE_BINARY_FORMAT_H_
+
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+
+class BinaryFormat {
+ public:
+  /// Serializes entities, base intervals (with all attributes), symbols and
+  /// facts. Derived intervals are not persisted (regenerable).
+  static Result<std::string> Serialize(const VideoDatabase& db);
+
+  /// Restores a snapshot into a fresh database. Corruption on checksum or
+  /// structural errors.
+  static Result<VideoDatabase> Deserialize(std::string_view bytes);
+
+  static Status Save(const VideoDatabase& db, const std::string& path);
+  static Result<VideoDatabase> Load(const std::string& path);
+};
+
+/// CRC-32 (IEEE 802.3 polynomial) over a byte range.
+uint32_t Crc32(std::string_view bytes);
+
+}  // namespace vqldb
+
+#endif  // VQLDB_STORAGE_BINARY_FORMAT_H_

@@ -1,0 +1,119 @@
+#include "src/storage/catalog.h"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace vqldb {
+
+namespace fs = std::filesystem;
+
+Catalog::Catalog(std::string directory) : directory_(std::move(directory)) {
+  std::error_code ec;
+  fs::create_directories(directory_, ec);
+}
+
+Result<std::string> Catalog::PathFor(const std::string& name) const {
+  if (name.empty()) return Status::InvalidArgument("program name is empty");
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '-' && c != '_') {
+      return Status::InvalidArgument("invalid program name: " + name);
+    }
+  }
+  return directory_ + "/" + name + ".vql";
+}
+
+Status Catalog::SaveProgram(const std::string& name,
+                            const std::string& program_text) {
+  VQLDB_ASSIGN_OR_RETURN(std::string path, PathFor(name));
+  std::ofstream file(path);
+  if (!file) return Status::IOError("cannot open " + path + " for writing");
+  file << program_text;
+  if (!file.good()) return Status::IOError("write to " + path + " failed");
+  return Status::OK();
+}
+
+Result<std::string> Catalog::LoadProgram(const std::string& name) const {
+  VQLDB_ASSIGN_OR_RETURN(std::string path, PathFor(name));
+  std::ifstream file(path);
+  if (!file) return Status::NotFound("no program named " + name);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+Result<std::vector<std::string>> Catalog::List() const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(directory_, ec)) {
+    if (entry.path().extension() == ".vql") {
+      names.push_back(entry.path().stem().string());
+    }
+  }
+  if (ec) return Status::IOError("cannot list " + directory_);
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+Status Catalog::Remove(const std::string& name) {
+  VQLDB_ASSIGN_OR_RETURN(std::string path, PathFor(name));
+  std::error_code ec;
+  if (!fs::remove(path, ec) || ec) {
+    return Status::NotFound("no program named " + name);
+  }
+  return Status::OK();
+}
+
+const char* StandardRuleLibrary() {
+  return R"(// vqldb standard rule library (Section 6.2 derived relations)
+
+// contains(G1, G2): the time of G1 covers the time of G2.
+contains(G1, G2) <- Interval(G1), Interval(G2), G2.duration => G1.duration.
+
+// equal_duration(G1, G2): identical temporal extents.
+equal_duration(G1, G2) <- Interval(G1), Interval(G2),
+                          G1.duration => G2.duration,
+                          G2.duration => G1.duration.
+
+// covered_by(G1, G2): strict converse orientation of contains.
+covered_by(G1, G2) <- Interval(G1), Interval(G2), G1.duration => G2.duration.
+
+// same_object_in(G1, G2, O): O appears in both generalized intervals.
+same_object_in(G1, G2, O) <- Interval(G1), Interval(G2), Object(O),
+                             O in G1.entities, O in G2.entities.
+
+// cooccur(O1, O2, G): two objects of interest share a generalized interval.
+cooccur(O1, O2, G) <- Interval(G), Object(O1), Object(O2),
+                      O1 in G.entities, O2 in G.entities, O1 != O2.
+
+// appears(O, G): membership as a relation.
+appears(O, G) <- Interval(G), Object(O), O in G.entities.
+)";
+}
+
+const char* TaxonomyRuleLibrary() {
+  return R"(// vqldb taxonomy library (Section 7 future work: classification
+// and generalization as derived rules).
+
+// kind_of: reflexive-free transitive closure of the isa hierarchy.
+kind_of(C1, C2) <- isa(C1, C2).
+kind_of(C1, C3) <- kind_of(C1, C2), isa(C2, C3).
+
+// instance_of: direct classes plus everything they generalize to.
+instance_of(O, C) <- has_class(O, C).
+instance_of(O, C2) <- instance_of(O, C1), kind_of(C1, C2).
+
+// Class-level retrieval: Section 6.1 queries lifted from objects to
+// classes of objects.
+appears_kind(C, G) <- Interval(G), Object(O), O in G.entities,
+                      instance_of(O, C).
+cooccur_kind(C1, C2, G) <- Interval(G), Object(O1), Object(O2),
+                           O1 in G.entities, O2 in G.entities,
+                           instance_of(O1, C1), instance_of(O2, C2),
+                           O1 != O2.
+)";
+}
+
+}  // namespace vqldb

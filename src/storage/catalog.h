@@ -1,0 +1,56 @@
+// Catalog: named program storage on disk (one .vql file per program) plus
+// the bundled standard rule library — the derived temporal relations of
+// Section 6.2 and friends, ready to Load into any session. The paper notes
+// the language "allows a user to construct queries based on previous
+// queries"; the catalog is where those building blocks live.
+
+#ifndef VQLDB_STORAGE_CATALOG_H_
+#define VQLDB_STORAGE_CATALOG_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace vqldb {
+
+class Catalog {
+ public:
+  /// Opens (creating if needed) a catalog rooted at `directory`.
+  explicit Catalog(std::string directory);
+
+  /// Stores `program_text` under `name` (letters, digits, -, _ only).
+  Status SaveProgram(const std::string& name, const std::string& program_text);
+
+  Result<std::string> LoadProgram(const std::string& name) const;
+
+  /// Sorted names of all stored programs.
+  Result<std::vector<std::string>> List() const;
+
+  Status Remove(const std::string& name);
+
+  const std::string& directory() const { return directory_; }
+
+ private:
+  Result<std::string> PathFor(const std::string& name) const;
+  std::string directory_;
+};
+
+/// The bundled rule library: `contains`, `same_object_in`, `cooccur`,
+/// `equal_duration`, `covered_by` and the constructive
+/// `concatenate_Gintervals` from the paper's Section 6.2 examples.
+const char* StandardRuleLibrary();
+
+/// The abstraction-mechanism library — the paper's future-work direction
+/// (Section 7: "classification, aggregation, and generalization") realized
+/// as derived rules over two EDB relations the application asserts:
+///   isa(sub, super)        — class generalization edges
+///   has_class(object, c)   — direct classification of entities
+/// Derives: kind_of (transitive generalization), instance_of (classification
+/// closed under generalization), and appears_kind / cooccur_kind lifting
+/// Section 6.1 retrieval from objects to classes.
+const char* TaxonomyRuleLibrary();
+
+}  // namespace vqldb
+
+#endif  // VQLDB_STORAGE_CATALOG_H_

@@ -1,0 +1,114 @@
+#include "src/storage/journal.h"
+
+#include <filesystem>
+#include <sstream>
+
+#include "src/common/string_util.h"
+#include "src/lang/parser.h"
+#include "src/storage/binary_format.h"
+#include "src/storage/text_format.h"
+
+namespace vqldb {
+
+Result<Journal> Journal::Open(const std::string& path) {
+  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
+  if (!*file) {
+    return Status::IOError("cannot open journal " + path + " for append");
+  }
+  return Journal(path, std::move(file));
+}
+
+Status Journal::Append(const std::string& statement_text) {
+  VQLDB_ASSIGN_OR_RETURN(Program program,
+                         Parser::ParseProgram(statement_text));
+  for (const Statement& s : program.statements) {
+    switch (s.kind) {
+      case Statement::Kind::kDecl:
+        break;
+      case Statement::Kind::kRule:
+        if (!s.rule.IsFact()) {
+          return Status::InvalidArgument(
+              "journals record data statements only; rule rejected: " +
+              s.rule.ToString());
+        }
+        break;
+      case Statement::Kind::kQuery:
+        return Status::InvalidArgument(
+            "journals record data statements only; query rejected: " +
+            s.query.ToString());
+    }
+  }
+  std::string line(Trim(statement_text));
+  (*file_) << line << "\n";
+  file_->flush();
+  if (!file_->good()) {
+    return Status::IOError("append to journal " + path_ + " failed");
+  }
+  appended_ += program.statements.size();
+  return Status::OK();
+}
+
+Status Journal::RecordObject(const VideoDatabase& db, ObjectId id) {
+  VQLDB_ASSIGN_OR_RETURN(const VideoObject* obj, db.GetObject(id));
+  VQLDB_ASSIGN_OR_RETURN(ObjectKind kind, db.KindOf(id));
+  if (kind == ObjectKind::kDerivedInterval) {
+    return Status::InvalidArgument(
+        "derived intervals are regenerable and not journaled");
+  }
+  const std::string* symbol = db.SymbolOf(id);
+  if (symbol == nullptr) {
+    return Status::InvalidArgument("journaled objects need a symbol; " +
+                                   id.ToString() + " is anonymous");
+  }
+  std::ostringstream os;
+  os << (kind == ObjectKind::kEntity ? "object " : "interval ") << *symbol
+     << " {";
+  bool first = true;
+  for (const auto& [name, value] : obj->attributes()) {
+    VQLDB_ASSIGN_OR_RETURN(std::string rendered,
+                           TextFormat::RenderValue(db, value));
+    os << (first ? " " : ", ") << name << ": " << rendered;
+    first = false;
+  }
+  os << (first ? "}." : " }.");
+  return Append(os.str());
+}
+
+Status Journal::RecordFact(const VideoDatabase& db, const Fact& fact) {
+  std::vector<std::string> args;
+  for (const Value& v : fact.args) {
+    VQLDB_ASSIGN_OR_RETURN(std::string rendered,
+                           TextFormat::RenderValue(db, v));
+    args.push_back(std::move(rendered));
+  }
+  return Append(fact.relation + "(" + Join(args, ", ") + ").");
+}
+
+Result<size_t> Journal::Replay(const std::string& path, VideoDatabase* db) {
+  if (!std::filesystem::exists(path)) return size_t{0};
+  std::ifstream file(path);
+  if (!file) return Status::IOError("cannot open journal " + path);
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  VQLDB_ASSIGN_OR_RETURN(LoadedProgram loaded,
+                         TextFormat::Load(buffer.str(), db));
+  if (!loaded.rules.empty() || !loaded.queries.empty()) {
+    return Status::Corruption("journal " + path +
+                              " contains non-data statements");
+  }
+  VQLDB_ASSIGN_OR_RETURN(Program program,
+                         Parser::ParseProgram(buffer.str()));
+  return program.statements.size();
+}
+
+Result<VideoDatabase> Journal::Recover(const std::string& snapshot_path,
+                                       const std::string& journal_path) {
+  VideoDatabase db;
+  if (!snapshot_path.empty() && std::filesystem::exists(snapshot_path)) {
+    VQLDB_ASSIGN_OR_RETURN(db, BinaryFormat::Load(snapshot_path));
+  }
+  VQLDB_RETURN_NOT_OK(Replay(journal_path, &db).status());
+  return db;
+}
+
+}  // namespace vqldb

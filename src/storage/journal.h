@@ -1,0 +1,65 @@
+// Journal: an append-only log of language statements (declarations and
+// facts), giving the archive a classic snapshot + log durability story:
+// periodically BinaryFormat::Save a snapshot, journal every mutation since,
+// and Recover() by restoring the snapshot and replaying the tail.
+//
+// Statements are validated (parsed) before they are appended, so a journal
+// can always be replayed; each append is flushed to the OS before returning.
+
+#ifndef VQLDB_STORAGE_JOURNAL_H_
+#define VQLDB_STORAGE_JOURNAL_H_
+
+#include <fstream>
+#include <memory>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+
+class Journal {
+ public:
+  /// Opens (creating or appending to) the journal at `path`.
+  static Result<Journal> Open(const std::string& path);
+
+  Journal(Journal&&) = default;
+  Journal& operator=(Journal&&) = default;
+
+  /// Validates and appends one statement (a declaration or a ground fact,
+  /// e.g. `object o9 { name: "Rupert" }.` or `in(o1, o4, gi1).`). Rules and
+  /// queries are rejected — they belong to programs, not to the data log.
+  Status Append(const std::string& statement_text);
+
+  /// Renders and appends the declaration of an existing object.
+  Status RecordObject(const VideoDatabase& db, ObjectId id);
+
+  /// Renders and appends a fact assertion.
+  Status RecordFact(const VideoDatabase& db, const Fact& fact);
+
+  /// Statements appended through this handle.
+  size_t appended() const { return appended_; }
+  const std::string& path() const { return path_; }
+
+  /// Replays a journal into `db`; returns the number of statements applied.
+  /// Unknown files count as empty (0 statements) so recovery works before
+  /// the first append.
+  static Result<size_t> Replay(const std::string& path, VideoDatabase* db);
+
+  /// Snapshot + log recovery: restores the binary snapshot (or starts empty
+  /// when `snapshot_path` is empty/absent) and replays the journal tail.
+  static Result<VideoDatabase> Recover(const std::string& snapshot_path,
+                                       const std::string& journal_path);
+
+ private:
+  Journal(std::string path, std::unique_ptr<std::ofstream> file)
+      : path_(std::move(path)), file_(std::move(file)) {}
+
+  std::string path_;
+  std::unique_ptr<std::ofstream> file_;
+  size_t appended_ = 0;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_STORAGE_JOURNAL_H_

@@ -1,0 +1,48 @@
+// Text storage: a VideoDatabase dumps to (and loads from) the query
+// language's own declaration syntax — the same notation as the paper's
+// Section 5.2 database extracts — so archives are human-readable, diffable
+// and round-trippable.
+
+#ifndef VQLDB_STORAGE_TEXT_FORMAT_H_
+#define VQLDB_STORAGE_TEXT_FORMAT_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/lang/ast.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+
+struct LoadedProgram {
+  std::vector<Rule> rules;    // proper rules found in the text
+  std::vector<Query> queries; // embedded ?- queries (not executed)
+};
+
+class TextFormat {
+ public:
+  /// Renders the database as a loadable program: entity declarations, base
+  /// interval declarations, then facts. Anonymous objects receive synthetic
+  /// symbols (x<id>). Derived (concatenation) intervals are skipped — they
+  /// are regenerable from the rules that created them.
+  static Result<std::string> Dump(const VideoDatabase& db);
+
+  /// Parses `text` and applies its declarations and facts to `db`; returns
+  /// any rules/queries found for the caller to use.
+  static Result<LoadedProgram> Load(std::string_view text, VideoDatabase* db);
+
+  /// Dump/Load against files.
+  static Status DumpToFile(const VideoDatabase& db, const std::string& path);
+  static Result<LoadedProgram> LoadFromFile(const std::string& path,
+                                            VideoDatabase* db);
+
+  /// Renders one value in loadable syntax, mapping oids to symbols.
+  static Result<std::string> RenderValue(const VideoDatabase& db,
+                                         const Value& value);
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_STORAGE_TEXT_FORMAT_H_

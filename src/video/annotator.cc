@@ -1,0 +1,75 @@
+#include "src/video/annotator.h"
+
+namespace vqldb {
+
+Result<ObjectId> Annotator::AddEntity(
+    const std::string& symbol,
+    const std::map<std::string, Value>& attributes) {
+  ObjectId id;
+  auto resolved = db_->Resolve(symbol);
+  if (resolved.ok()) {
+    id = *resolved;
+    if (!db_->IsEntity(id)) {
+      return Status::InvalidArgument("symbol " + symbol +
+                                     " names a non-entity object");
+    }
+  } else {
+    VQLDB_ASSIGN_OR_RETURN(id, db_->CreateEntity(symbol));
+  }
+  for (const auto& [name, value] : attributes) {
+    VQLDB_RETURN_NOT_OK(db_->SetAttribute(id, name, value));
+  }
+  return id;
+}
+
+Result<ObjectId> Annotator::AnnotateTrack(const OccurrenceTrack& track) {
+  std::map<std::string, Value> attrs;
+  attrs["name"] = Value::String(track.entity);
+  for (const auto& [k, v] : track.attributes) {
+    attrs[k] = Value::String(v);
+  }
+  VQLDB_ASSIGN_OR_RETURN(ObjectId entity, AddEntity(track.entity, attrs));
+  VQLDB_ASSIGN_OR_RETURN(
+      ObjectId gi, db_->CreateInterval("occ_" + track.entity, track.extent));
+  VQLDB_RETURN_NOT_OK(db_->AddEntityToInterval(gi, entity));
+  VQLDB_RETURN_NOT_OK(
+      db_->SetAttribute(gi, "traces", Value::String(track.entity)));
+  return gi;
+}
+
+Result<ObjectId> Annotator::AnnotateScene(
+    const std::string& symbol, const GeneralizedInterval& extent,
+    const std::vector<std::string>& entity_symbols,
+    const std::string& subject) {
+  VQLDB_ASSIGN_OR_RETURN(ObjectId gi, db_->CreateInterval(symbol, extent));
+  for (const std::string& entity_symbol : entity_symbols) {
+    VQLDB_ASSIGN_OR_RETURN(ObjectId entity, db_->Resolve(entity_symbol));
+    VQLDB_RETURN_NOT_OK(db_->AddEntityToInterval(gi, entity));
+  }
+  if (!subject.empty()) {
+    VQLDB_RETURN_NOT_OK(
+        db_->SetAttribute(gi, "subject", Value::String(subject)));
+  }
+  return gi;
+}
+
+Status Annotator::AssertRelation(const std::string& relation,
+                                 const std::vector<std::string>& symbols) {
+  std::vector<Value> args;
+  args.reserve(symbols.size());
+  for (const std::string& symbol : symbols) {
+    VQLDB_ASSIGN_OR_RETURN(ObjectId id, db_->Resolve(symbol));
+    args.push_back(Value::Oid(id));
+  }
+  return db_->AssertFact(relation, std::move(args));
+}
+
+Status Annotator::AnnotateTimeline(const VideoTimeline& timeline) {
+  for (const auto& [name, track] : timeline.tracks()) {
+    Result<ObjectId> r = AnnotateTrack(track);
+    if (!r.ok()) return r.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace vqldb

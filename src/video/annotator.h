@@ -1,0 +1,56 @@
+// Annotator: the bridge from extractor/ground-truth output to the paper's
+// data model — creates entity objects, generalized-interval objects and
+// relation facts in a VideoDatabase (the role a human indexer plays in the
+// aided-indexing systems the paper cites).
+
+#ifndef VQLDB_VIDEO_ANNOTATOR_H_
+#define VQLDB_VIDEO_ANNOTATOR_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/model/database.h"
+#include "src/video/occurrence.h"
+
+namespace vqldb {
+
+class Annotator {
+ public:
+  explicit Annotator(VideoDatabase* db) : db_(db) {}
+
+  /// Creates an entity object bound to `symbol` with the given attributes.
+  /// Reuses the existing object when the symbol is already bound.
+  Result<ObjectId> AddEntity(const std::string& symbol,
+                             const std::map<std::string, Value>& attributes = {});
+
+  /// Fig. 3 annotation: creates the entity (if needed) and one generalized
+  /// interval object `occ_<entity>` tracing all its occurrences.
+  Result<ObjectId> AnnotateTrack(const OccurrenceTrack& track);
+
+  /// Scene annotation in the style of the paper's Rope example: an interval
+  /// object with a subject and an entity set.
+  Result<ObjectId> AnnotateScene(const std::string& symbol,
+                                 const GeneralizedInterval& extent,
+                                 const std::vector<std::string>& entity_symbols,
+                                 const std::string& subject = "");
+
+  /// Asserts relation(symbol args...) resolving each symbol to its oid.
+  Status AssertRelation(const std::string& relation,
+                        const std::vector<std::string>& symbols);
+
+  /// Full Fig. 3 population of a timeline: every track annotated, plus
+  /// `appears_with(a, b, scene)` facts for entities co-present in a scene
+  /// when `scenes` are annotated separately.
+  Status AnnotateTimeline(const VideoTimeline& timeline);
+
+  VideoDatabase* database() { return db_; }
+
+ private:
+  VideoDatabase* db_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_VIDEO_ANNOTATOR_H_

@@ -1,0 +1,38 @@
+#include "src/video/frame_stream.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace vqldb {
+
+Status FrameStream::Append(FrameFeature feature) {
+  if (feature.size() != bins_) {
+    return Status::InvalidArgument(
+        "frame feature has " + std::to_string(feature.size()) +
+        " bins, stream expects " + std::to_string(bins_));
+  }
+  features_.push_back(std::move(feature));
+  return Status::OK();
+}
+
+size_t FrameStream::FrameAt(double t) const {
+  if (features_.empty() || t <= 0) return 0;
+  size_t frame = static_cast<size_t>(t * fps_);
+  return std::min(frame, features_.size() - 1);
+}
+
+std::vector<double> FrameStream::ConsecutiveDistances() const {
+  std::vector<double> out;
+  if (features_.size() < 2) return out;
+  out.reserve(features_.size() - 1);
+  for (size_t i = 0; i + 1 < features_.size(); ++i) {
+    double d = 0;
+    for (size_t b = 0; b < bins_; ++b) {
+      d += std::fabs(features_[i + 1][b] - features_[i][b]);
+    }
+    out.push_back(d);
+  }
+  return out;
+}
+
+}  // namespace vqldb

@@ -1,0 +1,61 @@
+// FrameStream: the machine-level video substrate. The paper's model consumes
+// symbolic descriptions extracted from video; since no real footage ships
+// with a reproduction, this module provides the synthetic equivalent — a
+// stream of per-frame feature vectors (color-histogram-like) from which the
+// shot detector derives the "machine derived indices" of Section 5.1.
+
+#ifndef VQLDB_VIDEO_FRAME_STREAM_H_
+#define VQLDB_VIDEO_FRAME_STREAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+
+namespace vqldb {
+
+/// A per-frame feature vector (e.g. a normalized color histogram).
+using FrameFeature = std::vector<double>;
+
+/// A sequence of frames with a fixed frame rate. Timestamps are seconds:
+/// frame i covers [i/fps, (i+1)/fps).
+class FrameStream {
+ public:
+  FrameStream() = default;
+  FrameStream(double fps, size_t feature_bins)
+      : fps_(fps), bins_(feature_bins) {}
+
+  double fps() const { return fps_; }
+  size_t feature_bins() const { return bins_; }
+  size_t frame_count() const { return features_.size(); }
+  double duration_seconds() const {
+    return fps_ > 0 ? static_cast<double>(features_.size()) / fps_ : 0;
+  }
+
+  /// Appends a frame; the feature must have feature_bins() entries.
+  Status Append(FrameFeature feature);
+
+  const FrameFeature& feature(size_t frame) const { return features_[frame]; }
+  const std::vector<FrameFeature>& features() const { return features_; }
+
+  /// Timestamp (seconds) of the start of frame `frame`.
+  double TimeOf(size_t frame) const {
+    return fps_ > 0 ? static_cast<double>(frame) / fps_ : 0;
+  }
+  /// Frame index covering time `t` (clamped to the stream).
+  size_t FrameAt(double t) const;
+
+  /// L1 distance between consecutive frames' features; entry i is the
+  /// distance between frames i and i+1 (empty for < 2 frames).
+  std::vector<double> ConsecutiveDistances() const;
+
+ private:
+  double fps_ = 25.0;
+  size_t bins_ = 16;
+  std::vector<FrameFeature> features_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_VIDEO_FRAME_STREAM_H_

@@ -1,0 +1,283 @@
+#include "src/video/indexing_schemes.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+RetrievalQuality MeasureQuality(const GeneralizedInterval& retrieved,
+                                const GeneralizedInterval& truth) {
+  RetrievalQuality q;
+  double inter = retrieved.Intersect(truth).Measure();
+  double r = retrieved.Measure();
+  double t = truth.Measure();
+  q.precision = r > 0 ? inter / r : 1.0;
+  q.recall = t > 0 ? inter / t : 1.0;
+  return q;
+}
+
+namespace {
+
+// Creates (or finds) entity objects named after track entities and returns
+// name -> oid. `attrs` carries per-entity string attributes.
+Result<std::map<std::string, ObjectId>> EnsureEntities(
+    VideoDatabase* db, const std::vector<std::string>& names,
+    const std::map<std::string, std::vector<std::pair<std::string, std::string>>>*
+        attrs) {
+  std::map<std::string, ObjectId> out;
+  for (const std::string& name : names) {
+    auto resolved = db->Resolve(name);
+    ObjectId id;
+    if (resolved.ok()) {
+      id = *resolved;
+    } else {
+      VQLDB_ASSIGN_OR_RETURN(id, db->CreateEntity(name));
+      VQLDB_RETURN_NOT_OK(db->SetAttribute(id, "name", Value::String(name)));
+      if (attrs != nullptr) {
+        auto it = attrs->find(name);
+        if (it != attrs->end()) {
+          for (const auto& [k, v] : it->second) {
+            VQLDB_RETURN_NOT_OK(db->SetAttribute(id, k, Value::String(v)));
+          }
+        }
+      }
+    }
+    out[name] = id;
+  }
+  return out;
+}
+
+}  // namespace
+
+// ------------------------------------------------------- SegmentationIndex
+
+Status SegmentationIndex::Build(const VideoTimeline& timeline) {
+  segments_.clear();
+  std::vector<Fragment> extents;
+  if (!timeline.shots().empty()) {
+    for (const Shot& shot : timeline.shots()) {
+      extents.push_back(shot.AsFragment());
+    }
+  } else {
+    double len = default_segment_seconds_;
+    if (len <= 0) return Status::InvalidArgument("segment length must be > 0");
+    for (double begin = 0; begin < timeline.duration(); begin += len) {
+      extents.push_back(
+          Fragment{begin, std::min(begin + len, timeline.duration())});
+    }
+  }
+  for (const Fragment& extent : extents) {
+    Segment seg;
+    seg.extent = extent;
+    GeneralizedInterval seg_gi = GeneralizedInterval::Single(extent.begin,
+                                                             extent.end);
+    for (const auto& [name, track] : timeline.tracks()) {
+      if (track.extent.Overlaps(seg_gi)) seg.entities.insert(name);
+    }
+    segments_.push_back(std::move(seg));
+  }
+  return Status::OK();
+}
+
+GeneralizedInterval SegmentationIndex::OccurrencesOf(
+    const std::string& entity) const {
+  std::vector<Fragment> fragments;
+  for (const Segment& seg : segments_) {
+    if (seg.entities.count(entity)) fragments.push_back(seg.extent);
+  }
+  auto gi = GeneralizedInterval::Make(std::move(fragments));
+  return gi.ok() ? *gi : GeneralizedInterval();
+}
+
+GeneralizedInterval SegmentationIndex::CoOccurrence(
+    const std::string& a, const std::string& b) const {
+  std::vector<Fragment> fragments;
+  for (const Segment& seg : segments_) {
+    if (seg.entities.count(a) && seg.entities.count(b)) {
+      fragments.push_back(seg.extent);
+    }
+  }
+  auto gi = GeneralizedInterval::Make(std::move(fragments));
+  return gi.ok() ? *gi : GeneralizedInterval();
+}
+
+std::vector<std::string> SegmentationIndex::EntitiesAt(double t) const {
+  for (const Segment& seg : segments_) {
+    if (seg.extent.Contains(t)) {
+      return std::vector<std::string>(seg.entities.begin(),
+                                      seg.entities.end());
+    }
+  }
+  return {};
+}
+
+IndexStats SegmentationIndex::Stats() const {
+  IndexStats s;
+  s.descriptor_count = segments_.size();
+  for (const Segment& seg : segments_) {
+    s.time_records += std::max<size_t>(1, seg.entities.size());
+  }
+  return s;
+}
+
+Status SegmentationIndex::PopulateDatabase(VideoDatabase* db) const {
+  std::set<std::string> names;
+  for (const Segment& seg : segments_) {
+    names.insert(seg.entities.begin(), seg.entities.end());
+  }
+  VQLDB_ASSIGN_OR_RETURN(
+      auto oids, EnsureEntities(
+                     db, std::vector<std::string>(names.begin(), names.end()),
+                     nullptr));
+  size_t n = 0;
+  for (const Segment& seg : segments_) {
+    VQLDB_ASSIGN_OR_RETURN(
+        ObjectId gi,
+        db->CreateInterval("seg" + std::to_string(++n),
+                           GeneralizedInterval::Single(seg.extent.begin,
+                                                       seg.extent.end)));
+    std::vector<Value> members;
+    for (const std::string& name : seg.entities) {
+      members.push_back(Value::Oid(oids.at(name)));
+    }
+    VQLDB_RETURN_NOT_OK(
+        db->SetAttribute(gi, kAttrEntities, Value::Set(std::move(members))));
+    VQLDB_RETURN_NOT_OK(
+        db->SetAttribute(gi, "scheme", Value::String("segmentation")));
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------------- StratificationIndex
+
+Status StratificationIndex::Build(const VideoTimeline& timeline) {
+  strata_.clear();
+  by_entity_.clear();
+  for (const auto& [name, track] : timeline.tracks()) {
+    for (const Fragment& f : track.extent.fragments()) {
+      by_entity_[name].push_back(strata_.size());
+      strata_.push_back(Stratum{name, f});
+    }
+  }
+  return Status::OK();
+}
+
+GeneralizedInterval StratificationIndex::OccurrencesOf(
+    const std::string& entity) const {
+  auto it = by_entity_.find(entity);
+  if (it == by_entity_.end()) return GeneralizedInterval();
+  std::vector<Fragment> fragments;
+  fragments.reserve(it->second.size());
+  for (size_t i : it->second) fragments.push_back(strata_[i].extent);
+  auto gi = GeneralizedInterval::Make(std::move(fragments));
+  return gi.ok() ? *gi : GeneralizedInterval();
+}
+
+GeneralizedInterval StratificationIndex::CoOccurrence(
+    const std::string& a, const std::string& b) const {
+  return OccurrencesOf(a).Intersect(OccurrencesOf(b));
+}
+
+std::vector<std::string> StratificationIndex::EntitiesAt(double t) const {
+  std::vector<std::string> out;
+  for (const Stratum& s : strata_) {
+    if (s.extent.Contains(t) &&
+        std::find(out.begin(), out.end(), s.entity) == out.end()) {
+      out.push_back(s.entity);
+    }
+  }
+  return out;
+}
+
+IndexStats StratificationIndex::Stats() const {
+  IndexStats s;
+  s.descriptor_count = strata_.size();
+  s.time_records = strata_.size();
+  return s;
+}
+
+Status StratificationIndex::PopulateDatabase(VideoDatabase* db) const {
+  std::vector<std::string> names;
+  for (const auto& [name, idx] : by_entity_) names.push_back(name);
+  VQLDB_ASSIGN_OR_RETURN(auto oids, EnsureEntities(db, names, nullptr));
+  size_t n = 0;
+  for (const Stratum& s : strata_) {
+    VQLDB_ASSIGN_OR_RETURN(
+        ObjectId gi,
+        db->CreateInterval("stratum" + std::to_string(++n),
+                           GeneralizedInterval::Single(s.extent.begin,
+                                                       s.extent.end)));
+    VQLDB_RETURN_NOT_OK(db->SetAttribute(
+        gi, kAttrEntities, Value::Set({Value::Oid(oids.at(s.entity))})));
+    VQLDB_RETURN_NOT_OK(
+        db->SetAttribute(gi, "scheme", Value::String("stratification")));
+  }
+  return Status::OK();
+}
+
+// ----------------------------------------------- GeneralizedIntervalIndex
+
+Status GeneralizedIntervalIndex::Build(const VideoTimeline& timeline) {
+  intervals_.clear();
+  attrs_.clear();
+  for (const auto& [name, track] : timeline.tracks()) {
+    intervals_[name] = track.extent;
+    attrs_[name] = track.attributes;
+  }
+  return Status::OK();
+}
+
+GeneralizedInterval GeneralizedIntervalIndex::OccurrencesOf(
+    const std::string& entity) const {
+  auto it = intervals_.find(entity);
+  return it == intervals_.end() ? GeneralizedInterval() : it->second;
+}
+
+GeneralizedInterval GeneralizedIntervalIndex::CoOccurrence(
+    const std::string& a, const std::string& b) const {
+  return OccurrencesOf(a).Intersect(OccurrencesOf(b));
+}
+
+std::vector<std::string> GeneralizedIntervalIndex::EntitiesAt(double t) const {
+  std::vector<std::string> out;
+  for (const auto& [name, gi] : intervals_) {
+    if (gi.Contains(t)) out.push_back(name);
+  }
+  return out;
+}
+
+IndexStats GeneralizedIntervalIndex::Stats() const {
+  IndexStats s;
+  s.descriptor_count = intervals_.size();
+  for (const auto& [name, gi] : intervals_) {
+    s.time_records += gi.fragment_count();
+  }
+  return s;
+}
+
+Status GeneralizedIntervalIndex::PopulateDatabase(VideoDatabase* db) const {
+  std::vector<std::string> names;
+  for (const auto& [name, gi] : intervals_) names.push_back(name);
+  VQLDB_ASSIGN_OR_RETURN(auto oids, EnsureEntities(db, names, &attrs_));
+  for (const auto& [name, extent] : intervals_) {
+    VQLDB_ASSIGN_OR_RETURN(ObjectId gi,
+                           db->CreateInterval("occ_" + name, extent));
+    VQLDB_RETURN_NOT_OK(db->SetAttribute(
+        gi, kAttrEntities, Value::Set({Value::Oid(oids.at(name))})));
+    VQLDB_RETURN_NOT_OK(
+        db->SetAttribute(gi, "scheme", Value::String("generalized-interval")));
+    VQLDB_RETURN_NOT_OK(db->SetAttribute(gi, "traces", Value::String(name)));
+  }
+  return Status::OK();
+}
+
+std::vector<std::unique_ptr<VideoIndex>> AllIndexingSchemes() {
+  std::vector<std::unique_ptr<VideoIndex>> out;
+  out.push_back(std::make_unique<SegmentationIndex>());
+  out.push_back(std::make_unique<StratificationIndex>());
+  out.push_back(std::make_unique<GeneralizedIntervalIndex>());
+  return out;
+}
+
+}  // namespace vqldb

@@ -1,0 +1,162 @@
+// The three video indexing schemes of Section 3, as executable strategies
+// over a ground-truth VideoTimeline:
+//
+//   Fig. 1 — SegmentationIndex: the timeline is partitioned into contiguous
+//            segments (the detected shots), each annotated with every entity
+//            that appears anywhere inside it. Cheap, but descriptions are
+//            rough: retrieval is over-approximate at segment granularity.
+//   Fig. 2 — StratificationIndex: one stratum (a single interval) per
+//            maximal occurrence run of each entity. Exact, but an entity
+//            with k separate appearances costs k descriptors.
+//   Fig. 3 — GeneralizedIntervalIndex: one generalized interval per entity,
+//            tracing all of its occurrences. Exact, one descriptor per
+//            entity, single-identifier retrieval.
+//
+// Each index also knows how to populate a VideoDatabase with the model
+// objects its scheme naturally produces, so the paper's query language runs
+// against all three representations (bench/bench_fig3_generalized_intervals
+// compares them).
+
+#ifndef VQLDB_VIDEO_INDEXING_SCHEMES_H_
+#define VQLDB_VIDEO_INDEXING_SCHEMES_H_
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraint/generalized_interval.h"
+#include "src/model/database.h"
+#include "src/video/occurrence.h"
+
+namespace vqldb {
+
+/// Cost counters of a built index.
+struct IndexStats {
+  /// Annotation units a human (or extractor) authors for this scheme: one
+  /// per segment (Fig. 1), per stratum (Fig. 2), per entity (Fig. 3).
+  size_t descriptor_count = 0;
+  /// Stored (fragment, entity) time records across all descriptors.
+  size_t time_records = 0;
+};
+
+/// Precision/recall of a retrieved extent against the ground truth, measured
+/// on total duration.
+struct RetrievalQuality {
+  double precision = 1.0;
+  double recall = 1.0;
+};
+
+RetrievalQuality MeasureQuality(const GeneralizedInterval& retrieved,
+                                const GeneralizedInterval& truth);
+
+/// Common query interface over an indexing scheme.
+class VideoIndex {
+ public:
+  virtual ~VideoIndex() = default;
+
+  virtual std::string SchemeName() const = 0;
+
+  /// Builds the index from ground truth (a real system would build it from
+  /// extractor output; the information content is the same).
+  virtual Status Build(const VideoTimeline& timeline) = 0;
+
+  /// All video time where `entity` appears, per this index's knowledge.
+  virtual GeneralizedInterval OccurrencesOf(const std::string& entity) const = 0;
+
+  /// All video time where both entities appear together, per this index.
+  virtual GeneralizedInterval CoOccurrence(const std::string& a,
+                                           const std::string& b) const = 0;
+
+  /// Entities the index believes visible at instant t.
+  virtual std::vector<std::string> EntitiesAt(double t) const = 0;
+
+  virtual IndexStats Stats() const = 0;
+
+  /// Populates `db` with this scheme's natural model objects (interval
+  /// objects + shared entity objects) so the rule language can query it.
+  virtual Status PopulateDatabase(VideoDatabase* db) const = 0;
+};
+
+/// Fig. 1. When the timeline carries no shots, fixed-length segments of
+/// `default_segment_seconds` are used.
+class SegmentationIndex : public VideoIndex {
+ public:
+  explicit SegmentationIndex(double default_segment_seconds = 10.0)
+      : default_segment_seconds_(default_segment_seconds) {}
+
+  std::string SchemeName() const override { return "segmentation"; }
+  Status Build(const VideoTimeline& timeline) override;
+  GeneralizedInterval OccurrencesOf(const std::string& entity) const override;
+  GeneralizedInterval CoOccurrence(const std::string& a,
+                                   const std::string& b) const override;
+  std::vector<std::string> EntitiesAt(double t) const override;
+  IndexStats Stats() const override;
+  Status PopulateDatabase(VideoDatabase* db) const override;
+
+  struct Segment {
+    Fragment extent;
+    std::set<std::string> entities;
+  };
+  const std::vector<Segment>& segments() const { return segments_; }
+
+ private:
+  double default_segment_seconds_;
+  std::vector<Segment> segments_;
+  std::vector<std::pair<std::string, std::string>> entity_attrs_;
+};
+
+/// Fig. 2.
+class StratificationIndex : public VideoIndex {
+ public:
+  std::string SchemeName() const override { return "stratification"; }
+  Status Build(const VideoTimeline& timeline) override;
+  GeneralizedInterval OccurrencesOf(const std::string& entity) const override;
+  GeneralizedInterval CoOccurrence(const std::string& a,
+                                   const std::string& b) const override;
+  std::vector<std::string> EntitiesAt(double t) const override;
+  IndexStats Stats() const override;
+  Status PopulateDatabase(VideoDatabase* db) const override;
+
+  struct Stratum {
+    std::string entity;
+    Fragment extent;
+  };
+  const std::vector<Stratum>& strata() const { return strata_; }
+
+ private:
+  std::vector<Stratum> strata_;
+  // entity -> indexes into strata_, for OccurrencesOf.
+  std::map<std::string, std::vector<size_t>> by_entity_;
+};
+
+/// Fig. 3 — the paper's scheme.
+class GeneralizedIntervalIndex : public VideoIndex {
+ public:
+  std::string SchemeName() const override { return "generalized-interval"; }
+  Status Build(const VideoTimeline& timeline) override;
+  GeneralizedInterval OccurrencesOf(const std::string& entity) const override;
+  GeneralizedInterval CoOccurrence(const std::string& a,
+                                   const std::string& b) const override;
+  std::vector<std::string> EntitiesAt(double t) const override;
+  IndexStats Stats() const override;
+  Status PopulateDatabase(VideoDatabase* db) const override;
+
+  const std::map<std::string, GeneralizedInterval>& intervals() const {
+    return intervals_;
+  }
+
+ private:
+  std::map<std::string, GeneralizedInterval> intervals_;
+  std::map<std::string, std::vector<std::pair<std::string, std::string>>>
+      attrs_;
+};
+
+/// All three schemes, for sweep harnesses.
+std::vector<std::unique_ptr<VideoIndex>> AllIndexingSchemes();
+
+}  // namespace vqldb
+
+#endif  // VQLDB_VIDEO_INDEXING_SCHEMES_H_

@@ -1,0 +1,78 @@
+#include "src/video/occurrence.h"
+
+namespace vqldb {
+
+Result<OccurrenceTrack> TrackFromPresence(const std::string& entity,
+                                          const std::vector<bool>& presence,
+                                          double fps) {
+  if (fps <= 0) {
+    return Status::InvalidArgument("fps must be positive");
+  }
+  std::vector<Fragment> fragments;
+  size_t run_start = 0;
+  bool in_run = false;
+  for (size_t i = 0; i <= presence.size(); ++i) {
+    bool on = i < presence.size() && presence[i];
+    if (on && !in_run) {
+      run_start = i;
+      in_run = true;
+    } else if (!on && in_run) {
+      fragments.push_back(Fragment{static_cast<double>(run_start) / fps,
+                                   static_cast<double>(i) / fps});
+      in_run = false;
+    }
+  }
+  VQLDB_ASSIGN_OR_RETURN(GeneralizedInterval extent,
+                         GeneralizedInterval::Make(std::move(fragments)));
+  OccurrenceTrack track;
+  track.entity = entity;
+  track.extent = std::move(extent);
+  return track;
+}
+
+Status VideoTimeline::AddTrack(OccurrenceTrack track) {
+  if (track.entity.empty()) {
+    return Status::InvalidArgument("track entity name must not be empty");
+  }
+  auto it = tracks_.find(track.entity);
+  if (it == tracks_.end()) {
+    tracks_.emplace(track.entity, std::move(track));
+  } else {
+    it->second.extent = it->second.extent.Concat(track.extent);
+    for (auto& attr : track.attributes) {
+      it->second.attributes.push_back(std::move(attr));
+    }
+  }
+  return Status::OK();
+}
+
+const OccurrenceTrack* VideoTimeline::FindTrack(
+    const std::string& entity) const {
+  auto it = tracks_.find(entity);
+  return it == tracks_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> VideoTimeline::EntityNames() const {
+  std::vector<std::string> out;
+  out.reserve(tracks_.size());
+  for (const auto& [name, track] : tracks_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> VideoTimeline::EntitiesAt(double t) const {
+  std::vector<std::string> out;
+  for (const auto& [name, track] : tracks_) {
+    if (track.extent.Contains(t)) out.push_back(name);
+  }
+  return out;
+}
+
+GeneralizedInterval VideoTimeline::CoOccurrence(const std::string& a,
+                                                const std::string& b) const {
+  const OccurrenceTrack* ta = FindTrack(a);
+  const OccurrenceTrack* tb = FindTrack(b);
+  if (ta == nullptr || tb == nullptr) return GeneralizedInterval();
+  return ta->extent.Intersect(tb->extent);
+}
+
+}  // namespace vqldb

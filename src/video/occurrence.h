@@ -1,0 +1,72 @@
+// Occurrence tracks: when each entity of interest is on screen — the
+// "application specific desired video indices" of Section 5.1. A track is an
+// entity name plus a GeneralizedInterval tracing every occurrence (Fig. 3).
+//
+// VideoTimeline bundles the ground truth of one video document: its length,
+// its entities with their tracks, and (optionally) its shot structure. The
+// three indexing schemes and the annotator consume timelines.
+
+#ifndef VQLDB_VIDEO_OCCURRENCE_H_
+#define VQLDB_VIDEO_OCCURRENCE_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraint/generalized_interval.h"
+#include "src/video/shot_detector.h"
+
+namespace vqldb {
+
+/// One entity's presence over a video document.
+struct OccurrenceTrack {
+  std::string entity;
+  GeneralizedInterval extent;
+  /// Free-form attributes carried onto the entity object (role, realname...).
+  std::vector<std::pair<std::string, std::string>> attributes;
+};
+
+/// Builds a track from per-frame presence flags (true = entity visible in
+/// that frame) at the given frame rate.
+Result<OccurrenceTrack> TrackFromPresence(const std::string& entity,
+                                          const std::vector<bool>& presence,
+                                          double fps);
+
+/// Ground truth for one video document.
+class VideoTimeline {
+ public:
+  VideoTimeline() = default;
+  explicit VideoTimeline(double duration) : duration_(duration) {}
+
+  double duration() const { return duration_; }
+  void set_duration(double d) { duration_ = d; }
+
+  /// Adds (or extends) an entity's track.
+  Status AddTrack(OccurrenceTrack track);
+
+  const std::map<std::string, OccurrenceTrack>& tracks() const {
+    return tracks_;
+  }
+  const OccurrenceTrack* FindTrack(const std::string& entity) const;
+  std::vector<std::string> EntityNames() const;
+
+  void set_shots(std::vector<Shot> shots) { shots_ = std::move(shots); }
+  const std::vector<Shot>& shots() const { return shots_; }
+
+  /// Entities visible at instant t (by ground truth).
+  std::vector<std::string> EntitiesAt(double t) const;
+
+  /// Exact co-occurrence extent of two entities.
+  GeneralizedInterval CoOccurrence(const std::string& a,
+                                   const std::string& b) const;
+
+ private:
+  double duration_ = 0;
+  std::map<std::string, OccurrenceTrack> tracks_;
+  std::vector<Shot> shots_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_VIDEO_OCCURRENCE_H_

@@ -1,0 +1,52 @@
+#include "src/video/shot_detector.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace vqldb {
+
+double ShotDetector::EffectiveThreshold(const FrameStream& stream) const {
+  if (options_.threshold > 0) return options_.threshold;
+  std::vector<double> distances = stream.ConsecutiveDistances();
+  if (distances.empty()) return 1.0;
+  double mean = std::accumulate(distances.begin(), distances.end(), 0.0) /
+                static_cast<double>(distances.size());
+  double var = 0;
+  for (double d : distances) var += (d - mean) * (d - mean);
+  var /= static_cast<double>(distances.size());
+  return mean + options_.adaptive_sigmas * std::sqrt(var);
+}
+
+Result<std::vector<Shot>> ShotDetector::Detect(
+    const FrameStream& stream) const {
+  std::vector<Shot> shots;
+  if (stream.frame_count() == 0) return shots;
+  double threshold = EffectiveThreshold(stream);
+  std::vector<double> distances = stream.ConsecutiveDistances();
+
+  size_t begin = 0;
+  auto close_shot = [&](size_t end_inclusive) {
+    Shot shot;
+    shot.begin_frame = begin;
+    shot.end_frame = end_inclusive;
+    shot.begin_time = stream.TimeOf(begin);
+    shot.end_time = stream.TimeOf(end_inclusive + 1);  // shot covers the frame
+    // Merge too-short shots into the previous one (flash suppression).
+    if (!shots.empty() &&
+        end_inclusive - begin + 1 < options_.min_shot_frames) {
+      shots.back().end_frame = shot.end_frame;
+      shots.back().end_time = shot.end_time;
+    } else {
+      shots.push_back(shot);
+    }
+    begin = end_inclusive + 1;
+  };
+
+  for (size_t i = 0; i < distances.size(); ++i) {
+    if (distances[i] > threshold) close_shot(i);
+  }
+  close_shot(stream.frame_count() - 1);
+  return shots;
+}
+
+}  // namespace vqldb

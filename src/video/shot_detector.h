@@ -1,0 +1,53 @@
+// ShotDetector: shot-change detection over a FrameStream — the classic
+// histogram-difference method. Produces the contiguous time segments that
+// the segmentation indexing scheme (Fig. 1) annotates.
+
+#ifndef VQLDB_VIDEO_SHOT_DETECTOR_H_
+#define VQLDB_VIDEO_SHOT_DETECTOR_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraint/generalized_interval.h"
+#include "src/video/frame_stream.h"
+
+namespace vqldb {
+
+/// A detected shot: a maximal run of visually continuous frames.
+struct Shot {
+  size_t begin_frame = 0;
+  size_t end_frame = 0;  // inclusive
+  double begin_time = 0;
+  double end_time = 0;
+
+  Fragment AsFragment() const { return Fragment{begin_time, end_time}; }
+};
+
+struct ShotDetectorOptions {
+  /// Fixed cut threshold on the L1 histogram distance; <= 0 selects the
+  /// adaptive threshold mean + adaptive_sigmas * stddev.
+  double threshold = -1.0;
+  double adaptive_sigmas = 3.0;
+  /// Minimum shot length in frames; shorter runs merge into the previous
+  /// shot (suppresses flash artifacts).
+  size_t min_shot_frames = 3;
+};
+
+class ShotDetector {
+ public:
+  explicit ShotDetector(ShotDetectorOptions options = {})
+      : options_(options) {}
+
+  /// Splits the stream into shots. A stream with no frames yields no shots.
+  Result<std::vector<Shot>> Detect(const FrameStream& stream) const;
+
+  /// The threshold that Detect would use on this stream.
+  double EffectiveThreshold(const FrameStream& stream) const;
+
+ private:
+  ShotDetectorOptions options_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_VIDEO_SHOT_DETECTOR_H_

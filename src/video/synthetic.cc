@@ -1,0 +1,105 @@
+#include "src/video/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/logging.h"
+
+namespace vqldb {
+
+VideoTimeline GenerateArchive(const SyntheticArchiveConfig& config) {
+  Rng rng(config.seed);
+  VideoTimeline timeline;
+
+  // Shot boundaries.
+  std::vector<Shot> shots;
+  double t = 0;
+  for (size_t s = 0; s < config.num_shots; ++s) {
+    double len = config.mean_shot_seconds * rng.UniformDouble(0.5, 1.5);
+    Shot shot;
+    shot.begin_time = t;
+    shot.end_time = t + len;
+    shots.push_back(shot);
+    t += len;
+  }
+  timeline.set_duration(t);
+
+  // Per-entity presence per shot, with optional sub-shot trimming.
+  for (size_t e = 0; e < config.num_entities; ++e) {
+    std::vector<Fragment> fragments;
+    for (const Shot& shot : shots) {
+      if (!rng.Bernoulli(config.presence_probability)) continue;
+      double begin = shot.begin_time;
+      double end = shot.end_time;
+      if (!rng.Bernoulli(config.full_shot_probability)) {
+        double len = end - begin;
+        double a = begin + rng.UniformDouble(0, 0.5) * len;
+        double b = end - rng.UniformDouble(0, 0.5) * len;
+        if (a > b) std::swap(a, b);
+        begin = a;
+        end = b;
+      }
+      fragments.push_back(Fragment{begin, end});
+    }
+    OccurrenceTrack track;
+    track.entity = "actor" + std::to_string(e);
+    auto extent = GeneralizedInterval::Make(std::move(fragments));
+    VQLDB_CHECK(extent.ok());
+    track.extent = *extent;
+    if (e % 3 == 0) {
+      track.attributes.emplace_back("role", "anchor");
+    } else if (e % 3 == 1) {
+      track.attributes.emplace_back("role", "reporter");
+    } else {
+      track.attributes.emplace_back("role", "guest");
+    }
+    VQLDB_CHECK_OK(timeline.AddTrack(std::move(track)));
+  }
+  timeline.set_shots(std::move(shots));
+  return timeline;
+}
+
+FrameStream RenderFrameStream(const VideoTimeline& timeline,
+                              const FrameRenderConfig& config) {
+  Rng rng(config.seed);
+  FrameStream stream(config.fps, config.feature_bins);
+
+  // One random base histogram per shot.
+  std::vector<std::vector<double>> bases;
+  for (size_t s = 0; s < timeline.shots().size(); ++s) {
+    std::vector<double> base(config.feature_bins);
+    double sum = 0;
+    for (double& v : base) {
+      v = rng.UniformDouble();
+      sum += v;
+    }
+    for (double& v : base) v /= sum;
+    bases.push_back(std::move(base));
+  }
+
+  size_t total_frames =
+      static_cast<size_t>(std::ceil(timeline.duration() * config.fps));
+  size_t shot_idx = 0;
+  for (size_t f = 0; f < total_frames; ++f) {
+    double t = static_cast<double>(f) / config.fps;
+    while (shot_idx + 1 < timeline.shots().size() &&
+           t >= timeline.shots()[shot_idx].end_time) {
+      ++shot_idx;
+    }
+    FrameFeature feature = bases.empty()
+                               ? FrameFeature(config.feature_bins, 0.0)
+                               : bases[shot_idx];
+    double sum = 0;
+    for (double& v : feature) {
+      v = std::max(0.0, v + rng.UniformDouble(-config.noise, config.noise));
+      sum += v;
+    }
+    if (sum > 0) {
+      for (double& v : feature) v /= sum;
+    }
+    VQLDB_CHECK_OK(stream.Append(std::move(feature)));
+  }
+  return stream;
+}
+
+}  // namespace vqldb

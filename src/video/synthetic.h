@@ -1,0 +1,55 @@
+// Synthetic video archives: deterministic workload generation for the
+// figure reproductions and benchmarks (the substitution for the paper's TV
+// news / movie footage — see DESIGN.md).
+//
+// An archive is a ground-truth VideoTimeline (shots + per-entity occurrence
+// tracks); a FrameStream can additionally be rendered from it so the shot
+// detector has real input to chew on.
+
+#ifndef VQLDB_VIDEO_SYNTHETIC_H_
+#define VQLDB_VIDEO_SYNTHETIC_H_
+
+#include <cstdint>
+
+#include "src/common/rng.h"
+#include "src/video/frame_stream.h"
+#include "src/video/occurrence.h"
+
+namespace vqldb {
+
+struct SyntheticArchiveConfig {
+  uint64_t seed = 42;
+  /// Number of distinct entities of interest ("actor0", "actor1", ...).
+  size_t num_entities = 10;
+  /// Number of shots on the timeline.
+  size_t num_shots = 50;
+  /// Mean shot length (actual lengths uniform in [0.5, 1.5] x mean).
+  double mean_shot_seconds = 8.0;
+  /// Probability that a given entity appears in a given shot.
+  double presence_probability = 0.3;
+  /// Probability that a present entity spans the full shot (otherwise it
+  /// occupies a random sub-interval — occurrences need not align to shots).
+  double full_shot_probability = 0.7;
+};
+
+/// Generates the ground truth timeline: shot boundaries plus one occurrence
+/// track per entity. Deterministic in the seed.
+VideoTimeline GenerateArchive(const SyntheticArchiveConfig& config);
+
+struct FrameRenderConfig {
+  double fps = 25.0;
+  size_t feature_bins = 16;
+  /// Per-bin uniform noise amplitude within a shot.
+  double noise = 0.01;
+  uint64_t seed = 7;
+};
+
+/// Renders a frame-feature stream matching the timeline's shot structure:
+/// each shot gets a random base histogram; frames inside a shot add noise.
+/// Shot boundaries therefore produce large histogram jumps for the detector.
+FrameStream RenderFrameStream(const VideoTimeline& timeline,
+                              const FrameRenderConfig& config = {});
+
+}  // namespace vqldb
+
+#endif  // VQLDB_VIDEO_SYNTHETIC_H_

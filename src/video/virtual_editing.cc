@@ -1,0 +1,97 @@
+#include "src/video/virtual_editing.h"
+
+#include <algorithm>
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+
+double EditList::TotalDuration() const {
+  double total = 0;
+  for (const Fragment& f : cuts) total += f.Measure();
+  return total;
+}
+
+std::string EditList::ToString() const {
+  return JoinMapped(cuts, " -> ", [](const Fragment& f) {
+    return "[" + FormatDouble(f.begin) + "," + FormatDouble(f.end) + "]";
+  });
+}
+
+Result<EditList> SequenceFromIntervals(
+    const VideoDatabase& db, const std::vector<ObjectId>& intervals) {
+  GeneralizedInterval acc;
+  for (ObjectId id : intervals) {
+    VQLDB_ASSIGN_OR_RETURN(IntervalSet duration, db.DurationOf(id));
+    // Durations may use open bounds (the Rope example's `t > a and t < b`);
+    // close them for playback — a player renders whole frames anyway.
+    std::vector<Fragment> fragments;
+    for (const TimeInterval& iv : duration.fragments()) {
+      if (iv.lo_unbounded() || iv.hi_unbounded()) {
+        return Status::InvalidArgument("interval " + db.DisplayName(id) +
+                                       " has an unbounded duration");
+      }
+      fragments.push_back(Fragment{iv.lo(), iv.hi()});
+    }
+    VQLDB_ASSIGN_OR_RETURN(GeneralizedInterval gi,
+                           GeneralizedInterval::Make(std::move(fragments)));
+    acc = acc.Concat(gi);
+  }
+  EditList list;
+  list.cuts = acc.fragments();
+  return list;
+}
+
+Result<EditList> SequenceFromQueryColumn(const VideoDatabase& db,
+                                         const QueryResult& result,
+                                         size_t column) {
+  if (column >= result.columns.size()) {
+    return Status::OutOfRange("query result has " +
+                              std::to_string(result.columns.size()) +
+                              " columns, requested " + std::to_string(column));
+  }
+  std::vector<ObjectId> intervals;
+  for (const auto& row : result.rows) {
+    const Value& v = row[column];
+    if (!v.is_oid() || !db.IsInterval(v.oid_value())) {
+      return Status::TypeError("query column " + result.columns[column] +
+                               " holds non-interval value " + v.ToString());
+    }
+    intervals.push_back(v.oid_value());
+  }
+  return SequenceFromIntervals(db, intervals);
+}
+
+EditList ClampFragments(const EditList& list, double max_fragment_seconds) {
+  EditList out;
+  for (const Fragment& f : list.cuts) {
+    out.cuts.push_back(
+        Fragment{f.begin, std::min(f.end, f.begin + max_fragment_seconds)});
+  }
+  return out;
+}
+
+Result<ObjectId> MaterializeSequence(VideoDatabase* db,
+                                     const std::string& symbol,
+                                     const EditList& list,
+                                     const std::vector<ObjectId>& sources) {
+  VQLDB_ASSIGN_OR_RETURN(GeneralizedInterval extent,
+                         GeneralizedInterval::Make(list.cuts));
+  VQLDB_ASSIGN_OR_RETURN(ObjectId gi, db->CreateInterval(symbol, extent));
+  // Union of the sources' entity sets.
+  std::vector<Value> members;
+  for (ObjectId src : sources) {
+    VQLDB_ASSIGN_OR_RETURN(std::vector<ObjectId> entities,
+                           db->EntitiesOf(src));
+    for (ObjectId e : entities) members.push_back(Value::Oid(e));
+  }
+  if (!members.empty()) {
+    VQLDB_RETURN_NOT_OK(
+        db->SetAttribute(gi, kAttrEntities, Value::Set(std::move(members))));
+  }
+  VQLDB_RETURN_NOT_OK(
+      db->SetAttribute(gi, "edited", Value::Bool(true)));
+  return gi;
+}
+
+}  // namespace vqldb

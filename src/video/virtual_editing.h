@@ -1,0 +1,55 @@
+// Virtual editing (the paper's motivation [29] and Section 6.2's
+// constructive rules): building new presentable sequences from query
+// answers. An EditList is the ordered list of cuts a player would render;
+// sequences can be materialized back into the database as first-class
+// interval objects.
+
+#ifndef VQLDB_VIDEO_VIRTUAL_EDITING_H_
+#define VQLDB_VIDEO_VIRTUAL_EDITING_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraint/generalized_interval.h"
+#include "src/engine/query.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+
+/// An ordered cut list over the source timeline.
+struct EditList {
+  std::vector<Fragment> cuts;
+
+  double TotalDuration() const;
+  bool empty() const { return cuts.empty(); }
+  /// "[0,5] -> [20,25] -> [40,41]"
+  std::string ToString() const;
+};
+
+/// The union of the durations of `intervals`, in timeline order — the edit
+/// a query answer set denotes.
+Result<EditList> SequenceFromIntervals(const VideoDatabase& db,
+                                       const std::vector<ObjectId>& intervals);
+
+/// Extracts the interval oids of `column` from a query result and builds the
+/// corresponding edit list. Non-oid and non-interval values are rejected.
+Result<EditList> SequenceFromQueryColumn(const VideoDatabase& db,
+                                         const QueryResult& result,
+                                         size_t column);
+
+/// Caps every cut at `max_fragment_seconds` (keeping its head) — a trailer
+/// generator over an edit list.
+EditList ClampFragments(const EditList& list, double max_fragment_seconds);
+
+/// Materializes an edit list as a new interval object bound to `symbol`
+/// (duration = the cuts; entities = union of entities of `sources` if
+/// given), so further rules can query the edited sequence.
+Result<ObjectId> MaterializeSequence(VideoDatabase* db,
+                                     const std::string& symbol,
+                                     const EditList& list,
+                                     const std::vector<ObjectId>& sources = {});
+
+}  // namespace vqldb
+
+#endif  // VQLDB_VIDEO_VIRTUAL_EDITING_H_

@@ -1,0 +1,39 @@
+// Umbrella header: the public API of vqldb in one include.
+//
+//   #include "src/vqldb.h"
+//
+// brings in the data model (VideoDatabase, Value, VideoObject), the
+// temporal substrates (TimeInterval, IntervalSet, GeneralizedInterval,
+// TemporalConstraint), the query language and engine (Parser, QuerySession,
+// Evaluator), the video substrate (synthetic archives, shot detection,
+// indexing schemes, virtual editing) and persistence (TextFormat,
+// BinaryFormat, Catalog). Individual headers remain includable for finer
+// dependency control.
+
+#ifndef VQLDB_VQLDB_H_
+#define VQLDB_VQLDB_H_
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+#include "src/constraint/concrete_domain.h"
+#include "src/constraint/generalized_interval.h"
+#include "src/constraint/interval_set.h"
+#include "src/constraint/order_solver.h"
+#include "src/constraint/temporal_constraint.h"
+#include "src/engine/aggregates.h"
+#include "src/engine/evaluator.h"
+#include "src/engine/query.h"
+#include "src/lang/analyzer.h"
+#include "src/lang/parser.h"
+#include "src/model/database.h"
+#include "src/setcon/set_solver.h"
+#include "src/storage/binary_format.h"
+#include "src/storage/catalog.h"
+#include "src/storage/text_format.h"
+#include "src/video/annotator.h"
+#include "src/video/indexing_schemes.h"
+#include "src/video/shot_detector.h"
+#include "src/video/synthetic.h"
+#include "src/video/virtual_editing.h"
+
+#endif  // VQLDB_VQLDB_H_

@@ -1,0 +1,79 @@
+#include "src/common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace vqldb {
+namespace {
+
+TEST(RngTest, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 10; ++i) {
+    if (a.Next() != b.Next()) any_diff = true;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-5, 5);
+    EXPECT_GE(v, -5);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(10);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.UniformInt(0, 3));
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.UniformDouble(2.0, 3.0);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(12);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyFair) {
+  Rng rng(13);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.5)) ++heads;
+  }
+  EXPECT_GT(heads, 4500);
+  EXPECT_LT(heads, 5500);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(14);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+}  // namespace
+}  // namespace vqldb

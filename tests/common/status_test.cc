@@ -1,0 +1,136 @@
+#include "src/common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/result.h"
+
+namespace vqldb {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.message(), "");
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) { EXPECT_TRUE(Status::OK().ok()); }
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad input");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad input");
+  EXPECT_EQ(s.ToString(), "Invalid argument: bad input");
+}
+
+TEST(StatusTest, AllFactoryPredicates) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::TypeError("x").IsTypeError());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::EvaluationError("x").IsEvaluationError());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status s = Status::NotFound("missing");
+  Status copy = s;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "missing");
+  EXPECT_TRUE(s.IsNotFound());  // source unchanged
+}
+
+TEST(StatusTest, MoveTransfersState) {
+  Status s = Status::NotFound("missing");
+  Status moved = std::move(s);
+  EXPECT_TRUE(moved.IsNotFound());
+}
+
+TEST(StatusTest, AssignmentOverwrites) {
+  Status s = Status::NotFound("a");
+  s = Status::IOError("b");
+  EXPECT_TRUE(s.IsIOError());
+  EXPECT_EQ(s.message(), "b");
+  s = Status::OK();
+  EXPECT_TRUE(s.ok());
+}
+
+TEST(StatusTest, WithContextPrepends) {
+  Status s = Status::IOError("disk full").WithContext("saving archive");
+  EXPECT_EQ(s.message(), "saving archive: disk full");
+  EXPECT_TRUE(s.IsIOError());
+}
+
+TEST(StatusTest, WithContextOnOkIsNoop) {
+  EXPECT_TRUE(Status::OK().WithContext("anything").ok());
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    VQLDB_RETURN_NOT_OK(Status::NotFound("inner"));
+    return Status::OK();
+  };
+  EXPECT_TRUE(fails().IsNotFound());
+  auto succeeds = []() -> Status {
+    VQLDB_RETURN_NOT_OK(Status::OK());
+    return Status::InvalidArgument("reached");
+  };
+  EXPECT_TRUE(succeeds().IsInvalidArgument());
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(ResultTest, ValueOrFallback) {
+  Result<int> ok = 7;
+  Result<int> err = Status::NotFound("x");
+  EXPECT_EQ(ok.ValueOr(-1), 7);
+  EXPECT_EQ(err.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValueWorks) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(5);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  EXPECT_EQ(*v, 5);
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  auto inner = [](bool fail) -> Result<int> {
+    if (fail) return Status::OutOfRange("boom");
+    return 10;
+  };
+  auto outer = [&](bool fail) -> Result<int> {
+    VQLDB_ASSIGN_OR_RETURN(int v, inner(fail));
+    return v + 1;
+  };
+  EXPECT_EQ(*outer(false), 11);
+  EXPECT_TRUE(outer(true).status().IsOutOfRange());
+}
+
+TEST(StatusTest, StreamOperatorPrints) {
+  std::ostringstream os;
+  os << Status::ParseError("line 3");
+  EXPECT_EQ(os.str(), "Parse error: line 3");
+}
+
+}  // namespace
+}  // namespace vqldb

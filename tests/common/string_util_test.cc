@@ -1,0 +1,78 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace vqldb {
+namespace {
+
+TEST(StringUtilTest, JoinBasic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+  EXPECT_EQ(Join({}, ", "), "");
+}
+
+TEST(StringUtilTest, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("nosep", ','), (std::vector<std::string>{"nosep"}));
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  std::string s = "x,y,,z";
+  EXPECT_EQ(Join(Split(s, ','), ","), s);
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hello  "), "hello");
+  EXPECT_EQ(Trim("\t\nabc\r "), "abc");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+  EXPECT_EQ(ToLower(""), "");
+}
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("interval gi1", "interval"));
+  EXPECT_FALSE(StartsWith("int", "interval"));
+  EXPECT_TRUE(EndsWith("archive.vql", ".vql"));
+  EXPECT_FALSE(EndsWith("vql", ".vql"));
+}
+
+TEST(StringUtilTest, FormatDoubleIntegers) {
+  EXPECT_EQ(FormatDouble(3.0), "3");
+  EXPECT_EQ(FormatDouble(-10.0), "-10");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+TEST(StringUtilTest, FormatDoubleFractions) {
+  EXPECT_EQ(FormatDouble(3.5), "3.5");
+  EXPECT_EQ(FormatDouble(0.25), "0.25");
+}
+
+TEST(StringUtilTest, FormatDoubleRoundTrips) {
+  for (double v : {1.0 / 3.0, 2.718281828459045, 1e-9, 123456.789}) {
+    EXPECT_EQ(std::stod(FormatDouble(v)), v) << v;
+  }
+}
+
+TEST(StringUtilTest, QuoteStringEscapes) {
+  EXPECT_EQ(QuoteString("plain"), "\"plain\"");
+  EXPECT_EQ(QuoteString("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(QuoteString("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(QuoteString("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(QuoteString("a\tb"), "\"a\\tb\"");
+}
+
+TEST(StringUtilTest, JoinMapped) {
+  std::vector<int> v{1, 2, 3};
+  EXPECT_EQ(JoinMapped(v, "+", [](int x) { return std::to_string(x * x); }),
+            "1+4+9");
+}
+
+}  // namespace
+}  // namespace vqldb

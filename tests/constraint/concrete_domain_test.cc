@@ -1,0 +1,84 @@
+#include "src/constraint/concrete_domain.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vqldb {
+namespace {
+
+TEST(ConcreteDomainTest, StandardOrderComparisons) {
+  ConcreteDomain d = ConcreteDomain::StandardOrder();
+  auto num = [](double v) { return DomainValue::Number(v); };
+  EXPECT_TRUE(*d.Evaluate("lt", {num(1), num(2)}));
+  EXPECT_FALSE(*d.Evaluate("lt", {num(2), num(2)}));
+  EXPECT_TRUE(*d.Evaluate("le", {num(2), num(2)}));
+  EXPECT_TRUE(*d.Evaluate("eq", {num(3), num(3)}));
+  EXPECT_TRUE(*d.Evaluate("ne", {num(3), num(4)}));
+  EXPECT_TRUE(*d.Evaluate("ge", {num(4), num(4)}));
+  EXPECT_TRUE(*d.Evaluate("gt", {num(5), num(4)}));
+}
+
+TEST(ConcreteDomainTest, BetweenTernary) {
+  ConcreteDomain d = ConcreteDomain::StandardOrder();
+  auto num = [](double v) { return DomainValue::Number(v); };
+  EXPECT_TRUE(*d.Evaluate("between", {num(3), num(1), num(5)}));
+  EXPECT_FALSE(*d.Evaluate("between", {num(9), num(1), num(5)}));
+}
+
+TEST(ConcreteDomainTest, StringPredicates) {
+  ConcreteDomain d = ConcreteDomain::StandardOrder();
+  auto str = [](const char* s) { return DomainValue::String(s); };
+  EXPECT_TRUE(*d.Evaluate("streq", {str("a"), str("a")}));
+  EXPECT_TRUE(*d.Evaluate("strne", {str("a"), str("b")}));
+}
+
+TEST(ConcreteDomainTest, SortMismatchIsFalseNotError) {
+  ConcreteDomain d = ConcreteDomain::StandardOrder();
+  auto r = d.Evaluate("lt", {DomainValue::String("a"), DomainValue::Number(1)});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+}
+
+TEST(ConcreteDomainTest, UnknownPredicateIsNotFound) {
+  ConcreteDomain d = ConcreteDomain::StandardOrder();
+  EXPECT_TRUE(d.Evaluate("nope", {}).status().IsNotFound());
+}
+
+TEST(ConcreteDomainTest, ArityMismatchIsInvalidArgument) {
+  ConcreteDomain d = ConcreteDomain::StandardOrder();
+  EXPECT_TRUE(
+      d.Evaluate("lt", {DomainValue::Number(1)}).status().IsInvalidArgument());
+}
+
+TEST(ConcreteDomainTest, CustomPredicateRegistration) {
+  ConcreteDomain d("video-spatial");
+  d.RegisterPredicate("near", 2, [](const std::vector<DomainValue>& a) {
+    return std::fabs(a[0].number - a[1].number) < 10;
+  });
+  EXPECT_TRUE(d.HasPredicate("near", 2));
+  EXPECT_FALSE(d.HasPredicate("near", 3));
+  EXPECT_TRUE(
+      *d.Evaluate("near", {DomainValue::Number(3), DomainValue::Number(9)}));
+  EXPECT_FALSE(
+      *d.Evaluate("near", {DomainValue::Number(3), DomainValue::Number(99)}));
+}
+
+TEST(ConcreteDomainTest, ArityOverloading) {
+  ConcreteDomain d("overloads");
+  d.RegisterPredicate("p", 1, [](const auto&) { return true; });
+  d.RegisterPredicate("p", 2, [](const auto&) { return false; });
+  EXPECT_TRUE(*d.Evaluate("p", {DomainValue::Number(0)}));
+  EXPECT_FALSE(
+      *d.Evaluate("p", {DomainValue::Number(0), DomainValue::Number(1)}));
+}
+
+TEST(ConcreteDomainTest, ListPredicatesSorted) {
+  ConcreteDomain d = ConcreteDomain::StandardOrder();
+  auto preds = d.ListPredicates();
+  EXPECT_GE(preds.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(preds.begin(), preds.end()));
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,217 @@
+#include "src/constraint/generalized_interval.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace vqldb {
+namespace {
+
+using GI = GeneralizedInterval;
+
+GI Make(std::initializer_list<Fragment> fragments) {
+  auto r = GI::Make(std::vector<Fragment>(fragments));
+  EXPECT_TRUE(r.ok()) << r.status();
+  return *r;
+}
+
+TEST(GeneralizedIntervalTest, EmptyByDefault) {
+  GI gi;
+  EXPECT_TRUE(gi.IsEmpty());
+  EXPECT_EQ(gi.Measure(), 0);
+  EXPECT_EQ(gi.ToString(), "{}");
+}
+
+TEST(GeneralizedIntervalTest, MakeRejectsInvertedFragment) {
+  auto r = GI::Make({Fragment{5, 2}});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(GeneralizedIntervalTest, MakeRejectsNonFinite) {
+  auto r = GI::Make({Fragment{0, std::numeric_limits<double>::infinity()}});
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(GeneralizedIntervalTest, NormalizationEnforcesDef5NonOverlap) {
+  // Def. 5: pairwise non-overlapping fragments — overlaps merge.
+  GI gi = Make({{0, 5}, {3, 8}, {8, 10}});
+  EXPECT_EQ(gi.fragment_count(), 1u);
+  EXPECT_EQ(gi.ToString(), "[0,10]");
+}
+
+TEST(GeneralizedIntervalTest, NormalizationSortsAndKeepsGaps) {
+  GI gi = Make({{20, 25}, {0, 5}});
+  EXPECT_EQ(gi.fragment_count(), 2u);
+  EXPECT_EQ(gi.Begin(), 0);
+  EXPECT_EQ(gi.End(), 25);
+}
+
+TEST(GeneralizedIntervalTest, SingleAndContains) {
+  GI gi = GI::Single(2, 7);
+  EXPECT_TRUE(gi.Contains(2));
+  EXPECT_TRUE(gi.Contains(7));
+  EXPECT_FALSE(gi.Contains(7.1));
+}
+
+TEST(GeneralizedIntervalTest, MeasureSumsFragments) {
+  GI gi = Make({{0, 2}, {10, 13}});
+  EXPECT_EQ(gi.Measure(), 5);
+}
+
+TEST(GeneralizedIntervalTest, ConcatIsPaperUnion) {
+  GI a = Make({{0, 5}});
+  GI b = Make({{20, 30}});
+  GI c = a.Concat(b);
+  EXPECT_EQ(c.ToString(), "[0,5] u [20,30]");
+}
+
+TEST(GeneralizedIntervalTest, ConcatMergesAdjacent) {
+  GI a = Make({{0, 5}});
+  GI b = Make({{5, 9}});
+  EXPECT_EQ(a.Concat(b).fragment_count(), 1u);
+}
+
+TEST(GeneralizedIntervalTest, ConcatIdempotent) {
+  // Section 6.1: I1 (+) I1 == I1 — the termination guarantee.
+  GI a = Make({{0, 5}, {9, 12}});
+  EXPECT_EQ(a.Concat(a), a);
+}
+
+TEST(GeneralizedIntervalTest, IntersectExact) {
+  GI a = Make({{0, 10}, {20, 30}});
+  GI b = Make({{5, 25}});
+  EXPECT_EQ(a.Intersect(b).ToString(), "[5,10] u [20,25]");
+}
+
+TEST(GeneralizedIntervalTest, DifferenceBasic) {
+  GI a = Make({{0, 10}});
+  GI b = Make({{3, 5}});
+  GI d = a.Difference(b);
+  EXPECT_EQ(d.ToString(), "[0,3] u [5,10]");
+}
+
+TEST(GeneralizedIntervalTest, SubsetOf) {
+  GI a = Make({{1, 2}, {21, 24}});
+  GI b = Make({{0, 5}, {20, 30}});
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_TRUE(GI().SubsetOf(a));
+  EXPECT_TRUE(a.SubsetOf(a));
+}
+
+TEST(GeneralizedIntervalTest, SubsetFailsAcrossGap) {
+  GI a = Make({{4, 6}});            // straddles b's gap
+  GI b = Make({{0, 5}, {5.5, 10}});
+  EXPECT_FALSE(a.SubsetOf(b));
+}
+
+TEST(GeneralizedIntervalTest, OverlapsBasic) {
+  GI a = Make({{0, 1}, {10, 11}});
+  GI b = Make({{5, 10}});
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(Make({{2, 4}})));
+  EXPECT_FALSE(a.Overlaps(GI()));
+}
+
+TEST(GeneralizedIntervalTest, AllenStyleRelations) {
+  GI a = Make({{0, 5}});
+  GI b = Make({{6, 9}});
+  GI c = Make({{5, 9}});
+  EXPECT_TRUE(a.Before(b));
+  EXPECT_FALSE(b.Before(a));
+  EXPECT_TRUE(a.Meets(c));
+  EXPECT_FALSE(a.Meets(b));
+
+  GI d = Make({{0, 7}});
+  GI e = Make({{3, 10}});
+  EXPECT_TRUE(d.HullOverlaps(e));
+  EXPECT_FALSE(e.HullOverlaps(d));
+
+  GI f = Make({{0, 3}});
+  EXPECT_TRUE(f.Starts(d));   // same begin, earlier end
+  GI g = Make({{5, 7}});
+  EXPECT_TRUE(g.Finishes(d)); // same end, later begin
+
+  GI h = Make({{1, 2}});
+  EXPECT_TRUE(h.During(d));
+  EXPECT_FALSE(d.During(d));  // strict
+}
+
+TEST(GeneralizedIntervalTest, HullCoversExtent) {
+  GI a = Make({{2, 3}, {8, 9}});
+  Fragment hull = a.Hull();
+  EXPECT_EQ(hull.begin, 2);
+  EXPECT_EQ(hull.end, 9);
+}
+
+TEST(GeneralizedIntervalTest, ToIntervalSetAndBack) {
+  GI a = Make({{0, 5}, {9, 12}});
+  auto back = GI::FromIntervalSet(a.ToIntervalSet());
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, a);
+}
+
+TEST(GeneralizedIntervalTest, FromIntervalSetRejectsOpen) {
+  IntervalSet open({TimeInterval::Open(0, 5)});
+  EXPECT_TRUE(GI::FromIntervalSet(open).status().IsInvalidArgument());
+}
+
+TEST(GeneralizedIntervalTest, FromIntervalSetRejectsUnbounded) {
+  IntervalSet ray({TimeInterval::AtLeast(0)});
+  EXPECT_TRUE(GI::FromIntervalSet(ray).status().IsInvalidArgument());
+}
+
+TEST(GeneralizedIntervalTest, ToConstraintDenotesSameSet) {
+  GI a = Make({{0, 5}, {9, 9}, {12, 15}});
+  EXPECT_EQ(a.ToConstraint().ToIntervalSet(), a.ToIntervalSet());
+}
+
+// ------------------------------------ randomized algebra of (+) (TEST_P)
+
+class ConcatPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  GI RandomGi(Rng* rng) {
+    std::vector<Fragment> fragments;
+    size_t n = rng->UniformU64(5);
+    for (size_t i = 0; i < n; ++i) {
+      double begin = static_cast<double>(rng->UniformInt(0, 40));
+      fragments.push_back(
+          Fragment{begin, begin + static_cast<double>(rng->UniformInt(0, 8))});
+    }
+    auto gi = GI::Make(std::move(fragments));
+    EXPECT_TRUE(gi.ok());
+    return *gi;
+  }
+};
+
+TEST_P(ConcatPropertyTest, ConcatCommutativeAssociativeIdempotent) {
+  Rng rng(GetParam());
+  GI a = RandomGi(&rng), b = RandomGi(&rng), c = RandomGi(&rng);
+  EXPECT_EQ(a.Concat(b), b.Concat(a));
+  EXPECT_EQ(a.Concat(b).Concat(c), a.Concat(b.Concat(c)));
+  EXPECT_EQ(a.Concat(a), a);
+  // Absorption: (a (+) b) (+) a == a (+) b — the paper's termination remark.
+  EXPECT_EQ(a.Concat(b).Concat(a), a.Concat(b));
+}
+
+TEST_P(ConcatPropertyTest, ConcatMatchesPointwiseOr) {
+  Rng rng(GetParam() + 77);
+  GI a = RandomGi(&rng), b = RandomGi(&rng);
+  GI u = a.Concat(b);
+  for (double t = -1; t < 50; t += 0.5) {
+    EXPECT_EQ(u.Contains(t), a.Contains(t) || b.Contains(t)) << t;
+  }
+}
+
+TEST_P(ConcatPropertyTest, SubsetAgreesWithIntervalSet) {
+  Rng rng(GetParam() + 177);
+  GI a = RandomGi(&rng), b = RandomGi(&rng);
+  EXPECT_EQ(a.SubsetOf(b), a.ToIntervalSet().SubsetOf(b.ToIntervalSet()));
+  EXPECT_EQ(a.Overlaps(b), a.ToIntervalSet().Overlaps(b.ToIntervalSet()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConcatPropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,246 @@
+#include "src/constraint/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace vqldb {
+namespace {
+
+TEST(IntervalSetTest, EmptySet) {
+  IntervalSet s;
+  EXPECT_TRUE(s.IsEmpty());
+  EXPECT_EQ(s.fragment_count(), 0u);
+  EXPECT_EQ(s.ToString(), "{}");
+  EXPECT_FALSE(s.Contains(0));
+}
+
+TEST(IntervalSetTest, NormalizationMergesOverlaps) {
+  IntervalSet s({TimeInterval::Closed(0, 3), TimeInterval::Closed(2, 5)});
+  EXPECT_EQ(s.fragment_count(), 1u);
+  EXPECT_EQ(s.ToString(), "[0, 5]");
+}
+
+TEST(IntervalSetTest, NormalizationMergesTouching) {
+  IntervalSet s({TimeInterval::ClosedOpen(0, 2), TimeInterval::Closed(2, 4)});
+  EXPECT_EQ(s.fragment_count(), 1u);
+  EXPECT_EQ(s.ToString(), "[0, 4]");
+}
+
+TEST(IntervalSetTest, NormalizationKeepsGaps) {
+  IntervalSet s({TimeInterval::Open(0, 2), TimeInterval::Open(2, 4)});
+  EXPECT_EQ(s.fragment_count(), 2u);  // the point 2 is missing
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_TRUE(s.Contains(1));
+  EXPECT_TRUE(s.Contains(3));
+}
+
+TEST(IntervalSetTest, NormalizationDropsEmpties) {
+  IntervalSet s({TimeInterval::Open(1, 1), TimeInterval::Closed(5, 6)});
+  EXPECT_EQ(s.fragment_count(), 1u);
+}
+
+TEST(IntervalSetTest, NormalizationSorts) {
+  IntervalSet s({TimeInterval::Closed(10, 12), TimeInterval::Closed(0, 1)});
+  EXPECT_EQ(s.fragments()[0].lo(), 0);
+  EXPECT_EQ(s.fragments()[1].lo(), 10);
+}
+
+TEST(IntervalSetTest, ContainsBinarySearch) {
+  IntervalSet s({TimeInterval::Closed(0, 1), TimeInterval::Closed(4, 5),
+                 TimeInterval::Closed(9, 12)});
+  EXPECT_TRUE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(4.5));
+  EXPECT_TRUE(s.Contains(12));
+  EXPECT_FALSE(s.Contains(2));
+  EXPECT_FALSE(s.Contains(8.99));
+  EXPECT_FALSE(s.Contains(13));
+}
+
+TEST(IntervalSetTest, UnionDisjoint) {
+  IntervalSet a({TimeInterval::Closed(0, 1)});
+  IntervalSet b({TimeInterval::Closed(3, 4)});
+  IntervalSet u = a.Union(b);
+  EXPECT_EQ(u.fragment_count(), 2u);
+  EXPECT_EQ(u.Measure(), 2);
+}
+
+TEST(IntervalSetTest, IntersectBasic) {
+  IntervalSet a({TimeInterval::Closed(0, 5), TimeInterval::Closed(10, 15)});
+  IntervalSet b({TimeInterval::Closed(3, 12)});
+  IntervalSet i = a.Intersect(b);
+  EXPECT_EQ(i.ToString(), "[3, 5] u [10, 12]");
+}
+
+TEST(IntervalSetTest, IntersectEmpty) {
+  IntervalSet a({TimeInterval::Closed(0, 1)});
+  EXPECT_TRUE(a.Intersect(IntervalSet()).IsEmpty());
+}
+
+TEST(IntervalSetTest, ComplementOfEmptyIsAll) {
+  EXPECT_EQ(IntervalSet().Complement(), IntervalSet::All());
+  EXPECT_TRUE(IntervalSet::All().Complement().IsEmpty());
+}
+
+TEST(IntervalSetTest, ComplementOfClosedInterval) {
+  IntervalSet s({TimeInterval::Closed(2, 5)});
+  IntervalSet c = s.Complement();
+  EXPECT_EQ(c.fragment_count(), 2u);
+  EXPECT_TRUE(c.Contains(1.999));
+  EXPECT_FALSE(c.Contains(2));
+  EXPECT_FALSE(c.Contains(5));
+  EXPECT_TRUE(c.Contains(5.001));
+}
+
+TEST(IntervalSetTest, ComplementOfPoint) {
+  IntervalSet c = IntervalSet({TimeInterval::Point(3)}).Complement();
+  EXPECT_FALSE(c.Contains(3));
+  EXPECT_TRUE(c.Contains(2.999));
+  EXPECT_TRUE(c.Contains(3.001));
+}
+
+TEST(IntervalSetTest, DifferencePunchesHole) {
+  IntervalSet a({TimeInterval::Closed(0, 10)});
+  IntervalSet b({TimeInterval::Open(3, 5)});
+  IntervalSet d = a.Difference(b);
+  EXPECT_TRUE(d.Contains(3));
+  EXPECT_FALSE(d.Contains(4));
+  EXPECT_TRUE(d.Contains(5));
+  EXPECT_EQ(d.fragment_count(), 2u);
+}
+
+TEST(IntervalSetTest, SubsetOfBasic) {
+  IntervalSet a({TimeInterval::Closed(1, 2), TimeInterval::Closed(5, 6)});
+  IntervalSet b({TimeInterval::Closed(0, 3), TimeInterval::Closed(4, 9)});
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_TRUE(IntervalSet().SubsetOf(a));
+  EXPECT_TRUE(a.SubsetOf(IntervalSet::All()));
+}
+
+TEST(IntervalSetTest, SubsetRespectsOpenness) {
+  IntervalSet open({TimeInterval::Open(0, 1)});
+  IntervalSet closed({TimeInterval::Closed(0, 1)});
+  EXPECT_TRUE(open.SubsetOf(closed));
+  EXPECT_FALSE(closed.SubsetOf(open));
+}
+
+TEST(IntervalSetTest, OverlapsBasic) {
+  IntervalSet a({TimeInterval::Closed(0, 1), TimeInterval::Closed(10, 11)});
+  IntervalSet b({TimeInterval::Closed(5, 10)});
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_TRUE(b.Overlaps(a));
+  IntervalSet c({TimeInterval::Closed(2, 4)});
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_FALSE(a.Overlaps(IntervalSet()));
+}
+
+TEST(IntervalSetTest, MeasureSumsFragments) {
+  IntervalSet s({TimeInterval::Closed(0, 2), TimeInterval::Closed(5, 8)});
+  EXPECT_EQ(s.Measure(), 5);
+}
+
+TEST(IntervalSetTest, SpanCoversAll) {
+  IntervalSet s({TimeInterval::Closed(1, 2), TimeInterval::Open(8, 9)});
+  TimeInterval span = s.Span();
+  EXPECT_EQ(span.lo(), 1);
+  EXPECT_EQ(span.hi(), 9);
+  EXPECT_FALSE(span.lo_open());
+  EXPECT_TRUE(span.hi_open());
+}
+
+TEST(IntervalSetTest, MinMax) {
+  IntervalSet s({TimeInterval::Closed(3, 4), TimeInterval::Closed(7, 9)});
+  EXPECT_EQ(s.Min(), 3);
+  EXPECT_EQ(s.Max(), 9);
+}
+
+// ------------------------- randomized algebraic property sweeps (TEST_P)
+
+class IntervalSetPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  // Random set of up to 4 intervals with small-integer endpoints, mixing
+  // open/closed bounds — exercises merge and boundary logic heavily.
+  IntervalSet RandomSet(Rng* rng) {
+    std::vector<TimeInterval> ivs;
+    size_t n = rng->UniformU64(5);
+    for (size_t i = 0; i < n; ++i) {
+      double lo = static_cast<double>(rng->UniformInt(0, 20));
+      double hi = lo + static_cast<double>(rng->UniformInt(0, 6));
+      ivs.emplace_back(lo, rng->Bernoulli(0.5), hi, rng->Bernoulli(0.5));
+    }
+    return IntervalSet(std::move(ivs));
+  }
+
+  // Point probes including boundary values.
+  std::vector<double> Probes() {
+    std::vector<double> p;
+    for (int i = -1; i <= 27; ++i) {
+      p.push_back(i);
+      p.push_back(i + 0.5);
+    }
+    return p;
+  }
+};
+
+TEST_P(IntervalSetPropertyTest, UnionMatchesPointwiseOr) {
+  Rng rng(GetParam());
+  IntervalSet a = RandomSet(&rng), b = RandomSet(&rng);
+  IntervalSet u = a.Union(b);
+  for (double t : Probes()) {
+    EXPECT_EQ(u.Contains(t), a.Contains(t) || b.Contains(t)) << t;
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, IntersectMatchesPointwiseAnd) {
+  Rng rng(GetParam() + 1000);
+  IntervalSet a = RandomSet(&rng), b = RandomSet(&rng);
+  IntervalSet i = a.Intersect(b);
+  for (double t : Probes()) {
+    EXPECT_EQ(i.Contains(t), a.Contains(t) && b.Contains(t)) << t;
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, ComplementMatchesPointwiseNot) {
+  Rng rng(GetParam() + 2000);
+  IntervalSet a = RandomSet(&rng);
+  IntervalSet c = a.Complement();
+  for (double t : Probes()) {
+    EXPECT_EQ(c.Contains(t), !a.Contains(t)) << t;
+  }
+}
+
+TEST_P(IntervalSetPropertyTest, DoubleComplementIsIdentity) {
+  Rng rng(GetParam() + 3000);
+  IntervalSet a = RandomSet(&rng);
+  EXPECT_EQ(a.Complement().Complement(), a);
+}
+
+TEST_P(IntervalSetPropertyTest, DeMorgan) {
+  Rng rng(GetParam() + 4000);
+  IntervalSet a = RandomSet(&rng), b = RandomSet(&rng);
+  EXPECT_EQ(a.Union(b).Complement(),
+            a.Complement().Intersect(b.Complement()));
+}
+
+TEST_P(IntervalSetPropertyTest, SubsetIffDifferenceEmpty) {
+  Rng rng(GetParam() + 5000);
+  IntervalSet a = RandomSet(&rng), b = RandomSet(&rng);
+  EXPECT_EQ(a.SubsetOf(b), a.Difference(b).IsEmpty());
+  EXPECT_TRUE(a.Intersect(b).SubsetOf(a));
+  EXPECT_TRUE(a.SubsetOf(a.Union(b)));
+}
+
+TEST_P(IntervalSetPropertyTest, UnionIsCommutativeAssociativeIdempotent) {
+  Rng rng(GetParam() + 6000);
+  IntervalSet a = RandomSet(&rng), b = RandomSet(&rng), c = RandomSet(&rng);
+  EXPECT_EQ(a.Union(b), b.Union(a));
+  EXPECT_EQ(a.Union(b).Union(c), a.Union(b.Union(c)));
+  EXPECT_EQ(a.Union(a), a);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetPropertyTest,
+                         ::testing::Range<uint64_t>(0, 25));
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,128 @@
+#include "src/constraint/interval.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace vqldb {
+namespace {
+
+TEST(TimeIntervalTest, ClosedContainsEndpoints) {
+  TimeInterval iv = TimeInterval::Closed(1, 5);
+  EXPECT_TRUE(iv.Contains(1));
+  EXPECT_TRUE(iv.Contains(3));
+  EXPECT_TRUE(iv.Contains(5));
+  EXPECT_FALSE(iv.Contains(0.999));
+  EXPECT_FALSE(iv.Contains(5.001));
+}
+
+TEST(TimeIntervalTest, OpenExcludesEndpoints) {
+  TimeInterval iv = TimeInterval::Open(1, 5);
+  EXPECT_FALSE(iv.Contains(1));
+  EXPECT_TRUE(iv.Contains(1.001));
+  EXPECT_FALSE(iv.Contains(5));
+}
+
+TEST(TimeIntervalTest, HalfOpenVariants) {
+  EXPECT_TRUE(TimeInterval::ClosedOpen(1, 5).Contains(1));
+  EXPECT_FALSE(TimeInterval::ClosedOpen(1, 5).Contains(5));
+  EXPECT_FALSE(TimeInterval::OpenClosed(1, 5).Contains(1));
+  EXPECT_TRUE(TimeInterval::OpenClosed(1, 5).Contains(5));
+}
+
+TEST(TimeIntervalTest, PointInterval) {
+  TimeInterval p = TimeInterval::Point(4);
+  EXPECT_FALSE(p.IsEmpty());
+  EXPECT_TRUE(p.Contains(4));
+  EXPECT_FALSE(p.Contains(4.0001));
+  EXPECT_EQ(p.Measure(), 0);
+}
+
+TEST(TimeIntervalTest, EmptyIntervals) {
+  EXPECT_TRUE(TimeInterval::Open(2, 2).IsEmpty());
+  EXPECT_TRUE(TimeInterval::ClosedOpen(2, 2).IsEmpty());
+  EXPECT_TRUE(TimeInterval::Closed(3, 2).IsEmpty());
+  EXPECT_FALSE(TimeInterval::Closed(2, 2).IsEmpty());
+}
+
+TEST(TimeIntervalTest, UnboundedRays) {
+  TimeInterval le = TimeInterval::AtMost(3);
+  EXPECT_TRUE(le.Contains(-1e18));
+  EXPECT_TRUE(le.Contains(3));
+  EXPECT_FALSE(le.Contains(3.1));
+  TimeInterval gt = TimeInterval::AtLeast(3, /*open=*/true);
+  EXPECT_FALSE(gt.Contains(3));
+  EXPECT_TRUE(gt.Contains(1e18));
+  EXPECT_TRUE(TimeInterval::All().Contains(0));
+}
+
+TEST(TimeIntervalTest, OverlapCases) {
+  TimeInterval a = TimeInterval::Closed(0, 5);
+  EXPECT_TRUE(a.Overlaps(TimeInterval::Closed(5, 9)));   // touch at point
+  EXPECT_TRUE(a.Overlaps(TimeInterval::Closed(3, 4)));   // nested
+  EXPECT_FALSE(a.Overlaps(TimeInterval::Closed(6, 9)));  // disjoint
+  EXPECT_FALSE(a.Overlaps(TimeInterval::Open(5, 9)));    // open excludes 5
+}
+
+TEST(TimeIntervalTest, MergeableTouching) {
+  TimeInterval a = TimeInterval::ClosedOpen(0, 2);
+  TimeInterval b = TimeInterval::Closed(2, 4);
+  EXPECT_TRUE(a.Mergeable(b));
+  EXPECT_TRUE(b.Mergeable(a));  // symmetric
+  // (0,2) and (2,4) miss the point 2.
+  EXPECT_FALSE(TimeInterval::Open(0, 2).Mergeable(TimeInterval::Open(2, 4)));
+}
+
+TEST(TimeIntervalTest, MergeWith) {
+  TimeInterval m =
+      TimeInterval::Closed(0, 2).MergeWith(TimeInterval::Closed(1, 5));
+  EXPECT_EQ(m, TimeInterval::Closed(0, 5));
+}
+
+TEST(TimeIntervalTest, IntersectBasic) {
+  TimeInterval i =
+      TimeInterval::Closed(0, 5).Intersect(TimeInterval::Closed(3, 9));
+  EXPECT_EQ(i, TimeInterval::Closed(3, 5));
+}
+
+TEST(TimeIntervalTest, IntersectRespectsOpenness) {
+  TimeInterval i =
+      TimeInterval::Open(0, 5).Intersect(TimeInterval::Closed(0, 5));
+  EXPECT_EQ(i, TimeInterval::Open(0, 5));
+}
+
+TEST(TimeIntervalTest, IntersectDisjointIsEmpty) {
+  EXPECT_TRUE(TimeInterval::Closed(0, 1)
+                  .Intersect(TimeInterval::Closed(2, 3))
+                  .IsEmpty());
+}
+
+TEST(TimeIntervalTest, SubsetOf) {
+  EXPECT_TRUE(TimeInterval::Closed(1, 2).SubsetOf(TimeInterval::Closed(0, 5)));
+  EXPECT_TRUE(TimeInterval::Open(0, 5).SubsetOf(TimeInterval::Closed(0, 5)));
+  EXPECT_FALSE(TimeInterval::Closed(0, 5).SubsetOf(TimeInterval::Open(0, 5)));
+  EXPECT_TRUE(TimeInterval::Closed(3, 2).SubsetOf(TimeInterval::Point(9)));
+}
+
+TEST(TimeIntervalTest, Measure) {
+  EXPECT_EQ(TimeInterval::Closed(2, 7).Measure(), 5);
+  EXPECT_EQ(TimeInterval::Open(3, 2).Measure(), 0);  // empty
+  EXPECT_TRUE(std::isinf(TimeInterval::AtLeast(0).Measure()));
+}
+
+TEST(TimeIntervalTest, EqualityTreatsAllEmptiesEqual) {
+  EXPECT_EQ(TimeInterval::Open(1, 1), TimeInterval::Closed(9, 2));
+  EXPECT_NE(TimeInterval::Closed(0, 1), TimeInterval::ClosedOpen(0, 1));
+}
+
+TEST(TimeIntervalTest, ToString) {
+  EXPECT_EQ(TimeInterval::Closed(1, 2).ToString(), "[1, 2]");
+  EXPECT_EQ(TimeInterval::Open(1, 2).ToString(), "(1, 2)");
+  EXPECT_EQ(TimeInterval::ClosedOpen(1, 2).ToString(), "[1, 2)");
+  EXPECT_EQ(TimeInterval::Point(5).ToString(), "{5}");
+  EXPECT_EQ(TimeInterval::AtMost(3).ToString(), "(-inf, 3]");
+  EXPECT_EQ(TimeInterval::Open(2, 2).ToString(), "{}");
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,201 @@
+#include "src/constraint/order_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "src/common/rng.h"
+
+namespace vqldb {
+namespace {
+
+OrderAtom Atom(OrderTerm lhs, CompareOp op, OrderTerm rhs) {
+  return OrderAtom{lhs, op, rhs};
+}
+OrderTerm V(int i) { return OrderTerm::Var(i); }
+OrderTerm C(double v) { return OrderTerm::Const(v); }
+
+TEST(OrderSolverTest, EmptyConjunctionSatisfiable) {
+  EXPECT_TRUE(OrderSolver::Satisfiable({}));
+}
+
+TEST(OrderSolverTest, SimpleChainSatisfiable) {
+  // x0 < x1 < x2
+  EXPECT_TRUE(OrderSolver::Satisfiable(
+      {Atom(V(0), CompareOp::kLt, V(1)), Atom(V(1), CompareOp::kLt, V(2))}));
+}
+
+TEST(OrderSolverTest, StrictCycleUnsat) {
+  EXPECT_FALSE(OrderSolver::Satisfiable(
+      {Atom(V(0), CompareOp::kLt, V(1)), Atom(V(1), CompareOp::kLe, V(0))}));
+}
+
+TEST(OrderSolverTest, WeakCycleIsEquality) {
+  // x0 <= x1 <= x0 forces equality — satisfiable, but x0 != x1 breaks it.
+  OrderConjunction eq = {Atom(V(0), CompareOp::kLe, V(1)),
+                         Atom(V(1), CompareOp::kLe, V(0))};
+  EXPECT_TRUE(OrderSolver::Satisfiable(eq));
+  eq.push_back(Atom(V(0), CompareOp::kNe, V(1)));
+  EXPECT_FALSE(OrderSolver::Satisfiable(eq));
+}
+
+TEST(OrderSolverTest, SelfDisequalityUnsat) {
+  EXPECT_FALSE(OrderSolver::Satisfiable({Atom(V(0), CompareOp::kNe, V(0))}));
+}
+
+TEST(OrderSolverTest, ConstantsAreOrdered) {
+  // x <= 1 and 2 <= x is unsat because 1 < 2.
+  EXPECT_FALSE(OrderSolver::Satisfiable(
+      {Atom(V(0), CompareOp::kLe, C(1)), Atom(C(2), CompareOp::kLe, V(0))}));
+  // x <= 2 and 1 <= x is fine.
+  EXPECT_TRUE(OrderSolver::Satisfiable(
+      {Atom(V(0), CompareOp::kLe, C(2)), Atom(C(1), CompareOp::kLe, V(0))}));
+}
+
+TEST(OrderSolverTest, EqualToTwoDistinctConstantsUnsat) {
+  EXPECT_FALSE(OrderSolver::Satisfiable(
+      {Atom(V(0), CompareOp::kEq, C(1)), Atom(V(0), CompareOp::kEq, C(2))}));
+}
+
+TEST(OrderSolverTest, DenseOrderAllowsBetween) {
+  // 1 < x < 2 has a solution in a dense order (no integers assumption).
+  EXPECT_TRUE(OrderSolver::Satisfiable(
+      {Atom(C(1), CompareOp::kLt, V(0)), Atom(V(0), CompareOp::kLt, C(2))}));
+}
+
+TEST(OrderSolverTest, EntailsTransitivity) {
+  OrderConjunction c = {Atom(V(0), CompareOp::kLt, V(1)),
+                        Atom(V(1), CompareOp::kLt, V(2))};
+  EXPECT_TRUE(OrderSolver::Entails(c, Atom(V(0), CompareOp::kLt, V(2))));
+  EXPECT_TRUE(OrderSolver::Entails(c, Atom(V(0), CompareOp::kLe, V(2))));
+  EXPECT_TRUE(OrderSolver::Entails(c, Atom(V(0), CompareOp::kNe, V(2))));
+  EXPECT_FALSE(OrderSolver::Entails(c, Atom(V(2), CompareOp::kLt, V(0))));
+  EXPECT_FALSE(OrderSolver::Entails(c, Atom(V(0), CompareOp::kEq, V(2))));
+}
+
+TEST(OrderSolverTest, EntailsWithConstants) {
+  OrderConjunction c = {Atom(V(0), CompareOp::kGt, C(3)),
+                        Atom(V(0), CompareOp::kLt, C(5))};
+  EXPECT_TRUE(OrderSolver::Entails(c, Atom(V(0), CompareOp::kGt, C(2))));
+  EXPECT_TRUE(OrderSolver::Entails(c, Atom(V(0), CompareOp::kNe, C(7))));
+  EXPECT_FALSE(OrderSolver::Entails(c, Atom(V(0), CompareOp::kGt, C(4))));
+}
+
+TEST(OrderSolverTest, UnsatEntailsEverything) {
+  OrderConjunction c = {Atom(V(0), CompareOp::kLt, V(0))};
+  EXPECT_TRUE(OrderSolver::Entails(c, Atom(V(5), CompareOp::kEq, C(9))));
+}
+
+TEST(OrderSolverTest, EntailsAll) {
+  OrderConjunction c = {Atom(V(0), CompareOp::kEq, V(1))};
+  EXPECT_TRUE(OrderSolver::EntailsAll(
+      c, {Atom(V(0), CompareOp::kLe, V(1)), Atom(V(1), CompareOp::kLe, V(0))}));
+  EXPECT_FALSE(OrderSolver::EntailsAll(
+      c, {Atom(V(0), CompareOp::kLe, V(1)), Atom(V(0), CompareOp::kNe, V(1))}));
+}
+
+TEST(OrderSolverTest, EntailsDnfBasic) {
+  // 1 < x < 2  entails  (x < 2) or (x > 5).
+  OrderConjunction c = {Atom(C(1), CompareOp::kLt, V(0)),
+                        Atom(V(0), CompareOp::kLt, C(2))};
+  OrderDnf dnf = {{Atom(V(0), CompareOp::kLt, C(2))},
+                  {Atom(V(0), CompareOp::kGt, C(5))}};
+  auto r = OrderSolver::EntailsDnf(c, dnf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(OrderSolverTest, EntailsDnfCaseSplit) {
+  // x < 1 or x > 3 does NOT follow from x != 2 alone... but over a dense
+  // order x < 3 and x > 1 and x != 2 does entail (x < 2) or (x > 2).
+  OrderConjunction c = {Atom(C(1), CompareOp::kLt, V(0)),
+                        Atom(V(0), CompareOp::kLt, C(3)),
+                        Atom(V(0), CompareOp::kNe, C(2))};
+  OrderDnf dnf = {{Atom(V(0), CompareOp::kLt, C(2))},
+                  {Atom(V(0), CompareOp::kGt, C(2))}};
+  auto r = OrderSolver::EntailsDnf(c, dnf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(*r);
+}
+
+TEST(OrderSolverTest, EntailsDnfNegative) {
+  OrderConjunction c = {Atom(C(0), CompareOp::kLt, V(0))};
+  OrderDnf dnf = {{Atom(V(0), CompareOp::kGt, C(5))},
+                  {Atom(V(0), CompareOp::kLt, C(3))}};
+  auto r = OrderSolver::EntailsDnf(c, dnf);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);  // x = 4 is a counterexample
+}
+
+TEST(OrderSolverTest, EmptyDnfIsFalse) {
+  auto r = OrderSolver::EntailsDnf({Atom(C(0), CompareOp::kLt, V(0))}, {});
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(*r);
+  auto r2 =
+      OrderSolver::EntailsDnf({Atom(V(0), CompareOp::kLt, V(0))}, {});
+  ASSERT_TRUE(r2.ok());
+  EXPECT_TRUE(*r2);  // unsat entails false
+}
+
+TEST(OrderSolverTest, SatisfiableDnf) {
+  OrderDnf dnf = {{Atom(V(0), CompareOp::kLt, V(0))},  // unsat branch
+                  {Atom(V(0), CompareOp::kLt, C(3))}};
+  EXPECT_TRUE(OrderSolver::SatisfiableDnf(dnf));
+  EXPECT_FALSE(OrderSolver::SatisfiableDnf({{Atom(V(0), CompareOp::kNe, V(0))}}));
+}
+
+TEST(OrderSolverTest, SolveProducesModel) {
+  OrderConjunction c = {Atom(V(0), CompareOp::kLt, V(1)),
+                        Atom(V(1), CompareOp::kLe, C(5)),
+                        Atom(V(0), CompareOp::kGt, C(2))};
+  auto solution = OrderSolver::Solve(c);
+  ASSERT_TRUE(solution.ok());
+  std::map<int, double> m(solution->begin(), solution->end());
+  EXPECT_LT(m[0], m[1]);
+  EXPECT_LE(m[1], 5);
+  EXPECT_GT(m[0], 2);
+}
+
+TEST(OrderSolverTest, SolveUnsatReturnsNotFound) {
+  EXPECT_TRUE(OrderSolver::Solve({Atom(V(0), CompareOp::kLt, V(0))})
+                  .status()
+                  .IsNotFound());
+}
+
+// Random conjunctions: Solve's model actually satisfies every atom, and
+// satisfiability is consistent with Solve.
+class OrderSolverPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OrderSolverPropertyTest, SolveModelsSatisfy) {
+  Rng rng(GetParam());
+  CompareOp ops[] = {CompareOp::kLt, CompareOp::kLe, CompareOp::kEq,
+                     CompareOp::kNe, CompareOp::kGe, CompareOp::kGt};
+  OrderConjunction c;
+  size_t n = 1 + rng.UniformU64(8);
+  for (size_t i = 0; i < n; ++i) {
+    OrderTerm lhs = rng.Bernoulli(0.7)
+                        ? V(static_cast<int>(rng.UniformU64(4)))
+                        : C(static_cast<double>(rng.UniformInt(0, 5)));
+    OrderTerm rhs = rng.Bernoulli(0.7)
+                        ? V(static_cast<int>(rng.UniformU64(4)))
+                        : C(static_cast<double>(rng.UniformInt(0, 5)));
+    c.push_back(Atom(lhs, ops[rng.UniformU64(6)], rhs));
+  }
+  auto solution = OrderSolver::Solve(c);
+  EXPECT_EQ(solution.ok(), OrderSolver::Satisfiable(c)) << ToString(c);
+  if (!solution.ok()) return;
+  std::map<int, double> m(solution->begin(), solution->end());
+  auto value = [&](const OrderTerm& t) {
+    return t.is_var() ? m.at(t.variable) : t.constant;
+  };
+  for (const OrderAtom& atom : c) {
+    EXPECT_TRUE(EvalCompare(value(atom.lhs), atom.op, value(atom.rhs)))
+        << atom.ToString() << " under model of " << ToString(c);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OrderSolverPropertyTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,97 @@
+// Cross-solver differential tests:
+//  (a) on single-variable formulas, the graph-based dense-order solver must
+//      agree with the exact IntervalSet normalization (two independent
+//      decision procedures for the same theory);
+//  (b) DNF entailment must agree with point-set inclusion of the denoted
+//      sets.
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/constraint/order_solver.h"
+#include "src/constraint/temporal_constraint.h"
+
+namespace vqldb {
+namespace {
+
+// A random conjunction of atoms over the single variable x0 with small
+// integer constants, mirrored as a TemporalConstraint conjunction.
+struct MirroredConjunction {
+  OrderConjunction order;
+  TemporalConstraint temporal;
+};
+
+MirroredConjunction RandomConjunction(Rng* rng) {
+  CompareOp ops[] = {CompareOp::kLt, CompareOp::kLe, CompareOp::kEq,
+                     CompareOp::kNe, CompareOp::kGe, CompareOp::kGt};
+  MirroredConjunction out;
+  std::vector<TemporalConstraint> parts;
+  size_t n = 1 + rng->UniformU64(5);
+  for (size_t i = 0; i < n; ++i) {
+    CompareOp op = ops[rng->UniformU64(6)];
+    double c = static_cast<double>(rng->UniformInt(0, 8));
+    out.order.push_back(
+        OrderAtom{OrderTerm::Var(0), op, OrderTerm::Const(c)});
+    parts.push_back(TemporalConstraint::Atom(op, c));
+  }
+  out.temporal = TemporalConstraint::And(std::move(parts));
+  return out;
+}
+
+class SolverDifferentialTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SolverDifferentialTest, SatisfiabilityAgreesWithIntervalSemantics) {
+  Rng rng(GetParam());
+  for (int trial = 0; trial < 40; ++trial) {
+    MirroredConjunction c = RandomConjunction(&rng);
+    bool graph_sat = OrderSolver::Satisfiable(c.order);
+    bool interval_sat = c.temporal.Satisfiable();
+    EXPECT_EQ(graph_sat, interval_sat)
+        << ToString(c.order) << " vs " << c.temporal.ToString();
+  }
+}
+
+TEST_P(SolverDifferentialTest, AtomEntailmentAgreesWithInclusion) {
+  Rng rng(GetParam() + 1000);
+  CompareOp ops[] = {CompareOp::kLt, CompareOp::kLe, CompareOp::kEq,
+                     CompareOp::kNe, CompareOp::kGe, CompareOp::kGt};
+  for (int trial = 0; trial < 40; ++trial) {
+    MirroredConjunction c = RandomConjunction(&rng);
+    CompareOp op = ops[rng.UniformU64(6)];
+    double k = static_cast<double>(rng.UniformInt(0, 8));
+    OrderAtom goal{OrderTerm::Var(0), op, OrderTerm::Const(k)};
+    bool graph_entails = OrderSolver::Entails(c.order, goal);
+    bool interval_entails = c.temporal.Entails(TemporalConstraint::Atom(op, k));
+    EXPECT_EQ(graph_entails, interval_entails)
+        << ToString(c.order) << " => " << goal.ToString();
+  }
+}
+
+TEST_P(SolverDifferentialTest, DnfEntailmentAgreesWithInclusion) {
+  Rng rng(GetParam() + 2000);
+  for (int trial = 0; trial < 20; ++trial) {
+    MirroredConjunction premise = RandomConjunction(&rng);
+    // A small DNF goal mirrored both ways.
+    OrderDnf dnf;
+    std::vector<TemporalConstraint> disjuncts;
+    size_t k = 1 + rng.UniformU64(3);
+    for (size_t i = 0; i < k; ++i) {
+      MirroredConjunction d = RandomConjunction(&rng);
+      dnf.push_back(d.order);
+      disjuncts.push_back(d.temporal);
+    }
+    TemporalConstraint goal = TemporalConstraint::Or(std::move(disjuncts));
+
+    auto graph_entails = OrderSolver::EntailsDnf(premise.order, dnf);
+    ASSERT_TRUE(graph_entails.ok());
+    bool interval_entails = premise.temporal.Entails(goal);
+    EXPECT_EQ(*graph_entails, interval_entails)
+        << ToString(premise.order) << " => " << goal.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolverDifferentialTest,
+                         ::testing::Range<uint64_t>(0, 10));
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,167 @@
+#include "src/constraint/temporal_constraint.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace vqldb {
+namespace {
+
+using TC = TemporalConstraint;
+
+TEST(TemporalConstraintTest, TrueFalseSemantics) {
+  EXPECT_EQ(TC::True().ToIntervalSet(), IntervalSet::All());
+  EXPECT_TRUE(TC::False().ToIntervalSet().IsEmpty());
+  EXPECT_TRUE(TC::True().Satisfiable());
+  EXPECT_FALSE(TC::False().Satisfiable());
+}
+
+TEST(TemporalConstraintTest, AtomSemantics) {
+  EXPECT_TRUE(TC::Atom(CompareOp::kLt, 5).ToIntervalSet().Contains(4.9));
+  EXPECT_FALSE(TC::Atom(CompareOp::kLt, 5).ToIntervalSet().Contains(5));
+  EXPECT_TRUE(TC::Atom(CompareOp::kLe, 5).ToIntervalSet().Contains(5));
+  EXPECT_TRUE(TC::Atom(CompareOp::kEq, 5).ToIntervalSet().Contains(5));
+  EXPECT_FALSE(TC::Atom(CompareOp::kEq, 5).ToIntervalSet().Contains(5.1));
+  EXPECT_FALSE(TC::Atom(CompareOp::kNe, 5).ToIntervalSet().Contains(5));
+  EXPECT_TRUE(TC::Atom(CompareOp::kNe, 5).ToIntervalSet().Contains(5.1));
+  EXPECT_TRUE(TC::Atom(CompareOp::kGe, 5).ToIntervalSet().Contains(5));
+  EXPECT_FALSE(TC::Atom(CompareOp::kGt, 5).ToIntervalSet().Contains(5));
+}
+
+TEST(TemporalConstraintTest, PaperDurationPattern) {
+  // gi1's duration in the Rope example: t > a1 and t < b1.
+  TC c = TC::And({TC::Atom(CompareOp::kGt, 0), TC::Atom(CompareOp::kLt, 10)});
+  IntervalSet s = c.ToIntervalSet();
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(10));
+  EXPECT_EQ(s.fragment_count(), 1u);
+}
+
+TEST(TemporalConstraintTest, DisjunctionForNonContinuousScene) {
+  // "a meaningful scene does not always correspond to a single continuous
+  // sequence of frames" — disjunction of two fragments.
+  TC c = TC::Or({TC::ClosedInterval(0, 5), TC::ClosedInterval(20, 30)});
+  IntervalSet s = c.ToIntervalSet();
+  EXPECT_EQ(s.fragment_count(), 2u);
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_FALSE(s.Contains(10));
+  EXPECT_TRUE(s.Contains(25));
+}
+
+TEST(TemporalConstraintTest, EmptyConjunctionIsTrue) {
+  EXPECT_EQ(TC::And({}).ToIntervalSet(), IntervalSet::All());
+  EXPECT_TRUE(TC::Or({}).ToIntervalSet().IsEmpty());
+}
+
+TEST(TemporalConstraintTest, UnsatisfiableConjunction) {
+  TC c = TC::And({TC::Atom(CompareOp::kGt, 5), TC::Atom(CompareOp::kLt, 3)});
+  EXPECT_FALSE(c.Satisfiable());
+}
+
+TEST(TemporalConstraintTest, EntailmentBasic) {
+  TC narrow = TC::And({TC::Atom(CompareOp::kGt, 2), TC::Atom(CompareOp::kLt, 4)});
+  TC wide = TC::And({TC::Atom(CompareOp::kGt, 0), TC::Atom(CompareOp::kLt, 10)});
+  EXPECT_TRUE(narrow.Entails(wide));
+  EXPECT_FALSE(wide.Entails(narrow));
+  EXPECT_TRUE(narrow.Entails(narrow));
+  EXPECT_TRUE(TC::False().Entails(narrow));  // ex falso
+  EXPECT_TRUE(narrow.Entails(TC::True()));
+}
+
+TEST(TemporalConstraintTest, EntailmentOpenVsClosed) {
+  EXPECT_TRUE(TC::And({TC::Atom(CompareOp::kGt, 0), TC::Atom(CompareOp::kLt, 5)})
+                  .Entails(TC::ClosedInterval(0, 5)));
+  EXPECT_FALSE(TC::ClosedInterval(0, 5).Entails(
+      TC::And({TC::Atom(CompareOp::kGt, 0), TC::Atom(CompareOp::kLt, 5)})));
+}
+
+TEST(TemporalConstraintTest, FromIntervalSetRoundTrips) {
+  IntervalSet s({TimeInterval::Closed(0, 5), TimeInterval::Open(9, 12),
+                 TimeInterval::Point(20)});
+  EXPECT_EQ(TC::FromIntervalSet(s).ToIntervalSet(), s);
+}
+
+TEST(TemporalConstraintTest, FromIntervalSetUnbounded) {
+  IntervalSet s({TimeInterval::AtMost(3), TimeInterval::AtLeast(10, true)});
+  EXPECT_EQ(TC::FromIntervalSet(s).ToIntervalSet(), s);
+}
+
+TEST(TemporalConstraintTest, NegationPushesToAtoms) {
+  TC c = TC::And({TC::Atom(CompareOp::kGe, 0), TC::Atom(CompareOp::kLe, 5)});
+  TC n = c.Negation();
+  IntervalSet s = n.ToIntervalSet();
+  EXPECT_FALSE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(-0.5));
+  EXPECT_TRUE(s.Contains(5.5));
+  EXPECT_EQ(s, c.ToIntervalSet().Complement());
+}
+
+TEST(TemporalConstraintTest, ToStringReadable) {
+  TC c = TC::Or({TC::And({TC::Atom(CompareOp::kGt, 1), TC::Atom(CompareOp::kLt, 5)}),
+                 TC::Atom(CompareOp::kEq, 7)});
+  EXPECT_EQ(c.ToString(), "(t > 1 and t < 5) or t = 7");
+}
+
+TEST(TemporalConstraintTest, AtomCount) {
+  TC c = TC::Or({TC::ClosedInterval(0, 1), TC::Atom(CompareOp::kEq, 9)});
+  EXPECT_EQ(c.AtomCount(), 3u);
+  EXPECT_EQ(TC::True().AtomCount(), 0u);
+}
+
+TEST(TemporalConstraintTest, EquivalenceIsSemantic) {
+  TC a = TC::ClosedInterval(0, 5);
+  TC b = TC::And({TC::Atom(CompareOp::kGe, 0), TC::Atom(CompareOp::kLe, 5)});
+  EXPECT_TRUE(a.EquivalentTo(b));
+  EXPECT_FALSE(a.EquivalentTo(TC::ClosedInterval(0, 6)));
+}
+
+// Random formula sweeps: negation is complement; entailment is reflexive
+// and transitive.
+class TemporalPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  TC RandomFormula(Rng* rng, int depth = 2) {
+    if (depth == 0 || rng->Bernoulli(0.4)) {
+      CompareOp ops[] = {CompareOp::kLt, CompareOp::kLe, CompareOp::kEq,
+                         CompareOp::kNe, CompareOp::kGe, CompareOp::kGt};
+      return TC::Atom(ops[rng->UniformU64(6)],
+                      static_cast<double>(rng->UniformInt(0, 10)));
+    }
+    std::vector<TC> children;
+    size_t n = 1 + rng->UniformU64(3);
+    for (size_t i = 0; i < n; ++i) {
+      children.push_back(RandomFormula(rng, depth - 1));
+    }
+    return rng->Bernoulli(0.5) ? TC::And(std::move(children))
+                               : TC::Or(std::move(children));
+  }
+};
+
+TEST_P(TemporalPropertyTest, NegationIsComplement) {
+  Rng rng(GetParam());
+  TC c = RandomFormula(&rng);
+  EXPECT_EQ(c.Negation().ToIntervalSet(), c.ToIntervalSet().Complement())
+      << c.ToString();
+}
+
+TEST_P(TemporalPropertyTest, EntailmentReflexiveAndTransitive) {
+  Rng rng(GetParam() + 500);
+  TC a = RandomFormula(&rng), b = RandomFormula(&rng), c = RandomFormula(&rng);
+  EXPECT_TRUE(a.Entails(a));
+  if (a.Entails(b) && b.Entails(c)) {
+    EXPECT_TRUE(a.Entails(c));
+  }
+}
+
+TEST_P(TemporalPropertyTest, FromToIntervalSetIsIdentityOnSemantics) {
+  Rng rng(GetParam() + 900);
+  TC c = RandomFormula(&rng);
+  IntervalSet s = c.ToIntervalSet();
+  EXPECT_EQ(TC::FromIntervalSet(s).ToIntervalSet(), s);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TemporalPropertyTest,
+                         ::testing::Range<uint64_t>(0, 20));
+
+}  // namespace
+}  // namespace vqldb

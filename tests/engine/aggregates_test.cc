@@ -1,0 +1,121 @@
+#include "src/engine/aggregates.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+
+namespace vqldb {
+namespace {
+
+class AggregatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<QuerySession>(&db_);
+    ASSERT_TRUE(session_->Load(R"(
+      object anchor1 { role: "anchor", salary: 100 }.
+      object anchor2 { role: "anchor", salary: 120 }.
+      object guest1 { role: "guest", salary: 10 }.
+      interval g1 { duration: (t >= 0 and t <= 10),
+                    entities: {anchor1, guest1} }.
+      interval g2 { duration: (t >= 5 and t <= 20),
+                    entities: {anchor1, anchor2} }.
+      interval g3 { duration: (t >= 30 and t <= 35),
+                    entities: {guest1} }.
+      role(anchor1, "anchor").
+      role(anchor2, "anchor").
+      role(guest1, "guest").
+      salary(anchor1, 100).
+      salary(anchor2, 120).
+      salary(guest1, 10).
+    )")
+                    .ok());
+    VQLDB_CHECK_OK(session_->AddRule(
+        "appearance(O, R, G) <- Interval(G), Object(O), O in G.entities, "
+        "role(O, R)."));
+    auto r = session_->Query("?- appearance(O, R, G).");
+    VQLDB_CHECK_OK(r.status());
+    result_ = *r;
+  }
+
+  VideoDatabase db_;
+  std::unique_ptr<QuerySession> session_;
+  QueryResult result_;
+};
+
+TEST_F(AggregatesTest, CountRows) {
+  // anchor1 in g1,g2; anchor2 in g2; guest1 in g1,g3 = 5 rows.
+  EXPECT_EQ(aggregates::Count(result_), 5u);
+}
+
+TEST_F(AggregatesTest, CountDistinct) {
+  auto objects = aggregates::CountDistinct(result_, 0);
+  ASSERT_TRUE(objects.ok());
+  EXPECT_EQ(*objects, 3u);
+  auto roles = aggregates::CountDistinct(result_, 1);
+  ASSERT_TRUE(roles.ok());
+  EXPECT_EQ(*roles, 2u);
+  EXPECT_TRUE(aggregates::CountDistinct(result_, 9).status().IsOutOfRange());
+}
+
+TEST_F(AggregatesTest, GroupCountByRole) {
+  auto groups = aggregates::GroupCount(result_, 1);
+  ASSERT_TRUE(groups.ok());
+  EXPECT_EQ(groups->at(Value::String("anchor")), 3u);
+  EXPECT_EQ(groups->at(Value::String("guest")), 2u);
+}
+
+TEST_F(AggregatesTest, SumNumericColumn) {
+  ASSERT_TRUE(session_->AddRule("pay(O, S) <- salary(O, S).").ok());
+  auto pay = session_->Query("?- pay(O, S).");
+  ASSERT_TRUE(pay.ok());
+  auto total = aggregates::Sum(*pay, 1);
+  ASSERT_TRUE(total.ok());
+  EXPECT_EQ(*total, 230);
+  // Non-numeric column errors.
+  EXPECT_TRUE(aggregates::Sum(result_, 1).status().IsTypeError());
+}
+
+TEST_F(AggregatesTest, MinMax) {
+  ASSERT_TRUE(session_->AddRule("pay(O, S) <- salary(O, S).").ok());
+  auto pay = session_->Query("?- pay(O, S).");
+  ASSERT_TRUE(pay.ok());
+  EXPECT_EQ(*aggregates::Min(*pay, 1), Value::Int(10));
+  EXPECT_EQ(*aggregates::Max(*pay, 1), Value::Int(120));
+  QueryResult empty;
+  empty.columns = {"X"};
+  EXPECT_TRUE(aggregates::Min(empty, 0).status().IsNotFound());
+}
+
+TEST_F(AggregatesTest, TotalDurationCountsOverlapOnce) {
+  // guest1 appears in g1 [0,10] and g3 [30,35]: 15s total.
+  ASSERT_TRUE(session_
+                  ->AddRule("guest_time(G) <- Interval(G), Object(O), "
+                            "O in G.entities, O.role = \"guest\".")
+                  .ok());
+  auto guest = session_->Query("?- guest_time(G).");
+  ASSERT_TRUE(guest.ok());
+  EXPECT_EQ(*aggregates::TotalDuration(db_, *guest, 0), 15);
+
+  // anchor1 appears in g1 [0,10] and g2 [5,20]: overlap counted once = 20s.
+  ASSERT_TRUE(session_
+                  ->AddRule("anchor1_time(G) <- Interval(G), Object(O), "
+                            "O in G.entities, O.salary = 100.")
+                  .ok());
+  auto anchor = session_->Query("?- anchor1_time(G).");
+  ASSERT_TRUE(anchor.ok());
+  EXPECT_EQ(*aggregates::TotalDuration(db_, *anchor, 0), 20);
+}
+
+TEST_F(AggregatesTest, TotalDurationRejectsNonIntervals) {
+  EXPECT_TRUE(
+      aggregates::TotalDuration(db_, result_, 1).status().IsTypeError());
+}
+
+TEST_F(AggregatesTest, ColumnIndexByName) {
+  EXPECT_EQ(*aggregates::ColumnIndex(result_, "O"), 0u);
+  EXPECT_EQ(*aggregates::ColumnIndex(result_, "G"), 2u);
+  EXPECT_TRUE(aggregates::ColumnIndex(result_, "Z").status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,165 @@
+// Concrete-domain predicates (Def. 1) wired into evaluation: registered
+// computable predicates usable as body literals — the extension point for
+// the paper's "special queries, like spatial ones".
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/common/logging.h"
+#include "src/engine/query.h"
+#include "src/lang/parser.h"
+
+namespace vqldb {
+namespace {
+
+ConcreteDomain SpatialDomain() {
+  ConcreteDomain d("spatial");
+  d.RegisterPredicate("near", 2, [](const std::vector<DomainValue>& a) {
+    return std::fabs(a[0].number - a[1].number) <= 10;
+  });
+  d.RegisterPredicate("left_of", 2, [](const std::vector<DomainValue>& a) {
+    return a[0].number < a[1].number;
+  });
+  return d;
+}
+
+std::vector<Rule> ParseRules(std::initializer_list<const char*> texts) {
+  std::vector<Rule> rules;
+  for (const char* text : texts) {
+    auto r = Parser::ParseRule(text);
+    EXPECT_TRUE(r.ok()) << r.status();
+    rules.push_back(*r);
+  }
+  return rules;
+}
+
+class ConcretePredicatesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    domain_ = SpatialDomain();
+    // Entities with an x-position attribute, plus position facts.
+    for (auto [name, x] : std::initializer_list<std::pair<const char*, int>>{
+             {"a", 0}, {"b", 5}, {"c", 50}}) {
+      ObjectId id = *db_.CreateEntity(name);
+      VQLDB_CHECK_OK(db_.SetAttribute(id, "x", Value::Int(x)));
+      VQLDB_CHECK_OK(db_.AssertFact("at", {Value::Oid(id), Value::Int(x)}));
+    }
+    options_.concrete_domain = &domain_;
+  }
+
+  VideoDatabase db_;
+  ConcreteDomain domain_ = ConcreteDomain("unset");
+  EvalOptions options_;
+};
+
+TEST_F(ConcretePredicatesTest, ComputableCheckFiltersJoins) {
+  auto eval = Evaluator::Make(
+      &db_,
+      ParseRules({"close(O1, O2) <- at(O1, X1), at(O2, X2), near(X1, X2), "
+                  "O1 != O2."}),
+      options_);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok()) << fp.status();
+  EXPECT_EQ(fp->FactsFor("close").size(), 2u);  // (a,b) and (b,a)
+}
+
+TEST_F(ConcretePredicatesTest, OrderedSpatialPredicate) {
+  auto eval = Evaluator::Make(
+      &db_,
+      ParseRules({"ordered(O1, O2) <- at(O1, X1), at(O2, X2), "
+                  "left_of(X1, X2)."}),
+      options_);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(fp->FactsFor("ordered").size(), 3u);  // a<b, a<c, b<c
+}
+
+TEST_F(ConcretePredicatesTest, ConstantsAllowed) {
+  auto eval = Evaluator::Make(
+      &db_, ParseRules({"near_origin(O) <- at(O, X), near(X, 0)."}),
+      options_);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(fp->FactsFor("near_origin").size(), 2u);  // a, b
+}
+
+TEST_F(ConcretePredicatesTest, UnboundArgumentIsEvaluationError) {
+  // Computable predicates cannot bind: Y appears first in near/2.
+  auto eval = Evaluator::Make(
+      &db_, ParseRules({"bad(O, Y) <- near(Y, 0), at(O, Y)."}), options_);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_TRUE(eval->Fixpoint().status().IsEvaluationError());
+}
+
+TEST_F(ConcretePredicatesTest, NonAtomicArgumentFailsCheck) {
+  ObjectId gi = *db_.CreateInterval("g", GeneralizedInterval::Single(0, 1));
+  (void)gi;
+  auto eval = Evaluator::Make(
+      &db_, ParseRules({"weird(G) <- Interval(G), near(G, 0)."}), options_);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok());
+  EXPECT_TRUE(fp->FactsFor("weird").empty());
+}
+
+TEST_F(ConcretePredicatesTest, NonAtomicArgumentStrictTypesErrors) {
+  ASSERT_TRUE(db_.CreateInterval("g", GeneralizedInterval::Single(0, 1)).ok());
+  options_.strict_types = true;
+  auto eval = Evaluator::Make(
+      &db_, ParseRules({"weird(G) <- Interval(G), near(G, 0)."}), options_);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_TRUE(eval->Fixpoint().status().IsTypeError());
+}
+
+TEST_F(ConcretePredicatesTest, StoredRelationShadowsNothing) {
+  // A stored relation with a name/arity *not* registered in the domain still
+  // matches facts normally, even with a domain installed.
+  auto eval = Evaluator::Make(
+      &db_, ParseRules({"q(O, X) <- at(O, X)."}), options_);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(fp->FactsFor("q").size(), 3u);
+}
+
+TEST_F(ConcretePredicatesTest, ArityDispatch) {
+  // near/2 is registered; near/3 is not, so near(X, Y, Z) matches stored
+  // facts (none exist) rather than evaluating.
+  ASSERT_TRUE(
+      db_.AssertFact("near", {Value::Int(1), Value::Int(2), Value::Int(3)})
+          .ok());
+  auto eval = Evaluator::Make(
+      &db_, ParseRules({"q(X) <- near(X, Y, Z)."}), options_);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok());
+  EXPECT_EQ(fp->FactsFor("q").size(), 1u);
+}
+
+TEST_F(ConcretePredicatesTest, WorksThroughQuerySession) {
+  QuerySession session(&db_, options_);
+  ASSERT_TRUE(
+      session.AddRule("close(O1, O2) <- at(O1, X1), at(O2, X2), "
+                      "near(X1, X2), O1 != O2.")
+          .ok());
+  auto r = session.Query("?- close(O1, O2).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);
+}
+
+TEST_F(ConcretePredicatesTest, WithoutDomainPredicateMatchesFacts) {
+  EvalOptions plain;  // no concrete domain
+  auto eval = Evaluator::Make(
+      &db_, ParseRules({"close(X) <- near(X, 0)."}), plain);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok());
+  EXPECT_TRUE(fp->FactsFor("close").empty());  // no stored near/2 facts
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,170 @@
+// EX-3: the derived relations of Section 6.2 (contains, same_object_in,
+// concatenate_Gintervals) plus the bundled standard rule library.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/query.h"
+#include "src/storage/catalog.h"
+
+namespace vqldb {
+namespace {
+
+constexpr const char* kArchive = R"(
+  object reporter { name: "Reporter" }.
+  object minister { name: "Minister" }.
+  object reporter2 { name: "2nd Reporter" }.
+  // Fig. 3's tv-news scenario: one generalized interval per object of
+  // interest; the reporter's presence is non-continuous.
+  interval occ_reporter { duration: (t >= 0 and t <= 10) or
+                                    (t >= 30 and t <= 45),
+                          entities: {reporter} }.
+  interval occ_minister { duration: (t >= 5 and t <= 40),
+                          entities: {minister} }.
+  interval occ_reporter2 { duration: (t >= 32 and t <= 44),
+                           entities: {reporter2} }.
+  // A scene covering the whole broadcast.
+  interval broadcast { duration: (t >= 0 and t <= 60),
+                       entities: {reporter, minister, reporter2} }.
+)";
+
+class DerivedRelationsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<QuerySession>(&db_);
+    ASSERT_TRUE(session_->Load(kArchive).ok());
+  }
+
+  std::vector<std::pair<std::string, std::string>> Pairs(
+      const QueryResult& result) {
+    std::vector<std::pair<std::string, std::string>> out;
+    for (const auto& row : result.rows) {
+      out.emplace_back(db_.DisplayName(row[0].oid_value()),
+                       db_.DisplayName(row[1].oid_value()));
+    }
+    return out;
+  }
+
+  VideoDatabase db_;
+  std::unique_ptr<QuerySession> session_;
+};
+
+TEST_F(DerivedRelationsTest, ContainsViaDurationEntailment) {
+  // Section 6.2: contains(G1, G2) <- Interval(G1), Interval(G2),
+  //                                  G2.duration => G1.duration.
+  ASSERT_TRUE(session_
+                  ->AddRule("contains(G1, G2) <- Interval(G1), Interval(G2), "
+                            "G2.duration => G1.duration.")
+                  .ok());
+  auto r = session_->Query("?- contains(broadcast, G).");
+  ASSERT_TRUE(r.ok());
+  // The broadcast covers every occurrence interval (and itself).
+  EXPECT_EQ(r->rows.size(), 4u);
+
+  auto narrow = session_->Query("?- contains(occ_minister, G).");
+  ASSERT_TRUE(narrow.ok());
+  // occ_minister [5,40] contains occ_reporter2 [32,44]? No (44 > 40).
+  // It contains only itself.
+  EXPECT_EQ(narrow->rows.size(), 1u);
+}
+
+TEST_F(DerivedRelationsTest, ContainsHandlesNonContinuousIntervals) {
+  ASSERT_TRUE(session_
+                  ->AddRule("contains(G1, G2) <- Interval(G1), Interval(G2), "
+                            "G2.duration => G1.duration.")
+                  .ok());
+  // occ_reporter's extent is [0,10] u [30,45]; a sub-fragment entails it.
+  ASSERT_TRUE(session_->Load(R"(
+    interval clip { duration: (t >= 2 and t <= 8) or (t >= 31 and t <= 33) }.
+  )")
+                  .ok());
+  auto r = session_->Query("?- contains(occ_reporter, clip).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  // But a fragment bridging the gap does not.
+  ASSERT_TRUE(session_->Load(R"(
+    interval bridge { duration: (t >= 8 and t <= 31) }.
+  )")
+                  .ok());
+  auto none = session_->Query("?- contains(occ_reporter, bridge).");
+  ASSERT_TRUE(none.ok());
+  EXPECT_TRUE(none->rows.empty());
+}
+
+TEST_F(DerivedRelationsTest, SameObjectIn) {
+  ASSERT_TRUE(
+      session_
+          ->AddRule("same_object_in(G1, G2, O) <- Interval(G1), Interval(G2), "
+                    "Object(O), O in G1.entities, O in G2.entities.")
+          .ok());
+  auto r = session_->Query("?- same_object_in(occ_reporter, broadcast, O).");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(db_.DisplayName(r->rows[0][0].oid_value()), "reporter");
+}
+
+TEST_F(DerivedRelationsTest, ConcatenateGintervalsConstructiveRule) {
+  // Section 6.2's constructive rule, specialized to the minister.
+  ASSERT_TRUE(session_
+                  ->AddRule("concatenate_gintervals(G1 ++ G2) <- "
+                            "Interval(G1), Interval(G2), Object(minister), "
+                            "minister in G1.entities, "
+                            "minister in G2.entities.")
+                  .ok());
+  auto r = session_->Query("?- concatenate_gintervals(G).");
+  ASSERT_TRUE(r.ok());
+  // G1, G2 range over {occ_minister, broadcast}: the derived objects are
+  // occ_minister (self), broadcast (self) and the true concatenation.
+  EXPECT_EQ(r->rows.size(), 3u);
+  size_t derived = 0;
+  for (const auto& row : r->rows) {
+    auto kind = db_.KindOf(row[0].oid_value());
+    ASSERT_TRUE(kind.ok());
+    if (*kind == ObjectKind::kDerivedInterval) ++derived;
+  }
+  EXPECT_EQ(derived, 1u);
+}
+
+TEST_F(DerivedRelationsTest, StandardRuleLibraryLoads) {
+  ASSERT_TRUE(session_->Load(StandardRuleLibrary()).ok());
+  EXPECT_GE(session_->rules().size(), 6u);
+
+  auto cooccur = session_->Query("?- cooccur(reporter, minister, G).");
+  ASSERT_TRUE(cooccur.ok());
+  // Only the broadcast scene lists both.
+  ASSERT_EQ(cooccur->rows.size(), 1u);
+  EXPECT_EQ(db_.DisplayName(cooccur->rows[0][0].oid_value()), "broadcast");
+
+  auto equal_dur = session_->Query("?- equal_duration(G1, G2).");
+  ASSERT_TRUE(equal_dur.ok());
+  // Only reflexive pairs (all four intervals have distinct durations).
+  EXPECT_EQ(equal_dur->rows.size(), 4u);
+
+  auto appears = session_->Query("?- appears(reporter2, G).");
+  ASSERT_TRUE(appears.ok());
+  EXPECT_EQ(appears->rows.size(), 2u);  // occ_reporter2 and broadcast
+}
+
+TEST_F(DerivedRelationsTest, CoveredByIsConverseOfContains) {
+  ASSERT_TRUE(session_->Load(StandardRuleLibrary()).ok());
+  auto covered = session_->Query("?- covered_by(occ_reporter2, G).");
+  ASSERT_TRUE(covered.ok());
+  // [32,44] is covered by itself, by the broadcast [0,60] and by the
+  // reporter's second fragment [30,45]; not by the minister's [5,40].
+  EXPECT_EQ(covered->rows.size(), 3u);
+}
+
+TEST_F(DerivedRelationsTest, RulesComposeAcrossDefinitions) {
+  // The paper: "the query language presents a facility that allows a user
+  // to construct queries based on previous queries".
+  ASSERT_TRUE(session_->Load(StandardRuleLibrary()).ok());
+  ASSERT_TRUE(session_
+                  ->AddRule("shared_scene(O1, O2) <- cooccur(O1, O2, G), "
+                            "contains(G, G2), appears(O1, G2).")
+                  .ok());
+  auto r = session_->Query("?- shared_scene(reporter, minister).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);  // an answer exists (empty tuple row)
+}
+
+}  // namespace
+}  // namespace vqldb

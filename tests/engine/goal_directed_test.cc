@@ -1,0 +1,101 @@
+// Goal-directed evaluation: QuerySession::QueryGoalDirected evaluates only
+// the goal's dependency cone — same answers, fewer rules fired.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/query.h"
+
+namespace vqldb {
+namespace {
+
+class GoalDirectedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<QuerySession>(&db_);
+    ASSERT_TRUE(session_->Load(R"(
+      object a {}.
+      object b {}.
+      object c {}.
+      edge(a, b).
+      edge(b, c).
+
+      // Cone of `reach`.
+      reach(X, Y) <- edge(X, Y).
+      reach(X, Z) <- reach(X, Y), edge(Y, Z).
+
+      // Expensive unrelated cone (cross product chains).
+      noise0(X, Y) <- edge(X, Y).
+      noise1(X, Y) <- noise0(X, Z), noise0(W, Y).
+      noise2(X, Y) <- noise1(X, Z), noise1(W, Y).
+
+      // A cone that depends on reach.
+      sym(X, Y) <- reach(Y, X).
+    )")
+                    .ok());
+  }
+
+  VideoDatabase db_;
+  std::unique_ptr<QuerySession> session_;
+};
+
+TEST_F(GoalDirectedTest, SameAnswersAsFullMaterialization) {
+  auto full = session_->Query("?- reach(X, Y).");
+  ASSERT_TRUE(full.ok());
+  auto directed = session_->QueryGoalDirected("?- reach(X, Y).");
+  ASSERT_TRUE(directed.ok());
+  EXPECT_EQ(full->rows, directed->rows);
+  EXPECT_EQ(full->columns, directed->columns);
+}
+
+TEST_F(GoalDirectedTest, PrunesUnrelatedCones) {
+  auto relevant = session_->RelevantRules("reach");
+  // Only the two reach rules (edge facts live in the EDB).
+  EXPECT_EQ(relevant.size(), 2u);
+  for (const Rule& rule : relevant) {
+    EXPECT_EQ(rule.head.predicate, "reach");
+  }
+  auto directed = session_->QueryGoalDirected("?- reach(X, Y).");
+  ASSERT_TRUE(directed.ok());
+  size_t directed_firings = session_->last_stats().rule_firings;
+  session_->Invalidate();
+  auto full = session_->Query("?- reach(X, Y).");
+  ASSERT_TRUE(full.ok());
+  size_t full_firings = session_->last_stats().rule_firings;
+  EXPECT_LT(directed_firings, full_firings);
+}
+
+TEST_F(GoalDirectedTest, TransitiveConeIncluded) {
+  auto relevant = session_->RelevantRules("sym");
+  // sym depends on reach: 1 + 2 rules.
+  EXPECT_EQ(relevant.size(), 3u);
+  auto directed = session_->QueryGoalDirected("?- sym(X, Y).");
+  ASSERT_TRUE(directed.ok());
+  EXPECT_EQ(directed->rows.size(), 3u);  // ba, ca, cb
+}
+
+TEST_F(GoalDirectedTest, EdbGoalNeedsNoRules) {
+  auto relevant = session_->RelevantRules("edge");
+  EXPECT_TRUE(relevant.empty());
+  auto directed = session_->QueryGoalDirected("?- edge(X, Y).");
+  ASSERT_TRUE(directed.ok());
+  EXPECT_EQ(directed->rows.size(), 2u);
+}
+
+TEST_F(GoalDirectedTest, ConstantFiltersStillApply) {
+  ObjectId a = *db_.Resolve("a");
+  auto directed = session_->QueryGoalDirected("?- reach(a, Y).");
+  ASSERT_TRUE(directed.ok());
+  EXPECT_EQ(directed->rows.size(), 2u);  // b and c
+  for (const auto& row : directed->rows) {
+    EXPECT_NE(row[0].oid_value(), a);
+  }
+}
+
+TEST_F(GoalDirectedTest, UnknownPredicateYieldsEmpty) {
+  auto directed = session_->QueryGoalDirected("?- nothing(X).");
+  ASSERT_TRUE(directed.ok());
+  EXPECT_TRUE(directed->rows.empty());
+}
+
+}  // namespace
+}  // namespace vqldb

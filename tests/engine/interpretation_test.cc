@@ -1,0 +1,105 @@
+#include "src/engine/interpretation.h"
+
+#include <gtest/gtest.h>
+
+namespace vqldb {
+namespace {
+
+Fact F(const std::string& pred, std::initializer_list<int64_t> args) {
+  Fact f;
+  f.relation = pred;
+  for (int64_t a : args) f.args.push_back(Value::Int(a));
+  return f;
+}
+
+TEST(InterpretationTest, AddAndContains) {
+  Interpretation interp;
+  EXPECT_TRUE(interp.Add(F("p", {1})));
+  EXPECT_FALSE(interp.Add(F("p", {1})));  // dedup
+  EXPECT_TRUE(interp.Contains(F("p", {1})));
+  EXPECT_FALSE(interp.Contains(F("p", {2})));
+  EXPECT_EQ(interp.size(), 1u);
+}
+
+TEST(InterpretationTest, FactsForPreservesInsertionOrder) {
+  Interpretation interp;
+  interp.Add(F("p", {3}));
+  interp.Add(F("p", {1}));
+  interp.Add(F("p", {2}));
+  const auto& facts = interp.FactsFor("p");
+  ASSERT_EQ(facts.size(), 3u);
+  EXPECT_EQ(facts[0].args[0].int_value(), 3);
+  EXPECT_EQ(facts[2].args[0].int_value(), 2);
+}
+
+TEST(InterpretationTest, UnknownPredicateEmpty) {
+  Interpretation interp;
+  EXPECT_TRUE(interp.FactsFor("nope").empty());
+  EXPECT_TRUE(interp.Lookup("nope", 0, Value::Int(1)).empty());
+}
+
+TEST(InterpretationTest, LookupIndexesByPosition) {
+  Interpretation interp;
+  interp.Add(F("edge", {1, 2}));
+  interp.Add(F("edge", {1, 3}));
+  interp.Add(F("edge", {2, 3}));
+  EXPECT_EQ(interp.Lookup("edge", 0, Value::Int(1)).size(), 2u);
+  EXPECT_EQ(interp.Lookup("edge", 1, Value::Int(3)).size(), 2u);
+  EXPECT_TRUE(interp.Lookup("edge", 0, Value::Int(9)).empty());
+}
+
+TEST(InterpretationTest, LookupIndexExtendsIncrementally) {
+  Interpretation interp;
+  interp.Add(F("p", {1}));
+  EXPECT_EQ(interp.Lookup("p", 0, Value::Int(1)).size(), 1u);
+  interp.Add(F("q", {1}));
+  Fact another = F("p", {1});
+  another.args.push_back(Value::Int(9));  // p(1, 9)
+  interp.Add(another);
+  // The index extends over facts added after the first lookup.
+  EXPECT_EQ(interp.Lookup("p", 0, Value::Int(1)).size(), 2u);
+}
+
+TEST(InterpretationTest, NumericCrossKindLookup) {
+  Interpretation interp;
+  interp.Add(F("p", {2}));
+  // Int(2) and Double(2.0) are Compare-equal and hash-equal.
+  EXPECT_EQ(interp.Lookup("p", 0, Value::Double(2.0)).size(), 1u);
+}
+
+TEST(InterpretationTest, PredicatesSorted) {
+  Interpretation interp;
+  interp.Add(F("zeta", {1}));
+  interp.Add(F("alpha", {1}));
+  EXPECT_EQ(interp.Predicates(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(InterpretationTest, SubsetAndEquality) {
+  Interpretation a, b;
+  a.Add(F("p", {1}));
+  b.Add(F("p", {1}));
+  b.Add(F("q", {2}));
+  EXPECT_TRUE(a.SubsetOf(b));
+  EXPECT_FALSE(b.SubsetOf(a));
+  EXPECT_FALSE(a == b);
+  a.Add(F("q", {2}));
+  EXPECT_TRUE(a == b);
+}
+
+TEST(InterpretationTest, AllFactsCountsEverything) {
+  Interpretation interp;
+  interp.Add(F("p", {1}));
+  interp.Add(F("q", {1}));
+  interp.Add(F("q", {2}));
+  EXPECT_EQ(interp.AllFacts().size(), 3u);
+}
+
+TEST(InterpretationTest, ToStringListsFacts) {
+  Interpretation interp;
+  interp.Add(F("p", {1}));
+  EXPECT_EQ(interp.ToString(), "{p(1)}");
+}
+
+}  // namespace
+}  // namespace vqldb

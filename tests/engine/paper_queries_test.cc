@@ -1,0 +1,194 @@
+// EX-2: the six example queries of Section 6.1, asked in the query language
+// against the paper's Rope database, with the answers the paper's semantics
+// prescribes.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/query.h"
+
+namespace vqldb {
+namespace {
+
+// The Section 5.2 database extract in the language's own syntax
+// (a1=0, b1=10, a2=15, b2=40 so that a1 < b1 < a2 < b2).
+constexpr const char* kRopeProgram = R"(
+  object o1 { name: "David", role: "Victim" }.
+  object o2 { name: "Philip", realname: "Farley Granger", role: "Murderer" }.
+  object o3 { name: "Brandon", realname: "John Dall", role: "Murderer" }.
+  object o4 { identification: "Chest" }.
+  object o5 { name: "Janet", realname: "Joan Chandler" }.
+  object o6 { name: "Kenneth", realname: "Douglas Dick" }.
+  object o7 { name: "Mr.Kentley", realname: "Cedric Hardwicke" }.
+  object o8 { name: "Mrs.Atwater", realname: "Constance Collier" }.
+  object o9 { name: "Rupert Cadell", realname: "James Stewart" }.
+  interval gi1 { duration: (t > 0 and t < 10),
+                 entities: {o1, o2, o3, o4},
+                 subject: "murder", victim: o1, murderer: {o2, o3} }.
+  interval gi2 { duration: (t > 15 and t < 40),
+                 entities: {o1, o2, o3, o4, o5, o6, o7, o8, o9},
+                 subject: "Giving a party", host: {o2, o3},
+                 guest: {o5, o6, o7, o8, o9} }.
+  in(o1, o4, gi1).
+  in(o1, o4, gi2).
+)";
+
+class PaperQueriesTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<QuerySession>(&db_);
+    ASSERT_TRUE(session_->Load(kRopeProgram).ok());
+  }
+
+  std::vector<std::string> Names(const QueryResult& result) {
+    std::vector<std::string> out;
+    for (const auto& row : result.rows) {
+      out.push_back(db_.DisplayName(row[0].oid_value()));
+    }
+    return out;
+  }
+
+  VideoDatabase db_;
+  std::unique_ptr<QuerySession> session_;
+};
+
+TEST_F(PaperQueriesTest, Q1ObjectsInDomainOfGivenSequence) {
+  // "list the objects appearing in the domain of a given sequence g":
+  // q(O) <- Interval(g), Object(O), O in g.entities.   (g = gi1)
+  ASSERT_TRUE(session_
+                  ->AddRule("q1(O) <- Interval(gi1), Object(O), "
+                            "O in gi1.entities.")
+                  .ok());
+  auto r = session_->Query("?- q1(O).");
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(Names(*r), (std::vector<std::string>{"o1", "o2", "o3", "o4"}));
+}
+
+TEST_F(PaperQueriesTest, Q2IntervalsWhereObjectAppears) {
+  // "list all generalized Intervals where the object o appears":
+  // q(G) <- Interval(G), Object(o), o in G.entities.   (o = o9)
+  ASSERT_TRUE(session_
+                  ->AddRule("q2(G) <- Interval(G), Object(o9), "
+                            "o9 in G.entities.")
+                  .ok());
+  auto r = session_->Query("?- q2(G).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(*r), (std::vector<std::string>{"gi2"}));
+}
+
+TEST_F(PaperQueriesTest, Q3ObjectWithinTemporalFrame) {
+  // "does the object o appear in the domain of a given temporal frame
+  // [a, b]": q(o) <- Interval(G), Object(o), o in G.entities,
+  //                  G.duration => (t > a and t < b).
+  ASSERT_TRUE(session_
+                  ->AddRule("q3(G) <- Interval(G), Object(o1), "
+                            "o1 in G.entities, "
+                            "G.duration => (t > 0 and t < 12).")
+                  .ok());
+  auto r = session_->Query("?- q3(G).");
+  ASSERT_TRUE(r.ok());
+  // Only gi1's duration (0,10) entails (0,12); gi2's (15,40) does not.
+  EXPECT_EQ(Names(*r), (std::vector<std::string>{"gi1"}));
+}
+
+TEST_F(PaperQueriesTest, Q4CoOccurrenceMembershipForm) {
+  // "list all generalized intervals where the objects o1 and o2 appear
+  // together" — membership form.
+  ASSERT_TRUE(session_
+                  ->AddRule("q4(G) <- Interval(G), Object(o1), Object(o5), "
+                            "o1 in G.entities, o5 in G.entities.")
+                  .ok());
+  auto r = session_->Query("?- q4(G).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(*r), (std::vector<std::string>{"gi2"}));
+}
+
+TEST_F(PaperQueriesTest, Q4bCoOccurrenceSubsetForm) {
+  // "... or equivalently by" the set-order subset form.
+  ASSERT_TRUE(session_
+                  ->AddRule("q4b(G) <- Interval(G), "
+                            "{o1, o5} subset G.entities.")
+                  .ok());
+  auto membership = session_->Query("?- q4b(G).");
+  ASSERT_TRUE(membership.ok());
+  EXPECT_EQ(Names(*membership), (std::vector<std::string>{"gi2"}));
+
+  // And the equivalence holds for every pair: {o2, o3} appear in both.
+  ASSERT_TRUE(session_
+                  ->AddRule("q4c(G) <- Interval(G), "
+                            "{o2, o3} subset G.entities.")
+                  .ok());
+  auto both = session_->Query("?- q4c(G).");
+  ASSERT_TRUE(both.ok());
+  EXPECT_EQ(Names(*both), (std::vector<std::string>{"gi1", "gi2"}));
+}
+
+TEST_F(PaperQueriesTest, Q5PairsInRelationWithinInterval) {
+  // "list all pairs of objects, together with their corresponding
+  // generalized interval, such that the two objects are in the relation
+  // Rel within the generalized interval":
+  // q(O1, O2, G) <- Interval(G), Object(O1), Object(O2), O1 in G.entities,
+  //                 O2 in G.entities, Rel(O1, O2, G).
+  ASSERT_TRUE(session_
+                  ->AddRule("q5(O1, O2, G) <- Interval(G), Object(O1), "
+                            "Object(O2), O1 in G.entities, O2 in G.entities, "
+                            "in(O1, O2, G).")
+                  .ok());
+  auto r = session_->Query("?- q5(O1, O2, G).");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 2u);  // (o1, o4) in both gi1 and gi2
+  for (const auto& row : r->rows) {
+    EXPECT_EQ(db_.DisplayName(row[0].oid_value()), "o1");
+    EXPECT_EQ(db_.DisplayName(row[1].oid_value()), "o4");
+  }
+}
+
+TEST_F(PaperQueriesTest, Q6IntervalsByAttributeValue) {
+  // "find the generalized intervals containing an object O whose value for
+  // the attribute A is val":
+  // q(G) <- Interval(G), Object(O), O in G.entities, O.A = val.
+  ASSERT_TRUE(session_
+                  ->AddRule("q6(G) <- Interval(G), Object(O), "
+                            "O in G.entities, O.name = \"Rupert Cadell\".")
+                  .ok());
+  auto r = session_->Query("?- q6(G).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(*r), (std::vector<std::string>{"gi2"}));
+
+  ASSERT_TRUE(session_
+                  ->AddRule("q6b(G, O) <- Interval(G), Object(O), "
+                            "O in G.entities, O.role = \"Murderer\".")
+                  .ok());
+  auto murder_scenes = session_->Query("?- q6b(G, O).");
+  ASSERT_TRUE(murder_scenes.ok());
+  EXPECT_EQ(murder_scenes->rows.size(), 4u);  // {gi1, gi2} x {o2, o3}
+}
+
+TEST_F(PaperQueriesTest, QueryWithConstantFilter) {
+  ASSERT_TRUE(session_
+                  ->AddRule("appears(O, G) <- Interval(G), Object(O), "
+                            "O in G.entities.")
+                  .ok());
+  auto r = session_->Query("?- appears(O, gi1).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->columns, (std::vector<std::string>{"O"}));
+  EXPECT_EQ(r->rows.size(), 4u);
+}
+
+TEST_F(PaperQueriesTest, BuiltinGoalEnumerates) {
+  auto intervals = session_->Query("?- Interval(G).");
+  ASSERT_TRUE(intervals.ok());
+  EXPECT_EQ(intervals->rows.size(), 2u);
+  auto objects = session_->Query("?- Object(O).");
+  ASSERT_TRUE(objects.ok());
+  EXPECT_EQ(objects->rows.size(), 9u);
+}
+
+TEST_F(PaperQueriesTest, RepeatedQueryVariableFilters) {
+  ASSERT_TRUE(session_->AddRule("pair(O, O2) <- in(O, O2, gi1).").ok());
+  auto r = session_->Query("?- pair(X, X).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());  // o1 != o4
+}
+
+}  // namespace
+}  // namespace vqldb

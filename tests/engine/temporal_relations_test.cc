@@ -1,0 +1,142 @@
+// The interval-operator constraints (before / meets / overlaps) — the
+// temporal operators the paper's related work (Hjelsvold & Midtstraum's
+// SQL-like language) offers, lifted here to generalized intervals and usable
+// as constraint atoms.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/query.h"
+#include "src/lang/parser.h"
+
+namespace vqldb {
+namespace {
+
+class TemporalRelationsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<QuerySession>(&db_);
+    ASSERT_TRUE(session_->Load(R"(
+      interval a { duration: (t >= 0 and t <= 10) }.
+      interval b { duration: (t >= 10 and t <= 20) }.
+      interval c { duration: (t >= 15 and t <= 30) }.
+      interval d { duration: (t >= 40 and t <= 45) or (t >= 50 and t <= 55) }.
+    )")
+                    .ok());
+  }
+
+  std::vector<std::string> Names(const QueryResult& r) {
+    std::vector<std::string> out;
+    for (const auto& row : r.rows) {
+      out.push_back(db_.DisplayName(row[0].oid_value()));
+    }
+    return out;
+  }
+
+  VideoDatabase db_;
+  std::unique_ptr<QuerySession> session_;
+};
+
+TEST_F(TemporalRelationsTest, BeforeIsStrict) {
+  ASSERT_TRUE(session_
+                  ->AddRule("precedes(G1, G2) <- Interval(G1), Interval(G2), "
+                            "G1.duration before G2.duration.")
+                  .ok());
+  auto r = session_->Query("?- precedes(a, G).");
+  ASSERT_TRUE(r.ok());
+  // a [0,10] ends exactly where b begins (shared instant -> not before);
+  // a before c? c begins at 15 > 10: yes. a before d: yes.
+  EXPECT_EQ(Names(*r), (std::vector<std::string>{"c", "d"}));
+}
+
+TEST_F(TemporalRelationsTest, MeetsAtSharedEndpoint) {
+  ASSERT_TRUE(session_
+                  ->AddRule("adjacent(G1, G2) <- Interval(G1), Interval(G2), "
+                            "G1.duration meets G2.duration.")
+                  .ok());
+  auto r = session_->Query("?- adjacent(a, G).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(*r), (std::vector<std::string>{"b"}));
+}
+
+TEST_F(TemporalRelationsTest, OverlapsSharesInstant) {
+  ASSERT_TRUE(session_
+                  ->AddRule("touches(G1, G2) <- Interval(G1), Interval(G2), "
+                            "G1.duration overlaps G2.duration, G1 != G2.")
+                  .ok());
+  auto r = session_->Query("?- touches(b, G).");
+  ASSERT_TRUE(r.ok());
+  // b [10,20] shares 10 with a, and [15,20] with c.
+  EXPECT_EQ(Names(*r), (std::vector<std::string>{"a", "c"}));
+}
+
+TEST_F(TemporalRelationsTest, WorksWithTemporalLiterals) {
+  ASSERT_TRUE(session_
+                  ->AddRule("early(G) <- Interval(G), "
+                            "G.duration before (t >= 35 and t <= 60).")
+                  .ok());
+  auto r = session_->Query("?- early(G).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(*r), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST_F(TemporalRelationsTest, NonContinuousExtentUsesHullEnds) {
+  // d = [40,45] u [50,55]: before means after 55, overlaps catches the gap
+  // correctly (nothing inside (45,50) overlaps d).
+  ASSERT_TRUE(session_->Load(R"(
+    interval gap_probe { duration: (t >= 46 and t <= 49) }.
+  )")
+                  .ok());
+  ASSERT_TRUE(session_
+                  ->AddRule("hits_d(G) <- Interval(G), "
+                            "G.duration overlaps d.duration.")
+                  .ok());
+  auto r = session_->Query("?- hits_d(G).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(Names(*r), (std::vector<std::string>{"d"}));  // only d itself
+}
+
+TEST_F(TemporalRelationsTest, OpenBoundaryDoesNotMeet) {
+  // (0,10) before (t > 10 ...) style: shared *open* boundary counts as
+  // before (no shared instant).
+  ASSERT_TRUE(session_->Load(R"(
+    interval open_a { duration: (t > 100 and t < 110) }.
+    interval open_b { duration: (t > 110 and t < 120) }.
+  )")
+                  .ok());
+  ASSERT_TRUE(session_
+                  ->AddRule("strictly_prior(G1, G2) <- Interval(G1), "
+                            "Interval(G2), G1.duration before G2.duration.")
+                  .ok());
+  auto r = session_->Query("?- strictly_prior(open_a, open_b).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 1u);
+  // But the closed pair a/b does not qualify (they share instant 10).
+  auto closed = session_->Query("?- strictly_prior(a, b).");
+  ASSERT_TRUE(closed.ok());
+  EXPECT_TRUE(closed->rows.empty());
+}
+
+TEST_F(TemporalRelationsTest, TypeMismatchFailsConstraint) {
+  ASSERT_TRUE(session_->Load("object o1 { name: \"x\" }.").ok());
+  ASSERT_TRUE(session_
+                  ->AddRule("bad(O) <- Object(O), "
+                            "O.name before (t > 0 and t < 1).")
+                  .ok());
+  auto r = session_->Query("?- bad(O).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_F(TemporalRelationsTest, RoundTripsThroughToString) {
+  auto rule = Parser::ParseRule(
+      "p(G1, G2) <- Interval(G1), Interval(G2), "
+      "G1.duration before G2.duration, G1.duration overlaps G2.duration, "
+      "G1.duration meets G2.duration.");
+  ASSERT_TRUE(rule.ok());
+  auto reparsed = Parser::ParseRule(rule->ToString());
+  ASSERT_TRUE(reparsed.ok()) << rule->ToString();
+  EXPECT_EQ(reparsed->ToString(), rule->ToString());
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,167 @@
+// THM-2: Lemma 2 (monotonicity of T_P) and Theorem 2 (continuity) over
+// randomly generated programs, plus the inflationary character of the
+// implemented operator (Def. 21: A in I is an immediate consequence).
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+
+#include "src/common/rng.h"
+#include "src/engine/evaluator.h"
+#include "src/lang/parser.h"
+
+namespace vqldb {
+namespace {
+
+struct Scenario {
+  std::unique_ptr<VideoDatabase> db;
+  std::vector<Rule> rules;
+  std::vector<ObjectId> entities;
+};
+
+Scenario RandomSetup(uint64_t seed) {
+  Rng rng(seed);
+  Scenario s;
+  s.db = std::make_unique<VideoDatabase>();
+  size_t n = 3 + rng.UniformU64(3);
+  for (size_t i = 0; i < n; ++i) {
+    s.entities.push_back(*s.db->CreateEntity("c" + std::to_string(i)));
+  }
+  for (size_t i = 0; i < n; ++i) {
+    ObjectId a = s.entities[rng.UniformU64(n)];
+    ObjectId b = s.entities[rng.UniformU64(n)];
+    VQLDB_CHECK_OK(s.db->AssertFact("e", {Value::Oid(a), Value::Oid(b)}));
+  }
+  const char* templates[] = {
+      "d0(X) <- e(X, Y).",
+      "d0(Y) <- e(X, Y), d0(X).",
+      "d1(X, Z) <- e(X, Y), e(Y, Z).",
+      "d1(X, Y) <- d1(Y, X).",
+      "d0(X) <- d1(X, X).",
+  };
+  size_t num_rules = 1 + rng.UniformU64(4);
+  for (size_t i = 0; i < num_rules; ++i) {
+    auto rule = Parser::ParseRule(templates[rng.UniformU64(5)]);
+    VQLDB_CHECK(rule.ok());
+    s.rules.push_back(*rule);
+  }
+  return s;
+}
+
+// A random interpretation over the setup's constants.
+Interpretation RandomInterpretation(const Scenario& s, Rng* rng, int extra) {
+  Interpretation out;
+  for (int i = 0; i < extra; ++i) {
+    Fact f;
+    size_t n = s.entities.size();
+    switch (rng->UniformU64(3)) {
+      case 0:
+        f.relation = "e";
+        f.args = {Value::Oid(s.entities[rng->UniformU64(n)]),
+                  Value::Oid(s.entities[rng->UniformU64(n)])};
+        break;
+      case 1:
+        f.relation = "d0";
+        f.args = {Value::Oid(s.entities[rng->UniformU64(n)])};
+        break;
+      default:
+        f.relation = "d1";
+        f.args = {Value::Oid(s.entities[rng->UniformU64(n)]),
+                  Value::Oid(s.entities[rng->UniformU64(n)])};
+    }
+    out.Add(f);
+  }
+  return out;
+}
+
+class TpPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TpPropertyTest, Monotonicity) {
+  // Lemma 2: I1 subset-of I2 implies TP(I1) subset-of TP(I2).
+  Scenario s = RandomSetup(GetParam());
+  auto eval = Evaluator::Make(s.db.get(), s.rules);
+  ASSERT_TRUE(eval.ok());
+  Rng rng(GetParam() + 99);
+  Interpretation i1 = RandomInterpretation(s, &rng, 4);
+  Interpretation i2 = RandomInterpretation(s, &rng, 4);
+  for (const Fact& f : i1.AllFacts()) i2.Add(f);  // force i1 subset i2
+  ASSERT_TRUE(i1.SubsetOf(i2));
+
+  auto t1 = eval->ApplyOnce(i1);
+  auto t2 = eval->ApplyOnce(i2);
+  ASSERT_TRUE(t1.ok());
+  ASSERT_TRUE(t2.ok());
+  EXPECT_TRUE(t1->SubsetOf(*t2));
+}
+
+TEST_P(TpPropertyTest, Inflationary) {
+  // Def. 21: every A in I is an immediate consequence, so I <= TP(I).
+  Scenario s = RandomSetup(GetParam() + 1000);
+  auto eval = Evaluator::Make(s.db.get(), s.rules);
+  ASSERT_TRUE(eval.ok());
+  Rng rng(GetParam() + 42);
+  Interpretation i = RandomInterpretation(s, &rng, 6);
+  auto t = eval->ApplyOnce(i);
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(i.SubsetOf(*t));
+}
+
+TEST_P(TpPropertyTest, ContinuityOnChains) {
+  // Theorem 2: for an increasing chain I1 <= I2 <= ..., TP(U Ii) = U TP(Ii)
+  // (finite chains suffice here since everything is finite).
+  Scenario s = RandomSetup(GetParam() + 2000);
+  auto eval = Evaluator::Make(s.db.get(), s.rules);
+  ASSERT_TRUE(eval.ok());
+  Rng rng(GetParam() + 7);
+
+  // Build an increasing chain of 4 interpretations.
+  std::vector<Interpretation> chain;
+  Interpretation acc;
+  for (int k = 0; k < 4; ++k) {
+    Interpretation add = RandomInterpretation(s, &rng, 2);
+    for (const Fact& f : add.AllFacts()) acc.Add(f);
+    Interpretation copy;
+    for (const Fact& f : acc.AllFacts()) copy.Add(f);
+    chain.push_back(std::move(copy));
+  }
+  // Union of the chain is its last element.
+  auto tp_union = eval->ApplyOnce(chain.back());
+  ASSERT_TRUE(tp_union.ok());
+
+  Interpretation union_of_tps;
+  for (const Interpretation& i : chain) {
+    auto t = eval->ApplyOnce(i);
+    ASSERT_TRUE(t.ok());
+    for (const Fact& f : t->AllFacts()) union_of_tps.Add(f);
+  }
+  // TP(U Ii) <= U TP(Ii) is the direction proven in Theorem 2; with finite
+  // chains and monotonicity the two coincide.
+  EXPECT_TRUE(tp_union->SubsetOf(union_of_tps));
+  EXPECT_TRUE(union_of_tps.SubsetOf(*tp_union));
+}
+
+TEST_P(TpPropertyTest, IteratedTpReachesFixpointFromBelow) {
+  Scenario s = RandomSetup(GetParam() + 3000);
+  auto eval = Evaluator::Make(s.db.get(), s.rules);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok());
+
+  // Kleene iteration from the empty interpretation converges to the same
+  // least fixpoint.
+  Interpretation i;
+  for (int k = 0; k < 64; ++k) {
+    auto next = eval->ApplyOnce(i);
+    ASSERT_TRUE(next.ok());
+    if (*next == i) break;
+    i = std::move(*next);
+    EXPECT_TRUE(i.SubsetOf(*fp));  // every iterate stays below the lfp
+  }
+  EXPECT_TRUE(i == *fp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TpPropertyTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,53 @@
+// Compile-and-touch test for the umbrella header: everything a downstream
+// user reaches through #include "src/vqldb.h" stays available together.
+
+#include "src/vqldb.h"
+
+#include <gtest/gtest.h>
+
+namespace vqldb {
+namespace {
+
+TEST(UmbrellaTest, OneIncludeDrivesTheWholePipeline) {
+  // Model + language + engine.
+  VideoDatabase db;
+  QuerySession session(&db);
+  ASSERT_TRUE(session.Load(R"(
+    object o1 { name: "probe" }.
+    interval g { duration: (t >= 0 and t <= 4), entities: {o1} }.
+  )")
+                  .ok());
+  ASSERT_TRUE(
+      session.AddRule("q(G) <- Interval(G), o1 in G.entities.").ok());
+  auto r = session.Query("?- q(G).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(aggregates::Count(*r), 1u);
+
+  // Constraint substrates.
+  EXPECT_TRUE(TemporalConstraint::ClosedInterval(0, 1).Satisfiable());
+  EXPECT_TRUE(OrderSolver::Satisfiable({}));
+  EXPECT_TRUE(SetSolver::Satisfiable({}));
+  GeneralizedInterval gi = GeneralizedInterval::Single(0, 2);
+  EXPECT_EQ(gi.Concat(gi), gi);
+
+  // Video substrate.
+  SyntheticArchiveConfig config;
+  config.num_shots = 3;
+  config.num_entities = 1;
+  VideoTimeline timeline = GenerateArchive(config);
+  GeneralizedIntervalIndex index;
+  EXPECT_TRUE(index.Build(timeline).ok());
+
+  // Storage.
+  auto bytes = BinaryFormat::Serialize(db);
+  ASSERT_TRUE(bytes.ok());
+  EXPECT_TRUE(BinaryFormat::Deserialize(*bytes).ok());
+  EXPECT_TRUE(TextFormat::Dump(db).ok());
+
+  // Concrete domain registry.
+  ConcreteDomain domain = ConcreteDomain::StandardOrder();
+  EXPECT_TRUE(domain.HasPredicate("lt", 2));
+}
+
+}  // namespace
+}  // namespace vqldb

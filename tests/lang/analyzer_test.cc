@@ -1,0 +1,118 @@
+#include "src/lang/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/lang/parser.h"
+
+namespace vqldb {
+namespace {
+
+Status CheckRuleText(std::string_view text) {
+  auto rule = Parser::ParseRule(text);
+  EXPECT_TRUE(rule.ok()) << rule.status();
+  std::map<std::string, size_t> arities;
+  return Analyzer::CheckRule(*rule, &arities);
+}
+
+Status CheckProgramText(std::string_view text) {
+  auto program = Parser::ParseProgram(text);
+  EXPECT_TRUE(program.ok()) << program.status();
+  return Analyzer::CheckProgram(*program);
+}
+
+TEST(AnalyzerTest, AcceptsPaperRules) {
+  EXPECT_TRUE(CheckRuleText("contains(G1, G2) <- Interval(G1), Interval(G2), "
+                            "G2.duration => G1.duration.")
+                  .ok());
+  EXPECT_TRUE(CheckRuleText("same_object_in(G1, G2, O) <- Interval(G1), "
+                            "Interval(G2), Object(O), O in G1.entities, "
+                            "O in G2.entities.")
+                  .ok());
+  EXPECT_TRUE(CheckRuleText(
+                  "concat(G1 ++ G2) <- Interval(G1), Interval(G2), "
+                  "Object(o1), Anyobject(o2), {o1, o2} subset G1.entities, "
+                  "{o1, o2} subset G2.entities.")
+                  .ok());
+}
+
+TEST(AnalyzerTest, RangeRestrictionHeadVariable) {
+  // Def. 11: every variable must occur in a body literal.
+  Status s = CheckRuleText("q(X, Y) <- p(X).");
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("Y"), std::string::npos);
+}
+
+TEST(AnalyzerTest, RangeRestrictionConstraintVariable) {
+  // Z occurs only in a constraint, not in a literal.
+  EXPECT_TRUE(CheckRuleText("q(X) <- p(X), Z.a = 1.").IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, ConstraintsDoNotBind) {
+  // Variables bound only via a constraint operand do not satisfy Def. 11.
+  EXPECT_TRUE(CheckRuleText("q(X) <- p(Y), X = Y.").IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, ConstructiveTermInBodyRejected) {
+  EXPECT_TRUE(
+      CheckRuleText("q(X) <- p(X ++ Y).").IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, BuiltinRedefinitionRejected) {
+  EXPECT_TRUE(CheckRuleText("Interval(X) <- p(X).").IsInvalidArgument());
+  EXPECT_TRUE(CheckRuleText("Object(X) <- p(X).").IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, BuiltinArityChecked) {
+  EXPECT_TRUE(CheckRuleText("q(X) <- Interval(X, X).").IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, NonGroundFactRejected) {
+  EXPECT_TRUE(CheckRuleText("p(X).").IsInvalidArgument());
+  EXPECT_TRUE(CheckRuleText("p(o1).").ok());
+}
+
+TEST(AnalyzerTest, ArityConsistencyAcrossProgram) {
+  EXPECT_TRUE(CheckProgramText(R"(
+    p(o1, o2).
+    q(X) <- p(X).
+  )")
+                  .IsInvalidArgument());
+  EXPECT_TRUE(CheckProgramText(R"(
+    p(o1, o2).
+    q(X) <- p(X, Y).
+  )")
+                  .ok());
+}
+
+TEST(AnalyzerTest, QueryArityChecked) {
+  EXPECT_TRUE(CheckProgramText(R"(
+    p(o1).
+    ?- p(X, Y).
+  )")
+                  .IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, QueryWithConstructiveTermRejected) {
+  auto program = Parser::ParseProgram("?- q(A ++ B).");
+  ASSERT_TRUE(program.ok());
+  EXPECT_TRUE(Analyzer::CheckProgram(*program).IsInvalidArgument());
+}
+
+TEST(AnalyzerTest, RecursiveRuleAccepted) {
+  EXPECT_TRUE(CheckProgramText(R"(
+    reach(X, Y) <- edge(X, Y).
+    reach(X, Z) <- reach(X, Y), edge(Y, Z).
+  )")
+                  .ok());
+}
+
+TEST(AnalyzerTest, DeclsPassThrough) {
+  EXPECT_TRUE(CheckProgramText(R"(
+    object o1 { name: "x" }.
+    interval gi1 { duration: (t > 0 and t < 1) }.
+  )")
+                  .ok());
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,144 @@
+#include "src/lang/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace vqldb {
+namespace {
+
+std::vector<Token> Lex(std::string_view source) {
+  auto r = Lexer(source).Tokenize();
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.ok() ? *r : std::vector<Token>{};
+}
+
+std::vector<TokenKind> Kinds(std::string_view source) {
+  std::vector<TokenKind> kinds;
+  for (const Token& t : Lex(source)) kinds.push_back(t.kind);
+  return kinds;
+}
+
+TEST(LexerTest, EmptyInput) {
+  EXPECT_EQ(Kinds(""), (std::vector<TokenKind>{TokenKind::kEof}));
+  EXPECT_EQ(Kinds("   \n\t "), (std::vector<TokenKind>{TokenKind::kEof}));
+}
+
+TEST(LexerTest, IdentifierCaseConvention) {
+  auto tokens = Lex("o1 G1 reporter Interval");
+  EXPECT_EQ(tokens[0].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[1].kind, TokenKind::kVariable);
+  EXPECT_EQ(tokens[2].kind, TokenKind::kIdent);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kVariable);  // builtins lex as vars
+  EXPECT_EQ(tokens[0].text, "o1");
+  EXPECT_EQ(tokens[3].text, "Interval");
+}
+
+TEST(LexerTest, Keywords) {
+  EXPECT_EQ(Kinds("in subset and or true false object interval"),
+            (std::vector<TokenKind>{
+                TokenKind::kKwIn, TokenKind::kKwSubset, TokenKind::kKwAnd,
+                TokenKind::kKwOr, TokenKind::kKwTrue, TokenKind::kKwFalse,
+                TokenKind::kKwObject, TokenKind::kKwInterval,
+                TokenKind::kEof}));
+}
+
+TEST(LexerTest, QualifiedName) {
+  auto tokens = Lex("G.duration g1.entities");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].kind, TokenKind::kQualified);
+  EXPECT_EQ(tokens[0].text, "G");
+  EXPECT_EQ(tokens[0].attr, "duration");
+  EXPECT_EQ(tokens[1].text, "g1");
+  EXPECT_EQ(tokens[1].attr, "entities");
+}
+
+TEST(LexerTest, DotAsTerminatorWhenSpaced) {
+  // "q(X)." — the '.' after ')' is a statement terminator.
+  auto kinds = Kinds("q(X).");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{
+                       TokenKind::kIdent, TokenKind::kLParen,
+                       TokenKind::kVariable, TokenKind::kRParen,
+                       TokenKind::kDot, TokenKind::kEof}));
+}
+
+TEST(LexerTest, NumberThenTerminator) {
+  // "5." lexes as the number 5 followed by the terminator.
+  auto tokens = Lex("x = 5.");
+  EXPECT_EQ(tokens[2].kind, TokenKind::kNumber);
+  EXPECT_EQ(tokens[2].number, 5);
+  EXPECT_TRUE(tokens[2].is_integer);
+  EXPECT_EQ(tokens[3].kind, TokenKind::kDot);
+}
+
+TEST(LexerTest, DecimalsAndExponents) {
+  auto tokens = Lex("3.25 1e3 2.5e-2 -7");
+  EXPECT_EQ(tokens[0].number, 3.25);
+  EXPECT_FALSE(tokens[0].is_integer);
+  EXPECT_EQ(tokens[1].number, 1000);
+  EXPECT_EQ(tokens[2].number, 0.025);
+  EXPECT_EQ(tokens[3].number, -7);
+  EXPECT_TRUE(tokens[3].is_integer);
+}
+
+TEST(LexerTest, Operators) {
+  EXPECT_EQ(Kinds("<- ?- => ++ = != < <= > >= : , ( ) { } ."),
+            (std::vector<TokenKind>{
+                TokenKind::kArrow, TokenKind::kQueryArrow, TokenKind::kEntails,
+                TokenKind::kConcat, TokenKind::kEq, TokenKind::kNe,
+                TokenKind::kLt, TokenKind::kLe, TokenKind::kGt, TokenKind::kGe,
+                TokenKind::kColon, TokenKind::kComma, TokenKind::kLParen,
+                TokenKind::kRParen, TokenKind::kLBrace, TokenKind::kRBrace,
+                TokenKind::kDot, TokenKind::kEof}));
+}
+
+TEST(LexerTest, PrologArrowAccepted) {
+  EXPECT_EQ(Kinds(":-")[0], TokenKind::kArrow);
+}
+
+TEST(LexerTest, StringsWithEscapes) {
+  auto tokens = Lex(R"("plain" "a\"b" "tab\tx")");
+  EXPECT_EQ(tokens[0].text, "plain");
+  EXPECT_EQ(tokens[1].text, "a\"b");
+  EXPECT_EQ(tokens[2].text, "tab\tx");
+}
+
+TEST(LexerTest, UnterminatedStringIsError) {
+  EXPECT_TRUE(Lexer("\"oops").Tokenize().status().IsParseError());
+  EXPECT_TRUE(Lexer("\"line\nbreak\"").Tokenize().status().IsParseError());
+}
+
+TEST(LexerTest, UnknownEscapeIsError) {
+  EXPECT_TRUE(Lexer(R"("a\qb")").Tokenize().status().IsParseError());
+}
+
+TEST(LexerTest, Comments) {
+  auto kinds = Kinds("a // comment to end\nb % percent comment\nc");
+  EXPECT_EQ(kinds, (std::vector<TokenKind>{TokenKind::kIdent, TokenKind::kIdent,
+                                           TokenKind::kIdent, TokenKind::kEof}));
+}
+
+TEST(LexerTest, PositionsTracked) {
+  auto tokens = Lex("a\n  b");
+  EXPECT_EQ(tokens[0].line, 1);
+  EXPECT_EQ(tokens[0].column, 1);
+  EXPECT_EQ(tokens[1].line, 2);
+  EXPECT_EQ(tokens[1].column, 3);
+}
+
+TEST(LexerTest, BadCharactersAreErrors) {
+  EXPECT_TRUE(Lexer("@").Tokenize().status().IsParseError());
+  EXPECT_TRUE(Lexer("!x").Tokenize().status().IsParseError());
+  EXPECT_TRUE(Lexer("?x").Tokenize().status().IsParseError());
+  EXPECT_TRUE(Lexer("+ 1").Tokenize().status().IsParseError());
+}
+
+TEST(LexerTest, PaperExampleRule) {
+  // The contains rule from Section 6.2 lexes cleanly.
+  auto tokens = Lex(
+      "contains(G1, G2) <- Interval(G1), Interval(G2), "
+      "G2.duration => G1.duration.");
+  EXPECT_EQ(tokens.back().kind, TokenKind::kEof);
+  EXPECT_EQ(tokens[tokens.size() - 2].kind, TokenKind::kDot);
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,248 @@
+#include "src/lang/parser.h"
+
+#include <gtest/gtest.h>
+
+namespace vqldb {
+namespace {
+
+Rule MustParseRule(std::string_view text) {
+  auto r = Parser::ParseRule(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status();
+  return r.ok() ? *r : Rule{};
+}
+
+Program MustParseProgram(std::string_view text) {
+  auto r = Parser::ParseProgram(text);
+  EXPECT_TRUE(r.ok()) << text << " -> " << r.status();
+  return r.ok() ? *r : Program{};
+}
+
+TEST(ParserTest, FactRule) {
+  Rule rule = MustParseRule("in(o1, o4, gi1).");
+  EXPECT_TRUE(rule.IsFact());
+  EXPECT_EQ(rule.head.predicate, "in");
+  EXPECT_EQ(rule.head.args.size(), 3u);
+  EXPECT_EQ(rule.head.args[0].constant.text, "o1");
+}
+
+TEST(ParserTest, SimpleRuleWithBuiltins) {
+  Rule rule = MustParseRule("q(O) <- Interval(G), Object(O), O in G.entities.");
+  EXPECT_FALSE(rule.IsFact());
+  EXPECT_EQ(rule.body.size(), 2u);
+  EXPECT_EQ(rule.body[0].predicate, "Interval");
+  EXPECT_EQ(rule.constraints.size(), 1u);
+  EXPECT_EQ(rule.constraints[0].kind, ConstraintExpr::Kind::kMembership);
+}
+
+TEST(ParserTest, NamedRule) {
+  Rule rule = MustParseRule("r1: q(X) <- p(X).");
+  EXPECT_EQ(rule.name, "r1");
+  EXPECT_EQ(rule.head.predicate, "q");
+}
+
+TEST(ParserTest, PaperQuery1EntitiesOfSequence) {
+  // q(O) <- Interval(g), Object(O), O in g.entities.
+  Rule rule = MustParseRule("q(O) <- Interval(g), Object(O), O in g.entities.");
+  EXPECT_EQ(rule.constraints[0].rhs.kind, Operand::Kind::kAccess);
+  EXPECT_EQ(rule.constraints[0].rhs.attribute, "entities");
+  EXPECT_EQ(rule.constraints[0].rhs.term.kind, Term::Kind::kConstant);
+}
+
+TEST(ParserTest, PaperQuery3TemporalFrame) {
+  // q(o) <- Interval(G), Object(o), o in G.entities,
+  //         G.duration => (t > 4 and t < 9).
+  Rule rule = MustParseRule(
+      "q(o) <- Interval(G), Object(o), o in G.entities, "
+      "G.duration => (t > 4 and t < 9).");
+  ASSERT_EQ(rule.constraints.size(), 2u);
+  const ConstraintExpr& entail = rule.constraints[1];
+  EXPECT_EQ(entail.kind, ConstraintExpr::Kind::kEntails);
+  EXPECT_EQ(entail.lhs.kind, Operand::Kind::kAccess);
+  EXPECT_EQ(entail.rhs.kind, Operand::Kind::kTemporal);
+  IntervalSet denoted = entail.rhs.temporal.ToIntervalSet();
+  EXPECT_TRUE(denoted.Contains(5));
+  EXPECT_FALSE(denoted.Contains(4));
+}
+
+TEST(ParserTest, PaperQuery4SubsetForm) {
+  Rule rule =
+      MustParseRule("q(G) <- Interval(G), {o1, o2} subset G.entities.");
+  ASSERT_EQ(rule.constraints.size(), 1u);
+  EXPECT_EQ(rule.constraints[0].kind, ConstraintExpr::Kind::kSubset);
+  EXPECT_EQ(rule.constraints[0].lhs.term.constant.kind, ConstExpr::Kind::kSet);
+  EXPECT_EQ(rule.constraints[0].lhs.term.constant.elements.size(), 2u);
+}
+
+TEST(ParserTest, PaperQuery6AttributeValue) {
+  Rule rule = MustParseRule(
+      "q(G) <- Interval(G), Object(O), O in G.entities, O.a = \"val\".");
+  const ConstraintExpr& cmp = rule.constraints[1];
+  EXPECT_EQ(cmp.kind, ConstraintExpr::Kind::kCompare);
+  EXPECT_EQ(cmp.op, CompareOp::kEq);
+  EXPECT_EQ(cmp.lhs.attribute, "a");
+  EXPECT_EQ(cmp.rhs.term.constant.text, "val");
+}
+
+TEST(ParserTest, ConstructiveRule) {
+  // Section 6.2: concatenate_Gintervals(G1 ++ G2) <- ...
+  Rule rule = MustParseRule(
+      "concat(G1 ++ G2) <- Interval(G1), Interval(G2), Object(o1), "
+      "o1 in G1.entities, o1 in G2.entities.");
+  EXPECT_TRUE(rule.IsConstructive());
+  ASSERT_EQ(rule.head.args.size(), 1u);
+  EXPECT_EQ(rule.head.args[0].kind, Term::Kind::kConcat);
+  EXPECT_EQ(rule.head.args[0].operands.size(), 2u);
+}
+
+TEST(ParserTest, ConcatChainFlattens) {
+  Rule rule = MustParseRule("q(A ++ B ++ C) <- p(A, B, C).");
+  EXPECT_EQ(rule.head.args[0].operands.size(), 3u);
+}
+
+TEST(ParserTest, InequalityBetweenAccesses) {
+  Rule rule = MustParseRule("q(X, Y) <- p(X, Y), X.age < Y.age.");
+  const ConstraintExpr& c = rule.constraints[0];
+  EXPECT_EQ(c.op, CompareOp::kLt);
+  EXPECT_EQ(c.lhs.attribute, "age");
+  EXPECT_EQ(c.rhs.attribute, "age");
+  EXPECT_EQ(c.lhs.term.variable, "X");
+}
+
+TEST(ParserTest, VariableComparison) {
+  Rule rule = MustParseRule("q(X, Y) <- p(X), p(Y), X != Y.");
+  EXPECT_EQ(rule.constraints[0].op, CompareOp::kNe);
+}
+
+TEST(ParserTest, InAsRelationName) {
+  // The paper's relation is literally called `in`.
+  Rule rule = MustParseRule("q(O) <- in(O, o4, gi1).");
+  EXPECT_EQ(rule.body[0].predicate, "in");
+}
+
+TEST(ParserTest, ObjectDecl) {
+  Program p = MustParseProgram(
+      "object o1 { name: \"David\", role: \"Victim\" }.");
+  ASSERT_EQ(p.statements.size(), 1u);
+  const ObjectDecl& decl = p.statements[0].decl;
+  EXPECT_FALSE(decl.is_interval);
+  EXPECT_EQ(decl.symbol, "o1");
+  ASSERT_EQ(decl.attributes.size(), 2u);
+  EXPECT_EQ(decl.attributes[0].first, "name");
+  EXPECT_EQ(decl.attributes[0].second.text, "David");
+}
+
+TEST(ParserTest, IntervalDeclWithDisjunctiveDuration) {
+  Program p = MustParseProgram(
+      "interval gi1 { duration: (t > 0 and t < 5) or (t > 9 and t < 12), "
+      "entities: {o1, o2} }.");
+  const ObjectDecl& decl = p.statements[0].decl;
+  EXPECT_TRUE(decl.is_interval);
+  ASSERT_EQ(decl.attributes.size(), 2u);
+  EXPECT_EQ(decl.attributes[0].second.kind, ConstExpr::Kind::kTemporal);
+  IntervalSet denoted = decl.attributes[0].second.temporal.ToIntervalSet();
+  EXPECT_EQ(denoted.fragment_count(), 2u);
+}
+
+TEST(ParserTest, EmptyDecl) {
+  Program p = MustParseProgram("object empty {}.");
+  EXPECT_TRUE(p.statements[0].decl.attributes.empty());
+}
+
+TEST(ParserTest, QueryStatement) {
+  Program p = MustParseProgram("?- q(X, \"val\").");
+  ASSERT_EQ(p.statements.size(), 1u);
+  EXPECT_EQ(p.statements[0].kind, Statement::Kind::kQuery);
+  EXPECT_EQ(p.statements[0].query.goal.predicate, "q");
+}
+
+TEST(ParserTest, ParseQueryEntryPoint) {
+  auto q = Parser::ParseQuery("?- contains(G1, gi2).");
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->goal.args.size(), 2u);
+  // Without arrow / terminator also accepted.
+  EXPECT_TRUE(Parser::ParseQuery("q(X)").ok());
+}
+
+TEST(ParserTest, ParseTemporalEntryPoint) {
+  auto t = Parser::ParseTemporal("t >= 0 and t <= 5 or t = 9");
+  ASSERT_TRUE(t.ok());
+  IntervalSet s = t->ToIntervalSet();
+  EXPECT_TRUE(s.Contains(3));
+  EXPECT_TRUE(s.Contains(9));
+  EXPECT_FALSE(s.Contains(7));
+}
+
+TEST(ParserTest, TemporalReversedComparison) {
+  auto t = Parser::ParseTemporal("0 < t and 5 > t");
+  ASSERT_TRUE(t.ok());
+  EXPECT_TRUE(t->ToIntervalSet().Contains(2));
+  EXPECT_FALSE(t->ToIntervalSet().Contains(5));
+}
+
+TEST(ParserTest, MixedProgram) {
+  Program p = MustParseProgram(R"(
+    object o1 { name: "David" }.
+    interval gi1 { duration: (t > 0 and t < 10), entities: {o1} }.
+    in(o1, gi1).
+    q(G) <- Interval(G), Object(o1), o1 in G.entities.
+    ?- q(G).
+  )");
+  EXPECT_EQ(p.statements.size(), 5u);
+  EXPECT_EQ(p.Decls().size(), 2u);
+  EXPECT_EQ(p.Rules().size(), 2u);  // fact + rule
+  EXPECT_EQ(p.Queries().size(), 1u);
+}
+
+TEST(ParserTest, RoundTripThroughToString) {
+  const char* source =
+      "contains(G1, G2) <- Interval(G1), Interval(G2), "
+      "G2.duration => G1.duration.";
+  Rule rule = MustParseRule(source);
+  Rule reparsed = MustParseRule(rule.ToString());
+  EXPECT_EQ(reparsed.ToString(), rule.ToString());
+}
+
+TEST(ParserTest, ProgramRoundTrip) {
+  Program p = MustParseProgram(R"(
+    object o1 { name: "David" }.
+    interval gi1 { duration: (t > 0 and t < 10), entities: {o1} }.
+    q(G) <- Interval(G), o1 in G.entities.
+  )");
+  Program p2 = MustParseProgram(p.ToString());
+  EXPECT_EQ(p2.ToString(), p.ToString());
+}
+
+TEST(ParserTest, Errors) {
+  EXPECT_TRUE(Parser::ParseRule("q(X").status().IsParseError());
+  EXPECT_TRUE(Parser::ParseRule("q(X) <- .").status().IsParseError());
+  EXPECT_TRUE(Parser::ParseRule("q(X) <- p(X)").status().IsParseError());  // no dot
+  EXPECT_TRUE(Parser::ParseRule("q(X) <- X ~ Y.").status().IsParseError());
+  EXPECT_TRUE(
+      Parser::ParseProgram("object { a: 1 }.").status().IsParseError());
+  EXPECT_TRUE(Parser::ParseProgram("interval gi { duration: (t >) }.")
+                  .status()
+                  .IsParseError());
+  EXPECT_TRUE(Parser::ParseRule("q(X) <- p(X) r(X).").status().IsParseError());
+}
+
+TEST(ParserTest, TemporalRequiresTimeVariable) {
+  EXPECT_TRUE(Parser::ParseTemporal("x > 1").status().IsParseError());
+  EXPECT_TRUE(Parser::ParseTemporal("1 < y").status().IsParseError());
+}
+
+TEST(ParserTest, SetLiteralNested) {
+  Rule rule = MustParseRule("q(X) <- p(X), {1, {2, 3}} subset X.vals.");
+  const ConstExpr& set = rule.constraints[0].lhs.term.constant;
+  ASSERT_EQ(set.elements.size(), 2u);
+  EXPECT_EQ(set.elements[1].kind, ConstExpr::Kind::kSet);
+}
+
+TEST(ParserTest, VariablesOfCollectsInOrder) {
+  Rule rule = MustParseRule(
+      "q(A, B) <- p(B, A), r(C), A.x < C.y.");
+  EXPECT_EQ(VariablesOf(rule),
+            (std::vector<std::string>{"A", "B", "C"}));
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,81 @@
+#include "src/model/object.h"
+
+#include <gtest/gtest.h>
+
+namespace vqldb {
+namespace {
+
+TEST(VideoObjectTest, SetAndGetAttribute) {
+  VideoObject o(ObjectId{3});
+  ASSERT_TRUE(o.SetAttribute("name", Value::String("David")).ok());
+  ASSERT_TRUE(o.SetAttribute("role", Value::String("Victim")).ok());
+  EXPECT_EQ(o.GetAttribute("name")->string_value(), "David");
+  EXPECT_EQ(o.attribute_count(), 2u);
+}
+
+TEST(VideoObjectTest, OverwriteKeepsSingleEntry) {
+  VideoObject o(ObjectId{1});
+  ASSERT_TRUE(o.SetAttribute("a", Value::Int(1)).ok());
+  ASSERT_TRUE(o.SetAttribute("a", Value::Int(2)).ok());
+  EXPECT_EQ(o.attribute_count(), 1u);
+  EXPECT_EQ(o.GetAttribute("a")->int_value(), 2);
+}
+
+TEST(VideoObjectTest, UndefinedAttributeIsNotFound) {
+  VideoObject o(ObjectId{1});
+  EXPECT_EQ(o.FindAttribute("missing"), nullptr);
+  EXPECT_TRUE(o.GetAttribute("missing").status().IsNotFound());
+  EXPECT_FALSE(o.HasAttribute("missing"));
+}
+
+TEST(VideoObjectTest, NullValueRejected) {
+  // Def. 7 remark: a defined attribute always has a value.
+  VideoObject o(ObjectId{1});
+  EXPECT_TRUE(o.SetAttribute("a", Value()).IsInvalidArgument());
+}
+
+TEST(VideoObjectTest, EmptyNameRejected) {
+  VideoObject o(ObjectId{1});
+  EXPECT_TRUE(o.SetAttribute("", Value::Int(1)).IsInvalidArgument());
+}
+
+TEST(VideoObjectTest, AttributesSortedByName) {
+  VideoObject o(ObjectId{1});
+  ASSERT_TRUE(o.SetAttribute("z", Value::Int(1)).ok());
+  ASSERT_TRUE(o.SetAttribute("a", Value::Int(2)).ok());
+  ASSERT_TRUE(o.SetAttribute("m", Value::Int(3)).ok());
+  EXPECT_EQ(o.AttributeNames(),
+            (std::vector<std::string>{"a", "m", "z"}));
+}
+
+TEST(VideoObjectTest, RemoveAttribute) {
+  VideoObject o(ObjectId{1});
+  ASSERT_TRUE(o.SetAttribute("a", Value::Int(1)).ok());
+  EXPECT_TRUE(o.RemoveAttribute("a"));
+  EXPECT_FALSE(o.RemoveAttribute("a"));
+  EXPECT_FALSE(o.HasAttribute("a"));
+}
+
+TEST(VideoObjectTest, ToStringMatchesPaperNotation) {
+  VideoObject o(ObjectId{3});
+  ASSERT_TRUE(o.SetAttribute("name", Value::String("David")).ok());
+  ASSERT_TRUE(o.SetAttribute("role", Value::String("Victim")).ok());
+  EXPECT_EQ(o.ToString(), "(id3, [name: \"David\", role: \"Victim\"])");
+}
+
+TEST(FactTest, EqualityAndHash) {
+  Fact a{"in", {Value::Oid(ObjectId{1}), Value::Oid(ObjectId{2})}};
+  Fact b{"in", {Value::Oid(ObjectId{1}), Value::Oid(ObjectId{2})}};
+  Fact c{"in", {Value::Oid(ObjectId{2}), Value::Oid(ObjectId{1})}};
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  EXPECT_FALSE(a == c);
+}
+
+TEST(FactTest, ToString) {
+  Fact f{"in", {Value::Oid(ObjectId{3}), Value::String("x")}};
+  EXPECT_EQ(f.ToString(), "in(id3, \"x\")");
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,190 @@
+#include "src/model/value.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace vqldb {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.ToString(), "null");
+}
+
+TEST(ValueTest, ScalarKindsAndAccessors) {
+  EXPECT_EQ(Value::Bool(true).bool_value(), true);
+  EXPECT_EQ(Value::Int(-7).int_value(), -7);
+  EXPECT_EQ(Value::Double(2.5).double_value(), 2.5);
+  EXPECT_EQ(Value::String("hi").string_value(), "hi");
+  EXPECT_EQ(Value::Oid(ObjectId{9}).oid_value(), (ObjectId{9}));
+}
+
+TEST(ValueTest, ToStringSurfaceSyntax) {
+  EXPECT_EQ(Value::Int(42).ToString(), "42");
+  EXPECT_EQ(Value::Double(3.5).ToString(), "3.5");
+  EXPECT_EQ(Value::String("a\"b").ToString(), "\"a\\\"b\"");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Oid(ObjectId{3}).ToString(), "id3");
+  EXPECT_EQ(Value::Set({Value::Int(2), Value::Int(1)}).ToString(), "{1, 2}");
+}
+
+TEST(ValueTest, TemporalToStringIsConstraintSyntax) {
+  Value v = Value::Temporal(IntervalSet({TimeInterval::Open(0, 10)}));
+  EXPECT_EQ(v.ToString(), "(t > 0 and t < 10)");
+}
+
+TEST(ValueTest, SetsAreCanonical) {
+  Value a = Value::Set({Value::Int(2), Value::Int(1), Value::Int(2)});
+  Value b = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.set_elements().size(), 2u);
+}
+
+TEST(ValueTest, NumericCrossKindEquality) {
+  EXPECT_EQ(Value::Int(2), Value::Double(2.0));
+  EXPECT_EQ(Value::Int(2).Hash(), Value::Double(2.0).Hash());
+  EXPECT_NE(Value::Int(2), Value::Double(2.5));
+}
+
+TEST(ValueTest, CompareOrdersWithinKind) {
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  EXPECT_LT(Value::Oid(ObjectId{1}), Value::Oid(ObjectId{2}));
+  EXPECT_LT(Value::Bool(false), Value::Bool(true));
+}
+
+TEST(ValueTest, CompareOrdersAcrossKindsByRank) {
+  EXPECT_LT(Value(), Value::Bool(false));          // null < bool
+  EXPECT_LT(Value::Bool(true), Value::Int(0));     // bool < numeric
+  EXPECT_LT(Value::Int(999), Value::String(""));   // numeric < string
+  EXPECT_LT(Value::String("z"), Value::Oid(ObjectId{1}));
+  EXPECT_LT(Value::Oid(ObjectId{99}),
+            Value::Temporal(IntervalSet::Empty()));
+  EXPECT_LT(Value::Temporal(IntervalSet::All()), Value::EmptySet());
+}
+
+TEST(ValueTest, SetComparisonLexicographic) {
+  Value a = Value::Set({Value::Int(1)});
+  Value b = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_LT(a, b);  // prefix is smaller
+  EXPECT_LT(Value::Set({Value::Int(0), Value::Int(9)}), b);
+}
+
+TEST(ValueTest, AsDouble) {
+  EXPECT_EQ(*Value::Int(3).AsDouble(), 3.0);
+  EXPECT_EQ(*Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_TRUE(Value::String("x").AsDouble().status().IsTypeError());
+}
+
+TEST(ValueTest, SetContains) {
+  Value s = Value::Set({Value::Int(1), Value::String("x")});
+  EXPECT_TRUE(*s.SetContains(Value::Int(1)));
+  EXPECT_TRUE(*s.SetContains(Value::Double(1.0)));  // numeric cross-kind
+  EXPECT_FALSE(*s.SetContains(Value::Int(2)));
+  EXPECT_TRUE(Value::Int(1).SetContains(Value::Int(1)).status().IsTypeError());
+}
+
+TEST(ValueTest, SetSubsetOf) {
+  Value small = Value::Set({Value::Int(1)});
+  Value big = Value::Set({Value::Int(1), Value::Int(2)});
+  EXPECT_TRUE(*small.SetSubsetOf(big));
+  EXPECT_FALSE(*big.SetSubsetOf(small));
+  EXPECT_TRUE(*Value::EmptySet().SetSubsetOf(small));
+  EXPECT_TRUE(small.SetSubsetOf(Value::Int(1)).status().IsTypeError());
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  Value a = Value::Set({Value::Int(1), Value::String("x")});
+  Value b = Value::Set({Value::String("x"), Value::Int(1)});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, TemporalEqualityIsSemantic) {
+  Value a = Value::Temporal(IntervalSet({TimeInterval::Closed(0, 5),
+                                         TimeInterval::Closed(3, 9)}));
+  Value b = Value::Temporal(IntervalSet({TimeInterval::Closed(0, 9)}));
+  EXPECT_EQ(a, b);  // both normalize to [0,9]
+  EXPECT_EQ(a.Hash(), b.Hash());
+}
+
+TEST(ValueTest, UnionWithNull) {
+  Value v = Value::Int(1);
+  EXPECT_EQ(Value::UnionWith(Value(), v), v);
+  EXPECT_EQ(Value::UnionWith(v, Value()), v);
+}
+
+TEST(ValueTest, UnionWithEqualCollapses) {
+  Value v = Value::String("x");
+  EXPECT_EQ(Value::UnionWith(v, v), v);
+  EXPECT_TRUE(Value::UnionWith(v, v).is_string());  // not lifted to a set
+}
+
+TEST(ValueTest, UnionWithDistinctAtomsLiftsToSet) {
+  Value u = Value::UnionWith(Value::Int(1), Value::Int(2));
+  EXPECT_TRUE(u.is_set());
+  EXPECT_EQ(u, Value::Set({Value::Int(1), Value::Int(2)}));
+}
+
+TEST(ValueTest, UnionWithSetsUnites) {
+  Value a = Value::Set({Value::Int(1), Value::Int(2)});
+  Value b = Value::Set({Value::Int(2), Value::Int(3)});
+  EXPECT_EQ(Value::UnionWith(a, b),
+            Value::Set({Value::Int(1), Value::Int(2), Value::Int(3)}));
+}
+
+TEST(ValueTest, UnionWithSetAndAtom) {
+  Value a = Value::Set({Value::Int(1)});
+  EXPECT_EQ(Value::UnionWith(a, Value::Int(5)),
+            Value::Set({Value::Int(1), Value::Int(5)}));
+  EXPECT_EQ(Value::UnionWith(Value::Int(5), a),
+            Value::Set({Value::Int(1), Value::Int(5)}));
+}
+
+TEST(ValueTest, UnionWithTemporalsIsPointwise) {
+  Value a = Value::Temporal(IntervalSet({TimeInterval::Closed(0, 2)}));
+  Value b = Value::Temporal(IntervalSet({TimeInterval::Closed(5, 7)}));
+  Value u = Value::UnionWith(a, b);
+  ASSERT_TRUE(u.is_temporal());
+  EXPECT_EQ(u.temporal_value().fragment_count(), 2u);
+}
+
+TEST(ValueTest, UnionIsIdempotentAndCommutative) {
+  Rng rng(3);
+  std::vector<Value> pool = {
+      Value::Int(1), Value::String("a"),
+      Value::Set({Value::Int(1), Value::Int(2)}),
+      Value::Temporal(IntervalSet({TimeInterval::Closed(0, 1)})),
+      Value::Bool(true)};
+  for (const Value& a : pool) {
+    EXPECT_EQ(Value::UnionWith(a, a), a) << a.ToString();
+    for (const Value& b : pool) {
+      EXPECT_EQ(Value::UnionWith(a, b), Value::UnionWith(b, a));
+    }
+  }
+}
+
+TEST(ValueTest, CompareIsTotalOrderOnSamples) {
+  std::vector<Value> pool = {
+      Value(), Value::Bool(false), Value::Bool(true), Value::Int(-1),
+      Value::Int(3), Value::Double(2.5), Value::String("a"),
+      Value::String("b"), Value::Oid(ObjectId{1}),
+      Value::Temporal(IntervalSet({TimeInterval::Closed(0, 1)})),
+      Value::EmptySet(), Value::Set({Value::Int(9)})};
+  for (const Value& a : pool) {
+    EXPECT_EQ(a.Compare(a), 0);
+    for (const Value& b : pool) {
+      EXPECT_EQ(a.Compare(b), -b.Compare(a));
+      for (const Value& c : pool) {
+        if (a.Compare(b) < 0 && b.Compare(c) < 0) {
+          EXPECT_LT(a.Compare(c), 0);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "src/setcon/set_constraint.h"
+
+namespace vqldb {
+namespace {
+
+TEST(ElementSetTest, CanonicalizesInput) {
+  ElementSet s({3, 1, 2, 3, 1});
+  EXPECT_EQ(s.elements(), (std::vector<Element>{1, 2, 3}));
+  EXPECT_EQ(s.size(), 3u);
+}
+
+TEST(ElementSetTest, EmptySet) {
+  ElementSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_FALSE(s.Contains(0));
+  EXPECT_EQ(s.ToString(), "{}");
+}
+
+TEST(ElementSetTest, Contains) {
+  ElementSet s({1, 5, 9});
+  EXPECT_TRUE(s.Contains(5));
+  EXPECT_FALSE(s.Contains(4));
+}
+
+TEST(ElementSetTest, SubsetOf) {
+  EXPECT_TRUE(ElementSet({1, 2}).SubsetOf(ElementSet({1, 2, 3})));
+  EXPECT_FALSE(ElementSet({1, 4}).SubsetOf(ElementSet({1, 2, 3})));
+  EXPECT_TRUE(ElementSet().SubsetOf(ElementSet({1})));
+  EXPECT_TRUE(ElementSet({1}).SubsetOf(ElementSet({1})));
+}
+
+TEST(ElementSetTest, UnionIntersectDifference) {
+  ElementSet a({1, 2, 3});
+  ElementSet b({3, 4});
+  EXPECT_EQ(a.Union(b), ElementSet({1, 2, 3, 4}));
+  EXPECT_EQ(a.Intersect(b), ElementSet({3}));
+  EXPECT_EQ(a.Difference(b), ElementSet({1, 2}));
+}
+
+TEST(ElementSetTest, InsertKeepsSorted) {
+  ElementSet s({5});
+  s.Insert(2);
+  s.Insert(9);
+  s.Insert(2);  // duplicate
+  EXPECT_EQ(s.elements(), (std::vector<Element>{2, 5, 9}));
+}
+
+TEST(ElementSetTest, ToString) {
+  EXPECT_EQ(ElementSet({2, 1}).ToString(), "{1, 2}");
+}
+
+TEST(SetConstraintTest, FactoriesAndToString) {
+  EXPECT_EQ(SetConstraint::Member(7, 0).ToString(), "7 in X0");
+  EXPECT_EQ(SetConstraint::UpperBound(1, ElementSet({1, 2})).ToString(),
+            "X1 subseteq {1, 2}");
+  EXPECT_EQ(SetConstraint::LowerBound(ElementSet({3}), 2).ToString(),
+            "{3} subseteq X2");
+  EXPECT_EQ(SetConstraint::Subset(0, 1).ToString(), "X0 subseteq X1");
+}
+
+TEST(SetConstraintTest, ConjunctionToString) {
+  SetConjunction c = {SetConstraint::Member(1, 0), SetConstraint::Subset(0, 1)};
+  EXPECT_EQ(ToString(c), "1 in X0 and X0 subseteq X1");
+  EXPECT_EQ(ToString(SetConjunction{}), "true");
+}
+
+TEST(ElementTableTest, InternAndLookup) {
+  ElementTable table;
+  Element a = table.Intern("o1");
+  Element b = table.Intern("o2");
+  Element a2 = table.Intern("o1");
+  EXPECT_EQ(a, a2);
+  EXPECT_NE(a, b);
+  EXPECT_EQ(table.Lookup(a), "o1");
+  EXPECT_EQ(table.Lookup(b), "o2");
+  EXPECT_EQ(table.size(), 2u);
+  EXPECT_EQ(table.Lookup(999), "?999");
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,245 @@
+#include "src/setcon/set_solver.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+
+namespace vqldb {
+namespace {
+
+using SC = SetConstraint;
+
+TEST(SetSolverTest, EmptyConjunctionSatisfiable) {
+  EXPECT_TRUE(SetSolver::Satisfiable({}));
+}
+
+TEST(SetSolverTest, LowerWithinUpperSatisfiable) {
+  EXPECT_TRUE(SetSolver::Satisfiable(
+      {SC::LowerBound(ElementSet({1}), 0), SC::UpperBound(0, ElementSet({1, 2}))}));
+}
+
+TEST(SetSolverTest, LowerOutsideUpperUnsat) {
+  EXPECT_FALSE(SetSolver::Satisfiable(
+      {SC::LowerBound(ElementSet({3}), 0), SC::UpperBound(0, ElementSet({1, 2}))}));
+}
+
+TEST(SetSolverTest, MemberIsLowerBound) {
+  EXPECT_FALSE(SetSolver::Satisfiable(
+      {SC::Member(9, 0), SC::UpperBound(0, ElementSet({1, 2}))}));
+  EXPECT_TRUE(SetSolver::Satisfiable(
+      {SC::Member(1, 0), SC::UpperBound(0, ElementSet({1, 2}))}));
+}
+
+TEST(SetSolverTest, PropagationThroughSubsetChain) {
+  // {5} subseteq X, X subseteq Y, Y subseteq {1,2}: 5 must flow into Y.
+  EXPECT_FALSE(SetSolver::Satisfiable({SC::LowerBound(ElementSet({5}), 0),
+                                       SC::Subset(0, 1),
+                                       SC::UpperBound(1, ElementSet({1, 2}))}));
+  EXPECT_TRUE(SetSolver::Satisfiable({SC::LowerBound(ElementSet({1}), 0),
+                                      SC::Subset(0, 1),
+                                      SC::UpperBound(1, ElementSet({1, 2}))}));
+}
+
+TEST(SetSolverTest, UpperPropagatesBackwards) {
+  // X subseteq Y, Y subseteq {1}: X's effective upper bound is {1}.
+  EXPECT_FALSE(SetSolver::Satisfiable({SC::Member(2, 0), SC::Subset(0, 1),
+                                       SC::UpperBound(1, ElementSet({1}))}));
+}
+
+TEST(SetSolverTest, CyclesForceEquality) {
+  // X subseteq Y subseteq X with {1} in X and Y subseteq {2}: unsat.
+  EXPECT_FALSE(SetSolver::Satisfiable(
+      {SC::Subset(0, 1), SC::Subset(1, 0), SC::Member(1, 0),
+       SC::UpperBound(1, ElementSet({2}))}));
+}
+
+TEST(SetSolverTest, EntailsMember) {
+  SetConjunction c = {SC::LowerBound(ElementSet({1, 2}), 0)};
+  EXPECT_TRUE(SetSolver::Entails(c, SC::Member(1, 0)));
+  EXPECT_FALSE(SetSolver::Entails(c, SC::Member(3, 0)));
+}
+
+TEST(SetSolverTest, EntailsMemberThroughChain) {
+  SetConjunction c = {SC::Member(7, 0), SC::Subset(0, 1)};
+  EXPECT_TRUE(SetSolver::Entails(c, SC::Member(7, 1)));
+  EXPECT_FALSE(SetSolver::Entails(c, SC::Member(8, 1)));
+}
+
+TEST(SetSolverTest, EntailsLowerBound) {
+  SetConjunction c = {SC::LowerBound(ElementSet({1, 2, 3}), 0)};
+  EXPECT_TRUE(SetSolver::Entails(c, SC::LowerBound(ElementSet({1, 3}), 0)));
+  EXPECT_FALSE(SetSolver::Entails(c, SC::LowerBound(ElementSet({4}), 0)));
+}
+
+TEST(SetSolverTest, EntailsUpperBoundRequiresBound) {
+  // Without any upper constraint X can always grow: X subseteq s never holds.
+  EXPECT_FALSE(SetSolver::Entails({SC::Member(1, 0)},
+                                  SC::UpperBound(0, ElementSet({1, 2, 3}))));
+  SetConjunction c = {SC::UpperBound(0, ElementSet({1, 2}))};
+  EXPECT_TRUE(SetSolver::Entails(c, SC::UpperBound(0, ElementSet({1, 2, 3}))));
+  EXPECT_FALSE(SetSolver::Entails(c, SC::UpperBound(0, ElementSet({1}))));
+}
+
+TEST(SetSolverTest, EntailsSubsetViaPath) {
+  SetConjunction c = {SC::Subset(0, 1), SC::Subset(1, 2)};
+  EXPECT_TRUE(SetSolver::Entails(c, SC::Subset(0, 2)));
+  EXPECT_FALSE(SetSolver::Entails(c, SC::Subset(2, 0)));
+}
+
+TEST(SetSolverTest, EntailsSubsetViaBounds) {
+  // X subseteq {1,2} and {1,2,3} subseteq Y entails X subseteq Y even with
+  // no subseteq path.
+  SetConjunction c = {SC::UpperBound(0, ElementSet({1, 2})),
+                      SC::LowerBound(ElementSet({1, 2, 3}), 1)};
+  EXPECT_TRUE(SetSolver::Entails(c, SC::Subset(0, 1)));
+  // But not when some permitted element of X avoids Y's forced content.
+  SetConjunction c2 = {SC::UpperBound(0, ElementSet({1, 2, 9})),
+                       SC::LowerBound(ElementSet({1, 2}), 1)};
+  EXPECT_FALSE(SetSolver::Entails(c2, SC::Subset(0, 1)));
+}
+
+TEST(SetSolverTest, UnsatEntailsEverything) {
+  SetConjunction c = {SC::Member(9, 0), SC::UpperBound(0, ElementSet({1}))};
+  EXPECT_TRUE(SetSolver::Entails(c, SC::Member(12345, 7)));
+}
+
+TEST(SetSolverTest, ReflexiveSubsetAlwaysEntailed) {
+  EXPECT_TRUE(SetSolver::Entails({SC::Member(1, 0)}, SC::Subset(0, 0)));
+}
+
+TEST(SetSolverTest, SolveMinimalIsLowerClosure) {
+  SetConjunction c = {SC::LowerBound(ElementSet({1}), 0), SC::Subset(0, 1),
+                      SC::Member(5, 1)};
+  auto solution = SetSolver::SolveMinimal(c);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_EQ(solution->at(0), ElementSet({1}));
+  EXPECT_EQ(solution->at(1), ElementSet({1, 5}));
+}
+
+TEST(SetSolverTest, SolveMinimalUnsat) {
+  SetConjunction c = {SC::Member(9, 0), SC::UpperBound(0, ElementSet({1}))};
+  EXPECT_TRUE(SetSolver::SolveMinimal(c).status().IsNotFound());
+}
+
+TEST(SetSolverTest, EliminationBasic) {
+  // exists X: {1} subseteq X and X subseteq Y  ==>  {1} subseteq Y.
+  SetConjunction c = {SC::LowerBound(ElementSet({1}), 0), SC::Subset(0, 1)};
+  auto e = SetSolver::EliminateVariable(c, 0);
+  EXPECT_TRUE(e.satisfiable);
+  ASSERT_EQ(e.conjunction.size(), 1u);
+  EXPECT_EQ(e.conjunction[0].ToString(), "{1} subseteq X1");
+}
+
+TEST(SetSolverTest, EliminationDetectsGroundContradiction) {
+  SetConjunction c = {SC::LowerBound(ElementSet({5}), 0),
+                      SC::UpperBound(0, ElementSet({1}))};
+  auto e = SetSolver::EliminateVariable(c, 0);
+  EXPECT_FALSE(e.satisfiable);
+}
+
+TEST(SetSolverTest, EliminationBridgesSubsets) {
+  // Z subseteq X subseteq Y  ==>  Z subseteq Y.
+  SetConjunction c = {SC::Subset(2, 0), SC::Subset(0, 1)};
+  auto e = SetSolver::EliminateVariable(c, 0);
+  EXPECT_TRUE(e.satisfiable);
+  ASSERT_EQ(e.conjunction.size(), 1u);
+  EXPECT_EQ(e.conjunction[0].ToString(), "X2 subseteq X1");
+}
+
+// Property: elimination preserves satisfiability, and the minimal solution
+// of the eliminated conjunction extends to the original.
+class SetSolverPropertyTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  SetConjunction RandomConjunction(Rng* rng) {
+    SetConjunction c;
+    size_t n = 1 + rng->UniformU64(8);
+    for (size_t i = 0; i < n; ++i) {
+      int var = static_cast<int>(rng->UniformU64(4));
+      switch (rng->UniformU64(4)) {
+        case 0:
+          c.push_back(SC::Member(static_cast<Element>(rng->UniformU64(6)), var));
+          break;
+        case 1:
+          c.push_back(SC::LowerBound(RandomElements(rng), var));
+          break;
+        case 2:
+          c.push_back(SC::UpperBound(var, RandomElements(rng)));
+          break;
+        default:
+          c.push_back(SC::Subset(var, static_cast<int>(rng->UniformU64(4))));
+      }
+    }
+    return c;
+  }
+  ElementSet RandomElements(Rng* rng) {
+    std::vector<Element> e;
+    size_t n = rng->UniformU64(4);
+    for (size_t i = 0; i < n; ++i) {
+      e.push_back(static_cast<Element>(rng->UniformU64(6)));
+    }
+    return ElementSet(std::move(e));
+  }
+};
+
+TEST_P(SetSolverPropertyTest, MinimalSolutionSatisfiesEverything) {
+  Rng rng(GetParam());
+  SetConjunction c = RandomConjunction(&rng);
+  auto solution = SetSolver::SolveMinimal(c);
+  EXPECT_EQ(solution.ok(), SetSolver::Satisfiable(c));
+  if (!solution.ok()) return;
+  auto value = [&](int var) {
+    auto it = solution->find(var);
+    return it == solution->end() ? ElementSet() : it->second;
+  };
+  for (const SC& atom : c) {
+    switch (atom.kind) {
+      case SC::Kind::kMember:
+        EXPECT_TRUE(value(atom.var).Contains(atom.element)) << atom.ToString();
+        break;
+      case SC::Kind::kLowerBound:
+        EXPECT_TRUE(atom.set.SubsetOf(value(atom.var))) << atom.ToString();
+        break;
+      case SC::Kind::kUpperBound:
+        EXPECT_TRUE(value(atom.var).SubsetOf(atom.set)) << atom.ToString();
+        break;
+      case SC::Kind::kSubset:
+        EXPECT_TRUE(value(atom.var).SubsetOf(value(atom.var2)))
+            << atom.ToString();
+        break;
+    }
+  }
+}
+
+TEST_P(SetSolverPropertyTest, EntailedAtomsHoldInMinimalSolution) {
+  Rng rng(GetParam() + 500);
+  SetConjunction c = RandomConjunction(&rng);
+  if (!SetSolver::Satisfiable(c)) return;
+  auto solution = SetSolver::SolveMinimal(c);
+  ASSERT_TRUE(solution.ok());
+  // Any atom the solver claims entailed must hold in the minimal solution
+  // (soundness spot-check against one concrete model).
+  for (int var = 0; var < 4; ++var) {
+    for (Element e = 0; e < 6; ++e) {
+      if (SetSolver::Entails(c, SC::Member(e, var))) {
+        auto it = solution->find(var);
+        ASSERT_NE(it, solution->end());
+        EXPECT_TRUE(it->second.Contains(e));
+      }
+    }
+  }
+}
+
+TEST_P(SetSolverPropertyTest, EliminationPreservesSatisfiability) {
+  Rng rng(GetParam() + 900);
+  SetConjunction c = RandomConjunction(&rng);
+  auto e = SetSolver::EliminateVariable(c, 0);
+  bool original = SetSolver::Satisfiable(c);
+  bool eliminated = e.satisfiable && SetSolver::Satisfiable(e.conjunction);
+  EXPECT_EQ(original, eliminated) << ToString(c);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SetSolverPropertyTest,
+                         ::testing::Range<uint64_t>(0, 40));
+
+}  // namespace
+}  // namespace vqldb

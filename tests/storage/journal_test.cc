@@ -1,0 +1,170 @@
+#include "src/storage/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/logging.h"
+#include "src/storage/binary_format.h"
+
+namespace vqldb {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/journal_test";
+    std::filesystem::remove_all(dir_);
+    std::filesystem::create_directories(dir_);
+    journal_path_ = dir_ + "/archive.log";
+    snapshot_path_ = dir_ + "/archive.vqdb";
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_, journal_path_, snapshot_path_;
+};
+
+TEST_F(JournalTest, AppendAndReplay) {
+  {
+    auto journal = Journal::Open(journal_path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append("object o1 { name: \"David\" }.").ok());
+    ASSERT_TRUE(journal
+                    ->Append("interval gi1 { duration: (t > 0 and t < 9), "
+                             "entities: {o1} }.")
+                    .ok());
+    ASSERT_TRUE(journal->Append("seen(o1, gi1).").ok());
+    EXPECT_EQ(journal->appended(), 3u);
+  }
+  VideoDatabase db;
+  auto replayed = Journal::Replay(journal_path_, &db);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_EQ(*replayed, 3u);
+  EXPECT_EQ(db.Entities().size(), 1u);
+  EXPECT_EQ(db.BaseIntervals().size(), 1u);
+  EXPECT_EQ(db.fact_count(), 1u);
+}
+
+TEST_F(JournalTest, RejectsRulesAndQueries) {
+  auto journal = Journal::Open(journal_path_);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_TRUE(journal->Append("q(X) <- p(X).").IsInvalidArgument());
+  EXPECT_TRUE(journal->Append("?- q(X).").IsInvalidArgument());
+  EXPECT_TRUE(journal->Append("garbage here").IsParseError());
+  EXPECT_EQ(journal->appended(), 0u);
+  // Nothing leaked into the file.
+  VideoDatabase db;
+  EXPECT_EQ(*Journal::Replay(journal_path_, &db), 0u);
+}
+
+TEST_F(JournalTest, ReplayMissingFileIsEmpty) {
+  VideoDatabase db;
+  auto replayed = Journal::Replay(dir_ + "/nope.log", &db);
+  ASSERT_TRUE(replayed.ok());
+  EXPECT_EQ(*replayed, 0u);
+}
+
+TEST_F(JournalTest, RecordObjectAndFactRenderSymbols) {
+  VideoDatabase db;
+  ObjectId o1 = *db.CreateEntity("o1");
+  VQLDB_CHECK_OK(db.SetAttribute(o1, "name", Value::String("David")));
+  ObjectId gi =
+      *db.CreateInterval("gi1", IntervalSet({TimeInterval::Open(0, 10)}));
+  VQLDB_CHECK_OK(db.AddEntityToInterval(gi, o1));
+  Fact fact{"seen", {Value::Oid(o1), Value::Oid(gi)}};
+  VQLDB_CHECK_OK(db.AssertFact(fact));
+
+  {
+    auto journal = Journal::Open(journal_path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->RecordObject(db, o1).ok());
+    ASSERT_TRUE(journal->RecordObject(db, gi).ok());
+    ASSERT_TRUE(journal->RecordFact(db, fact).ok());
+  }
+  VideoDatabase restored;
+  ASSERT_TRUE(Journal::Replay(journal_path_, &restored).ok());
+  EXPECT_EQ(restored.GetAttribute(*restored.Resolve("o1"), "name")
+                ->string_value(),
+            "David");
+  EXPECT_FALSE(restored.DurationOf(*restored.Resolve("gi1"))->Contains(0));
+  EXPECT_EQ(restored.fact_count(), 1u);
+}
+
+TEST_F(JournalTest, RecordObjectRejectsAnonymousAndDerived) {
+  VideoDatabase db;
+  ObjectId anon = *db.CreateEntity("");
+  ObjectId a = *db.CreateInterval("a", GeneralizedInterval::Single(0, 1));
+  ObjectId b = *db.CreateInterval("b", GeneralizedInterval::Single(5, 6));
+  ObjectId derived = *db.Concatenate(a, b);
+  auto journal = Journal::Open(journal_path_);
+  ASSERT_TRUE(journal.ok());
+  EXPECT_TRUE(journal->RecordObject(db, anon).IsInvalidArgument());
+  EXPECT_TRUE(journal->RecordObject(db, derived).IsInvalidArgument());
+}
+
+TEST_F(JournalTest, SnapshotPlusJournalRecovery) {
+  // Phase 1: build a base archive and snapshot it.
+  VideoDatabase db;
+  ObjectId o1 = *db.CreateEntity("o1");
+  VQLDB_CHECK_OK(db.SetAttribute(o1, "name", Value::String("David")));
+  ASSERT_TRUE(BinaryFormat::Save(db, snapshot_path_).ok());
+
+  // Phase 2: journal mutations made after the snapshot.
+  {
+    auto journal = Journal::Open(journal_path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append("object o2 { name: \"Rupert\" }.").ok());
+    ASSERT_TRUE(journal
+                    ->Append("interval gi1 { duration: (t >= 0 and t <= 5), "
+                             "entities: {o1, o2} }.")
+                    .ok());
+  }
+
+  // Phase 3: recover = snapshot + tail.
+  auto recovered = Journal::Recover(snapshot_path_, journal_path_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered->Entities().size(), 2u);
+  EXPECT_EQ(recovered->BaseIntervals().size(), 1u);
+  EXPECT_EQ(recovered->EntitiesOf(*recovered->Resolve("gi1"))->size(), 2u);
+}
+
+TEST_F(JournalTest, RecoverWithoutSnapshotStartsEmpty) {
+  {
+    auto journal = Journal::Open(journal_path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append("object only { }.").ok());
+  }
+  auto recovered = Journal::Recover("", journal_path_);
+  ASSERT_TRUE(recovered.ok());
+  EXPECT_EQ(recovered->Entities().size(), 1u);
+}
+
+TEST_F(JournalTest, ReplayDetectsForeignStatements) {
+  {
+    std::ofstream raw(journal_path_);
+    raw << "object o1 { }.\nq(X) <- p(X).\n";
+  }
+  VideoDatabase db;
+  auto replayed = Journal::Replay(journal_path_, &db);
+  EXPECT_TRUE(replayed.status().IsCorruption());
+}
+
+TEST_F(JournalTest, AppendSurvivesReopen) {
+  {
+    auto journal = Journal::Open(journal_path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append("object o1 { }.").ok());
+  }
+  {
+    auto journal = Journal::Open(journal_path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append("object o2 { }.").ok());
+  }
+  VideoDatabase db;
+  ASSERT_TRUE(Journal::Replay(journal_path_, &db).ok());
+  EXPECT_EQ(db.Entities().size(), 2u);
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,190 @@
+// Round-trip property sweeps: random databases survive text and binary
+// persistence with every observable preserved (objects, symbols, attribute
+// values including open/closed temporal bounds, entity sets and facts).
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+#include "src/storage/binary_format.h"
+#include "src/storage/text_format.h"
+
+namespace vqldb {
+namespace {
+
+Value RandomAtomicValue(Rng* rng) {
+  switch (rng->UniformU64(4)) {
+    case 0:
+      return Value::Int(rng->UniformInt(-1000, 1000));
+    case 1:
+      return Value::Double(rng->UniformInt(-100, 100) / 4.0);
+    case 2:
+      return Value::Bool(rng->Bernoulli(0.5));
+    default: {
+      std::string s;
+      size_t len = rng->UniformU64(8);
+      for (size_t i = 0; i < len; ++i) {
+        // Include quoting-sensitive characters.
+        const char* alphabet = "ab\"\\\tz 9";
+        s.push_back(alphabet[rng->UniformU64(8)]);
+      }
+      return Value::String(std::move(s));
+    }
+  }
+}
+
+IntervalSet RandomDuration(Rng* rng) {
+  std::vector<TimeInterval> ivs;
+  size_t n = 1 + rng->UniformU64(3);
+  for (size_t i = 0; i < n; ++i) {
+    double lo = static_cast<double>(rng->UniformInt(0, 500));
+    double hi = lo + static_cast<double>(rng->UniformInt(1, 50));
+    ivs.emplace_back(lo, rng->Bernoulli(0.5), hi, rng->Bernoulli(0.5));
+  }
+  return IntervalSet(std::move(ivs));
+}
+
+VideoDatabase RandomDatabase(uint64_t seed) {
+  Rng rng(seed);
+  VideoDatabase db;
+  size_t num_entities = 1 + rng.UniformU64(6);
+  std::vector<ObjectId> entities;
+  for (size_t i = 0; i < num_entities; ++i) {
+    ObjectId id = *db.CreateEntity(rng.Bernoulli(0.8)
+                                       ? "e" + std::to_string(i)
+                                       : "");
+    entities.push_back(id);
+    size_t attrs = rng.UniformU64(4);
+    for (size_t a = 0; a < attrs; ++a) {
+      VQLDB_CHECK_OK(db.SetAttribute(id, "attr" + std::to_string(a),
+                                     RandomAtomicValue(&rng)));
+    }
+  }
+  size_t num_intervals = 1 + rng.UniformU64(4);
+  for (size_t i = 0; i < num_intervals; ++i) {
+    ObjectId gi = *db.CreateInterval("g" + std::to_string(i),
+                                     RandomDuration(&rng));
+    for (ObjectId e : entities) {
+      if (rng.Bernoulli(0.4)) VQLDB_CHECK_OK(db.AddEntityToInterval(gi, e));
+    }
+    if (rng.Bernoulli(0.5)) {
+      VQLDB_CHECK_OK(
+          db.SetAttribute(gi, "subject", RandomAtomicValue(&rng)));
+    }
+    if (rng.Bernoulli(0.3)) {
+      VQLDB_CHECK_OK(db.SetAttribute(
+          gi, "cast",
+          Value::Set({Value::Oid(entities[rng.UniformU64(entities.size())]),
+                      RandomAtomicValue(&rng)})));
+    }
+  }
+  size_t num_facts = rng.UniformU64(6);
+  for (size_t f = 0; f < num_facts; ++f) {
+    VQLDB_CHECK_OK(db.AssertFact(
+        "rel" + std::to_string(rng.UniformU64(2)),
+        {Value::Oid(entities[rng.UniformU64(entities.size())]),
+         RandomAtomicValue(&rng)}));
+  }
+  return db;
+}
+
+// Compares every observable of two databases whose objects correspond by
+// symbol (anonymous objects by creation order within their kind).
+void ExpectEquivalent(const VideoDatabase& a, const VideoDatabase& b,
+                      bool match_symbols) {
+  ASSERT_EQ(a.Entities().size(), b.Entities().size());
+  ASSERT_EQ(a.BaseIntervals().size(), b.BaseIntervals().size());
+  EXPECT_EQ(a.fact_count(), b.fact_count());
+  EXPECT_EQ(a.RelationNames(), b.RelationNames());
+
+  auto compare_objects = [&](ObjectId ia, ObjectId ib) {
+    const VideoObject* oa = *a.GetObject(ia);
+    const VideoObject* ob = *b.GetObject(ib);
+    ASSERT_EQ(oa->attribute_count(), ob->attribute_count())
+        << a.DisplayName(ia);
+    for (const auto& [name, value] : oa->attributes()) {
+      const Value* other = ob->FindAttribute(name);
+      ASSERT_NE(other, nullptr) << name;
+      if (value.is_oid() || value.is_set()) {
+        // Oid values may be renumbered; compare shapes only.
+        EXPECT_EQ(value.kind(), other->kind());
+      } else {
+        EXPECT_EQ(value, *other) << name;
+      }
+    }
+  };
+  for (size_t i = 0; i < a.Entities().size(); ++i) {
+    compare_objects(a.Entities()[i], b.Entities()[i]);
+    if (match_symbols && a.SymbolOf(a.Entities()[i]) != nullptr) {
+      ASSERT_NE(b.SymbolOf(b.Entities()[i]), nullptr);
+      EXPECT_EQ(*a.SymbolOf(a.Entities()[i]), *b.SymbolOf(b.Entities()[i]));
+    }
+  }
+  for (size_t i = 0; i < a.BaseIntervals().size(); ++i) {
+    compare_objects(a.BaseIntervals()[i], b.BaseIntervals()[i]);
+    // Durations must match exactly, including open/closed bounds.
+    EXPECT_EQ(*a.DurationOf(a.BaseIntervals()[i]),
+              *b.DurationOf(b.BaseIntervals()[i]));
+    // Entity sets must have the same cardinality and positional mapping.
+    EXPECT_EQ(a.EntitiesOf(a.BaseIntervals()[i])->size(),
+              b.EntitiesOf(b.BaseIntervals()[i])->size());
+  }
+}
+
+class RoundTripPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RoundTripPropertyTest, BinaryPreservesEverything) {
+  VideoDatabase db = RandomDatabase(GetParam());
+  auto bytes = BinaryFormat::Serialize(db);
+  ASSERT_TRUE(bytes.ok());
+  auto restored = BinaryFormat::Deserialize(*bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status();
+  EXPECT_TRUE(restored->Validate().ok());
+  ExpectEquivalent(db, *restored, /*match_symbols=*/true);
+
+  // Serialize again: the second snapshot restores identically too.
+  auto bytes2 = BinaryFormat::Serialize(*restored);
+  ASSERT_TRUE(bytes2.ok());
+  auto restored2 = BinaryFormat::Deserialize(*bytes2);
+  ASSERT_TRUE(restored2.ok());
+  ExpectEquivalent(*restored, *restored2, /*match_symbols=*/true);
+}
+
+TEST_P(RoundTripPropertyTest, TextPreservesEverything) {
+  VideoDatabase db = RandomDatabase(GetParam() + 5000);
+  auto text = TextFormat::Dump(db);
+  ASSERT_TRUE(text.ok());
+  VideoDatabase restored;
+  auto loaded = TextFormat::Load(*text, &restored);
+  ASSERT_TRUE(loaded.ok()) << loaded.status() << "\n" << *text;
+  EXPECT_TRUE(restored.Validate().ok());
+  ExpectEquivalent(db, restored, /*match_symbols=*/false);
+
+  // Text round-trip is a fixpoint after one iteration.
+  auto text2 = TextFormat::Dump(restored);
+  ASSERT_TRUE(text2.ok());
+  VideoDatabase restored2;
+  ASSERT_TRUE(TextFormat::Load(*text2, &restored2).ok());
+  EXPECT_EQ(*TextFormat::Dump(restored2), *text2);
+}
+
+TEST_P(RoundTripPropertyTest, BinaryBitflipsAlwaysDetected) {
+  VideoDatabase db = RandomDatabase(GetParam() + 9000);
+  std::string bytes = *BinaryFormat::Serialize(db);
+  Rng rng(GetParam() * 3 + 1);
+  for (int trial = 0; trial < 10; ++trial) {
+    std::string corrupted = bytes;
+    size_t pos = rng.UniformU64(corrupted.size());
+    corrupted[pos] =
+        static_cast<char>(corrupted[pos] ^ (1 << rng.UniformU64(8)));
+    if (corrupted == bytes) continue;
+    auto r = BinaryFormat::Deserialize(corrupted);
+    EXPECT_FALSE(r.ok()) << "flip at " << pos << " went undetected";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RoundTripPropertyTest,
+                         ::testing::Range<uint64_t>(0, 15));
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,108 @@
+// The taxonomy rule library: classification and generalization (the paper's
+// Section 7 future-work direction) as derived rules.
+
+#include <gtest/gtest.h>
+
+#include "src/engine/query.h"
+#include "src/storage/catalog.h"
+
+namespace vqldb {
+namespace {
+
+class TaxonomyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<QuerySession>(&db_);
+    ASSERT_TRUE(session_->Load(R"(
+      // Class objects (classes are entities too — everything is an object).
+      object person {}.
+      object politician {}.
+      object journalist {}.
+      object minister_class {}.
+      object anchor_class {}.
+
+      // The generalization hierarchy.
+      isa(minister_class, politician).
+      isa(politician, person).
+      isa(anchor_class, journalist).
+      isa(journalist, person).
+
+      // Individuals with their direct classes.
+      object merkel { name: "Merkel" }.
+      object cronkite { name: "Cronkite" }.
+      has_class(merkel, minister_class).
+      has_class(cronkite, anchor_class).
+
+      // Footage.
+      interval speech { duration: (t >= 0 and t <= 60),
+                        entities: {merkel} }.
+      interval studio { duration: (t >= 100 and t <= 200),
+                        entities: {merkel, cronkite} }.
+    )")
+                    .ok());
+    ASSERT_TRUE(session_->Load(TaxonomyRuleLibrary()).ok());
+  }
+
+  VideoDatabase db_;
+  std::unique_ptr<QuerySession> session_;
+};
+
+TEST_F(TaxonomyTest, KindOfIsTransitive) {
+  auto r = session_->Query("?- kind_of(minister_class, C).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);  // politician, person
+}
+
+TEST_F(TaxonomyTest, InstanceOfClosesUnderGeneralization) {
+  auto r = session_->Query("?- instance_of(merkel, C).");
+  ASSERT_TRUE(r.ok());
+  // minister_class, politician, person.
+  EXPECT_EQ(r->rows.size(), 3u);
+  auto person = session_->Query("?- instance_of(O, person).");
+  ASSERT_TRUE(person.ok());
+  EXPECT_EQ(person->rows.size(), 2u);  // merkel and cronkite
+}
+
+TEST_F(TaxonomyTest, ClassLevelRetrieval) {
+  // "find footage of politicians" — without naming any individual.
+  auto r = session_->Query("?- appears_kind(politician, G).");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->rows.size(), 2u);  // speech and studio
+
+  auto journalists = session_->Query("?- appears_kind(journalist, G).");
+  ASSERT_TRUE(journalists.ok());
+  ASSERT_EQ(journalists->rows.size(), 1u);
+  EXPECT_EQ(db_.DisplayName(journalists->rows[0][0].oid_value()), "studio");
+}
+
+TEST_F(TaxonomyTest, ClassLevelCoOccurrence) {
+  // "footage where a politician and a journalist share the screen".
+  auto r = session_->Query("?- cooccur_kind(politician, journalist, G).");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->rows.size(), 1u);
+  EXPECT_EQ(db_.DisplayName(r->rows[0][0].oid_value()), "studio");
+}
+
+TEST_F(TaxonomyTest, ComposesWithStandardLibrary) {
+  ASSERT_TRUE(session_->Load(StandardRuleLibrary()).ok());
+  ASSERT_TRUE(session_
+                  ->AddRule("person_scene_pair(G1, G2) <- "
+                            "appears_kind(person, G1), "
+                            "appears_kind(person, G2), contains(G2, G1), "
+                            "G1 != G2.")
+                  .ok());
+  auto r = session_->Query("?- person_scene_pair(G1, G2).");
+  ASSERT_TRUE(r.ok());
+  // No interval contains the other here (disjoint durations).
+  EXPECT_TRUE(r->rows.empty());
+}
+
+TEST_F(TaxonomyTest, LibraryTextParsesStandalone) {
+  VideoDatabase fresh;
+  QuerySession s(&fresh);
+  EXPECT_TRUE(s.Load(TaxonomyRuleLibrary()).ok());
+  EXPECT_GE(s.rules().size(), 6u);
+}
+
+}  // namespace
+}  // namespace vqldb

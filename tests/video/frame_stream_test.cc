@@ -1,0 +1,45 @@
+#include "src/video/frame_stream.h"
+
+#include <gtest/gtest.h>
+
+namespace vqldb {
+namespace {
+
+TEST(FrameStreamTest, EmptyStream) {
+  FrameStream s(25.0, 4);
+  EXPECT_EQ(s.frame_count(), 0u);
+  EXPECT_EQ(s.duration_seconds(), 0);
+  EXPECT_TRUE(s.ConsecutiveDistances().empty());
+}
+
+TEST(FrameStreamTest, AppendValidatesBinCount) {
+  FrameStream s(25.0, 4);
+  EXPECT_TRUE(s.Append({0.25, 0.25, 0.25, 0.25}).ok());
+  EXPECT_TRUE(s.Append({0.5, 0.5}).IsInvalidArgument());
+  EXPECT_EQ(s.frame_count(), 1u);
+}
+
+TEST(FrameStreamTest, TimestampsFollowFps) {
+  FrameStream s(10.0, 1);
+  for (int i = 0; i < 30; ++i) ASSERT_TRUE(s.Append({1.0}).ok());
+  EXPECT_EQ(s.duration_seconds(), 3.0);
+  EXPECT_EQ(s.TimeOf(0), 0.0);
+  EXPECT_EQ(s.TimeOf(10), 1.0);
+  EXPECT_EQ(s.FrameAt(1.55), 15u);
+  EXPECT_EQ(s.FrameAt(-2), 0u);
+  EXPECT_EQ(s.FrameAt(100), 29u);  // clamped
+}
+
+TEST(FrameStreamTest, ConsecutiveDistancesL1) {
+  FrameStream s(25.0, 2);
+  ASSERT_TRUE(s.Append({1.0, 0.0}).ok());
+  ASSERT_TRUE(s.Append({0.0, 1.0}).ok());
+  ASSERT_TRUE(s.Append({0.0, 1.0}).ok());
+  auto d = s.ConsecutiveDistances();
+  ASSERT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d[0], 2.0);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+}
+
+}  // namespace
+}  // namespace vqldb

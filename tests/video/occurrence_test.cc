@@ -1,0 +1,86 @@
+#include "src/video/occurrence.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+
+namespace vqldb {
+namespace {
+
+TEST(OccurrenceTest, TrackFromPresenceBasic) {
+  // Frames at 10 fps: present 0-4, absent 5-9, present 10-14.
+  std::vector<bool> presence(15, false);
+  for (int i = 0; i < 5; ++i) presence[i] = true;
+  for (int i = 10; i < 15; ++i) presence[i] = true;
+  auto track = TrackFromPresence("reporter", presence, 10.0);
+  ASSERT_TRUE(track.ok());
+  EXPECT_EQ(track->entity, "reporter");
+  EXPECT_EQ(track->extent.fragment_count(), 2u);
+  EXPECT_DOUBLE_EQ(track->extent.fragments()[0].begin, 0.0);
+  EXPECT_DOUBLE_EQ(track->extent.fragments()[0].end, 0.5);
+  EXPECT_DOUBLE_EQ(track->extent.fragments()[1].begin, 1.0);
+  EXPECT_DOUBLE_EQ(track->extent.fragments()[1].end, 1.5);
+}
+
+TEST(OccurrenceTest, TrackFromPresenceAllAbsent) {
+  auto track = TrackFromPresence("ghost", std::vector<bool>(10, false), 25.0);
+  ASSERT_TRUE(track.ok());
+  EXPECT_TRUE(track->extent.IsEmpty());
+}
+
+TEST(OccurrenceTest, TrackFromPresenceRejectsBadFps) {
+  EXPECT_TRUE(
+      TrackFromPresence("x", {true}, 0.0).status().IsInvalidArgument());
+}
+
+TEST(OccurrenceTest, TimelineAddTrackMergesSameEntity) {
+  VideoTimeline timeline(100);
+  OccurrenceTrack t1{"reporter", GeneralizedInterval::Single(0, 5), {}};
+  OccurrenceTrack t2{"reporter", GeneralizedInterval::Single(20, 30), {}};
+  ASSERT_TRUE(timeline.AddTrack(t1).ok());
+  ASSERT_TRUE(timeline.AddTrack(t2).ok());
+  const OccurrenceTrack* merged = timeline.FindTrack("reporter");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->extent.fragment_count(), 2u);
+}
+
+TEST(OccurrenceTest, TimelineRejectsEmptyName) {
+  VideoTimeline timeline(10);
+  OccurrenceTrack bad{"", GeneralizedInterval::Single(0, 1), {}};
+  EXPECT_TRUE(timeline.AddTrack(bad).IsInvalidArgument());
+}
+
+TEST(OccurrenceTest, EntitiesAt) {
+  VideoTimeline timeline(100);
+  ASSERT_TRUE(
+      timeline.AddTrack({"a", GeneralizedInterval::Single(0, 10), {}}).ok());
+  ASSERT_TRUE(
+      timeline.AddTrack({"b", GeneralizedInterval::Single(5, 15), {}}).ok());
+  EXPECT_EQ(timeline.EntitiesAt(2), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(timeline.EntitiesAt(7), (std::vector<std::string>{"a", "b"}));
+  EXPECT_TRUE(timeline.EntitiesAt(50).empty());
+}
+
+TEST(OccurrenceTest, CoOccurrenceExact) {
+  VideoTimeline timeline(100);
+  ASSERT_TRUE(
+      timeline.AddTrack({"a", GeneralizedInterval::Single(0, 10), {}}).ok());
+  ASSERT_TRUE(
+      timeline.AddTrack({"b", GeneralizedInterval::Single(5, 15), {}}).ok());
+  GeneralizedInterval co = timeline.CoOccurrence("a", "b");
+  EXPECT_EQ(co.ToString(), "[5,10]");
+  EXPECT_TRUE(timeline.CoOccurrence("a", "missing").IsEmpty());
+}
+
+TEST(OccurrenceTest, EntityNamesSorted) {
+  VideoTimeline timeline(10);
+  ASSERT_TRUE(
+      timeline.AddTrack({"zeta", GeneralizedInterval::Single(0, 1), {}}).ok());
+  ASSERT_TRUE(
+      timeline.AddTrack({"alpha", GeneralizedInterval::Single(0, 1), {}}).ok());
+  EXPECT_EQ(timeline.EntityNames(),
+            (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,122 @@
+#include "src/video/shot_detector.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+
+#include "src/video/synthetic.h"
+
+namespace vqldb {
+namespace {
+
+// Two hard cuts: frames 0-9 bright, 10-19 dark, 20-29 bright.
+FrameStream ThreeShotStream() {
+  FrameStream s(10.0, 2);
+  for (int i = 0; i < 30; ++i) {
+    bool dark = i >= 10 && i < 20;
+    VQLDB_CHECK_OK(s.Append(dark ? FrameFeature{0.1, 0.9}
+                                 : FrameFeature{0.9, 0.1}));
+  }
+  return s;
+}
+
+TEST(ShotDetectorTest, DetectsHardCuts) {
+  ShotDetectorOptions options;
+  options.threshold = 0.5;
+  auto shots = ShotDetector(options).Detect(ThreeShotStream());
+  ASSERT_TRUE(shots.ok());
+  ASSERT_EQ(shots->size(), 3u);
+  EXPECT_EQ((*shots)[0].begin_frame, 0u);
+  EXPECT_EQ((*shots)[0].end_frame, 9u);
+  EXPECT_EQ((*shots)[1].begin_frame, 10u);
+  EXPECT_EQ((*shots)[1].end_frame, 19u);
+  EXPECT_EQ((*shots)[2].end_frame, 29u);
+  // Times follow fps = 10.
+  EXPECT_DOUBLE_EQ((*shots)[1].begin_time, 1.0);
+  EXPECT_DOUBLE_EQ((*shots)[1].end_time, 2.0);
+}
+
+TEST(ShotDetectorTest, EmptyStreamNoShots) {
+  FrameStream s(25.0, 2);
+  auto shots = ShotDetector().Detect(s);
+  ASSERT_TRUE(shots.ok());
+  EXPECT_TRUE(shots->empty());
+}
+
+TEST(ShotDetectorTest, SingleShotWhenNoCuts) {
+  FrameStream s(25.0, 2);
+  for (int i = 0; i < 50; ++i) {
+    VQLDB_CHECK_OK(s.Append({0.5, 0.5}));
+  }
+  ShotDetectorOptions options;
+  options.threshold = 0.5;
+  auto shots = ShotDetector(options).Detect(s);
+  ASSERT_TRUE(shots.ok());
+  ASSERT_EQ(shots->size(), 1u);
+  EXPECT_EQ((*shots)[0].end_frame, 49u);
+}
+
+TEST(ShotDetectorTest, FlashSuppressionMergesShortShots) {
+  // One single anomalous frame should not create a 1-frame shot.
+  FrameStream s(10.0, 2);
+  for (int i = 0; i < 20; ++i) {
+    bool flash = i == 10;
+    VQLDB_CHECK_OK(s.Append(flash ? FrameFeature{0.0, 1.0}
+                                  : FrameFeature{1.0, 0.0}));
+  }
+  ShotDetectorOptions options;
+  options.threshold = 0.5;
+  options.min_shot_frames = 3;
+  auto shots = ShotDetector(options).Detect(s);
+  ASSERT_TRUE(shots.ok());
+  // The flash frame merges; the tail shot after the flash is long enough.
+  EXPECT_LE(shots->size(), 2u);
+  for (const Shot& shot : *shots) {
+    EXPECT_GE(shot.end_frame - shot.begin_frame + 1, 3u);
+  }
+}
+
+TEST(ShotDetectorTest, AdaptiveThresholdOnSyntheticArchive) {
+  SyntheticArchiveConfig config;
+  config.seed = 11;
+  config.num_shots = 12;
+  config.num_entities = 3;
+  config.mean_shot_seconds = 4.0;
+  VideoTimeline timeline = GenerateArchive(config);
+  FrameRenderConfig render;
+  render.fps = 10.0;
+  render.noise = 0.005;
+  FrameStream stream = RenderFrameStream(timeline, render);
+
+  auto shots = ShotDetector().Detect(stream);
+  ASSERT_TRUE(shots.ok());
+  // The detector should recover approximately the ground-truth shot count.
+  EXPECT_GE(shots->size(), 10u);
+  EXPECT_LE(shots->size(), 14u);
+
+  // Detected boundaries should be close to true boundaries.
+  size_t matched = 0;
+  for (size_t i = 1; i < shots->size(); ++i) {
+    double detected = (*shots)[i].begin_time;
+    for (const Shot& truth : timeline.shots()) {
+      if (std::abs(truth.begin_time - detected) < 0.25) {
+        ++matched;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(matched + 1, shots->size() - 1);
+}
+
+TEST(ShotDetectorTest, EffectiveThresholdFixedVsAdaptive) {
+  ShotDetectorOptions fixed;
+  fixed.threshold = 0.7;
+  EXPECT_EQ(ShotDetector(fixed).EffectiveThreshold(ThreeShotStream()), 0.7);
+  ShotDetectorOptions adaptive;
+  double t = ShotDetector(adaptive).EffectiveThreshold(ThreeShotStream());
+  EXPECT_GT(t, 0.0);
+  EXPECT_LT(t, 1.6);  // mean + 3 sigma of the distance distribution
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,102 @@
+#include "src/video/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/common/logging.h"
+
+namespace vqldb {
+namespace {
+
+TEST(SyntheticTest, DeterministicInSeed) {
+  SyntheticArchiveConfig config;
+  config.seed = 99;
+  VideoTimeline a = GenerateArchive(config);
+  VideoTimeline b = GenerateArchive(config);
+  EXPECT_EQ(a.duration(), b.duration());
+  EXPECT_EQ(a.EntityNames(), b.EntityNames());
+  for (const std::string& name : a.EntityNames()) {
+    EXPECT_EQ(a.FindTrack(name)->extent, b.FindTrack(name)->extent) << name;
+  }
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  SyntheticArchiveConfig c1, c2;
+  c1.seed = 1;
+  c2.seed = 2;
+  VideoTimeline a = GenerateArchive(c1);
+  VideoTimeline b = GenerateArchive(c2);
+  bool any_diff = a.duration() != b.duration();
+  for (const std::string& name : a.EntityNames()) {
+    if (!(a.FindTrack(name)->extent == b.FindTrack(name)->extent)) {
+      any_diff = true;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticTest, StructureMatchesConfig) {
+  SyntheticArchiveConfig config;
+  config.num_shots = 20;
+  config.num_entities = 5;
+  config.mean_shot_seconds = 6.0;
+  VideoTimeline timeline = GenerateArchive(config);
+  EXPECT_EQ(timeline.shots().size(), 20u);
+  EXPECT_EQ(timeline.EntityNames().size(), 5u);
+  // Duration within [0.5, 1.5] x mean x shots.
+  EXPECT_GE(timeline.duration(), 20 * 3.0);
+  EXPECT_LE(timeline.duration(), 20 * 9.0);
+  // Shots tile the timeline contiguously.
+  double cursor = 0;
+  for (const Shot& s : timeline.shots()) {
+    EXPECT_DOUBLE_EQ(s.begin_time, cursor);
+    cursor = s.end_time;
+  }
+  EXPECT_DOUBLE_EQ(cursor, timeline.duration());
+}
+
+TEST(SyntheticTest, TracksStayWithinTimeline) {
+  SyntheticArchiveConfig config;
+  config.seed = 4;
+  VideoTimeline timeline = GenerateArchive(config);
+  for (const auto& [name, track] : timeline.tracks()) {
+    if (track.extent.IsEmpty()) continue;
+    EXPECT_GE(track.extent.Begin(), 0.0);
+    EXPECT_LE(track.extent.End(), timeline.duration());
+  }
+}
+
+TEST(SyntheticTest, PresenceProbabilityScalesOccupancy) {
+  SyntheticArchiveConfig sparse, dense;
+  sparse.seed = dense.seed = 10;
+  sparse.presence_probability = 0.1;
+  dense.presence_probability = 0.9;
+  VideoTimeline a = GenerateArchive(sparse);
+  VideoTimeline b = GenerateArchive(dense);
+  double measure_a = 0, measure_b = 0;
+  for (const auto& [name, track] : a.tracks()) {
+    measure_a += track.extent.Measure();
+  }
+  for (const auto& [name, track] : b.tracks()) {
+    measure_b += track.extent.Measure();
+  }
+  EXPECT_GT(measure_b, 3 * measure_a);
+}
+
+TEST(SyntheticTest, RenderedStreamMatchesDuration) {
+  SyntheticArchiveConfig config;
+  config.num_shots = 5;
+  config.mean_shot_seconds = 2.0;
+  VideoTimeline timeline = GenerateArchive(config);
+  FrameRenderConfig render;
+  render.fps = 10.0;
+  FrameStream stream = RenderFrameStream(timeline, render);
+  EXPECT_NEAR(stream.duration_seconds(), timeline.duration(), 0.2);
+  EXPECT_EQ(stream.feature_bins(), render.feature_bins);
+  // Features are normalized histograms.
+  double sum = 0;
+  for (double v : stream.feature(0)) sum += v;
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,103 @@
+#include "src/video/virtual_editing.h"
+
+#include <gtest/gtest.h>
+
+namespace vqldb {
+namespace {
+
+class VirtualEditingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    o_ = *db_.CreateEntity("reporter");
+    a_ = *db_.CreateInterval("a", GeneralizedInterval::Single(0, 5));
+    b_ = *db_.CreateInterval("b", GeneralizedInterval::Single(20, 30));
+    c_ = *db_.CreateInterval("c", GeneralizedInterval::Single(3, 8));
+    ASSERT_TRUE(db_.AddEntityToInterval(a_, o_).ok());
+    ASSERT_TRUE(db_.AddEntityToInterval(b_, o_).ok());
+  }
+
+  VideoDatabase db_;
+  ObjectId o_, a_, b_, c_;
+};
+
+TEST_F(VirtualEditingTest, SequenceFromIntervalsMergesInTimelineOrder) {
+  auto list = SequenceFromIntervals(db_, {b_, a_, c_});
+  ASSERT_TRUE(list.ok());
+  // a [0,5] and c [3,8] merge; b [20,30] stays separate.
+  ASSERT_EQ(list->cuts.size(), 2u);
+  EXPECT_DOUBLE_EQ(list->cuts[0].begin, 0);
+  EXPECT_DOUBLE_EQ(list->cuts[0].end, 8);
+  EXPECT_DOUBLE_EQ(list->cuts[1].begin, 20);
+  EXPECT_DOUBLE_EQ(list->TotalDuration(), 18);
+  EXPECT_EQ(list->ToString(), "[0,8] -> [20,30]");
+}
+
+TEST_F(VirtualEditingTest, SequenceClosesOpenDurations) {
+  auto open = db_.CreateInterval(
+      "open", IntervalSet({TimeInterval::Open(40, 50)}));
+  ASSERT_TRUE(open.ok());
+  auto list = SequenceFromIntervals(db_, {*open});
+  ASSERT_TRUE(list.ok());
+  EXPECT_DOUBLE_EQ(list->cuts[0].begin, 40);
+  EXPECT_DOUBLE_EQ(list->cuts[0].end, 50);
+}
+
+TEST_F(VirtualEditingTest, SequenceRejectsUnbounded) {
+  auto ray =
+      db_.CreateInterval("ray", IntervalSet({TimeInterval::AtLeast(5)}));
+  ASSERT_TRUE(ray.ok());
+  EXPECT_TRUE(
+      SequenceFromIntervals(db_, {*ray}).status().IsInvalidArgument());
+}
+
+TEST_F(VirtualEditingTest, SequenceFromQueryColumn) {
+  QueryResult result;
+  result.columns = {"G"};
+  result.rows = {{Value::Oid(a_)}, {Value::Oid(b_)}};
+  auto list = SequenceFromQueryColumn(db_, result, 0);
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->cuts.size(), 2u);
+  EXPECT_TRUE(
+      SequenceFromQueryColumn(db_, result, 5).status().IsOutOfRange());
+  QueryResult bad;
+  bad.columns = {"X"};
+  bad.rows = {{Value::Int(7)}};
+  EXPECT_TRUE(SequenceFromQueryColumn(db_, bad, 0).status().IsTypeError());
+}
+
+TEST_F(VirtualEditingTest, ClampFragmentsMakesTrailer) {
+  EditList list;
+  list.cuts = {Fragment{0, 10}, Fragment{20, 22}};
+  EditList trailer = ClampFragments(list, 3);
+  ASSERT_EQ(trailer.cuts.size(), 2u);
+  EXPECT_DOUBLE_EQ(trailer.cuts[0].end, 3);
+  EXPECT_DOUBLE_EQ(trailer.cuts[1].end, 22);  // already short
+  EXPECT_DOUBLE_EQ(trailer.TotalDuration(), 5);
+}
+
+TEST_F(VirtualEditingTest, MaterializeSequenceCreatesFirstClassObject) {
+  auto list = SequenceFromIntervals(db_, {a_, b_});
+  ASSERT_TRUE(list.ok());
+  auto gi = MaterializeSequence(&db_, "edited", *list, {a_, b_});
+  ASSERT_TRUE(gi.ok());
+  EXPECT_EQ(*db_.Resolve("edited"), *gi);
+  EXPECT_TRUE(db_.IsInterval(*gi));
+  EXPECT_EQ(db_.EntitiesOf(*gi)->size(), 1u);  // reporter, deduped
+  EXPECT_EQ(db_.GetAttribute(*gi, "edited")->bool_value(), true);
+  IntervalSet duration = *db_.DurationOf(*gi);
+  EXPECT_TRUE(duration.Contains(2));
+  EXPECT_TRUE(duration.Contains(25));
+}
+
+TEST_F(VirtualEditingTest, EmptyEditList) {
+  EditList list;
+  EXPECT_TRUE(list.empty());
+  EXPECT_DOUBLE_EQ(list.TotalDuration(), 0);
+  EXPECT_EQ(list.ToString(), "");
+  auto from_nothing = SequenceFromIntervals(db_, {});
+  ASSERT_TRUE(from_nothing.ok());
+  EXPECT_TRUE(from_nothing->empty());
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -1,0 +1,55 @@
+// vql: the interactive shell over a video archive database.
+//
+//   ./build/tools/vql                  start with an empty database
+//   ./build/tools/vql archive.vql      start from a text archive
+//   ./build/tools/vql archive.vqdb     start from a binary snapshot
+
+#include <iostream>
+#include <string>
+
+#include "src/common/string_util.h"
+#include "src/model/database.h"
+#include "src/shell/repl.h"
+#include "src/storage/binary_format.h"
+#include "src/storage/text_format.h"
+
+int main(int argc, char** argv) {
+  using namespace vqldb;
+  VideoDatabase db;
+  std::vector<Rule> preloaded_rules;
+  if (argc > 1) {
+    std::string path = argv[1];
+    if (EndsWith(path, ".vqdb")) {
+      auto restored = BinaryFormat::Load(path);
+      if (!restored.ok()) {
+        std::cerr << "cannot load " << path << ": " << restored.status()
+                  << "\n";
+        return 1;
+      }
+      db = std::move(*restored);
+    } else {
+      auto loaded = TextFormat::LoadFromFile(path, &db);
+      if (!loaded.ok()) {
+        std::cerr << "cannot load " << path << ": " << loaded.status() << "\n";
+        return 1;
+      }
+      preloaded_rules = loaded->rules;
+    }
+    std::cerr << "loaded " << path << "\n";
+  }
+
+  Repl repl(&db);
+  for (const Rule& rule : preloaded_rules) {
+    Status st = repl.session().AddRule(rule);
+    if (!st.ok()) std::cerr << "warning: " << st << "\n";
+  }
+
+  std::cerr << "vqldb shell — statements end with '.', .help for help\n";
+  std::string line;
+  while (!repl.done()) {
+    std::cerr << (repl.pending() ? "...> " : "vql> ");
+    if (!std::getline(std::cin, line)) break;
+    std::cout << repl.Execute(line);
+  }
+  return 0;
+}
