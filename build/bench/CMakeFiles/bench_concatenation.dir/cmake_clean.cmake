@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concatenation.dir/bench_concatenation.cc.o"
+  "CMakeFiles/bench_concatenation.dir/bench_concatenation.cc.o.d"
+  "bench_concatenation"
+  "bench_concatenation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concatenation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_segmentation.dir/bench_fig1_segmentation.cc.o"
+  "CMakeFiles/bench_fig1_segmentation.dir/bench_fig1_segmentation.cc.o.d"
+  "bench_fig1_segmentation"
+  "bench_fig1_segmentation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_segmentation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

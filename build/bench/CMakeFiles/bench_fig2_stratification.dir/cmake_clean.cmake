@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_stratification.dir/bench_fig2_stratification.cc.o"
+  "CMakeFiles/bench_fig2_stratification.dir/bench_fig2_stratification.cc.o.d"
+  "bench_fig2_stratification"
+  "bench_fig2_stratification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_stratification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

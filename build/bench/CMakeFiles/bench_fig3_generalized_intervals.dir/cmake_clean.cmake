@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_generalized_intervals.dir/bench_fig3_generalized_intervals.cc.o"
+  "CMakeFiles/bench_fig3_generalized_intervals.dir/bench_fig3_generalized_intervals.cc.o.d"
+  "bench_fig3_generalized_intervals"
+  "bench_fig3_generalized_intervals.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_generalized_intervals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fixpoint_scaling.dir/bench_fixpoint_scaling.cc.o"
+  "CMakeFiles/bench_fixpoint_scaling.dir/bench_fixpoint_scaling.cc.o.d"
+  "bench_fixpoint_scaling"
+  "bench_fixpoint_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fixpoint_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

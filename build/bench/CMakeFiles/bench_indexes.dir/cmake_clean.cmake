@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_indexes.dir/bench_indexes.cc.o"
+  "CMakeFiles/bench_indexes.dir/bench_indexes.cc.o.d"
+  "bench_indexes"
+  "bench_indexes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_indexes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_setcon.dir/bench_setcon.cc.o"
+  "CMakeFiles/bench_setcon.dir/bench_setcon.cc.o.d"
+  "bench_setcon"
+  "bench_setcon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_setcon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_setcon_datalog.dir/bench_setcon_datalog.cc.o"
+  "CMakeFiles/bench_setcon_datalog.dir/bench_setcon_datalog.cc.o.d"
+  "bench_setcon_datalog"
+  "bench_setcon_datalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_setcon_datalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

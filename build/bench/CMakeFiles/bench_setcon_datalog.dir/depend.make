@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_setcon_datalog.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_news.dir/broadcast_news.cc.o"
+  "CMakeFiles/broadcast_news.dir/broadcast_news.cc.o.d"
+  "broadcast_news"
+  "broadcast_news.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_news.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/film_archive.dir/film_archive.cc.o"
+  "CMakeFiles/film_archive.dir/film_archive.cc.o.d"
+  "film_archive"
+  "film_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/film_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

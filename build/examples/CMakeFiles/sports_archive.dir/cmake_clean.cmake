@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sports_archive.dir/sports_archive.cc.o"
+  "CMakeFiles/sports_archive.dir/sports_archive.cc.o.d"
+  "sports_archive"
+  "sports_archive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sports_archive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

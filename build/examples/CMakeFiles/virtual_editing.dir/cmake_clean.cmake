@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_editing.dir/virtual_editing.cc.o"
+  "CMakeFiles/virtual_editing.dir/virtual_editing.cc.o.d"
+  "virtual_editing"
+  "virtual_editing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_editing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

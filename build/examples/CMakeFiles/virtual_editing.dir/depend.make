@@ -1,0 +1,2 @@
+# Empty dependencies file for virtual_editing.
+# This may be replaced when dependencies are built.

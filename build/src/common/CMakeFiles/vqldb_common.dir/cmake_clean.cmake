@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqldb_common.dir/logging.cc.o"
+  "CMakeFiles/vqldb_common.dir/logging.cc.o.d"
+  "CMakeFiles/vqldb_common.dir/status.cc.o"
+  "CMakeFiles/vqldb_common.dir/status.cc.o.d"
+  "CMakeFiles/vqldb_common.dir/string_util.cc.o"
+  "CMakeFiles/vqldb_common.dir/string_util.cc.o.d"
+  "libvqldb_common.a"
+  "libvqldb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqldb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

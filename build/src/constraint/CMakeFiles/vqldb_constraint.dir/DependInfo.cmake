@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/constraint/concrete_domain.cc" "src/constraint/CMakeFiles/vqldb_constraint.dir/concrete_domain.cc.o" "gcc" "src/constraint/CMakeFiles/vqldb_constraint.dir/concrete_domain.cc.o.d"
+  "/root/repo/src/constraint/generalized_interval.cc" "src/constraint/CMakeFiles/vqldb_constraint.dir/generalized_interval.cc.o" "gcc" "src/constraint/CMakeFiles/vqldb_constraint.dir/generalized_interval.cc.o.d"
+  "/root/repo/src/constraint/interval.cc" "src/constraint/CMakeFiles/vqldb_constraint.dir/interval.cc.o" "gcc" "src/constraint/CMakeFiles/vqldb_constraint.dir/interval.cc.o.d"
+  "/root/repo/src/constraint/interval_set.cc" "src/constraint/CMakeFiles/vqldb_constraint.dir/interval_set.cc.o" "gcc" "src/constraint/CMakeFiles/vqldb_constraint.dir/interval_set.cc.o.d"
+  "/root/repo/src/constraint/order_solver.cc" "src/constraint/CMakeFiles/vqldb_constraint.dir/order_solver.cc.o" "gcc" "src/constraint/CMakeFiles/vqldb_constraint.dir/order_solver.cc.o.d"
+  "/root/repo/src/constraint/temporal_constraint.cc" "src/constraint/CMakeFiles/vqldb_constraint.dir/temporal_constraint.cc.o" "gcc" "src/constraint/CMakeFiles/vqldb_constraint.dir/temporal_constraint.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vqldb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqldb_constraint.dir/concrete_domain.cc.o"
+  "CMakeFiles/vqldb_constraint.dir/concrete_domain.cc.o.d"
+  "CMakeFiles/vqldb_constraint.dir/generalized_interval.cc.o"
+  "CMakeFiles/vqldb_constraint.dir/generalized_interval.cc.o.d"
+  "CMakeFiles/vqldb_constraint.dir/interval.cc.o"
+  "CMakeFiles/vqldb_constraint.dir/interval.cc.o.d"
+  "CMakeFiles/vqldb_constraint.dir/interval_set.cc.o"
+  "CMakeFiles/vqldb_constraint.dir/interval_set.cc.o.d"
+  "CMakeFiles/vqldb_constraint.dir/order_solver.cc.o"
+  "CMakeFiles/vqldb_constraint.dir/order_solver.cc.o.d"
+  "CMakeFiles/vqldb_constraint.dir/temporal_constraint.cc.o"
+  "CMakeFiles/vqldb_constraint.dir/temporal_constraint.cc.o.d"
+  "libvqldb_constraint.a"
+  "libvqldb_constraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqldb_constraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvqldb_constraint.a"
+)

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for vqldb_constraint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/aggregates.cc" "src/engine/CMakeFiles/vqldb_engine.dir/aggregates.cc.o" "gcc" "src/engine/CMakeFiles/vqldb_engine.dir/aggregates.cc.o.d"
+  "/root/repo/src/engine/binding.cc" "src/engine/CMakeFiles/vqldb_engine.dir/binding.cc.o" "gcc" "src/engine/CMakeFiles/vqldb_engine.dir/binding.cc.o.d"
+  "/root/repo/src/engine/evaluator.cc" "src/engine/CMakeFiles/vqldb_engine.dir/evaluator.cc.o" "gcc" "src/engine/CMakeFiles/vqldb_engine.dir/evaluator.cc.o.d"
+  "/root/repo/src/engine/interpretation.cc" "src/engine/CMakeFiles/vqldb_engine.dir/interpretation.cc.o" "gcc" "src/engine/CMakeFiles/vqldb_engine.dir/interpretation.cc.o.d"
+  "/root/repo/src/engine/query.cc" "src/engine/CMakeFiles/vqldb_engine.dir/query.cc.o" "gcc" "src/engine/CMakeFiles/vqldb_engine.dir/query.cc.o.d"
+  "/root/repo/src/engine/rule_compiler.cc" "src/engine/CMakeFiles/vqldb_engine.dir/rule_compiler.cc.o" "gcc" "src/engine/CMakeFiles/vqldb_engine.dir/rule_compiler.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vqldb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/vqldb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/setcon/CMakeFiles/vqldb_setcon.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vqldb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/vqldb_lang.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

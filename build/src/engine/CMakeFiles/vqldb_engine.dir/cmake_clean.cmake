@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqldb_engine.dir/aggregates.cc.o"
+  "CMakeFiles/vqldb_engine.dir/aggregates.cc.o.d"
+  "CMakeFiles/vqldb_engine.dir/binding.cc.o"
+  "CMakeFiles/vqldb_engine.dir/binding.cc.o.d"
+  "CMakeFiles/vqldb_engine.dir/evaluator.cc.o"
+  "CMakeFiles/vqldb_engine.dir/evaluator.cc.o.d"
+  "CMakeFiles/vqldb_engine.dir/interpretation.cc.o"
+  "CMakeFiles/vqldb_engine.dir/interpretation.cc.o.d"
+  "CMakeFiles/vqldb_engine.dir/query.cc.o"
+  "CMakeFiles/vqldb_engine.dir/query.cc.o.d"
+  "CMakeFiles/vqldb_engine.dir/rule_compiler.cc.o"
+  "CMakeFiles/vqldb_engine.dir/rule_compiler.cc.o.d"
+  "libvqldb_engine.a"
+  "libvqldb_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqldb_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

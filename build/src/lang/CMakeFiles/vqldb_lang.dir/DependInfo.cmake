@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/lang/analyzer.cc" "src/lang/CMakeFiles/vqldb_lang.dir/analyzer.cc.o" "gcc" "src/lang/CMakeFiles/vqldb_lang.dir/analyzer.cc.o.d"
+  "/root/repo/src/lang/ast.cc" "src/lang/CMakeFiles/vqldb_lang.dir/ast.cc.o" "gcc" "src/lang/CMakeFiles/vqldb_lang.dir/ast.cc.o.d"
+  "/root/repo/src/lang/lexer.cc" "src/lang/CMakeFiles/vqldb_lang.dir/lexer.cc.o" "gcc" "src/lang/CMakeFiles/vqldb_lang.dir/lexer.cc.o.d"
+  "/root/repo/src/lang/parser.cc" "src/lang/CMakeFiles/vqldb_lang.dir/parser.cc.o" "gcc" "src/lang/CMakeFiles/vqldb_lang.dir/parser.cc.o.d"
+  "/root/repo/src/lang/token.cc" "src/lang/CMakeFiles/vqldb_lang.dir/token.cc.o" "gcc" "src/lang/CMakeFiles/vqldb_lang.dir/token.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vqldb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/vqldb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vqldb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/setcon/CMakeFiles/vqldb_setcon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqldb_lang.dir/analyzer.cc.o"
+  "CMakeFiles/vqldb_lang.dir/analyzer.cc.o.d"
+  "CMakeFiles/vqldb_lang.dir/ast.cc.o"
+  "CMakeFiles/vqldb_lang.dir/ast.cc.o.d"
+  "CMakeFiles/vqldb_lang.dir/lexer.cc.o"
+  "CMakeFiles/vqldb_lang.dir/lexer.cc.o.d"
+  "CMakeFiles/vqldb_lang.dir/parser.cc.o"
+  "CMakeFiles/vqldb_lang.dir/parser.cc.o.d"
+  "CMakeFiles/vqldb_lang.dir/token.cc.o"
+  "CMakeFiles/vqldb_lang.dir/token.cc.o.d"
+  "libvqldb_lang.a"
+  "libvqldb_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqldb_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/database.cc" "src/model/CMakeFiles/vqldb_model.dir/database.cc.o" "gcc" "src/model/CMakeFiles/vqldb_model.dir/database.cc.o.d"
+  "/root/repo/src/model/object.cc" "src/model/CMakeFiles/vqldb_model.dir/object.cc.o" "gcc" "src/model/CMakeFiles/vqldb_model.dir/object.cc.o.d"
+  "/root/repo/src/model/value.cc" "src/model/CMakeFiles/vqldb_model.dir/value.cc.o" "gcc" "src/model/CMakeFiles/vqldb_model.dir/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vqldb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/vqldb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/setcon/CMakeFiles/vqldb_setcon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

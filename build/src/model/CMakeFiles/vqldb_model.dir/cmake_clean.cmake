@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqldb_model.dir/database.cc.o"
+  "CMakeFiles/vqldb_model.dir/database.cc.o.d"
+  "CMakeFiles/vqldb_model.dir/object.cc.o"
+  "CMakeFiles/vqldb_model.dir/object.cc.o.d"
+  "CMakeFiles/vqldb_model.dir/value.cc.o"
+  "CMakeFiles/vqldb_model.dir/value.cc.o.d"
+  "libvqldb_model.a"
+  "libvqldb_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqldb_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqldb_setcon.dir/set_constraint.cc.o"
+  "CMakeFiles/vqldb_setcon.dir/set_constraint.cc.o.d"
+  "CMakeFiles/vqldb_setcon.dir/set_solver.cc.o"
+  "CMakeFiles/vqldb_setcon.dir/set_solver.cc.o.d"
+  "libvqldb_setcon.a"
+  "libvqldb_setcon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqldb_setcon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

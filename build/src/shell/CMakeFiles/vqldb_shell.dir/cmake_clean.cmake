@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqldb_shell.dir/repl.cc.o"
+  "CMakeFiles/vqldb_shell.dir/repl.cc.o.d"
+  "libvqldb_shell.a"
+  "libvqldb_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqldb_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqldb_storage.dir/binary_format.cc.o"
+  "CMakeFiles/vqldb_storage.dir/binary_format.cc.o.d"
+  "CMakeFiles/vqldb_storage.dir/catalog.cc.o"
+  "CMakeFiles/vqldb_storage.dir/catalog.cc.o.d"
+  "CMakeFiles/vqldb_storage.dir/journal.cc.o"
+  "CMakeFiles/vqldb_storage.dir/journal.cc.o.d"
+  "CMakeFiles/vqldb_storage.dir/text_format.cc.o"
+  "CMakeFiles/vqldb_storage.dir/text_format.cc.o.d"
+  "libvqldb_storage.a"
+  "libvqldb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqldb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/video/annotator.cc" "src/video/CMakeFiles/vqldb_video.dir/annotator.cc.o" "gcc" "src/video/CMakeFiles/vqldb_video.dir/annotator.cc.o.d"
+  "/root/repo/src/video/frame_stream.cc" "src/video/CMakeFiles/vqldb_video.dir/frame_stream.cc.o" "gcc" "src/video/CMakeFiles/vqldb_video.dir/frame_stream.cc.o.d"
+  "/root/repo/src/video/indexing_schemes.cc" "src/video/CMakeFiles/vqldb_video.dir/indexing_schemes.cc.o" "gcc" "src/video/CMakeFiles/vqldb_video.dir/indexing_schemes.cc.o.d"
+  "/root/repo/src/video/occurrence.cc" "src/video/CMakeFiles/vqldb_video.dir/occurrence.cc.o" "gcc" "src/video/CMakeFiles/vqldb_video.dir/occurrence.cc.o.d"
+  "/root/repo/src/video/shot_detector.cc" "src/video/CMakeFiles/vqldb_video.dir/shot_detector.cc.o" "gcc" "src/video/CMakeFiles/vqldb_video.dir/shot_detector.cc.o.d"
+  "/root/repo/src/video/synthetic.cc" "src/video/CMakeFiles/vqldb_video.dir/synthetic.cc.o" "gcc" "src/video/CMakeFiles/vqldb_video.dir/synthetic.cc.o.d"
+  "/root/repo/src/video/virtual_editing.cc" "src/video/CMakeFiles/vqldb_video.dir/virtual_editing.cc.o" "gcc" "src/video/CMakeFiles/vqldb_video.dir/virtual_editing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vqldb_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/constraint/CMakeFiles/vqldb_constraint.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/vqldb_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/vqldb_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/lang/CMakeFiles/vqldb_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/setcon/CMakeFiles/vqldb_setcon.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vqldb_video.dir/annotator.cc.o"
+  "CMakeFiles/vqldb_video.dir/annotator.cc.o.d"
+  "CMakeFiles/vqldb_video.dir/frame_stream.cc.o"
+  "CMakeFiles/vqldb_video.dir/frame_stream.cc.o.d"
+  "CMakeFiles/vqldb_video.dir/indexing_schemes.cc.o"
+  "CMakeFiles/vqldb_video.dir/indexing_schemes.cc.o.d"
+  "CMakeFiles/vqldb_video.dir/occurrence.cc.o"
+  "CMakeFiles/vqldb_video.dir/occurrence.cc.o.d"
+  "CMakeFiles/vqldb_video.dir/shot_detector.cc.o"
+  "CMakeFiles/vqldb_video.dir/shot_detector.cc.o.d"
+  "CMakeFiles/vqldb_video.dir/synthetic.cc.o"
+  "CMakeFiles/vqldb_video.dir/synthetic.cc.o.d"
+  "CMakeFiles/vqldb_video.dir/virtual_editing.cc.o"
+  "CMakeFiles/vqldb_video.dir/virtual_editing.cc.o.d"
+  "libvqldb_video.a"
+  "libvqldb_video.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vqldb_video.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

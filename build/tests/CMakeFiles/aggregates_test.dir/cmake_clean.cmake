@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregates_test.dir/engine/aggregates_test.cc.o"
+  "CMakeFiles/aggregates_test.dir/engine/aggregates_test.cc.o.d"
+  "aggregates_test"
+  "aggregates_test.pdb"
+  "aggregates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

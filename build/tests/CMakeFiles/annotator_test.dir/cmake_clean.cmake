@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotator_test.dir/video/annotator_test.cc.o"
+  "CMakeFiles/annotator_test.dir/video/annotator_test.cc.o.d"
+  "annotator_test"
+  "annotator_test.pdb"
+  "annotator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_format_test.dir/storage/binary_format_test.cc.o"
+  "CMakeFiles/binary_format_test.dir/storage/binary_format_test.cc.o.d"
+  "binary_format_test"
+  "binary_format_test.pdb"
+  "binary_format_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_format_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concrete_domain_test.dir/constraint/concrete_domain_test.cc.o"
+  "CMakeFiles/concrete_domain_test.dir/constraint/concrete_domain_test.cc.o.d"
+  "concrete_domain_test"
+  "concrete_domain_test.pdb"
+  "concrete_domain_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concrete_domain_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/concrete_predicates_test.dir/engine/concrete_predicates_test.cc.o"
+  "CMakeFiles/concrete_predicates_test.dir/engine/concrete_predicates_test.cc.o.d"
+  "concrete_predicates_test"
+  "concrete_predicates_test.pdb"
+  "concrete_predicates_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/concrete_predicates_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

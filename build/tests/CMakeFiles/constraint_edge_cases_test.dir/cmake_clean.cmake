@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constraint_edge_cases_test.dir/engine/constraint_edge_cases_test.cc.o"
+  "CMakeFiles/constraint_edge_cases_test.dir/engine/constraint_edge_cases_test.cc.o.d"
+  "constraint_edge_cases_test"
+  "constraint_edge_cases_test.pdb"
+  "constraint_edge_cases_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constraint_edge_cases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

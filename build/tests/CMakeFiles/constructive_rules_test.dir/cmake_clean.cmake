@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/constructive_rules_test.dir/engine/constructive_rules_test.cc.o"
+  "CMakeFiles/constructive_rules_test.dir/engine/constructive_rules_test.cc.o.d"
+  "constructive_rules_test"
+  "constructive_rules_test.pdb"
+  "constructive_rules_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/constructive_rules_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/derived_relations_test.dir/engine/derived_relations_test.cc.o"
+  "CMakeFiles/derived_relations_test.dir/engine/derived_relations_test.cc.o.d"
+  "derived_relations_test"
+  "derived_relations_test.pdb"
+  "derived_relations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/derived_relations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

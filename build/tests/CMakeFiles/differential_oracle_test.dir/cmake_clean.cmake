@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/differential_oracle_test.dir/engine/differential_oracle_test.cc.o"
+  "CMakeFiles/differential_oracle_test.dir/engine/differential_oracle_test.cc.o.d"
+  "differential_oracle_test"
+  "differential_oracle_test.pdb"
+  "differential_oracle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/differential_oracle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

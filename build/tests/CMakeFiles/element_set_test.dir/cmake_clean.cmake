@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/element_set_test.dir/setcon/element_set_test.cc.o"
+  "CMakeFiles/element_set_test.dir/setcon/element_set_test.cc.o.d"
+  "element_set_test"
+  "element_set_test.pdb"
+  "element_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/element_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

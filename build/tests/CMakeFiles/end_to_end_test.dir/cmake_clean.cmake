@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/end_to_end_test.dir/integration/end_to_end_test.cc.o"
+  "CMakeFiles/end_to_end_test.dir/integration/end_to_end_test.cc.o.d"
+  "end_to_end_test"
+  "end_to_end_test.pdb"
+  "end_to_end_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/end_to_end_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

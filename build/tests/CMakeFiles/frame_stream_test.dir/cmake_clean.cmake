@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frame_stream_test.dir/video/frame_stream_test.cc.o"
+  "CMakeFiles/frame_stream_test.dir/video/frame_stream_test.cc.o.d"
+  "frame_stream_test"
+  "frame_stream_test.pdb"
+  "frame_stream_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frame_stream_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

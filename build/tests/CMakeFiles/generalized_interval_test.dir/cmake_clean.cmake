@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generalized_interval_test.dir/constraint/generalized_interval_test.cc.o"
+  "CMakeFiles/generalized_interval_test.dir/constraint/generalized_interval_test.cc.o.d"
+  "generalized_interval_test"
+  "generalized_interval_test.pdb"
+  "generalized_interval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generalized_interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

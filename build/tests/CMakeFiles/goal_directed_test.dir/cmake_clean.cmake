@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/goal_directed_test.dir/engine/goal_directed_test.cc.o"
+  "CMakeFiles/goal_directed_test.dir/engine/goal_directed_test.cc.o.d"
+  "goal_directed_test"
+  "goal_directed_test.pdb"
+  "goal_directed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/goal_directed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

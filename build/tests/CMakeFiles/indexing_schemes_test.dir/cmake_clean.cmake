@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/indexing_schemes_test.dir/video/indexing_schemes_test.cc.o"
+  "CMakeFiles/indexing_schemes_test.dir/video/indexing_schemes_test.cc.o.d"
+  "indexing_schemes_test"
+  "indexing_schemes_test.pdb"
+  "indexing_schemes_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/indexing_schemes_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

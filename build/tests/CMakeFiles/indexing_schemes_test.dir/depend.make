@@ -1,0 +1,2 @@
+# Empty dependencies file for indexing_schemes_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interpretation_test.dir/engine/interpretation_test.cc.o"
+  "CMakeFiles/interpretation_test.dir/engine/interpretation_test.cc.o.d"
+  "interpretation_test"
+  "interpretation_test.pdb"
+  "interpretation_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interpretation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

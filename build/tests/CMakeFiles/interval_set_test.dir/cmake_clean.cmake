@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_set_test.dir/constraint/interval_set_test.cc.o"
+  "CMakeFiles/interval_set_test.dir/constraint/interval_set_test.cc.o.d"
+  "interval_set_test"
+  "interval_set_test.pdb"
+  "interval_set_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

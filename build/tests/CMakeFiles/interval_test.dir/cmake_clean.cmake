@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interval_test.dir/constraint/interval_test.cc.o"
+  "CMakeFiles/interval_test.dir/constraint/interval_test.cc.o.d"
+  "interval_test"
+  "interval_test.pdb"
+  "interval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

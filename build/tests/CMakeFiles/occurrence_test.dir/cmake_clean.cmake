@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/occurrence_test.dir/video/occurrence_test.cc.o"
+  "CMakeFiles/occurrence_test.dir/video/occurrence_test.cc.o.d"
+  "occurrence_test"
+  "occurrence_test.pdb"
+  "occurrence_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/occurrence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/order_solver_test.dir/constraint/order_solver_test.cc.o"
+  "CMakeFiles/order_solver_test.dir/constraint/order_solver_test.cc.o.d"
+  "order_solver_test"
+  "order_solver_test.pdb"
+  "order_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/order_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

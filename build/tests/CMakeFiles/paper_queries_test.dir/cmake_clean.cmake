@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/paper_queries_test.dir/engine/paper_queries_test.cc.o"
+  "CMakeFiles/paper_queries_test.dir/engine/paper_queries_test.cc.o.d"
+  "paper_queries_test"
+  "paper_queries_test.pdb"
+  "paper_queries_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/paper_queries_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

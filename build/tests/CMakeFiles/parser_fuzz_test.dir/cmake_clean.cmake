@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_fuzz_test.dir/lang/parser_fuzz_test.cc.o"
+  "CMakeFiles/parser_fuzz_test.dir/lang/parser_fuzz_test.cc.o.d"
+  "parser_fuzz_test"
+  "parser_fuzz_test.pdb"
+  "parser_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

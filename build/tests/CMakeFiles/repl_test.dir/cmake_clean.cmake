@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/repl_test.dir/shell/repl_test.cc.o"
+  "CMakeFiles/repl_test.dir/shell/repl_test.cc.o.d"
+  "repl_test"
+  "repl_test.pdb"
+  "repl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/repl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rope_database_test.dir/model/rope_database_test.cc.o"
+  "CMakeFiles/rope_database_test.dir/model/rope_database_test.cc.o.d"
+  "rope_database_test"
+  "rope_database_test.pdb"
+  "rope_database_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rope_database_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantics_property_test.dir/engine/semantics_property_test.cc.o"
+  "CMakeFiles/semantics_property_test.dir/engine/semantics_property_test.cc.o.d"
+  "semantics_property_test"
+  "semantics_property_test.pdb"
+  "semantics_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantics_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

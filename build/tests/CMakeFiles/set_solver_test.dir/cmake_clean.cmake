@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_solver_test.dir/setcon/set_solver_test.cc.o"
+  "CMakeFiles/set_solver_test.dir/setcon/set_solver_test.cc.o.d"
+  "set_solver_test"
+  "set_solver_test.pdb"
+  "set_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shot_detector_test.dir/video/shot_detector_test.cc.o"
+  "CMakeFiles/shot_detector_test.dir/video/shot_detector_test.cc.o.d"
+  "shot_detector_test"
+  "shot_detector_test.pdb"
+  "shot_detector_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shot_detector_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

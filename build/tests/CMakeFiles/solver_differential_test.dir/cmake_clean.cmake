@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/solver_differential_test.dir/constraint/solver_differential_test.cc.o"
+  "CMakeFiles/solver_differential_test.dir/constraint/solver_differential_test.cc.o.d"
+  "solver_differential_test"
+  "solver_differential_test.pdb"
+  "solver_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/solver_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

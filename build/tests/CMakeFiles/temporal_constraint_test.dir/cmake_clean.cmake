@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_constraint_test.dir/constraint/temporal_constraint_test.cc.o"
+  "CMakeFiles/temporal_constraint_test.dir/constraint/temporal_constraint_test.cc.o.d"
+  "temporal_constraint_test"
+  "temporal_constraint_test.pdb"
+  "temporal_constraint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_constraint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

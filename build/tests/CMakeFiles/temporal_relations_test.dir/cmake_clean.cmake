@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temporal_relations_test.dir/engine/temporal_relations_test.cc.o"
+  "CMakeFiles/temporal_relations_test.dir/engine/temporal_relations_test.cc.o.d"
+  "temporal_relations_test"
+  "temporal_relations_test.pdb"
+  "temporal_relations_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temporal_relations_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tp_operator_property_test.dir/engine/tp_operator_property_test.cc.o"
+  "CMakeFiles/tp_operator_property_test.dir/engine/tp_operator_property_test.cc.o.d"
+  "tp_operator_property_test"
+  "tp_operator_property_test.pdb"
+  "tp_operator_property_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tp_operator_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for tp_operator_property_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/virtual_editing_test.dir/video/virtual_editing_test.cc.o"
+  "CMakeFiles/virtual_editing_test.dir/video/virtual_editing_test.cc.o.d"
+  "virtual_editing_test"
+  "virtual_editing_test.pdb"
+  "virtual_editing_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/virtual_editing_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

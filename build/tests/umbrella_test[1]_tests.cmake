@@ -1,0 +1,3 @@
+add_test([=[UmbrellaTest.OneIncludeDrivesTheWholePipeline]=]  /root/repo/build/tests/umbrella_test [==[--gtest_filter=UmbrellaTest.OneIncludeDrivesTheWholePipeline]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[UmbrellaTest.OneIncludeDrivesTheWholePipeline]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  umbrella_test_TESTS UmbrellaTest.OneIncludeDrivesTheWholePipeline)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vql.dir/vql.cc.o"
+  "CMakeFiles/vql.dir/vql.cc.o.d"
+  "vql"
+  "vql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
