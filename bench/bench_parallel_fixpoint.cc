@@ -1,0 +1,181 @@
+// Serial vs. parallel semi-naive fixpoint on the recursive paper-query
+// workload (containment closure + co-occurrence over a synthetic archive).
+// Prints a per-thread-count series, verifies that query results are
+// byte-identical across thread counts, and writes the series as
+// BENCH_parallel_fixpoint.json next to the binary for trajectory tracking.
+
+#include <benchmark/benchmark.h>
+
+#include "src/common/logging.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/engine/query.h"
+#include "src/lang/parser.h"
+#include "src/video/annotator.h"
+#include "src/video/synthetic.h"
+
+namespace vqldb {
+namespace {
+
+// The recursive workload: containment closure drives semi-naive rounds;
+// appears/cooccur give the rounds wide, parallelizable join tasks.
+const char* kProgram = R"(
+  contains(G1, G2) <- Interval(G1), Interval(G2),
+                      G2.duration => G1.duration, G1 != G2.
+  nested(G1, G2) <- contains(G1, G2).
+  nested(G1, G3) <- nested(G1, G2), contains(G2, G3).
+  appears(O, G) <- Interval(G), Object(O), O in G.entities.
+  cooccur(O1, O2, G) <- appears(O1, G), appears(O2, G), O1 != O2.
+  social(O1, O2) <- cooccur(O1, O2, G1), cooccur(O1, O2, G2), G1 != G2.
+)";
+
+std::unique_ptr<VideoDatabase> Archive(size_t entities) {
+  SyntheticArchiveConfig config;
+  config.seed = 42;
+  config.num_shots = entities * 6;
+  config.num_entities = entities;
+  config.presence_probability = 0.25;
+  VideoTimeline timeline = GenerateArchive(config);
+  auto db = std::make_unique<VideoDatabase>();
+  Annotator annotator(db.get());
+  VQLDB_CHECK_OK(annotator.AnnotateTimeline(timeline));
+  size_t n = 0;
+  for (const Shot& shot : timeline.shots()) {
+    if (++n % 3 != 0) continue;  // every 3rd shot is a tagged scene
+    std::vector<std::string> present;
+    for (const std::string& name :
+         timeline.EntitiesAt((shot.begin_time + shot.end_time) / 2)) {
+      present.push_back(name);
+    }
+    VQLDB_CHECK_OK(annotator
+                       .AnnotateScene("scene" + std::to_string(n),
+                                      GeneralizedInterval::Single(
+                                          shot.begin_time, shot.end_time),
+                                      present)
+                       .status());
+  }
+  return db;
+}
+
+struct Sample {
+  size_t threads;
+  double ms;
+  size_t derived;
+  size_t parallel_tasks;
+};
+
+// One timed fixpoint at `threads` workers; also renders the two check
+// queries so callers can compare results byte-for-byte.
+Sample RunOnce(size_t entities, size_t threads, std::string* rendered) {
+  auto db = Archive(entities);
+  EvalOptions options;
+  options.num_threads = threads;
+  QuerySession session(db.get(), options);
+  VQLDB_CHECK_OK(session.Load(kProgram));
+  auto begin = std::chrono::steady_clock::now();
+  auto interp = session.Materialize();
+  auto end = std::chrono::steady_clock::now();
+  VQLDB_CHECK_OK(interp.status());
+  Sample s;
+  s.threads = threads;
+  s.ms = std::chrono::duration<double, std::milli>(end - begin).count();
+  s.derived = (*interp)->size();
+  s.parallel_tasks = session.last_stats().parallel_tasks;
+  if (rendered != nullptr) {
+    auto r1 = session.Query("?- nested(G1, G2).");
+    VQLDB_CHECK_OK(r1.status());
+    auto r2 = session.Query("?- social(O1, O2).");
+    VQLDB_CHECK_OK(r2.status());
+    *rendered = r1->ToString(db.get()) + "\n" + r2->ToString(db.get());
+  }
+  return s;
+}
+
+void PrintSeries() {
+  const size_t kEntities = 24;
+  size_t hw = std::thread::hardware_concurrency();
+  if (hw == 0) hw = 1;
+  std::vector<size_t> counts = {1, 2, 4};
+  if (hw > 4) counts.push_back(hw);
+
+  std::printf("== parallel fixpoint: recursive paper-query workload "
+              "(%zu entities, hardware_concurrency=%zu) ==\n",
+              kEntities, hw);
+  std::printf("%-10s %-12s %-14s %-14s %-10s\n", "threads", "time (ms)",
+              "derived", "par. tasks", "speedup");
+
+  std::string baseline_rendered;
+  Sample serial = RunOnce(kEntities, 1, &baseline_rendered);
+  std::vector<Sample> series = {serial};
+  std::printf("%-10zu %-12.2f %-14zu %-14zu %-10s\n", serial.threads,
+              serial.ms, serial.derived, serial.parallel_tasks, "1.00x");
+
+  bool identical = true;
+  for (size_t i = 1; i < counts.size(); ++i) {
+    std::string rendered;
+    Sample s = RunOnce(kEntities, counts[i], &rendered);
+    series.push_back(s);
+    identical = identical && rendered == baseline_rendered;
+    std::printf("%-10zu %-12.2f %-14zu %-14zu %.2fx\n", s.threads, s.ms,
+                s.derived, s.parallel_tasks, s.ms > 0 ? serial.ms / s.ms : 0);
+  }
+  std::printf("query results byte-identical across thread counts: %s\n",
+              identical ? "yes" : "NO — BUG");
+  VQLDB_CHECK(identical);
+
+  FILE* f = std::fopen("BENCH_parallel_fixpoint.json", "w");
+  if (f != nullptr) {
+    std::fprintf(f,
+                 "{\n  \"bench\": \"parallel_fixpoint\",\n"
+                 "  \"workload\": \"recursive_paper_queries\",\n"
+                 "  \"entities\": %zu,\n  \"hardware_concurrency\": %zu,\n"
+                 "  \"results_identical\": %s,\n  \"series\": [\n",
+                 kEntities, hw, identical ? "true" : "false");
+    for (size_t i = 0; i < series.size(); ++i) {
+      const Sample& s = series[i];
+      std::fprintf(f,
+                   "    {\"threads\": %zu, \"time_ms\": %.3f, "
+                   "\"derived_facts\": %zu, \"parallel_tasks\": %zu, "
+                   "\"speedup\": %.3f}%s\n",
+                   s.threads, s.ms, s.derived, s.parallel_tasks,
+                   s.ms > 0 ? serial.ms / s.ms : 0.0,
+                   i + 1 < series.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+    std::printf("wrote BENCH_parallel_fixpoint.json\n\n");
+  }
+}
+
+void BM_ParallelFixpoint(benchmark::State& state) {
+  auto db = Archive(16);
+  auto program = Parser::ParseProgram(kProgram);
+  std::vector<Rule> rules;
+  for (const Rule* r : program->Rules()) rules.push_back(*r);
+  EvalOptions options;
+  options.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto eval = Evaluator::Make(db.get(), rules, options);
+    auto fp = eval->Fixpoint();
+    benchmark::DoNotOptimize(fp);
+  }
+  state.SetLabel("threads=" + std::to_string(state.range(0)));
+}
+BENCHMARK(BM_ParallelFixpoint)->Arg(1)->Arg(2)->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace vqldb
+
+int main(int argc, char** argv) {
+  vqldb::PrintSeries();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

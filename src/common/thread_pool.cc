@@ -1,0 +1,72 @@
+#include "src/common/thread_pool.h"
+
+#include <utility>
+
+namespace vqldb {
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  if (num_threads == 0) num_threads = 1;
+  workers_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitAll() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && running_ == 0; });
+  if (first_exception_) {
+    std::exception_ptr e = std::exchange(first_exception_, nullptr);
+    std::rethrow_exception(e);
+  }
+}
+
+size_t ThreadPool::tasks_completed() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++running_;
+    }
+    try {
+      task();
+    } catch (...) {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!first_exception_) first_exception_ = std::current_exception();
+    }
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      --running_;
+      ++completed_;
+      if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace vqldb

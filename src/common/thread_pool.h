@@ -1,0 +1,71 @@
+// A fixed-size worker pool with a FIFO work queue. Built for the parallel
+// fixpoint engine: the coordinator submits a batch of independent tasks,
+// blocks in WaitAll() until the batch drains, inspects per-task results, and
+// reuses the pool for the next iteration (threads are started once, not per
+// batch).
+//
+// Semantics:
+//   * Submit() enqueues a task; workers run tasks in FIFO dequeue order but
+//     completion order is unspecified — tasks must be independent.
+//   * WaitAll() blocks until every submitted task has finished. If any task
+//     threw, the first exception (in completion order) is rethrown there;
+//     remaining tasks still run. Status-valued results are the caller's
+//     concern: capture a Status per task and inspect after WaitAll().
+//   * The destructor is a graceful shutdown: already-queued tasks are drained
+//     and joined, never dropped.
+
+#ifndef VQLDB_COMMON_THREAD_POOL_H_
+#define VQLDB_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vqldb {
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (clamped to at least 1).
+  explicit ThreadPool(size_t num_threads);
+
+  /// Graceful shutdown: drains pending tasks, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Must not be called concurrently with the destructor.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and no task is running, then rethrows
+  /// the first captured task exception, if any.
+  void WaitAll();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Total tasks finished over the pool's lifetime (for tests/telemetry).
+  size_t tasks_completed() const;
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: queue non-empty or shutdown
+  std::condition_variable idle_cv_;  // WaitAll: queue empty and none running
+  std::deque<std::function<void()>> queue_;
+  size_t running_ = 0;
+  size_t completed_ = 0;
+  bool shutdown_ = false;
+  std::exception_ptr first_exception_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_COMMON_THREAD_POOL_H_

@@ -1,11 +1,25 @@
 #include "src/engine/evaluator.h"
 
 #include <algorithm>
+#include <thread>
 
+#include "src/common/thread_pool.h"
 #include "src/engine/binding.h"
 #include "src/lang/analyzer.h"
 
 namespace vqldb {
+
+Evaluator::Evaluator(VideoDatabase* db, EvalOptions options)
+    : db_(db), options_(options) {}
+Evaluator::Evaluator(Evaluator&&) noexcept = default;
+Evaluator& Evaluator::operator=(Evaluator&&) noexcept = default;
+Evaluator::~Evaluator() = default;
+
+size_t Evaluator::effective_threads() const {
+  if (options_.num_threads != 0) return options_.num_threads;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
 
 Result<Evaluator> Evaluator::Make(VideoDatabase* db, std::vector<Rule> rules,
                                   EvalOptions options) {
@@ -129,8 +143,9 @@ Status Evaluator::ResolveOperand(const CompiledOperand& operand,
 }
 
 Status Evaluator::CheckConstraint(const CompiledConstraint& constraint,
-                                  const BindingEnv& env, bool* ok) {
-  ++stats_.constraint_checks;
+                                  const BindingEnv& env, bool* ok,
+                                  EvalStats* stats) {
+  ++stats->constraint_checks;
   *ok = false;
   Value lhs, rhs;
   bool lhs_defined = false, rhs_defined = false;
@@ -234,7 +249,7 @@ Status Evaluator::CheckConstraint(const CompiledConstraint& constraint,
 }
 
 Status Evaluator::EmitHead(const CompiledRule& rule, const BindingEnv& env,
-                           Interpretation* out) {
+                           Interpretation* out, EvalStats* stats) {
   Fact fact;
   fact.relation = rule.head_predicate;
   fact.args.reserve(rule.head.size());
@@ -265,7 +280,7 @@ Status Evaluator::EmitHead(const CompiledRule& rule, const BindingEnv& env,
           } else {
             size_t before = db_->derived_interval_count();
             VQLDB_ASSIGN_OR_RETURN(acc, db_->Concatenate(acc, v.oid_value()));
-            stats_.intervals_created +=
+            stats->intervals_created +=
                 db_->derived_interval_count() - before;
           }
         }
@@ -274,8 +289,8 @@ Status Evaluator::EmitHead(const CompiledRule& rule, const BindingEnv& env,
       }
     }
   }
-  ++stats_.rule_firings;
-  if (out->Add(std::move(fact))) ++stats_.derived_facts;
+  ++stats->rule_firings;
+  if (out->Add(std::move(fact))) ++stats->derived_facts;
   return Status::OK();
 }
 
@@ -283,9 +298,10 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
                             const Interpretation& full,
                             const Interpretation* delta, int delta_pos,
                             const std::vector<ObjectId>* interval_delta,
-                            BindingEnv* env, Interpretation* out) {
+                            BindingEnv* env, Interpretation* out,
+                            EvalStats* stats) {
   if (step_idx == rule.steps.size()) {
-    return EmitHead(rule, *env, out);
+    return EmitHead(rule, *env, out, stats);
   }
   const CompiledStep& step = rule.steps[step_idx];
   const CompiledLiteral& lit = step.literal;
@@ -295,11 +311,11 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
   auto proceed = [&]() -> Status {
     for (const CompiledConstraint& c : step.post_constraints) {
       bool ok = false;
-      VQLDB_RETURN_NOT_OK(CheckConstraint(c, *env, &ok));
+      VQLDB_RETURN_NOT_OK(CheckConstraint(c, *env, &ok, stats));
       if (!ok) return Status::OK();
     }
     return EvalSteps(rule, step_idx + 1, full, delta, delta_pos,
-                     interval_delta, env, out);
+                     interval_delta, env, out, stats);
   };
 
   if (lit.builtin != BuiltinClass::kNone) {
@@ -368,22 +384,19 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
     return holds ? proceed() : Status::OK();
   }
 
-  // Relational literal: pick the candidate fact list, using an index on the
-  // first bound argument position when one exists.
+  // Relational literal: pick the candidate fact list via a multi-column
+  // index probe on every statically bound argument position (the compiled
+  // step's bound-position bitmap), falling back to a full scan when nothing
+  // is bound.
   const Interpretation& source = restricted ? *delta : full;
-  int index_pos = -1;
-  const Value* index_value = nullptr;
-  for (size_t i = 0; i < lit.args.size(); ++i) {
-    const CompiledTerm& arg = lit.args[i];
-    if (!arg.is_var) {
-      index_pos = static_cast<int>(i);
-      index_value = &arg.value;
-      break;
-    }
-    if (env->IsBound(arg.var)) {
-      index_pos = static_cast<int>(i);
-      index_value = &env->Get(arg.var);
-      break;
+  uint64_t probe_mask = step.bound_mask;
+  std::vector<Value> probe_key;
+  if (probe_mask != 0) {
+    probe_key.reserve(static_cast<size_t>(__builtin_popcountll(probe_mask)));
+    for (size_t i = 0; i < lit.args.size() && (probe_mask >> i) != 0; ++i) {
+      if (!(probe_mask >> i & 1)) continue;
+      const CompiledTerm& arg = lit.args[i];
+      probe_key.push_back(arg.is_var ? env->Get(arg.var) : arg.value);
     }
   }
 
@@ -421,11 +434,10 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
     return st;
   };
 
-  if (index_pos >= 0) {
+  if (probe_mask != 0) {
     const std::vector<Fact>& facts = source.FactsFor(lit.predicate);
-    for (size_t fi : source.Lookup(lit.predicate,
-                                   static_cast<size_t>(index_pos),
-                                   *index_value)) {
+    for (size_t fi : source.LookupMulti(lit.predicate, probe_mask,
+                                        probe_key)) {
       VQLDB_RETURN_NOT_OK(try_fact(facts[fi]));
     }
   } else {
@@ -439,14 +451,105 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
 Status Evaluator::EvalRule(const CompiledRule& rule, const Interpretation& full,
                            const Interpretation* delta, int delta_pos,
                            const std::vector<ObjectId>* interval_delta,
-                           Interpretation* out) {
+                           Interpretation* out, EvalStats* stats) {
   BindingEnv env(rule.num_vars);
   for (const CompiledConstraint& c : rule.ground_constraints) {
     bool ok = false;
-    VQLDB_RETURN_NOT_OK(CheckConstraint(c, env, &ok));
+    VQLDB_RETURN_NOT_OK(CheckConstraint(c, env, &ok, stats));
     if (!ok) return Status::OK();
   }
-  return EvalSteps(rule, 0, full, delta, delta_pos, interval_delta, &env, out);
+  return EvalSteps(rule, 0, full, delta, delta_pos, interval_delta, &env, out,
+                   stats);
+}
+
+void Evaluator::PrepareJoinIndexes(const Interpretation& full,
+                                   const Interpretation* delta) const {
+  for (const CompiledRule& rule : rules_) {
+    for (const CompiledStep& step : rule.steps) {
+      const CompiledLiteral& lit = step.literal;
+      if (lit.builtin != BuiltinClass::kNone || step.bound_mask == 0) continue;
+      if (options_.concrete_domain != nullptr &&
+          options_.concrete_domain->HasPredicate(
+              lit.predicate, static_cast<int>(lit.args.size()))) {
+        continue;  // computable predicate, never probed as a relation
+      }
+      full.PrepareIndex(lit.predicate, step.bound_mask);
+      if (delta != nullptr) delta->PrepareIndex(lit.predicate, step.bound_mask);
+    }
+  }
+}
+
+Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
+                           const Interpretation& full,
+                           const Interpretation* delta,
+                           const std::vector<ObjectId>* interval_delta,
+                           Interpretation* out) {
+  size_t threads = effective_threads();
+  size_t parallelizable = 0;
+  for (const RuleTask& t : tasks) {
+    if (!rules_[t.rule_idx].is_constructive) ++parallelizable;
+  }
+  if (threads <= 1 || parallelizable <= 1) {
+    // The exact legacy path: every task in order, on this thread.
+    for (const RuleTask& t : tasks) {
+      VQLDB_RETURN_NOT_OK(EvalRule(rules_[t.rule_idx], full, delta,
+                                   t.delta_pos, interval_delta, out, &stats_));
+    }
+    return Status::OK();
+  }
+
+  // Pre-build every join index the plans can probe so that worker threads
+  // only ever read the shared interpretations.
+  PrepareJoinIndexes(full, delta);
+
+  struct TaskResult {
+    Interpretation out;
+    EvalStats stats;
+    Status status;
+  };
+  std::vector<TaskResult> results(tasks.size());
+  if (pool_ == nullptr || pool_->num_threads() != threads) {
+    pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const CompiledRule& rule = rules_[tasks[i].rule_idx];
+    if (rule.is_constructive) continue;  // mutates the database: serial below
+    ++stats_.parallel_tasks;
+    int delta_pos = tasks[i].delta_pos;
+    TaskResult* result = &results[i];
+    pool_->Submit([this, &rule, &full, delta, delta_pos, interval_delta,
+                   result] {
+      result->status = EvalRule(rule, full, delta, delta_pos, interval_delta,
+                                &result->out, &result->stats);
+    });
+  }
+  pool_->WaitAll();
+
+  // Constructive rules materialize derived intervals (Concatenate mutates
+  // the database): run them serially, in stable task order, after the
+  // read-only tasks have drained.
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const CompiledRule& rule = rules_[tasks[i].rule_idx];
+    if (!rule.is_constructive) continue;
+    results[i].status =
+        EvalRule(rule, full, delta, tasks[i].delta_pos, interval_delta,
+                 &results[i].out, &results[i].stats);
+  }
+
+  // Deterministic merge: fold per-task deltas in task (= rule, delta_pos)
+  // order, so per-predicate fact insertion order matches the serial engine.
+  for (TaskResult& result : results) {
+    VQLDB_RETURN_NOT_OK(result.status);
+    // Tasks count a fact as derived when it is new to their *private* out;
+    // the serial engine counts it once per round. Recount against the shared
+    // round interpretation so the statistic is thread-count invariant.
+    result.stats.derived_facts = 0;
+    stats_.MergeFrom(result.stats);
+    for (const Fact& f : result.out.AllFacts()) {
+      if (out->Add(f)) ++stats_.derived_facts;
+    }
+  }
+  return Status::OK();
 }
 
 Result<Interpretation> Evaluator::ApplyOnce(
@@ -460,10 +563,10 @@ Result<Interpretation> Evaluator::ApplyOnce(
   if (options_.extended_active_domain) {
     VQLDB_RETURN_NOT_OK(MaterializeExtendedDomain());
   }
-  for (const CompiledRule& rule : rules_) {
-    VQLDB_RETURN_NOT_OK(EvalRule(rule, interpretation, nullptr, -1, nullptr,
-                                 &out));
-  }
+  std::vector<RuleTask> tasks;
+  tasks.reserve(rules_.size());
+  for (size_t i = 0; i < rules_.size(); ++i) tasks.push_back({i, -1});
+  VQLDB_RETURN_NOT_OK(RunRound(tasks, interpretation, nullptr, nullptr, &out));
   return out;
 }
 
@@ -480,9 +583,10 @@ Result<Interpretation> Evaluator::Fixpoint() {
     }
     size_t derived_before = db_->derived_interval_count();
     Interpretation out;
-    for (const CompiledRule& rule : rules_) {
-      VQLDB_RETURN_NOT_OK(EvalRule(rule, interp, nullptr, -1, nullptr, &out));
-    }
+    std::vector<RuleTask> tasks;
+    tasks.reserve(rules_.size());
+    for (size_t i = 0; i < rules_.size(); ++i) tasks.push_back({i, -1});
+    VQLDB_RETURN_NOT_OK(RunRound(tasks, interp, nullptr, nullptr, &out));
     for (const Fact& f : out.AllFacts()) {
       if (interp.Add(f)) delta.Add(f);
     }
@@ -510,7 +614,11 @@ Result<Interpretation> Evaluator::Fixpoint() {
     size_t derived_before = db_->derived_interval_count();
     Interpretation out;
     if (options_.semi_naive && !options_.extended_active_domain) {
-      for (const CompiledRule& rule : rules_) {
+      // Stratify the round into independent (rule, delta_pos) tasks; each
+      // re-derives only valuations that touch the previous round's delta.
+      std::vector<RuleTask> tasks;
+      for (size_t r = 0; r < rules_.size(); ++r) {
+        const CompiledRule& rule = rules_[r];
         for (size_t pos = 0; pos < rule.steps.size(); ++pos) {
           const CompiledLiteral& lit = rule.steps[pos].literal;
           bool applicable;
@@ -520,17 +628,16 @@ Result<Interpretation> Evaluator::Fixpoint() {
             applicable = lit.builtin != BuiltinClass::kObject &&
                          !interval_delta.empty();
           }
-          if (!applicable) continue;
-          VQLDB_RETURN_NOT_OK(EvalRule(rule, interp, &delta,
-                                       static_cast<int>(pos), &interval_delta,
-                                       &out));
+          if (applicable) tasks.push_back({r, static_cast<int>(pos)});
         }
       }
+      VQLDB_RETURN_NOT_OK(
+          RunRound(tasks, interp, &delta, &interval_delta, &out));
     } else {
-      for (const CompiledRule& rule : rules_) {
-        VQLDB_RETURN_NOT_OK(
-            EvalRule(rule, interp, nullptr, -1, nullptr, &out));
-      }
+      std::vector<RuleTask> tasks;
+      tasks.reserve(rules_.size());
+      for (size_t i = 0; i < rules_.size(); ++i) tasks.push_back({i, -1});
+      VQLDB_RETURN_NOT_OK(RunRound(tasks, interp, nullptr, nullptr, &out));
     }
 
     Interpretation next_delta;

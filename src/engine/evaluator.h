@@ -14,10 +14,20 @@
 // constituent-set-canonical ids make (+) idempotent — the termination
 // argument of Section 6.1 (I1 (+) I1 == I1) holds exactly, so fixpoints of
 // constructive programs are finite.
+//
+// Parallelism: with EvalOptions::num_threads != 1, each fixpoint round's
+// independent (rule, delta_pos) tasks fan out on a shared ThreadPool. Every
+// task reads the round's immutable `full`/`delta` interpretations (their
+// multi-column join indexes are pre-built, so probes are mutation-free) and
+// accumulates facts plus counters into private per-task blocks, which the
+// coordinator merges in stable rule order. Constructive rules — the only
+// ones that mutate the database — always run serially after the fan-out.
+// The computed least fixpoint is identical for every thread count.
 
 #ifndef VQLDB_ENGINE_EVALUATOR_H_
 #define VQLDB_ENGINE_EVALUATOR_H_
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -29,6 +39,8 @@
 #include "src/model/database.h"
 
 namespace vqldb {
+
+class ThreadPool;
 
 struct EvalOptions {
   /// Optional concrete domain (Def. 1): body literals whose predicate is
@@ -52,6 +64,13 @@ struct EvalOptions {
   /// When true, type mismatches inside constraints (e.g. `in` on a non-set)
   /// raise TypeError; when false they simply fail the constraint.
   bool strict_types = false;
+  /// Worker threads for fixpoint rounds. 0 = hardware concurrency; 1 = the
+  /// exact serial legacy path (no pool, no snapshot/merge). With N > 1,
+  /// independent (rule, delta_pos) tasks of each semi-naive round evaluate
+  /// concurrently against the round's immutable interpretations, and their
+  /// per-task deltas merge in stable rule order — the final fixpoint is
+  /// identical to the serial engine's for every thread count.
+  size_t num_threads = 0;
 };
 
 /// Statistics of one evaluation, for benchmarks and the EXPERIMENTS harness.
@@ -61,6 +80,17 @@ struct EvalStats {
   size_t rule_firings = 0;        // successful head emissions (incl. dups)
   size_t constraint_checks = 0;
   size_t intervals_created = 0;   // derived intervals materialized
+  size_t parallel_tasks = 0;      // (rule, delta_pos) tasks run on the pool
+
+  /// Folds a per-task counter block into this one (all fields but
+  /// `iterations`, which only the coordinating thread advances).
+  void MergeFrom(const EvalStats& other) {
+    derived_facts += other.derived_facts;
+    rule_firings += other.rule_firings;
+    constraint_checks += other.constraint_checks;
+    intervals_created += other.intervals_created;
+    parallel_tasks += other.parallel_tasks;
+  }
 };
 
 /// Evaluates a fixed set of rules over a database. The evaluator owns no
@@ -87,29 +117,63 @@ class Evaluator {
   const EvalStats& stats() const { return stats_; }
   const std::vector<CompiledRule>& compiled_rules() const { return rules_; }
 
+  /// The worker count this evaluator resolves `options.num_threads` to
+  /// (hardware concurrency when the option is 0).
+  size_t effective_threads() const;
+
+  Evaluator(Evaluator&&) noexcept;
+  Evaluator& operator=(Evaluator&&) noexcept;
+  ~Evaluator();
+
  private:
-  Evaluator(VideoDatabase* db, EvalOptions options)
-      : db_(db), options_(options) {}
+  Evaluator(VideoDatabase* db, EvalOptions options);
+
+  /// One schedulable unit of a fixpoint round: a rule with literal
+  /// `delta_pos` (-1 = unrestricted) restricted to the round's delta.
+  struct RuleTask {
+    size_t rule_idx;
+    int delta_pos;
+  };
+
+  // Runs one round's task batch. Serial in rule order when the effective
+  // thread count is 1 (the exact legacy path); otherwise non-constructive
+  // tasks fan out on the pool against the immutable `full`/`delta`
+  // snapshot, constructive tasks (which materialize derived intervals in
+  // the database) run serially afterwards, and all per-task deltas merge
+  // into `out` in stable task order.
+  Status RunRound(const std::vector<RuleTask>& tasks,
+                  const Interpretation& full, const Interpretation* delta,
+                  const std::vector<ObjectId>* interval_delta,
+                  Interpretation* out);
+
+  // Builds every (predicate, bound-position bitmap) join index the compiled
+  // plans can probe, so concurrent LookupMulti calls never mutate the
+  // shared interpretations.
+  void PrepareJoinIndexes(const Interpretation& full,
+                          const Interpretation* delta) const;
 
   // Evaluates one rule against `full`, with literal `delta_pos` (if >= 0)
   // restricted to `delta`; emits derived facts through EmitHead into `out`.
+  // Counters go to `stats` (a per-task block under parallel evaluation).
   Status EvalRule(const CompiledRule& rule, const Interpretation& full,
                   const Interpretation* delta, int delta_pos,
                   const std::vector<ObjectId>* interval_delta,
-                  Interpretation* out);
+                  Interpretation* out, EvalStats* stats);
 
   Status EvalSteps(const CompiledRule& rule, size_t step_idx,
                    const Interpretation& full, const Interpretation* delta,
                    int delta_pos, const std::vector<ObjectId>* interval_delta,
-                   class BindingEnv* env, Interpretation* out);
+                   class BindingEnv* env, Interpretation* out,
+                   EvalStats* stats);
 
   Status EmitHead(const CompiledRule& rule, const class BindingEnv& env,
-                  Interpretation* out);
+                  Interpretation* out, EvalStats* stats);
 
   // Constraint checking; `ok` receives the verdict. Status is non-OK only
   // for hard errors (strict_types).
   Status CheckConstraint(const CompiledConstraint& constraint,
-                         const class BindingEnv& env, bool* ok);
+                         const class BindingEnv& env, bool* ok,
+                         EvalStats* stats);
   Status ResolveOperand(const CompiledOperand& operand,
                         const class BindingEnv& env, Value* out, bool* defined);
 
@@ -125,6 +189,7 @@ class Evaluator {
   std::vector<CompiledRule> rules_;
   std::vector<Rule> source_rules_;
   EvalStats stats_;
+  std::unique_ptr<ThreadPool> pool_;  // lazily created, reused across rounds
 };
 
 }  // namespace vqldb

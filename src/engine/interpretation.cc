@@ -47,6 +47,55 @@ const std::vector<size_t>& Interpretation::Lookup(const std::string& predicate,
   return vit == index.end() ? EmptyIndex() : vit->second;
 }
 
+void Interpretation::ExtendMultiIndex(const PredicateStore& store,
+                                      uint64_t mask, MultiIndex* mi) {
+  std::vector<Value> key;
+  for (; mi->upto < store.facts.size(); ++mi->upto) {
+    const Fact& f = store.facts[mi->upto];
+    key.clear();
+    bool indexable = true;
+    for (size_t pos = 0; pos < f.args.size() && (mask >> pos) != 0; ++pos) {
+      if (mask >> pos & 1) key.push_back(f.args[pos]);
+    }
+    // Facts too short for the mask can never match a probe at these
+    // positions; leave them out of the index entirely.
+    if (static_cast<size_t>(__builtin_popcountll(mask)) != key.size()) {
+      indexable = false;
+    }
+    if (indexable) mi->map[key].push_back(mi->upto);
+  }
+}
+
+const std::vector<size_t>& Interpretation::LookupMulti(
+    const std::string& predicate, uint64_t mask,
+    const std::vector<Value>& key) const {
+  auto it = stores_.find(predicate);
+  if (it == stores_.end()) return EmptyIndex();
+  const PredicateStore& store = it->second;
+  auto mit = store.multi_index.find(mask);
+  if (mit == store.multi_index.end() ||
+      mit->second.upto < store.facts.size()) {
+    // Slow path: create or extend (single-threaded phases only; PrepareIndex
+    // makes the hot path above mutation-free for concurrent probes).
+    MultiIndex& mi = store.multi_index[mask];
+    ExtendMultiIndex(store, mask, &mi);
+    auto vit = mi.map.find(key);
+    return vit == mi.map.end() ? EmptyIndex() : vit->second;
+  }
+  auto vit = mit->second.map.find(key);
+  return vit == mit->second.map.end() ? EmptyIndex() : vit->second;
+}
+
+void Interpretation::PrepareIndex(const std::string& predicate,
+                                  uint64_t mask) const {
+  if (mask == 0) return;
+  auto it = stores_.find(predicate);
+  if (it == stores_.end()) return;
+  const PredicateStore& store = it->second;
+  MultiIndex& mi = store.multi_index[mask];
+  ExtendMultiIndex(store, mask, &mi);
+}
+
 std::vector<std::string> Interpretation::Predicates() const {
   std::vector<std::string> out;
   for (const auto& [name, store] : stores_) {

@@ -1,17 +1,21 @@
 // Interpretation: a set of ground atoms (Section 6.3.2 — "an interpretation
 // of a program is any subset of all ground atomic formulas built from
 // predicate symbols in the language and elements in D"), stored per
-// predicate with lazily built per-argument hash indexes for joins.
+// predicate with lazily built hash join indexes: the legacy single-position
+// indexes plus multi-column indexes keyed on a bound-position bitmap, the
+// access path of the evaluator's compiled join plans.
 
 #ifndef VQLDB_ENGINE_INTERPRETATION_H_
 #define VQLDB_ENGINE_INTERPRETATION_H_
 
+#include <cstdint>
 #include <map>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/model/object.h"
 #include "src/model/value.h"
 
@@ -36,6 +40,22 @@ class Interpretation {
   const std::vector<size_t>& Lookup(const std::string& predicate, size_t pos,
                                     const Value& value) const;
 
+  /// Multi-column probe: positions of facts of `predicate` whose argument at
+  /// every set bit of `mask` (bit i = argument position i) equals the
+  /// corresponding element of `key` (key holds the bound values in ascending
+  /// position order; key.size() == popcount(mask)). Builds/extends the
+  /// per-mask hash index lazily. `mask` must be non-zero.
+  const std::vector<size_t>& LookupMulti(const std::string& predicate,
+                                         uint64_t mask,
+                                         const std::vector<Value>& key) const;
+
+  /// Builds the `(predicate, mask)` multi-column index over all current
+  /// facts. After this call, LookupMulti with the same arguments performs no
+  /// mutation until facts are added — which makes concurrent LookupMulti
+  /// probes from the parallel fixpoint engine safe on an otherwise immutable
+  /// Interpretation.
+  void PrepareIndex(const std::string& predicate, uint64_t mask) const;
+
   /// All predicate names with at least one fact, sorted.
   std::vector<std::string> Predicates() const;
 
@@ -54,6 +74,19 @@ class Interpretation {
   std::string ToString() const;
 
  private:
+  struct KeyHash {
+    size_t operator()(const std::vector<Value>& key) const {
+      size_t seed = key.size();
+      for (const Value& v : key) HashCombineValue(&seed, v);
+      return seed;
+    }
+  };
+
+  struct MultiIndex {
+    std::unordered_map<std::vector<Value>, std::vector<size_t>, KeyHash> map;
+    size_t upto = 0;  // facts indexed so far
+  };
+
   struct PredicateStore {
     std::vector<Fact> facts;
     std::unordered_set<Fact> members;
@@ -61,7 +94,12 @@ class Interpretation {
     mutable std::map<size_t, std::unordered_map<Value, std::vector<size_t>>>
         index;
     mutable std::map<size_t, size_t> indexed_upto;  // per position
+    // bound-position bitmap -> multi-column hash index; extended lazily.
+    mutable std::map<uint64_t, MultiIndex> multi_index;
   };
+
+  static void ExtendMultiIndex(const PredicateStore& store, uint64_t mask,
+                               MultiIndex* mi);
 
   static const std::vector<size_t>& EmptyIndex();
 

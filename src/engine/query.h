@@ -74,6 +74,12 @@ class QuerySession {
   VideoDatabase* database() { return db_; }
   const EvalStats& last_stats() const { return last_stats_; }
 
+  /// Evaluation options for subsequent materializations. Changing
+  /// `num_threads` needs no Invalidate(): the fixpoint is thread-count
+  /// invariant; other option changes affect semantics and do.
+  const EvalOptions& options() const { return options_; }
+  EvalOptions* mutable_options() { return &options_; }
+
   /// Applies one declaration to a database (exposed for the storage layer).
   static Status ApplyDecl(const ObjectDecl& decl, VideoDatabase* db);
 

@@ -224,6 +224,13 @@ Result<CompiledRule> RuleCompiler::Compile(const Rule& rule,
   }
   for (CompiledLiteral& lit : literals) {
     CompiledStep step;
+    // The bound-position bitmap must be computed against the variables bound
+    // by *earlier* literals only, before this literal's own variables join
+    // the bound set.
+    for (size_t i = 0; i < lit.args.size() && i < 64; ++i) {
+      const CompiledTerm& t = lit.args[i];
+      if (!t.is_var || bound.count(t.var)) step.bound_mask |= uint64_t{1} << i;
+    }
     for (const CompiledTerm& t : lit.args) {
       if (t.is_var) bound.insert(t.var);
     }
@@ -307,18 +314,21 @@ std::string ExplainRule(const CompiledRule& rule) {
         os << term_name(lit.args[a]);
       }
       os << ")";
-      // Mirror the evaluator's access-path choice: index on the first
-      // constant or already-bound argument position, else a full scan.
-      int index_pos = -1;
-      for (size_t a = 0; a < lit.args.size(); ++a) {
-        const CompiledTerm& arg = lit.args[a];
-        if (!arg.is_var || bound.count(arg.var)) {
-          index_pos = static_cast<int>(a);
-          break;
-        }
+      // Mirror the evaluator's access path: a multi-column index probe on
+      // every bound argument position, else a full scan.
+      std::vector<size_t> probe_positions;
+      for (size_t a = 0; a < lit.args.size() && a < 64; ++a) {
+        if (step.bound_mask >> a & 1) probe_positions.push_back(a);
       }
-      if (index_pos >= 0) {
-        os << "  [index probe on argument " << (index_pos + 1) << "]";
+      if (probe_positions.size() == 1) {
+        os << "  [index probe on argument " << (probe_positions[0] + 1) << "]";
+      } else if (!probe_positions.empty()) {
+        os << "  [index probe on arguments ";
+        for (size_t k = 0; k < probe_positions.size(); ++k) {
+          if (k) os << ",";
+          os << (probe_positions[k] + 1);
+        }
+        os << "]";
       } else {
         os << "  [full scan]";
       }

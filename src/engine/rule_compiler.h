@@ -11,6 +11,7 @@
 #ifndef VQLDB_ENGINE_RULE_COMPILER_H_
 #define VQLDB_ENGINE_RULE_COMPILER_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -69,6 +70,13 @@ struct CompiledConstraint {
 struct CompiledStep {
   CompiledLiteral literal;
   std::vector<CompiledConstraint> post_constraints;
+  /// Bit i set iff argument position i of the literal is statically bound
+  /// when this step runs: a constant, or a variable first bound by an
+  /// earlier step. (Earlier steps always bind all their variables before
+  /// control reaches this step, so the mask is exact, not approximate.)
+  /// Positions >= 64 are never marked. The evaluator probes the
+  /// Interpretation multi-column index keyed on (predicate, this mask).
+  uint64_t bound_mask = 0;
 };
 
 /// A compiled head term: constant, variable, or concatenation of slots.

@@ -358,9 +358,12 @@ std::vector<ObjectId> VideoDatabase::FindByAttribute(const std::string& name,
 }
 
 void VideoDatabase::RebuildTemporalIndexIfDirty() const {
-  if (!temporal_dirty_ && !temporal_index_.empty()) return;
-  if (!temporal_dirty_ && base_intervals_.empty() && derived_intervals_.empty())
-    return;
+  // Fast path: one flag read. Every duration mutation and interval creation
+  // sets the dirty flag, so a clean index — including a clean *empty* index,
+  // e.g. when no interval carries a concrete duration — is served as-is.
+  // Read-only query bursts must never take the rebuild branch below.
+  if (!temporal_dirty_) return;
+  ++temporal_rebuilds_;
   temporal_index_.clear();
   auto add = [this](ObjectId id) {
     const VideoObject& obj = objects_.at(id);

@@ -186,6 +186,11 @@ class VideoDatabase {
   };
   Stats GetStats() const;
 
+  /// How many times the temporal index has actually been rebuilt. Read-only
+  /// query bursts must not grow this (the dirty-flag fast path); tests
+  /// assert on it.
+  size_t temporal_index_rebuilds() const { return temporal_rebuilds_; }
+
  private:
   Result<ObjectId> NewObject(const std::string& symbol, ObjectKind kind);
   Status SetAttributeUnchecked(ObjectId id, const std::string& name,
@@ -232,6 +237,7 @@ class VideoDatabase {
   mutable std::vector<TemporalEntry> temporal_index_;
   mutable std::vector<double> temporal_prefix_max_end_;
   mutable bool temporal_dirty_ = false;
+  mutable size_t temporal_rebuilds_ = 0;
 };
 
 }  // namespace vqldb

@@ -1,5 +1,6 @@
 #include "src/shell/repl.h"
 
+#include <cstdlib>
 #include <sstream>
 
 #include "src/common/string_util.h"
@@ -124,6 +125,26 @@ std::string Repl::Meta(const std::string& command,
     if (!compiled.ok()) return "error: " + compiled.status().ToString() + "\n";
     return ExplainRule(*compiled);
   }
+  if (command == ".threads") {
+    if (argument.empty()) {
+      size_t n = session_.options().num_threads;
+      return "fixpoint threads: " +
+             (n == 0 ? std::string("auto (hardware concurrency)")
+                     : std::to_string(n)) +
+             "\n";
+    }
+    if (argument == "auto") {
+      session_.mutable_options()->num_threads = 0;
+      return "fixpoint threads: auto (hardware concurrency)\n";
+    }
+    char* end = nullptr;
+    long n = std::strtol(argument.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || n < 1) {
+      return "usage: .threads <N>=1|auto  (1 = serial engine)\n";
+    }
+    session_.mutable_options()->num_threads = static_cast<size_t>(n);
+    return "fixpoint threads: " + std::to_string(n) + "\n";
+  }
   if (command == ".journal") {
     if (argument == "off") {
       journal_.reset();
@@ -158,6 +179,7 @@ std::string Repl::Help() const {
       "  .load <path>      load a .vql text archive\n"
       "  .save <path>      save archive (.vql text, .vqdb binary)\n"
       "  .explain <rule>   show the execution plan of a rule\n"
+      "  .threads <N|auto> fixpoint worker threads (1 = serial engine)\n"
       "  .journal <path>   mirror data statements to an append-only log\n"
       "  .journal off      stop journaling\n"
       "  .clearbuf         discard a half-entered statement\n"

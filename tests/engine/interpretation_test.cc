@@ -101,5 +101,42 @@ TEST(InterpretationTest, ToStringListsFacts) {
   EXPECT_EQ(interp.ToString(), "{p(1)}");
 }
 
+TEST(InterpretationTest, LookupMultiProbesBoundPositions) {
+  Interpretation interp;
+  interp.Add(F("edge", {1, 2}));
+  interp.Add(F("edge", {1, 3}));
+  interp.Add(F("edge", {2, 3}));
+  const auto& facts = interp.FactsFor("edge");
+  // Mask 0b11: both positions bound — exact-tuple probe.
+  auto hits = interp.LookupMulti("edge", 0b11, {Value::Int(1), Value::Int(3)});
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(facts[hits[0]], F("edge", {1, 3}));
+  // Mask 0b10: only position 1 bound.
+  EXPECT_EQ(interp.LookupMulti("edge", 0b10, {Value::Int(3)}).size(), 2u);
+  EXPECT_TRUE(interp.LookupMulti("edge", 0b11,
+                                 {Value::Int(9), Value::Int(9)})
+                  .empty());
+  EXPECT_TRUE(interp.LookupMulti("nope", 0b1, {Value::Int(1)}).empty());
+}
+
+TEST(InterpretationTest, LookupMultiTracksLaterInsertions) {
+  Interpretation interp;
+  interp.Add(F("edge", {1, 2}));
+  EXPECT_EQ(interp.LookupMulti("edge", 0b01, {Value::Int(1)}).size(), 1u);
+  // The index extends from its watermark when the relation grows.
+  interp.Add(F("edge", {1, 5}));
+  EXPECT_EQ(interp.LookupMulti("edge", 0b01, {Value::Int(1)}).size(), 2u);
+}
+
+TEST(InterpretationTest, PrepareIndexMatchesLazyLookups) {
+  Interpretation interp;
+  for (int64_t i = 0; i < 20; ++i) interp.Add(F("r", {i % 4, i}));
+  interp.PrepareIndex("r", 0b01);
+  EXPECT_EQ(interp.LookupMulti("r", 0b01, {Value::Int(2)}).size(), 5u);
+  // Facts shorter than the mask's highest bound position never match.
+  interp.Add(F("short", {7}));
+  EXPECT_TRUE(interp.LookupMulti("short", 0b10, {Value::Int(7)}).empty());
+}
+
 }  // namespace
 }  // namespace vqldb

@@ -1,0 +1,211 @@
+// The parallel fixpoint engine's core guarantee: Fixpoint() computes the
+// same least fixpoint for every thread count. Checked on the paper's Rope
+// example program (including recursion and a constructive rule) and on
+// randomized rule sets over randomized databases (seeded via common/rng.h),
+// comparing interpretations, statistics, and rendered query results across
+// num_threads in {1, 2, 8}.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/query.h"
+#include "src/lang/parser.h"
+
+namespace vqldb {
+namespace {
+
+const size_t kThreadCounts[] = {1, 2, 8};
+
+// The Section 5.2 database extract plus a recursive containment program.
+constexpr const char* kRopeProgram = R"(
+  object o1 { name: "David", role: "Victim" }.
+  object o2 { name: "Philip", role: "Murderer" }.
+  object o3 { name: "Brandon", role: "Murderer" }.
+  object o9 { name: "Rupert Cadell" }.
+  interval gi1 { duration: (t > 0 and t < 10),
+                 entities: {o1, o2, o3},
+                 subject: "murder" }.
+  interval gi2 { duration: (t > 15 and t < 40),
+                 entities: {o1, o2, o3, o9},
+                 subject: "Giving a party" }.
+  interval gi3 { duration: (t > 2 and t < 8),
+                 entities: {o2, o3} }.
+)";
+
+constexpr const char* kRopeRules = R"(
+  appears(O, G) <- Interval(G), Object(O), O in G.entities.
+  contains(G1, G2) <- Interval(G1), Interval(G2),
+                      G2.duration => G1.duration, G1 != G2.
+  nested(G1, G2) <- contains(G1, G2).
+  nested(G1, G3) <- nested(G1, G2), contains(G2, G3).
+  together(O1, O2, G) <- appears(O1, G), appears(O2, G), O1 != O2.
+)";
+
+// A constructive rule: parallel scheduling must keep database mutation
+// (derived-interval materialization) serial and deterministic.
+constexpr const char* kConstructiveRule =
+    "span(G1 ++ G2) <- Interval(G1), Interval(G2), G1 != G2.";
+
+Result<std::vector<Rule>> ParseRules(const std::string& text) {
+  VQLDB_ASSIGN_OR_RETURN(Program program, Parser::ParseProgram(text));
+  std::vector<Rule> rules;
+  for (const Rule* r : program.Rules()) rules.push_back(*r);
+  return rules;
+}
+
+// Runs Fixpoint over a freshly built database (builder must be
+// deterministic) and returns the interpretation plus stats.
+struct RunResult {
+  Interpretation fixpoint;
+  EvalStats stats;
+};
+
+template <typename BuildDb>
+RunResult RunWith(BuildDb&& build, const std::vector<Rule>& rules,
+                  size_t num_threads) {
+  auto db = build();
+  EvalOptions options;
+  options.num_threads = num_threads;
+  auto eval = Evaluator::Make(db.get(), rules, options);
+  EXPECT_TRUE(eval.ok()) << eval.status();
+  auto fp = eval->Fixpoint();
+  EXPECT_TRUE(fp.ok()) << fp.status();
+  return RunResult{std::move(*fp), eval->stats()};
+}
+
+template <typename BuildDb>
+void ExpectThreadCountInvariant(BuildDb&& build,
+                                const std::vector<Rule>& rules,
+                                bool expect_identical_stats) {
+  RunResult serial = RunWith(build, rules, 1);
+  EXPECT_EQ(serial.stats.parallel_tasks, 0u);
+  for (size_t threads : kThreadCounts) {
+    if (threads == 1) continue;
+    RunResult parallel = RunWith(build, rules, threads);
+    EXPECT_TRUE(parallel.fixpoint == serial.fixpoint)
+        << "fixpoint differs at num_threads=" << threads << "\nserial="
+        << serial.fixpoint.ToString() << "\nparallel="
+        << parallel.fixpoint.ToString();
+    EXPECT_GT(parallel.stats.parallel_tasks, 0u)
+        << "parallel path not exercised at num_threads=" << threads;
+    if (expect_identical_stats) {
+      EXPECT_EQ(parallel.stats.iterations, serial.stats.iterations);
+      EXPECT_EQ(parallel.stats.derived_facts, serial.stats.derived_facts);
+      EXPECT_EQ(parallel.stats.rule_firings, serial.stats.rule_firings);
+      EXPECT_EQ(parallel.stats.constraint_checks,
+                serial.stats.constraint_checks);
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, PaperExampleProgram) {
+  auto build = [] {
+    auto db = std::make_unique<VideoDatabase>();
+    QuerySession loader(db.get());
+    EXPECT_TRUE(loader.Load(kRopeProgram).ok());
+    return db;
+  };
+  auto rules = ParseRules(kRopeRules);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  ExpectThreadCountInvariant(build, *rules, /*expect_identical_stats=*/true);
+}
+
+TEST(ParallelDeterminismTest, PaperExampleWithConstructiveRule) {
+  auto build = [] {
+    auto db = std::make_unique<VideoDatabase>();
+    QuerySession loader(db.get());
+    EXPECT_TRUE(loader.Load(kRopeProgram).ok());
+    return db;
+  };
+  auto rules = ParseRules(std::string(kRopeRules) + "\n" + kConstructiveRule);
+  ASSERT_TRUE(rules.ok()) << rules.status();
+  // Constructive rounds may shift derivations across iterations relative to
+  // the serial schedule, so only the fixpoint itself must be invariant.
+  ExpectThreadCountInvariant(build, *rules, /*expect_identical_stats=*/false);
+}
+
+TEST(ParallelDeterminismTest, QueryResultsByteIdenticalAcrossThreadCounts) {
+  std::string baseline;
+  for (size_t threads : kThreadCounts) {
+    VideoDatabase db;
+    EvalOptions options;
+    options.num_threads = threads;
+    QuerySession session(&db, options);
+    ASSERT_TRUE(session.Load(kRopeProgram).ok());
+    ASSERT_TRUE(session.Load(kRopeRules).ok());
+    auto r1 = session.Query("?- nested(G1, G2).");
+    ASSERT_TRUE(r1.ok()) << r1.status();
+    auto r2 = session.Query("?- together(O1, O2, G).");
+    ASSERT_TRUE(r2.ok()) << r2.status();
+    std::string rendered = r1->ToString(&db) + "\n" + r2->ToString(&db);
+    if (baseline.empty()) {
+      baseline = rendered;
+    } else {
+      EXPECT_EQ(rendered, baseline) << "at num_threads=" << threads;
+    }
+  }
+  EXPECT_FALSE(baseline.empty());
+}
+
+// Randomized stress: a seeded random EDB (graph facts plus attribute-typed
+// facts) under a seeded random recursive rule set. Every seed must be
+// thread-count invariant.
+TEST(ParallelDeterminismTest, RandomizedRuleSets) {
+  for (uint64_t seed : {7u, 42u, 1999u}) {
+    auto build = [seed] {
+      Rng rng(seed);
+      auto db = std::make_unique<VideoDatabase>();
+      const int nodes = 24;
+      const int edges = 70;
+      for (int i = 0; i < edges; ++i) {
+        int a = static_cast<int>(rng.UniformU64(nodes));
+        int b = static_cast<int>(rng.UniformU64(nodes));
+        EXPECT_TRUE(
+            db->AssertFact("edge", {Value::Int(a), Value::Int(b)}).ok());
+        if (rng.Bernoulli(0.3)) {
+          EXPECT_TRUE(db->AssertFact("weight", {Value::Int(a), Value::Int(b),
+                                                Value::Int(static_cast<int>(
+                                                    rng.UniformU64(5)))})
+                          .ok());
+        }
+      }
+      for (int n = 0; n < nodes; ++n) {
+        if (rng.Bernoulli(0.4)) {
+          EXPECT_TRUE(db->AssertFact("source", {Value::Int(n)}).ok());
+        }
+      }
+      return db;
+    };
+
+    // A seeded random rule set: transitive closure plus joins whose shapes
+    // (variable reuse, constants, constraints) vary with the seed.
+    Rng rule_rng(seed * 1315423911ull + 3);
+    std::string text =
+        "path(X, Y) <- edge(X, Y).\n"
+        "path(X, Z) <- path(X, Y), edge(Y, Z).\n";
+    const char* joins[] = {
+        "meet(X, Z) <- edge(X, Y), edge(Z, Y), X != Z.\n",
+        "fan(X) <- edge(X, Y), edge(X, Z), Y != Z.\n",
+        "heavy(X, Y) <- weight(X, Y, W), W > 2.\n",
+        "reach(Y) <- source(X), path(X, Y).\n",
+        "cycle(X) <- path(X, X).\n",
+        "bridge(X, Z) <- heavy(X, Y), path(Y, Z).\n",
+    };
+    for (const char* rule : joins) {
+      if (rule_rng.Bernoulli(0.7)) text += rule;
+    }
+    text += "pin(X) <- edge(X, " +
+            std::to_string(rule_rng.UniformU64(24)) + ").\n";
+
+    auto rules = ParseRules(text);
+    ASSERT_TRUE(rules.ok()) << rules.status();
+    ExpectThreadCountInvariant(build, *rules, /*expect_identical_stats=*/true);
+  }
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -296,5 +296,44 @@ TEST_F(DatabaseTest, AllIntervalsIncludesDerived) {
   EXPECT_NE(std::find(all.begin(), all.end(), ab), all.end());
 }
 
+TEST_F(DatabaseTest, TemporalIndexRebuildsOncePerMutationBurst) {
+  ObjectId a = Interval("a", 0, 5);
+  Interval("b", 6, 9);
+  // First temporal query after the mutations: exactly one rebuild.
+  db_.IntervalsContaining(1.0);
+  EXPECT_EQ(db_.temporal_index_rebuilds(), 1u);
+  // Read-only query burst: the dirty-flag fast path, zero further rebuilds.
+  for (int i = 0; i < 25; ++i) {
+    db_.IntervalsContaining(static_cast<double>(i));
+    db_.IntervalsOverlapping(GeneralizedInterval::Single(2, 3).ToIntervalSet());
+  }
+  EXPECT_EQ(db_.temporal_index_rebuilds(), 1u);
+  // A duration mutation dirties the index again — one more rebuild, lazily.
+  ASSERT_TRUE(db_.SetAttribute(a, kAttrDuration,
+                               Value::Temporal(GeneralizedInterval::Single(
+                                                   0, 7)
+                                                   .ToIntervalSet()))
+                  .ok());
+  EXPECT_EQ(db_.temporal_index_rebuilds(), 1u);  // still lazy
+  db_.IntervalsContaining(6.5);
+  EXPECT_EQ(db_.temporal_index_rebuilds(), 2u);
+}
+
+TEST_F(DatabaseTest, TemporalIndexEmptyResultStaysClean) {
+  // An interval whose duration denotes no instants yields an empty temporal
+  // index; a query burst against it must still rebuild at most once (the
+  // empty-index case used to defeat the fast path).
+  ASSERT_TRUE(db_.CreateInterval("hollow", IntervalSet::Empty()).ok());
+  db_.IntervalsContaining(1.0);
+  size_t rebuilds = db_.temporal_index_rebuilds();
+  for (int i = 0; i < 25; ++i) db_.IntervalsContaining(1.0);
+  EXPECT_EQ(db_.temporal_index_rebuilds(), rebuilds);
+}
+
+TEST_F(DatabaseTest, TemporalQueriesOnEmptyDatabaseNeverRebuild) {
+  for (int i = 0; i < 5; ++i) db_.IntervalsContaining(1.0);
+  EXPECT_EQ(db_.temporal_index_rebuilds(), 0u);
+}
+
 }  // namespace
 }  // namespace vqldb

@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Gating verification: tier-1 test suite plus the ThreadSanitizer pass over
+# the parallel engine. Run from the repository root:
+#
+#   tools/verify.sh [jobs]
+#
+# 1. Configure + build the default tree and run every `tier1`-labeled test.
+# 2. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
+#    determinism test and the thread-pool tests under TSan.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "== tier-1: build =="
+cmake -B build -S . >/dev/null
+cmake --build build -j "$JOBS"
+
+echo "== tier-1: ctest -L tier1 =="
+ctest --test-dir build -L tier1 --output-on-failure
+
+echo "== tsan: build (-DVQLDB_SANITIZE=thread) =="
+cmake -B build-tsan -S . -DVQLDB_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "$JOBS" \
+  --target parallel_determinism_test thread_pool_test
+
+echo "== tsan: parallel determinism + thread pool =="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
+
+echo "verify: OK"

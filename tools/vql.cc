@@ -3,9 +3,14 @@
 //   ./build/tools/vql                  start with an empty database
 //   ./build/tools/vql archive.vql      start from a text archive
 //   ./build/tools/vql archive.vqdb     start from a binary snapshot
+//   ./build/tools/vql --threads N ...  fixpoint worker threads (1 = serial,
+//                                      default auto = hardware concurrency;
+//                                      also settable at runtime: .threads)
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "src/common/string_util.h"
 #include "src/model/database.h"
@@ -15,10 +20,36 @@
 
 int main(int argc, char** argv) {
   using namespace vqldb;
+  EvalOptions options;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::cerr << "--threads requires a value (N >= 1, or auto)\n";
+        return 1;
+      }
+      std::string value = argv[++i];
+      if (value == "auto") {
+        options.num_threads = 0;
+      } else {
+        char* end = nullptr;
+        long n = std::strtol(value.c_str(), &end, 10);
+        if (end == nullptr || *end != '\0' || n < 1) {
+          std::cerr << "--threads requires a value (N >= 1, or auto)\n";
+          return 1;
+        }
+        options.num_threads = static_cast<size_t>(n);
+      }
+      continue;
+    }
+    args.push_back(std::move(arg));
+  }
+
   VideoDatabase db;
   std::vector<Rule> preloaded_rules;
-  if (argc > 1) {
-    std::string path = argv[1];
+  if (!args.empty()) {
+    const std::string& path = args[0];
     if (EndsWith(path, ".vqdb")) {
       auto restored = BinaryFormat::Load(path);
       if (!restored.ok()) {
@@ -38,7 +69,7 @@ int main(int argc, char** argv) {
     std::cerr << "loaded " << path << "\n";
   }
 
-  Repl repl(&db);
+  Repl repl(&db, options);
   for (const Rule& rule : preloaded_rules) {
     Status st = repl.session().AddRule(rule);
     if (!st.ok()) std::cerr << "warning: " << st << "\n";
