@@ -1,13 +1,18 @@
 #include "src/common/logging.h"
 
+#include <atomic>
+#include <cctype>
+#include <cstdio>
+
 #include "src/common/status.h"
 
 namespace vqldb {
 
 namespace {
-LogLevel g_level = LogLevel::kInfo;
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+}  // namespace
 
-const char* LevelName(LogLevel level) {
+const char* LogLevelName(LogLevel level) {
   switch (level) {
     case LogLevel::kDebug:
       return "DEBUG";
@@ -22,29 +27,60 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
-}  // namespace
 
-LogLevel GetLogLevel() { return g_level; }
-void SetLogLevel(LogLevel level) { g_level = level; }
+bool ParseLogLevel(std::string_view name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (char c : name) {
+    lower.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "debug") *out = LogLevel::kDebug;
+  else if (lower == "info") *out = LogLevel::kInfo;
+  else if (lower == "warn" || lower == "warning") *out = LogLevel::kWarning;
+  else if (lower == "error") *out = LogLevel::kError;
+  else if (lower == "fatal") *out = LogLevel::kFatal;
+  else return false;
+  return true;
+}
+
+bool InitLogLevelFromEnv() {
+  const char* env = std::getenv("VQLDB_LOG");
+  if (env == nullptr || *env == '\0') return false;
+  LogLevel level;
+  if (!ParseLogLevel(env, &level)) return false;
+  SetLogLevel(level);
+  return true;
+}
+
+LogLevel GetLogLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLogLevel(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
 namespace internal {
 
 LogMessage::LogMessage(LogLevel level, const char* file, int line)
     : level_(level),
-      enabled_(static_cast<int>(level) >= static_cast<int>(g_level)) {
+      enabled_(static_cast<int>(level) >= static_cast<int>(GetLogLevel())) {
   if (enabled_) {
     // Keep only the basename to keep lines short.
     const char* base = file;
     for (const char* p = file; *p; ++p) {
       if (*p == '/') base = p + 1;
     }
-    stream_ << "[" << LevelName(level_) << " " << base << ":" << line << "] ";
+    stream_ << "[" << LogLevelName(level_) << " " << base << ":" << line << "] ";
   }
 }
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::cerr << stream_.str() << std::endl;
+    // Format the whole line (terminator included) into one buffer and emit
+    // it with a single fwrite: stdio locks the stream per call, so lines
+    // from concurrent threads come out whole, never interleaved.
+    stream_ << '\n';
+    std::string line = stream_.str();
+    std::fwrite(line.data(), 1, line.size(), stderr);
+    std::fflush(stderr);
   }
   if (level_ == LogLevel::kFatal) {
     std::abort();

@@ -5,21 +5,34 @@
 
 #include <cassert>
 #include <cstdlib>
-#include <iostream>
 #include <sstream>
 #include <string>
+#include <string_view>
 
 namespace vqldb {
 
 enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
 
 /// Process-wide minimum level actually emitted. Defaults to kInfo.
+/// Thread-safe: may be flipped while other threads are logging.
 LogLevel GetLogLevel();
 void SetLogLevel(LogLevel level);
 
+/// "DEBUG", "INFO", "WARN", "ERROR", "FATAL".
+const char* LogLevelName(LogLevel level);
+
+/// Parses a level name ("debug", "info", "warn"/"warning", "error",
+/// "fatal"; case-insensitive). Returns false on unknown names.
+bool ParseLogLevel(std::string_view name, LogLevel* out);
+
+/// Applies the VQLDB_LOG environment variable (a level name) to the
+/// process log level. Returns true iff the variable was set and valid.
+bool InitLogLevelFromEnv();
+
 namespace internal {
 
-/// Accumulates one log line and emits it (to stderr) on destruction.
+/// Accumulates one log line and emits it (to stderr) on destruction, as a
+/// single write so lines from concurrent threads never interleave.
 /// kFatal aborts the process after emitting.
 class LogMessage {
  public:

@@ -1,8 +1,40 @@
 #include "src/common/thread_pool.h"
 
+#include <chrono>
 #include <utility>
 
+#include "src/obs/metrics.h"
+
 namespace vqldb {
+
+namespace {
+
+// Pool metrics are aggregated across every pool in the process. The gauge
+// tracks live queue depth (its +1/-1 updates are unconditional so it cannot
+// drift when the metrics flag flips); counters and idle time honor the flag.
+struct PoolMetrics {
+  obs::Counter* submitted;
+  obs::Counter* executed;
+  obs::Counter* idle_us;
+  obs::Gauge* queue_depth;
+};
+
+PoolMetrics& GetPoolMetrics() {
+  static PoolMetrics m{
+      obs::MetricsRegistry::Global().GetCounter(
+          "vqldb_pool_tasks_submitted_total", "Tasks enqueued on thread pools"),
+      obs::MetricsRegistry::Global().GetCounter(
+          "vqldb_pool_tasks_executed_total", "Tasks finished by pool workers"),
+      obs::MetricsRegistry::Global().GetCounter(
+          "vqldb_pool_worker_idle_micros_total",
+          "Cumulative microseconds pool workers spent waiting for work"),
+      obs::MetricsRegistry::Global().GetGauge(
+          "vqldb_pool_queue_depth", "Tasks currently queued, all pools"),
+  };
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(size_t num_threads) {
   if (num_threads == 0) num_threads = 1;
@@ -22,9 +54,11 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  GetPoolMetrics().submitted->Increment();
   {
     std::unique_lock<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    GetPoolMetrics().queue_depth->Add(1);
   }
   work_cv_.notify_one();
 }
@@ -48,10 +82,20 @@ void ThreadPool::WorkerLoop() {
     std::function<void()> task;
     {
       std::unique_lock<std::mutex> lock(mu_);
+      const bool track_idle = obs::MetricsEnabled();
+      std::chrono::steady_clock::time_point idle_start;
+      if (track_idle) idle_start = std::chrono::steady_clock::now();
       work_cv_.wait(lock, [this] { return !queue_.empty() || shutdown_; });
+      if (track_idle) {
+        auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - idle_start);
+        GetPoolMetrics().idle_us->Increment(
+            static_cast<uint64_t>(waited.count()));
+      }
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
+      GetPoolMetrics().queue_depth->Add(-1);
       ++running_;
     }
     try {
@@ -64,6 +108,7 @@ void ThreadPool::WorkerLoop() {
       std::unique_lock<std::mutex> lock(mu_);
       --running_;
       ++completed_;
+      GetPoolMetrics().executed->Increment();
       if (queue_.empty() && running_ == 0) idle_cv_.notify_all();
     }
   }

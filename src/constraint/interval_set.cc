@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "src/common/string_util.h"
+#include "src/obs/metrics.h"
 
 namespace vqldb {
 
@@ -20,6 +21,11 @@ bool LowerBoundLess(const TimeInterval& a, const TimeInterval& b) {
 }  // namespace
 
 IntervalSet::IntervalSet(std::vector<TimeInterval> intervals) {
+  static obs::Counter* canonicalizations =
+      obs::MetricsRegistry::Global().GetCounter(
+          "vqldb_interval_canonicalizations_total",
+          "Interval-set canonicalization passes (sort + coalesce)");
+  canonicalizations->Increment();
   intervals.erase(
       std::remove_if(intervals.begin(), intervals.end(),
                      [](const TimeInterval& i) { return i.IsEmpty(); }),

@@ -9,6 +9,7 @@
 #include <sstream>
 
 #include "src/common/string_util.h"
+#include "src/obs/metrics.h"
 
 namespace vqldb {
 
@@ -163,6 +164,10 @@ std::string ToString(const OrderConjunction& conjunction) {
 }
 
 bool OrderSolver::Satisfiable(const OrderConjunction& conjunction) {
+  static obs::Counter* checks = obs::MetricsRegistry::Global().GetCounter(
+      "vqldb_order_sat_checks_total",
+      "Dense-order consistency (satisfiability) checks");
+  checks->Increment();
   // The node-id assignment in OrderGraph requires a first pass; constructing
   // the graph performs interning, id assignment, edge insertion and closure.
   OrderGraph graph(conjunction);
@@ -171,6 +176,10 @@ bool OrderSolver::Satisfiable(const OrderConjunction& conjunction) {
 
 bool OrderSolver::Entails(const OrderConjunction& conjunction,
                           const OrderAtom& atom) {
+  static obs::Counter* checks = obs::MetricsRegistry::Global().GetCounter(
+      "vqldb_order_entailment_checks_total",
+      "Dense-order entailment checks (reduced to unsatisfiability)");
+  checks->Increment();
   OrderConjunction with_negation = conjunction;
   with_negation.push_back(atom.Negated());
   return !Satisfiable(with_negation);

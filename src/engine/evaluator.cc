@@ -1,13 +1,121 @@
 #include "src/engine/evaluator.h"
 
 #include <algorithm>
+#include <chrono>
+#include <iomanip>
+#include <map>
+#include <sstream>
 #include <thread>
 
 #include "src/common/thread_pool.h"
 #include "src/engine/binding.h"
 #include "src/lang/analyzer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 
 namespace vqldb {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MsSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+// Evaluator counters/histograms in the process-wide registry, resolved once.
+struct EvalMetrics {
+  obs::Counter* fixpoints;
+  obs::Counter* rounds;
+  obs::Counter* rule_firings;
+  obs::Counter* derived_facts;
+  obs::Counter* delta_tuples;
+  obs::Counter* constraint_checks;
+  obs::Counter* intervals_created;
+  obs::Counter* parallel_tasks;
+  obs::Counter* join_probes;
+  obs::Counter* join_probe_hits;
+  obs::Histogram* fixpoint_ms;
+  obs::Histogram* round_ms;
+};
+
+EvalMetrics& GetEvalMetrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static EvalMetrics m{
+      registry.GetCounter("vqldb_eval_fixpoints_total",
+                          "Fixpoint computations completed"),
+      registry.GetCounter("vqldb_eval_rounds_total",
+                          "Fixpoint rounds (iterations) run"),
+      registry.GetCounter("vqldb_eval_rule_firings_total",
+                          "Successful rule head emissions"),
+      registry.GetCounter("vqldb_eval_derived_facts_total",
+                          "Facts derived beyond the EDB"),
+      registry.GetCounter("vqldb_eval_delta_tuples_total",
+                          "Facts entering semi-naive round deltas"),
+      registry.GetCounter("vqldb_eval_constraint_checks_total",
+                          "Constraint checks performed by rule bodies"),
+      registry.GetCounter("vqldb_eval_intervals_created_total",
+                          "Derived intervals materialized by constructive rules"),
+      registry.GetCounter("vqldb_eval_parallel_tasks_total",
+                          "(rule, delta_pos) tasks fanned out on the pool"),
+      registry.GetCounter("vqldb_eval_join_probes_total",
+                          "Multi-column join-index probes issued"),
+      registry.GetCounter("vqldb_eval_join_probe_hits_total",
+                          "Join-index probes that found candidate facts"),
+      registry.GetHistogram("vqldb_eval_fixpoint_ms",
+                            "Wall time of whole fixpoint computations (ms)",
+                            obs::DefaultLatencyBucketsMs()),
+      registry.GetHistogram("vqldb_eval_round_ms",
+                            "Wall time of individual fixpoint rounds (ms)",
+                            obs::DefaultLatencyBucketsMs()),
+  };
+  return m;
+}
+
+void PublishEvalMetrics(const EvalStats& stats, double total_ms) {
+  if (!obs::MetricsEnabled()) return;
+  EvalMetrics& m = GetEvalMetrics();
+  m.fixpoints->Increment();
+  m.rounds->Increment(stats.iterations);
+  m.rule_firings->Increment(stats.rule_firings);
+  m.derived_facts->Increment(stats.derived_facts);
+  m.delta_tuples->Increment(stats.delta_tuples);
+  m.constraint_checks->Increment(stats.constraint_checks);
+  m.intervals_created->Increment(stats.intervals_created);
+  m.parallel_tasks->Increment(stats.parallel_tasks);
+  m.join_probes->Increment(stats.join_probes);
+  m.join_probe_hits->Increment(stats.join_probe_hits);
+  m.fixpoint_ms->Observe(total_ms);
+}
+
+}  // namespace
+
+std::string EvalProfile::ToString() const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  os << "per rule:\n";
+  os << "  " << std::left << std::setw(28) << "rule" << std::right
+     << std::setw(7) << "tasks" << std::setw(10) << "firings" << std::setw(11)
+     << "new facts" << std::setw(11) << "wall ms" << "\n";
+  for (const RuleProfile& r : rules) {
+    os << "  " << std::left << std::setw(28) << r.label << std::right
+       << std::setw(7) << r.tasks << std::setw(10) << r.firings
+       << std::setw(11) << r.derived << std::setw(11) << r.wall_ms << "\n";
+  }
+  os << "per round:\n";
+  os << "  " << std::right << std::setw(7) << "round" << std::setw(7)
+     << "tasks" << std::setw(11) << "new facts" << std::setw(11) << "wall ms"
+     << "\n";
+  for (const RoundProfile& r : rounds) {
+    os << "  " << std::right << std::setw(7) << r.round << std::setw(7)
+       << r.tasks << std::setw(11) << r.new_facts << std::setw(11) << r.wall_ms
+       << "\n";
+  }
+  os << "total: " << rounds.size() << " round" << (rounds.size() == 1 ? "" : "s")
+     << ", " << total_ms << " ms\n";
+  return os.str();
+}
 
 Evaluator::Evaluator(VideoDatabase* db, EvalOptions options)
     : db_(db), options_(options) {}
@@ -436,8 +544,11 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
 
   if (probe_mask != 0) {
     const std::vector<Fact>& facts = source.FactsFor(lit.predicate);
-    for (size_t fi : source.LookupMulti(lit.predicate, probe_mask,
-                                        probe_key)) {
+    const std::vector<size_t>& candidates =
+        source.LookupMulti(lit.predicate, probe_mask, probe_key);
+    ++stats->join_probes;
+    if (!candidates.empty()) ++stats->join_probe_hits;
+    for (size_t fi : candidates) {
       VQLDB_RETURN_NOT_OK(try_fact(facts[fi]));
     }
   } else {
@@ -479,11 +590,26 @@ void Evaluator::PrepareJoinIndexes(const Interpretation& full,
   }
 }
 
+void Evaluator::EnsureProfileRules() {
+  if (profile_.rules.size() == rules_.size()) return;
+  profile_.rules.assign(rules_.size(), RuleProfile{});
+  std::map<std::string, size_t> seen;
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    std::string label = rules_[i].name.empty() ? rules_[i].head_predicate
+                                               : rules_[i].name;
+    size_t n = ++seen[label];
+    if (n > 1) label += "#" + std::to_string(n);
+    profile_.rules[i].label = std::move(label);
+  }
+}
+
 Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
                            const Interpretation& full,
                            const Interpretation* delta,
                            const std::vector<ObjectId>* interval_delta,
                            Interpretation* out) {
+  const bool prof = options_.collect_profile;
+  if (prof) EnsureProfileRules();
   size_t threads = effective_threads();
   size_t parallelizable = 0;
   for (const RuleTask& t : tasks) {
@@ -492,8 +618,27 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
   if (threads <= 1 || parallelizable <= 1) {
     // The exact legacy path: every task in order, on this thread.
     for (const RuleTask& t : tasks) {
-      VQLDB_RETURN_NOT_OK(EvalRule(rules_[t.rule_idx], full, delta,
-                                   t.delta_pos, interval_delta, out, &stats_));
+      const CompiledRule& rule = rules_[t.rule_idx];
+      EvalStats before;
+      Clock::time_point start;
+      if (prof) {
+        before = stats_;
+        start = Clock::now();
+      }
+      Status st;
+      {
+        obs::TraceSpan span("rule", rule.head_predicate);
+        st = EvalRule(rule, full, delta, t.delta_pos, interval_delta, out,
+                      &stats_);
+      }
+      VQLDB_RETURN_NOT_OK(st);
+      if (prof) {
+        RuleProfile& rp = profile_.rules[t.rule_idx];
+        ++rp.tasks;
+        rp.wall_ms += MsSince(start);
+        rp.firings += stats_.rule_firings - before.rule_firings;
+        rp.derived += stats_.derived_facts - before.derived_facts;
+      }
     }
     return Status::OK();
   }
@@ -506,22 +651,32 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
     Interpretation out;
     EvalStats stats;
     Status status;
+    double wall_ms = 0;
   };
   std::vector<TaskResult> results(tasks.size());
   if (pool_ == nullptr || pool_->num_threads() != threads) {
     pool_ = std::make_unique<ThreadPool>(threads);
   }
+  // One task body shared by the pooled fan-out and the serial constructive
+  // pass: evaluate, timed and traced, into the task's private block.
+  auto run_task = [this, &tasks, &full, delta, interval_delta, prof,
+                   &results](size_t i) {
+    const CompiledRule& rule = rules_[tasks[i].rule_idx];
+    TaskResult& result = results[i];
+    Clock::time_point start;
+    if (prof) start = Clock::now();
+    {
+      obs::TraceSpan span("rule", rule.head_predicate);
+      result.status = EvalRule(rule, full, delta, tasks[i].delta_pos,
+                               interval_delta, &result.out, &result.stats);
+    }
+    if (prof) result.wall_ms = MsSince(start);
+  };
   for (size_t i = 0; i < tasks.size(); ++i) {
     const CompiledRule& rule = rules_[tasks[i].rule_idx];
     if (rule.is_constructive) continue;  // mutates the database: serial below
     ++stats_.parallel_tasks;
-    int delta_pos = tasks[i].delta_pos;
-    TaskResult* result = &results[i];
-    pool_->Submit([this, &rule, &full, delta, delta_pos, interval_delta,
-                   result] {
-      result->status = EvalRule(rule, full, delta, delta_pos, interval_delta,
-                                &result->out, &result->stats);
-    });
+    pool_->Submit([&run_task, i] { run_task(i); });
   }
   pool_->WaitAll();
 
@@ -529,24 +684,33 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
   // the database): run them serially, in stable task order, after the
   // read-only tasks have drained.
   for (size_t i = 0; i < tasks.size(); ++i) {
-    const CompiledRule& rule = rules_[tasks[i].rule_idx];
-    if (!rule.is_constructive) continue;
-    results[i].status =
-        EvalRule(rule, full, delta, tasks[i].delta_pos, interval_delta,
-                 &results[i].out, &results[i].stats);
+    if (!rules_[tasks[i].rule_idx].is_constructive) continue;
+    run_task(i);
   }
 
   // Deterministic merge: fold per-task deltas in task (= rule, delta_pos)
   // order, so per-predicate fact insertion order matches the serial engine.
-  for (TaskResult& result : results) {
+  for (size_t i = 0; i < results.size(); ++i) {
+    TaskResult& result = results[i];
     VQLDB_RETURN_NOT_OK(result.status);
     // Tasks count a fact as derived when it is new to their *private* out;
     // the serial engine counts it once per round. Recount against the shared
     // round interpretation so the statistic is thread-count invariant.
     result.stats.derived_facts = 0;
     stats_.MergeFrom(result.stats);
+    size_t new_here = 0;
     for (const Fact& f : result.out.AllFacts()) {
-      if (out->Add(f)) ++stats_.derived_facts;
+      if (out->Add(f)) {
+        ++stats_.derived_facts;
+        ++new_here;
+      }
+    }
+    if (prof) {
+      RuleProfile& rp = profile_.rules[tasks[i].rule_idx];
+      ++rp.tasks;
+      rp.wall_ms += result.wall_ms;
+      rp.firings += result.stats.rule_firings;
+      rp.derived += new_here;
     }
   }
   return Status::OK();
@@ -572,12 +736,24 @@ Result<Interpretation> Evaluator::ApplyOnce(
 
 Result<Interpretation> Evaluator::Fixpoint() {
   stats_ = EvalStats{};
+  profile_ = EvalProfile{};
+  const bool prof = options_.collect_profile;
+  // Round wall times feed both the profile and the metrics histograms;
+  // skip the clock reads when neither consumer is active.
+  const bool timed = prof || obs::MetricsEnabled();
+  obs::TraceSpan fixpoint_span("fixpoint");
+  Clock::time_point fixpoint_start;
+  if (timed) fixpoint_start = Clock::now();
+
   VQLDB_ASSIGN_OR_RETURN(Interpretation interp, Edb());
 
   // Round 1: every rule, unrestricted.
   Interpretation delta;
   std::vector<ObjectId> interval_delta;
   {
+    obs::TraceSpan round_span("round", "1");
+    Clock::time_point round_start;
+    if (timed) round_start = Clock::now();
     if (options_.extended_active_domain) {
       VQLDB_RETURN_NOT_OK(MaterializeExtendedDomain());
     }
@@ -593,6 +769,14 @@ Result<Interpretation> Evaluator::Fixpoint() {
     const std::vector<ObjectId>& derived = db_->DerivedIntervals();
     interval_delta.assign(derived.begin() + derived_before, derived.end());
     ++stats_.iterations;
+    stats_.delta_tuples += delta.size();
+    if (timed) {
+      double ms = MsSince(round_start);
+      GetEvalMetrics().round_ms->Observe(ms);
+      if (prof) {
+        profile_.rounds.push_back({1, tasks.size(), delta.size(), ms});
+      }
+    }
   }
 
   while (!delta.empty() || !interval_delta.empty()) {
@@ -605,6 +789,9 @@ Result<Interpretation> Evaluator::Fixpoint() {
       return Status::ResourceExhausted(
           "fixpoint exceeds max_facts = " + std::to_string(options_.max_facts));
     }
+    obs::TraceSpan round_span("round", std::to_string(stats_.iterations + 1));
+    Clock::time_point round_start;
+    if (timed) round_start = Clock::now();
     if (options_.extended_active_domain) {
       // Materialization itself grows the domain; deltas cannot track it
       // faithfully, so extended-domain evaluation always runs naive rounds.
@@ -612,6 +799,7 @@ Result<Interpretation> Evaluator::Fixpoint() {
     }
 
     size_t derived_before = db_->derived_interval_count();
+    size_t round_tasks = 0;
     Interpretation out;
     if (options_.semi_naive && !options_.extended_active_domain) {
       // Stratify the round into independent (rule, delta_pos) tasks; each
@@ -631,12 +819,14 @@ Result<Interpretation> Evaluator::Fixpoint() {
           if (applicable) tasks.push_back({r, static_cast<int>(pos)});
         }
       }
+      round_tasks = tasks.size();
       VQLDB_RETURN_NOT_OK(
           RunRound(tasks, interp, &delta, &interval_delta, &out));
     } else {
       std::vector<RuleTask> tasks;
       tasks.reserve(rules_.size());
       for (size_t i = 0; i < rules_.size(); ++i) tasks.push_back({i, -1});
+      round_tasks = tasks.size();
       VQLDB_RETURN_NOT_OK(RunRound(tasks, interp, nullptr, nullptr, &out));
     }
 
@@ -648,6 +838,20 @@ Result<Interpretation> Evaluator::Fixpoint() {
     interval_delta.assign(derived.begin() + derived_before, derived.end());
     delta = std::move(next_delta);
     ++stats_.iterations;
+    stats_.delta_tuples += delta.size();
+    if (timed) {
+      double ms = MsSince(round_start);
+      GetEvalMetrics().round_ms->Observe(ms);
+      if (prof) {
+        profile_.rounds.push_back(
+            {stats_.iterations, round_tasks, delta.size(), ms});
+      }
+    }
+  }
+  if (timed) {
+    double total_ms = MsSince(fixpoint_start);
+    if (prof) profile_.total_ms = total_ms;
+    PublishEvalMetrics(stats_, total_ms);
   }
   return interp;
 }

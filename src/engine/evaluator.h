@@ -71,26 +71,67 @@ struct EvalOptions {
   /// per-task deltas merge in stable rule order — the final fixpoint is
   /// identical to the serial engine's for every thread count.
   size_t num_threads = 0;
+  /// Collect a per-rule / per-round wall-time and tuple-count profile during
+  /// Fixpoint() (the data behind EXPLAIN ANALYZE). Off by default: profiling
+  /// adds two clock reads per task and per round.
+  bool collect_profile = false;
 };
 
 /// Statistics of one evaluation, for benchmarks and the EXPERIMENTS harness.
+/// Per-task blocks are plain (non-atomic) counters; the coordinator folds
+/// them with MergeFrom and publishes the totals into the process-wide
+/// obs::MetricsRegistry when a fixpoint completes.
 struct EvalStats {
-  size_t iterations = 0;
+  size_t iterations = 0;          // fixpoint rounds (coordinator only)
   size_t derived_facts = 0;       // facts beyond the EDB
   size_t rule_firings = 0;        // successful head emissions (incl. dups)
   size_t constraint_checks = 0;
   size_t intervals_created = 0;   // derived intervals materialized
   size_t parallel_tasks = 0;      // (rule, delta_pos) tasks run on the pool
+  size_t join_probes = 0;         // multi-column join-index probes issued
+  size_t join_probe_hits = 0;     // probes that found >= 1 candidate fact
+  size_t delta_tuples = 0;        // facts entering round deltas (coordinator)
 
-  /// Folds a per-task counter block into this one (all fields but
-  /// `iterations`, which only the coordinating thread advances).
+  /// Folds a per-task counter block into this one — every field except
+  /// `iterations` and `delta_tuples`, which only the coordinating thread
+  /// advances (tasks cannot see round boundaries).
   void MergeFrom(const EvalStats& other) {
     derived_facts += other.derived_facts;
     rule_firings += other.rule_firings;
     constraint_checks += other.constraint_checks;
     intervals_created += other.intervals_created;
     parallel_tasks += other.parallel_tasks;
+    join_probes += other.join_probes;
+    join_probe_hits += other.join_probe_hits;
   }
+};
+
+/// Per-rule profile of one Fixpoint() run (EvalOptions::collect_profile):
+/// one entry per compiled rule, in rule order.
+struct RuleProfile {
+  std::string label;     // rule name, else head predicate (unique-suffixed)
+  size_t tasks = 0;      // (rule, delta_pos) evaluations of this rule
+  size_t firings = 0;    // head emissions
+  size_t derived = 0;    // new facts this rule contributed to the fixpoint
+  double wall_ms = 0;    // summed task wall time (parallel tasks overlap)
+};
+
+/// Per-round profile: one entry per fixpoint iteration.
+struct RoundProfile {
+  size_t round = 0;      // 1-based
+  size_t tasks = 0;      // scheduled (rule, delta_pos) tasks
+  size_t new_facts = 0;  // delta tuples the round produced
+  double wall_ms = 0;    // wall time of the round
+};
+
+/// The EXPLAIN ANALYZE payload: where each rule and round spent its time.
+struct EvalProfile {
+  std::vector<RuleProfile> rules;
+  std::vector<RoundProfile> rounds;
+  double total_ms = 0;
+
+  /// Tabular rendering (per-rule and per-round sections).
+  std::string ToString() const;
 };
 
 /// Evaluates a fixed set of rules over a database. The evaluator owns no
@@ -115,6 +156,10 @@ class Evaluator {
   Result<Interpretation> Edb() const;
 
   const EvalStats& stats() const { return stats_; }
+
+  /// The last Fixpoint()'s profile; empty unless options.collect_profile.
+  const EvalProfile& profile() const { return profile_; }
+
   const std::vector<CompiledRule>& compiled_rules() const { return rules_; }
 
   /// The worker count this evaluator resolves `options.num_threads` to
@@ -184,11 +229,16 @@ class Evaluator {
 
   bool InClass(ObjectId id, BuiltinClass builtin) const;
 
+  // Sizes profile_.rules to the rule set (labels deduplicated); no-op when
+  // already sized.
+  void EnsureProfileRules();
+
   VideoDatabase* db_;
   EvalOptions options_;
   std::vector<CompiledRule> rules_;
   std::vector<Rule> source_rules_;
   EvalStats stats_;
+  EvalProfile profile_;
   std::unique_ptr<ThreadPool> pool_;  // lazily created, reused across rounds
 };
 

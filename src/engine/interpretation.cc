@@ -1,8 +1,22 @@
 #include "src/engine/interpretation.h"
 
 #include "src/common/string_util.h"
+#include "src/obs/metrics.h"
 
 namespace vqldb {
+
+namespace {
+// Join-index build/extension work happens in single-threaded phases (the
+// evaluator pre-builds before fan-out), so a process-global counter here is
+// uncontended; per-probe counting lives in the evaluator's per-task
+// EvalStats blocks to keep the parallel hot path free of shared atomics.
+obs::Counter* JoinIndexBuilds() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "vqldb_join_index_builds_total",
+      "Multi-column join-index builds or incremental extensions");
+  return counter;
+}
+}  // namespace
 
 bool Interpretation::Add(Fact fact) {
   PredicateStore& store = stores_[fact.relation];
@@ -49,6 +63,8 @@ const std::vector<size_t>& Interpretation::Lookup(const std::string& predicate,
 
 void Interpretation::ExtendMultiIndex(const PredicateStore& store,
                                       uint64_t mask, MultiIndex* mi) {
+  if (mi->upto >= store.facts.size()) return;  // already current
+  JoinIndexBuilds()->Increment();
   std::vector<Value> key;
   for (; mi->upto < store.facts.size(); ++mi->upto) {
     const Fact& f = store.facts[mi->upto];

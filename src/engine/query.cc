@@ -172,6 +172,41 @@ std::vector<Rule> QuerySession::RelevantRules(
   return relevant;
 }
 
+Result<std::string> QuerySession::Explain(std::string_view query_text,
+                                          bool analyze) {
+  VQLDB_ASSIGN_OR_RETURN(struct Query q, Parser::ParseQuery(query_text));
+  EvalOptions opts = options_;
+  opts.collect_profile = analyze;
+  VQLDB_ASSIGN_OR_RETURN(
+      Evaluator eval,
+      Evaluator::Make(db_, RelevantRules(q.goal.predicate), opts));
+
+  std::ostringstream os;
+  os << (analyze ? "EXPLAIN ANALYZE " : "EXPLAIN ") << q.ToString() << "\n";
+  const std::vector<CompiledRule>& compiled = eval.compiled_rules();
+  if (compiled.empty()) {
+    os << "(no rules in the dependency cone of " << q.goal.predicate
+       << "; the goal is answered from stored facts)\n";
+  }
+  for (const CompiledRule& rule : compiled) {
+    os << ExplainRule(rule);
+  }
+  if (!analyze) return os.str();
+
+  VQLDB_ASSIGN_OR_RETURN(Interpretation interp, eval.Fixpoint());
+  last_stats_ = eval.stats();
+  os << "\n" << eval.profile().ToString();
+  const EvalStats& s = eval.stats();
+  os << "stats: " << s.iterations << " rounds, " << s.derived_facts
+     << " derived facts, " << s.rule_firings << " firings, " << s.delta_tuples
+     << " delta tuples, " << s.join_probes << " join probes ("
+     << s.join_probe_hits << " hits), " << s.constraint_checks
+     << " constraint checks, " << s.parallel_tasks << " parallel tasks\n";
+  VQLDB_ASSIGN_OR_RETURN(QueryResult result, AnswerFrom(interp, q));
+  os << result.ToString(db_);
+  return os.str();
+}
+
 Result<QueryResult> QuerySession::QueryGoalDirected(
     std::string_view query_text) {
   VQLDB_ASSIGN_OR_RETURN(struct Query q, Parser::ParseQuery(query_text));

@@ -61,6 +61,13 @@ class QuerySession {
   Result<QueryResult> QueryGoalDirected(std::string_view query_text);
   Result<QueryResult> RunGoalDirected(const struct Query& query);
 
+  /// EXPLAIN: renders the executable plan (access paths, constraint
+  /// placement) of every rule in the goal's dependency cone. With `analyze`
+  /// set, additionally runs the goal-directed fixpoint with profiling on and
+  /// appends per-rule / per-round wall times and tuple counts, the aggregate
+  /// evaluation stats, and the answer set — EXPLAIN ANALYZE.
+  Result<std::string> Explain(std::string_view query_text, bool analyze);
+
   /// The rules in the dependency cone of `predicate` (exposed for tests).
   std::vector<Rule> RelevantRules(const std::string& predicate) const;
 

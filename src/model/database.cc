@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/obs/metrics.h"
 
 namespace vqldb {
 
@@ -364,6 +365,10 @@ void VideoDatabase::RebuildTemporalIndexIfDirty() const {
   // Read-only query bursts must never take the rebuild branch below.
   if (!temporal_dirty_) return;
   ++temporal_rebuilds_;
+  static obs::Counter* rebuilds = obs::MetricsRegistry::Global().GetCounter(
+      "vqldb_temporal_index_rebuilds_total",
+      "Lazy temporal-index rebuilds triggered by dirty reads");
+  rebuilds->Increment();
   temporal_index_.clear();
   auto add = [this](ObjectId id) {
     const VideoObject& obj = objects_.at(id);

@@ -1,0 +1,50 @@
+// A minimal JSON reader for the observability layer: just enough to
+// validate the files we emit (metrics snapshots, Chrome trace_event logs)
+// from tests, tools/obs_check, and the verify script — without pulling a
+// JSON dependency into the tree. Parses the full JSON grammar into a small
+// tree; numbers are doubles, \uXXXX escapes decode the BMP only.
+
+#ifndef VQLDB_OBS_JSON_LITE_H_
+#define VQLDB_OBS_JSON_LITE_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vqldb {
+namespace obs {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool bool_value = false;
+  double number_value = 0;
+  std::string string_value;
+  std::vector<JsonValue> array;
+  // Insertion order preserved; duplicate keys keep the last occurrence.
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_bool() const { return kind == Kind::kBool; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_object() const { return kind == Kind::kObject; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* Find(const std::string& key) const;
+};
+
+/// Parses `text` as one JSON document (trailing whitespace allowed, trailing
+/// garbage rejected). On failure returns false and describes the problem in
+/// `*error` (when non-null).
+bool ParseJson(const std::string& text, JsonValue* out, std::string* error);
+
+/// Escapes `s` for embedding inside a JSON string literal (no quotes added).
+std::string JsonEscape(const std::string& s);
+
+}  // namespace obs
+}  // namespace vqldb
+
+#endif  // VQLDB_OBS_JSON_LITE_H_

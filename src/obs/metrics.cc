@@ -1,0 +1,262 @@
+#include "src/obs/metrics.h"
+
+#include <cstdio>
+#include <cstring>
+#include <sstream>
+
+#include "src/obs/json_lite.h"
+
+namespace vqldb {
+namespace obs {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+std::string FormatDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.8g", v);
+  return buf;
+}
+
+double BitsToDouble(uint64_t bits) {
+  double d;
+  std::memcpy(&d, &bits, sizeof(d));
+  return d;
+}
+
+uint64_t DoubleToBits(double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, sizeof(bits));
+  return bits;
+}
+
+}  // namespace
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      counts_(new std::atomic<uint64_t>[bounds_.size() + 1]()) {}
+
+void Histogram::Observe(double v) {
+  if (!MetricsEnabled()) return;
+  size_t i = 0;
+  while (i < bounds_.size() && v > bounds_[i]) ++i;
+  counts_[i].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t old = sum_bits_.load(std::memory_order_relaxed);
+  while (!sum_bits_.compare_exchange_weak(old, DoubleToBits(BitsToDouble(old) + v),
+                                          std::memory_order_relaxed)) {
+  }
+}
+
+double Histogram::sum() const {
+  return BitsToDouble(sum_bits_.load(std::memory_order_relaxed));
+}
+
+uint64_t Histogram::bucket_count(size_t i) const {
+  return counts_[i].load(std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (size_t i = 0; i <= bounds_.size(); ++i) {
+    counts_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+std::vector<double> DefaultLatencyBucketsMs() {
+  return {0.01, 0.05, 0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000};
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter* MetricsRegistry::GetCounter(const std::string& name,
+                                     const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = counters_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.metric = std::make_unique<Counter>();
+  }
+  return it->second.metric.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(const std::string& name,
+                                 const std::string& help) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = gauges_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.metric = std::make_unique<Gauge>();
+  }
+  return it->second.metric.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(const std::string& name,
+                                         const std::string& help,
+                                         std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = histograms_.try_emplace(name);
+  if (inserted) {
+    it->second.help = help;
+    it->second.metric = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return it->second.metric.get();
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, entry] : counters_) {
+    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    os << "# TYPE " << name << " counter\n";
+    os << name << " " << entry.metric->value() << "\n";
+  }
+  for (const auto& [name, entry] : gauges_) {
+    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    os << "# TYPE " << name << " gauge\n";
+    os << name << " " << entry.metric->value() << "\n";
+  }
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.metric;
+    if (!entry.help.empty()) os << "# HELP " << name << " " << entry.help << "\n";
+    os << "# TYPE " << name << " histogram\n";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds().size(); ++i) {
+      cumulative += h.bucket_count(i);
+      os << name << "_bucket{le=\"" << FormatDouble(h.bounds()[i]) << "\"} "
+         << cumulative << "\n";
+    }
+    os << name << "_bucket{le=\"+Inf\"} " << h.count() << "\n";
+    os << name << "_sum " << FormatDouble(h.sum()) << "\n";
+    os << name << "_count " << h.count() << "\n";
+  }
+  return os.str();
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, entry] : counters_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << entry.metric->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, entry] : gauges_) {
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name)
+       << "\": " << entry.metric->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.metric;
+    os << (first ? "" : ",") << "\n    \"" << JsonEscape(name) << "\": {"
+       << "\"count\": " << h.count() << ", \"sum\": " << FormatDouble(h.sum())
+       << ", \"buckets\": [";
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < h.bounds().size(); ++i) {
+      cumulative += h.bucket_count(i);
+      os << (i ? ", " : "") << "{\"le\": " << FormatDouble(h.bounds()[i])
+         << ", \"count\": " << cumulative << "}";
+    }
+    os << (h.bounds().empty() ? "" : ", ") << "{\"le\": \"+Inf\", \"count\": "
+       << h.count() << "}]}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+std::string MetricsRegistry::RenderCompact() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ostringstream os;
+  for (const auto& [name, entry] : counters_) {
+    if (entry.metric->value() != 0) {
+      os << "  " << name << " " << entry.metric->value() << "\n";
+    }
+  }
+  for (const auto& [name, entry] : gauges_) {
+    if (entry.metric->value() != 0) {
+      os << "  " << name << " " << entry.metric->value() << "\n";
+    }
+  }
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.metric;
+    if (h.count() == 0) continue;
+    os << "  " << name << " count=" << h.count() << " sum="
+       << FormatDouble(h.sum()) << " avg=" << FormatDouble(h.sum() / h.count())
+       << "\n";
+  }
+  return os.str();
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, entry] : counters_) entry.metric->Reset();
+  for (auto& [name, entry] : gauges_) entry.metric->Reset();
+  for (auto& [name, entry] : histograms_) entry.metric->Reset();
+}
+
+bool ValidateMetricsJson(const std::string& json, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  JsonValue doc;
+  std::string parse_error;
+  if (!ParseJson(json, &doc, &parse_error)) return fail(parse_error);
+  if (!doc.is_object()) return fail("metrics document is not an object");
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const JsonValue* v = doc.Find(section);
+    if (v == nullptr || !v->is_object()) {
+      return fail(std::string("missing object member \"") + section + "\"");
+    }
+  }
+  for (const auto& [name, v] : doc.Find("counters")->object) {
+    if (!v.is_number() || v.number_value < 0) {
+      return fail("counter " + name + " is not a non-negative number");
+    }
+  }
+  for (const auto& [name, v] : doc.Find("gauges")->object) {
+    if (!v.is_number()) return fail("gauge " + name + " is not a number");
+  }
+  for (const auto& [name, v] : doc.Find("histograms")->object) {
+    const JsonValue* count = v.Find("count");
+    const JsonValue* sum = v.Find("sum");
+    const JsonValue* buckets = v.Find("buckets");
+    if (count == nullptr || !count->is_number() || count->number_value < 0 ||
+        sum == nullptr || !sum->is_number() || buckets == nullptr ||
+        !buckets->is_array()) {
+      return fail("histogram " + name + " lacks count/sum/buckets");
+    }
+    double prev = -1;
+    for (const JsonValue& b : buckets->array) {
+      const JsonValue* c = b.Find("count");
+      if (c == nullptr || !c->is_number() || c->number_value < prev) {
+        return fail("histogram " + name + " buckets are not cumulative");
+      }
+      prev = c->number_value;
+    }
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace vqldb

@@ -1,0 +1,139 @@
+// Engine-wide metrics: a thread-safe registry of named counters, gauges and
+// fixed-bucket latency histograms, with Prometheus-style text exposition and
+// a JSON snapshot. Designed for hot paths:
+//
+//   * Counter::Increment and Histogram::Observe are lock-free (relaxed
+//     atomics) and, when metrics are globally disabled, reduce to one
+//     relaxed load and a predictable branch.
+//   * Gauges track live state (queue depths); their updates are *not* gated
+//     on the enabled flag, so paired Add(+1)/Add(-1) can never drift when
+//     the flag flips between them.
+//   * Registration (Get*) takes a mutex — do it once and cache the pointer,
+//     which stays valid for the registry's lifetime (entries are never
+//     removed, Reset zeroes in place).
+//
+// The process-wide registry is MetricsRegistry::Global(); tests may build
+// private instances.
+
+#ifndef VQLDB_OBS_METRICS_H_
+#define VQLDB_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vqldb {
+namespace obs {
+
+/// Process-wide switch for counter/histogram recording. Defaults to on.
+bool MetricsEnabled();
+void SetMetricsEnabled(bool enabled);
+
+/// A monotonically increasing count (events, tuples, probes).
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    if (MetricsEnabled()) v_.fetch_add(n, std::memory_order_relaxed);
+  }
+  /// Unconditional add, for folding pre-aggregated per-task blocks.
+  void IncrementAlways(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+/// A point-in-time signed value (queue depth, live workers).
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// A fixed-bucket histogram: `bounds` are ascending inclusive upper bounds;
+/// one implicit +Inf bucket catches the rest. Observe is lock-free.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void Observe(double v);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const;
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// Count in bucket `i` (non-cumulative); i == bounds().size() is +Inf.
+  uint64_t bucket_count(size_t i) const;
+  void Reset();
+
+ private:
+  std::vector<double> bounds_;
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // bounds_.size() + 1
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_bits_{0};  // double stored as bits, CAS-updated
+};
+
+/// Exponential latency buckets in milliseconds, 0.01ms .. 10s.
+std::vector<double> DefaultLatencyBucketsMs();
+
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem reports into.
+  static MetricsRegistry& Global();
+
+  /// Get-or-create; the returned pointer is stable for the registry's
+  /// lifetime. `help` is kept from the first registration.
+  Counter* GetCounter(const std::string& name, const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const std::string& help = "");
+  Histogram* GetHistogram(const std::string& name, const std::string& help,
+                          std::vector<double> bounds);
+
+  /// Prometheus text exposition format (HELP/TYPE comments, cumulative
+  /// histogram buckets), metrics sorted by name.
+  std::string RenderPrometheus() const;
+
+  /// One JSON object: {"counters":{...},"gauges":{...},"histograms":{...}}.
+  std::string RenderJson() const;
+
+  /// Human-oriented "name value" lines of the non-zero metrics (for the
+  /// shell's .stats). Empty string when nothing has been recorded.
+  std::string RenderCompact() const;
+
+  /// Zeroes every metric in place (pointers stay valid).
+  void ResetAll();
+
+ private:
+  template <typename T>
+  struct Entry {
+    std::string help;
+    std::unique_ptr<T> metric;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+};
+
+/// Schema check for MetricsRegistry::RenderJson output (used by tests and
+/// tools/obs_check): an object with counters/gauges/histograms members of
+/// the expected shapes. Returns false and fills `*error` on violation.
+bool ValidateMetricsJson(const std::string& json, std::string* error);
+
+}  // namespace obs
+}  // namespace vqldb
+
+#endif  // VQLDB_OBS_METRICS_H_

@@ -1,0 +1,165 @@
+#include "src/obs/trace.h"
+
+#include <chrono>
+#include <fstream>
+#include <sstream>
+
+#include "src/obs/json_lite.h"
+
+namespace vqldb {
+namespace obs {
+
+namespace {
+std::atomic<bool> g_tracing_enabled{false};
+}  // namespace
+
+bool TracingEnabled() {
+  return g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+void SetTracingEnabled(bool enabled) {
+  g_tracing_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+int64_t TraceClockMicros() {
+  static const std::chrono::steady_clock::time_point epoch =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - epoch)
+      .count();
+}
+
+Tracer& Tracer::Global() {
+  static Tracer* tracer = new Tracer();
+  return *tracer;
+}
+
+Tracer::ThreadBuffer* Tracer::BufferForThisThread() {
+  // One buffer per (thread, process lifetime); buffers are owned by the
+  // tracer and never deallocated, so the cached pointer cannot dangle even
+  // across Clear() calls.
+  thread_local ThreadBuffer* buffer = nullptr;
+  if (buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    owned->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    buffer = owned.get();
+    std::lock_guard<std::mutex> lock(mu_);
+    buffers_.push_back(std::move(owned));
+  }
+  return buffer;
+}
+
+void Tracer::RecordComplete(const char* name, int64_t ts_us, int64_t dur_us,
+                            std::string detail) {
+  ThreadBuffer* buffer = BufferForThisThread();
+  std::lock_guard<std::mutex> lock(buffer->mu);
+  buffer->events.push_back(Event{name, ts_us, dur_us, std::move(detail)});
+}
+
+std::string Tracer::RenderJson() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    for (const Event& e : buffer->events) {
+      os << (first ? "\n" : ",\n");
+      os << "  {\"name\": \"" << JsonEscape(e.name)
+         << "\", \"cat\": \"vqldb\", \"ph\": \"X\", \"ts\": " << e.ts_us
+         << ", \"dur\": " << e.dur_us << ", \"pid\": 1, \"tid\": "
+         << buffer->tid;
+      if (!e.detail.empty()) {
+        os << ", \"args\": {\"detail\": \"" << JsonEscape(e.detail) << "\"}";
+      }
+      os << "}";
+      first = false;
+    }
+  }
+  os << (first ? "]" : "\n]") << "\n";
+  return os.str();
+}
+
+bool Tracer::WriteFile(const std::string& path, std::string* error) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    if (error != nullptr) *error = "cannot open " + path + " for writing";
+    return false;
+  }
+  out << RenderJson();
+  out.flush();
+  if (!out) {
+    if (error != nullptr) *error = "write to " + path + " failed";
+    return false;
+  }
+  return true;
+}
+
+void Tracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    buffer->events.clear();
+  }
+}
+
+size_t Tracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& buffer : buffers_) {
+    std::lock_guard<std::mutex> buffer_lock(buffer->mu);
+    n += buffer->events.size();
+  }
+  return n;
+}
+
+const std::string TraceSpan::kNoDetail;
+
+TraceSpan::TraceSpan(const char* name, const std::string& detail)
+    : name_(name), active_(TracingEnabled()) {
+  if (active_) {
+    detail_ = detail;
+    start_us_ = TraceClockMicros();
+  }
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  int64_t end_us = TraceClockMicros();
+  Tracer::Global().RecordComplete(name_, start_us_, end_us - start_us_,
+                                  std::move(detail_));
+}
+
+bool ValidateChromeTrace(const std::string& json, std::string* error) {
+  auto fail = [error](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  JsonValue doc;
+  std::string parse_error;
+  if (!ParseJson(json, &doc, &parse_error)) return fail(parse_error);
+  if (!doc.is_array()) return fail("trace document is not a JSON array");
+  for (size_t i = 0; i < doc.array.size(); ++i) {
+    const JsonValue& e = doc.array[i];
+    std::string at = "event " + std::to_string(i);
+    if (!e.is_object()) return fail(at + " is not an object");
+    const JsonValue* ph = e.Find("ph");
+    if (ph == nullptr || !ph->is_string() || ph->string_value != "X") {
+      return fail(at + " has no ph:\"X\"");
+    }
+    const JsonValue* name = e.Find("name");
+    if (name == nullptr || !name->is_string() || name->string_value.empty()) {
+      return fail(at + " has no name");
+    }
+    for (const char* field : {"ts", "dur", "pid", "tid"}) {
+      const JsonValue* v = e.Find(field);
+      if (v == nullptr || !v->is_number() || v->number_value < 0) {
+        return fail(at + " has no non-negative numeric " + field);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace obs
+}  // namespace vqldb

@@ -2,9 +2,23 @@
 
 #include <algorithm>
 
+#include "src/obs/metrics.h"
+
 namespace vqldb {
 
+namespace {
+
+obs::Counter* ClosureCounter() {
+  static obs::Counter* counter = obs::MetricsRegistry::Global().GetCounter(
+      "vqldb_set_closures_total",
+      "Set-constraint closures computed (canonicalization passes)");
+  return counter;
+}
+
+}  // namespace
+
 SetClosure::SetClosure(const SetConjunction& conjunction) {
+  ClosureCounter()->Increment();
   // Collect variables.
   for (const SetConstraint& c : conjunction) {
     index_.emplace(c.var, 0);
@@ -101,11 +115,18 @@ bool SetClosure::Reaches(int from, int to) const {
 }
 
 bool SetSolver::Satisfiable(const SetConjunction& conjunction) {
+  static obs::Counter* checks = obs::MetricsRegistry::Global().GetCounter(
+      "vqldb_set_sat_checks_total",
+      "Set-constraint consistency (satisfiability) checks");
+  checks->Increment();
   return SetClosure(conjunction).Satisfiable();
 }
 
 bool SetSolver::Entails(const SetConjunction& conjunction,
                         const SetConstraint& atom) {
+  static obs::Counter* checks = obs::MetricsRegistry::Global().GetCounter(
+      "vqldb_set_entailment_checks_total", "Set-constraint entailment checks");
+  checks->Increment();
   SetClosure closure(conjunction);
   if (!closure.Satisfiable()) return true;
 

@@ -1,11 +1,15 @@
 #include "src/shell/repl.h"
 
+#include <cctype>
 #include <cstdlib>
 #include <sstream>
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/engine/rule_compiler.h"
 #include "src/lang/parser.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/storage/binary_format.h"
 #include "src/storage/catalog.h"
 #include "src/storage/text_format.h"
@@ -15,6 +19,21 @@ namespace vqldb {
 namespace {
 
 bool IsBinaryPath(std::string_view path) { return EndsWith(path, ".vqdb"); }
+
+// Strips a leading case-insensitive keyword followed by whitespace.
+bool EatKeyword(std::string_view* s, std::string_view keyword) {
+  if (s->size() <= keyword.size()) return false;
+  for (size_t i = 0; i < keyword.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>((*s)[i])) != keyword[i]) {
+      return false;
+    }
+  }
+  if (!std::isspace(static_cast<unsigned char>((*s)[keyword.size()]))) {
+    return false;
+  }
+  *s = Trim(s->substr(keyword.size()));
+  return true;
+}
 
 }  // namespace
 
@@ -50,6 +69,16 @@ std::string Repl::Execute(std::string_view line) {
 
 std::string Repl::Dispatch(const std::string& input) {
   std::string_view trimmed = Trim(input);
+  std::string_view rest = trimmed;
+  if (EatKeyword(&rest, "explain")) {
+    bool analyze = EatKeyword(&rest, "analyze");
+    if (!StartsWith(rest, "?-")) {
+      return "usage: explain [analyze] ?- goal.\n";
+    }
+    auto text = session_.Explain(rest, analyze);
+    if (!text.ok()) return "error: " + text.status().ToString() + "\n";
+    return *text;
+  }
   if (StartsWith(trimmed, "?-")) {
     auto result = session_.Query(trimmed);
     if (!result.ok()) return "error: " + result.status().ToString() + "\n";
@@ -75,7 +104,57 @@ std::string Repl::Meta(const std::string& command,
     return "";
   }
   if (command == ".help") return Help();
-  if (command == ".stats") return Stats();
+  if (command == ".stats") {
+    if (argument == "reset") {
+      obs::MetricsRegistry::Global().ResetAll();
+      return "metrics reset\n";
+    }
+    if (!argument.empty()) return "usage: .stats [reset]\n";
+    return Stats();
+  }
+  if (command == ".trace") {
+    if (argument == "off") {
+      if (!obs::TracingEnabled()) return "tracing already off\n";
+      obs::SetTracingEnabled(false);
+      std::string out = "tracing off";
+      if (!trace_path_.empty()) {
+        std::string error;
+        if (obs::Tracer::Global().WriteFile(trace_path_, &error)) {
+          out += ", " + std::to_string(obs::Tracer::Global().event_count()) +
+                 " events written to " + trace_path_;
+        } else {
+          out += " (trace write failed: " + error + ")";
+        }
+        trace_path_.clear();
+      }
+      obs::Tracer::Global().Clear();
+      return out + "\n";
+    }
+    if (argument == "on" || StartsWith(argument, "on ")) {
+      std::string path(Trim(std::string_view(argument).substr(2)));
+      if (path.empty()) return "usage: .trace on <file> | .trace off\n";
+      trace_path_ = path;
+      obs::Tracer::Global().Clear();
+      obs::SetTracingEnabled(true);
+      return "tracing to " + path + " (written on .trace off)\n";
+    }
+    if (argument.empty()) {
+      return obs::TracingEnabled() ? "tracing to " + trace_path_ + "\n"
+                                   : "tracing off\n";
+    }
+    return "usage: .trace on <file> | .trace off\n";
+  }
+  if (command == ".loglevel") {
+    if (argument.empty()) {
+      return std::string("log level: ") + LogLevelName(GetLogLevel()) + "\n";
+    }
+    LogLevel level;
+    if (!ParseLogLevel(argument, &level)) {
+      return "usage: .loglevel debug|info|warn|error|fatal\n";
+    }
+    SetLogLevel(level);
+    return std::string("log level: ") + LogLevelName(level) + "\n";
+  }
   if (command == ".rules") return ListRules();
   if (command == ".objects") return ListObjects();
   if (command == ".lib") {
@@ -170,9 +249,11 @@ std::string Repl::Help() const {
       "  in(o1, gi1).                           assert a fact\n"
       "  q(G) <- Interval(G), o1 in G.entities. add a rule\n"
       "  ?- q(G).                               run a query\n"
+      "  explain ?- q(G).                       show rule plans for a goal\n"
+      "  explain analyze ?- q(G).               ... plus measured profile\n"
       "meta commands:\n"
       "  .help             this text\n"
-      "  .stats            database statistics\n"
+      "  .stats [reset]    database statistics + engine metrics (or reset)\n"
       "  .objects          list named objects\n"
       "  .rules            list session rules\n"
       "  .lib std|taxonomy load a bundled rule library\n"
@@ -180,6 +261,8 @@ std::string Repl::Help() const {
       "  .save <path>      save archive (.vql text, .vqdb binary)\n"
       "  .explain <rule>   show the execution plan of a rule\n"
       "  .threads <N|auto> fixpoint worker threads (1 = serial engine)\n"
+      "  .trace on <file>  record spans; written as Chrome JSON on .trace off\n"
+      "  .loglevel <level> debug|info|warn|error|fatal (also env VQLDB_LOG)\n"
       "  .journal <path>   mirror data statements to an append-only log\n"
       "  .journal off      stop journaling\n"
       "  .clearbuf         discard a half-entered statement\n"
@@ -194,6 +277,8 @@ std::string Repl::Stats() const {
      << " derived intervals, " << s.fact_count << " facts over "
      << s.relation_count << " relations, " << session_.rules().size()
      << " rules\n";
+  std::string metrics = obs::MetricsRegistry::Global().RenderCompact();
+  if (!metrics.empty()) os << "engine metrics (.stats reset):\n" << metrics;
   return os.str();
 }
 

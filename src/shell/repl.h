@@ -48,6 +48,7 @@ class Repl {
   QuerySession session_;
   std::string buffer_;
   std::optional<Journal> journal_;  // ".journal <path>" mirrors data statements
+  std::string trace_path_;          // ".trace on <file>" destination
   bool done_ = false;
 };
 

@@ -6,6 +6,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/obs/metrics.h"
+
 namespace vqldb {
 
 namespace fs = std::filesystem;
@@ -36,11 +38,14 @@ Status Catalog::SaveProgram(const std::string& name,
 }
 
 Result<std::string> Catalog::LoadProgram(const std::string& name) const {
+  static obs::Counter* loads = obs::MetricsRegistry::Global().GetCounter(
+      "vqldb_catalog_loads_total", "Programs loaded from the catalog");
   VQLDB_ASSIGN_OR_RETURN(std::string path, PathFor(name));
   std::ifstream file(path);
   if (!file) return Status::NotFound("no program named " + name);
   std::ostringstream buffer;
   buffer << file.rdbuf();
+  loads->Increment();
   return buffer.str();
 }
 

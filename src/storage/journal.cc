@@ -5,6 +5,7 @@
 
 #include "src/common/string_util.h"
 #include "src/lang/parser.h"
+#include "src/obs/metrics.h"
 #include "src/storage/binary_format.h"
 #include "src/storage/text_format.h"
 
@@ -45,6 +46,9 @@ Status Journal::Append(const std::string& statement_text) {
     return Status::IOError("append to journal " + path_ + " failed");
   }
   appended_ += program.statements.size();
+  static obs::Counter* appends = obs::MetricsRegistry::Global().GetCounter(
+      "vqldb_journal_appends_total", "Statements durably appended to journals");
+  appends->Increment(program.statements.size());
   return Status::OK();
 }
 

@@ -1,0 +1,126 @@
+// EvalStats: the MergeFrom folding contract (per-task blocks into the
+// coordinator's totals) and the aggregate-stats invariance of the parallel
+// engine — serial and parallel runs of the Rope program must report
+// identical counter totals, not just identical fixpoints.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/query.h"
+#include "src/lang/parser.h"
+
+namespace vqldb {
+namespace {
+
+// The Section 5.2 database extract plus the recursive containment program
+// (same shape as parallel_determinism_test).
+constexpr const char* kRopeProgram = R"(
+  object o1 { name: "David", role: "Victim" }.
+  object o2 { name: "Philip", role: "Murderer" }.
+  object o3 { name: "Brandon", role: "Murderer" }.
+  object o9 { name: "Rupert Cadell" }.
+  interval gi1 { duration: (t > 0 and t < 10),
+                 entities: {o1, o2, o3},
+                 subject: "murder" }.
+  interval gi2 { duration: (t > 15 and t < 40),
+                 entities: {o1, o2, o3, o9},
+                 subject: "Giving a party" }.
+  interval gi3 { duration: (t > 2 and t < 8),
+                 entities: {o2, o3} }.
+)";
+
+constexpr const char* kRopeRules = R"(
+  appears(O, G) <- Interval(G), Object(O), O in G.entities.
+  contains(G1, G2) <- Interval(G1), Interval(G2),
+                      G2.duration => G1.duration, G1 != G2.
+  nested(G1, G2) <- contains(G1, G2).
+  nested(G1, G3) <- nested(G1, G2), contains(G2, G3).
+  together(O1, O2, G) <- appears(O1, G), appears(O2, G), O1 != O2.
+)";
+
+TEST(EvalStatsTest, MergeFromFoldsTaskCountersOnly) {
+  EvalStats total;
+  total.iterations = 3;
+  total.delta_tuples = 11;
+  total.derived_facts = 10;
+
+  EvalStats task;
+  task.iterations = 99;     // tasks cannot see round boundaries; not merged
+  task.delta_tuples = 99;   // coordinator-only; not merged
+  task.derived_facts = 5;
+  task.rule_firings = 7;
+  task.constraint_checks = 13;
+  task.intervals_created = 2;
+  task.parallel_tasks = 1;
+  task.join_probes = 17;
+  task.join_probe_hits = 11;
+
+  total.MergeFrom(task);
+  EXPECT_EQ(total.iterations, 3u);
+  EXPECT_EQ(total.delta_tuples, 11u);
+  EXPECT_EQ(total.derived_facts, 15u);
+  EXPECT_EQ(total.rule_firings, 7u);
+  EXPECT_EQ(total.constraint_checks, 13u);
+  EXPECT_EQ(total.intervals_created, 2u);
+  EXPECT_EQ(total.parallel_tasks, 1u);
+  EXPECT_EQ(total.join_probes, 17u);
+  EXPECT_EQ(total.join_probe_hits, 11u);
+}
+
+TEST(EvalStatsTest, MergeFromIsAdditiveOverManyBlocks) {
+  EvalStats total;
+  for (size_t i = 0; i < 10; ++i) {
+    EvalStats block;
+    block.derived_facts = i;
+    block.join_probes = 2 * i;
+    total.MergeFrom(block);
+  }
+  EXPECT_EQ(total.derived_facts, 45u);
+  EXPECT_EQ(total.join_probes, 90u);
+}
+
+EvalStats RunRope(size_t num_threads) {
+  auto db = std::make_unique<VideoDatabase>();
+  QuerySession loader(db.get());
+  EXPECT_TRUE(loader.Load(kRopeProgram).ok());
+  auto program = Parser::ParseProgram(kRopeRules);
+  EXPECT_TRUE(program.ok()) << program.status();
+  std::vector<Rule> rules;
+  for (const Rule* r : program->Rules()) rules.push_back(*r);
+
+  EvalOptions options;
+  options.num_threads = num_threads;
+  auto eval = Evaluator::Make(db.get(), rules, options);
+  EXPECT_TRUE(eval.ok()) << eval.status();
+  auto fp = eval->Fixpoint();
+  EXPECT_TRUE(fp.ok()) << fp.status();
+  return eval->stats();
+}
+
+TEST(EvalStatsTest, ParallelRunsReportSerialAggregateStats) {
+  EvalStats serial = RunRope(1);
+  EXPECT_EQ(serial.parallel_tasks, 0u);
+  EXPECT_GT(serial.derived_facts, 0u);
+  EXPECT_GT(serial.join_probes, 0u);
+  EXPECT_GE(serial.join_probes, serial.join_probe_hits);
+
+  for (size_t threads : {size_t{2}, size_t{8}}) {
+    EvalStats parallel = RunRope(threads);
+    EXPECT_GT(parallel.parallel_tasks, 0u)
+        << "parallel path not exercised at num_threads=" << threads;
+    EXPECT_EQ(parallel.iterations, serial.iterations);
+    EXPECT_EQ(parallel.derived_facts, serial.derived_facts);
+    EXPECT_EQ(parallel.rule_firings, serial.rule_firings);
+    EXPECT_EQ(parallel.constraint_checks, serial.constraint_checks);
+    EXPECT_EQ(parallel.intervals_created, serial.intervals_created);
+    EXPECT_EQ(parallel.join_probes, serial.join_probes);
+    EXPECT_EQ(parallel.join_probe_hits, serial.join_probe_hits);
+    EXPECT_EQ(parallel.delta_tuples, serial.delta_tuples);
+  }
+}
+
+}  // namespace
+}  // namespace vqldb

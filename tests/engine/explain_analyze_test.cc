@@ -1,0 +1,165 @@
+// EXPLAIN ANALYZE: the EvalProfile collected during Fixpoint() must be
+// internally consistent with EvalStats, QuerySession::Explain must render
+// plans (and, with analyze, measured profiles plus the answer), and the
+// shell must accept `explain [analyze] ?- goal.` statements.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/engine/query.h"
+#include "src/lang/parser.h"
+#include "src/shell/repl.h"
+
+namespace vqldb {
+namespace {
+
+constexpr const char* kRopeProgram = R"(
+  object o1 { name: "David", role: "Victim" }.
+  object o2 { name: "Philip", role: "Murderer" }.
+  object o3 { name: "Brandon", role: "Murderer" }.
+  interval gi1 { duration: (t > 0 and t < 10), entities: {o1, o2, o3} }.
+  interval gi2 { duration: (t > 15 and t < 40), entities: {o1, o2} }.
+  interval gi3 { duration: (t > 2 and t < 8), entities: {o2, o3} }.
+)";
+
+constexpr const char* kRopeRules = R"(
+  appears(O, G) <- Interval(G), Object(O), O in G.entities.
+  contains(G1, G2) <- Interval(G1), Interval(G2),
+                      G2.duration => G1.duration, G1 != G2.
+  nested(G1, G2) <- contains(G1, G2).
+  nested(G1, G3) <- nested(G1, G2), contains(G2, G3).
+)";
+
+std::unique_ptr<VideoDatabase> BuildDb() {
+  auto db = std::make_unique<VideoDatabase>();
+  QuerySession loader(db.get());
+  EXPECT_TRUE(loader.Load(kRopeProgram).ok());
+  return db;
+}
+
+std::vector<Rule> RopeRules() {
+  auto program = Parser::ParseProgram(kRopeRules);
+  EXPECT_TRUE(program.ok()) << program.status();
+  std::vector<Rule> rules;
+  for (const Rule* r : program->Rules()) rules.push_back(*r);
+  return rules;
+}
+
+void CheckProfileConsistency(size_t num_threads) {
+  auto db = BuildDb();
+  EvalOptions options;
+  options.collect_profile = true;
+  options.num_threads = num_threads;
+  auto eval = Evaluator::Make(db.get(), RopeRules(), options);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok()) << fp.status();
+
+  const EvalStats& stats = eval->stats();
+  const EvalProfile& profile = eval->profile();
+
+  // One profiled round per fixpoint iteration, in order.
+  ASSERT_EQ(profile.rounds.size(), stats.iterations);
+  size_t round_facts = 0;
+  for (size_t i = 0; i < profile.rounds.size(); ++i) {
+    EXPECT_EQ(profile.rounds[i].round, i + 1);
+    EXPECT_GE(profile.rounds[i].wall_ms, 0.0);
+    round_facts += profile.rounds[i].new_facts;
+  }
+  EXPECT_EQ(round_facts, stats.delta_tuples);
+
+  // Per-rule tallies must sum to the run's aggregate counters.
+  ASSERT_EQ(profile.rules.size(), RopeRules().size());
+  size_t firings = 0;
+  size_t derived = 0;
+  for (const RuleProfile& rule : profile.rules) {
+    EXPECT_FALSE(rule.label.empty());
+    EXPECT_GE(rule.wall_ms, 0.0);
+    firings += rule.firings;
+    derived += rule.derived;
+  }
+  EXPECT_EQ(firings, stats.rule_firings);
+  EXPECT_EQ(derived, stats.derived_facts);
+  EXPECT_GE(profile.total_ms, 0.0);
+
+  // The rendered tables mention every rule label.
+  std::string rendered = profile.ToString();
+  EXPECT_NE(rendered.find("per rule:"), std::string::npos);
+  EXPECT_NE(rendered.find("per round:"), std::string::npos);
+  EXPECT_NE(rendered.find("appears"), std::string::npos);
+  EXPECT_NE(rendered.find("nested"), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, ProfileMatchesStatsSerial) {
+  CheckProfileConsistency(1);
+}
+
+TEST(ExplainAnalyzeTest, ProfileMatchesStatsParallel) {
+  CheckProfileConsistency(4);
+}
+
+TEST(ExplainAnalyzeTest, ProfileEmptyWhenNotRequested) {
+  auto db = BuildDb();
+  auto eval = Evaluator::Make(db.get(), RopeRules(), EvalOptions{});
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  ASSERT_TRUE(eval->Fixpoint().ok());
+  EXPECT_TRUE(eval->profile().rounds.empty());
+}
+
+TEST(ExplainAnalyzeTest, SessionExplainRendersPlansOnly) {
+  auto db = BuildDb();
+  QuerySession session(db.get());
+  ASSERT_TRUE(session.Load(kRopeRules).ok());
+  auto text = session.Explain("?- nested(G1, G2).", /*analyze=*/false);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("EXPLAIN ?- nested(G1, G2)."), std::string::npos);
+  // Plans for the goal's dependency cone only: nested depends on contains
+  // but not on appears.
+  EXPECT_NE(text->find("contains"), std::string::npos);
+  EXPECT_EQ(text->find("appears"), std::string::npos);
+  // No measurements without analyze.
+  EXPECT_EQ(text->find("per rule:"), std::string::npos);
+}
+
+TEST(ExplainAnalyzeTest, SessionExplainAnalyzeRendersProfileAndAnswer) {
+  auto db = BuildDb();
+  QuerySession session(db.get());
+  ASSERT_TRUE(session.Load(kRopeRules).ok());
+  auto text = session.Explain("?- nested(G1, G2).", /*analyze=*/true);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("EXPLAIN ANALYZE ?- nested(G1, G2)."),
+            std::string::npos);
+  EXPECT_NE(text->find("per rule:"), std::string::npos);
+  EXPECT_NE(text->find("per round:"), std::string::npos);
+  EXPECT_NE(text->find("stats:"), std::string::npos);
+  // gi1 and gi3 nest inside the others: answers exist and are rendered.
+  EXPECT_NE(text->find("answer"), std::string::npos);
+  EXPECT_NE(text->find("[G1, G2]"), std::string::npos);
+  // The goal-directed run updates the session's last_stats.
+  EXPECT_GT(session.last_stats().derived_facts, 0u);
+}
+
+TEST(ExplainAnalyzeTest, ReplAcceptsExplainStatements) {
+  VideoDatabase db;
+  Repl repl(&db);
+  EXPECT_EQ(repl.Execute(kRopeProgram), "ok\n");
+  EXPECT_EQ(repl.Execute(kRopeRules), "ok\n");
+
+  std::string plain = repl.Execute("explain ?- nested(G1, G2).");
+  EXPECT_NE(plain.find("EXPLAIN ?-"), std::string::npos);
+  EXPECT_EQ(plain.find("per rule:"), std::string::npos);
+
+  std::string analyzed = repl.Execute("EXPLAIN ANALYZE ?- nested(G1, G2).");
+  EXPECT_NE(analyzed.find("per rule:"), std::string::npos)
+      << analyzed;
+  EXPECT_NE(analyzed.find("answer"), std::string::npos);
+
+  EXPECT_NE(repl.Execute("explain nested(G1, G2)."). find("usage:"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace vqldb

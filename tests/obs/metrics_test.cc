@@ -1,0 +1,223 @@
+// MetricsRegistry: exact sums under concurrent hammering, golden renderings
+// (Prometheus exposition and JSON snapshot), the enabled-flag gating
+// contract, and the JSON schema validator.
+
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace vqldb {
+namespace obs {
+namespace {
+
+// Restores the process-wide enabled flag around tests that flip it.
+class MetricsFlagGuard {
+ public:
+  MetricsFlagGuard() : saved_(MetricsEnabled()) {}
+  ~MetricsFlagGuard() { SetMetricsEnabled(saved_); }
+
+ private:
+  bool saved_;
+};
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentHammeringSumsExactly) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kIncrements = 100000;
+  Counter c;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (size_t i = 0; i < kIncrements; ++i) c.Increment();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kIncrements);
+}
+
+TEST(CounterTest, DisabledFlagSuppressesIncrementButNotIncrementAlways) {
+  MetricsFlagGuard guard;
+  Counter c;
+  SetMetricsEnabled(false);
+  c.Increment(5);
+  EXPECT_EQ(c.value(), 0u);
+  c.IncrementAlways(5);
+  EXPECT_EQ(c.value(), 5u);
+  SetMetricsEnabled(true);
+  c.Increment(5);
+  EXPECT_EQ(c.value(), 10u);
+}
+
+TEST(GaugeTest, SetAddAndUnaffectedByDisabledFlag) {
+  MetricsFlagGuard guard;
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  // Gauges track live state; the flag must not make paired +1/-1 drift.
+  SetMetricsEnabled(false);
+  g.Add(1);
+  g.Add(-1);
+  EXPECT_EQ(g.value(), 7);
+}
+
+TEST(HistogramTest, BucketAssignment) {
+  Histogram h({1.0, 10.0, 100.0});
+  h.Observe(0.5);   // <= 1
+  h.Observe(1.0);   // <= 1 (inclusive upper bound)
+  h.Observe(5.0);   // <= 10
+  h.Observe(1000);  // +Inf
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1006.5);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(2), 0u);
+  EXPECT_EQ(h.bucket_count(3), 1u);  // +Inf
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST(HistogramTest, ConcurrentHammeringSumsExactly) {
+  constexpr size_t kThreads = 8;
+  constexpr size_t kObservations = 50000;
+  Histogram h({1.0, 10.0});
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      // 1.0 sums exactly in a double up to 2^53 observations.
+      for (size_t i = 0; i < kObservations; ++i) h.Observe(1.0);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), kThreads * kObservations);
+  EXPECT_DOUBLE_EQ(h.sum(), static_cast<double>(kThreads * kObservations));
+  EXPECT_EQ(h.bucket_count(0), kThreads * kObservations);
+}
+
+TEST(RegistryTest, GetReturnsStableInstancesAndKeepsFirstHelp) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("c_total", "first help");
+  Counter* b = registry.GetCounter("c_total", "second help");
+  EXPECT_EQ(a, b);
+  a->Increment(7);
+  EXPECT_EQ(b->value(), 7u);
+  std::string prom = registry.RenderPrometheus();
+  EXPECT_NE(prom.find("# HELP c_total first help"), std::string::npos);
+  EXPECT_EQ(prom.find("second help"), std::string::npos);
+}
+
+// Fills a registry with one counter, one gauge and one histogram in a known
+// state, shared by the two golden tests below.
+void FillGoldenRegistry(MetricsRegistry* registry) {
+  registry->GetCounter("c_total", "A counter")->Increment(3);
+  registry->GetGauge("g")->Set(-2);
+  Histogram* h = registry->GetHistogram("h_ms", "Latency", {1.0, 10.0});
+  h->Observe(0.5);
+  h->Observe(5.0);
+  h->Observe(100.0);
+}
+
+TEST(RegistryTest, PrometheusGolden) {
+  MetricsRegistry registry;
+  FillGoldenRegistry(&registry);
+  EXPECT_EQ(registry.RenderPrometheus(),
+            "# HELP c_total A counter\n"
+            "# TYPE c_total counter\n"
+            "c_total 3\n"
+            "# TYPE g gauge\n"
+            "g -2\n"
+            "# HELP h_ms Latency\n"
+            "# TYPE h_ms histogram\n"
+            "h_ms_bucket{le=\"1\"} 1\n"
+            "h_ms_bucket{le=\"10\"} 2\n"
+            "h_ms_bucket{le=\"+Inf\"} 3\n"
+            "h_ms_sum 105.5\n"
+            "h_ms_count 3\n");
+}
+
+TEST(RegistryTest, JsonGoldenAndSchemaValid) {
+  MetricsRegistry registry;
+  FillGoldenRegistry(&registry);
+  std::string json = registry.RenderJson();
+  EXPECT_EQ(json,
+            "{\n"
+            "  \"counters\": {\n"
+            "    \"c_total\": 3\n"
+            "  },\n"
+            "  \"gauges\": {\n"
+            "    \"g\": -2\n"
+            "  },\n"
+            "  \"histograms\": {\n"
+            "    \"h_ms\": {\"count\": 3, \"sum\": 105.5, \"buckets\": "
+            "[{\"le\": 1, \"count\": 1}, {\"le\": 10, \"count\": 2}, "
+            "{\"le\": \"+Inf\", \"count\": 3}]}\n"
+            "  }\n"
+            "}\n");
+  std::string error;
+  EXPECT_TRUE(ValidateMetricsJson(json, &error)) << error;
+}
+
+TEST(RegistryTest, EmptyRegistryJsonIsValid) {
+  MetricsRegistry registry;
+  std::string error;
+  EXPECT_TRUE(ValidateMetricsJson(registry.RenderJson(), &error)) << error;
+}
+
+TEST(RegistryTest, ResetAllZeroesInPlace) {
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c_total");
+  Gauge* g = registry.GetGauge("g");
+  Histogram* h = registry.GetHistogram("h_ms", "", {1.0});
+  c->Increment(5);
+  g->Set(5);
+  h->Observe(5);
+  registry.ResetAll();
+  EXPECT_EQ(c->value(), 0u);  // same pointers, zeroed in place
+  EXPECT_EQ(g->value(), 0);
+  EXPECT_EQ(h->count(), 0u);
+  EXPECT_EQ(registry.RenderCompact(), "");
+}
+
+TEST(RegistryTest, RenderCompactShowsOnlyNonZero) {
+  MetricsRegistry registry;
+  registry.GetCounter("zero_total");
+  registry.GetCounter("live_total")->Increment(2);
+  std::string compact = registry.RenderCompact();
+  EXPECT_NE(compact.find("live_total 2"), std::string::npos);
+  EXPECT_EQ(compact.find("zero_total"), std::string::npos);
+}
+
+TEST(ValidateMetricsJsonTest, RejectsMalformedDocuments) {
+  std::string error;
+  EXPECT_FALSE(ValidateMetricsJson("not json", &error));
+  EXPECT_FALSE(ValidateMetricsJson("[]", &error));
+  EXPECT_FALSE(ValidateMetricsJson("{\"counters\": {}}", &error));
+  EXPECT_FALSE(ValidateMetricsJson(
+      "{\"counters\": {\"c\": -1}, \"gauges\": {}, \"histograms\": {}}",
+      &error));
+  // Non-cumulative histogram buckets.
+  EXPECT_FALSE(ValidateMetricsJson(
+      "{\"counters\": {}, \"gauges\": {}, \"histograms\": {\"h\": "
+      "{\"count\": 2, \"sum\": 1, \"buckets\": [{\"le\": 1, \"count\": 2}, "
+      "{\"le\": \"+Inf\", \"count\": 1}]}}}",
+      &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vqldb

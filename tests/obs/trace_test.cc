@@ -1,0 +1,137 @@
+// Tracer / TraceSpan: span recording across threads, the Chrome trace_event
+// JSON schema of the rendered output, Clear() safety for thread-cached
+// buffers, and the disabled-by-default cost contract.
+
+#include "src/obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/obs/json_lite.h"
+
+namespace vqldb {
+namespace obs {
+namespace {
+
+// Serializes tests that toggle the process-wide tracing flag and restores
+// the off state afterwards (tests in this binary run sequentially).
+class TracingGuard {
+ public:
+  TracingGuard() {
+    Tracer::Global().Clear();
+    SetTracingEnabled(true);
+  }
+  ~TracingGuard() {
+    SetTracingEnabled(false);
+    Tracer::Global().Clear();
+  }
+};
+
+TEST(TraceTest, DisabledByDefaultRecordsNothing) {
+  SetTracingEnabled(false);
+  Tracer::Global().Clear();
+  { TraceSpan span("noop"); }
+  EXPECT_EQ(Tracer::Global().event_count(), 0u);
+  // An empty trace still renders as a valid (empty) Chrome trace array.
+  std::string error;
+  EXPECT_TRUE(ValidateChromeTrace(Tracer::Global().RenderJson(), &error))
+      << error;
+}
+
+TEST(TraceTest, SpanRecordsOneCompleteEvent) {
+  TracingGuard guard;
+  { TraceSpan span("unit-test-span", "detail text"); }
+  EXPECT_EQ(Tracer::Global().event_count(), 1u);
+
+  std::string json = Tracer::Global().RenderJson();
+  std::string error;
+  ASSERT_TRUE(ValidateChromeTrace(json, &error)) << error;
+
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(json, &doc, &error)) << error;
+  ASSERT_EQ(doc.array.size(), 1u);
+  const JsonValue& event = doc.array[0];
+  EXPECT_EQ(event.Find("ph")->string_value, "X");
+  EXPECT_EQ(event.Find("name")->string_value, "unit-test-span");
+  EXPECT_GE(event.Find("dur")->number_value, 0.0);
+  EXPECT_GE(event.Find("ts")->number_value, 0.0);
+}
+
+TEST(TraceTest, SpansFromMultipleThreadsAllRecorded) {
+  TracingGuard guard;
+  constexpr size_t kThreads = 4;
+  constexpr size_t kSpansPerThread = 16;
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([] {
+      for (size_t i = 0; i < kSpansPerThread; ++i) {
+        TraceSpan span("worker-span");
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(Tracer::Global().event_count(), kThreads * kSpansPerThread);
+
+  std::string json = Tracer::Global().RenderJson();
+  std::string error;
+  ASSERT_TRUE(ValidateChromeTrace(json, &error)) << error;
+}
+
+TEST(TraceTest, ClearKeepsThreadBuffersUsable) {
+  TracingGuard guard;
+  { TraceSpan span("before-clear"); }
+  EXPECT_EQ(Tracer::Global().event_count(), 1u);
+  Tracer::Global().Clear();
+  EXPECT_EQ(Tracer::Global().event_count(), 0u);
+  // The thread-local cached buffer pointer must still be valid.
+  { TraceSpan span("after-clear"); }
+  EXPECT_EQ(Tracer::Global().event_count(), 1u);
+}
+
+TEST(TraceTest, WriteFileProducesValidTrace) {
+  TracingGuard guard;
+  { TraceSpan span("file-span"); }
+  std::string path = testing::TempDir() + "/vqldb_trace_test.json";
+  std::string error;
+  ASSERT_TRUE(Tracer::Global().WriteFile(path, &error)) << error;
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  EXPECT_TRUE(ValidateChromeTrace(text, &error)) << error;
+  std::remove(path.c_str());
+}
+
+TEST(ValidateChromeTraceTest, AcceptsEmptyArrayRejectsBadShapes) {
+  std::string error;
+  EXPECT_TRUE(ValidateChromeTrace("[]", &error)) << error;
+  EXPECT_FALSE(ValidateChromeTrace("not json", &error));
+  EXPECT_FALSE(ValidateChromeTrace("{}", &error));
+  // Wrong phase.
+  EXPECT_FALSE(ValidateChromeTrace(
+      "[{\"ph\": \"B\", \"name\": \"x\", \"ts\": 0, \"dur\": 0, "
+      "\"pid\": 1, \"tid\": 1}]",
+      &error));
+  // Negative duration.
+  EXPECT_FALSE(ValidateChromeTrace(
+      "[{\"ph\": \"X\", \"name\": \"x\", \"ts\": 0, \"dur\": -1, "
+      "\"pid\": 1, \"tid\": 1}]",
+      &error));
+  // Missing name.
+  EXPECT_FALSE(ValidateChromeTrace(
+      "[{\"ph\": \"X\", \"ts\": 0, \"dur\": 0, \"pid\": 1, \"tid\": 1}]",
+      &error));
+  EXPECT_FALSE(error.empty());
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vqldb

@@ -1,0 +1,73 @@
+// obs_check: validates the observability artifacts vql emits, so scripted
+// runs (tools/verify.sh, CI) can assert the files are well-formed instead of
+// merely present.
+//
+//   obs_check metrics <file>   metrics JSON snapshot (--metrics-out)
+//   obs_check trace <file>     Chrome trace_event JSON (--trace-out); must
+//                              contain at least one complete event
+//
+// Exit codes: 0 valid, 1 invalid content, 2 usage / unreadable file.
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "src/obs/json_lite.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
+
+namespace {
+
+int Usage() {
+  std::cerr << "usage: obs_check metrics|trace <file>\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 3) return Usage();
+  std::string mode = argv[1];
+  std::string path = argv[2];
+
+  std::ifstream file(path);
+  if (!file) {
+    std::cerr << "obs_check: cannot read " << path << "\n";
+    return 2;
+  }
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  std::string text = buffer.str();
+  std::string error;
+
+  if (mode == "metrics") {
+    if (!vqldb::obs::ValidateMetricsJson(text, &error)) {
+      std::cerr << "obs_check: " << path << ": " << error << "\n";
+      return 1;
+    }
+    std::cout << "ok: " << path << " is a valid metrics snapshot\n";
+    return 0;
+  }
+
+  if (mode == "trace") {
+    if (!vqldb::obs::ValidateChromeTrace(text, &error)) {
+      std::cerr << "obs_check: " << path << ": " << error << "\n";
+      return 1;
+    }
+    vqldb::obs::JsonValue doc;
+    if (!vqldb::obs::ParseJson(text, &doc, &error)) {
+      std::cerr << "obs_check: " << path << ": " << error << "\n";
+      return 1;
+    }
+    if (doc.array.empty()) {
+      std::cerr << "obs_check: " << path << " contains no trace events\n";
+      return 1;
+    }
+    std::cout << "ok: " << path << " is a valid Chrome trace ("
+              << doc.array.size() << " events)\n";
+    return 0;
+  }
+
+  return Usage();
+}

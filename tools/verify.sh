@@ -5,7 +5,10 @@
 #   tools/verify.sh [jobs]
 #
 # 1. Configure + build the default tree and run every `tier1`-labeled test.
-# 2. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
+# 2. Smoke-test the observability surface: a scripted vql run under
+#    --metrics-out/--trace-out, with both artifacts schema-checked by
+#    tools/obs_check.
+# 3. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
 #    determinism test and the thread-pool tests under TSan.
 set -euo pipefail
 
@@ -18,6 +21,26 @@ cmake --build build -j "$JOBS"
 
 echo "== tier-1: ctest -L tier1 =="
 ctest --test-dir build -L tier1 --output-on-failure
+
+echo "== observability smoke: vql --metrics-out/--trace-out + obs_check =="
+OBS_TMP="$(mktemp -d)"
+trap 'rm -rf "$OBS_TMP"' EXIT
+./build/tools/vql --threads 2 \
+    --metrics-out="$OBS_TMP/metrics.json" \
+    --trace-out="$OBS_TMP/trace.json" >"$OBS_TMP/shell.out" <<'EOF'
+object o1 { name: "David" }.
+object o2 { name: "Philip" }.
+interval gi1 { duration: (t > 0 and t < 10), entities: {o1, o2} }.
+interval gi2 { duration: (t > 2 and t < 8), entities: {o2} }.
+appears(O, G) <- Interval(G), Object(O), O in G.entities.
+contains(G1, G2) <- Interval(G1), Interval(G2), G2.duration => G1.duration, G1 != G2.
+explain analyze ?- contains(G1, G2).
+.quit
+EOF
+grep -q "per rule:" "$OBS_TMP/shell.out" \
+  || { echo "EXPLAIN ANALYZE output missing its profile table"; exit 1; }
+./build/tools/obs_check metrics "$OBS_TMP/metrics.json"
+./build/tools/obs_check trace "$OBS_TMP/trace.json"
 
 echo "== tsan: build (-DVQLDB_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DVQLDB_SANITIZE=thread >/dev/null

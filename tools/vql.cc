@@ -6,24 +6,73 @@
 //   ./build/tools/vql --threads N ...  fixpoint worker threads (1 = serial,
 //                                      default auto = hardware concurrency;
 //                                      also settable at runtime: .threads)
+//   --metrics-out=<file>   on exit, dump engine metrics (.prom suffix writes
+//                          Prometheus text exposition, anything else JSON)
+//   --trace-out=<file>     enable span tracing; on exit, write a Chrome
+//                          trace_event JSON (chrome://tracing, Perfetto)
+//   --log-level=<level>    debug|info|warn|error|fatal (or env VQLDB_LOG;
+//                          the flag wins; also settable at runtime: .loglevel)
 
 #include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/model/database.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace.h"
 #include "src/shell/repl.h"
 #include "src/storage/binary_format.h"
 #include "src/storage/text_format.h"
 
+namespace {
+
+// Writes the metrics snapshot: Prometheus exposition for .prom, else JSON.
+bool WriteMetrics(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    std::cerr << "cannot open " << path << " for metrics\n";
+    return false;
+  }
+  out << (vqldb::EndsWith(path, ".prom")
+              ? vqldb::obs::MetricsRegistry::Global().RenderPrometheus()
+              : vqldb::obs::MetricsRegistry::Global().RenderJson());
+  return out.good();
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace vqldb;
+  InitLogLevelFromEnv();
   EvalOptions options;
+  std::string metrics_out;
+  std::string trace_out;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
+    if (StartsWith(arg, "--metrics-out=")) {
+      metrics_out = arg.substr(std::string("--metrics-out=").size());
+      continue;
+    }
+    if (StartsWith(arg, "--trace-out=")) {
+      trace_out = arg.substr(std::string("--trace-out=").size());
+      continue;
+    }
+    if (StartsWith(arg, "--log-level=")) {
+      std::string value = arg.substr(std::string("--log-level=").size());
+      LogLevel level;
+      if (!ParseLogLevel(value, &level)) {
+        std::cerr << "--log-level: unknown level " << value
+                  << " (debug|info|warn|error|fatal)\n";
+        return 1;
+      }
+      SetLogLevel(level);
+      continue;
+    }
     if (arg == "--threads") {
       if (i + 1 >= argc) {
         std::cerr << "--threads requires a value (N >= 1, or auto)\n";
@@ -75,6 +124,8 @@ int main(int argc, char** argv) {
     if (!st.ok()) std::cerr << "warning: " << st << "\n";
   }
 
+  if (!trace_out.empty()) obs::SetTracingEnabled(true);
+
   std::cerr << "vqldb shell — statements end with '.', .help for help\n";
   std::string line;
   while (!repl.done()) {
@@ -82,5 +133,15 @@ int main(int argc, char** argv) {
     if (!std::getline(std::cin, line)) break;
     std::cout << repl.Execute(line);
   }
-  return 0;
+
+  int rc = 0;
+  if (!metrics_out.empty() && !WriteMetrics(metrics_out)) rc = 1;
+  if (!trace_out.empty()) {
+    std::string error;
+    if (!obs::Tracer::Global().WriteFile(trace_out, &error)) {
+      std::cerr << "cannot write trace " << trace_out << ": " << error << "\n";
+      rc = 1;
+    }
+  }
+  return rc;
 }
