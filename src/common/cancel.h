@@ -1,0 +1,37 @@
+// CancelToken: a shared one-way flag for cooperative cancellation. The
+// issuer (a shell signal handler, a server request loop) calls Cancel();
+// long-running work (the fixpoint engine) polls cancelled() at safe points
+// and unwinds with Status::Cancelled — never abort, never a torn database.
+
+#ifndef VQLDB_COMMON_CANCEL_H_
+#define VQLDB_COMMON_CANCEL_H_
+
+#include <atomic>
+#include <memory>
+
+namespace vqldb {
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Requests cancellation. Idempotent, safe from any thread (including
+  /// signal handlers: one relaxed atomic store).
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  /// Re-arms a token for reuse between requests.
+  void Reset() { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_COMMON_CANCEL_H_

@@ -27,6 +27,8 @@ enum class StatusCode : int {
   kCorruption = 10,
   kUnimplemented = 11,
   kInternal = 12,
+  kDeadlineExceeded = 13,
+  kCancelled = 14,
 };
 
 /// Returns a human-readable name for a status code (e.g. "Invalid argument").
@@ -95,6 +97,12 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -117,6 +125,10 @@ class Status {
   bool IsCorruption() const { return code() == StatusCode::kCorruption; }
   bool IsUnimplemented() const { return code() == StatusCode::kUnimplemented; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDeadlineExceeded() const {
+    return code() == StatusCode::kDeadlineExceeded;
+  }
+  bool IsCancelled() const { return code() == StatusCode::kCancelled; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -36,6 +36,8 @@ struct EvalMetrics {
   obs::Counter* parallel_tasks;
   obs::Counter* join_probes;
   obs::Counter* join_probe_hits;
+  obs::Counter* deadline_exceeded;
+  obs::Counter* cancelled;
   obs::Histogram* fixpoint_ms;
   obs::Histogram* round_ms;
 };
@@ -63,6 +65,10 @@ EvalMetrics& GetEvalMetrics() {
                           "Multi-column join-index probes issued"),
       registry.GetCounter("vqldb_eval_join_probe_hits_total",
                           "Join-index probes that found candidate facts"),
+      registry.GetCounter("vqldb_queries_deadline_exceeded_total",
+                          "Evaluations abandoned at their wall-clock deadline"),
+      registry.GetCounter("vqldb_queries_cancelled_total",
+                          "Evaluations abandoned via a CancelToken"),
       registry.GetHistogram("vqldb_eval_fixpoint_ms",
                             "Wall time of whole fixpoint computations (ms)",
                             obs::DefaultLatencyBucketsMs()),
@@ -603,6 +609,20 @@ void Evaluator::EnsureProfileRules() {
   }
 }
 
+Status Evaluator::CheckInterrupt() const {
+  if (options_.cancel != nullptr && options_.cancel->cancelled()) {
+    return Status::Cancelled("evaluation cancelled after " +
+                             std::to_string(stats_.iterations) + " rounds");
+  }
+  if (options_.deadline.has_value() && Clock::now() > *options_.deadline) {
+    return Status::DeadlineExceeded(
+        "evaluation deadline exceeded after " +
+        std::to_string(stats_.iterations) + " rounds and " +
+        std::to_string(stats_.derived_facts) + " derived facts");
+  }
+  return Status::OK();
+}
+
 Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
                            const Interpretation& full,
                            const Interpretation* delta,
@@ -618,6 +638,7 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
   if (threads <= 1 || parallelizable <= 1) {
     // The exact legacy path: every task in order, on this thread.
     for (const RuleTask& t : tasks) {
+      VQLDB_RETURN_NOT_OK(CheckInterrupt());
       const CompiledRule& rule = rules_[t.rule_idx];
       EvalStats before;
       Clock::time_point start;
@@ -642,6 +663,11 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
     }
     return Status::OK();
   }
+
+  // Deadline/cancel poll per task batch: once before the fan-out, once
+  // before the serial constructive pass. Tasks already on the pool run to
+  // completion — cancellation is cooperative, never a torn round.
+  VQLDB_RETURN_NOT_OK(CheckInterrupt());
 
   // Pre-build every join index the plans can probe so that worker threads
   // only ever read the shared interpretations.
@@ -683,6 +709,7 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
   // Constructive rules materialize derived intervals (Concatenate mutates
   // the database): run them serially, in stable task order, after the
   // read-only tasks have drained.
+  VQLDB_RETURN_NOT_OK(CheckInterrupt());
   for (size_t i = 0; i < tasks.size(); ++i) {
     if (!rules_[tasks[i].rule_idx].is_constructive) continue;
     run_task(i);
@@ -745,6 +772,19 @@ Result<Interpretation> Evaluator::Fixpoint() {
   Clock::time_point fixpoint_start;
   if (timed) fixpoint_start = Clock::now();
 
+  // Deadline/cancel unwinds are structured returns, never aborts; the work
+  // done so far still folds into the metrics registry.
+  auto finish_error = [&](Status st) -> Status {
+    if (st.IsDeadlineExceeded()) GetEvalMetrics().deadline_exceeded->Increment();
+    if (st.IsCancelled()) GetEvalMetrics().cancelled->Increment();
+    if ((st.IsDeadlineExceeded() || st.IsCancelled()) && timed) {
+      double total_ms = MsSince(fixpoint_start);
+      if (prof) profile_.total_ms = total_ms;
+      PublishEvalMetrics(stats_, total_ms);
+    }
+    return st;
+  };
+
   VQLDB_ASSIGN_OR_RETURN(Interpretation interp, Edb());
 
   // Round 1: every rule, unrestricted.
@@ -762,7 +802,8 @@ Result<Interpretation> Evaluator::Fixpoint() {
     std::vector<RuleTask> tasks;
     tasks.reserve(rules_.size());
     for (size_t i = 0; i < rules_.size(); ++i) tasks.push_back({i, -1});
-    VQLDB_RETURN_NOT_OK(RunRound(tasks, interp, nullptr, nullptr, &out));
+    Status round_st = RunRound(tasks, interp, nullptr, nullptr, &out);
+    if (!round_st.ok()) return finish_error(round_st);
     for (const Fact& f : out.AllFacts()) {
       if (interp.Add(f)) delta.Add(f);
     }
@@ -820,14 +861,15 @@ Result<Interpretation> Evaluator::Fixpoint() {
         }
       }
       round_tasks = tasks.size();
-      VQLDB_RETURN_NOT_OK(
-          RunRound(tasks, interp, &delta, &interval_delta, &out));
+      Status round_st = RunRound(tasks, interp, &delta, &interval_delta, &out);
+      if (!round_st.ok()) return finish_error(round_st);
     } else {
       std::vector<RuleTask> tasks;
       tasks.reserve(rules_.size());
       for (size_t i = 0; i < rules_.size(); ++i) tasks.push_back({i, -1});
       round_tasks = tasks.size();
-      VQLDB_RETURN_NOT_OK(RunRound(tasks, interp, nullptr, nullptr, &out));
+      Status round_st = RunRound(tasks, interp, nullptr, nullptr, &out);
+      if (!round_st.ok()) return finish_error(round_st);
     }
 
     Interpretation next_delta;

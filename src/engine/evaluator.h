@@ -27,10 +27,13 @@
 #ifndef VQLDB_ENGINE_EVALUATOR_H_
 #define VQLDB_ENGINE_EVALUATOR_H_
 
+#include <chrono>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "src/common/cancel.h"
 #include "src/common/result.h"
 #include "src/constraint/concrete_domain.h"
 #include "src/engine/interpretation.h"
@@ -75,6 +78,15 @@ struct EvalOptions {
   /// Fixpoint() (the data behind EXPLAIN ANALYZE). Off by default: profiling
   /// adds two clock reads per task and per round.
   bool collect_profile = false;
+  /// Wall-clock deadline for Fixpoint()/ApplyOnce(). Checked cooperatively
+  /// at every round and task-batch boundary; when it passes, evaluation
+  /// unwinds with Status::DeadlineExceeded (partial stats still publish to
+  /// the metrics registry — the process never aborts).
+  std::optional<std::chrono::steady_clock::time_point> deadline;
+  /// Cooperative cancellation, checked at the same points as the deadline;
+  /// a cancelled token unwinds with Status::Cancelled. Shared so a shell
+  /// signal handler or server loop can flip it from another thread.
+  std::shared_ptr<CancelToken> cancel;
 };
 
 /// Statistics of one evaluation, for benchmarks and the EXPERIMENTS harness.
@@ -213,6 +225,10 @@ class Evaluator {
 
   Status EmitHead(const CompiledRule& rule, const class BindingEnv& env,
                   Interpretation* out, EvalStats* stats);
+
+  // Deadline/cancel poll (see EvalOptions::deadline). OK when neither has
+  // tripped; DeadlineExceeded/Cancelled otherwise.
+  Status CheckInterrupt() const;
 
   // Constraint checking; `ok` receives the verdict. Status is non-OK only
   // for hard errors (strict_types).

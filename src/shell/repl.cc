@@ -1,6 +1,7 @@
 #include "src/shell/repl.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstdlib>
 #include <sstream>
 
@@ -40,6 +41,21 @@ bool EatKeyword(std::string_view* s, std::string_view keyword) {
 Repl::Repl(VideoDatabase* db, EvalOptions options)
     : db_(db), session_(db, options) {}
 
+class Repl::DeadlineScope {
+ public:
+  DeadlineScope(QuerySession* session, int64_t timeout_ms) : session_(session) {
+    if (timeout_ms > 0) {
+      session_->mutable_options()->deadline =
+          std::chrono::steady_clock::now() +
+          std::chrono::milliseconds(timeout_ms);
+    }
+  }
+  ~DeadlineScope() { session_->mutable_options()->deadline.reset(); }
+
+ private:
+  QuerySession* session_;
+};
+
 std::string Repl::Execute(std::string_view line) {
   std::string trimmed(Trim(line));
   if (trimmed.empty() && buffer_.empty()) return "";
@@ -75,11 +91,13 @@ std::string Repl::Dispatch(const std::string& input) {
     if (!StartsWith(rest, "?-")) {
       return "usage: explain [analyze] ?- goal.\n";
     }
+    DeadlineScope deadline(&session_, timeout_ms_);
     auto text = session_.Explain(rest, analyze);
     if (!text.ok()) return "error: " + text.status().ToString() + "\n";
     return *text;
   }
   if (StartsWith(trimmed, "?-")) {
+    DeadlineScope deadline(&session_, timeout_ms_);
     auto result = session_.Query(trimmed);
     if (!result.ok()) return "error: " + result.status().ToString() + "\n";
     return result->ToString(db_);
@@ -224,19 +242,57 @@ std::string Repl::Meta(const std::string& command,
     session_.mutable_options()->num_threads = static_cast<size_t>(n);
     return "fixpoint threads: " + std::to_string(n) + "\n";
   }
+  if (command == ".timeout") {
+    if (argument.empty()) {
+      return timeout_ms_ > 0
+                 ? "query timeout: " + std::to_string(timeout_ms_) + " ms\n"
+                 : "query timeout: off\n";
+    }
+    if (argument == "off") {
+      timeout_ms_ = 0;
+      return "query timeout: off\n";
+    }
+    char* end = nullptr;
+    long ms = std::strtol(argument.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || ms < 1) {
+      return "usage: .timeout <ms>|off\n";
+    }
+    timeout_ms_ = ms;
+    return "query timeout: " + std::to_string(ms) + " ms\n";
+  }
   if (command == ".journal") {
     if (argument == "off") {
-      journal_.reset();
+      if (journal_.has_value()) {
+        Status st = journal_->Sync();  // batched tails reach the disk
+        journal_.reset();
+        if (!st.ok()) return "journaling off (sync failed: " + st.ToString() + ")\n";
+      }
       return "journaling off\n";
     }
     if (argument.empty()) {
       return journal_.has_value() ? "journaling to " + journal_->path() + "\n"
-                                  : "journaling off (usage: .journal <path>)\n";
+                                  : "journaling off (usage: .journal <path> "
+                                    "[flush|fsync|batch])\n";
     }
-    auto journal = Journal::Open(argument);
+    size_t space = argument.find(' ');
+    std::string path = argument.substr(0, space);
+    Journal::Options jopts;
+    if (space != std::string::npos) {
+      std::string mode(Trim(std::string_view(argument).substr(space + 1)));
+      if (mode == "flush") {
+        jopts.durability = Journal::Durability::kFlush;
+      } else if (mode == "fsync") {
+        jopts.durability = Journal::Durability::kFsync;
+      } else if (mode == "batch") {
+        jopts.durability = Journal::Durability::kBatch;
+      } else {
+        return "usage: .journal <path> [flush|fsync|batch]\n";
+      }
+    }
+    auto journal = Journal::Open(path, jopts);
     if (!journal.ok()) return "error: " + journal.status().ToString() + "\n";
     journal_ = std::move(*journal);
-    return "journaling data statements to " + argument + "\n";
+    return "journaling data statements to " + path + "\n";
   }
   return "unknown command " + command + " (try .help)\n";
 }
@@ -261,10 +317,12 @@ std::string Repl::Help() const {
       "  .save <path>      save archive (.vql text, .vqdb binary)\n"
       "  .explain <rule>   show the execution plan of a rule\n"
       "  .threads <N|auto> fixpoint worker threads (1 = serial engine)\n"
+      "  .timeout <ms|off> per-query wall-clock budget (DeadlineExceeded)\n"
       "  .trace on <file>  record spans; written as Chrome JSON on .trace off\n"
       "  .loglevel <level> debug|info|warn|error|fatal (also env VQLDB_LOG)\n"
-      "  .journal <path>   mirror data statements to an append-only log\n"
-      "  .journal off      stop journaling\n"
+      "  .journal <path> [flush|fsync|batch]\n"
+      "                    mirror data statements to a crash-safe log\n"
+      "  .journal off      stop journaling (syncing any batched tail)\n"
       "  .clearbuf         discard a half-entered statement\n"
       "  .quit             leave\n";
 }

@@ -36,6 +36,11 @@ class Repl {
 
   QuerySession& session() { return session_; }
 
+  /// Per-query wall-clock budget in milliseconds (0 = none); every query /
+  /// explain gets a fresh deadline of now + budget. Also ".timeout <ms>".
+  void set_timeout_ms(int64_t ms) { timeout_ms_ = ms < 0 ? 0 : ms; }
+  int64_t timeout_ms() const { return timeout_ms_; }
+
  private:
   std::string Dispatch(const std::string& input);
   std::string Meta(const std::string& command, const std::string& argument);
@@ -44,11 +49,16 @@ class Repl {
   std::string ListRules() const;
   std::string ListObjects() const;
 
+  // Arms session_.options().deadline for one query when a timeout budget is
+  // set; the destructor clears it so later queries start a fresh clock.
+  class DeadlineScope;
+
   VideoDatabase* db_;
   QuerySession session_;
   std::string buffer_;
   std::optional<Journal> journal_;  // ".journal <path>" mirrors data statements
   std::string trace_path_;          // ".trace on <file>" destination
+  int64_t timeout_ms_ = 0;          // ".timeout <ms>": 0 = no deadline
   bool done_ = false;
 };
 

@@ -430,21 +430,34 @@ Result<VideoDatabase> BinaryFormat::Deserialize(std::string_view bytes) {
   return db;
 }
 
-Status BinaryFormat::Save(const VideoDatabase& db, const std::string& path) {
+Status BinaryFormat::Save(const VideoDatabase& db, const std::string& path,
+                          Env* env) {
+  if (env == nullptr) env = Env::Default();
   VQLDB_ASSIGN_OR_RETURN(std::string bytes, Serialize(db));
-  std::ofstream file(path, std::ios::binary);
-  if (!file) return Status::IOError("cannot open " + path + " for writing");
-  file.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
-  if (!file.good()) return Status::IOError("write to " + path + " failed");
+  // Temp file + fsync + rename + directory fsync: readers never observe a
+  // half-written snapshot, and a crash leaves the previous one intact.
+  const std::string tmp = path + ".tmp";
+  auto write_tmp = [&]() -> Status {
+    VQLDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                           env->NewTruncatedFile(tmp));
+    VQLDB_RETURN_NOT_OK(file->Append(bytes));
+    VQLDB_RETURN_NOT_OK(file->Sync());
+    return file->Close();
+  };
+  Status st = write_tmp();
+  if (st.ok()) st = env->RenameFile(tmp, path);
+  if (st.ok()) st = env->SyncDir(path);
+  if (!st.ok()) {
+    env->RemoveFile(tmp);  // best effort; the real error wins
+    return st.WithContext("atomic snapshot write to " + path);
+  }
   return Status::OK();
 }
 
-Result<VideoDatabase> BinaryFormat::Load(const std::string& path) {
-  std::ifstream file(path, std::ios::binary);
-  if (!file) return Status::IOError("cannot open " + path);
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  return Deserialize(buffer.str());
+Result<VideoDatabase> BinaryFormat::Load(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  VQLDB_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
+  return Deserialize(bytes);
 }
 
 }  // namespace vqldb

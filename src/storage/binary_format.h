@@ -11,6 +11,7 @@
 
 #include "src/common/result.h"
 #include "src/model/database.h"
+#include "src/storage/io_env.h"
 
 namespace vqldb {
 
@@ -24,8 +25,14 @@ class BinaryFormat {
   /// structural errors.
   static Result<VideoDatabase> Deserialize(std::string_view bytes);
 
-  static Status Save(const VideoDatabase& db, const std::string& path);
-  static Result<VideoDatabase> Load(const std::string& path);
+  /// Atomic, durable snapshot write: serialize to `path + ".tmp"`, fsync,
+  /// rename over `path`, fsync the directory. A crash at any point leaves
+  /// either the old snapshot or the new one — never a torn file. `env`
+  /// defaults to Env::Default().
+  static Status Save(const VideoDatabase& db, const std::string& path,
+                     Env* env = nullptr);
+  static Result<VideoDatabase> Load(const std::string& path,
+                                    Env* env = nullptr);
 };
 
 /// CRC-32 (IEEE 802.3 polynomial) over a byte range.

@@ -1,0 +1,290 @@
+#include "src/storage/io_env.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+
+namespace vqldb {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+// ------------------------------------------------------------------ posix
+
+class PosixWritableFile : public WritableFile {
+ public:
+  PosixWritableFile(int fd, std::string path)
+      : fd_(fd), path_(std::move(path)) {}
+
+  ~PosixWritableFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Status Append(std::string_view data) override {
+    if (fd_ < 0) return Status::IOError("append to closed file " + path_);
+    const char* p = data.data();
+    size_t left = data.size();
+    while (left > 0) {
+      ssize_t n = ::write(fd_, p, left);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(ErrnoMessage("write", path_));
+      }
+      p += n;
+      left -= static_cast<size_t>(n);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    if (fd_ < 0) return Status::IOError("sync of closed file " + path_);
+    if (::fsync(fd_) != 0) {
+      return Status::IOError(ErrnoMessage("fsync", path_));
+    }
+    return Status::OK();
+  }
+
+  Status Close() override {
+    if (fd_ < 0) return Status::OK();
+    int fd = fd_;
+    fd_ = -1;
+    if (::close(fd) != 0) {
+      return Status::IOError(ErrnoMessage("close", path_));
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+  std::string path_;
+};
+
+class PosixEnv : public Env {
+ public:
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override {
+    return OpenWith(path, O_WRONLY | O_CREAT | O_APPEND);
+  }
+
+  Result<std::unique_ptr<WritableFile>> NewTruncatedFile(
+      const std::string& path) override {
+    return OpenWith(path, O_WRONLY | O_CREAT | O_TRUNC);
+  }
+
+  Result<std::string> ReadFileToString(const std::string& path) override {
+    int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+    std::string out;
+    char buf[1 << 16];
+    while (true) {
+      ssize_t n = ::read(fd, buf, sizeof(buf));
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        Status st = Status::IOError(ErrnoMessage("read", path));
+        ::close(fd);
+        return st;
+      }
+      if (n == 0) break;
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  }
+
+  bool FileExists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+
+  Status RenameFile(const std::string& from, const std::string& to) override {
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Status::IOError(ErrnoMessage("rename", from + " -> " + to));
+    }
+    return Status::OK();
+  }
+
+  Status RemoveFile(const std::string& path) override {
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError(ErrnoMessage("unlink", path));
+    }
+    return Status::OK();
+  }
+
+  Status SyncDir(const std::string& path_in_dir) override {
+    std::filesystem::path p(path_in_dir);
+    std::error_code ec;
+    std::string dir = std::filesystem::is_directory(p, ec)
+                          ? p.string()
+                          : p.parent_path().string();
+    if (dir.empty()) dir = ".";
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open dir", dir));
+    Status st;
+    if (::fsync(fd) != 0) st = Status::IOError(ErrnoMessage("fsync dir", dir));
+    ::close(fd);
+    return st;
+  }
+
+ private:
+  Result<std::unique_ptr<WritableFile>> OpenWith(const std::string& path,
+                                                 int flags) {
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) return Status::IOError(ErrnoMessage("open", path));
+    // Probe writability beyond open(2): on some setups (root bypassing
+    // permission bits, exotic filesystems) open succeeds where writes
+    // cannot; a zero-byte write is free and errors eagerly.
+    ssize_t n = ::write(fd, "", 0);
+    if (n < 0) {
+      Status st = Status::IOError(ErrnoMessage("write probe", path));
+      ::close(fd);
+      return st;
+    }
+    return std::unique_ptr<WritableFile>(
+        std::make_unique<PosixWritableFile>(fd, path));
+  }
+};
+
+}  // namespace
+
+Env* Env::Default() {
+  static PosixEnv env;
+  return &env;
+}
+
+// ------------------------------------------------------------------ crc32c
+
+uint32_t Crc32c(std::string_view bytes) {
+  static uint32_t table[256];
+  static bool init = [] {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0x82f63b78u ^ (c >> 1) : c >> 1;
+      }
+      table[i] = c;
+    }
+    return true;
+  }();
+  (void)init;
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char b : bytes) {
+    crc = table[(crc ^ b) & 0xff] ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+// --------------------------------------------------------- fault injection
+
+// At namespace scope (not anonymous) so FaultInjectingEnv's friend
+// declaration resolves to this definition.
+class FaultInjectingFile : public WritableFile {
+ public:
+  FaultInjectingFile(std::unique_ptr<WritableFile> base,
+                     FaultInjectingEnv* env, std::string path)
+      : base_(std::move(base)), env_(env), path_(std::move(path)) {}
+
+  Status Append(std::string_view data) override {
+    if (env_->ShouldInject(env_->options_.write_fault_p) && !data.empty()) {
+      // Torn write: a prefix reaches the file, then the "crash". The prefix
+      // length is seeded, so a fault schedule replays identically.
+      size_t prefix = env_->rng_.UniformU64(data.size());
+      Status st = base_->Append(data.substr(0, prefix));
+      env_->CrashIfConfigured();
+      if (!st.ok()) return st;
+      return Status::IOError("injected short write (" + std::to_string(prefix) +
+                             "/" + std::to_string(data.size()) + " bytes) to " +
+                             path_);
+    }
+    return base_->Append(data);
+  }
+
+  Status Sync() override {
+    if (env_->ShouldInject(env_->options_.sync_fault_p)) {
+      env_->CrashIfConfigured();
+      return Status::IOError("injected fsync failure on " + path_);
+    }
+    return base_->Sync();
+  }
+
+  Status Close() override { return base_->Close(); }
+
+ private:
+  std::unique_ptr<WritableFile> base_;
+  FaultInjectingEnv* env_;
+  std::string path_;
+};
+
+FaultInjectingEnv::FaultInjectingEnv(Env* base, FaultOptions options)
+    : base_(base), options_(options), rng_(options.seed) {}
+
+bool FaultInjectingEnv::ShouldInject(double p) {
+  if (p <= 0.0) return false;
+  if (!rng_.Bernoulli(p)) return false;
+  ++injected_faults_;
+  return true;
+}
+
+void FaultInjectingEnv::CrashIfConfigured() {
+  if (options_.crash_on_fault) {
+    // _exit: no atexit handlers, no stdio flush — whatever the torn write
+    // left behind is exactly what recovery will see.
+    ::_exit(kCrashExitCode);
+  }
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewAppendableFile(
+    const std::string& path) {
+  if (options_.fail_opens) {
+    ++injected_faults_;
+    return Status::IOError("injected open failure for " + path);
+  }
+  VQLDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         base_->NewAppendableFile(path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectingFile>(std::move(file), this, path));
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewTruncatedFile(
+    const std::string& path) {
+  if (options_.fail_opens) {
+    ++injected_faults_;
+    return Status::IOError("injected open failure for " + path);
+  }
+  VQLDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         base_->NewTruncatedFile(path));
+  return std::unique_ptr<WritableFile>(
+      std::make_unique<FaultInjectingFile>(std::move(file), this, path));
+}
+
+Result<std::string> FaultInjectingEnv::ReadFileToString(
+    const std::string& path) {
+  return base_->ReadFileToString(path);
+}
+
+bool FaultInjectingEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectingEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  return base_->RenameFile(from, to);
+}
+
+Status FaultInjectingEnv::RemoveFile(const std::string& path) {
+  return base_->RemoveFile(path);
+}
+
+Status FaultInjectingEnv::SyncDir(const std::string& path_in_dir) {
+  return base_->SyncDir(path_in_dir);
+}
+
+}  // namespace vqldb

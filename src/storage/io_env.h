@@ -1,0 +1,134 @@
+// Env: the storage layer's narrow door to the filesystem, in the style of
+// LevelDB/RocksDB's Env. Every durability-relevant operation — append,
+// fsync, atomic rename, directory sync — goes through this interface so
+// that (a) the journal and snapshot writers share one correct POSIX
+// implementation instead of ad-hoc ofstreams, and (b) tests and the
+// crash_test harness can substitute a FaultInjectingEnv that deterministically
+// tears writes, fails fsyncs, and crashes the process at seeded points.
+//
+// Durability contract of the default (POSIX) env:
+//   * WritableFile::Append issues write(2) until the buffer drains (short
+//     writes are retried, EINTR is handled); no userspace buffering.
+//   * WritableFile::Sync is fsync(2): on return the data is on stable
+//     storage (as far as the OS and hardware honor fsync).
+//   * Env::RenameFile is rename(2): atomic replacement within a filesystem.
+//   * Env::SyncDir fsyncs a directory, making renames/creates durable.
+
+#ifndef VQLDB_STORAGE_IO_ENV_H_
+#define VQLDB_STORAGE_IO_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "src/common/result.h"
+#include "src/common/rng.h"
+
+namespace vqldb {
+
+/// CRC-32C (Castagnoli polynomial, the checksum RFC 3720 / modern storage
+/// engines use) over a byte range. Distinct from the CRC-32 (IEEE) trailer
+/// of the binary snapshot format.
+uint32_t Crc32c(std::string_view bytes);
+
+/// An open file handle for appending. Not thread-safe.
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Writes `data` at the end of the file (retrying short writes).
+  virtual Status Append(std::string_view data) = 0;
+
+  /// fsync: on OK, everything appended so far is on stable storage.
+  virtual Status Sync() = 0;
+
+  /// Closes the descriptor. Further operations are invalid.
+  virtual Status Close() = 0;
+};
+
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// Opens `path` for appending, creating it if absent. Fails *eagerly*
+  /// (missing/unwritable directory, path component is a file) rather than
+  /// deferring the error to the first write.
+  virtual Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) = 0;
+
+  /// Opens `path` truncated (for freshly-written temp files).
+  virtual Result<std::unique_ptr<WritableFile>> NewTruncatedFile(
+      const std::string& path) = 0;
+
+  virtual Result<std::string> ReadFileToString(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// fsyncs the directory containing `path_in_dir` (or the directory itself
+  /// when the path is one), making completed renames/creates durable.
+  virtual Status SyncDir(const std::string& path_in_dir) = 0;
+
+  /// The process-wide POSIX environment.
+  static Env* Default();
+};
+
+/// Deterministic fault injection, after LevelDB/RocksDB's fault-injection
+/// test envs. Wraps a base env; each write/sync/open consults a seeded RNG
+/// and may inject:
+///   * a short (torn) write: only a prefix of the buffer reaches the base
+///     file — exactly what a crash mid-write leaves behind;
+///   * a failed fsync (Status::IOError; the data's durability is unknown);
+///   * a post-fault process crash (_exit(kCrashExitCode)) when
+///     `crash_on_fault` is set — the crash_test harness's kill points.
+/// The same seed yields the same fault schedule on every platform.
+struct FaultOptions {
+  uint64_t seed = 1;
+  double write_fault_p = 0.0;  // probability an Append is torn short
+  double sync_fault_p = 0.0;   // probability a Sync fails
+  bool crash_on_fault = false; // _exit(kCrashExitCode) right after injecting
+  bool fail_opens = false;     // every NewAppendableFile/NewTruncatedFile fails
+};
+
+class FaultInjectingEnv : public Env {
+ public:
+  /// Exit code used for injected crashes, so harnesses can distinguish an
+  /// injected kill from a genuine abort.
+  static constexpr int kCrashExitCode = 42;
+
+  FaultInjectingEnv(Env* base, FaultOptions options);
+
+  Result<std::unique_ptr<WritableFile>> NewAppendableFile(
+      const std::string& path) override;
+  Result<std::unique_ptr<WritableFile>> NewTruncatedFile(
+      const std::string& path) override;
+  Result<std::string> ReadFileToString(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status SyncDir(const std::string& path_in_dir) override;
+
+  /// Faults injected so far (short writes + failed syncs + failed opens).
+  size_t injected_faults() const { return injected_faults_; }
+
+ private:
+  friend class FaultInjectingFile;
+
+  // Decides one trial; counts the fault when injected.
+  bool ShouldInject(double p);
+
+  // When crash_on_fault is set, terminates the process without running
+  // atexit handlers or flushing stdio — a genuine crash as far as the
+  // filesystem is concerned.
+  void CrashIfConfigured();
+
+  Env* base_;
+  FaultOptions options_;
+  Rng rng_;
+  size_t injected_faults_ = 0;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_STORAGE_IO_ENV_H_

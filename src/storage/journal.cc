@@ -1,6 +1,5 @@
 #include "src/storage/journal.h"
 
-#include <filesystem>
 #include <sstream>
 
 #include "src/common/string_util.h"
@@ -11,12 +10,125 @@
 
 namespace vqldb {
 
-Result<Journal> Journal::Open(const std::string& path) {
-  auto file = std::make_unique<std::ofstream>(path, std::ios::app);
-  if (!*file) {
-    return Status::IOError("cannot open journal " + path + " for append");
+namespace {
+
+// "VQJL" as little-endian bytes; a plain-text or foreign file can never
+// start a record, so torn tails and legacy files are detected immediately.
+constexpr uint32_t kRecordMagic = 0x4C4A5156;
+constexpr size_t kRecordHeaderBytes = 12;  // magic + length + crc32c
+constexpr size_t kMaxRecordBytes = 1 << 26;
+
+void PutU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+uint32_t GetU32(std::string_view bytes, size_t pos) {
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(static_cast<uint8_t>(bytes[pos + i])) << (8 * i);
   }
-  return Journal(path, std::move(file));
+  return v;
+}
+
+struct JournalMetrics {
+  obs::Counter* appends;
+  obs::Counter* fsyncs;
+  obs::Counter* recovery_replayed;
+  obs::Counter* recovery_dropped;
+  obs::Counter* recoveries_truncated;
+};
+
+JournalMetrics& GetJournalMetrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static JournalMetrics m{
+      registry.GetCounter("vqldb_journal_appends_total",
+                          "Statements durably appended to journals"),
+      registry.GetCounter("vqldb_journal_fsyncs_total",
+                          "fsync(2) calls issued by journal writers"),
+      registry.GetCounter("vqldb_recovery_records_replayed_total",
+                          "Journal records applied during recovery"),
+      registry.GetCounter("vqldb_recovery_records_dropped_total",
+                          "Torn/corrupt journal records truncated during "
+                          "recovery"),
+      registry.GetCounter("vqldb_recovery_truncations_total",
+                          "Recoveries that cut a torn journal tail"),
+  };
+  return m;
+}
+
+}  // namespace
+
+std::string Journal::FrameRecord(std::string_view payload) {
+  std::string out;
+  out.reserve(kRecordHeaderBytes + payload.size());
+  PutU32(&out, kRecordMagic);
+  PutU32(&out, static_cast<uint32_t>(payload.size()));
+  PutU32(&out, Crc32c(payload));
+  out.append(payload);
+  return out;
+}
+
+Result<Journal> Journal::Open(const std::string& path, Options options) {
+  if (options.env == nullptr) options.env = Env::Default();
+  VQLDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                         options.env->NewAppendableFile(path));
+  return Journal(path, std::move(file), options);
+}
+
+Result<Journal> Journal::Open(const std::string& path) {
+  return Open(path, Options());
+}
+
+Journal::~Journal() {
+  // Batched records are best-effort on destruction; call Sync() for a
+  // checked flush.
+  if (file_ != nullptr && !batch_.empty()) FlushBatch();
+}
+
+Status Journal::FlushBatch() {
+  if (batch_.empty()) return Status::OK();
+  VQLDB_RETURN_NOT_OK(file_->Append(batch_));
+  VQLDB_RETURN_NOT_OK(file_->Sync());
+  GetJournalMetrics().fsyncs->Increment();
+  synced_ = appended_;
+  batch_.clear();
+  batch_statements_ = 0;
+  return Status::OK();
+}
+
+Status Journal::WriteRecord(std::string_view payload, size_t statement_count) {
+  std::string record = FrameRecord(payload);
+  switch (options_.durability) {
+    case Durability::kFlush:
+      VQLDB_RETURN_NOT_OK(file_->Append(record));
+      appended_ += statement_count;
+      break;
+    case Durability::kFsync:
+      VQLDB_RETURN_NOT_OK(file_->Append(record));
+      VQLDB_RETURN_NOT_OK(file_->Sync());
+      GetJournalMetrics().fsyncs->Increment();
+      appended_ += statement_count;
+      synced_ = appended_;
+      break;
+    case Durability::kBatch:
+      batch_.append(record);
+      batch_statements_ += statement_count;
+      appended_ += statement_count;
+      if (batch_.size() >= options_.batch_bytes) {
+        VQLDB_RETURN_NOT_OK(FlushBatch());
+      }
+      break;
+  }
+  GetJournalMetrics().appends->Increment(statement_count);
+  return Status::OK();
+}
+
+Status Journal::Sync() {
+  VQLDB_RETURN_NOT_OK(FlushBatch());
+  VQLDB_RETURN_NOT_OK(file_->Sync());
+  GetJournalMetrics().fsyncs->Increment();
+  synced_ = appended_;
+  return Status::OK();
 }
 
 Status Journal::Append(const std::string& statement_text) {
@@ -39,17 +151,7 @@ Status Journal::Append(const std::string& statement_text) {
             s.query.ToString());
     }
   }
-  std::string line(Trim(statement_text));
-  (*file_) << line << "\n";
-  file_->flush();
-  if (!file_->good()) {
-    return Status::IOError("append to journal " + path_ + " failed");
-  }
-  appended_ += program.statements.size();
-  static obs::Counter* appends = obs::MetricsRegistry::Global().GetCounter(
-      "vqldb_journal_appends_total", "Statements durably appended to journals");
-  appends->Increment(program.statements.size());
-  return Status::OK();
+  return WriteRecord(Trim(statement_text), program.statements.size());
 }
 
 Status Journal::RecordObject(const VideoDatabase& db, ObjectId id) {
@@ -88,30 +190,83 @@ Status Journal::RecordFact(const VideoDatabase& db, const Fact& fact) {
   return Append(fact.relation + "(" + Join(args, ", ") + ").");
 }
 
-Result<size_t> Journal::Replay(const std::string& path, VideoDatabase* db) {
-  if (!std::filesystem::exists(path)) return size_t{0};
-  std::ifstream file(path);
-  if (!file) return Status::IOError("cannot open journal " + path);
-  std::ostringstream buffer;
-  buffer << file.rdbuf();
-  VQLDB_ASSIGN_OR_RETURN(LoadedProgram loaded,
-                         TextFormat::Load(buffer.str(), db));
-  if (!loaded.rules.empty() || !loaded.queries.empty()) {
-    return Status::Corruption("journal " + path +
-                              " contains non-data statements");
+Result<RecoveryReport> Journal::Replay(const std::string& path,
+                                       VideoDatabase* db, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  RecoveryReport report;
+  if (!env->FileExists(path)) return report;
+  VQLDB_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
+
+  auto truncate_at = [&](size_t pos, const std::string& reason) {
+    report.truncated = true;
+    report.records_dropped = 1;  // the torn/bad record; nothing after it is
+                                 // trustworthy, so the tail goes with it
+    report.bytes_dropped = bytes.size() - pos;
+    report.truncation_reason = reason;
+  };
+
+  size_t pos = 0;
+  while (pos < bytes.size()) {
+    size_t remaining = bytes.size() - pos;
+    if (remaining < kRecordHeaderBytes) {
+      truncate_at(pos, "torn record header (" + std::to_string(remaining) +
+                           " trailing bytes)");
+      break;
+    }
+    if (GetU32(bytes, pos) != kRecordMagic) {
+      truncate_at(pos, "bad record magic at offset " + std::to_string(pos));
+      break;
+    }
+    uint32_t length = GetU32(bytes, pos + 4);
+    uint32_t crc = GetU32(bytes, pos + 8);
+    if (length > kMaxRecordBytes) {
+      truncate_at(pos, "implausible record length " + std::to_string(length));
+      break;
+    }
+    if (remaining - kRecordHeaderBytes < length) {
+      truncate_at(pos, "torn record payload (" + std::to_string(length) +
+                           " bytes framed, " +
+                           std::to_string(remaining - kRecordHeaderBytes) +
+                           " present)");
+      break;
+    }
+    std::string_view payload(bytes.data() + pos + kRecordHeaderBytes, length);
+    if (Crc32c(payload) != crc) {
+      truncate_at(pos,
+                  "record checksum mismatch at offset " + std::to_string(pos));
+      break;
+    }
+    // A CRC-valid record was written as-is by Append, which validates: a
+    // non-data payload here is genuine corruption, not a torn tail.
+    VQLDB_ASSIGN_OR_RETURN(LoadedProgram loaded, TextFormat::Load(payload, db));
+    ++report.records_replayed;
+    report.statements_replayed += loaded.decls + loaded.facts;
+    if (!loaded.rules.empty() || !loaded.queries.empty()) {
+      return Status::Corruption("journal " + path +
+                                " contains non-data statements");
+    }
+    pos += kRecordHeaderBytes + length;
   }
-  VQLDB_ASSIGN_OR_RETURN(Program program,
-                         Parser::ParseProgram(buffer.str()));
-  return program.statements.size();
+
+  JournalMetrics& m = GetJournalMetrics();
+  m.recovery_replayed->Increment(report.records_replayed);
+  m.recovery_dropped->Increment(report.records_dropped);
+  if (report.truncated) m.recoveries_truncated->Increment();
+  return report;
 }
 
 Result<VideoDatabase> Journal::Recover(const std::string& snapshot_path,
-                                       const std::string& journal_path) {
+                                       const std::string& journal_path,
+                                       RecoveryReport* report, Env* env) {
+  if (env == nullptr) env = Env::Default();
   VideoDatabase db;
-  if (!snapshot_path.empty() && std::filesystem::exists(snapshot_path)) {
-    VQLDB_ASSIGN_OR_RETURN(db, BinaryFormat::Load(snapshot_path));
+  if (!snapshot_path.empty() && env->FileExists(snapshot_path)) {
+    VQLDB_ASSIGN_OR_RETURN(std::string bytes,
+                           env->ReadFileToString(snapshot_path));
+    VQLDB_ASSIGN_OR_RETURN(db, BinaryFormat::Deserialize(bytes));
   }
-  VQLDB_RETURN_NOT_OK(Replay(journal_path, &db).status());
+  VQLDB_ASSIGN_OR_RETURN(RecoveryReport r, Replay(journal_path, &db, env));
+  if (report != nullptr) *report = r;
   return db;
 }
 

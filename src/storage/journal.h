@@ -3,32 +3,75 @@
 // periodically BinaryFormat::Save a snapshot, journal every mutation since,
 // and Recover() by restoring the snapshot and replaying the tail.
 //
+// Record framing (ARIES-flavored, torn-tail tolerant): every Append writes
+//   [magic u32][payload length u32][crc32c(payload) u32][payload bytes]
+// little-endian, where the payload is the statement text. Replay() verifies
+// each frame and, on the first bad one (torn header, short payload, CRC
+// mismatch — what a crash mid-append leaves behind), truncates: the good
+// prefix is applied, the tail is dropped, and the RecoveryReport says
+// exactly how much of each. A CRC-valid record whose payload is not a data
+// statement is real corruption and still fails recovery.
+//
+// Durability modes (Journal::Options::durability):
+//   kFlush — write(2) per append; data reaches the OS, survives process
+//            crashes but not power loss. The default (the legacy behavior).
+//   kFsync — write + fsync per append; on OK the statement is on stable
+//            storage. What the crash_test harness acknowledges against.
+//   kBatch — appends buffer in memory and reach the file (with one fsync)
+//            when `batch_bytes` accumulate, on Sync(), or on destruction.
+//
 // Statements are validated (parsed) before they are appended, so a journal
-// can always be replayed; each append is flushed to the OS before returning.
+// can always be replayed. All IO goes through an Env (io_env.h), so tests
+// inject faults deterministically.
 
 #ifndef VQLDB_STORAGE_JOURNAL_H_
 #define VQLDB_STORAGE_JOURNAL_H_
 
-#include <fstream>
 #include <memory>
 #include <string>
 
 #include "src/common/result.h"
 #include "src/model/database.h"
+#include "src/storage/io_env.h"
 
 namespace vqldb {
 
+/// What Replay() did: how much of the journal was applied, how much of a
+/// torn/corrupt tail was dropped.
+struct RecoveryReport {
+  size_t records_replayed = 0;    // framed records applied
+  size_t statements_replayed = 0; // statements inside those records
+  size_t records_dropped = 0;     // torn/bad records truncated from the tail
+  size_t bytes_dropped = 0;       // bytes of the file discarded with them
+  bool truncated = false;         // a torn tail was detected and cut
+  std::string truncation_reason;  // human-readable cause, empty when clean
+};
+
 class Journal {
  public:
-  /// Opens (creating or appending to) the journal at `path`.
+  enum class Durability { kFlush, kFsync, kBatch };
+
+  struct Options {
+    Durability durability = Durability::kFlush;
+    /// kBatch: auto-flush once this many buffered bytes accumulate.
+    size_t batch_bytes = 1 << 16;
+    /// IO environment; nullptr = Env::Default(). Not owned.
+    Env* env = nullptr;
+  };
+
+  /// Opens (creating or appending to) the journal at `path`. Fails eagerly
+  /// on unopenable/unwritable paths — no silent success until first append.
+  static Result<Journal> Open(const std::string& path, Options options);
   static Result<Journal> Open(const std::string& path);
 
   Journal(Journal&&) = default;
   Journal& operator=(Journal&&) = default;
+  ~Journal();
 
   /// Validates and appends one statement (a declaration or a ground fact,
   /// e.g. `object o9 { name: "Rupert" }.` or `in(o1, o4, gi1).`). Rules and
   /// queries are rejected — they belong to programs, not to the data log.
+  /// Under kFsync, OK means the record is on stable storage.
   Status Append(const std::string& statement_text);
 
   /// Renders and appends the declaration of an existing object.
@@ -37,27 +80,54 @@ class Journal {
   /// Renders and appends a fact assertion.
   Status RecordFact(const VideoDatabase& db, const Fact& fact);
 
+  /// Flushes any batched records and fsyncs. After OK, every statement
+  /// appended so far is durable regardless of mode.
+  Status Sync();
+
   /// Statements appended through this handle.
   size_t appended() const { return appended_; }
+  /// Statements known fsynced to stable storage through this handle.
+  size_t synced() const { return synced_; }
   const std::string& path() const { return path_; }
+  Durability durability() const { return options_.durability; }
 
-  /// Replays a journal into `db`; returns the number of statements applied.
-  /// Unknown files count as empty (0 statements) so recovery works before
-  /// the first append.
-  static Result<size_t> Replay(const std::string& path, VideoDatabase* db);
+  /// Frames `payload` as one journal record (exposed for tests and the
+  /// crash harness to craft journals byte-for-byte).
+  static std::string FrameRecord(std::string_view payload);
+
+  /// Replays a journal into `db`. Unknown files count as empty so recovery
+  /// works before the first append. Torn tails truncate (see RecoveryReport);
+  /// CRC-valid non-data payloads are Corruption.
+  static Result<RecoveryReport> Replay(const std::string& path,
+                                       VideoDatabase* db, Env* env = nullptr);
 
   /// Snapshot + log recovery: restores the binary snapshot (or starts empty
   /// when `snapshot_path` is empty/absent) and replays the journal tail.
+  /// `report` (optional) receives the replay outcome.
   static Result<VideoDatabase> Recover(const std::string& snapshot_path,
-                                       const std::string& journal_path);
+                                       const std::string& journal_path,
+                                       RecoveryReport* report = nullptr,
+                                       Env* env = nullptr);
 
  private:
-  Journal(std::string path, std::unique_ptr<std::ofstream> file)
-      : path_(std::move(path)), file_(std::move(file)) {}
+  Journal(std::string path, std::unique_ptr<WritableFile> file,
+          Options options)
+      : path_(std::move(path)), file_(std::move(file)), options_(options) {}
+
+  // Writes (and per mode flushes/fsyncs) one framed record carrying
+  // `statement_count` statements.
+  Status WriteRecord(std::string_view payload, size_t statement_count);
+
+  // Drains the batch buffer to the file and fsyncs it.
+  Status FlushBatch();
 
   std::string path_;
-  std::unique_ptr<std::ofstream> file_;
+  std::unique_ptr<WritableFile> file_;
+  Options options_;
+  std::string batch_;           // kBatch: framed records awaiting the file
+  size_t batch_statements_ = 0; // statements inside batch_
   size_t appended_ = 0;
+  size_t synced_ = 0;
 };
 
 }  // namespace vqldb

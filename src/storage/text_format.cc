@@ -120,10 +120,12 @@ Result<LoadedProgram> TextFormat::Load(std::string_view text,
     switch (s.kind) {
       case Statement::Kind::kDecl:
         VQLDB_RETURN_NOT_OK(QuerySession::ApplyDecl(s.decl, db));
+        ++out.decls;
         break;
       case Statement::Kind::kRule:
         if (s.rule.IsFact() && !s.rule.IsConstructive()) {
           VQLDB_RETURN_NOT_OK(QuerySession::ApplyFact(s.rule, db));
+          ++out.facts;
         } else {
           out.rules.push_back(s.rule);
         }

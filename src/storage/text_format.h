@@ -19,6 +19,8 @@ namespace vqldb {
 struct LoadedProgram {
   std::vector<Rule> rules;    // proper rules found in the text
   std::vector<Query> queries; // embedded ?- queries (not executed)
+  size_t decls = 0;           // declarations applied to the database
+  size_t facts = 0;           // ground facts asserted into the database
 };
 
 class TextFormat {

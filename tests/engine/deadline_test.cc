@@ -1,0 +1,158 @@
+// Deadline and cancellation semantics: an expired deadline or a tripped
+// CancelToken makes evaluation return a structured error (DeadlineExceeded /
+// Cancelled) from the next round boundary — never an abort, never a hang —
+// and the session/shell layers surface it as an ordinary query error.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+
+#include "src/common/cancel.h"
+#include "src/engine/evaluator.h"
+#include "src/engine/query.h"
+#include "src/lang/parser.h"
+#include "src/obs/metrics.h"
+
+namespace vqldb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// A chain EDB long enough that transitive closure takes several rounds.
+void SeedChain(VideoDatabase* db, int n) {
+  for (int i = 0; i <= n; ++i) {
+    ASSERT_TRUE(db->CreateEntity("n" + std::to_string(i)).ok());
+  }
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(db->AssertFact("edge",
+                               {Value::Oid(*db->Resolve("n" + std::to_string(i))),
+                                Value::Oid(*db->Resolve("n" + std::to_string(i + 1)))})
+                    .ok());
+  }
+}
+
+std::vector<Rule> ClosureRules() {
+  std::vector<Rule> rules;
+  for (const char* text : {"path(X, Y) <- edge(X, Y).",
+                           "path(X, Z) <- path(X, Y), edge(Y, Z)."}) {
+    auto r = Parser::ParseRule(text);
+    EXPECT_TRUE(r.ok()) << r.status();
+    rules.push_back(*r);
+  }
+  return rules;
+}
+
+TEST(DeadlineTest, ExpiredDeadlineFailsStructuredSerial) {
+  VideoDatabase db;
+  SeedChain(&db, 32);
+  EvalOptions options;
+  options.num_threads = 1;
+  options.deadline = Clock::now() - std::chrono::seconds(1);
+  auto eval = Evaluator::Make(&db, ClosureRules(), options);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_FALSE(fp.ok());
+  EXPECT_TRUE(fp.status().IsDeadlineExceeded()) << fp.status();
+}
+
+TEST(DeadlineTest, ExpiredDeadlineFailsStructuredParallel) {
+  VideoDatabase db;
+  SeedChain(&db, 32);
+  EvalOptions options;
+  options.num_threads = 4;
+  options.deadline = Clock::now() - std::chrono::seconds(1);
+  auto eval = Evaluator::Make(&db, ClosureRules(), options);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_FALSE(fp.ok());
+  EXPECT_TRUE(fp.status().IsDeadlineExceeded()) << fp.status();
+}
+
+TEST(DeadlineTest, FutureDeadlineDoesNotInterfere) {
+  VideoDatabase db;
+  SeedChain(&db, 16);
+  EvalOptions options;
+  options.deadline = Clock::now() + std::chrono::minutes(10);
+  auto eval = Evaluator::Make(&db, ClosureRules(), options);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok()) << fp.status();
+  // 16-node chain: 16*17/2 = 136 path facts.
+  EXPECT_EQ(fp->FactsFor("path").size(), 136u);
+}
+
+TEST(DeadlineTest, PreCancelledTokenFailsCancelled) {
+  VideoDatabase db;
+  SeedChain(&db, 8);
+  EvalOptions options;
+  options.cancel = std::make_shared<CancelToken>();
+  options.cancel->Cancel();
+  auto eval = Evaluator::Make(&db, ClosureRules(), options);
+  ASSERT_TRUE(eval.ok());
+  auto fp = eval->Fixpoint();
+  ASSERT_FALSE(fp.ok());
+  EXPECT_TRUE(fp.status().IsCancelled()) << fp.status();
+}
+
+TEST(DeadlineTest, CancelTokenResetRestoresEvaluation) {
+  VideoDatabase db;
+  SeedChain(&db, 8);
+  EvalOptions options;
+  options.cancel = std::make_shared<CancelToken>();
+  options.cancel->Cancel();
+  options.cancel->Reset();
+  auto eval = Evaluator::Make(&db, ClosureRules(), options);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_TRUE(eval->Fixpoint().ok());
+}
+
+TEST(DeadlineTest, QuerySessionSurfacesDeadlineExceeded) {
+  VideoDatabase db;
+  SeedChain(&db, 32);
+  QuerySession session(&db);
+  ASSERT_TRUE(session.AddRule("path(X, Y) <- edge(X, Y).").ok());
+  ASSERT_TRUE(session.AddRule("path(X, Z) <- path(X, Y), edge(Y, Z).").ok());
+
+  session.mutable_options()->deadline = Clock::now() - std::chrono::seconds(1);
+  auto result = session.Query("?- path(X, Y).");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status();
+
+  // Clearing the deadline lets the same session answer the same query — the
+  // failed attempt left no poisoned state behind.
+  session.mutable_options()->deadline.reset();
+  auto retry = session.Query("?- path(X, Y).");
+  ASSERT_TRUE(retry.ok()) << retry.status();
+  EXPECT_EQ(retry->size(), 32u * 33u / 2u);
+}
+
+TEST(DeadlineTest, ExplainAnalyzeSurfacesDeadlineExceeded) {
+  VideoDatabase db;
+  SeedChain(&db, 32);
+  QuerySession session(&db);
+  ASSERT_TRUE(session.AddRule("path(X, Y) <- edge(X, Y).").ok());
+  ASSERT_TRUE(session.AddRule("path(X, Z) <- path(X, Y), edge(Y, Z).").ok());
+  session.mutable_options()->deadline = Clock::now() - std::chrono::seconds(1);
+  auto explained = session.Explain("?- path(X, Y).", /*analyze=*/true);
+  ASSERT_FALSE(explained.ok());
+  EXPECT_TRUE(explained.status().IsDeadlineExceeded()) << explained.status();
+}
+
+TEST(DeadlineTest, DeadlineExceededCounterIncrements) {
+  auto* counter = obs::MetricsRegistry::Global().GetCounter(
+      "vqldb_queries_deadline_exceeded_total");
+  uint64_t before = counter->value();
+
+  VideoDatabase db;
+  SeedChain(&db, 16);
+  EvalOptions options;
+  options.deadline = Clock::now() - std::chrono::seconds(1);
+  auto eval = Evaluator::Make(&db, ClosureRules(), options);
+  ASSERT_TRUE(eval.ok());
+  ASSERT_FALSE(eval->Fixpoint().ok());
+  EXPECT_GE(counter->value(), before + 1);
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -154,7 +154,8 @@ TEST_F(ReplTest, JournalMirrorsDataStatements) {
   VideoDatabase fresh;
   auto replayed = Journal::Replay(path, &fresh);
   ASSERT_TRUE(replayed.ok()) << replayed.status();
-  EXPECT_EQ(*replayed, 1u);  // only the declaration
+  EXPECT_EQ(replayed->statements_replayed, 1u);  // only the declaration
+  EXPECT_FALSE(replayed->truncated);
   EXPECT_EQ(fresh.Entities().size(), 1u);
   std::filesystem::remove(path);
 }

@@ -8,7 +8,13 @@
 # 2. Smoke-test the observability surface: a scripted vql run under
 #    --metrics-out/--trace-out, with both artifacts schema-checked by
 #    tools/obs_check.
-# 3. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
+# 3. Crash-recovery smoke: tools/crash_test forks writer children, kills
+#    them at deterministically injected fault points, and asserts no
+#    fsync-acknowledged statement is ever lost across 25 seeded iterations.
+# 4. Deadline smoke: a heavy transitive-closure program under
+#    `vql --timeout-ms=1` must fail with a clean "Deadline exceeded" error
+#    and exit 0 — a structured failure, never an abort.
+# 5. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
 #    determinism test and the thread-pool tests under TSan.
 set -euo pipefail
 
@@ -41,6 +47,22 @@ grep -q "per rule:" "$OBS_TMP/shell.out" \
   || { echo "EXPLAIN ANALYZE output missing its profile table"; exit 1; }
 ./build/tools/obs_check metrics "$OBS_TMP/metrics.json"
 ./build/tools/obs_check trace "$OBS_TMP/trace.json"
+
+echo "== crash-recovery smoke: crash_test --iterations=25 --seed=1 =="
+./build/tools/crash_test --iterations=25 --seed=1 --dir="$OBS_TMP/crash"
+
+echo "== deadline smoke: vql --timeout-ms=1 on a heavy program =="
+{
+  for i in $(seq 0 400); do echo "object n$i { }."; done
+  for i in $(seq 0 399); do echo "edge(n$i, n$((i+1)))."; done
+  echo "path(X, Y) <- edge(X, Y)."
+  echo "path(X, Z) <- path(X, Y), edge(Y, Z)."
+  echo "?- path(X, Y)."
+  echo ".quit"
+} > "$OBS_TMP/heavy.vql"
+./build/tools/vql --timeout-ms=1 <"$OBS_TMP/heavy.vql" >"$OBS_TMP/deadline.out"
+grep -q "Deadline exceeded" "$OBS_TMP/deadline.out" \
+  || { echo "expected a structured Deadline exceeded error"; exit 1; }
 
 echo "== tsan: build (-DVQLDB_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DVQLDB_SANITIZE=thread >/dev/null

@@ -12,6 +12,9 @@
 //                          trace_event JSON (chrome://tracing, Perfetto)
 //   --log-level=<level>    debug|info|warn|error|fatal (or env VQLDB_LOG;
 //                          the flag wins; also settable at runtime: .loglevel)
+//   --timeout-ms=<ms>      per-query wall-clock budget; queries that exceed
+//                          it fail with "Deadline exceeded" and the shell
+//                          keeps running (also settable at runtime: .timeout)
 
 #include <cstdlib>
 #include <fstream>
@@ -51,6 +54,7 @@ int main(int argc, char** argv) {
   EvalOptions options;
   std::string metrics_out;
   std::string trace_out;
+  long timeout_ms = 0;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -71,6 +75,16 @@ int main(int argc, char** argv) {
         return 1;
       }
       SetLogLevel(level);
+      continue;
+    }
+    if (StartsWith(arg, "--timeout-ms=")) {
+      std::string value = arg.substr(std::string("--timeout-ms=").size());
+      char* end = nullptr;
+      timeout_ms = std::strtol(value.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0' || timeout_ms < 1) {
+        std::cerr << "--timeout-ms requires a positive integer\n";
+        return 1;
+      }
       continue;
     }
     if (arg == "--threads") {
@@ -119,6 +133,7 @@ int main(int argc, char** argv) {
   }
 
   Repl repl(&db, options);
+  if (timeout_ms > 0) repl.set_timeout_ms(timeout_ms);
   for (const Rule& rule : preloaded_rules) {
     Status st = repl.session().AddRule(rule);
     if (!st.ok()) std::cerr << "warning: " << st << "\n";
