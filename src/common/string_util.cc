@@ -2,6 +2,7 @@
 
 #include <cctype>
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 
@@ -68,6 +69,26 @@ std::string FormatDouble(double v) {
     if (std::strtod(shorter, nullptr) == v) return shorter;
   }
   return buf;
+}
+
+bool ParseNonNegativeInt(std::string_view s, int64_t* out) {
+  // Hand-rolled digit walk instead of std::strtol: strtol accepts leading
+  // whitespace, stops at the first non-digit (trailing garbage parses), and
+  // clamps overflow to LONG_MAX with only errno to tell — three silent
+  // acceptance bugs this helper exists to close.
+  size_t i = 0;
+  if (i < s.size() && s[i] == '+') ++i;
+  if (i >= s.size()) return false;  // empty, or a bare "+"
+  int64_t value = 0;
+  for (; i < s.size(); ++i) {
+    char c = s[i];
+    if (c < '0' || c > '9') return false;  // '-', whitespace, trailing garbage
+    int digit = c - '0';
+    if (value > (INT64_MAX - digit) / 10) return false;  // would overflow
+    value = value * 10 + digit;
+  }
+  *out = value;
+  return true;
 }
 
 std::string QuoteString(std::string_view s) {

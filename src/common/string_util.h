@@ -3,6 +3,7 @@
 #ifndef VQLDB_COMMON_STRING_UTIL_H_
 #define VQLDB_COMMON_STRING_UTIL_H_
 
+#include <cstdint>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -34,6 +35,14 @@ std::string FormatDouble(double v);
 /// Quotes and escapes a string for the query-language / storage text format:
 /// `ab"c` -> `"ab\"c"`.
 std::string QuoteString(std::string_view s);
+
+/// Strict base-10 parse of a non-negative integer. Returns true and stores
+/// the value iff `s` is entirely one optionally-'+'-signed digit sequence
+/// that fits in int64_t. Rejects: empty input, leading/trailing garbage
+/// (including whitespace), any '-' sign (even "-0"), and out-of-range
+/// values (errno == ERANGE — std::strtol would silently clamp these to
+/// LONG_MAX). The shared helper behind every shell/tool numeric option.
+bool ParseNonNegativeInt(std::string_view s, int64_t* out);
 
 /// Joins with a callable formatter: JoinMapped(v, ", ", [](auto& x){...}).
 template <typename Container, typename Fn>

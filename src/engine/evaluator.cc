@@ -160,7 +160,12 @@ Result<Interpretation> Evaluator::Edb() const {
       edb.Add(fact);
     }
   }
+  for (const Fact& fact : seed_facts_) edb.Add(fact);
   return edb;
+}
+
+void Evaluator::AddSeedFacts(std::vector<Fact> facts) {
+  for (Fact& f : facts) seed_facts_.push_back(std::move(f));
 }
 
 bool Evaluator::InClass(ObjectId id, BuiltinClass builtin) const {
@@ -507,7 +512,11 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
   std::vector<Value> probe_key;
   if (probe_mask != 0) {
     probe_key.reserve(static_cast<size_t>(__builtin_popcountll(probe_mask)));
-    for (size_t i = 0; i < lit.args.size() && (probe_mask >> i) != 0; ++i) {
+    // i < 64: shifting a uint64_t by >= 64 is UB, and the compiler never
+    // marks positions beyond 63 in bound_mask (arity > 64 literals probe on
+    // their first 64 positions and filter the rest in try_fact).
+    for (size_t i = 0; i < lit.args.size() && i < 64 && (probe_mask >> i) != 0;
+         ++i) {
       if (!(probe_mask >> i & 1)) continue;
       const CompiledTerm& arg = lit.args[i];
       probe_key.push_back(arg.is_var ? env->Get(arg.var) : arg.value);
@@ -623,11 +632,35 @@ Status Evaluator::CheckInterrupt() const {
   return Status::OK();
 }
 
+namespace {
+// Freezes the round's shared interpretations for the duration of a scope:
+// task bodies hold Lookup/LookupMulti references into them, so any Add
+// (insert-while-iterating) must die loudly instead of invalidating live
+// iterations. Derived facts go to per-task private outputs, never here.
+class FreezeScope {
+ public:
+  FreezeScope(const Interpretation& full, const Interpretation* delta)
+      : full_(full), delta_(delta) {
+    full_.Freeze();
+    if (delta_ != nullptr) delta_->Freeze();
+  }
+  ~FreezeScope() {
+    full_.Thaw();
+    if (delta_ != nullptr) delta_->Thaw();
+  }
+
+ private:
+  const Interpretation& full_;
+  const Interpretation* delta_;
+};
+}  // namespace
+
 Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
                            const Interpretation& full,
                            const Interpretation* delta,
                            const std::vector<ObjectId>* interval_delta,
                            Interpretation* out) {
+  FreezeScope freeze(full, delta);
   const bool prof = options_.collect_profile;
   if (prof) EnsureProfileRules();
   size_t threads = effective_threads();

@@ -167,6 +167,14 @@ class Evaluator {
   /// The EDB: database facts plus program facts (what Fixpoint starts from).
   Result<Interpretation> Edb() const;
 
+  /// Extra ground facts folded into the EDB of every Fixpoint()/ApplyOnce()
+  /// — the seeding mechanism of the magic-set transformation (the demand
+  /// facts m#goal(bound values) that start goal-directed derivation). The
+  /// facts live in the evaluation's interpretation only; the database is
+  /// never mutated.
+  void AddSeedFacts(std::vector<Fact> facts);
+  const std::vector<Fact>& seed_facts() const { return seed_facts_; }
+
   const EvalStats& stats() const { return stats_; }
 
   /// The last Fixpoint()'s profile; empty unless options.collect_profile.
@@ -253,6 +261,7 @@ class Evaluator {
   EvalOptions options_;
   std::vector<CompiledRule> rules_;
   std::vector<Rule> source_rules_;
+  std::vector<Fact> seed_facts_;
   EvalStats stats_;
   EvalProfile profile_;
   std::unique_ptr<ThreadPool> pool_;  // lazily created, reused across rounds

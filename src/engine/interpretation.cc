@@ -1,5 +1,6 @@
 #include "src/engine/interpretation.h"
 
+#include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/obs/metrics.h"
 
@@ -19,11 +20,15 @@ obs::Counter* JoinIndexBuilds() {
 }  // namespace
 
 bool Interpretation::Add(Fact fact) {
+  VQLDB_CHECK(!frozen_) << "Interpretation::Add(" << fact.relation
+                        << "/...) while frozen — insert-while-iterating "
+                           "would invalidate live index references";
   PredicateStore& store = stores_[fact.relation];
   if (store.members.count(fact)) return false;
   store.members.insert(fact);
   store.facts.push_back(std::move(fact));
   ++total_;
+  ++generation_;
   return true;
 }
 
@@ -70,7 +75,12 @@ void Interpretation::ExtendMultiIndex(const PredicateStore& store,
     const Fact& f = store.facts[mi->upto];
     key.clear();
     bool indexable = true;
-    for (size_t pos = 0; pos < f.args.size() && (mask >> pos) != 0; ++pos) {
+    // Cap the walk at position 63: a uint64_t shift by >= 64 is undefined
+    // behavior, and the bitmap cannot name positions beyond it anyway —
+    // facts of arity > 64 are indexed by their first 64 positions, which is
+    // exact for every representable mask.
+    for (size_t pos = 0; pos < f.args.size() && pos < 64 && (mask >> pos) != 0;
+         ++pos) {
       if (mask >> pos & 1) key.push_back(f.args[pos]);
     }
     // Facts too short for the mask can never match a probe at these
@@ -88,6 +98,16 @@ const std::vector<size_t>& Interpretation::LookupMulti(
   auto it = stores_.find(predicate);
   if (it == stores_.end()) return EmptyIndex();
   const PredicateStore& store = it->second;
+  if (mask == 0) {
+    // Nothing bound: degrade to a full scan. Every fact trivially matches
+    // the empty key, so the mask-0 index maps {} -> all positions; probe it
+    // with the empty key regardless of what the caller passed.
+    static const std::vector<Value> kEmptyKey;
+    MultiIndex& mi = store.multi_index[0];
+    ExtendMultiIndex(store, 0, &mi);
+    auto vit = mi.map.find(kEmptyKey);
+    return vit == mi.map.end() ? EmptyIndex() : vit->second;
+  }
   auto mit = store.multi_index.find(mask);
   if (mit == store.multi_index.end() ||
       mit->second.upto < store.facts.size()) {
@@ -104,7 +124,6 @@ const std::vector<size_t>& Interpretation::LookupMulti(
 
 void Interpretation::PrepareIndex(const std::string& predicate,
                                   uint64_t mask) const {
-  if (mask == 0) return;
   auto it = stores_.find(predicate);
   if (it == stores_.end()) return;
   const PredicateStore& store = it->second;

@@ -27,7 +27,9 @@ class Interpretation {
  public:
   Interpretation() = default;
 
-  /// Adds a fact; returns true iff it was not already present.
+  /// Adds a fact; returns true iff it was not already present. Fatal when
+  /// the interpretation is frozen (see Freeze) — the insert-while-iterating
+  /// guard for code holding Lookup/LookupMulti references.
   bool Add(Fact fact);
 
   bool Contains(const Fact& fact) const;
@@ -37,6 +39,16 @@ class Interpretation {
 
   /// Positions of facts of `predicate` whose argument `pos` equals `value`
   /// (indexes into FactsFor(predicate)). Builds/extends the index lazily.
+  ///
+  /// Reference validity contract (also for LookupMulti): the returned
+  /// reference is stable until the next Add() of a fact of the same
+  /// predicate — a later probe then extends the lazily built index, which
+  /// may grow the very vector the reference designates and invalidate any
+  /// iteration in flight. Callers that interleave Add with iteration must
+  /// either copy the candidate list first or re-probe after every Add (the
+  /// re-probe always returns the complete, current candidate set). Use
+  /// Freeze() to turn a violation into an immediate fatal error instead of
+  /// silent undefined behavior; generation() detects intervening mutation.
   const std::vector<size_t>& Lookup(const std::string& predicate, size_t pos,
                                     const Value& value) const;
 
@@ -44,7 +56,16 @@ class Interpretation {
   /// every set bit of `mask` (bit i = argument position i) equals the
   /// corresponding element of `key` (key holds the bound values in ascending
   /// position order; key.size() == popcount(mask)). Builds/extends the
-  /// per-mask hash index lazily. `mask` must be non-zero.
+  /// per-mask hash index lazily.
+  ///
+  /// Edge cases, both structured rather than undefined:
+  ///   * mask == 0 degrades to a full scan — `key` is ignored and the
+  ///     positions of every fact of the predicate are returned (callers with
+  ///     nothing bound get the complete candidate list, never a silent miss);
+  ///   * argument positions >= 64 cannot be expressed in the bitmap, so
+  ///     facts of arity > 64 are indexed by their first 64 positions only —
+  ///     exact for every representable mask (bits >= 64 do not exist).
+  /// See Lookup for the reference validity contract.
   const std::vector<size_t>& LookupMulti(const std::string& predicate,
                                          uint64_t mask,
                                          const std::vector<Value>& key) const;
@@ -55,6 +76,21 @@ class Interpretation {
   /// probes from the parallel fixpoint engine safe on an otherwise immutable
   /// Interpretation.
   void PrepareIndex(const std::string& predicate, uint64_t mask) const;
+
+  /// Freezes the fact set: any subsequent Add() is a fatal programming
+  /// error until Thaw(). The evaluator freezes the round's shared `full` and
+  /// `delta` interpretations while tasks iterate index references, so an
+  /// insert-while-iterating regression dies loudly at the mutation site
+  /// instead of corrupting an iteration. Lazy index extension stays allowed
+  /// (it never moves existing fact or bucket storage the caller could hold).
+  void Freeze() const { frozen_ = true; }
+  void Thaw() const { frozen_ = false; }
+  bool frozen() const { return frozen_; }
+
+  /// Mutation counter: incremented by every successful Add(). Callers that
+  /// must hold a Lookup/LookupMulti reference across unrelated code can
+  /// snapshot this and re-probe when it changed.
+  uint64_t generation() const { return generation_; }
 
   /// All predicate names with at least one fact, sorted.
   std::vector<std::string> Predicates() const;
@@ -105,6 +141,8 @@ class Interpretation {
 
   std::map<std::string, PredicateStore> stores_;
   size_t total_ = 0;
+  uint64_t generation_ = 0;
+  mutable bool frozen_ = false;
 };
 
 }  // namespace vqldb

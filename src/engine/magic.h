@@ -1,0 +1,89 @@
+// Magic-set rewriting: the demand transformation that makes bottom-up
+// evaluation goal-directed. Given a query goal with some arguments bound to
+// constants, the rewriter derives an adorned program in which every rule of
+// the goal's dependency cone is guarded by a "magic" demand predicate
+// (m#<pred>#<adornment>) recording which bindings the computation actually
+// needs. Seeded with the goal's own bound values, the semi-naive fixpoint of
+// the rewritten program derives only tuples relevant to the goal — typically
+// a small fraction of the full least model — while producing exactly the
+// same answer set for the goal (the equivalence is property-tested against
+// the naive fixpoint, serially and in parallel).
+//
+// Dialect notes. The rewrite targets the paper's positive rule language
+// (Defs. 10-13): relational literals, builtin class literals (Interval /
+// Object / Anyobject), concrete-domain checks, and constraint atoms.
+//   * Adornments are bound-position bitmaps (bit i = argument i bound),
+//     capped at 64 positions like the engine's join indexes; positions >= 64
+//     are treated as free, which is sound (a looser guard admits more
+//     tuples, never fewer).
+//   * Guarded copies emit into the *original* head predicate rather than a
+//     renamed adorned one. Soundness: a guarded body implies the original
+//     body, so every derived fact is in the full least model. Completeness:
+//     each demanded adornment contributes copies that derive every matching
+//     fact, and demand propagation follows the written literal order (the
+//     sideways-information-passing strategy), so prefix joins always find
+//     the sub-facts they need.
+//   * The '#' character cannot appear in a parsed predicate name, so magic
+//     predicates can never collide with user predicates.
+//
+// The rewrite declines (MagicRewrite::applied == false, with a reason) when
+// goal-directed pruning could change answers: constructive (++) rules in the
+// goal's cone, builtin class literals whose object domain constructive rules
+// elsewhere could extend, the extended active domain, and builtin-class
+// goals. Callers fall back to full materialization, preserving equivalence.
+
+#ifndef VQLDB_ENGINE_MAGIC_H_
+#define VQLDB_ENGINE_MAGIC_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/engine/evaluator.h"
+#include "src/lang/ast.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+
+/// The rules whose head predicates the goal `predicate` transitively
+/// depends on (the dependency cone), in original rule order. A rule outside
+/// the cone cannot contribute a fact of any predicate the goal can reach.
+std::vector<Rule> DependencyCone(const std::string& predicate,
+                                 const std::vector<Rule>& rules);
+
+/// Result of the demand transformation.
+struct MagicRewrite {
+  /// False when the rewrite declined (see `reason`); the caller must fall
+  /// back to evaluating the unrewritten program.
+  bool applied = false;
+  std::string reason;
+
+  /// The goal's adornment string ('b' = bound argument, 'f' = free), e.g.
+  /// "bf" for ?- path(a, Y).
+  std::string adornment;
+
+  /// The rewritten program: demand rules plus guarded copies of the cone.
+  std::vector<Rule> rules;
+  /// Demand seed facts (the goal's bound values) for Evaluator::AddSeedFacts.
+  std::vector<Fact> seed_facts;
+
+  size_t magic_rule_count = 0;    // demand (m#...) rules generated
+  size_t guarded_rule_count = 0;  // cone copies carrying a demand guard
+};
+
+class MagicSetRewriter {
+ public:
+  /// Rewrites `rules` for goal-directed evaluation of `query`. `db` resolves
+  /// the goal's constant symbols into seed values; `options` supplies the
+  /// concrete domain (whose predicates are checks, not demands) and the
+  /// extended-active-domain flag. Errors only on unresolvable goal
+  /// constants — the same error the un-rewritten query would report.
+  static Result<MagicRewrite> Rewrite(const Query& query,
+                                      const std::vector<Rule>& rules,
+                                      const VideoDatabase& db,
+                                      const EvalOptions& options);
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_ENGINE_MAGIC_H_

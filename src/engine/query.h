@@ -2,13 +2,24 @@
 // Load a program (declarations populate the database, facts assert into it,
 // rules accumulate), then ask queries (Def. 13) against the least fixpoint
 // of the rules over the database.
+//
+// Query execution is goal-directed by default: Run() first consults a
+// memoizing query cache (keyed on the goal's shape, its bound values, and
+// the database/rule epochs, so entries can never outlive the state they
+// were computed against), then applies the magic-set demand transformation
+// (src/engine/magic.h) so the fixpoint derives only goal-relevant tuples,
+// falling back to full materialization whenever the rewrite declines. All
+// three paths produce identical answer sets.
 
 #ifndef VQLDB_ENGINE_QUERY_H_
 #define VQLDB_ENGINE_QUERY_H_
 
+#include <cstdint>
+#include <list>
 #include <optional>
 #include <string>
 #include <string_view>
+#include <unordered_map>
 #include <vector>
 
 #include "src/common/result.h"
@@ -32,10 +43,23 @@ struct QueryResult {
   std::string ToString(const VideoDatabase* db = nullptr) const;
 };
 
+/// How the last Run() actually answered its query (introspection for tests,
+/// the shell, and EXPLAIN).
+struct QueryExecInfo {
+  bool cache_hit = false;   // served from the query cache, no evaluation
+  bool used_magic = false;  // evaluated the magic-rewritten program
+  std::string magic_reason; // why the rewrite declined (when it did)
+  std::string adornment;    // goal adornment when magic applied, e.g. "bf"
+  size_t magic_rule_count = 0;
+  size_t guarded_rule_count = 0;
+};
+
 /// A stateful session over one database.
 ///
 /// Fixpoints are cached between queries and invalidated when rules are
-/// added. Mutating the database outside the session requires Invalidate().
+/// added. Mutating the database outside the session requires Invalidate()
+/// only for the full-materialization cache; the query cache keys on the
+/// database's mutation epoch and invalidates itself.
 class QuerySession {
  public:
   explicit QuerySession(VideoDatabase* db, EvalOptions options = {});
@@ -49,7 +73,9 @@ class QuerySession {
   Status AddRule(std::string_view rule_text);
   Status AddRule(Rule rule);
 
-  /// Runs "?- goal." and returns its answer set.
+  /// Runs "?- goal." and returns its answer set. Dispatch order: query
+  /// cache (when enabled), magic-set goal-directed evaluation (when enabled
+  /// and applicable), full materialization otherwise.
   Result<QueryResult> Query(std::string_view query_text);
   Result<QueryResult> Run(const struct Query& query);
 
@@ -61,11 +87,21 @@ class QuerySession {
   Result<QueryResult> QueryGoalDirected(std::string_view query_text);
   Result<QueryResult> RunGoalDirected(const struct Query& query);
 
-  /// EXPLAIN: renders the executable plan (access paths, constraint
-  /// placement) of every rule in the goal's dependency cone. With `analyze`
-  /// set, additionally runs the goal-directed fixpoint with profiling on and
-  /// appends per-rule / per-round wall times and tuple counts, the aggregate
-  /// evaluation stats, and the answer set — EXPLAIN ANALYZE.
+  /// Forces the magic-set path (no cache): rewrites the program for the
+  /// goal's binding pattern and evaluates the rewritten fixpoint. Falls
+  /// back to full materialization when the rewrite declines (see
+  /// MagicSetRewriter). Exposed for tests and benchmarks; Run() uses this
+  /// automatically.
+  Result<QueryResult> RunMagic(const struct Query& query);
+
+  /// EXPLAIN: renders the program that Run() would evaluate — the
+  /// magic-rewritten rules when the demand transformation applies, else the
+  /// goal's dependency cone — with each rule's executable plan (access
+  /// paths, constraint placement), plus the magic and query-cache status.
+  /// With `analyze` set, additionally runs that fixpoint with profiling on
+  /// and appends per-rule / per-round wall times and tuple counts, the
+  /// aggregate evaluation stats, and the answer set — EXPLAIN ANALYZE.
+  /// Diagnostic: never serves from or stores into the query cache.
   Result<std::string> Explain(std::string_view query_text, bool analyze);
 
   /// The rules in the dependency cone of `predicate` (exposed for tests).
@@ -74,8 +110,28 @@ class QuerySession {
   /// The materialized least fixpoint (computing it if stale).
   Result<const Interpretation*> Materialize();
 
-  /// Drops the cached fixpoint (required after external db mutation).
-  void Invalidate() { cache_.reset(); }
+  /// Drops the cached fixpoint and the query cache (required after external
+  /// db mutation for the former; the latter is epoch-keyed and cleared here
+  /// only for belt-and-braces hygiene, e.g. after option changes).
+  void Invalidate() {
+    fixpoint_cache_.reset();
+    ClearQueryCache();
+  }
+
+  // ----------------------------------------------------------- query cache
+
+  bool cache_enabled() const { return cache_enabled_; }
+  void set_cache_enabled(bool on) { cache_enabled_ = on; }
+  void ClearQueryCache();
+  size_t query_cache_size() const { return query_cache_.size(); }
+
+  // ------------------------------------------------------------ magic sets
+
+  bool magic_enabled() const { return magic_enabled_; }
+  void set_magic_enabled(bool on) { magic_enabled_ = on; }
+
+  /// How the most recent Run() answered (reset at the start of each Run).
+  const QueryExecInfo& last_exec_info() const { return exec_info_; }
 
   const std::vector<Rule>& rules() const { return rules_; }
   VideoDatabase* database() { return db_; }
@@ -94,14 +150,54 @@ class QuerySession {
   static Status ApplyFact(const Rule& fact_rule, VideoDatabase* db);
 
  private:
+  /// Cache key: the goal's shape with variables canonicalized by first
+  /// occurrence ("?- p(a, X, X)" and "?- p(a, Y, Y)" share an entry), its
+  /// resolved bound values, and the epochs/options the answer depends on.
+  struct CacheKey {
+    std::string predicate;
+    std::string pattern;  // per argument: "c" or "v<canonical index>"
+    std::vector<Value> bound_values;
+    uint64_t db_epoch = 0;
+    uint64_t rules_epoch = 0;
+    uint64_t options_fp = 0;
+    bool operator==(const CacheKey& o) const;
+  };
+  struct CacheKeyHash {
+    size_t operator()(const CacheKey& k) const;
+  };
+  struct CacheEntry {
+    std::vector<std::vector<Value>> rows;
+    size_t column_count = 0;
+    std::list<CacheKey>::iterator lru_it;
+  };
+
   Result<QueryResult> AnswerFrom(const Interpretation& interp,
                                  const struct Query& query);
+  Result<QueryResult> RunUncached(const struct Query& query);
+  Result<QueryResult> RunMaterialized(const struct Query& query);
+
+  /// nullopt when the goal cannot be keyed (unresolvable symbol or a
+  /// constructive term) — evaluation then reports the actual error.
+  std::optional<CacheKey> MakeCacheKey(const struct Query& query) const;
+  uint64_t OptionsFingerprint() const;
+  /// Columns of `query`'s distinct variables in first-occurrence order —
+  /// the layout every execution path produces for rows of a shared shape.
+  static std::vector<std::string> ColumnsOf(const struct Query& query);
+  void StoreCacheEntry(CacheKey key, const QueryResult& result);
 
   VideoDatabase* db_;
   EvalOptions options_;
   std::vector<Rule> rules_;
-  std::optional<Interpretation> cache_;
+  std::optional<Interpretation> fixpoint_cache_;
   EvalStats last_stats_;
+  QueryExecInfo exec_info_;
+
+  bool magic_enabled_ = true;
+  bool cache_enabled_ = true;
+  uint64_t rules_epoch_ = 0;  // bumped whenever rules_ changes
+
+  std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> query_cache_;
+  std::list<CacheKey> cache_lru_;  // front = least recently used
 };
 
 }  // namespace vqldb

@@ -42,6 +42,7 @@ Result<ObjectId> VideoDatabase::NewObject(const std::string& symbol,
     symbols_.emplace(symbol, id);
     symbol_of_.emplace(id, symbol);
   }
+  ++epoch_;
   return id;
 }
 
@@ -143,6 +144,7 @@ Status VideoDatabase::SetAttributeUnchecked(ObjectId id,
   }
 
   IndexAttribute(id, name, old_v, value);
+  ++epoch_;
   return obj.SetAttribute(name, std::move(value));
 }
 
@@ -193,6 +195,7 @@ Status VideoDatabase::Bind(const std::string& symbol, ObjectId id) {
   }
   symbols_.emplace(symbol, id);
   symbol_of_.emplace(id, symbol);
+  ++epoch_;
   return Status::OK();
 }
 
@@ -279,6 +282,7 @@ Status VideoDatabase::AssertFact(Fact fact) {
   fact_set_.insert(fact);
   facts_[fact.relation].push_back(std::move(fact));
   ++fact_count_;
+  ++epoch_;
   return Status::OK();
 }
 

@@ -191,6 +191,14 @@ class VideoDatabase {
   /// assert on it.
   size_t temporal_index_rebuilds() const { return temporal_rebuilds_; }
 
+  /// Monotone mutation epoch: advances on every state change (object
+  /// creation, attribute write, fact assertion, symbol binding, derived
+  /// interval materialization — including journal replay, which goes
+  /// through these same mutators). Pure reads never advance it. The query
+  /// cache keys answers on this, so a cached answer can never outlive the
+  /// database state it was computed against.
+  uint64_t epoch() const { return epoch_; }
+
  private:
   Result<ObjectId> NewObject(const std::string& symbol, ObjectKind kind);
   Status SetAttributeUnchecked(ObjectId id, const std::string& name,
@@ -200,6 +208,7 @@ class VideoDatabase {
   void RebuildTemporalIndexIfDirty() const;
 
   uint64_t next_id_ = 1;
+  uint64_t epoch_ = 0;
 
   std::unordered_map<ObjectId, VideoObject> objects_;
   std::unordered_map<ObjectId, ObjectKind> kinds_;

@@ -2,7 +2,6 @@
 
 #include <cctype>
 #include <chrono>
-#include <cstdlib>
 #include <sstream>
 
 #include "src/common/logging.h"
@@ -234,9 +233,8 @@ std::string Repl::Meta(const std::string& command,
       session_.mutable_options()->num_threads = 0;
       return "fixpoint threads: auto (hardware concurrency)\n";
     }
-    char* end = nullptr;
-    long n = std::strtol(argument.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || n < 1) {
+    int64_t n = 0;
+    if (!ParseNonNegativeInt(argument, &n) || n < 1) {
       return "usage: .threads <N>=1|auto  (1 = serial engine)\n";
     }
     session_.mutable_options()->num_threads = static_cast<size_t>(n);
@@ -252,13 +250,39 @@ std::string Repl::Meta(const std::string& command,
       timeout_ms_ = 0;
       return "query timeout: off\n";
     }
-    char* end = nullptr;
-    long ms = std::strtol(argument.c_str(), &end, 10);
-    if (end == nullptr || *end != '\0' || ms < 1) {
+    int64_t ms = 0;
+    if (!ParseNonNegativeInt(argument, &ms) || ms < 1) {
       return "usage: .timeout <ms>|off\n";
     }
     timeout_ms_ = ms;
     return "query timeout: " + std::to_string(ms) + " ms\n";
+  }
+  if (command == ".magic") {
+    if (argument.empty()) {
+      return std::string("magic sets: ") +
+             (session_.magic_enabled() ? "on" : "off") + "\n";
+    }
+    if (argument == "on" || argument == "off") {
+      session_.set_magic_enabled(argument == "on");
+      return "magic sets: " + argument + "\n";
+    }
+    return "usage: .magic [on|off]\n";
+  }
+  if (command == ".cache") {
+    if (argument.empty()) {
+      return std::string("query cache: ") +
+             (session_.cache_enabled() ? "on" : "off") + " (" +
+             std::to_string(session_.query_cache_size()) + " entries)\n";
+    }
+    if (argument == "on" || argument == "off") {
+      session_.set_cache_enabled(argument == "on");
+      return "query cache: " + argument + "\n";
+    }
+    if (argument == "clear") {
+      session_.ClearQueryCache();
+      return "query cache cleared\n";
+    }
+    return "usage: .cache [on|off|clear]\n";
   }
   if (command == ".journal") {
     if (argument == "off") {
@@ -318,6 +342,9 @@ std::string Repl::Help() const {
       "  .explain <rule>   show the execution plan of a rule\n"
       "  .threads <N|auto> fixpoint worker threads (1 = serial engine)\n"
       "  .timeout <ms|off> per-query wall-clock budget (DeadlineExceeded)\n"
+      "  .magic [on|off]   goal-directed magic-set rewriting (default on)\n"
+      "  .cache [on|off|clear]\n"
+      "                    memoizing query cache (epoch-invalidated)\n"
       "  .trace on <file>  record spans; written as Chrome JSON on .trace off\n"
       "  .loglevel <level> debug|info|warn|error|fatal (also env VQLDB_LOG)\n"
       "  .journal <path> [flush|fsync|batch]\n"

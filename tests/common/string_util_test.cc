@@ -74,5 +74,38 @@ TEST(StringUtilTest, JoinMapped) {
             "1+4+9");
 }
 
+TEST(StringUtilTest, ParseNonNegativeIntAccepts) {
+  int64_t v = -1;
+  EXPECT_TRUE(ParseNonNegativeInt("0", &v));
+  EXPECT_EQ(v, 0);
+  EXPECT_TRUE(ParseNonNegativeInt("7", &v));
+  EXPECT_EQ(v, 7);
+  EXPECT_TRUE(ParseNonNegativeInt("+42", &v));
+  EXPECT_EQ(v, 42);
+  EXPECT_TRUE(ParseNonNegativeInt("00123", &v));
+  EXPECT_EQ(v, 123);
+  // INT64_MAX parses exactly.
+  EXPECT_TRUE(ParseNonNegativeInt("9223372036854775807", &v));
+  EXPECT_EQ(v, INT64_MAX);
+}
+
+TEST(StringUtilTest, ParseNonNegativeIntRejects) {
+  int64_t v = 0;
+  EXPECT_FALSE(ParseNonNegativeInt("", &v));
+  EXPECT_FALSE(ParseNonNegativeInt("+", &v));
+  EXPECT_FALSE(ParseNonNegativeInt("-1", &v));      // negatives are the
+  EXPECT_FALSE(ParseNonNegativeInt("-0", &v));      // caller's error path
+  EXPECT_FALSE(ParseNonNegativeInt("12x", &v));     // trailing garbage
+  EXPECT_FALSE(ParseNonNegativeInt("x12", &v));
+  EXPECT_FALSE(ParseNonNegativeInt(" 12", &v));     // no whitespace skipping
+  EXPECT_FALSE(ParseNonNegativeInt("12 ", &v));
+  EXPECT_FALSE(ParseNonNegativeInt("1 2", &v));
+  EXPECT_FALSE(ParseNonNegativeInt("0x10", &v));    // base 10 only
+  EXPECT_FALSE(ParseNonNegativeInt("1.5", &v));
+  // Overflow is a parse failure, never a silent wrap (the strtol bug).
+  EXPECT_FALSE(ParseNonNegativeInt("9223372036854775808", &v));
+  EXPECT_FALSE(ParseNonNegativeInt("99999999999999999999", &v));
+}
+
 }  // namespace
 }  // namespace vqldb

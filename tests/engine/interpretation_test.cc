@@ -138,5 +138,88 @@ TEST(InterpretationTest, PrepareIndexMatchesLazyLookups) {
   EXPECT_TRUE(interp.LookupMulti("short", 0b10, {Value::Int(7)}).empty());
 }
 
+TEST(InterpretationTest, LookupMultiMaskZeroIsFullScan) {
+  Interpretation interp;
+  for (int64_t i = 0; i < 6; ++i) interp.Add(F("p", {i, i * 10}));
+  // Nothing bound: every fact matches, whatever key the caller passed.
+  EXPECT_EQ(interp.LookupMulti("p", 0, {}).size(), 6u);
+  EXPECT_EQ(interp.LookupMulti("p", 0, {Value::Int(3)}).size(), 6u);
+  // The mask-0 index extends like any other as the relation grows.
+  interp.Add(F("p", {6, 60}));
+  EXPECT_EQ(interp.LookupMulti("p", 0, {}).size(), 7u);
+  // Unknown predicates still return the canonical empty index.
+  EXPECT_TRUE(interp.LookupMulti("nope", 0, {}).empty());
+}
+
+TEST(InterpretationTest, ArityBeyondSixtyFourIsStructured) {
+  // Facts wider than the 64-bit position bitmap index by their first 64
+  // positions; probes at representable positions stay exact and shifting
+  // never strays into undefined behavior.
+  auto wide = [](int64_t tag, int64_t tail) {
+    Fact f;
+    f.relation = "wide";
+    for (int i = 0; i < 70; ++i) f.args.push_back(Value::Int(0));
+    f.args[0] = Value::Int(tag);
+    f.args[63] = Value::Int(tag * 100);
+    f.args[69] = Value::Int(tail);
+    return f;
+  };
+  Interpretation interp;
+  interp.Add(wide(1, 7));
+  interp.Add(wide(2, 8));
+  interp.Add(wide(2, 9));  // differs from the previous only beyond bit 63
+
+  EXPECT_EQ(interp.LookupMulti("wide", 0b1, {Value::Int(2)}).size(), 2u);
+  // Highest representable position (bit 63) probes exactly.
+  uint64_t mask = (1ULL << 0) | (1ULL << 63);
+  EXPECT_EQ(
+      interp.LookupMulti("wide", mask, {Value::Int(1), Value::Int(100)})
+          .size(),
+      1u);
+  // Facts differing only at positions >= 64 share an index cell; the probe
+  // returns both candidates and the caller's residual checks distinguish
+  // them — a full-scan-style superset, never a silent miss.
+  const auto& both =
+      interp.LookupMulti("wide", mask, {Value::Int(2), Value::Int(200)});
+  EXPECT_EQ(both.size(), 2u);
+  // Mask 0 over wide facts degrades to the full scan as well.
+  EXPECT_EQ(interp.LookupMulti("wide", 0, {}).size(), 3u);
+}
+
+TEST(InterpretationTest, GenerationAdvancesOnlyOnRealInsertions) {
+  Interpretation interp;
+  uint64_t g0 = interp.generation();
+  interp.Add(F("p", {1}));
+  EXPECT_EQ(interp.generation(), g0 + 1);
+  interp.Add(F("p", {1}));  // duplicate: no mutation
+  EXPECT_EQ(interp.generation(), g0 + 1);
+  interp.Add(F("p", {2}));
+  EXPECT_EQ(interp.generation(), g0 + 2);
+}
+
+TEST(InterpretationTest, ReprobeAfterAddSeesCompleteCandidateSet) {
+  // The documented contract for holding index references across Add: copy
+  // or re-probe. A re-probe (fresh Lookup call) always returns the full,
+  // current candidate list.
+  Interpretation interp;
+  interp.Add(F("e", {1, 2}));
+  EXPECT_EQ(interp.Lookup("e", 0, Value::Int(1)).size(), 1u);
+  uint64_t gen = interp.generation();
+  interp.Add(F("e", {1, 3}));
+  EXPECT_NE(interp.generation(), gen);  // the staleness signal
+  EXPECT_EQ(interp.Lookup("e", 0, Value::Int(1)).size(), 2u);
+}
+
+TEST(InterpretationDeathTest, AddWhileFrozenDies) {
+  Interpretation interp;
+  interp.Add(F("p", {1}));
+  interp.Freeze();
+  EXPECT_TRUE(interp.frozen());
+  EXPECT_DEATH(interp.Add(F("p", {2})), "frozen");
+  interp.Thaw();
+  EXPECT_FALSE(interp.frozen());
+  EXPECT_TRUE(interp.Add(F("p", {2})));
+}
+
 }  // namespace
 }  // namespace vqldb

@@ -1,0 +1,180 @@
+// The memoizing query cache: hits without re-evaluation, epoch-based
+// invalidation on database mutation (direct and via journal replay),
+// canonical variable renaming, the LRU capacity bound, and the epoch
+// subtlety of constructive evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/engine/query.h"
+#include "src/obs/metrics.h"
+#include "src/storage/journal.h"
+
+namespace vqldb {
+namespace {
+
+uint64_t CounterValue(const char* name) {
+  auto* c = obs::MetricsRegistry::Global().GetCounter(name, "");
+  return c->value();
+}
+
+class QueryCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    session_ = std::make_unique<QuerySession>(&db_);
+    ASSERT_TRUE(session_
+                    ->Load("object a {}. object b {}. object c {}.\n"
+                           "edge(a, b). edge(b, c).\n"
+                           "path(X, Y) <- edge(X, Y).\n"
+                           "path(X, Z) <- path(X, Y), edge(Y, Z).\n")
+                    .ok());
+  }
+
+  VideoDatabase db_;
+  std::unique_ptr<QuerySession> session_;
+};
+
+TEST_F(QueryCacheTest, SecondIdenticalQueryHitsWithoutEvaluation) {
+  uint64_t hits0 = CounterValue("vqldb_query_cache_hits_total");
+  auto first = session_->Query("?- path(a, Y).");
+  ASSERT_TRUE(first.ok());
+  EXPECT_FALSE(session_->last_exec_info().cache_hit);
+  EXPECT_EQ(session_->query_cache_size(), 1u);
+
+  size_t iterations_before = session_->last_stats().iterations;
+  auto second = session_->Query("?- path(a, Y).");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(session_->last_exec_info().cache_hit);
+  // A hit performs no evaluation: last_stats is untouched.
+  EXPECT_EQ(session_->last_stats().iterations, iterations_before);
+  EXPECT_EQ(first->rows, second->rows);
+  EXPECT_EQ(CounterValue("vqldb_query_cache_hits_total"), hits0 + 1);
+}
+
+TEST_F(QueryCacheTest, HitAcrossVariableRenaming) {
+  auto first = session_->Query("?- path(a, Y).");
+  ASSERT_TRUE(first.ok());
+  auto renamed = session_->Query("?- path(a, Answer).");
+  ASSERT_TRUE(renamed.ok());
+  EXPECT_TRUE(session_->last_exec_info().cache_hit);
+  EXPECT_EQ(renamed->rows, first->rows);
+  // Columns carry the new query's variable names.
+  ASSERT_EQ(renamed->columns.size(), 1u);
+  EXPECT_EQ(renamed->columns[0], "Answer");
+}
+
+TEST_F(QueryCacheTest, DistinctPatternsDoNotCollide) {
+  ASSERT_TRUE(session_->Query("?- path(X, Y).").ok());
+  auto repeated = session_->Query("?- path(X, X).");
+  ASSERT_TRUE(repeated.ok());
+  // p(X, X) canonicalizes differently from p(X, Y): never a false hit.
+  EXPECT_FALSE(session_->last_exec_info().cache_hit);
+  EXPECT_TRUE(repeated->rows.empty());
+}
+
+TEST_F(QueryCacheTest, DirectDatabaseMutationInvalidatesViaEpoch) {
+  auto before = session_->Query("?- path(a, Y).");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows.size(), 2u);  // b, c
+
+  // Mutate the database directly — no Invalidate() call. The epoch in the
+  // cache key changes, so the next query misses and sees the new fact.
+  ObjectId d = *db_.CreateEntity("d");
+  ASSERT_TRUE(db_.AssertFact("edge", {Value::Oid(*db_.Resolve("c")),
+                                      Value::Oid(d)})
+                  .ok());
+  auto after = session_->Query("?- path(a, Y).");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(session_->last_exec_info().cache_hit);
+  EXPECT_EQ(after->rows.size(), 3u);  // b, c, d
+}
+
+TEST_F(QueryCacheTest, JournalReplayInvalidatesViaEpoch) {
+  auto before = session_->Query("?- path(a, Y).");
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->rows.size(), 2u);
+
+  // Write a journal carrying a new object + edge fact, then replay it into
+  // the live database. Replay goes through the ordinary mutators, so the
+  // epoch advances and the cached entry can no longer be reached.
+  std::string path = ::testing::TempDir() + "/query_cache_journal.vqlog";
+  std::remove(path.c_str());
+  {
+    auto journal = Journal::Open(path, {});
+    ASSERT_TRUE(journal.ok()) << journal.status();
+    ASSERT_TRUE(journal->Append("object d {}.").ok());
+    ASSERT_TRUE(journal->Append("edge(c, d).").ok());
+    ASSERT_TRUE(journal->Sync().ok());
+  }
+  auto report = Journal::Replay(path, &db_);
+  ASSERT_TRUE(report.ok()) << report.status();
+
+  auto after = session_->Query("?- path(a, Y).");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(session_->last_exec_info().cache_hit);
+  EXPECT_EQ(after->rows.size(), 3u);
+  std::remove(path.c_str());
+}
+
+TEST_F(QueryCacheTest, AddRuleInvalidates) {
+  ASSERT_TRUE(session_->Query("?- path(a, Y).").ok());
+  ASSERT_TRUE(session_->AddRule("path(X, Y) <- edge(Y, X).").ok());
+  auto after = session_->Query("?- path(a, Y).");
+  ASSERT_TRUE(after.ok());
+  EXPECT_FALSE(session_->last_exec_info().cache_hit);
+  EXPECT_EQ(after->rows.size(), 2u);  // still b, c (reverse adds none from a)
+}
+
+TEST_F(QueryCacheTest, CapacityBoundEvictsLru) {
+  uint64_t evictions0 = CounterValue("vqldb_query_cache_evictions_total");
+  // Distinct integer-bound goals produce distinct keys; the store is
+  // bounded, so well past capacity the size plateaus and evictions rise.
+  ASSERT_TRUE(session_->AddRule("num(1, 2).").ok());
+  ASSERT_TRUE(session_->AddRule("succ(X, Y) <- num(X, Y).").ok());
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(
+        session_->Query("?- succ(" + std::to_string(i) + ", Y).").ok());
+  }
+  EXPECT_LE(session_->query_cache_size(), 256u);
+  EXPECT_GT(CounterValue("vqldb_query_cache_evictions_total"), evictions0);
+}
+
+TEST_F(QueryCacheTest, DisabledCacheNeverHitsOrStores) {
+  session_->set_cache_enabled(false);
+  ASSERT_TRUE(session_->Query("?- path(a, Y).").ok());
+  EXPECT_EQ(session_->query_cache_size(), 0u);
+  ASSERT_TRUE(session_->Query("?- path(a, Y).").ok());
+  EXPECT_FALSE(session_->last_exec_info().cache_hit);
+}
+
+TEST_F(QueryCacheTest, ClearQueryCacheForcesReevaluation) {
+  ASSERT_TRUE(session_->Query("?- path(a, Y).").ok());
+  session_->ClearQueryCache();
+  EXPECT_EQ(session_->query_cache_size(), 0u);
+  ASSERT_TRUE(session_->Query("?- path(a, Y).").ok());
+  EXPECT_FALSE(session_->last_exec_info().cache_hit);
+}
+
+TEST_F(QueryCacheTest, ConstructiveEvaluationStoresPostEpoch) {
+  // Answering the first query materializes derived intervals, advancing the
+  // database epoch mid-query. The entry must be stored under the
+  // post-evaluation epoch so the identical follow-up query still hits.
+  ASSERT_TRUE(session_
+                  ->Load("interval gi1 { duration: (t > 0 and t < 5) }.\n"
+                         "interval gi2 { duration: (t > 5 and t < 9) }.\n"
+                         "seg(gi1). seg(gi2).\n"
+                         "combo(G1 ++ G2) <- seg(G1), seg(G2).\n")
+                  .ok());
+  auto first = session_->Query("?- combo(G).");
+  ASSERT_TRUE(first.ok()) << first.status();
+  EXPECT_FALSE(session_->last_exec_info().cache_hit);
+  auto second = session_->Query("?- combo(G).");
+  ASSERT_TRUE(second.ok());
+  EXPECT_TRUE(session_->last_exec_info().cache_hit);
+  EXPECT_EQ(first->rows, second->rows);
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -160,5 +160,57 @@ TEST_F(ReplTest, JournalMirrorsDataStatements) {
   std::filesystem::remove(path);
 }
 
+TEST_F(ReplTest, ThreadsRejectsMalformedNumbers) {
+  // The old strtol path silently accepted trailing garbage and wrapped on
+  // overflow; all of these must be usage errors now.
+  EXPECT_EQ(repl_.Execute(".threads 4x"),
+            "usage: .threads <N>=1|auto  (1 = serial engine)\n");
+  EXPECT_EQ(repl_.Execute(".threads -2"),
+            "usage: .threads <N>=1|auto  (1 = serial engine)\n");
+  EXPECT_EQ(repl_.Execute(".threads 0"),
+            "usage: .threads <N>=1|auto  (1 = serial engine)\n");
+  EXPECT_EQ(repl_.Execute(".threads 99999999999999999999"),
+            "usage: .threads <N>=1|auto  (1 = serial engine)\n");
+  EXPECT_EQ(repl_.Execute(".threads 2"), "fixpoint threads: 2\n");
+  EXPECT_EQ(repl_.Execute(".threads auto"),
+            "fixpoint threads: auto (hardware concurrency)\n");
+}
+
+TEST_F(ReplTest, TimeoutRejectsMalformedNumbers) {
+  EXPECT_EQ(repl_.Execute(".timeout 100ms"), "usage: .timeout <ms>|off\n");
+  EXPECT_EQ(repl_.Execute(".timeout -5"), "usage: .timeout <ms>|off\n");
+  // Overflow must not wrap into a bogus (possibly negative) deadline.
+  EXPECT_EQ(repl_.Execute(".timeout 99999999999999999999"),
+            "usage: .timeout <ms>|off\n");
+  EXPECT_EQ(repl_.Execute(".timeout 250"), "query timeout: 250 ms\n");
+  EXPECT_EQ(repl_.Execute(".timeout"), "query timeout: 250 ms\n");
+  EXPECT_EQ(repl_.Execute(".timeout off"), "query timeout: off\n");
+}
+
+TEST_F(ReplTest, MagicToggleRoundTrips) {
+  EXPECT_EQ(repl_.Execute(".magic"), "magic sets: on\n");  // default on
+  EXPECT_EQ(repl_.Execute(".magic off"), "magic sets: off\n");
+  EXPECT_EQ(repl_.Execute(".magic"), "magic sets: off\n");
+  EXPECT_EQ(repl_.Execute(".magic on"), "magic sets: on\n");
+  EXPECT_EQ(repl_.Execute(".magic sideways"), "usage: .magic [on|off]\n");
+  // Queries still run after toggling.
+  EXPECT_EQ(repl_.Execute("object a {}."), "ok\n");
+  EXPECT_EQ(repl_.Execute("p(a)."), "ok\n");
+  EXPECT_NE(repl_.Execute("?- p(X).").find("a"), std::string::npos);
+}
+
+TEST_F(ReplTest, CacheCommandReportsTogglesAndClears) {
+  EXPECT_EQ(repl_.Execute(".cache"), "query cache: on (0 entries)\n");
+  EXPECT_EQ(repl_.Execute("object a {}."), "ok\n");
+  EXPECT_EQ(repl_.Execute("p(a)."), "ok\n");
+  EXPECT_NE(repl_.Execute("?- p(X).").find("a"), std::string::npos);
+  EXPECT_EQ(repl_.Execute(".cache"), "query cache: on (1 entries)\n");
+  EXPECT_EQ(repl_.Execute(".cache clear"), "query cache cleared\n");
+  EXPECT_EQ(repl_.Execute(".cache"), "query cache: on (0 entries)\n");
+  EXPECT_EQ(repl_.Execute(".cache off"), "query cache: off\n");
+  EXPECT_EQ(repl_.Execute(".cache maybe"), "usage: .cache [on|off|clear]\n");
+  EXPECT_EQ(repl_.Execute(".cache on"), "query cache: on\n");
+}
+
 }  // namespace
 }  // namespace vqldb

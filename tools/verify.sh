@@ -64,6 +64,23 @@ echo "== deadline smoke: vql --timeout-ms=1 on a heavy program =="
 grep -q "Deadline exceeded" "$OBS_TMP/deadline.out" \
   || { echo "expected a structured Deadline exceeded error"; exit 1; }
 
+echo "== magic smoke: selective query answers identical with --no-magic =="
+{
+  for i in $(seq 0 60); do echo "object n$i { }."; done
+  for i in $(seq 0 59); do echo "edge(n$i, n$((i+1)))."; done
+  echo "path(X, Y) <- edge(X, Y)."
+  echo "path(X, Z) <- path(X, Y), edge(Y, Z)."
+  echo "?- path(n55, Y)."
+  echo "?- path(X, n3)."
+  echo ".quit"
+} > "$OBS_TMP/magic.vql"
+./build/tools/vql <"$OBS_TMP/magic.vql" >"$OBS_TMP/magic_on.out"
+./build/tools/vql --no-magic --no-cache <"$OBS_TMP/magic.vql" >"$OBS_TMP/magic_off.out"
+diff "$OBS_TMP/magic_on.out" "$OBS_TMP/magic_off.out" \
+  || { echo "goal-directed answers diverge from the full fixpoint"; exit 1; }
+grep -q "magic: on" <(./build/tools/vql <<< $'object a { }.\np(a).\nexplain ?- p(X).\n.quit') \
+  || { echo "EXPLAIN is missing the magic status line"; exit 1; }
+
 echo "== tsan: build (-DVQLDB_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DVQLDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \

@@ -15,8 +15,12 @@
 //   --timeout-ms=<ms>      per-query wall-clock budget; queries that exceed
 //                          it fail with "Deadline exceeded" and the shell
 //                          keeps running (also settable at runtime: .timeout)
+//   --no-magic             disable goal-directed magic-set rewriting — every
+//                          query materializes the full fixpoint (also
+//                          settable at runtime: .magic on|off)
+//   --no-cache             disable the memoizing query cache (also settable
+//                          at runtime: .cache on|off|clear)
 
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -54,7 +58,9 @@ int main(int argc, char** argv) {
   EvalOptions options;
   std::string metrics_out;
   std::string trace_out;
-  long timeout_ms = 0;
+  int64_t timeout_ms = 0;
+  bool no_magic = false;
+  bool no_cache = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -79,12 +85,18 @@ int main(int argc, char** argv) {
     }
     if (StartsWith(arg, "--timeout-ms=")) {
       std::string value = arg.substr(std::string("--timeout-ms=").size());
-      char* end = nullptr;
-      timeout_ms = std::strtol(value.c_str(), &end, 10);
-      if (end == nullptr || *end != '\0' || timeout_ms < 1) {
+      if (!ParseNonNegativeInt(value, &timeout_ms) || timeout_ms < 1) {
         std::cerr << "--timeout-ms requires a positive integer\n";
         return 1;
       }
+      continue;
+    }
+    if (arg == "--no-magic") {
+      no_magic = true;
+      continue;
+    }
+    if (arg == "--no-cache") {
+      no_cache = true;
       continue;
     }
     if (arg == "--threads") {
@@ -96,9 +108,8 @@ int main(int argc, char** argv) {
       if (value == "auto") {
         options.num_threads = 0;
       } else {
-        char* end = nullptr;
-        long n = std::strtol(value.c_str(), &end, 10);
-        if (end == nullptr || *end != '\0' || n < 1) {
+        int64_t n = 0;
+        if (!ParseNonNegativeInt(value, &n) || n < 1) {
           std::cerr << "--threads requires a value (N >= 1, or auto)\n";
           return 1;
         }
@@ -134,6 +145,8 @@ int main(int argc, char** argv) {
 
   Repl repl(&db, options);
   if (timeout_ms > 0) repl.set_timeout_ms(timeout_ms);
+  if (no_magic) repl.session().set_magic_enabled(false);
+  if (no_cache) repl.session().set_cache_enabled(false);
   for (const Rule& rule : preloaded_rules) {
     Status st = repl.session().AddRule(rule);
     if (!st.ok()) std::cerr << "warning: " << st << "\n";
