@@ -14,6 +14,7 @@
 #include <thread>
 #include <vector>
 
+#include "src/common/budget.h"
 #include "src/engine/query.h"
 #include "src/lang/parser.h"
 #include "src/obs/metrics.h"
@@ -72,10 +73,12 @@ struct Sample {
 
 // One timed fixpoint at `threads` workers; also renders the two check
 // queries so callers can compare results byte-for-byte.
-Sample RunOnce(size_t entities, size_t threads, std::string* rendered) {
+Sample RunOnce(size_t entities, size_t threads, std::string* rendered,
+               std::shared_ptr<ResourceBudget> budget = nullptr) {
   auto db = Archive(entities);
   EvalOptions options;
   options.num_threads = threads;
+  options.budget = std::move(budget);
   QuerySession session(db.get(), options);
   VQLDB_CHECK_OK(session.Load(kProgram));
   auto begin = std::chrono::steady_clock::now();
@@ -142,6 +145,49 @@ OverheadReport MeasureObservabilityOverhead() {
   return report;
 }
 
+// The overhead gate for the resource governor: the same workload with a
+// per-query budget installed (limits set astronomically high, so every
+// charge runs the full metering path yet nothing ever trips) vs. no budget.
+// Charges are relaxed atomics folded into the insertion path, so the
+// expected delta is noise-level; anything beyond 5% fails the run loudly.
+// On/off runs are interleaved (best of 7 each) for the same drift immunity
+// as the observability gate.
+OverheadReport MeasureGovernorOverhead() {
+  const size_t kEntities = 24;
+  const size_t kThreads = 4;
+  const int kRuns = 7;
+  ResourceBudget::Limits unreachable;
+  unreachable.max_bytes = 1ull << 40;  // 1 TiB: metered, never tripped
+  unreachable.max_tuples = 1ull << 40;
+  unreachable.max_solver_steps = 1ull << 40;
+  OverheadReport report;
+  report.enabled_ms = -1;
+  report.disabled_ms = -1;
+  for (int i = 0; i < kRuns; ++i) {
+    auto budget = std::make_shared<ResourceBudget>(unreachable);
+    double on = RunOnce(kEntities, kThreads, nullptr, budget).ms;
+    VQLDB_CHECK(budget->bytes_peak() > 0) << "governor metered nothing";
+    double off = RunOnce(kEntities, kThreads, nullptr).ms;
+    if (report.enabled_ms < 0 || on < report.enabled_ms) {
+      report.enabled_ms = on;
+    }
+    if (report.disabled_ms < 0 || off < report.disabled_ms) {
+      report.disabled_ms = off;
+    }
+  }
+  report.pct = report.disabled_ms > 0
+                   ? (report.enabled_ms - report.disabled_ms) /
+                         report.disabled_ms * 100.0
+                   : 0.0;
+  std::printf("governor overhead (threads=%zu, best of %d): "
+              "budget on %.2f ms, off %.2f ms, overhead %.2f%%\n",
+              kThreads, kRuns, report.enabled_ms, report.disabled_ms,
+              report.pct);
+  VQLDB_CHECK(report.pct <= 5.0)
+      << "governor overhead " << report.pct << "% exceeds the 5% budget";
+  return report;
+}
+
 void PrintSeries() {
   const size_t kEntities = 24;
   size_t hw = std::thread::hardware_concurrency();
@@ -175,6 +221,7 @@ void PrintSeries() {
   VQLDB_CHECK(identical);
 
   OverheadReport overhead = MeasureObservabilityOverhead();
+  OverheadReport governor = MeasureGovernorOverhead();
 
   FILE* f = std::fopen("BENCH_parallel_fixpoint.json", "w");
   if (f != nullptr) {
@@ -198,8 +245,11 @@ void PrintSeries() {
                  "  ],\n"
                  "  \"observability\": {\"enabled_ms\": %.3f, "
                  "\"disabled_ms\": %.3f, \"overhead_pct\": %.2f},\n"
+                 "  \"governor\": {\"enabled_ms\": %.3f, "
+                 "\"disabled_ms\": %.3f, \"overhead_pct\": %.2f},\n"
                  "  \"metrics\": %s}\n",
                  overhead.enabled_ms, overhead.disabled_ms, overhead.pct,
+                 governor.enabled_ms, governor.disabled_ms, governor.pct,
                  obs::MetricsRegistry::Global().RenderJson().c_str());
     std::fclose(f);
     std::printf("wrote BENCH_parallel_fixpoint.json\n\n");

@@ -1,0 +1,233 @@
+#include "src/common/budget.h"
+
+#include "src/obs/metrics.h"
+
+namespace vqldb {
+
+namespace {
+
+// How many accumulated solver steps between full (clock-reading) checks.
+constexpr size_t kSolverPollInterval = 1024;
+
+// splitmix64: the same deterministic, platform-independent mixer the Rng
+// uses, applied to (seed ^ charge index) for reproducible fault schedules.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+thread_local ExecContext* g_current_context = nullptr;
+
+}  // namespace
+
+ResourceBudget::~ResourceBudget() {
+  size_t outstanding = bytes_.load(std::memory_order_relaxed);
+  if (outstanding != 0 && parent_ != nullptr) {
+    parent_->ReleaseBytes(outstanding);
+  }
+}
+
+void ResourceBudget::UpdatePeak(size_t current) {
+  size_t prev = peak_.load(std::memory_order_relaxed);
+  while (current > prev &&
+         !peak_.compare_exchange_weak(prev, current,
+                                      std::memory_order_relaxed)) {
+  }
+  if (gauge_peak_ != nullptr) {
+    gauge_peak_->Set(static_cast<int64_t>(peak_.load(std::memory_order_relaxed)));
+  }
+}
+
+void ResourceBudget::Trip(const std::string& what) {
+  {
+    std::lock_guard<std::mutex> lock(trip_mu_);
+    if (trip_reason_.empty()) trip_reason_ = what;
+  }
+  tripped_.store(true, std::memory_order_relaxed);
+}
+
+bool ResourceBudget::MaybeInjectFault() {
+  if (faults_.trip_p <= 0.0) return false;
+  uint64_t i = charge_seq_.fetch_add(1, std::memory_order_relaxed);
+  double roll = static_cast<double>(Mix64(faults_.seed ^ i) >> 11) *
+                (1.0 / 9007199254740992.0);  // 53-bit mantissa, [0, 1)
+  if (roll >= faults_.trip_p) return false;
+  injected_trips_.fetch_add(1, std::memory_order_relaxed);
+  Trip("injected budget fault (charge " + std::to_string(i) + ")");
+  return true;
+}
+
+Status ResourceBudget::ChargeBytes(size_t n) {
+  size_t now = bytes_.fetch_add(n, std::memory_order_relaxed) + n;
+  UpdatePeak(now);
+  if (gauge_reserved_ != nullptr) {
+    gauge_reserved_->Set(static_cast<int64_t>(now));
+  }
+  Status st = Status::OK();
+  if (MaybeInjectFault()) {
+    st = Check();
+  } else if (limits_.max_bytes != 0 && now > limits_.max_bytes) {
+    Trip("memory budget exceeded: " + std::to_string(now) + " bytes reserved, limit " +
+         std::to_string(limits_.max_bytes));
+    st = Check();
+  }
+  if (parent_ != nullptr) {
+    Status up = parent_->ChargeBytes(n);
+    if (st.ok()) st = up;
+  }
+  return st;
+}
+
+void ResourceBudget::ReleaseBytes(size_t n) {
+  size_t prev = bytes_.load(std::memory_order_relaxed);
+  size_t next;
+  do {
+    next = prev >= n ? prev - n : 0;
+  } while (!bytes_.compare_exchange_weak(prev, next,
+                                         std::memory_order_relaxed));
+  if (gauge_reserved_ != nullptr) {
+    gauge_reserved_->Set(static_cast<int64_t>(next));
+  }
+  if (parent_ != nullptr) parent_->ReleaseBytes(n);
+}
+
+Status ResourceBudget::ChargeTuples(size_t n) {
+  size_t now = tuples_.fetch_add(n, std::memory_order_relaxed) + n;
+  Status st = Status::OK();
+  if (MaybeInjectFault()) {
+    st = Check();
+  } else if (limits_.max_tuples != 0 && now > limits_.max_tuples) {
+    Trip("tuple budget exceeded: " + std::to_string(now) + " derived tuples, limit " +
+         std::to_string(limits_.max_tuples));
+    st = Check();
+  }
+  if (parent_ != nullptr) {
+    Status up = parent_->ChargeTuples(n);
+    if (st.ok()) st = up;
+  }
+  return st;
+}
+
+Status ResourceBudget::ChargeSolverSteps(size_t n) {
+  size_t now = solver_steps_.fetch_add(n, std::memory_order_relaxed) + n;
+  Status st = Status::OK();
+  if (MaybeInjectFault()) {
+    st = Check();
+  } else if (limits_.max_solver_steps != 0 && now > limits_.max_solver_steps) {
+    Trip("solver-step budget exceeded: " + std::to_string(now) + " steps, limit " +
+         std::to_string(limits_.max_solver_steps));
+    st = Check();
+  }
+  if (parent_ != nullptr) {
+    Status up = parent_->ChargeSolverSteps(n);
+    if (st.ok()) st = up;
+  }
+  return st;
+}
+
+Status ResourceBudget::Check() const {
+  if (tripped_.load(std::memory_order_relaxed)) {
+    std::lock_guard<std::mutex> lock(trip_mu_);
+    return Status::ResourceExhausted(trip_reason_.empty() ? "budget exceeded"
+                                                          : trip_reason_);
+  }
+  if (parent_ != nullptr) return parent_->Check();
+  return Status::OK();
+}
+
+void ResourceBudget::ClearTrip() {
+  {
+    std::lock_guard<std::mutex> lock(trip_mu_);
+    trip_reason_.clear();
+  }
+  tripped_.store(false, std::memory_order_relaxed);
+}
+
+void ResourceBudget::ResetCounters() {
+  bytes_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  tuples_.store(0, std::memory_order_relaxed);
+  solver_steps_.store(0, std::memory_order_relaxed);
+  if (gauge_reserved_ != nullptr) gauge_reserved_->Set(0);
+  ClearTrip();
+}
+
+void ExecContext::RecordInterrupt(const Status& st) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (interrupt_status_.ok()) interrupt_status_ = st;
+  }
+  interrupted_.store(true, std::memory_order_relaxed);
+}
+
+Status ExecContext::status() const {
+  if (!interrupted_.load(std::memory_order_relaxed)) return Status::OK();
+  std::lock_guard<std::mutex> lock(mu_);
+  return interrupt_status_;
+}
+
+Status ExecContext::Check() {
+  if (interrupted_.load(std::memory_order_relaxed)) return status();
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    Status st = Status::Cancelled("evaluation cancelled");
+    RecordInterrupt(st);
+    return st;
+  }
+  if (deadline_.has_value() &&
+      std::chrono::steady_clock::now() > *deadline_) {
+    Status st = Status::DeadlineExceeded("evaluation deadline exceeded");
+    RecordInterrupt(st);
+    return st;
+  }
+  if (budget_ != nullptr) {
+    Status st = budget_->Check();
+    if (!st.ok()) {
+      RecordInterrupt(st);
+      return st;
+    }
+  }
+  return Status::OK();
+}
+
+ExecContext* ExecContext::Current() { return g_current_context; }
+
+bool ExecContext::PollSolverSteps(size_t steps) {
+  ExecContext* ctx = g_current_context;
+  if (ctx == nullptr) return true;
+  if (ctx->interrupted_.load(std::memory_order_relaxed)) return false;
+  if (ctx->budget_ != nullptr) {
+    Status st = ctx->budget_->ChargeSolverSteps(steps);
+    if (!st.ok()) {
+      ctx->RecordInterrupt(st);
+      return false;
+    }
+  }
+  size_t acc =
+      ctx->steps_since_check_.fetch_add(steps, std::memory_order_relaxed) +
+      steps;
+  if (acc >= kSolverPollInterval) {
+    ctx->steps_since_check_.store(0, std::memory_order_relaxed);
+    return ctx->Check().ok();
+  }
+  return true;
+}
+
+Status ExecContext::CurrentStatus() {
+  ExecContext* ctx = g_current_context;
+  if (ctx != nullptr) {
+    Status st = ctx->status();
+    if (!st.ok()) return st;
+  }
+  return Status::Cancelled("computation interrupted");
+}
+
+ExecContextScope::ExecContextScope(ExecContext* ctx) {
+  prev_ = g_current_context;
+  g_current_context = ctx;
+}
+
+ExecContextScope::~ExecContextScope() { g_current_context = prev_; }
+
+}  // namespace vqldb

@@ -1,0 +1,227 @@
+// Resource governance: hierarchical byte/tuple/solver-step budgets and a
+// thread-local execution context that deep library code (constraint solvers,
+// interval canonicalization) can poll without any signature changes.
+//
+// Model
+// -----
+// A ResourceBudget is a set of monotone-or-refundable counters with optional
+// limits. Charges never block and never throw; crossing a limit records a
+// sticky "trip" that cooperative poll points (Evaluator::CheckInterrupt,
+// ExecContext::PollSolverSteps) convert into a structured ResourceExhausted
+// status. This mirrors the deadline design from PR 3: enforcement is
+// cooperative, bounded-latency, and leaves every data structure valid.
+//
+// Budgets form a hierarchy: a session-wide governor at the root and one
+// child per running query. Charges propagate to the parent, so concurrent
+// queries share the global headroom; a child releases its outstanding byte
+// reservation back to the parent when it is destroyed, so an aborted query
+// returns its memory to the pool. Byte releases also flow through
+// ReleaseBytes (e.g. when a per-round delta is discarded), keeping the
+// reserved gauge an honest picture of live engine memory.
+//
+// Fault injection: ArmFaults makes every charge roll a deterministic,
+// seed-derived Bernoulli trial and trip the budget artificially — the
+// byte-budget analogue of FaultInjectingEnv, used by tools/governor_test to
+// prove that every forced trip surfaces as a clean ResourceExhausted.
+
+#ifndef VQLDB_COMMON_BUDGET_H_
+#define VQLDB_COMMON_BUDGET_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "src/common/cancel.h"
+#include "src/common/status.h"
+
+namespace vqldb {
+
+namespace obs {
+class Gauge;
+}  // namespace obs
+
+class ResourceBudget {
+ public:
+  /// A limit of 0 means "unlimited" for that dimension.
+  struct Limits {
+    size_t max_bytes = 0;
+    size_t max_tuples = 0;
+    size_t max_solver_steps = 0;
+
+    bool any() const {
+      return max_bytes != 0 || max_tuples != 0 || max_solver_steps != 0;
+    }
+  };
+
+  /// Deterministic budget-trip injection (FaultInjectingEnv in spirit):
+  /// charge number i trips iff splitmix64(seed ^ i) maps below trip_p.
+  struct FaultOptions {
+    uint64_t seed = 0;
+    double trip_p = 0.0;
+  };
+
+  ResourceBudget() = default;
+  explicit ResourceBudget(Limits limits,
+                          std::shared_ptr<ResourceBudget> parent = nullptr)
+      : limits_(limits), parent_(std::move(parent)) {}
+  /// Releases this budget's outstanding byte reservation from the parent.
+  ~ResourceBudget();
+
+  ResourceBudget(const ResourceBudget&) = delete;
+  ResourceBudget& operator=(const ResourceBudget&) = delete;
+
+  /// Reserves n bytes here and in every ancestor. Returns ResourceExhausted
+  /// (and records a sticky trip) if any byte limit is crossed; the counters
+  /// still reflect the charge so callers need not unwind.
+  Status ChargeBytes(size_t n);
+  /// Returns n bytes to this budget and every ancestor.
+  void ReleaseBytes(size_t n);
+  /// Counts n derived tuples (monotone).
+  Status ChargeTuples(size_t n);
+  /// Counts n constraint-solver steps (monotone).
+  Status ChargeSolverSteps(size_t n);
+
+  /// Fast check: has this budget (or any ancestor) tripped?
+  bool tripped() const {
+    return tripped_.load(std::memory_order_relaxed) ||
+           (parent_ != nullptr && parent_->tripped());
+  }
+  /// OK, or the ResourceExhausted status describing the first trip.
+  Status Check() const;
+
+  /// Clears the local sticky trip (counters are untouched). Used by the
+  /// load-shedding path after cache eviction frees headroom; ancestors must
+  /// be cleared explicitly by whoever owns them.
+  void ClearTrip();
+
+  /// Zeroes all counters and clears the trip. Not propagated to the parent;
+  /// only meaningful for root budgets between runs.
+  void ResetCounters();
+
+  size_t bytes_reserved() const { return bytes_.load(std::memory_order_relaxed); }
+  size_t bytes_peak() const { return peak_.load(std::memory_order_relaxed); }
+  size_t tuples() const { return tuples_.load(std::memory_order_relaxed); }
+  size_t solver_steps() const {
+    return solver_steps_.load(std::memory_order_relaxed);
+  }
+  const Limits& limits() const { return limits_; }
+  ResourceBudget* parent() const { return parent_.get(); }
+
+  /// Publishes byte movement to gauges (intended for the root governor):
+  /// reserved tracks bytes_reserved(), peak tracks bytes_peak().
+  void PublishBytesTo(obs::Gauge* reserved, obs::Gauge* peak) {
+    gauge_reserved_ = reserved;
+    gauge_peak_ = peak;
+  }
+
+  void ArmFaults(FaultOptions faults) { faults_ = faults; }
+  size_t injected_trips() const {
+    return injected_trips_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void Trip(const std::string& what);
+  bool MaybeInjectFault();
+  void UpdatePeak(size_t current);
+
+  Limits limits_;
+  std::shared_ptr<ResourceBudget> parent_;
+
+  std::atomic<size_t> bytes_{0};
+  std::atomic<size_t> peak_{0};
+  std::atomic<size_t> tuples_{0};
+  std::atomic<size_t> solver_steps_{0};
+
+  std::atomic<bool> tripped_{false};
+  mutable std::mutex trip_mu_;
+  std::string trip_reason_;  // guarded by trip_mu_
+
+  obs::Gauge* gauge_reserved_ = nullptr;
+  obs::Gauge* gauge_peak_ = nullptr;
+
+  FaultOptions faults_;
+  std::atomic<uint64_t> charge_seq_{0};
+  std::atomic<size_t> injected_trips_{0};
+};
+
+/// The per-evaluation interrupt surface, bound to a thread with
+/// ExecContextScope. One ExecContext may be bound on several threads at once
+/// (the fixpoint coordinator plus its pool workers); all state is atomic or
+/// immutable after setup. Library code that must stay signature-compatible
+/// (OrderSolver, SetSolver, IntervalSet canonicalization) calls
+/// PollSolverSteps from its inner loops: when it returns false the loop
+/// should abandon work with any conservative answer — the engine's next
+/// CheckInterrupt converts the recorded interruption into a structured
+/// status before that answer can reach a caller.
+class ExecContext {
+ public:
+  ExecContext() = default;
+
+  // Setup (before the context is shared across threads).
+  void set_cancel(const CancelToken* cancel) { cancel_ = cancel; }
+  void set_deadline(std::optional<std::chrono::steady_clock::time_point> d) {
+    deadline_ = d;
+  }
+  void set_budget(ResourceBudget* budget) { budget_ = budget; }
+
+  ResourceBudget* budget() const { return budget_; }
+
+  /// Full poll: cancellation, deadline, then budget. The first failure is
+  /// cached and returned on every subsequent call (interruption is sticky).
+  Status Check();
+
+  /// Cached failure, or OK if not interrupted. Never examines the clock.
+  Status status() const;
+
+  bool interrupted() const {
+    return interrupted_.load(std::memory_order_relaxed);
+  }
+
+  /// The context bound to this thread, or nullptr.
+  static ExecContext* Current();
+
+  /// Charges `steps` solver steps to the bound budget and periodically
+  /// re-checks cancellation and deadline. Returns true to continue, false
+  /// when the computation should bail out. No-op (true) without a context.
+  static bool PollSolverSteps(size_t steps);
+
+  /// The interruption status of the bound context — what a solver should
+  /// return after PollSolverSteps says stop. Falls back to a generic
+  /// Cancelled status if no context is bound or nothing was recorded.
+  static Status CurrentStatus();
+
+ private:
+  void RecordInterrupt(const Status& st);
+
+  const CancelToken* cancel_ = nullptr;
+  std::optional<std::chrono::steady_clock::time_point> deadline_;
+  ResourceBudget* budget_ = nullptr;
+
+  std::atomic<bool> interrupted_{false};
+  mutable std::mutex mu_;
+  Status interrupt_status_;  // guarded by mu_
+
+  std::atomic<size_t> steps_since_check_{0};
+};
+
+/// RAII binder: installs a context as this thread's ExecContext::Current()
+/// and restores the previous binding on destruction.
+class ExecContextScope {
+ public:
+  explicit ExecContextScope(ExecContext* ctx);
+  ~ExecContextScope();
+
+  ExecContextScope(const ExecContextScope&) = delete;
+  ExecContextScope& operator=(const ExecContextScope&) = delete;
+
+ private:
+  ExecContext* prev_;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_COMMON_BUDGET_H_

@@ -34,6 +34,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Deadline exceeded";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kOverloaded:
+      return "Overloaded";
   }
   return "Unknown";
 }

@@ -29,6 +29,7 @@ enum class StatusCode : int {
   kInternal = 12,
   kDeadlineExceeded = 13,
   kCancelled = 14,
+  kOverloaded = 15,
 };
 
 /// Returns a human-readable name for a status code (e.g. "Invalid argument").
@@ -103,6 +104,9 @@ class Status {
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
   }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -129,6 +133,7 @@ class Status {
     return code() == StatusCode::kDeadlineExceeded;
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
+  bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/budget.h"
 #include "src/common/string_util.h"
 #include "src/obs/metrics.h"
 
@@ -26,6 +27,12 @@ IntervalSet::IntervalSet(std::vector<TimeInterval> intervals) {
           "vqldb_interval_canonicalizations_total",
           "Interval-set canonicalization passes (sort + coalesce)");
   canonicalizations->Increment();
+  // Canonicalization cost scales with the fragment count; charge it as
+  // solver work so deep concatenation chains observe deadlines and budgets.
+  // On interruption, skip the pass: the empty set is a valid (conservative)
+  // value, and the engine unwinds with the structured status before any
+  // caller can read it.
+  if (!ExecContext::PollSolverSteps(intervals.size() + 1)) return;
   intervals.erase(
       std::remove_if(intervals.begin(), intervals.end(),
                      [](const TimeInterval& i) { return i.IsEmpty(); }),

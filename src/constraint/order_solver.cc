@@ -8,6 +8,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/common/budget.h"
 #include "src/common/string_util.h"
 #include "src/obs/metrics.h"
 
@@ -69,9 +70,15 @@ class OrderGraph {
   }
 
   /// Floyd-Warshall closure; a path is strict if any edge on it is strict.
+  /// Polls the thread-local ExecContext every pivot so a deadline, cancel,
+  /// or budget trip interrupts the O(n^3) loop: on interruption the closure
+  /// is left partial (a conservative under-approximation) and the engine's
+  /// next CheckInterrupt surfaces the structured status before any verdict
+  /// derived from it can reach a caller.
   void Close() {
     size_t n = NodeCount();
     for (size_t k = 0; k < n; ++k) {
+      if (!ExecContext::PollSolverSteps(n)) return;
       for (size_t i = 0; i < n; ++i) {
         if (reach_[i][k] == kNone) continue;
         for (size_t j = 0; j < n; ++j) {
@@ -215,11 +222,24 @@ Result<bool> OrderSolver::EntailsDnf(const OrderConjunction& conjunction,
 
   std::vector<size_t> choice(dnf.size(), 0);
   while (true) {
+    // Branch distribution can reach max_branches full satisfiability checks;
+    // let a deadline/cancel/budget trip abandon it with a structured status.
+    if (!ExecContext::PollSolverSteps(dnf.size() + 1)) {
+      return ExecContext::CurrentStatus();
+    }
     OrderConjunction branch = conjunction;
     for (size_t i = 0; i < dnf.size(); ++i) {
       branch.push_back(dnf[i][choice[i]].Negated());
     }
-    if (Satisfiable(branch)) return false;
+    if (Satisfiable(branch)) {
+      // An interrupted closure reports `satisfiable` conservatively; that
+      // verdict must not become a definite `false` entailment. Surface the
+      // interrupt recorded on the context instead.
+      if (!ExecContext::PollSolverSteps(0)) {
+        return ExecContext::CurrentStatus();
+      }
+      return false;
+    }
     // Next combination.
     size_t i = 0;
     while (i < dnf.size()) {

@@ -38,6 +38,7 @@ struct EvalMetrics {
   obs::Counter* join_probe_hits;
   obs::Counter* deadline_exceeded;
   obs::Counter* cancelled;
+  obs::Counter* resource_exhausted;
   obs::Histogram* fixpoint_ms;
   obs::Histogram* round_ms;
 };
@@ -69,6 +70,8 @@ EvalMetrics& GetEvalMetrics() {
                           "Evaluations abandoned at their wall-clock deadline"),
       registry.GetCounter("vqldb_queries_cancelled_total",
                           "Evaluations abandoned via a CancelToken"),
+      registry.GetCounter("vqldb_queries_resource_exhausted_total",
+                          "Evaluations aborted by a resource budget trip"),
       registry.GetHistogram("vqldb_eval_fixpoint_ms",
                             "Wall time of whole fixpoint computations (ms)",
                             obs::DefaultLatencyBucketsMs()),
@@ -124,7 +127,15 @@ std::string EvalProfile::ToString() const {
 }
 
 Evaluator::Evaluator(VideoDatabase* db, EvalOptions options)
-    : db_(db), options_(options) {}
+    : db_(db), options_(options), ctx_(std::make_unique<ExecContext>()) {
+  ctx_->set_cancel(options_.cancel.get());
+  ctx_->set_deadline(options_.deadline);
+  ctx_->set_budget(options_.budget.get());
+}
+
+void Evaluator::Govern(Interpretation* interp) const {
+  if (options_.budget != nullptr) interp->set_budget(options_.budget);
+}
 Evaluator::Evaluator(Evaluator&&) noexcept = default;
 Evaluator& Evaluator::operator=(Evaluator&&) noexcept = default;
 Evaluator::~Evaluator() = default;
@@ -209,6 +220,7 @@ Status Evaluator::MaterializeExtendedDomain() {
   // calls converge to the closure under (+).
   std::vector<ObjectId> snapshot = db_->AllIntervals();
   for (size_t i = 0; i < snapshot.size(); ++i) {
+    VQLDB_RETURN_NOT_OK(CheckInterrupt());
     for (size_t j = i + 1; j < snapshot.size(); ++j) {
       Result<ObjectId> r = db_->Concatenate(snapshot[i], snapshot[j]);
       if (!r.ok()) return r.status();
@@ -265,6 +277,11 @@ Status Evaluator::CheckConstraint(const CompiledConstraint& constraint,
                                   const BindingEnv& env, bool* ok,
                                   EvalStats* stats) {
   ++stats->constraint_checks;
+  // Constraint-heavy bodies may never emit a head; poll here too so a
+  // filter-everything scan still observes deadline/cancel/budget trips.
+  if ((stats->constraint_checks & 1023u) == 0u) {
+    VQLDB_RETURN_NOT_OK(CheckInterrupt());
+  }
   *ok = false;
   Value lhs, rhs;
   bool lhs_defined = false, rhs_defined = false;
@@ -369,6 +386,12 @@ Status Evaluator::CheckConstraint(const CompiledConstraint& constraint,
 
 Status Evaluator::EmitHead(const CompiledRule& rule, const BindingEnv& env,
                            Interpretation* out, EvalStats* stats) {
+  // Intra-rule interrupt granularity: one rule evaluation can emit millions
+  // of heads between round boundaries, so poll every 1024 firings (counters
+  // are per-task blocks — the mask works per thread).
+  if ((stats->rule_firings & 1023u) == 1023u) {
+    VQLDB_RETURN_NOT_OK(CheckInterrupt());
+  }
   Fact fact;
   fact.relation = rule.head_predicate;
   fact.args.reserve(rule.head.size());
@@ -399,8 +422,21 @@ Status Evaluator::EmitHead(const CompiledRule& rule, const BindingEnv& env,
           } else {
             size_t before = db_->derived_interval_count();
             VQLDB_ASSIGN_OR_RETURN(acc, db_->Concatenate(acc, v.oid_value()));
-            stats->intervals_created +=
-                db_->derived_interval_count() - before;
+            size_t created = db_->derived_interval_count() - before;
+            stats->intervals_created += created;
+            if (created != 0 && options_.budget != nullptr) {
+              // Meter materialized derived intervals: object + attributes
+              // (duration fragments, entity set) live in the database until
+              // the governed caller's rollback anchor reclaims them.
+              VQLDB_ASSIGN_OR_RETURN(const VideoObject* obj,
+                                     db_->GetObject(acc));
+              size_t bytes = sizeof(VideoObject);
+              for (const auto& [name, value] : obj->attributes()) {
+                bytes += name.capacity() + value.ApproxBytes();
+              }
+              options_.budget->ChargeBytes(bytes);
+              options_.budget->ChargeTuples(created);
+            }
           }
         }
         fact.args.push_back(Value::Oid(acc));
@@ -629,6 +665,19 @@ Status Evaluator::CheckInterrupt() const {
         std::to_string(stats_.iterations) + " rounds and " +
         std::to_string(stats_.derived_facts) + " derived facts");
   }
+  if (options_.budget != nullptr) {
+    Status st = options_.budget->Check();
+    if (!st.ok()) {
+      return Status::ResourceExhausted(
+          st.message() + " (after " + std::to_string(stats_.iterations) +
+          " rounds and " + std::to_string(stats_.derived_facts) +
+          " derived facts)");
+    }
+  }
+  // Solver code bails out through the thread-local context (e.g. an order
+  // closure abandoned mid-loop): surface the recorded status here so the
+  // conservative solver answer never reaches a caller.
+  if (ctx_ != nullptr && ctx_->interrupted()) return ctx_->status();
   return Status::OK();
 }
 
@@ -713,6 +762,7 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
     double wall_ms = 0;
   };
   std::vector<TaskResult> results(tasks.size());
+  for (TaskResult& result : results) Govern(&result.out);
   if (pool_ == nullptr || pool_->num_threads() != threads) {
     pool_ = std::make_unique<ThreadPool>(threads);
   }
@@ -720,6 +770,9 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
   // pass: evaluate, timed and traced, into the task's private block.
   auto run_task = [this, &tasks, &full, delta, interval_delta, prof,
                    &results](size_t i) {
+    // Bind the shared interrupt context on whichever thread runs the task
+    // (pool worker or the coordinator's serial constructive pass).
+    ExecContextScope ctx_scope(ctx_.get());
     const CompiledRule& rule = rules_[tasks[i].rule_idx];
     TaskResult& result = results[i];
     Clock::time_point start;
@@ -778,7 +831,9 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
 
 Result<Interpretation> Evaluator::ApplyOnce(
     const Interpretation& interpretation) {
+  ExecContextScope ctx_scope(ctx_.get());
   Interpretation out;
+  Govern(&out);
   for (const Fact& f : interpretation.AllFacts()) out.Add(f);
   // The database extract's ground facts are facts of the program, hence
   // immediate consequences of any interpretation.
@@ -795,6 +850,10 @@ Result<Interpretation> Evaluator::ApplyOnce(
 }
 
 Result<Interpretation> Evaluator::Fixpoint() {
+  // Bind the interrupt context on the coordinator for the whole run: rounds,
+  // merges, and the serial legacy path all execute under it, so solver and
+  // canonicalization inner loops observe deadline/cancel/budget throughout.
+  ExecContextScope ctx_scope(ctx_.get());
   stats_ = EvalStats{};
   profile_ = EvalProfile{};
   const bool prof = options_.collect_profile;
@@ -810,7 +869,12 @@ Result<Interpretation> Evaluator::Fixpoint() {
   auto finish_error = [&](Status st) -> Status {
     if (st.IsDeadlineExceeded()) GetEvalMetrics().deadline_exceeded->Increment();
     if (st.IsCancelled()) GetEvalMetrics().cancelled->Increment();
-    if ((st.IsDeadlineExceeded() || st.IsCancelled()) && timed) {
+    if (st.IsResourceExhausted()) {
+      GetEvalMetrics().resource_exhausted->Increment();
+    }
+    if ((st.IsDeadlineExceeded() || st.IsCancelled() ||
+         st.IsResourceExhausted()) &&
+        timed) {
       double total_ms = MsSince(fixpoint_start);
       if (prof) profile_.total_ms = total_ms;
       PublishEvalMetrics(stats_, total_ms);
@@ -819,19 +883,23 @@ Result<Interpretation> Evaluator::Fixpoint() {
   };
 
   VQLDB_ASSIGN_OR_RETURN(Interpretation interp, Edb());
+  Govern(&interp);
 
   // Round 1: every rule, unrestricted.
   Interpretation delta;
+  Govern(&delta);
   std::vector<ObjectId> interval_delta;
   {
     obs::TraceSpan round_span("round", "1");
     Clock::time_point round_start;
     if (timed) round_start = Clock::now();
     if (options_.extended_active_domain) {
-      VQLDB_RETURN_NOT_OK(MaterializeExtendedDomain());
+      Status ed = MaterializeExtendedDomain();
+      if (!ed.ok()) return finish_error(std::move(ed));
     }
     size_t derived_before = db_->derived_interval_count();
     Interpretation out;
+    Govern(&out);
     std::vector<RuleTask> tasks;
     tasks.reserve(rules_.size());
     for (size_t i = 0; i < rules_.size(); ++i) tasks.push_back({i, -1});
@@ -860,8 +928,9 @@ Result<Interpretation> Evaluator::Fixpoint() {
           std::to_string(options_.max_iterations) + " iterations");
     }
     if (interp.size() > options_.max_facts) {
-      return Status::ResourceExhausted(
-          "fixpoint exceeds max_facts = " + std::to_string(options_.max_facts));
+      return finish_error(Status::ResourceExhausted(
+          "fixpoint exceeds max_facts = " +
+          std::to_string(options_.max_facts)));
     }
     obs::TraceSpan round_span("round", std::to_string(stats_.iterations + 1));
     Clock::time_point round_start;
@@ -869,12 +938,14 @@ Result<Interpretation> Evaluator::Fixpoint() {
     if (options_.extended_active_domain) {
       // Materialization itself grows the domain; deltas cannot track it
       // faithfully, so extended-domain evaluation always runs naive rounds.
-      VQLDB_RETURN_NOT_OK(MaterializeExtendedDomain());
+      Status ed = MaterializeExtendedDomain();
+      if (!ed.ok()) return finish_error(std::move(ed));
     }
 
     size_t derived_before = db_->derived_interval_count();
     size_t round_tasks = 0;
     Interpretation out;
+    Govern(&out);
     if (options_.semi_naive && !options_.extended_active_domain) {
       // Stratify the round into independent (rule, delta_pos) tasks; each
       // re-derives only valuations that touch the previous round's delta.
@@ -906,6 +977,7 @@ Result<Interpretation> Evaluator::Fixpoint() {
     }
 
     Interpretation next_delta;
+    Govern(&next_delta);
     for (const Fact& f : out.AllFacts()) {
       if (interp.Add(f)) next_delta.Add(f);
     }

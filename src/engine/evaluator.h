@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/budget.h"
 #include "src/common/cancel.h"
 #include "src/common/result.h"
 #include "src/constraint/concrete_domain.h"
@@ -87,6 +88,15 @@ struct EvalOptions {
   /// a cancelled token unwinds with Status::Cancelled. Shared so a shell
   /// signal handler or server loop can flip it from another thread.
   std::shared_ptr<CancelToken> cancel;
+  /// Resource budget for this evaluation: every derived fact is metered
+  /// (ApproxBytes + one tuple) and constraint-solver work charges solver
+  /// steps through the thread-local ExecContext. A trip unwinds with
+  /// Status::ResourceExhausted at the same cooperative poll points as the
+  /// deadline — partial stats still publish, and the database is left
+  /// exactly as the caller's rollback anchor (QuerySession) restores it.
+  /// Shared so the reservation outlives the evaluation when its fixpoint
+  /// interpretation is cached.
+  std::shared_ptr<ResourceBudget> budget;
 };
 
 /// Statistics of one evaluation, for benchmarks and the EXPERIMENTS harness.
@@ -234,9 +244,15 @@ class Evaluator {
   Status EmitHead(const CompiledRule& rule, const class BindingEnv& env,
                   Interpretation* out, EvalStats* stats);
 
-  // Deadline/cancel poll (see EvalOptions::deadline). OK when neither has
-  // tripped; DeadlineExceeded/Cancelled otherwise.
+  // Deadline/cancel/budget poll (see EvalOptions::deadline, ::budget). OK
+  // when none has tripped; DeadlineExceeded/Cancelled/ResourceExhausted
+  // otherwise — including trips recorded by solver code through the
+  // thread-local ExecContext.
   Status CheckInterrupt() const;
+
+  // Attaches the evaluation budget (if any) to an interpretation the
+  // evaluation materializes into.
+  void Govern(Interpretation* interp) const;
 
   // Constraint checking; `ok` receives the verdict. Status is non-OK only
   // for hard errors (strict_types).
@@ -265,6 +281,9 @@ class Evaluator {
   EvalStats stats_;
   EvalProfile profile_;
   std::unique_ptr<ThreadPool> pool_;  // lazily created, reused across rounds
+  // Interrupt surface shared by the coordinator and its pool workers; bound
+  // per-thread with ExecContextScope so solver inner loops can poll it.
+  std::unique_ptr<ExecContext> ctx_;
 };
 
 }  // namespace vqldb

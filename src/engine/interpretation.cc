@@ -19,12 +19,104 @@ obs::Counter* JoinIndexBuilds() {
 }
 }  // namespace
 
+Interpretation::Interpretation(const Interpretation& other)
+    : stores_(other.stores_),
+      total_(other.total_),
+      generation_(other.generation_),
+      budget_(other.budget_),
+      accounted_bytes_(other.accounted_bytes_) {
+  ChargeAccounted();
+}
+
+Interpretation& Interpretation::operator=(const Interpretation& other) {
+  if (this == &other) return *this;
+  ReleaseAccounted();
+  stores_ = other.stores_;
+  total_ = other.total_;
+  generation_ = other.generation_;
+  frozen_ = false;
+  budget_ = other.budget_;
+  accounted_bytes_ = other.accounted_bytes_;
+  ChargeAccounted();
+  return *this;
+}
+
+Interpretation::Interpretation(Interpretation&& other) noexcept
+    : stores_(std::move(other.stores_)),
+      total_(other.total_),
+      generation_(other.generation_),
+      frozen_(other.frozen_),
+      budget_(std::move(other.budget_)),
+      accounted_bytes_(other.accounted_bytes_) {
+  other.stores_.clear();
+  other.total_ = 0;
+  other.generation_ = 0;
+  other.frozen_ = false;
+  other.budget_.reset();
+  other.accounted_bytes_ = 0;
+}
+
+Interpretation& Interpretation::operator=(Interpretation&& other) noexcept {
+  if (this == &other) return *this;
+  ReleaseAccounted();
+  stores_ = std::move(other.stores_);
+  total_ = other.total_;
+  generation_ = other.generation_;
+  frozen_ = other.frozen_;
+  budget_ = std::move(other.budget_);
+  accounted_bytes_ = other.accounted_bytes_;
+  other.stores_.clear();
+  other.total_ = 0;
+  other.generation_ = 0;
+  other.frozen_ = false;
+  other.budget_.reset();
+  other.accounted_bytes_ = 0;
+  return *this;
+}
+
+void Interpretation::ReleaseAccounted() {
+  if (budget_ != nullptr && accounted_bytes_ != 0) {
+    budget_->ReleaseBytes(accounted_bytes_);
+  }
+  accounted_bytes_ = 0;
+}
+
+void Interpretation::ChargeAccounted() {
+  if (budget_ != nullptr && accounted_bytes_ != 0) {
+    budget_->ChargeBytes(accounted_bytes_);
+  }
+}
+
+void Interpretation::set_budget(std::shared_ptr<ResourceBudget> budget) {
+  if (budget_ == budget) return;
+  ReleaseAccounted();
+  budget_ = std::move(budget);
+  if (budget_ == nullptr) return;
+  // Account facts inserted before the budget was attached.
+  size_t bytes = 0;
+  for (const auto& [name, store] : stores_) {
+    (void)name;
+    for (const Fact& fact : store.facts) bytes += fact.ApproxBytes();
+  }
+  accounted_bytes_ = bytes;
+  ChargeAccounted();
+}
+
 bool Interpretation::Add(Fact fact) {
   VQLDB_CHECK(!frozen_) << "Interpretation::Add(" << fact.relation
                         << "/...) while frozen — insert-while-iterating "
                            "would invalidate live index references";
   PredicateStore& store = stores_[fact.relation];
   if (store.members.count(fact)) return false;
+  if (budget_ != nullptr) {
+    // Meter before the move; a trip is sticky in the budget and surfaces at
+    // the engine's next cooperative poll — the insert itself still happens,
+    // keeping every index consistent.
+    size_t bytes = fact.ApproxBytes();
+    accounted_bytes_ += bytes;
+    budget_->ChargeBytes(bytes);
+    budget_->ChargeTuples(1);
+  }
   store.members.insert(fact);
   store.facts.push_back(std::move(fact));
   ++total_;

@@ -15,6 +15,9 @@
 #include <unordered_set>
 #include <vector>
 
+#include <memory>
+
+#include "src/common/budget.h"
 #include "src/common/hash.h"
 #include "src/model/object.h"
 #include "src/model/value.h"
@@ -26,6 +29,24 @@ namespace vqldb {
 class Interpretation {
  public:
   Interpretation() = default;
+  ~Interpretation() { ReleaseAccounted(); }
+
+  // Budget accounting survives copies and moves: a copy re-charges its own
+  // bytes, a move transfers the reservation, and destruction releases it.
+  Interpretation(const Interpretation& other);
+  Interpretation& operator=(const Interpretation& other);
+  Interpretation(Interpretation&& other) noexcept;
+  Interpretation& operator=(Interpretation&& other) noexcept;
+
+  /// Meters every subsequent (and every already-inserted) fact against
+  /// `budget`: ApproxBytes() reserved per fact plus one derived-tuple count.
+  /// The budget must outlive this interpretation (the engine passes the
+  /// owning shared_ptr). Passing nullptr releases the current reservation.
+  void set_budget(std::shared_ptr<ResourceBudget> budget);
+  ResourceBudget* budget() const { return budget_.get(); }
+
+  /// Bytes currently reserved against the budget for stored facts.
+  size_t accounted_bytes() const { return accounted_bytes_; }
 
   /// Adds a fact; returns true iff it was not already present. Fatal when
   /// the interpretation is frozen (see Freeze) — the insert-while-iterating
@@ -139,10 +160,15 @@ class Interpretation {
 
   static const std::vector<size_t>& EmptyIndex();
 
+  void ReleaseAccounted();
+  void ChargeAccounted();
+
   std::map<std::string, PredicateStore> stores_;
   size_t total_ = 0;
   uint64_t generation_ = 0;
   mutable bool frozen_ = false;
+  std::shared_ptr<ResourceBudget> budget_;
+  size_t accounted_bytes_ = 0;
 };
 
 }  // namespace vqldb

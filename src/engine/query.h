@@ -16,15 +16,18 @@
 
 #include <cstdint>
 #include <list>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/budget.h"
 #include "src/common/result.h"
 #include "src/engine/evaluator.h"
 #include "src/engine/interpretation.h"
+#include "src/engine/query_gate.h"
 #include "src/lang/ast.h"
 #include "src/model/database.h"
 
@@ -125,6 +128,47 @@ class QuerySession {
   void ClearQueryCache();
   size_t query_cache_size() const { return query_cache_.size(); }
 
+  /// Bytes the cached answer rows currently occupy (ApproxBytes estimate).
+  size_t query_cache_bytes() const { return cache_bytes_; }
+  /// Byte budget for the query cache: storing past it evicts LRU entries
+  /// first (the entry cap stays as a secondary bound), and an answer larger
+  /// than the whole budget is simply not cached.
+  size_t cache_max_bytes() const { return cache_max_bytes_; }
+  void set_cache_max_bytes(size_t bytes) { cache_max_bytes_ = bytes; }
+
+  // ------------------------------------------------- resource governance
+
+  /// Installs a session-wide resource governor. Each Run() creates a
+  /// per-query child budget parented to it, so concurrent queries share the
+  /// global headroom; cached answers (query cache, fixpoint cache) keep
+  /// their byte reservations until evicted. When a query trips the
+  /// governor, Run() degrades gracefully: shed every cache, clear the trip,
+  /// retry once, and only then fail with ResourceExhausted. A governed
+  /// failure never mutates the database (derived intervals materialized by
+  /// the failed evaluation are rolled back). Drops existing caches.
+  void set_governor(std::shared_ptr<ResourceBudget> governor);
+  const std::shared_ptr<ResourceBudget>& governor() const {
+    return governor_;
+  }
+  /// Convenience: installs a governor limited to `max_bytes` (0 uninstalls)
+  /// wired to the vqldb_governor_bytes_{reserved,peak} gauges.
+  void EnableMemoryGovernor(size_t max_bytes);
+
+  /// Additional limits applied to every per-query child budget (0 = none).
+  void set_per_query_limits(ResourceBudget::Limits limits) {
+    per_query_limits_ = limits;
+  }
+  const ResourceBudget::Limits& per_query_limits() const {
+    return per_query_limits_;
+  }
+
+  /// Admission control: when set, every Run() holds a gate ticket for the
+  /// duration of the query and fails with Status::Overloaded when the gate
+  /// sheds it. A gate with one slot serializes this (non-thread-safe)
+  /// session across threads.
+  void set_gate(std::shared_ptr<QueryGate> gate) { gate_ = std::move(gate); }
+  const std::shared_ptr<QueryGate>& gate() const { return gate_; }
+
   // ------------------------------------------------------------ magic sets
 
   bool magic_enabled() const { return magic_enabled_; }
@@ -168,6 +212,7 @@ class QuerySession {
   struct CacheEntry {
     std::vector<std::vector<Value>> rows;
     size_t column_count = 0;
+    size_t bytes = 0;  // ApproxBytes of rows, counted into cache_bytes_
     std::list<CacheKey>::iterator lru_it;
   };
 
@@ -175,6 +220,17 @@ class QuerySession {
                                  const struct Query& query);
   Result<QueryResult> RunUncached(const struct Query& query);
   Result<QueryResult> RunMaterialized(const struct Query& query);
+
+  /// RunUncached under a per-query child budget with the database-rollback
+  /// anchor: a governed failure (resource/deadline/cancel) unwinds any
+  /// derived intervals the evaluation materialized.
+  Result<QueryResult> RunGoverned(const struct Query& query);
+  /// Drops the query cache and the fixpoint cache, releasing their governor
+  /// reservations; returns the bytes freed (the shed-before-fail path).
+  size_t ShedCaches();
+  /// Removes the cache entry `it` points at, maintaining cache_bytes_ and
+  /// the governor reservation.
+  void EvictCacheEntry(std::list<CacheKey>::iterator it);
 
   /// nullopt when the goal cannot be keyed (unresolvable symbol or a
   /// constructive term) — evaluation then reports the actual error.
@@ -198,6 +254,12 @@ class QuerySession {
 
   std::unordered_map<CacheKey, CacheEntry, CacheKeyHash> query_cache_;
   std::list<CacheKey> cache_lru_;  // front = least recently used
+  size_t cache_bytes_ = 0;
+  size_t cache_max_bytes_ = 16u << 20;  // 16 MiB of cached answer rows
+
+  std::shared_ptr<ResourceBudget> governor_;
+  std::shared_ptr<QueryGate> gate_;
+  ResourceBudget::Limits per_query_limits_;
 };
 
 }  // namespace vqldb

@@ -1,0 +1,173 @@
+#include "src/engine/query_gate.h"
+
+#include <algorithm>
+
+#include "src/obs/metrics.h"
+
+namespace vqldb {
+
+namespace {
+
+struct GateMetrics {
+  obs::Counter* admitted;
+  obs::Counter* shed;
+  obs::Gauge* active;
+  obs::Gauge* queued;
+};
+
+GateMetrics& GetGateMetrics() {
+  auto& registry = obs::MetricsRegistry::Global();
+  static GateMetrics m{
+      registry.GetCounter("vqldb_queries_admitted_total",
+                          "Queries granted an execution slot by the gate"),
+      registry.GetCounter("vqldb_queries_shed_total",
+                          "Queries rejected by admission control (queue "
+                          "overflow, wait timeout, or injected fault)"),
+      registry.GetGauge("vqldb_gate_active",
+                        "Queries currently holding an execution slot"),
+      registry.GetGauge("vqldb_gate_queued",
+                        "Queries currently waiting for an execution slot"),
+  };
+  return m;
+}
+
+// splitmix64, for the deterministic admission-fault schedule.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+QueryGate::Ticket& QueryGate::Ticket::operator=(Ticket&& other) noexcept {
+  if (this != &other) {
+    Release();
+    gate_ = other.gate_;
+    other.gate_ = nullptr;
+  }
+  return *this;
+}
+
+void QueryGate::Ticket::Release() {
+  if (gate_ != nullptr) {
+    gate_->Release();
+    gate_ = nullptr;
+  }
+}
+
+QueryGate::QueryGate(Options options) : options_(options) {
+  GetGateMetrics();  // resolve once, before any concurrent Acquire
+}
+
+bool QueryGate::MaybeInjectFaultLocked() {
+  if (faults_.reject_p <= 0.0) return false;
+  uint64_t i = acquire_seq_++;
+  double roll = static_cast<double>(Mix64(faults_.seed ^ i) >> 11) *
+                (1.0 / 9007199254740992.0);
+  if (roll >= faults_.reject_p) return false;
+  ++injected_rejects_;
+  return true;
+}
+
+Result<QueryGate::Ticket> QueryGate::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (MaybeInjectFaultLocked()) {
+    ++shed_;
+    GetGateMetrics().shed->Increment();
+    return Status::Overloaded("admission rejected by injected fault");
+  }
+  if (active_ < options_.max_concurrent && queue_.empty()) {
+    ++active_;
+    ++admitted_;
+    GetGateMetrics().admitted->Increment();
+    GetGateMetrics().active->Set(static_cast<int64_t>(active_));
+    return Ticket(this);
+  }
+  if (queue_.size() >= options_.max_queued) {
+    ++shed_;
+    GetGateMetrics().shed->Increment();
+    return Status::Overloaded(
+        "admission queue full (" + std::to_string(active_) + " running, " +
+        std::to_string(queue_.size()) + " queued, limit " +
+        std::to_string(options_.max_queued) + ")");
+  }
+  uint64_t my_id = next_waiter_++;
+  queue_.push_back(my_id);
+  GetGateMetrics().queued->Set(static_cast<int64_t>(queue_.size()));
+  auto granted = [&] {
+    return active_ < options_.max_concurrent && !queue_.empty() &&
+           queue_.front() == my_id;
+  };
+  bool ok = cv_.wait_for(lock, options_.queue_timeout, granted);
+  if (!ok) {
+    // Timed out; remove ourselves wherever we are in the queue.
+    queue_.erase(std::remove(queue_.begin(), queue_.end(), my_id),
+                 queue_.end());
+    GetGateMetrics().queued->Set(static_cast<int64_t>(queue_.size()));
+    ++shed_;
+    GetGateMetrics().shed->Increment();
+    // Our removal may have unblocked the next waiter's FIFO predicate.
+    cv_.notify_all();
+    return Status::Overloaded(
+        "queued " + std::to_string(options_.queue_timeout.count()) +
+        " ms without obtaining an execution slot");
+  }
+  queue_.pop_front();
+  ++active_;
+  ++admitted_;
+  GetGateMetrics().admitted->Increment();
+  GetGateMetrics().active->Set(static_cast<int64_t>(active_));
+  GetGateMetrics().queued->Set(static_cast<int64_t>(queue_.size()));
+  // With several slots, the new queue head may be grantable right now.
+  cv_.notify_all();
+  return Ticket(this);
+}
+
+void QueryGate::Release() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    --active_;
+    ++completed_;
+    GetGateMetrics().active->Set(static_cast<int64_t>(active_));
+  }
+  cv_.notify_all();
+}
+
+size_t QueryGate::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return active_;
+}
+
+size_t QueryGate::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+uint64_t QueryGate::admitted_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return admitted_;
+}
+
+uint64_t QueryGate::shed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shed_;
+}
+
+uint64_t QueryGate::completed_total() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return completed_;
+}
+
+void QueryGate::ArmFaults(FaultOptions faults) {
+  std::lock_guard<std::mutex> lock(mu_);
+  faults_ = faults;
+}
+
+size_t QueryGate::injected_rejects() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return injected_rejects_;
+}
+
+}  // namespace vqldb

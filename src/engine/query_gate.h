@@ -1,0 +1,120 @@
+// QueryGate: the admission controller in front of QuerySession::Run.
+//
+// A gate owns N execution slots and a bounded FIFO wait queue. Acquire()
+// either grants a slot immediately, queues the caller (strict arrival
+// order, enforced with per-waiter sequence numbers), or sheds the request
+// with a structured Status::Overloaded — when the queue is full, or when a
+// queued caller's per-entry timeout expires before a slot frees up. Load
+// shedding is loud and accounted: vqldb_queries_shed_total counts every
+// reject, vqldb_queries_admitted_total every grant, and the invariant
+// admitted + shed == attempted holds at all times (no lost slots).
+//
+// The returned Ticket is an RAII slot lease; releasing it (destruction)
+// wakes the head of the queue. A gate with max_concurrent == 1 therefore
+// serializes every governed session behind it — the supported way to share
+// one (non-thread-safe) QuerySession or VideoDatabase between threads.
+//
+// Fault injection (FaultInjectingEnv in spirit): ArmFaults makes each
+// Acquire roll a deterministic seed-derived trial and reject as if the
+// queue overflowed — the harness in tools/governor_test uses this to prove
+// every forced shed surfaces as a clean Overloaded with intact state.
+
+#ifndef VQLDB_ENGINE_QUERY_GATE_H_
+#define VQLDB_ENGINE_QUERY_GATE_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+
+#include "src/common/result.h"
+#include "src/common/status.h"
+
+namespace vqldb {
+
+class QueryGate {
+ public:
+  struct Options {
+    /// Queries running concurrently (slots).
+    size_t max_concurrent = 4;
+    /// Callers waiting for a slot beyond the running ones; an arrival that
+    /// finds the queue full is shed immediately.
+    size_t max_queued = 16;
+    /// How long a queued caller waits for a slot before being shed.
+    std::chrono::milliseconds queue_timeout{1000};
+  };
+
+  /// Deterministic admission-fault injection: acquire number i is rejected
+  /// iff splitmix64(seed ^ i) maps below reject_p.
+  struct FaultOptions {
+    uint64_t seed = 0;
+    double reject_p = 0.0;
+  };
+
+  /// An RAII slot lease; destruction releases the slot and wakes the queue.
+  class Ticket {
+   public:
+    Ticket() = default;
+    Ticket(Ticket&& other) noexcept : gate_(other.gate_) {
+      other.gate_ = nullptr;
+    }
+    Ticket& operator=(Ticket&& other) noexcept;
+    ~Ticket() { Release(); }
+
+    Ticket(const Ticket&) = delete;
+    Ticket& operator=(const Ticket&) = delete;
+
+    bool valid() const { return gate_ != nullptr; }
+    void Release();
+
+   private:
+    friend class QueryGate;
+    explicit Ticket(QueryGate* gate) : gate_(gate) {}
+    QueryGate* gate_ = nullptr;
+  };
+
+  explicit QueryGate(Options options);
+
+  QueryGate(const QueryGate&) = delete;
+  QueryGate& operator=(const QueryGate&) = delete;
+
+  /// Blocks until a slot is granted (FIFO) or the caller is shed. Returns
+  /// the slot lease, or Status::Overloaded when the queue is full, the
+  /// queue timeout expires, or a fault is injected.
+  Result<Ticket> Acquire();
+
+  const Options& options() const { return options_; }
+
+  size_t active() const;
+  size_t queued() const;
+  uint64_t admitted_total() const;
+  uint64_t shed_total() const;
+  uint64_t completed_total() const;
+
+  void ArmFaults(FaultOptions faults);
+  size_t injected_rejects() const;
+
+ private:
+  void Release();
+  bool MaybeInjectFaultLocked();
+
+  const Options options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  size_t active_ = 0;            // guarded by mu_
+  std::deque<uint64_t> queue_;   // waiter ids in arrival order, guarded by mu_
+  uint64_t next_waiter_ = 0;     // guarded by mu_
+  uint64_t admitted_ = 0;        // guarded by mu_
+  uint64_t shed_ = 0;            // guarded by mu_
+  uint64_t completed_ = 0;       // guarded by mu_
+
+  FaultOptions faults_;          // guarded by mu_
+  uint64_t acquire_seq_ = 0;     // guarded by mu_
+  size_t injected_rejects_ = 0;  // guarded by mu_
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_ENGINE_QUERY_GATE_H_

@@ -345,6 +345,52 @@ Result<ObjectId> VideoDatabase::Concatenate(ObjectId a, ObjectId b) {
   return id;
 }
 
+void VideoDatabase::RollbackDerivedIntervals(size_t keep_count) {
+  if (derived_intervals_.size() <= keep_count) return;
+  while (derived_intervals_.size() > keep_count) {
+    ObjectId id = derived_intervals_.back();
+    derived_intervals_.pop_back();
+    auto oit = objects_.find(id);
+    if (oit != objects_.end()) {
+      // Unwind index entries exactly as SetAttributeUnchecked built them.
+      for (const auto& [name, value] : oit->second.attributes()) {
+        auto ait = attr_index_.find(name);
+        if (ait != attr_index_.end()) {
+          auto vit = ait->second.find(value);
+          if (vit != ait->second.end()) {
+            auto& vec = vit->second;
+            vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+            if (vec.empty()) ait->second.erase(vit);
+          }
+        }
+        if (name == kAttrEntities && value.is_set()) {
+          for (const Value& member : value.set_elements()) {
+            if (!member.is_oid()) continue;
+            auto eit = entity_to_intervals_.find(member.oid_value());
+            if (eit == entity_to_intervals_.end()) continue;
+            auto& vec = eit->second;
+            vec.erase(std::remove(vec.begin(), vec.end(), id), vec.end());
+          }
+        }
+      }
+      objects_.erase(oit);
+    }
+    auto bit = base_ids_.find(id);
+    if (bit != base_ids_.end()) {
+      concat_ids_.erase(bit->second);
+      base_ids_.erase(bit);
+    }
+    kinds_.erase(id);
+    auto sit = symbol_of_.find(id);
+    if (sit != symbol_of_.end()) {
+      symbols_.erase(sit->second);
+      symbol_of_.erase(sit);
+    }
+  }
+  temporal_dirty_ = true;
+  ++epoch_;
+}
+
 Result<std::vector<ObjectId>> VideoDatabase::BaseIdsOf(ObjectId id) const {
   auto it = base_ids_.find(id);
   if (it == base_ids_.end()) {

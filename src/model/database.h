@@ -153,6 +153,17 @@ class VideoDatabase {
     return derived_intervals_;
   }
 
+  /// Removes every derived interval materialized after the first
+  /// `keep_count`, in reverse creation order, unwinding all the structures
+  /// Concatenate touched (object, kind, base-id/concat-id records, attribute
+  /// and entity indexes, symbol binding if any). The governed-query rollback
+  /// anchor: QuerySession snapshots derived_interval_count() before an
+  /// evaluation and restores it when a budget, deadline, or cancellation
+  /// aborts the query, so a governed failure never leaves partial
+  /// materializations behind. Safe because later derived intervals can only
+  /// reference earlier objects, never the reverse.
+  void RollbackDerivedIntervals(size_t keep_count);
+
   // ---------------------------------------------------------------- indexes
 
   /// All objects whose attribute `name` equals `value` (hash index).

@@ -83,4 +83,10 @@ std::string Fact::ToString() const {
          ")";
 }
 
+size_t Fact::ApproxBytes() const {
+  size_t bytes = sizeof(Fact) + relation.capacity();
+  for (const Value& v : args) bytes += v.ApproxBytes();
+  return bytes;
+}
+
 }  // namespace vqldb

@@ -83,6 +83,9 @@ struct Fact {
   size_t Hash() const;
   /// in(id3, id6, id1)
   std::string ToString() const;
+  /// Estimated resident size in bytes; feeds the resource governor's
+  /// per-tuple memory accounting.
+  size_t ApproxBytes() const;
 };
 
 }  // namespace vqldb

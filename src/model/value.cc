@@ -274,6 +274,30 @@ std::string Value::ToString() const {
   return "?";
 }
 
+size_t Value::ApproxBytes() const {
+  size_t bytes = sizeof(Value);
+  switch (kind_) {
+    case Kind::kString:
+      bytes += string_.capacity();
+      break;
+    case Kind::kTemporal:
+      if (temporal_ != nullptr) {
+        bytes += sizeof(IntervalSet) +
+                 temporal_->fragments().capacity() * sizeof(TimeInterval);
+      }
+      break;
+    case Kind::kSet:
+      if (set_ != nullptr) {
+        bytes += sizeof(std::vector<Value>);
+        for (const Value& v : *set_) bytes += v.ApproxBytes();
+      }
+      break;
+    default:
+      break;
+  }
+  return bytes;
+}
+
 Value Value::UnionWith(const Value& a, const Value& b) {
   if (a.is_null()) return b;
   if (b.is_null()) return a;

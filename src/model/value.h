@@ -104,6 +104,12 @@ class Value {
   /// Structural hash consistent with Compare-equality.
   size_t Hash() const;
 
+  /// Estimated resident size in bytes (the value itself plus heap payload:
+  /// string characters, temporal fragments, set elements). Used by the
+  /// resource governor to meter tuple and cache memory; an estimate, not an
+  /// allocator-exact figure.
+  size_t ApproxBytes() const;
+
   /// Surface syntax used by the query language and the text storage format:
   /// 42, 3.5, "text", true, id7, (t >= 0 and t <= 5), {v1, v2}.
   std::string ToString() const;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "src/common/budget.h"
 #include "src/obs/metrics.h"
 
 namespace vqldb {
@@ -54,8 +55,13 @@ SetClosure::SetClosure(const SetConjunction& conjunction) {
     }
   }
 
-  // Transitive closure of subseteq-edges (Floyd-Warshall).
+  // Transitive closure of subseteq-edges (Floyd-Warshall). Polls the
+  // thread-local ExecContext every pivot: on a deadline/cancel/budget trip
+  // the closure stays partial and conservative (satisfiable_ remains true,
+  // bounds under-propagated); the engine's next interrupt check surfaces
+  // the structured status before such a verdict can be acted on.
   for (size_t k = 0; k < n; ++k) {
+    if (!ExecContext::PollSolverSteps(n)) return;
     for (size_t i = 0; i < n; ++i) {
       if (!reach_[i][k]) continue;
       for (size_t j = 0; j < n; ++j) {
@@ -69,6 +75,7 @@ SetClosure::SetClosure(const SetConjunction& conjunction) {
   std::vector<ElementSet> direct_lower = lower_;
   std::vector<std::optional<ElementSet>> direct_upper = upper_;
   for (size_t i = 0; i < n; ++i) {
+    if (!ExecContext::PollSolverSteps(n)) return;
     ElementSet l = direct_lower[i];
     std::optional<ElementSet> u = direct_upper[i];
     for (size_t j = 0; j < n; ++j) {

@@ -284,6 +284,47 @@ std::string Repl::Meta(const std::string& command,
     }
     return "usage: .cache [on|off|clear]\n";
   }
+  if (command == ".memlimit") {
+    if (argument.empty()) {
+      const std::shared_ptr<ResourceBudget>& g = session_.governor();
+      if (g == nullptr) return "memory limit: off\n";
+      return "memory limit: " + std::to_string(g->limits().max_bytes) +
+             " bytes (" + std::to_string(g->bytes_reserved()) +
+             " reserved, peak " + std::to_string(g->bytes_peak()) + ")\n";
+    }
+    if (argument == "off") {
+      session_.EnableMemoryGovernor(0);
+      return "memory limit: off\n";
+    }
+    int64_t bytes = 0;
+    if (!ParseNonNegativeInt(argument, &bytes) || bytes < 1) {
+      return "usage: .memlimit <bytes>|off\n";
+    }
+    session_.EnableMemoryGovernor(static_cast<size_t>(bytes));
+    return "memory limit: " + std::to_string(bytes) + " bytes\n";
+  }
+  if (command == ".concurrency") {
+    if (argument.empty()) {
+      const std::shared_ptr<QueryGate>& gate = session_.gate();
+      if (gate == nullptr) return "admission control: off\n";
+      return "admission control: " +
+             std::to_string(gate->options().max_concurrent) + " slots (" +
+             std::to_string(gate->admitted_total()) + " admitted, " +
+             std::to_string(gate->shed_total()) + " shed)\n";
+    }
+    if (argument == "off") {
+      session_.set_gate(nullptr);
+      return "admission control: off\n";
+    }
+    int64_t slots = 0;
+    if (!ParseNonNegativeInt(argument, &slots) || slots < 1) {
+      return "usage: .concurrency <slots>|off\n";
+    }
+    QueryGate::Options gopts;
+    gopts.max_concurrent = static_cast<size_t>(slots);
+    session_.set_gate(std::make_shared<QueryGate>(gopts));
+    return "admission control: " + std::to_string(slots) + " slots\n";
+  }
   if (command == ".journal") {
     if (argument == "off") {
       if (journal_.has_value()) {
@@ -345,6 +386,10 @@ std::string Repl::Help() const {
       "  .magic [on|off]   goal-directed magic-set rewriting (default on)\n"
       "  .cache [on|off|clear]\n"
       "                    memoizing query cache (epoch-invalidated)\n"
+      "  .memlimit <bytes|off>\n"
+      "                    governed memory budget (ResourceExhausted on trip)\n"
+      "  .concurrency <n|off>\n"
+      "                    admission control: n query slots (Overloaded on shed)\n"
       "  .trace on <file>  record spans; written as Chrome JSON on .trace off\n"
       "  .loglevel <level> debug|info|warn|error|fatal (also env VQLDB_LOG)\n"
       "  .journal <path> [flush|fsync|batch]\n"

@@ -1,0 +1,196 @@
+// ResourceBudget and ExecContext: charge/limit/trip semantics, the
+// parent-child hierarchy (propagated charges, dtor releases), sticky trips
+// with explicit recovery, deterministic fault injection, and the
+// thread-local solver polling surface.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/common/budget.h"
+#include "src/common/cancel.h"
+
+namespace vqldb {
+namespace {
+
+TEST(ResourceBudgetTest, UnlimitedBudgetNeverTrips) {
+  ResourceBudget budget;
+  EXPECT_TRUE(budget.ChargeBytes(1u << 30).ok());
+  EXPECT_TRUE(budget.ChargeTuples(1'000'000).ok());
+  EXPECT_TRUE(budget.ChargeSolverSteps(1'000'000).ok());
+  EXPECT_FALSE(budget.tripped());
+  EXPECT_TRUE(budget.Check().ok());
+  EXPECT_EQ(budget.bytes_reserved(), 1u << 30);
+}
+
+TEST(ResourceBudgetTest, ByteLimitTripsWithStructuredStatus) {
+  ResourceBudget budget({/*max_bytes=*/100});
+  EXPECT_TRUE(budget.ChargeBytes(60).ok());
+  Status st = budget.ChargeBytes(60);
+  ASSERT_FALSE(st.ok());
+  EXPECT_TRUE(st.IsResourceExhausted()) << st;
+  EXPECT_TRUE(budget.tripped());
+  // The trip is sticky: later charges and checks keep failing.
+  EXPECT_FALSE(budget.ChargeBytes(1).ok());
+  EXPECT_TRUE(budget.Check().IsResourceExhausted());
+}
+
+TEST(ResourceBudgetTest, TupleAndSolverStepLimitsTrip) {
+  ResourceBudget tuples({0, /*max_tuples=*/10, 0});
+  EXPECT_TRUE(tuples.ChargeTuples(10).ok());
+  EXPECT_TRUE(tuples.ChargeTuples(1).IsResourceExhausted());
+
+  ResourceBudget steps({0, 0, /*max_solver_steps=*/10});
+  EXPECT_TRUE(steps.ChargeSolverSteps(10).ok());
+  EXPECT_TRUE(steps.ChargeSolverSteps(1).IsResourceExhausted());
+}
+
+TEST(ResourceBudgetTest, ReleaseBytesRefundsAndClampsAtZero) {
+  ResourceBudget budget;
+  ASSERT_TRUE(budget.ChargeBytes(100).ok());
+  budget.ReleaseBytes(40);
+  EXPECT_EQ(budget.bytes_reserved(), 60u);
+  budget.ReleaseBytes(1000);  // over-release clamps, never wraps
+  EXPECT_EQ(budget.bytes_reserved(), 0u);
+  EXPECT_EQ(budget.bytes_peak(), 100u);
+}
+
+TEST(ResourceBudgetTest, ClearTripRecoversButKeepsCounters) {
+  ResourceBudget budget({/*max_bytes=*/50});
+  ASSERT_TRUE(budget.ChargeBytes(80).IsResourceExhausted());
+  budget.ReleaseBytes(80);
+  budget.ClearTrip();
+  EXPECT_FALSE(budget.tripped());
+  EXPECT_TRUE(budget.Check().ok());
+  EXPECT_TRUE(budget.ChargeBytes(40).ok());
+  EXPECT_EQ(budget.bytes_peak(), 80u);  // peak survives recovery
+}
+
+TEST(ResourceBudgetTest, ChildChargesPropagateToParent) {
+  auto parent = std::make_shared<ResourceBudget>(
+      ResourceBudget::Limits{/*max_bytes=*/100});
+  ResourceBudget child({}, parent);
+  EXPECT_TRUE(child.ChargeBytes(70).ok());
+  EXPECT_EQ(parent->bytes_reserved(), 70u);
+  // The child is unlimited, but the parent's limit still fails the charge.
+  Status st = child.ChargeBytes(70);
+  EXPECT_TRUE(st.IsResourceExhausted()) << st;
+  EXPECT_TRUE(parent->tripped());
+  EXPECT_FALSE(child.Check().ok());  // Check consults ancestors
+}
+
+TEST(ResourceBudgetTest, ChildDestructorReleasesOutstandingBytes) {
+  auto parent = std::make_shared<ResourceBudget>();
+  {
+    ResourceBudget child({}, parent);
+    ASSERT_TRUE(child.ChargeBytes(500).ok());
+    child.ReleaseBytes(100);
+    EXPECT_EQ(parent->bytes_reserved(), 400u);
+  }
+  // An aborted query returns its whole remaining reservation to the pool.
+  EXPECT_EQ(parent->bytes_reserved(), 0u);
+}
+
+TEST(ResourceBudgetTest, ConcurrentChargesSumExactly) {
+  auto parent = std::make_shared<ResourceBudget>();
+  ResourceBudget child({}, parent);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&child] {
+      for (int i = 0; i < 1000; ++i) {
+        ASSERT_TRUE(child.ChargeBytes(3).ok());
+        ASSERT_TRUE(child.ChargeTuples(1).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(child.bytes_reserved(), 12000u);
+  EXPECT_EQ(parent->bytes_reserved(), 12000u);
+  EXPECT_EQ(child.tuples(), 4000u);
+}
+
+TEST(ResourceBudgetTest, FaultInjectionIsDeterministic) {
+  auto run = [](uint64_t seed) {
+    ResourceBudget budget;
+    budget.ArmFaults({seed, /*trip_p=*/0.3});
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 64; ++i) {
+      outcomes.push_back(budget.ChargeBytes(1).ok());
+      budget.ClearTrip();  // observe each trial independently
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run(7), run(7));       // same seed, same schedule
+  EXPECT_NE(run(7), run(8));       // different seed, different schedule
+  ResourceBudget budget;
+  budget.ArmFaults({42, 1.0});
+  EXPECT_TRUE(budget.ChargeBytes(1).IsResourceExhausted());
+  EXPECT_EQ(budget.injected_trips(), 1u);
+}
+
+TEST(ExecContextTest, CheckIsStickyAndOrdered) {
+  CancelToken cancel;
+  ExecContext ctx;
+  ctx.set_cancel(&cancel);
+  EXPECT_TRUE(ctx.Check().ok());
+  cancel.Cancel();
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+  cancel.Reset();
+  // Interruption is sticky for the lifetime of the context.
+  EXPECT_TRUE(ctx.Check().IsCancelled());
+  EXPECT_TRUE(ctx.interrupted());
+  EXPECT_TRUE(ctx.status().IsCancelled());
+}
+
+TEST(ExecContextTest, BudgetTripSurfacesThroughCheck) {
+  ResourceBudget budget({/*max_bytes=*/10});
+  ExecContext ctx;
+  ctx.set_budget(&budget);
+  EXPECT_TRUE(ctx.Check().ok());
+  (void)budget.ChargeBytes(100);
+  EXPECT_TRUE(ctx.Check().IsResourceExhausted());
+}
+
+TEST(ExecContextTest, PollSolverStepsIsNoOpWithoutContext) {
+  ASSERT_EQ(ExecContext::Current(), nullptr);
+  EXPECT_TRUE(ExecContext::PollSolverSteps(1'000'000));
+}
+
+TEST(ExecContextTest, PollSolverStepsChargesBudgetAndStops) {
+  ResourceBudget budget({0, 0, /*max_solver_steps=*/100});
+  ExecContext ctx;
+  ctx.set_budget(&budget);
+  ExecContextScope scope(&ctx);
+  ASSERT_EQ(ExecContext::Current(), &ctx);
+
+  bool stopped = false;
+  for (int i = 0; i < 10'000; ++i) {
+    if (!ExecContext::PollSolverSteps(10)) {
+      stopped = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(stopped);
+  EXPECT_TRUE(ExecContext::CurrentStatus().IsResourceExhausted());
+  EXPECT_GE(budget.solver_steps(), 100u);
+}
+
+TEST(ExecContextTest, ScopeRestoresPreviousBinding) {
+  ExecContext outer;
+  ExecContext inner;
+  {
+    ExecContextScope a(&outer);
+    EXPECT_EQ(ExecContext::Current(), &outer);
+    {
+      ExecContextScope b(&inner);
+      EXPECT_EQ(ExecContext::Current(), &inner);
+    }
+    EXPECT_EQ(ExecContext::Current(), &outer);
+  }
+  EXPECT_EQ(ExecContext::Current(), nullptr);
+}
+
+}  // namespace
+}  // namespace vqldb

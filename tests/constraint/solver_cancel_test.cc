@@ -1,0 +1,181 @@
+// Solver-level cancellation (the deadline-granularity fix): the inner loops
+// of OrderSolver (branch distribution, transitive closure), SetClosure, and
+// IntervalSet canonicalization poll the thread-bound ExecContext, so a
+// single long solver call observes deadlines, CancelTokens, and solver-step
+// budgets instead of blowing far past them. Interrupted solvers abandon
+// work with a conservative answer (or a structured status where the
+// signature allows) and leave the interruption recorded on the context.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "src/common/budget.h"
+#include "src/common/cancel.h"
+#include "src/constraint/interval_set.h"
+#include "src/constraint/order_solver.h"
+#include "src/setcon/set_solver.h"
+
+namespace vqldb {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// The adversarial branch-distribution input: x0 = 5 entails a 16-disjunct
+// DNF whose disjuncts are two-atom, so distributing the negation yields
+// 2^16 branches — and because the entailment HOLDS, every branch is
+// unsatisfiable and the enumeration cannot exit early. Without an
+// interrupt the solver grinds through all 65536 satisfiability checks.
+struct AdversarialEntailment {
+  OrderConjunction conjunction;
+  OrderDnf dnf;
+
+  AdversarialEntailment() {
+    conjunction.push_back(
+        {OrderTerm::Var(0), CompareOp::kEq, OrderTerm::Const(5.0)});
+    for (int i = 0; i < 16; ++i) {
+      OrderConjunction disjunct;  // both atoms follow from x0 = 5
+      disjunct.push_back({OrderTerm::Var(0), CompareOp::kGt,
+                          OrderTerm::Const(static_cast<double>(-1 - i))});
+      disjunct.push_back({OrderTerm::Var(0), CompareOp::kGt,
+                          OrderTerm::Const(static_cast<double>(-2 - i))});
+      dnf.push_back(std::move(disjunct));
+    }
+  }
+};
+
+TEST(SolverCancelTest, EntailsDnfObservesCancelToken) {
+  AdversarialEntailment adv;
+  CancelToken cancel;
+  cancel.Cancel();
+  ExecContext ctx;
+  ctx.set_cancel(&cancel);
+  ExecContextScope scope(&ctx);
+
+  auto begin = Clock::now();
+  auto result = OrderSolver::EntailsDnf(adv.conjunction, adv.dnf, 1u << 16);
+  auto elapsed = Clock::now() - begin;
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsCancelled()) << result.status();
+  // The poll interval bounds the reaction latency to ~1024 solver steps,
+  // not the full 65536-branch enumeration.
+  EXPECT_LT(elapsed, std::chrono::seconds(2));
+  EXPECT_TRUE(ctx.interrupted());
+}
+
+TEST(SolverCancelTest, EntailsDnfObservesExpiredDeadline) {
+  AdversarialEntailment adv;
+  ExecContext ctx;
+  ctx.set_deadline(Clock::now() - std::chrono::seconds(1));
+  ExecContextScope scope(&ctx);
+
+  auto result = OrderSolver::EntailsDnf(adv.conjunction, adv.dnf, 1u << 16);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDeadlineExceeded()) << result.status();
+}
+
+TEST(SolverCancelTest, EntailsDnfObservesSolverStepBudget) {
+  AdversarialEntailment adv;
+  ResourceBudget budget({0, 0, /*max_solver_steps=*/10});
+  ExecContext ctx;
+  ctx.set_budget(&budget);
+  ExecContextScope scope(&ctx);
+
+  auto result = OrderSolver::EntailsDnf(adv.conjunction, adv.dnf, 1u << 16);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsResourceExhausted()) << result.status();
+  EXPECT_GE(budget.solver_steps(), 10u);
+}
+
+TEST(SolverCancelTest, EntailsDnfStillCorrectWithoutInterruption) {
+  // Control: under an unlimited context the same adversarial input
+  // completes with the exact answer (the entailment holds).
+  AdversarialEntailment small;
+  small.dnf.resize(8);  // 2^8 branches: exact yet fast
+  ExecContext ctx;
+  ExecContextScope scope(&ctx);
+  auto result = OrderSolver::EntailsDnf(small.conjunction, small.dnf, 1u << 16);
+  ASSERT_TRUE(result.ok()) << result.status();
+  EXPECT_TRUE(*result);
+  EXPECT_FALSE(ctx.interrupted());
+}
+
+TEST(SolverCancelTest, OrderClosureChargesAndRecordsBudgetTrip) {
+  // A 100-variable chain makes the reachability closure itself the long
+  // call. The solver bails out with a conservative partial closure; the
+  // recorded interrupt is what the engine surfaces.
+  OrderConjunction chain;
+  for (int i = 0; i < 100; ++i) {
+    chain.push_back({OrderTerm::Var(i), CompareOp::kLt, OrderTerm::Var(i + 1)});
+  }
+  ResourceBudget budget({0, 0, /*max_solver_steps=*/50});
+  ExecContext ctx;
+  ctx.set_budget(&budget);
+  ExecContextScope scope(&ctx);
+
+  (void)OrderSolver::Satisfiable(chain);  // answer is conservative here
+  EXPECT_TRUE(ctx.interrupted());
+  EXPECT_TRUE(ctx.status().IsResourceExhausted()) << ctx.status();
+  EXPECT_GE(budget.solver_steps(), 50u);
+}
+
+TEST(SolverCancelTest, SetClosureObservesSolverStepBudget) {
+  SetConjunction conjunction;
+  for (int i = 0; i < 80; ++i) {
+    conjunction.push_back(SetConstraint::Subset(i, i + 1));
+  }
+  conjunction.push_back(SetConstraint::LowerBound(ElementSet{1, 2, 3}, 0));
+
+  ResourceBudget budget({0, 0, /*max_solver_steps=*/50});
+  ExecContext ctx;
+  ctx.set_budget(&budget);
+  ExecContextScope scope(&ctx);
+
+  SetClosure closure(conjunction);  // bounds are conservative here
+  EXPECT_TRUE(ctx.interrupted());
+  EXPECT_TRUE(ctx.status().IsResourceExhausted()) << ctx.status();
+}
+
+TEST(SolverCancelTest, IntervalCanonicalizationObservesBudget) {
+  std::vector<TimeInterval> fragments;
+  for (int i = 0; i < 3000; ++i) {
+    fragments.push_back(TimeInterval::Closed(2.0 * i, 2.0 * i + 1.0));
+  }
+
+  {
+    // Control: unlimited context canonicalizes all fragments.
+    ExecContext ctx;
+    ExecContextScope scope(&ctx);
+    IntervalSet full(fragments);
+    EXPECT_EQ(full.fragment_count(), 3000u);
+    EXPECT_FALSE(ctx.interrupted());
+  }
+
+  ResourceBudget budget({0, 0, /*max_solver_steps=*/100});
+  ExecContext ctx;
+  ctx.set_budget(&budget);
+  ExecContextScope scope(&ctx);
+  IntervalSet interrupted(fragments);
+  // The empty set is the documented conservative value of an abandoned
+  // canonicalization; the sticky interrupt carries the real status.
+  EXPECT_TRUE(interrupted.IsEmpty());
+  EXPECT_TRUE(ctx.interrupted());
+  EXPECT_TRUE(ctx.status().IsResourceExhausted()) << ctx.status();
+}
+
+TEST(SolverCancelTest, InterruptIsStickyAcrossSolverCalls) {
+  // Once one solver call trips, every later poll on the same context fails
+  // fast — the engine can rely on CurrentStatus() after any bail-out.
+  ResourceBudget budget({0, 0, /*max_solver_steps=*/10});
+  ExecContext ctx;
+  ctx.set_budget(&budget);
+  ExecContextScope scope(&ctx);
+
+  AdversarialEntailment adv;
+  ASSERT_FALSE(OrderSolver::EntailsDnf(adv.conjunction, adv.dnf, 1u << 16).ok());
+  EXPECT_FALSE(ExecContext::PollSolverSteps(1));
+  EXPECT_TRUE(ExecContext::CurrentStatus().IsResourceExhausted());
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -157,6 +157,47 @@ TEST_F(QueryCacheTest, ClearQueryCacheForcesReevaluation) {
   EXPECT_FALSE(session_->last_exec_info().cache_hit);
 }
 
+TEST_F(QueryCacheTest, ByteBudgetEvictsLruBeforeEntryCap) {
+  // Entries are accounted in bytes: a tight byte budget evicts LRU entries
+  // long before the 256-entry secondary cap is reached, and the accounted
+  // total never exceeds the budget.
+  uint64_t bytes_evicted0 = CounterValue("vqldb_cache_bytes_evicted_total");
+  ASSERT_TRUE(session_->Query("?- path(a, Y).").ok());
+  ASSERT_GT(session_->query_cache_bytes(), 0u);
+  // Room for only a couple of answers of this size.
+  session_->set_cache_max_bytes(session_->query_cache_bytes() * 2 + 1);
+
+  ASSERT_TRUE(session_->Query("?- path(b, Y).").ok());
+  ASSERT_TRUE(session_->Query("?- path(X, c).").ok());
+  ASSERT_TRUE(session_->Query("?- path(X, b).").ok());
+  EXPECT_LE(session_->query_cache_bytes(), session_->cache_max_bytes());
+  EXPECT_LT(session_->query_cache_size(), 4u);  // something was evicted
+  EXPECT_GT(CounterValue("vqldb_cache_bytes_evicted_total"), bytes_evicted0);
+
+  // The surviving (most recent) entry still hits.
+  ASSERT_TRUE(session_->Query("?- path(X, b).").ok());
+  EXPECT_TRUE(session_->last_exec_info().cache_hit);
+}
+
+TEST_F(QueryCacheTest, AnswerLargerThanByteBudgetIsNotCached) {
+  session_->set_cache_max_bytes(1);
+  auto result = session_->Query("?- path(X, Y).");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->size(), 3u);  // the answer itself is unaffected
+  EXPECT_EQ(session_->query_cache_size(), 0u);
+  EXPECT_EQ(session_->query_cache_bytes(), 0u);
+}
+
+TEST_F(QueryCacheTest, ByteAccountingTracksStoresAndClear) {
+  ASSERT_TRUE(session_->Query("?- path(a, Y).").ok());
+  size_t one = session_->query_cache_bytes();
+  ASSERT_GT(one, 0u);
+  ASSERT_TRUE(session_->Query("?- path(X, c).").ok());
+  EXPECT_GT(session_->query_cache_bytes(), one);
+  session_->ClearQueryCache();
+  EXPECT_EQ(session_->query_cache_bytes(), 0u);
+}
+
 TEST_F(QueryCacheTest, ConstructiveEvaluationStoresPostEpoch) {
   // Answering the first query materializes derived intervals, advancing the
   // database epoch mid-query. The entry must be stored under the

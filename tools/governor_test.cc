@@ -1,0 +1,414 @@
+// governor_test: the resource-governance gauntlet. For N seeded iterations,
+// arm deterministic fault injection on the session's memory governor and/or
+// its admission gate, run a workload query, and assert the governance
+// contract:
+//
+//   1. a forced governor trip yields a structured ResourceExhausted,
+//   2. a forced admission reject yields a structured Overloaded,
+//   3. a governed failure never corrupts the database (Validate holds and
+//      no derived interval materialized by the failed query survives),
+//   4. the same session answers the follow-up query correctly once the
+//      faults are disarmed — no trip is sticky across queries,
+//   5. the gate's accounting stays exact: admitted + shed == attempted and
+//      completed == admitted once every query returned.
+//
+// With --overload the harness instead hammers one session through a
+// 1-slot/short-timeout gate from several threads and asserts
+// submitted == completed + shed with every completed answer exact.
+//
+// Usage:
+//   governor_test [--iterations=250] [--seed=1 | --seed=1..5]
+//   governor_test --overload [--threads=4] [--per-thread=8]
+//
+// Exit code 0 iff every iteration of every seed holds the contract.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/engine/query.h"
+#include "src/engine/query_gate.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+namespace {
+
+// The workload: a 16-node chain with its transitive closure (relational
+// pressure) plus five disjoint interval segments under a recursive ++ rule
+// (constructive pressure: 2^5 - 1 subset unions, each a derived interval).
+std::string WorkloadProgram() {
+  std::string program;
+  for (int i = 0; i <= 16; ++i) {
+    program += "object n" + std::to_string(i) + " { }.\n";
+  }
+  for (int i = 0; i < 16; ++i) {
+    program +=
+        "edge(n" + std::to_string(i) + ", n" + std::to_string(i + 1) + ").\n";
+  }
+  program +=
+      "path(X, Y) <- edge(X, Y).\n"
+      "path(X, Z) <- path(X, Y), edge(Y, Z).\n";
+  for (int i = 0; i < 5; ++i) {
+    std::string lo = std::to_string(10 * i);
+    std::string hi = std::to_string(10 * i + 5);
+    program += "interval gi" + std::to_string(i) + " { duration: (t > " + lo +
+               " and t < " + hi + ") }.\n";
+    program += "seg(gi" + std::to_string(i) + ").\n";
+  }
+  program +=
+      "grow(G) <- seg(G).\n"
+      "grow(G1 ++ G2) <- grow(G1), seg(G2).\n";
+  return program;
+}
+
+struct PoolQuery {
+  const char* text;
+  size_t expected_rows;
+  bool constructive;  // compare row count only: derived names depend on
+                      // allocation order, which faults perturb
+};
+
+constexpr PoolQuery kPool[] = {
+    {"?- path(X, Y).", 16u * 17u / 2u, false},
+    {"?- path(n0, Y).", 16u, false},
+    {"?- edge(X, Y).", 16u, false},
+    {"?- seg(G).", 5u, false},
+    {"?- grow(G).", 31u, true},
+};
+constexpr size_t kPoolSize = sizeof(kPool) / sizeof(kPool[0]);
+
+struct Flags {
+  size_t iterations = 250;
+  uint64_t seed_lo = 1, seed_hi = 1;
+  bool overload = false;
+  size_t threads = 4;
+  size_t per_thread = 8;
+};
+
+bool ParseFlags(int argc, char** argv, Flags* flags) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value_of = [&](const char* name) -> const char* {
+      size_t n = std::strlen(name);
+      return arg.compare(0, n, name) == 0 ? arg.c_str() + n : nullptr;
+    };
+    if (const char* v = value_of("--iterations=")) {
+      flags->iterations = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else if (arg == "--overload") {
+      flags->overload = true;
+    } else if (const char* v = value_of("--threads=")) {
+      flags->threads = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--per-thread=")) {
+      flags->per_thread = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+    } else if (const char* v = value_of("--seed=")) {
+      const char* dots = std::strstr(v, "..");
+      char* end = nullptr;
+      flags->seed_lo = std::strtoull(v, &end, 10);
+      flags->seed_hi = dots != nullptr ? std::strtoull(dots + 2, nullptr, 10)
+                                       : flags->seed_lo;
+      if (flags->seed_hi < flags->seed_lo) return false;
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return flags->iterations > 0 && flags->threads > 0 && flags->per_thread > 0;
+}
+
+#define GOV_REQUIRE(cond, ...)               \
+  do {                                       \
+    if (!(cond)) {                           \
+      std::fprintf(stderr, __VA_ARGS__);     \
+      std::fprintf(stderr, "\n");            \
+      return false;                          \
+    }                                        \
+  } while (0)
+
+bool CheckAnswer(uint64_t seed, size_t iteration, const PoolQuery& q,
+                 const QueryResult& result,
+                 const std::vector<std::vector<Value>>& reference_rows) {
+  GOV_REQUIRE(result.rows.size() == q.expected_rows,
+              "seed %llu iter %zu: %s returned %zu rows, want %zu",
+              (unsigned long long)seed, iteration, q.text, result.rows.size(),
+              q.expected_rows);
+  if (!q.constructive) {
+    GOV_REQUIRE(result.rows == reference_rows,
+                "seed %llu iter %zu: %s diverged from the reference answer",
+                (unsigned long long)seed, iteration, q.text);
+  }
+  return true;
+}
+
+// Injection modes, chosen per iteration from the seeded stream.
+enum class Mode { kClean = 0, kForceTrip, kForceShed, kMixed };
+
+bool RunSeed(uint64_t seed, size_t iterations, size_t* trips, size_t* sheds) {
+  VideoDatabase db;
+  QuerySession session(&db);
+  if (!session.Load(WorkloadProgram()).ok()) {
+    std::fprintf(stderr, "seed %llu: workload load failed\n",
+                 (unsigned long long)seed);
+    return false;
+  }
+  session.set_cache_enabled(false);  // every query must reach the governor
+  session.EnableMemoryGovernor(1u << 30);
+  auto gate = std::make_shared<QueryGate>(QueryGate::Options{
+      /*max_concurrent=*/1, /*max_queued=*/8,
+      /*queue_timeout=*/std::chrono::milliseconds(1000)});
+  session.set_gate(gate);
+
+  // Reference answers from an identical, ungoverned twin. Loading the same
+  // program allocates the same ids, so non-constructive rows compare exactly.
+  VideoDatabase reference_db;
+  QuerySession reference(&reference_db);
+  if (!reference.Load(WorkloadProgram()).ok()) return false;
+  std::vector<std::vector<std::vector<Value>>> reference_rows;
+  for (const PoolQuery& q : kPool) {
+    auto r = reference.Query(q.text);
+    if (!r.ok() || r->rows.size() != q.expected_rows) {
+      std::fprintf(stderr, "seed %llu: reference answer for %s is wrong\n",
+                   (unsigned long long)seed, q.text);
+      return false;
+    }
+    reference_rows.push_back(r->rows);
+  }
+
+  Rng rng(seed * 7919ULL + 17);
+  size_t attempted = 0;
+  for (size_t i = 0; i < iterations; ++i) {
+    const uint64_t fault_seed = seed * 1000003ULL + i;
+    const Mode mode = static_cast<Mode>(rng.UniformU64(4));
+    // A pure-EDB lookup (seg, edge) can answer without ever charging the
+    // budget, so a forced trip needs a query that really evaluates.
+    constexpr size_t kChargingPool[] = {0, 1, 4};  // path, path(n0), grow
+    const PoolQuery& q = mode == Mode::kForceTrip
+                             ? kPool[kChargingPool[rng.UniformU64(3)]]
+                             : kPool[rng.UniformU64(kPoolSize)];
+
+    switch (mode) {
+      case Mode::kClean:
+        break;
+      case Mode::kForceTrip:
+        session.governor()->ArmFaults({fault_seed, /*trip_p=*/1.0});
+        break;
+      case Mode::kForceShed:
+        gate->ArmFaults({fault_seed, /*reject_p=*/1.0});
+        break;
+      case Mode::kMixed:
+        session.governor()->ArmFaults({fault_seed, /*trip_p=*/0.05});
+        gate->ArmFaults({fault_seed ^ 0x9E3779B97F4A7C15ULL,
+                         /*reject_p=*/0.1});
+        break;
+    }
+
+    const size_t derived_before = db.derived_interval_count();
+    const size_t trips_before = session.governor()->injected_trips();
+    const size_t rejects_before = gate->injected_rejects();
+    auto result = session.Query(q.text);
+    ++attempted;
+
+    if (result.ok()) {
+      GOV_REQUIRE(mode != Mode::kForceShed,
+                  "seed %llu iter %zu: forced shed did not fail %s",
+                  (unsigned long long)seed, i, q.text);
+      // Under p=1.0 a success is only legitimate when the query was served
+      // from memoized fixpoints and reached zero budget charges: had any
+      // charge rolled, the retry would have tripped as well. (Under the
+      // mixed low-p mode, succeeding after a shed-caches retry is exactly
+      // the designed degradation, so injected trips are fine there.)
+      if (mode == Mode::kForceTrip) {
+        GOV_REQUIRE(session.governor()->injected_trips() == trips_before,
+                    "seed %llu iter %zu: %s succeeded past a forced trip",
+                    (unsigned long long)seed, i, q.text);
+      }
+      if (!CheckAnswer(seed, i, q, *result,
+                       reference_rows[&q - kPool])) {
+        return false;
+      }
+    } else {
+      const Status& st = result.status();
+      GOV_REQUIRE(st.IsResourceExhausted() || st.IsOverloaded(),
+                  "seed %llu iter %zu: unstructured failure for %s: %s",
+                  (unsigned long long)seed, i, q.text, st.ToString().c_str());
+      // Contract 3: a governed failure leaves the database intact.
+      GOV_REQUIRE(db.Validate().ok(),
+                  "seed %llu iter %zu: database invalid after failure",
+                  (unsigned long long)seed, i);
+      GOV_REQUIRE(db.derived_interval_count() == derived_before,
+                  "seed %llu iter %zu: failed query leaked %zu derived "
+                  "intervals",
+                  (unsigned long long)seed, i,
+                  db.derived_interval_count() - derived_before);
+      if (mode == Mode::kForceTrip) {
+        GOV_REQUIRE(st.IsResourceExhausted(),
+                    "seed %llu iter %zu: forced trip surfaced as %s",
+                    (unsigned long long)seed, i, st.ToString().c_str());
+        GOV_REQUIRE(session.governor()->injected_trips() > trips_before,
+                    "seed %llu iter %zu: forced trip not accounted",
+                    (unsigned long long)seed, i);
+      }
+      if (mode == Mode::kForceShed) {
+        GOV_REQUIRE(st.IsOverloaded(),
+                    "seed %llu iter %zu: forced shed surfaced as %s",
+                    (unsigned long long)seed, i, st.ToString().c_str());
+        GOV_REQUIRE(gate->injected_rejects() > rejects_before,
+                    "seed %llu iter %zu: forced shed not accounted",
+                    (unsigned long long)seed, i);
+      }
+      if (st.IsResourceExhausted()) ++*trips;
+      if (st.IsOverloaded()) ++*sheds;
+    }
+
+    // Contract 4: disarm and the same session answers exactly.
+    session.governor()->ArmFaults({0, 0.0});
+    gate->ArmFaults({0, 0.0});
+    auto follow_up = session.Query("?- path(n0, Y).");
+    ++attempted;
+    GOV_REQUIRE(follow_up.ok(),
+                "seed %llu iter %zu: follow-up failed after disarm: %s",
+                (unsigned long long)seed, i,
+                follow_up.status().ToString().c_str());
+    if (!CheckAnswer(seed, i, kPool[1], *follow_up, reference_rows[1])) {
+      return false;
+    }
+  }
+
+  // Contract 5: exact admission accounting over the whole run.
+  GOV_REQUIRE(gate->admitted_total() + gate->shed_total() == attempted,
+              "seed %llu: admitted %zu + shed %zu != attempted %zu",
+              (unsigned long long)seed, gate->admitted_total(),
+              gate->shed_total(), attempted);
+  GOV_REQUIRE(gate->completed_total() == gate->admitted_total(),
+              "seed %llu: %zu admitted but %zu completed",
+              (unsigned long long)seed, gate->admitted_total(),
+              gate->completed_total());
+  GOV_REQUIRE(gate->active() == 0 && gate->queued() == 0,
+              "seed %llu: gate not drained (active=%zu queued=%zu)",
+              (unsigned long long)seed, gate->active(), gate->queued());
+  return true;
+}
+
+struct OverloadOutcome {
+  size_t ok = 0;
+  size_t shed = 0;
+  size_t wrong = 0;  // completed with an unexpected answer
+  size_t other = 0;  // failed with a status that is not Overloaded
+};
+
+bool RunOverload(size_t threads, size_t per_thread) {
+  VideoDatabase db;
+  QuerySession session(&db);
+  if (!session.Load(WorkloadProgram()).ok()) {
+    std::fprintf(stderr, "overload: workload load failed\n");
+    return false;
+  }
+  session.set_cache_enabled(false);  // keep every admitted query heavy
+  session.EnableMemoryGovernor(1u << 30);
+  // One slot serializes the shared session; the tiny queue and timeout make
+  // load shedding the designed response to the thundering herd.
+  auto gate = std::make_shared<QueryGate>(QueryGate::Options{
+      /*max_concurrent=*/1, /*max_queued=*/1,
+      /*queue_timeout=*/std::chrono::milliseconds(2)});
+  session.set_gate(gate);
+
+  const size_t expected_rows = kPool[0].expected_rows;
+  std::vector<OverloadOutcome> outcomes(threads);
+  std::vector<std::thread> workers;
+  for (size_t t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      for (size_t i = 0; i < per_thread; ++i) {
+        auto result = session.Query(kPool[0].text);
+        if (result.ok()) {
+          if (result->rows.size() == expected_rows) {
+            ++outcomes[t].ok;
+          } else {
+            ++outcomes[t].wrong;
+          }
+        } else if (result.status().IsOverloaded()) {
+          ++outcomes[t].shed;
+        } else {
+          ++outcomes[t].other;
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+
+  OverloadOutcome total;
+  for (const OverloadOutcome& o : outcomes) {
+    total.ok += o.ok;
+    total.shed += o.shed;
+    total.wrong += o.wrong;
+    total.other += o.other;
+  }
+  const size_t submitted = threads * per_thread;
+  GOV_REQUIRE(total.wrong == 0, "overload: %zu completed queries were wrong",
+              total.wrong);
+  GOV_REQUIRE(total.other == 0,
+              "overload: %zu failures were not structured Overloaded",
+              total.other);
+  GOV_REQUIRE(total.ok + total.shed == submitted,
+              "overload: ok %zu + shed %zu != submitted %zu", total.ok,
+              total.shed, submitted);
+  GOV_REQUIRE(gate->admitted_total() == total.ok &&
+                  gate->shed_total() == total.shed,
+              "overload: gate accounting (admitted=%zu shed=%zu) disagrees "
+              "with observed (ok=%zu shed=%zu)",
+              gate->admitted_total(), gate->shed_total(), total.ok,
+              total.shed);
+  GOV_REQUIRE(gate->completed_total() == gate->admitted_total(),
+              "overload: %zu admitted but %zu completed",
+              gate->admitted_total(), gate->completed_total());
+  GOV_REQUIRE(db.Validate().ok(), "overload: database invalid after the run");
+  std::printf(
+      "governor_test: OK (overload: %zu submitted == %zu completed + %zu "
+      "shed, %zu threads)\n",
+      submitted, total.ok, total.shed, threads);
+  return true;
+}
+
+}  // namespace
+}  // namespace vqldb
+
+int main(int argc, char** argv) {
+  using namespace vqldb;
+  Flags flags;
+  if (!ParseFlags(argc, argv, &flags)) {
+    std::fprintf(stderr,
+                 "usage: governor_test [--iterations=N] [--seed=A[..B]] "
+                 "[--overload [--threads=T] [--per-thread=M]]\n");
+    return 1;
+  }
+  if (flags.overload) {
+    return RunOverload(flags.threads, flags.per_thread) ? 0 : 1;
+  }
+
+  size_t total = 0, trips = 0, sheds = 0;
+  for (uint64_t seed = flags.seed_lo; seed <= flags.seed_hi; ++seed) {
+    if (!RunSeed(seed, flags.iterations, &trips, &sheds)) {
+      std::fprintf(stderr, "governor_test: FAILED (seed %llu)\n",
+                   (unsigned long long)seed);
+      return 1;
+    }
+    total += flags.iterations;
+  }
+  if (trips == 0 || sheds == 0) {
+    std::fprintf(stderr,
+                 "governor_test: FAILED (gauntlet never exercised both fault "
+                 "paths: %zu trips, %zu sheds)\n",
+                 trips, sheds);
+    return 1;
+  }
+  std::printf(
+      "governor_test: OK (%zu iterations, seeds %llu..%llu, %zu resource "
+      "trips, %zu admission sheds, 0 corrupted states)\n",
+      total, (unsigned long long)flags.seed_lo,
+      (unsigned long long)flags.seed_hi, trips, sheds);
+  return 0;
+}

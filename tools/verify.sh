@@ -14,8 +14,18 @@
 # 4. Deadline smoke: a heavy transitive-closure program under
 #    `vql --timeout-ms=1` must fail with a clean "Deadline exceeded" error
 #    and exit 0 — a structured failure, never an abort.
-# 5. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
-#    determinism test and the thread-pool tests under TSan.
+# 5. Resource-governance smoke: a heavy program under `vql
+#    --mem-limit-bytes=` must fail with a clean "Resource exhausted" error
+#    and the same session must still answer the next (selective) query;
+#    tools/governor_test then runs the 250-iteration seeded fault-injection
+#    gauntlet and the multi-threaded overload run, asserting
+#    submitted == completed + shed with no corrupted state.
+# 6. Configure + build with -DVQLDB_SANITIZE=address and run the governance
+#    tests under ASan (the budget hierarchy moves ownership across queries,
+#    caches, and rollbacks — exactly where lifetime bugs would live).
+# 7. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
+#    determinism test, the thread-pool tests, and the admission-gate stress
+#    test under TSan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -81,13 +91,47 @@ diff "$OBS_TMP/magic_on.out" "$OBS_TMP/magic_off.out" \
 grep -q "magic: on" <(./build/tools/vql <<< $'object a { }.\np(a).\nexplain ?- p(X).\n.quit') \
   || { echo "EXPLAIN is missing the magic status line"; exit 1; }
 
+echo "== governance smoke: vql --mem-limit-bytes= on a heavy program =="
+{
+  for i in $(seq 0 64); do echo "object n$i { }."; done
+  for i in $(seq 0 63); do echo "edge(n$i, n$((i+1)))."; done
+  echo "path(X, Y) <- edge(X, Y)."
+  echo "path(X, Z) <- path(X, Y), edge(Y, Z)."
+  echo "?- path(X, Y)."
+  echo "?- edge(n0, Y)."
+  echo ".quit"
+} > "$OBS_TMP/governed.vql"
+./build/tools/vql --mem-limit-bytes=60000 <"$OBS_TMP/governed.vql" \
+    >"$OBS_TMP/governed.out"
+grep -q "Resource exhausted" "$OBS_TMP/governed.out" \
+  || { echo "expected a structured Resource exhausted error"; exit 1; }
+grep -q "n1" "$OBS_TMP/governed.out" \
+  || { echo "session did not answer the follow-up query after the trip"; exit 1; }
+
+echo "== governance gauntlet: governor_test --iterations=250 =="
+./build/tools/governor_test --iterations=250 --seed=1
+
+echo "== overload smoke: governor_test --overload =="
+./build/tools/governor_test --overload --threads=4 --per-thread=8
+
+echo "== asan: build (-DVQLDB_SANITIZE=address) =="
+cmake -B build-asan -S . -DVQLDB_SANITIZE=address >/dev/null
+cmake --build build-asan -j "$JOBS" \
+  --target budget_test query_gate_test resource_governor_test
+
+echo "== asan: budget + gate + governor =="
+./build-asan/tests/budget_test
+./build-asan/tests/query_gate_test
+./build-asan/tests/resource_governor_test
+
 echo "== tsan: build (-DVQLDB_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DVQLDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target parallel_determinism_test thread_pool_test
+  --target parallel_determinism_test thread_pool_test gate_stress_test
 
-echo "== tsan: parallel determinism + thread pool =="
+echo "== tsan: parallel determinism + thread pool + gate stress =="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/gate_stress_test
 
 echo "verify: OK"

@@ -20,6 +20,13 @@
 //                          settable at runtime: .magic on|off)
 //   --no-cache             disable the memoizing query cache (also settable
 //                          at runtime: .cache on|off|clear)
+//   --mem-limit-bytes=<n>  governed memory budget: queries whose working set
+//                          would exceed it fail with "Resource exhausted"
+//                          after the caches are shed, and the shell keeps
+//                          running (also settable at runtime: .memlimit)
+//   --max-concurrency=<n>  admission control: at most n queries execute at
+//                          once, excess arrivals queue then shed with
+//                          "Overloaded" (also settable: .concurrency)
 
 #include <fstream>
 #include <iostream>
@@ -59,6 +66,8 @@ int main(int argc, char** argv) {
   std::string metrics_out;
   std::string trace_out;
   int64_t timeout_ms = 0;
+  int64_t mem_limit_bytes = 0;
+  int64_t max_concurrency = 0;
   bool no_magic = false;
   bool no_cache = false;
   std::vector<std::string> args;
@@ -87,6 +96,24 @@ int main(int argc, char** argv) {
       std::string value = arg.substr(std::string("--timeout-ms=").size());
       if (!ParseNonNegativeInt(value, &timeout_ms) || timeout_ms < 1) {
         std::cerr << "--timeout-ms requires a positive integer\n";
+        return 1;
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--mem-limit-bytes=")) {
+      std::string value = arg.substr(std::string("--mem-limit-bytes=").size());
+      if (!ParseNonNegativeInt(value, &mem_limit_bytes) ||
+          mem_limit_bytes < 1) {
+        std::cerr << "--mem-limit-bytes requires a positive integer\n";
+        return 1;
+      }
+      continue;
+    }
+    if (StartsWith(arg, "--max-concurrency=")) {
+      std::string value = arg.substr(std::string("--max-concurrency=").size());
+      if (!ParseNonNegativeInt(value, &max_concurrency) ||
+          max_concurrency < 1) {
+        std::cerr << "--max-concurrency requires a positive integer\n";
         return 1;
       }
       continue;
@@ -147,6 +174,14 @@ int main(int argc, char** argv) {
   if (timeout_ms > 0) repl.set_timeout_ms(timeout_ms);
   if (no_magic) repl.session().set_magic_enabled(false);
   if (no_cache) repl.session().set_cache_enabled(false);
+  if (mem_limit_bytes > 0) {
+    repl.session().EnableMemoryGovernor(static_cast<size_t>(mem_limit_bytes));
+  }
+  if (max_concurrency > 0) {
+    QueryGate::Options gopts;
+    gopts.max_concurrent = static_cast<size_t>(max_concurrency);
+    repl.session().set_gate(std::make_shared<QueryGate>(gopts));
+  }
   for (const Rule& rule : preloaded_rules) {
     Status st = repl.session().AddRule(rule);
     if (!st.ok()) std::cerr << "warning: " << st << "\n";
