@@ -5,12 +5,14 @@
 #ifndef VQLDB_ENGINE_BINDING_H_
 #define VQLDB_ENGINE_BINDING_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "src/common/result.h"
 #include "src/lang/ast.h"
 #include "src/model/database.h"
+#include "src/model/term_dict.h"
 #include "src/model/value.h"
 
 namespace vqldb {
@@ -18,26 +20,60 @@ namespace vqldb {
 /// A partial valuation over a fixed, pre-numbered variable set (the rule
 /// compiler numbers each rule's variables densely). Bind/unbind are O(1),
 /// which matters in the backtracking join loop.
+///
+/// Alongside each bound Value the environment tracks its term-dictionary
+/// symbol id, so the evaluator's merge-join path can compose probe keys and
+/// compare join columns on raw u32 ids without re-hashing values. A binding
+/// made from a value not (yet) in any relation carries kNoTermId — a probe
+/// key containing it matches nothing, which is exactly right.
 class BindingEnv {
  public:
   explicit BindingEnv(size_t num_vars)
-      : values_(num_vars), bound_(num_vars, false) {}
+      : refs_(num_vars, nullptr), owned_(num_vars), ids_(num_vars, kNoTermId),
+        bound_(num_vars, false) {}
+
+  // refs_ points into owned_; copying or moving would dangle them, and no
+  // caller needs either.
+  BindingEnv(const BindingEnv&) = delete;
+  BindingEnv& operator=(const BindingEnv&) = delete;
 
   bool IsBound(int var) const { return bound_[static_cast<size_t>(var)]; }
 
-  const Value& Get(int var) const { return values_[static_cast<size_t>(var)]; }
+  const Value& Get(int var) const { return *refs_[static_cast<size_t>(var)]; }
+
+  /// The symbol id of the bound value, kNoTermId if the value was never
+  /// interned (only possible for values built by builtins/aggregates that
+  /// no relation has stored yet).
+  uint32_t GetId(int var) const { return ids_[static_cast<size_t>(var)]; }
 
   void Bind(int var, Value value) {
-    values_[static_cast<size_t>(var)] = std::move(value);
-    bound_[static_cast<size_t>(var)] = true;
+    size_t v = static_cast<size_t>(var);
+    ids_[v] = TermDict::Global().IdOf(value);
+    owned_[v] = std::move(value);
+    refs_[v] = &owned_[v];
+    bound_[v] = true;
+  }
+
+  /// Zero-copy fast path for values coming out of a relation row. The
+  /// caller already holds the symbol id, and `stable_value` must outlive
+  /// every read of this binding — the evaluator passes
+  /// TermDict::Global().Get(id), which is arena-stable for the process
+  /// lifetime, so no boxed Value is copied in the join inner loop.
+  void Bind(int var, const Value& stable_value, uint32_t id) {
+    size_t v = static_cast<size_t>(var);
+    ids_[v] = id;
+    refs_[v] = &stable_value;
+    bound_[v] = true;
   }
 
   void Unbind(int var) { bound_[static_cast<size_t>(var)] = false; }
 
-  size_t size() const { return values_.size(); }
+  size_t size() const { return refs_.size(); }
 
  private:
-  std::vector<Value> values_;
+  std::vector<const Value*> refs_;
+  std::vector<Value> owned_;
+  std::vector<uint32_t> ids_;
   std::vector<bool> bound_;
 };
 

@@ -36,6 +36,8 @@ struct EvalMetrics {
   obs::Counter* parallel_tasks;
   obs::Counter* join_probes;
   obs::Counter* join_probe_hits;
+  obs::Counter* merge_join_probes;
+  obs::Counter* hash_join_probes;
   obs::Counter* deadline_exceeded;
   obs::Counter* cancelled;
   obs::Counter* resource_exhausted;
@@ -66,6 +68,10 @@ EvalMetrics& GetEvalMetrics() {
                           "Multi-column join-index probes issued"),
       registry.GetCounter("vqldb_eval_join_probe_hits_total",
                           "Join-index probes that found candidate facts"),
+      registry.GetCounter("vqldb_eval_merge_join_probes_total",
+                          "Join probes answered by sorted-segment merge join"),
+      registry.GetCounter("vqldb_eval_hash_join_probes_total",
+                          "Join probes answered by multi-column hash indexes"),
       registry.GetCounter("vqldb_queries_deadline_exceeded_total",
                           "Evaluations abandoned at their wall-clock deadline"),
       registry.GetCounter("vqldb_queries_cancelled_total",
@@ -95,6 +101,8 @@ void PublishEvalMetrics(const EvalStats& stats, double total_ms) {
   m.parallel_tasks->Increment(stats.parallel_tasks);
   m.join_probes->Increment(stats.join_probes);
   m.join_probe_hits->Increment(stats.join_probe_hits);
+  m.merge_join_probes->Increment(stats.merge_join_probes);
+  m.hash_join_probes->Increment(stats.hash_join_probes);
   m.fixpoint_ms->Observe(total_ms);
 }
 
@@ -454,7 +462,7 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
                             const Interpretation* delta, int delta_pos,
                             const std::vector<ObjectId>* interval_delta,
                             BindingEnv* env, Interpretation* out,
-                            EvalStats* stats) {
+                            EvalStats* stats, EvalScratch* scratch) {
   if (step_idx == rule.steps.size()) {
     return EmitHead(rule, *env, out, stats);
   }
@@ -470,7 +478,7 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
       if (!ok) return Status::OK();
     }
     return EvalSteps(rule, step_idx + 1, full, delta, delta_pos,
-                     interval_delta, env, out, stats);
+                     interval_delta, env, out, stats, scratch);
   };
 
   if (lit.builtin != BuiltinClass::kNone) {
@@ -539,47 +547,47 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
     return holds ? proceed() : Status::OK();
   }
 
-  // Relational literal: pick the candidate fact list via a multi-column
-  // index probe on every statically bound argument position (the compiled
-  // step's bound-position bitmap), falling back to a full scan when nothing
-  // is bound.
+  // Relational literal: three access paths over the columnar store. When
+  // the statically bound argument positions form a contiguous prefix and
+  // merge joins are enabled, binary-search the sorted segments on the raw
+  // symbol-id key; otherwise probe the multi-column hash index on every
+  // bound position; with nothing bound, scan the relation. All three yield
+  // candidates in ascending insertion order, so the derived fact stream —
+  // and therefore the fixpoint — is identical across strategies.
   const Interpretation& source = restricted ? *delta : full;
-  uint64_t probe_mask = step.bound_mask;
-  std::vector<Value> probe_key;
-  if (probe_mask != 0) {
-    probe_key.reserve(static_cast<size_t>(__builtin_popcountll(probe_mask)));
-    // i < 64: shifting a uint64_t by >= 64 is UB, and the compiler never
-    // marks positions beyond 63 in bound_mask (arity > 64 literals probe on
-    // their first 64 positions and filter the rest in try_fact).
-    for (size_t i = 0; i < lit.args.size() && i < 64 && (probe_mask >> i) != 0;
-         ++i) {
-      if (!(probe_mask >> i & 1)) continue;
-      const CompiledTerm& arg = lit.args[i];
-      probe_key.push_back(arg.is_var ? env->Get(arg.var) : arg.value);
-    }
+  Interpretation::RelationView& rel = scratch->rels[step_idx];
+  if (!scratch->rel_ready[step_idx]) {
+    rel = source.Relation(lit.predicate);
+    scratch->rel_ready[step_idx] = 1;
   }
+  if (!rel.valid()) return Status::OK();
+  TermDict& dict = TermDict::Global();
 
-  auto try_fact = [&](const Fact& fact) -> Status {
-    if (fact.args.size() != lit.args.size()) return Status::OK();
-    // Match arguments, recording bindings made here for backtracking.
+  auto try_row = [&](Interpretation::RowRef row) -> Status {
+    if (row.arity != lit.args.size()) return Status::OK();
+    // Match arguments on raw symbol ids (id equality is exactly Value
+    // equality — terms are interned by Compare-equivalence class), recording
+    // bindings made here for backtracking. A binding carrying kNoTermId
+    // matches nothing, correctly: its value is stored in no relation.
     int bound_here[16];
     size_t num_bound = 0;
     std::vector<int> overflow;
     bool matched = true;
     for (size_t i = 0; i < lit.args.size(); ++i) {
       const CompiledTerm& arg = lit.args[i];
+      uint32_t rid = row.ids[i];
       if (!arg.is_var) {
-        if (arg.value != fact.args[i]) {
+        if (arg.value_id != rid) {
           matched = false;
           break;
         }
       } else if (env->IsBound(arg.var)) {
-        if (env->Get(arg.var) != fact.args[i]) {
+        if (env->GetId(arg.var) != rid) {
           matched = false;
           break;
         }
       } else {
-        env->Bind(arg.var, fact.args[i]);
+        env->Bind(arg.var, dict.Get(rid), rid);
         if (num_bound < 16) {
           bound_here[num_bound++] = arg.var;
         } else {
@@ -593,19 +601,60 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
     return st;
   };
 
+  uint64_t probe_mask = step.bound_mask;
+  if (probe_mask != 0 && step.merge_eligible && options_.merge_join) {
+    // Merge join: compose the prefix key from compile-time constant ids and
+    // the ids carried by earlier bindings, then binary-search the sealed
+    // sorted runs (RunRound seals right after freezing).
+    uint32_t key_ids[64];
+    uint32_t key_len = static_cast<uint32_t>(__builtin_popcountll(probe_mask));
+    bool dead = false;
+    for (uint32_t i = 0; i < key_len; ++i) {
+      const CompiledTerm& arg = lit.args[i];
+      uint32_t id = arg.is_var ? env->GetId(arg.var) : arg.value_id;
+      if (id == kNoTermId) {
+        dead = true;  // a key value stored in no relation: zero candidates
+        break;
+      }
+      key_ids[i] = id;
+    }
+    ++stats->join_probes;
+    ++stats->merge_join_probes;
+    if (!dead) {
+      std::vector<size_t>& candidates = scratch->candidates[step_idx];
+      rel.ProbeSorted(key_ids, key_len,
+                      static_cast<uint32_t>(lit.args.size()), &candidates);
+      if (!candidates.empty()) ++stats->join_probe_hits;
+      for (size_t fi : candidates) {
+        VQLDB_RETURN_NOT_OK(try_row(rel.row(fi)));
+      }
+    }
+    return Status::OK();
+  }
   if (probe_mask != 0) {
-    const std::vector<Fact>& facts = source.FactsFor(lit.predicate);
+    std::vector<Value>& probe_key = scratch->probe_keys[step_idx];
+    probe_key.clear();
+    // i < 64: shifting a uint64_t by >= 64 is UB, and the compiler never
+    // marks positions beyond 63 in bound_mask (arity > 64 literals probe on
+    // their first 64 positions and filter the rest in try_row).
+    for (size_t i = 0; i < lit.args.size() && i < 64 && (probe_mask >> i) != 0;
+         ++i) {
+      if (!(probe_mask >> i & 1)) continue;
+      const CompiledTerm& arg = lit.args[i];
+      probe_key.push_back(arg.is_var ? env->Get(arg.var) : arg.value);
+    }
     const std::vector<size_t>& candidates =
         source.LookupMulti(lit.predicate, probe_mask, probe_key);
     ++stats->join_probes;
+    ++stats->hash_join_probes;
     if (!candidates.empty()) ++stats->join_probe_hits;
     for (size_t fi : candidates) {
-      VQLDB_RETURN_NOT_OK(try_fact(facts[fi]));
+      VQLDB_RETURN_NOT_OK(try_row(rel.row(fi)));
     }
-  } else {
-    for (const Fact& fact : source.FactsFor(lit.predicate)) {
-      VQLDB_RETURN_NOT_OK(try_fact(fact));
-    }
+    return Status::OK();
+  }
+  for (size_t r = 0, n = rel.rows(); r < n; ++r) {
+    VQLDB_RETURN_NOT_OK(try_row(rel.row(r)));
   }
   return Status::OK();
 }
@@ -620,8 +669,13 @@ Status Evaluator::EvalRule(const CompiledRule& rule, const Interpretation& full,
     VQLDB_RETURN_NOT_OK(CheckConstraint(c, env, &ok, stats));
     if (!ok) return Status::OK();
   }
+  EvalScratch scratch;
+  scratch.candidates.resize(rule.steps.size());
+  scratch.probe_keys.resize(rule.steps.size());
+  scratch.rels.resize(rule.steps.size());
+  scratch.rel_ready.assign(rule.steps.size(), 0);
   return EvalSteps(rule, 0, full, delta, delta_pos, interval_delta, &env, out,
-                   stats);
+                   stats, &scratch);
 }
 
 void Evaluator::PrepareJoinIndexes(const Interpretation& full,
@@ -630,6 +684,9 @@ void Evaluator::PrepareJoinIndexes(const Interpretation& full,
     for (const CompiledStep& step : rule.steps) {
       const CompiledLiteral& lit = step.literal;
       if (lit.builtin != BuiltinClass::kNone || step.bound_mask == 0) continue;
+      if (step.merge_eligible && options_.merge_join) {
+        continue;  // answered by sorted-segment search, no hash index needed
+      }
       if (options_.concrete_domain != nullptr &&
           options_.concrete_domain->HasPredicate(
               lit.predicate, static_cast<int>(lit.args.size()))) {
@@ -710,6 +767,25 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
                            const std::vector<ObjectId>* interval_delta,
                            Interpretation* out) {
   FreezeScope freeze(full, delta);
+  if (options_.merge_join) {
+    // Seal the round's inputs so merge-eligible steps binary-search
+    // immutable sorted runs instead of scanning an unsealed tail. Skipped
+    // entirely when no compiled step can take the merge path.
+    bool any_merge = false;
+    for (const CompiledRule& rule : rules_) {
+      for (const CompiledStep& step : rule.steps) {
+        if (step.merge_eligible) {
+          any_merge = true;
+          break;
+        }
+      }
+      if (any_merge) break;
+    }
+    if (any_merge) {
+      full.SealSegments();
+      if (delta != nullptr) delta->SealSegments();
+    }
+  }
   const bool prof = options_.collect_profile;
   if (prof) EnsureProfileRules();
   size_t threads = effective_threads();
@@ -812,12 +888,15 @@ Status Evaluator::RunRound(const std::vector<RuleTask>& tasks,
     result.stats.derived_facts = 0;
     stats_.MergeFrom(result.stats);
     size_t new_here = 0;
-    for (const Fact& f : result.out.AllFacts()) {
-      if (out->Add(f)) {
-        ++stats_.derived_facts;
-        ++new_here;
-      }
-    }
+    // Id-level merge: task outputs and the round output share the global
+    // dictionary, so rows move as raw symbol ids without decoding.
+    result.out.ForEachRow(
+        [&](const std::string& name, Interpretation::RowRef row) {
+          if (out->AddRow(name, row)) {
+            ++stats_.derived_facts;
+            ++new_here;
+          }
+        });
     if (prof) {
       RuleProfile& rp = profile_.rules[tasks[i].rule_idx];
       ++rp.tasks;
@@ -834,11 +913,16 @@ Result<Interpretation> Evaluator::ApplyOnce(
   ExecContextScope ctx_scope(ctx_.get());
   Interpretation out;
   Govern(&out);
-  for (const Fact& f : interpretation.AllFacts()) out.Add(f);
+  interpretation.ForEachRow(
+      [&](const std::string& name, Interpretation::RowRef row) {
+        out.AddRow(name, row);
+      });
   // The database extract's ground facts are facts of the program, hence
   // immediate consequences of any interpretation.
   VQLDB_ASSIGN_OR_RETURN(Interpretation edb, Edb());
-  for (const Fact& f : edb.AllFacts()) out.Add(f);
+  edb.ForEachRow([&](const std::string& name, Interpretation::RowRef row) {
+    out.AddRow(name, row);
+  });
   if (options_.extended_active_domain) {
     VQLDB_RETURN_NOT_OK(MaterializeExtendedDomain());
   }
@@ -905,9 +989,9 @@ Result<Interpretation> Evaluator::Fixpoint() {
     for (size_t i = 0; i < rules_.size(); ++i) tasks.push_back({i, -1});
     Status round_st = RunRound(tasks, interp, nullptr, nullptr, &out);
     if (!round_st.ok()) return finish_error(round_st);
-    for (const Fact& f : out.AllFacts()) {
-      if (interp.Add(f)) delta.Add(f);
-    }
+    out.ForEachRow([&](const std::string& name, Interpretation::RowRef row) {
+      if (interp.AddRow(name, row)) delta.AddRow(name, row);
+    });
     const std::vector<ObjectId>& derived = db_->DerivedIntervals();
     interval_delta.assign(derived.begin() + derived_before, derived.end());
     ++stats_.iterations;
@@ -956,7 +1040,7 @@ Result<Interpretation> Evaluator::Fixpoint() {
           const CompiledLiteral& lit = rule.steps[pos].literal;
           bool applicable;
           if (lit.builtin == BuiltinClass::kNone) {
-            applicable = !delta.FactsFor(lit.predicate).empty();
+            applicable = delta.CountFor(lit.predicate) != 0;
           } else {
             applicable = lit.builtin != BuiltinClass::kObject &&
                          !interval_delta.empty();
@@ -978,9 +1062,9 @@ Result<Interpretation> Evaluator::Fixpoint() {
 
     Interpretation next_delta;
     Govern(&next_delta);
-    for (const Fact& f : out.AllFacts()) {
-      if (interp.Add(f)) next_delta.Add(f);
-    }
+    out.ForEachRow([&](const std::string& name, Interpretation::RowRef row) {
+      if (interp.AddRow(name, row)) next_delta.AddRow(name, row);
+    });
     const std::vector<ObjectId>& derived = db_->DerivedIntervals();
     interval_delta.assign(derived.begin() + derived_before, derived.end());
     delta = std::move(next_delta);

@@ -68,6 +68,13 @@ struct EvalOptions {
   /// When true, type mismatches inside constraints (e.g. `in` on a non-set)
   /// raise TypeError; when false they simply fail the constraint.
   bool strict_types = false;
+  /// Use merge joins (binary search over the sorted columnar segments) for
+  /// body literals whose bound positions form a contiguous prefix; off falls
+  /// every probe back to the multi-column hash indexes. The answers are
+  /// identical either way — candidate lists come back in the same insertion
+  /// order — so this is purely a performance switch (and the control for the
+  /// equivalence tests and benchmark baselines).
+  bool merge_join = true;
   /// Worker threads for fixpoint rounds. 0 = hardware concurrency; 1 = the
   /// exact serial legacy path (no pool, no snapshot/merge). With N > 1,
   /// independent (rule, delta_pos) tasks of each semi-naive round evaluate
@@ -112,6 +119,8 @@ struct EvalStats {
   size_t parallel_tasks = 0;      // (rule, delta_pos) tasks run on the pool
   size_t join_probes = 0;         // multi-column join-index probes issued
   size_t join_probe_hits = 0;     // probes that found >= 1 candidate fact
+  size_t merge_join_probes = 0;   // probes answered by sorted-segment search
+  size_t hash_join_probes = 0;    // probes answered by the hash indexes
   size_t delta_tuples = 0;        // facts entering round deltas (coordinator)
 
   /// Folds a per-task counter block into this one — every field except
@@ -125,6 +134,8 @@ struct EvalStats {
     parallel_tasks += other.parallel_tasks;
     join_probes += other.join_probes;
     join_probe_hits += other.join_probe_hits;
+    merge_join_probes += other.merge_join_probes;
+    hash_join_probes += other.hash_join_probes;
   }
 };
 
@@ -235,11 +246,24 @@ class Evaluator {
                   const std::vector<ObjectId>* interval_delta,
                   Interpretation* out, EvalStats* stats);
 
+  // Per-EvalRule scratch: one candidate buffer and one boxed probe key per
+  // step, reused across every probe so the join inner loops allocate
+  // nothing, plus the step's resolved RelationView — the source (full or
+  // delta, fixed by delta_pos) and its stores are stable for the whole rule,
+  // so the predicate-name hash lookup happens once per step instead of once
+  // per probe. Stack-owned by EvalRule, so parallel tasks never share one.
+  struct EvalScratch {
+    std::vector<std::vector<size_t>> candidates;
+    std::vector<std::vector<Value>> probe_keys;
+    std::vector<Interpretation::RelationView> rels;
+    std::vector<uint8_t> rel_ready;
+  };
+
   Status EvalSteps(const CompiledRule& rule, size_t step_idx,
                    const Interpretation& full, const Interpretation* delta,
                    int delta_pos, const std::vector<ObjectId>* interval_delta,
                    class BindingEnv* env, Interpretation* out,
-                   EvalStats* stats);
+                   EvalStats* stats, EvalScratch* scratch);
 
   Status EmitHead(const CompiledRule& rule, const class BindingEnv& env,
                   Interpretation* out, EvalStats* stats);

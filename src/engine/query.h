@@ -209,10 +209,16 @@ class QuerySession {
   struct CacheKeyHash {
     size_t operator()(const CacheKey& k) const;
   };
+  /// Cached answers are stored dictionary-encoded: one flat run of term-
+  /// dictionary symbol ids (row-major), decoded back to Values on a hit.
+  /// `bytes` is the exact retained footprint — the id payload plus the
+  /// dictionary bytes this answer was first to intern ("amortization") —
+  /// counted into cache_bytes_ and the governor.
   struct CacheEntry {
-    std::vector<std::vector<Value>> rows;
+    std::vector<uint32_t> ids;  // row_count * column_count symbol ids
     size_t column_count = 0;
-    size_t bytes = 0;  // ApproxBytes of rows, counted into cache_bytes_
+    size_t row_count = 0;
+    size_t bytes = 0;
     std::list<CacheKey>::iterator lru_it;
   };
 

@@ -10,6 +10,14 @@
 
 namespace vqldb {
 
+CompiledTerm CompiledTerm::Const(Value v) {
+  // Intern at compile time: the id is stable for the process lifetime, so
+  // it stays valid even if the constant only enters a relation later, and
+  // the evaluator's merge path never touches the dictionary for constants.
+  uint32_t id = TermDict::Global().Intern(v).id;
+  return CompiledTerm{false, std::move(v), -1, id};
+}
+
 namespace {
 
 BuiltinClass ClassOf(const std::string& predicate) {
@@ -231,6 +239,11 @@ Result<CompiledRule> RuleCompiler::Compile(const Rule& rule,
       const CompiledTerm& t = lit.args[i];
       if (!t.is_var || bound.count(t.var)) step.bound_mask |= uint64_t{1} << i;
     }
+    // A non-empty contiguous prefix of bound positions is exactly the key
+    // shape the sorted segments answer by binary search.
+    step.merge_eligible = lit.builtin == BuiltinClass::kNone &&
+                          step.bound_mask != 0 &&
+                          (step.bound_mask & (step.bound_mask + 1)) == 0;
     for (const CompiledTerm& t : lit.args) {
       if (t.is_var) bound.insert(t.var);
     }
@@ -282,7 +295,7 @@ Result<CompiledRule> RuleCompiler::Compile(const Rule& rule,
   return out;
 }
 
-std::string ExplainRule(const CompiledRule& rule) {
+std::string ExplainRule(const CompiledRule& rule, bool merge_join_enabled) {
   std::ostringstream os;
   os << "rule " << (rule.name.empty() ? rule.head_predicate : rule.name)
      << " (" << rule.num_vars << " variable"
@@ -314,16 +327,21 @@ std::string ExplainRule(const CompiledRule& rule) {
         os << term_name(lit.args[a]);
       }
       os << ")";
-      // Mirror the evaluator's access path: a multi-column index probe on
-      // every bound argument position, else a full scan.
+      // Mirror the evaluator's access path: a merge join when the bound
+      // positions form a contiguous prefix (binary search over sorted
+      // segments), else a multi-column hash index probe on every bound
+      // position, else a full scan.
       std::vector<size_t> probe_positions;
       for (size_t a = 0; a < lit.args.size() && a < 64; ++a) {
         if (step.bound_mask >> a & 1) probe_positions.push_back(a);
       }
+      const char* strategy =
+          step.merge_eligible && merge_join_enabled ? "merge join" : "index probe";
       if (probe_positions.size() == 1) {
-        os << "  [index probe on argument " << (probe_positions[0] + 1) << "]";
+        os << "  [" << strategy << " on argument " << (probe_positions[0] + 1)
+           << "]";
       } else if (!probe_positions.empty()) {
-        os << "  [index probe on arguments ";
+        os << "  [" << strategy << " on arguments ";
         for (size_t k = 0; k < probe_positions.size(); ++k) {
           if (k) os << ",";
           os << (probe_positions[k] + 1);

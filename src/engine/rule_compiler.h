@@ -20,17 +20,23 @@
 #include "src/constraint/interval_set.h"
 #include "src/lang/ast.h"
 #include "src/model/database.h"
+#include "src/model/term_dict.h"
 
 namespace vqldb {
 
-/// A compiled term: a resolved constant or a variable slot.
+/// A compiled term: a resolved constant or a variable slot. Constants are
+/// interned at compile time, so the evaluator's merge-join path compares and
+/// composes probe keys on raw symbol ids.
 struct CompiledTerm {
   bool is_var = false;
   Value value;  // when !is_var
   int var = -1;  // when is_var
+  uint32_t value_id = kNoTermId;  // set when !is_var
 
-  static CompiledTerm Const(Value v) { return CompiledTerm{false, std::move(v), -1}; }
-  static CompiledTerm Var(int slot) { return CompiledTerm{true, Value(), slot}; }
+  static CompiledTerm Const(Value v);
+  static CompiledTerm Var(int slot) {
+    return CompiledTerm{true, Value(), slot, kNoTermId};
+  }
 };
 
 /// Builtin class predicates are dispatched specially (they range over the
@@ -77,6 +83,12 @@ struct CompiledStep {
   /// Positions >= 64 are never marked. The evaluator probes the
   /// Interpretation multi-column index keyed on (predicate, this mask).
   uint64_t bound_mask = 0;
+  /// True iff the bound positions form a non-empty contiguous prefix of the
+  /// literal's arguments (bound_mask = 0b0...01...1) — the shape the sorted
+  /// columnar segments can answer by binary search. The evaluator then uses
+  /// a merge join instead of building a hash index; with merge joins
+  /// disabled (or for ineligible steps) it falls back to LookupMulti.
+  bool merge_eligible = false;
 };
 
 /// A compiled head term: constant, variable, or concatenation of slots.
@@ -116,10 +128,13 @@ class RuleCompiler {
 };
 
 /// Renders the executable plan of a compiled rule — step order, the access
-/// path each literal will use (index probe vs. scan vs. domain enumeration),
-/// and where each constraint is checked. The EXPLAIN facility behind the
-/// shell's `.explain` command.
-std::string ExplainRule(const CompiledRule& rule);
+/// path each literal will use (merge join vs. hash index probe vs. scan vs.
+/// domain enumeration), and where each constraint is checked. The EXPLAIN
+/// facility behind the shell's `.explain` command. `merge_join_enabled`
+/// mirrors EvalOptions::merge_join so the rendered strategy matches what the
+/// evaluator will actually run.
+std::string ExplainRule(const CompiledRule& rule,
+                        bool merge_join_enabled = true);
 
 }  // namespace vqldb
 

@@ -4,6 +4,7 @@
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
+#include "src/model/term_dict.h"
 #include "src/obs/metrics.h"
 
 namespace vqldb {
@@ -279,6 +280,10 @@ Status VideoDatabase::AssertFact(Fact fact) {
         std::to_string(facts_[fact.relation].front().args.size()));
   }
   if (fact_set_.count(fact)) return Status::OK();  // idempotent
+  // Intern the arguments into the global term dictionary up front so every
+  // downstream consumer (columnar relations, journal replay, snapshot
+  // recovery) finds stored values already encoded.
+  for (const Value& arg : fact.args) TermDict::Global().Intern(arg);
   fact_set_.insert(fact);
   facts_[fact.relation].push_back(std::move(fact));
   ++fact_count_;

@@ -1,0 +1,95 @@
+// TermDict: the global term dictionary. Every ground term (Value) that
+// enters a relation is interned once into a dense 32-bit symbol id; relations
+// then store rows of ids instead of boxed Values. Two values receive the same
+// id iff they are Compare-equal (so Int(2) and Double(2.0) share an id, and
+// id equality is exactly Value equality — equi-joins can compare raw ids).
+//
+// Reads are lock-free: Get(id) resolves through an append-only arena of
+// doubling chunks that never move once published, guarded only by acquire
+// loads. Id lookups by value (IdOf/TryGetId) take a shared lock — parallel
+// fixpoint tasks resolve probe keys concurrently — and Intern upgrades to an
+// exclusive lock only on a genuine miss (emit/merge phases and load time).
+
+#ifndef VQLDB_MODEL_TERM_DICT_H_
+#define VQLDB_MODEL_TERM_DICT_H_
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <optional>
+#include <shared_mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "src/model/value.h"
+
+namespace vqldb {
+
+/// Sentinel for "no id": the dictionary never issues it.
+inline constexpr uint32_t kNoTermId = 0xffffffffu;
+
+class TermDict {
+ public:
+  /// Result of an Intern call: the symbol id plus the bytes the dictionary
+  /// newly allocated for it (0 when the value was already interned). The
+  /// bytes feed the resource governor's amortized dictionary accounting:
+  /// the first row that mentions a term pays for the term.
+  struct Interned {
+    uint32_t id = kNoTermId;
+    size_t added_bytes = 0;
+  };
+
+  TermDict() = default;
+  TermDict(const TermDict&) = delete;
+  TermDict& operator=(const TermDict&) = delete;
+  ~TermDict();
+
+  /// The process-wide dictionary shared by every Interpretation and the
+  /// storage layer's replay/recovery paths.
+  static TermDict& Global();
+
+  /// Interns `v`, returning its dense id (stable for the process lifetime).
+  Interned Intern(const Value& v);
+
+  /// Probe without inserting: the id of `v` if it was ever interned. A miss
+  /// means no relation anywhere can contain the value — probes can skip.
+  std::optional<uint32_t> TryGetId(const Value& v) const;
+
+  /// TryGetId for hot paths: kNoTermId on a miss instead of an optional.
+  uint32_t IdOf(const Value& v) const;
+
+  /// The canonical value for `id`. Lock-free; the reference is stable for
+  /// the process lifetime (chunks never move). The canonical value is the
+  /// first-interned representative of its Compare-equivalence class.
+  const Value& Get(uint32_t id) const {
+    // Chunk k holds ids [kBase*(2^k - 1), kBase*(2^(k+1) - 1)): doubling
+    // capacities keep the directory tiny and the locate a bit-scan.
+    uint32_t n = id / kBase + 1;
+    uint32_t k = 31 - std::countl_zero(n);
+    const Value* slots = chunks_[k].load(std::memory_order_acquire);
+    return slots[id - kBase * ((1u << k) - 1)];
+  }
+
+  /// Number of interned terms.
+  size_t size() const { return count_.load(std::memory_order_acquire); }
+
+  /// Estimated resident bytes of the dictionary (entries + hash map + value
+  /// payloads such as string characters).
+  size_t ApproxBytes() const { return bytes_.load(std::memory_order_acquire); }
+
+ private:
+  static constexpr uint32_t kBase = 4096;  // capacity of chunk 0
+  static constexpr uint32_t kNumChunks = 21;  // covers the full 32-bit space
+
+  mutable std::shared_mutex mu_;
+  std::unordered_map<Value, uint32_t> ids_;  // guarded by mu_
+  // Chunk arrays are allocated at exact capacity and published with release
+  // stores; Get() only touches slots of ids < count_, constructed by then.
+  std::atomic<Value*> chunks_[kNumChunks] = {};
+  std::atomic<size_t> count_{0};
+  std::atomic<size_t> bytes_{0};
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_MODEL_TERM_DICT_H_

@@ -2,12 +2,14 @@
 
 #include <cctype>
 #include <chrono>
+#include <cstdio>
 #include <sstream>
 
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/engine/rule_compiler.h"
 #include "src/lang/parser.h"
+#include "src/model/term_dict.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace.h"
 #include "src/storage/binary_format.h"
@@ -268,6 +270,23 @@ std::string Repl::Meta(const std::string& command,
     }
     return "usage: .magic [on|off]\n";
   }
+  if (command == ".mergejoin") {
+    if (argument.empty()) {
+      return std::string("merge joins: ") +
+             (session_.options().merge_join ? "on" : "off") + "\n";
+    }
+    if (argument == "on" || argument == "off") {
+      // A pure performance switch: both strategies produce identical
+      // answers, so cached fixpoints and query-cache entries stay valid.
+      session_.mutable_options()->merge_join = argument == "on";
+      return "merge joins: " + argument + "\n";
+    }
+    return "usage: .mergejoin [on|off]\n";
+  }
+  if (command == ".storage") {
+    if (!argument.empty()) return "usage: .storage\n";
+    return Storage();
+  }
   if (command == ".cache") {
     if (argument.empty()) {
       return std::string("query cache: ") +
@@ -384,6 +403,9 @@ std::string Repl::Help() const {
       "  .threads <N|auto> fixpoint worker threads (1 = serial engine)\n"
       "  .timeout <ms|off> per-query wall-clock budget (DeadlineExceeded)\n"
       "  .magic [on|off]   goal-directed magic-set rewriting (default on)\n"
+      "  .mergejoin [on|off]\n"
+      "                    sorted-segment merge joins (default on; off = hash)\n"
+      "  .storage          columnar storage + dictionary statistics\n"
       "  .cache [on|off|clear]\n"
       "                    memoizing query cache (epoch-invalidated)\n"
       "  .memlimit <bytes|off>\n"
@@ -409,6 +431,36 @@ std::string Repl::Stats() const {
      << " rules\n";
   std::string metrics = obs::MetricsRegistry::Global().RenderCompact();
   if (!metrics.empty()) os << "engine metrics (.stats reset):\n" << metrics;
+  return os.str();
+}
+
+std::string Repl::Storage() {
+  Result<const Interpretation*> interp = session_.Materialize();
+  if (!interp.ok()) return "error: " + interp.status().ToString() + "\n";
+  Interpretation::StorageStats st = (*interp)->ComputeStorageStats();
+  const TermDict& dict = TermDict::Global();
+  std::ostringstream os;
+  os << "columnar storage (materialized fixpoint):\n"
+     << "  tuples:       " << st.rows << " (" << st.sealed_rows
+     << " sealed in " << st.segments << " segments)\n"
+     << "  columnar:     " << st.columnar_bytes << " bytes";
+  if (st.rows > 0) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.1f",
+             static_cast<double>(st.columnar_bytes) /
+                 static_cast<double>(st.rows));
+    os << " (" << buf << " b/tuple)";
+  }
+  os << "\n  row-store:    " << st.row_store_bytes << " bytes estimated";
+  if (st.columnar_bytes > 0 && st.row_store_bytes > 0) {
+    char buf[32];
+    snprintf(buf, sizeof(buf), "%.1f",
+             static_cast<double>(st.row_store_bytes) /
+                 static_cast<double>(st.columnar_bytes));
+    os << " (" << buf << "x reduction)";
+  }
+  os << "\n  dictionary:   " << dict.size() << " terms, " << dict.ApproxBytes()
+     << " bytes\n";
   return os.str();
 }
 

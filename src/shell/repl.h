@@ -46,6 +46,7 @@ class Repl {
   std::string Meta(const std::string& command, const std::string& argument);
   std::string Help() const;
   std::string Stats() const;
+  std::string Storage();
   std::string ListRules() const;
   std::string ListObjects() const;
 

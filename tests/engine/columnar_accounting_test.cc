@@ -1,0 +1,140 @@
+// Pins the governor accounting of dictionary-encoded rows. A stored row of
+// arity a reserves exactly 16 + 8*a bytes (both id copies, offset,
+// membership slots at design load, sorted-run source entry), plus — only for
+// the Add() that first interned a term — the dictionary bytes that term
+// newly allocated. These constants are a contract: EXPLAIN's storage line,
+// the bench gates, and budget sizing all assume them.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "src/common/budget.h"
+#include "src/engine/interpretation.h"
+#include "src/model/term_dict.h"
+#include "src/model/value.h"
+
+namespace vqldb {
+namespace {
+
+Fact F(const std::string& pred, std::initializer_list<Value> args) {
+  Fact f;
+  f.relation = pred;
+  f.args = args;
+  return f;
+}
+
+// A value interned before the test body runs charges no dictionary bytes
+// when a row stores it again — isolating the pure row formula.
+Value Pre(const std::string& s) {
+  Value v = Value::String(s);
+  TermDict::Global().Intern(v);
+  return v;
+}
+
+TEST(ColumnarAccountingTest, RowChargesSixteenPlusEightPerColumn) {
+  auto budget = std::make_shared<ResourceBudget>();
+  Interpretation interp;
+  interp.set_budget(budget);
+
+  ASSERT_TRUE(interp.Add(F("p", {Pre("acc-a"), Pre("acc-b")})));
+  EXPECT_EQ(budget->bytes_reserved(), 16u + 8u * 2);
+  EXPECT_EQ(interp.accounted_bytes(), 16u + 8u * 2);
+  EXPECT_EQ(budget->tuples(), 1u);
+
+  ASSERT_TRUE(interp.Add(F("q", {Pre("acc-a")})));
+  EXPECT_EQ(budget->bytes_reserved(), (16u + 16u) + (16u + 8u));
+
+  // Duplicate rows charge nothing.
+  ASSERT_FALSE(interp.Add(F("p", {Pre("acc-a"), Pre("acc-b")})));
+  EXPECT_EQ(budget->bytes_reserved(), (16u + 16u) + (16u + 8u));
+  EXPECT_EQ(budget->tuples(), 2u);
+}
+
+TEST(ColumnarAccountingTest, FirstInternOfATermChargesItsDictionaryBytes) {
+  auto budget = std::make_shared<ResourceBudget>();
+  Interpretation interp;
+  interp.set_budget(budget);
+
+  TermDict& dict = TermDict::Global();
+  size_t dict_before = dict.ApproxBytes();
+  // A value this process has never interned: the row that introduces it
+  // pays for the dictionary entry (amortization), exactly once.
+  Value fresh = Value::String("columnar-accounting-unique-term-xyzzy");
+  ASSERT_EQ(dict.IdOf(fresh), kNoTermId);
+  ASSERT_TRUE(interp.Add(F("p", {fresh})));
+  size_t dict_added = dict.ApproxBytes() - dict_before;
+  EXPECT_GT(dict_added, 0u);
+  EXPECT_EQ(budget->bytes_reserved(), (16u + 8u) + dict_added);
+
+  // A second row mentioning the same term pays only the row formula.
+  ASSERT_TRUE(interp.Add(F("q", {fresh})));
+  EXPECT_EQ(budget->bytes_reserved(), 2 * (16u + 8u) + dict_added);
+}
+
+TEST(ColumnarAccountingTest, LateBudgetAttachRewalksRowsExactly) {
+  Interpretation interp;
+  ASSERT_TRUE(interp.Add(F("p", {Pre("late-a"), Pre("late-b")})));
+  ASSERT_TRUE(interp.Add(F("p", {Pre("late-a")})));
+  ASSERT_TRUE(interp.Add(F("r", {Pre("late-c"), Pre("late-a"), Pre("late-b")})));
+
+  auto budget = std::make_shared<ResourceBudget>();
+  interp.set_budget(budget);
+  // 3 rows, 6 stored ids: 16*3 + 8*6. Dictionary amortization is charged
+  // only by the Add() that interned a term, never by a late attach.
+  EXPECT_EQ(budget->bytes_reserved(), 16u * 3 + 8u * 6);
+  EXPECT_EQ(interp.accounted_bytes(), 16u * 3 + 8u * 6);
+
+  // Detach releases the reservation in full.
+  interp.set_budget(nullptr);
+  EXPECT_EQ(budget->bytes_reserved(), 0u);
+}
+
+TEST(ColumnarAccountingTest, DestructionReleasesTheReservation) {
+  auto budget = std::make_shared<ResourceBudget>();
+  {
+    Interpretation interp;
+    interp.set_budget(budget);
+    ASSERT_TRUE(interp.Add(F("p", {Pre("rel-a"), Pre("rel-b")})));
+    EXPECT_GT(budget->bytes_reserved(), 0u);
+  }
+  EXPECT_EQ(budget->bytes_reserved(), 0u);
+}
+
+TEST(ColumnarAccountingTest, CopyRechargesAndMoveTransfers) {
+  auto budget = std::make_shared<ResourceBudget>();
+  Interpretation a;
+  a.set_budget(budget);
+  ASSERT_TRUE(a.Add(F("p", {Pre("cp-a"), Pre("cp-b")})));
+  size_t one = budget->bytes_reserved();
+  ASSERT_EQ(one, 16u + 16u);
+
+  Interpretation b(a);  // copy re-charges its own bytes
+  EXPECT_EQ(budget->bytes_reserved(), 2 * one);
+
+  Interpretation c(std::move(b));  // move transfers the reservation
+  EXPECT_EQ(budget->bytes_reserved(), 2 * one);
+}
+
+TEST(ColumnarAccountingTest, ApproxRowsBytesTracksColumnarResidency) {
+  Interpretation interp;
+  size_t empty = interp.ApproxRowsBytes();
+  for (int i = 0; i < 100; ++i) {
+    interp.Add(F("p", {Value::Int(i), Value::Int(i + 1)}));
+  }
+  size_t loaded = interp.ApproxRowsBytes();
+  EXPECT_GT(loaded, empty);
+  // Sealing adds segment storage (sorted columns + src map) on top of the
+  // insertion-order rows; the estimate must see it.
+  interp.SealSegments();
+  EXPECT_GT(interp.ApproxRowsBytes(), loaded);
+  // And it stays far below the boxed row-store estimate.
+  auto stats = interp.ComputeStorageStats();
+  EXPECT_EQ(stats.rows, 100u);
+  EXPECT_EQ(stats.sealed_rows, 100u);
+  EXPECT_LT(stats.columnar_bytes, stats.row_store_bytes);
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -38,14 +38,32 @@ TEST(ExplainTest, IndexProbeOnBoundArgument) {
   ASSERT_TRUE(db.CreateEntity("a").ok());
   std::string plan =
       Explain(db, "from_a(Y) <- edge(a, Y), edge(Y, Z).");
-  // First literal: constant in argument 1 -> index probe.
-  EXPECT_NE(plan.find("match edge(id1, Y)  [index probe on argument 1]"),
+  // First literal: constant in argument 1 — a contiguous bound prefix, so
+  // the sorted segments answer it with a merge join.
+  EXPECT_NE(plan.find("match edge(id1, Y)  [merge join on argument 1]"),
             std::string::npos);
-  // Second literal: Y bound by the first -> index probe on argument 1 too.
+  // Second literal: Y bound by the first -> merge join on argument 1 too.
   size_t second = plan.find("match edge(Y, Z)");
   ASSERT_NE(second, std::string::npos);
-  EXPECT_NE(plan.find("[index probe on argument 1]", second),
+  EXPECT_NE(plan.find("[merge join on argument 1]", second),
             std::string::npos);
+}
+
+TEST(ExplainTest, HashProbeWhenMergeJoinsDisabledOrNonPrefix) {
+  VideoDatabase db;
+  ASSERT_TRUE(db.CreateEntity("a").ok());
+  // Same plan with merge joins off: the hash index probe is reported.
+  auto rule = Parser::ParseRule("from_a(Y) <- edge(a, Y), edge(Y, Z).");
+  ASSERT_TRUE(rule.ok()) << rule.status();
+  auto compiled = RuleCompiler::Compile(*rule, db, false);
+  ASSERT_TRUE(compiled.ok()) << compiled.status();
+  std::string plan = ExplainRule(*compiled, /*merge_join_enabled=*/false);
+  EXPECT_NE(plan.find("match edge(id1, Y)  [index probe on argument 1]"),
+            std::string::npos);
+  // A bound position that is not a contiguous prefix (argument 2 only)
+  // cannot take the merge path even with merge joins on.
+  std::string gap = Explain(db, "to_a(X) <- edge(X, a).");
+  EXPECT_NE(gap.find("[index probe on argument 2]"), std::string::npos);
 }
 
 TEST(ExplainTest, FullScanWhenNothingBound) {

@@ -1,0 +1,124 @@
+// TermDict unit tests: dense id assignment, Compare-equivalence interning,
+// arena reference stability under growth, concurrent interning agreement,
+// and the added-bytes amortization contract the resource governor relies on.
+
+#include "src/model/term_dict.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/model/value.h"
+
+namespace vqldb {
+namespace {
+
+TEST(TermDictTest, AssignsDenseIdsInInternOrder) {
+  TermDict dict;
+  EXPECT_EQ(dict.size(), 0u);
+  TermDict::Interned a = dict.Intern(Value::String("alpha"));
+  TermDict::Interned b = dict.Intern(Value::String("beta"));
+  TermDict::Interned c = dict.Intern(Value::Int(7));
+  EXPECT_EQ(a.id, 0u);
+  EXPECT_EQ(b.id, 1u);
+  EXPECT_EQ(c.id, 2u);
+  EXPECT_EQ(dict.size(), 3u);
+}
+
+TEST(TermDictTest, ReinternReturnsSameIdAndChargesNothing) {
+  TermDict dict;
+  TermDict::Interned first = dict.Intern(Value::String("needle"));
+  EXPECT_GT(first.added_bytes, 0u);
+  TermDict::Interned again = dict.Intern(Value::String("needle"));
+  EXPECT_EQ(again.id, first.id);
+  EXPECT_EQ(again.added_bytes, 0u);
+  EXPECT_EQ(dict.size(), 1u);
+}
+
+TEST(TermDictTest, CompareEqualValuesShareAnId) {
+  // Int(2) and Double(2.0) are Compare-equal, so id equality must be exactly
+  // Value equality — the invariant that lets joins compare raw ids.
+  TermDict dict;
+  TermDict::Interned i = dict.Intern(Value::Int(2));
+  TermDict::Interned d = dict.Intern(Value::Double(2.0));
+  EXPECT_EQ(i.id, d.id);
+  EXPECT_EQ(d.added_bytes, 0u);
+  // The canonical value is the first-interned representative.
+  EXPECT_TRUE(dict.Get(i.id).is_int());
+}
+
+TEST(TermDictTest, MissProbesDoNotInsert) {
+  TermDict dict;
+  EXPECT_EQ(dict.IdOf(Value::String("ghost")), kNoTermId);
+  EXPECT_FALSE(dict.TryGetId(Value::String("ghost")).has_value());
+  EXPECT_EQ(dict.size(), 0u);
+  dict.Intern(Value::String("ghost"));
+  EXPECT_EQ(dict.IdOf(Value::String("ghost")), 0u);
+  ASSERT_TRUE(dict.TryGetId(Value::String("ghost")).has_value());
+  EXPECT_EQ(*dict.TryGetId(Value::String("ghost")), 0u);
+}
+
+TEST(TermDictTest, GetReferencesStayValidAcrossGrowth) {
+  // The arena chunks never move once published: a reference taken early must
+  // survive tens of thousands of later interns (the evaluator's zero-copy
+  // bindings alias these references across a whole fixpoint).
+  TermDict dict;
+  uint32_t id = dict.Intern(Value::String("pinned-term")).id;
+  const Value& ref = dict.Get(id);
+  for (int i = 0; i < 50000; ++i) {
+    dict.Intern(Value::Int(i));
+  }
+  EXPECT_TRUE(ref.is_string());
+  EXPECT_EQ(ref.string_value(), "pinned-term");
+  EXPECT_EQ(&dict.Get(id), &ref);
+}
+
+TEST(TermDictTest, ApproxBytesGrowsWithPayload) {
+  TermDict dict;
+  size_t before = dict.ApproxBytes();
+  TermDict::Interned in =
+      dict.Intern(Value::String(std::string(256, 'x')));
+  EXPECT_GE(dict.ApproxBytes(), before + 256);
+  EXPECT_EQ(dict.ApproxBytes() - before, in.added_bytes);
+}
+
+TEST(TermDictTest, ConcurrentInterningAgreesOnIds) {
+  // Eight threads intern overlapping value sets; every thread must observe
+  // the same value -> id mapping, and Get must invert it.
+  TermDict dict;
+  constexpr int kThreads = 8;
+  constexpr int kValues = 2000;
+  std::vector<std::vector<uint32_t>> ids(kThreads,
+                                         std::vector<uint32_t>(kValues));
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&dict, &ids, t] {
+      for (int i = 0; i < kValues; ++i) {
+        ids[static_cast<size_t>(t)][static_cast<size_t>(i)] =
+            dict.Intern(Value::String("v" + std::to_string(i))).id;
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[static_cast<size_t>(t)], ids[0]) << "thread " << t;
+  }
+  EXPECT_EQ(dict.size(), static_cast<size_t>(kValues));
+  for (int i = 0; i < kValues; ++i) {
+    EXPECT_EQ(dict.Get(ids[0][static_cast<size_t>(i)]).string_value(),
+              "v" + std::to_string(i));
+  }
+}
+
+TEST(TermDictTest, GlobalIsASingleSharedInstance) {
+  TermDict& a = TermDict::Global();
+  TermDict& b = TermDict::Global();
+  EXPECT_EQ(&a, &b);
+  uint32_t id = a.Intern(Value::String("term-dict-global-smoke")).id;
+  EXPECT_EQ(b.IdOf(Value::String("term-dict-global-smoke")), id);
+}
+
+}  // namespace
+}  // namespace vqldb

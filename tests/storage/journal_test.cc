@@ -6,6 +6,7 @@
 #include <fstream>
 
 #include "src/common/logging.h"
+#include "src/model/term_dict.h"
 #include "src/obs/metrics.h"
 #include "src/storage/binary_format.h"
 #include "src/storage/io_env.h"
@@ -427,6 +428,68 @@ TEST_F(JournalTest, DurabilityMetricsFlowIntoGlobalRegistry) {
             std::string::npos);
   EXPECT_NE(prom.find("vqldb_recovery_records_dropped_total"),
             std::string::npos);
+}
+
+TEST_F(JournalTest, DictionarySurvivesReplay) {
+  // String terms that exist only inside journaled statements: before replay
+  // the global term dictionary has never seen them; replay must intern them
+  // (AssertFact interns every argument) so the recovered relations are
+  // dictionary-encoded exactly like live-inserted ones.
+  const Value probe = Value::String("journal-dict-probe-alpha");
+  ASSERT_EQ(TermDict::Global().IdOf(probe), kNoTermId);
+  {
+    auto journal = Journal::Open(journal_path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(journal->Append("object o1 { }.").ok());
+    ASSERT_TRUE(
+        journal->Append("annotation(o1, \"journal-dict-probe-alpha\").").ok());
+    ASSERT_TRUE(
+        journal->Append("annotation(o1, \"journal-dict-probe-beta\").").ok());
+  }
+  VideoDatabase db;
+  auto replayed = Journal::Replay(journal_path_, &db);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_EQ(replayed->statements_replayed, 3u);
+  EXPECT_NE(TermDict::Global().IdOf(probe), kNoTermId);
+  const auto& facts = db.FactsFor("annotation");
+  ASSERT_EQ(facts.size(), 2u);
+  EXPECT_EQ(facts[0].args[1], probe);
+  // Id equality mirrors value equality for the recovered terms.
+  EXPECT_EQ(TermDict::Global().IdOf(facts[0].args[1]),
+            TermDict::Global().IdOf(probe));
+  EXPECT_NE(TermDict::Global().IdOf(facts[1].args[1]),
+            TermDict::Global().IdOf(probe));
+}
+
+TEST_F(JournalTest, DictionarySurvivesSnapshotRecovery) {
+  // Snapshot + journal tail, both carrying string terms; after Recover the
+  // facts must decode to Compare-equal values and every argument must be
+  // interned (the columnar engine cannot store un-interned terms).
+  VideoDatabase db;
+  ObjectId o1 = *db.CreateEntity("o1");
+  Fact base{"annotation",
+            {Value::Oid(o1), Value::String("snapshot-dict-term-gamma")}};
+  VQLDB_CHECK_OK(db.AssertFact(base));
+  ASSERT_TRUE(BinaryFormat::Save(db, snapshot_path_).ok());
+  {
+    auto journal = Journal::Open(journal_path_);
+    ASSERT_TRUE(journal.ok());
+    ASSERT_TRUE(
+        journal->Append("annotation(o1, \"snapshot-dict-term-delta\").").ok());
+  }
+  RecoveryReport report;
+  auto recovered = Journal::Recover(snapshot_path_, journal_path_, &report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  const auto& facts = recovered->FactsFor("annotation");
+  ASSERT_EQ(facts.size(), 2u);
+  for (const Fact& f : facts) {
+    for (const Value& arg : f.args) {
+      EXPECT_NE(TermDict::Global().IdOf(arg), kNoTermId)
+          << "recovered argument not interned: " << arg.ToString();
+    }
+  }
+  EXPECT_EQ(facts[0].args[1], base.args[1]);
+  EXPECT_EQ(facts[1].args[1].string_value(), "snapshot-dict-term-delta");
 }
 
 }  // namespace

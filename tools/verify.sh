@@ -20,12 +20,19 @@
 #    tools/governor_test then runs the 250-iteration seeded fault-injection
 #    gauntlet and the multi-threaded overload run, asserting
 #    submitted == completed + shed with no corrupted state.
-# 6. Configure + build with -DVQLDB_SANITIZE=address and run the governance
-#    tests under ASan (the budget hierarchy moves ownership across queries,
-#    caches, and rollbacks — exactly where lifetime bugs would live).
-# 7. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
-#    determinism test, the thread-pool tests, and the admission-gate stress
-#    test under TSan.
+# 6. Columnar smoke: a join-heavy scripted vql run with and without
+#    --no-merge-join must print byte-identical answers (merge joins are a
+#    pure access-path change), and EXPLAIN ANALYZE must surface the join
+#    strategy counters.
+# 7. Configure + build with -DVQLDB_SANITIZE=address and run the governance,
+#    dictionary, and columnar tests under ASan (the budget hierarchy moves
+#    ownership across queries, caches, and rollbacks; the dictionary arena
+#    and segment seal/merge paths juggle raw pointers — exactly where
+#    lifetime bugs would live).
+# 8. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
+#    determinism test, the thread-pool tests, the admission-gate stress
+#    test, and the dictionary/columnar tests (lock-free Get, concurrent
+#    interning, parallel seal digests) under TSan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -91,6 +98,27 @@ diff "$OBS_TMP/magic_on.out" "$OBS_TMP/magic_off.out" \
 grep -q "magic: on" <(./build/tools/vql <<< $'object a { }.\np(a).\nexplain ?- p(X).\n.quit') \
   || { echo "EXPLAIN is missing the magic status line"; exit 1; }
 
+echo "== columnar smoke: join answers identical with --no-merge-join =="
+{
+  for i in $(seq 0 40); do echo "object n$i { }."; done
+  for i in $(seq 0 39); do echo "edge(n$i, n$(((i*7+3) % 41)))."; done
+  for i in $(seq 0 39); do echo "edge(n$i, n$(((i+1) % 41)))."; done
+  echo "tri(X, Y, Z) <- edge(X, Y), edge(Y, Z), edge(Z, X)."
+  echo "wedge(X, Z) <- edge(X, Y), edge(Y, Z)."
+  echo "?- tri(X, Y, Z)."
+  echo "?- wedge(n5, Z)."
+  echo ".quit"
+} > "$OBS_TMP/columnar.vql"
+./build/tools/vql --no-magic --no-cache <"$OBS_TMP/columnar.vql" \
+    >"$OBS_TMP/columnar_merge.out"
+./build/tools/vql --no-magic --no-cache --no-merge-join <"$OBS_TMP/columnar.vql" \
+    >"$OBS_TMP/columnar_hash.out"
+diff "$OBS_TMP/columnar_merge.out" "$OBS_TMP/columnar_hash.out" \
+  || { echo "merge-join answers diverge from the hash-index fixpoint"; exit 1; }
+grep -q "join strategy:" <(./build/tools/vql \
+    <<< $'object a { }.\nobject b { }.\ne(a, b).\np(X, Y) <- e(X, Y).\nexplain analyze ?- p(X, Y).\n.quit') \
+  || { echo "EXPLAIN ANALYZE is missing the join strategy line"; exit 1; }
+
 echo "== governance smoke: vql --mem-limit-bytes= on a heavy program =="
 {
   for i in $(seq 0 64); do echo "object n$i { }."; done
@@ -117,21 +145,28 @@ echo "== overload smoke: governor_test --overload =="
 echo "== asan: build (-DVQLDB_SANITIZE=address) =="
 cmake -B build-asan -S . -DVQLDB_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
-  --target budget_test query_gate_test resource_governor_test
+  --target budget_test query_gate_test resource_governor_test \
+           term_dict_test columnar_test columnar_accounting_test
 
-echo "== asan: budget + gate + governor =="
+echo "== asan: budget + gate + governor + dictionary + columnar =="
 ./build-asan/tests/budget_test
 ./build-asan/tests/query_gate_test
 ./build-asan/tests/resource_governor_test
+./build-asan/tests/term_dict_test
+./build-asan/tests/columnar_test
+./build-asan/tests/columnar_accounting_test
 
 echo "== tsan: build (-DVQLDB_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DVQLDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
-  --target parallel_determinism_test thread_pool_test gate_stress_test
+  --target parallel_determinism_test thread_pool_test gate_stress_test \
+           term_dict_test columnar_test
 
-echo "== tsan: parallel determinism + thread pool + gate stress =="
+echo "== tsan: parallel determinism + thread pool + gate stress + columnar =="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/gate_stress_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/term_dict_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/columnar_test
 
 echo "verify: OK"

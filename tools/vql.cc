@@ -20,6 +20,9 @@
 //                          settable at runtime: .magic on|off)
 //   --no-cache             disable the memoizing query cache (also settable
 //                          at runtime: .cache on|off|clear)
+//   --no-merge-join        disable sorted-segment merge joins — every bound
+//                          literal probes the hash index instead; answers
+//                          are identical (also settable: .mergejoin on|off)
 //   --mem-limit-bytes=<n>  governed memory budget: queries whose working set
 //                          would exceed it fail with "Resource exhausted"
 //                          after the caches are shed, and the shell keeps
@@ -124,6 +127,10 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-cache") {
       no_cache = true;
+      continue;
+    }
+    if (arg == "--no-merge-join") {
+      options.merge_join = false;
       continue;
     }
     if (arg == "--threads") {
