@@ -18,6 +18,7 @@
 #include "src/engine/query.h"
 #include "src/lang/parser.h"
 #include "src/obs/metrics.h"
+#include "src/obs/stats.h"
 #include "src/video/annotator.h"
 #include "src/video/synthetic.h"
 
@@ -145,6 +146,48 @@ OverheadReport MeasureObservabilityOverhead() {
   return report;
 }
 
+// The overhead gate for the statistics collector: the same workload with
+// the always-on collector recording (per-column HLL sketches fed on every
+// fixpoint merge insert, per-adornment selectivity EWMAs folded once per
+// rule task) vs. fully disabled. Recording is pre-aggregated so the
+// collector mutex is taken O(rows + tasks) times; anything beyond 5%
+// fails the run loudly. On/off runs are interleaved (best of 7 each) for
+// the same drift immunity as the metrics gate.
+OverheadReport MeasureStatsOverhead() {
+  const size_t kEntities = 24;
+  const size_t kThreads = 4;
+  const int kRuns = 7;
+  OverheadReport report;
+  report.enabled_ms = -1;
+  report.disabled_ms = -1;
+  for (int i = 0; i < kRuns; ++i) {
+    obs::SetStatsEnabled(true);
+    double on = RunOnce(kEntities, kThreads, nullptr).ms;
+    obs::SetStatsEnabled(false);
+    double off = RunOnce(kEntities, kThreads, nullptr).ms;
+    if (report.enabled_ms < 0 || on < report.enabled_ms) {
+      report.enabled_ms = on;
+    }
+    if (report.disabled_ms < 0 || off < report.disabled_ms) {
+      report.disabled_ms = off;
+    }
+  }
+  obs::SetStatsEnabled(true);
+  obs::StatsCollector::Global().Reset();
+  report.pct = report.disabled_ms > 0
+                   ? (report.enabled_ms - report.disabled_ms) /
+                         report.disabled_ms * 100.0
+                   : 0.0;
+  std::printf("stats collector overhead (threads=%zu, best of %d): "
+              "stats on %.2f ms, off %.2f ms, overhead %.2f%%\n",
+              kThreads, kRuns, report.enabled_ms, report.disabled_ms,
+              report.pct);
+  VQLDB_CHECK(report.pct <= 5.0)
+      << "stats collector overhead " << report.pct
+      << "% exceeds the 5% budget";
+  return report;
+}
+
 // The overhead gate for the resource governor: the same workload with a
 // per-query budget installed (limits set astronomically high, so every
 // charge runs the full metering path yet nothing ever trips) vs. no budget.
@@ -221,7 +264,21 @@ void PrintSeries() {
   VQLDB_CHECK(identical);
 
   OverheadReport overhead = MeasureObservabilityOverhead();
+  OverheadReport stats = MeasureStatsOverhead();
   OverheadReport governor = MeasureGovernorOverhead();
+
+  FILE* sf = std::fopen("BENCH_stats_overhead.json", "w");
+  if (sf != nullptr) {
+    std::fprintf(sf,
+                 "{\n  \"bench\": \"stats_overhead\",\n"
+                 "  \"workload\": \"recursive_paper_queries\",\n"
+                 "  \"entities\": %zu,\n  \"threads\": 4,\n"
+                 "  \"enabled_ms\": %.3f,\n  \"disabled_ms\": %.3f,\n"
+                 "  \"overhead_pct\": %.2f,\n  \"budget_pct\": 5.0\n}\n",
+                 kEntities, stats.enabled_ms, stats.disabled_ms, stats.pct);
+    std::fclose(sf);
+    std::printf("wrote BENCH_stats_overhead.json\n");
+  }
 
   FILE* f = std::fopen("BENCH_parallel_fixpoint.json", "w");
   if (f != nullptr) {

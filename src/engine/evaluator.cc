@@ -11,6 +11,7 @@
 #include "src/engine/binding.h"
 #include "src/lang/analyzer.h"
 #include "src/obs/metrics.h"
+#include "src/obs/stats.h"
 #include "src/obs/trace.h"
 
 namespace vqldb {
@@ -620,11 +621,13 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
     }
     ++stats->join_probes;
     ++stats->merge_join_probes;
+    ++scratch->probe_aggs[step_idx].probes;
     if (!dead) {
       std::vector<size_t>& candidates = scratch->candidates[step_idx];
       rel.ProbeSorted(key_ids, key_len,
                       static_cast<uint32_t>(lit.args.size()), &candidates);
       if (!candidates.empty()) ++stats->join_probe_hits;
+      scratch->probe_aggs[step_idx].candidates += candidates.size();
       for (size_t fi : candidates) {
         VQLDB_RETURN_NOT_OK(try_row(rel.row(fi)));
       }
@@ -647,6 +650,8 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
         source.LookupMulti(lit.predicate, probe_mask, probe_key);
     ++stats->join_probes;
     ++stats->hash_join_probes;
+    ++scratch->probe_aggs[step_idx].probes;
+    scratch->probe_aggs[step_idx].candidates += candidates.size();
     if (!candidates.empty()) ++stats->join_probe_hits;
     for (size_t fi : candidates) {
       VQLDB_RETURN_NOT_OK(try_row(rel.row(fi)));
@@ -674,8 +679,24 @@ Status Evaluator::EvalRule(const CompiledRule& rule, const Interpretation& full,
   scratch.probe_keys.resize(rule.steps.size());
   scratch.rels.resize(rule.steps.size());
   scratch.rel_ready.assign(rule.steps.size(), 0);
-  return EvalSteps(rule, 0, full, delta, delta_pos, interval_delta, &env, out,
-                   stats, &scratch);
+  scratch.probe_aggs.assign(rule.steps.size(), {});
+  Status st = EvalSteps(rule, 0, full, delta, delta_pos, interval_delta, &env,
+                        out, stats, &scratch);
+  if (obs::StatsEnabled()) {
+    // Fold this task's probe counters into the per-(predicate, adornment)
+    // selectivity EWMAs: one collector call per probed step, not per probe.
+    for (size_t i = 0; i < rule.steps.size(); ++i) {
+      const EvalScratch::ProbeAgg& agg = scratch.probe_aggs[i];
+      if (agg.probes == 0) continue;
+      const CompiledStep& step = rule.steps[i];
+      obs::StatsCollector::Global().RecordProbes(
+          step.literal.predicate,
+          obs::AdornmentString(step.bound_mask, step.literal.args.size()),
+          agg.probes, agg.candidates,
+          scratch.rel_ready[i] ? scratch.rels[i].rows() : 0);
+    }
+  }
+  return st;
 }
 
 void Evaluator::PrepareJoinIndexes(const Interpretation& full,
@@ -968,6 +989,11 @@ Result<Interpretation> Evaluator::Fixpoint() {
 
   VQLDB_ASSIGN_OR_RETURN(Interpretation interp, Edb());
   Govern(&interp);
+  // The fixpoint target feeds the per-column distinct-value sketches: every
+  // merge of a newly derived row happens on this (single) coordinator
+  // thread, so recording here never contends with worker tasks. EDB rows
+  // were already recorded by VideoDatabase::AssertFact.
+  if (obs::StatsEnabled()) interp.set_observed(true);
 
   // Round 1: every rule, unrestricted.
   Interpretation delta;

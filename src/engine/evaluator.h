@@ -257,6 +257,13 @@ class Evaluator {
     std::vector<std::vector<Value>> probe_keys;
     std::vector<Interpretation::RelationView> rels;
     std::vector<uint8_t> rel_ready;
+    // Per-step probe/candidate totals, folded into the statistics
+    // collector's selectivity EWMAs once per EvalRule (never per probe).
+    struct ProbeAgg {
+      uint64_t probes = 0;
+      uint64_t candidates = 0;
+    };
+    std::vector<ProbeAgg> probe_aggs;
   };
 
   Status EvalSteps(const CompiledRule& rule, size_t step_idx,

@@ -5,6 +5,7 @@
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/obs/metrics.h"
+#include "src/obs/stats.h"
 
 namespace vqldb {
 
@@ -53,11 +54,13 @@ Interpretation::Interpretation(Interpretation&& other) noexcept
       total_(other.total_),
       generation_(other.generation_),
       frozen_(other.frozen_),
+      observed_(other.observed_),
       budget_(std::move(other.budget_)),
       accounted_bytes_(other.accounted_bytes_),
       scratch_(std::move(other.scratch_)) {
   other.stores_.clear();
   other.total_ = 0;
+  other.observed_ = false;
   other.generation_ = 0;
   other.frozen_ = false;
   other.budget_.reset();
@@ -71,6 +74,7 @@ Interpretation& Interpretation::operator=(Interpretation&& other) noexcept {
   total_ = other.total_;
   generation_ = other.generation_;
   frozen_ = other.frozen_;
+  observed_ = other.observed_;
   budget_ = std::move(other.budget_);
   accounted_bytes_ = other.accounted_bytes_;
   scratch_ = std::move(other.scratch_);
@@ -78,6 +82,7 @@ Interpretation& Interpretation::operator=(Interpretation&& other) noexcept {
   other.total_ = 0;
   other.generation_ = 0;
   other.frozen_ = false;
+  other.observed_ = false;
   other.budget_.reset();
   other.accounted_bytes_ = 0;
   return *this;
@@ -180,6 +185,12 @@ bool Interpretation::InsertRow(const std::string& predicate,
   if (arity > 64) store.has_wide = true;
   ++total_;
   ++generation_;
+  if (observed_) {
+    // Feed the per-column distinct-value sketches. Only the fixpoint-merge
+    // interpretation is observed (single-threaded inserts), and only rows
+    // that were actually new reach this point.
+    obs::StatsCollector::Global().RecordRow(predicate, row, arity);
+  }
   return true;
 }
 
@@ -587,6 +598,32 @@ Interpretation::StorageStats Interpretation::ComputeStorageStats() const {
     }
   }
   return s;
+}
+
+std::vector<Interpretation::RelationStats> Interpretation::PerRelationStats()
+    const {
+  std::vector<RelationStats> out;
+  out.reserve(stores_.size());
+  for (const auto& [name, store] : stores_) {
+    RelationStats rs;
+    rs.predicate = name;
+    rs.arity = store.rows() == 0 ? 0 : store.starts[1] - store.starts[0];
+    rs.rows = store.rows();
+    rs.sealed_rows = store.sealed_rows;
+    // Same per-store accounting as ComputeStorageStats::columnar_bytes —
+    // the aggregate storage line is exactly the sum of these rows.
+    rs.bytes = sizeof(PredicateStore) +
+               (store.ids.capacity() + store.starts.capacity() +
+                store.slots.capacity()) *
+                   4;
+    for (const auto& [arity, segs] : store.runs) {
+      (void)arity;
+      rs.segments += segs.size();
+      for (const auto& seg : segs) rs.bytes += seg->ApproxBytes();
+    }
+    out.push_back(std::move(rs));
+  }
+  return out;
 }
 
 size_t Interpretation::ApproxRowsBytes() const {

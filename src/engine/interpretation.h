@@ -289,6 +289,30 @@ class Interpretation {
   };
   StorageStats ComputeStorageStats() const;
 
+  /// Per-relation storage breakdown — the single source the self-observation
+  /// layer reads: both the sys_relations virtual relation and the
+  /// per-relation EXPLAIN ANALYZE storage lines are built from this, so the
+  /// two can never disagree. Sorted by predicate (store order).
+  struct RelationStats {
+    std::string predicate;
+    uint32_t arity = 0;       // arity of the store's first row
+    size_t rows = 0;          // total rows (sealed + delta tail)
+    size_t sealed_rows = 0;   // rows inside immutable sorted segments
+    size_t segments = 0;      // sealed segment (run) count
+    size_t bytes = 0;         // resident columnar bytes of this store
+  };
+  std::vector<RelationStats> PerRelationStats() const;
+
+  /// Marks this interpretation as feeding the statistics collector: every
+  /// subsequently inserted row's dictionary ids are recorded into the
+  /// per-column HyperLogLog sketches (obs::StatsCollector::Global()). The
+  /// evaluator sets this on the fixpoint-merge interpretation only — the
+  /// single-threaded coordinator path — so recording never contends with
+  /// worker tasks. Sketch updates are idempotent, so re-deriving the same
+  /// rows across queries cannot skew the estimates.
+  void set_observed(bool observed) { observed_ = observed; }
+  bool observed() const { return observed_; }
+
   /// The columnar resident bytes alone (StorageStats::columnar_bytes).
   size_t ApproxRowsBytes() const;
 
@@ -333,6 +357,7 @@ class Interpretation {
   size_t total_ = 0;
   uint64_t generation_ = 0;
   mutable bool frozen_ = false;
+  bool observed_ = false;
   std::shared_ptr<ResourceBudget> budget_;
   size_t accounted_bytes_ = 0;
   std::vector<uint32_t> scratch_;  // Add() row-encoding buffer, not copied

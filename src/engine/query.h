@@ -80,7 +80,7 @@ class QuerySession {
   /// cache (when enabled), magic-set goal-directed evaluation (when enabled
   /// and applicable), full materialization otherwise.
   Result<QueryResult> Query(std::string_view query_text);
-  Result<QueryResult> Run(const struct Query& query);
+  Result<QueryResult> Run(const struct Query& query, uint64_t parse_us = 0);
 
   /// Goal-directed variant: evaluates only the rules whose head predicates
   /// the goal (transitively) depends on, instead of materializing the whole
@@ -224,8 +224,26 @@ class QuerySession {
 
   Result<QueryResult> AnswerFrom(const Interpretation& interp,
                                  const struct Query& query);
+  /// AnswerFrom with the decode phase timed into phases_.decode_us.
+  Result<QueryResult> TimedAnswerFrom(const Interpretation& interp,
+                                      const struct Query& query);
   Result<QueryResult> RunUncached(const struct Query& query);
   Result<QueryResult> RunMaterialized(const struct Query& query);
+
+  /// Run() minus admission control and statistics recording: the wrapper
+  /// holds the gate ticket (member state is only touched under it), times
+  /// the whole call, fingerprints the goal and hands one QueryRecord
+  /// (including shed and failed outcomes) to the statistics collector.
+  Result<QueryResult> RunImpl(const struct Query& query);
+
+  /// Decides whether `goal` touches the sys_* namespace (directly or via a
+  /// rule in its dependency cone) and, if so, materializes one consistent
+  /// batch of system facts into sys_seed_facts_. Such queries bypass both
+  /// the query cache and the fixpoint cache — system state changes without
+  /// bumping the database epoch — and every evaluation strategy seeds the
+  /// same batch, keeping answers byte-identical across strategies.
+  void PrepareSystemFacts(const Atom& goal);
+  std::vector<Fact> BuildSystemSeedFacts() const;
 
   /// RunUncached under a per-query child budget with the database-rollback
   /// anchor: a governed failure (resource/deadline/cancel) unwinds any
@@ -266,6 +284,26 @@ class QuerySession {
   std::shared_ptr<ResourceBudget> governor_;
   std::shared_ptr<QueryGate> gate_;
   ResourceBudget::Limits per_query_limits_;
+
+  // --- self-observation state (see src/engine/sysrel.h) -------------------
+  // Per-query phase timings, accumulated by the execution paths and
+  // consumed by Run()'s statistics record.
+  struct PhaseTimes {
+    uint64_t rewrite_us = 0;
+    uint64_t eval_us = 0;
+    uint64_t decode_us = 0;
+  };
+  PhaseTimes phases_;
+  // Per-query budget consumption captured by RunGoverned before the child
+  // budget is detached (zero when ungoverned).
+  struct BudgetUsage {
+    uint64_t bytes_peak = 0;
+    uint64_t tuples = 0;
+    uint64_t solver_steps = 0;
+  };
+  BudgetUsage budget_usage_;
+  bool sys_query_ = false;  // current query touches sys_* relations
+  std::vector<Fact> sys_seed_facts_;
 };
 
 }  // namespace vqldb

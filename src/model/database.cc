@@ -6,6 +6,7 @@
 #include "src/common/string_util.h"
 #include "src/model/term_dict.h"
 #include "src/obs/metrics.h"
+#include "src/obs/stats.h"
 
 namespace vqldb {
 
@@ -262,6 +263,11 @@ Status VideoDatabase::AssertFact(Fact fact) {
   if (fact.relation.empty()) {
     return Status::InvalidArgument("fact relation name must not be empty");
   }
+  if (fact.relation.compare(0, 4, "sys_") == 0) {
+    return Status::InvalidArgument(
+        "the sys_ relation prefix is reserved for system relations: " +
+        fact.relation);
+  }
   for (const Value& arg : fact.args) {
     if (arg.is_null()) {
       return Status::InvalidArgument("fact arguments must not be null: " +
@@ -283,7 +289,16 @@ Status VideoDatabase::AssertFact(Fact fact) {
   // Intern the arguments into the global term dictionary up front so every
   // downstream consumer (columnar relations, journal replay, snapshot
   // recovery) finds stored values already encoded.
-  for (const Value& arg : fact.args) TermDict::Global().Intern(arg);
+  uint32_t ids[16];
+  uint32_t arity = 0;
+  for (const Value& arg : fact.args) {
+    uint32_t id = TermDict::Global().Intern(arg).id;
+    if (arity < 16) ids[arity] = id;
+    ++arity;
+  }
+  if (obs::StatsEnabled() && arity <= 16) {
+    obs::StatsCollector::Global().RecordRow(fact.relation, ids, arity);
+  }
   fact_set_.insert(fact);
   facts_[fact.relation].push_back(std::move(fact));
   ++fact_count_;

@@ -207,6 +207,27 @@ std::string MetricsRegistry::RenderCompact() const {
   return os.str();
 }
 
+std::vector<MetricSample> MetricsRegistry::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> samples;
+  samples.reserve(counters_.size() + gauges_.size() + 2 * histograms_.size());
+  for (const auto& [name, entry] : counters_) {
+    samples.push_back(
+        {name, "counter", static_cast<double>(entry.metric->value())});
+  }
+  for (const auto& [name, entry] : gauges_) {
+    samples.push_back(
+        {name, "gauge", static_cast<double>(entry.metric->value())});
+  }
+  for (const auto& [name, entry] : histograms_) {
+    const Histogram& h = *entry.metric;
+    samples.push_back(
+        {name + "_count", "histogram", static_cast<double>(h.count())});
+    samples.push_back({name + "_sum", "histogram", h.sum()});
+  }
+  return samples;
+}
+
 void MetricsRegistry::ResetAll() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& [name, entry] : counters_) entry.metric->Reset();

@@ -85,6 +85,14 @@ class Histogram {
 /// Exponential latency buckets in milliseconds, 0.01ms .. 10s.
 std::vector<double> DefaultLatencyBucketsMs();
 
+/// One flattened metric reading, for relational exposure (sys_metrics).
+/// Histograms flatten to two samples: `<name>_count` and `<name>_sum`.
+struct MetricSample {
+  std::string name;
+  std::string kind;  // "counter" | "gauge" | "histogram"
+  double value = 0;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -111,6 +119,10 @@ class MetricsRegistry {
   /// Human-oriented "name value" lines of the non-zero metrics (for the
   /// shell's .stats). Empty string when nothing has been recorded.
   std::string RenderCompact() const;
+
+  /// Flattened snapshot of every registered metric, sorted by (kind, name)
+  /// within each kind's registration map — the feed for sys_metrics.
+  std::vector<MetricSample> Samples() const;
 
   /// Zeroes every metric in place (pointers stay valid).
   void ResetAll();

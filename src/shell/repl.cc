@@ -11,6 +11,7 @@
 #include "src/lang/parser.h"
 #include "src/model/term_dict.h"
 #include "src/obs/metrics.h"
+#include "src/obs/stats.h"
 #include "src/obs/trace.h"
 #include "src/storage/binary_format.h"
 #include "src/storage/catalog.h"
@@ -126,10 +127,33 @@ std::string Repl::Meta(const std::string& command,
   if (command == ".stats") {
     if (argument == "reset") {
       obs::MetricsRegistry::Global().ResetAll();
+      obs::StatsCollector::Global().Reset();
       return "metrics reset\n";
     }
     if (!argument.empty()) return "usage: .stats [reset]\n";
     return Stats();
+  }
+  if (command == ".slowlog") {
+    if (argument == "reset") {
+      obs::StatsCollector::Global().ResetSlowLog();
+      return "slow-query log reset\n";
+    }
+    size_t limit = 10;
+    if (!argument.empty()) {
+      size_t parsed = 0;
+      bool ok = !argument.empty();
+      for (char c : argument) {
+        if (!std::isdigit(static_cast<unsigned char>(c)) ||
+            parsed > 100000) {
+          ok = false;
+          break;
+        }
+        parsed = parsed * 10 + static_cast<size_t>(c - '0');
+      }
+      if (!ok || parsed == 0) return "usage: .slowlog [n|reset]\n";
+      limit = parsed;
+    }
+    return obs::StatsCollector::Global().RenderSlowLogText(limit);
   }
   if (command == ".trace") {
     if (argument == "off") {
@@ -394,6 +418,8 @@ std::string Repl::Help() const {
       "meta commands:\n"
       "  .help             this text\n"
       "  .stats [reset]    database statistics + engine metrics (or reset)\n"
+      "  .slowlog [n|reset]\n"
+      "                    last n slow/failed queries with per-phase timings\n"
       "  .objects          list named objects\n"
       "  .rules            list session rules\n"
       "  .lib std|taxonomy load a bundled rule library\n"

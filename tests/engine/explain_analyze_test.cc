@@ -142,6 +142,41 @@ TEST(ExplainAnalyzeTest, SessionExplainAnalyzeRendersProfileAndAnswer) {
   EXPECT_GT(session.last_stats().derived_facts, 0u);
 }
 
+TEST(ExplainAnalyzeTest, StorageBreakdownListsEveryRelation) {
+  auto db = BuildDb();
+  QuerySession session(db.get());
+  ASSERT_TRUE(session.Load(kRopeRules).ok());
+  auto text = session.Explain("?- nested(G1, G2).", /*analyze=*/true);
+  ASSERT_TRUE(text.ok()) << text.status();
+  // The aggregate storage line is followed by one indented line per
+  // relation in the evaluated interpretation, drawn from the same snapshot
+  // sys_relations reports: "<pred>: R rows (S sealed in K segments, D delta
+  // rows), B bytes".
+  ASSERT_NE(text->find("storage: "), std::string::npos);
+  const size_t line = text->find("  contains: ");
+  ASSERT_NE(line, std::string::npos) << *text;
+  const size_t eol = text->find('\n', line);
+  const std::string detail = text->substr(line, eol - line);
+  EXPECT_NE(detail.find(" rows ("), std::string::npos) << detail;
+  EXPECT_NE(detail.find(" sealed in "), std::string::npos) << detail;
+  EXPECT_NE(detail.find(" segments, "), std::string::npos) << detail;
+  EXPECT_NE(detail.find(" delta rows), "), std::string::npos) << detail;
+  EXPECT_NE(detail.find(" bytes"), std::string::npos) << detail;
+}
+
+TEST(ExplainAnalyzeTest, SysGoalReportsSeededFactsAndCacheBypass) {
+  auto db = BuildDb();
+  QuerySession session(db.get());
+  ASSERT_TRUE(session.Load(kRopeRules).ok());
+  auto text = session.Explain("?- sys_relations(P, A, R, B, S).",
+                              /*analyze=*/true);
+  ASSERT_TRUE(text.ok()) << text.status();
+  EXPECT_NE(text->find("system relations: "), std::string::npos) << *text;
+  EXPECT_NE(text->find("seeded facts"), std::string::npos);
+  EXPECT_NE(text->find("query cache: bypassed (system relations)"),
+            std::string::npos);
+}
+
 TEST(ExplainAnalyzeTest, ReplAcceptsExplainStatements) {
   VideoDatabase db;
   Repl repl(&db);

@@ -1,0 +1,297 @@
+// Seeded property tests for the statistics collector: HyperLogLog accuracy
+// against ground truth, selectivity EWMA arithmetic, exact latency
+// quantiles, slow-ring retention, the JSON schema round trip, and snapshot
+// consistency under concurrent recording.
+
+#include "src/obs/stats.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace vqldb {
+namespace obs {
+namespace {
+
+TEST(HllTest, TenThousandDistinctWithinFivePercent) {
+  Hll sketch;
+  const uint64_t kDistinct = 10000;
+  for (uint64_t i = 0; i < kDistinct; ++i) sketch.AddHash(MixHash(i));
+  const double estimate = sketch.Estimate();
+  EXPECT_GE(estimate, 0.95 * kDistinct);
+  EXPECT_LE(estimate, 1.05 * kDistinct);
+}
+
+TEST(HllTest, AccurateAcrossMagnitudes) {
+  for (uint64_t distinct : {1ull, 10ull, 100ull, 1000ull, 50000ull}) {
+    Hll sketch;
+    // Offset the domain per round so the hashes differ across rounds.
+    for (uint64_t i = 0; i < distinct; ++i) {
+      sketch.AddHash(MixHash(i + distinct * 1000));
+    }
+    const double estimate = sketch.Estimate();
+    const double tolerance = distinct <= 100 ? 0.01 : 0.05;
+    EXPECT_GE(estimate, (1.0 - tolerance) * static_cast<double>(distinct))
+        << "distinct=" << distinct;
+    EXPECT_LE(estimate, (1.0 + tolerance) * static_cast<double>(distinct))
+        << "distinct=" << distinct;
+  }
+}
+
+TEST(HllTest, IdempotentUnderReinsertion) {
+  Hll sketch;
+  for (uint64_t i = 0; i < 5000; ++i) sketch.AddHash(MixHash(i));
+  const double first = sketch.Estimate();
+  // Re-deriving every row (as a later fixpoint does) must not move the
+  // estimate at all.
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 5000; ++i) sketch.AddHash(MixHash(i));
+  }
+  EXPECT_EQ(sketch.Estimate(), first);
+}
+
+TEST(HllTest, ResetEmpties) {
+  Hll sketch;
+  sketch.AddHash(MixHash(7));
+  EXPECT_FALSE(sketch.Empty());
+  sketch.Reset();
+  EXPECT_TRUE(sketch.Empty());
+  EXPECT_EQ(sketch.Estimate(), 0);
+}
+
+TEST(AdornmentTest, RendersBoundAndFreePositions) {
+  EXPECT_EQ(AdornmentString(0, 3), "fff");
+  EXPECT_EQ(AdornmentString(0b101, 3), "bfb");
+  EXPECT_EQ(AdornmentString(0b11, 2), "bb");
+  EXPECT_EQ(AdornmentString(0, 0), "");
+}
+
+TEST(StatsCollectorTest, RecordRowFeedsPerColumnSketches) {
+  StatsCollector collector;
+  const uint64_t kDistinct = 10000;
+  uint32_t ids[2];
+  for (uint64_t i = 0; i < kDistinct; ++i) {
+    ids[0] = static_cast<uint32_t>(i);    // high-cardinality column
+    ids[1] = static_cast<uint32_t>(i % 7);  // low-cardinality column
+    collector.RecordRow("edge", ids, 2);
+  }
+  StatsSnapshot snap = collector.Snapshot();
+  ASSERT_EQ(snap.columns.size(), 2u);
+  EXPECT_EQ(snap.columns[0].predicate, "edge");
+  EXPECT_EQ(snap.columns[0].column, 0u);
+  EXPECT_GE(snap.columns[0].distinct_estimate, 0.95 * kDistinct);
+  EXPECT_LE(snap.columns[0].distinct_estimate, 1.05 * kDistinct);
+  EXPECT_NEAR(snap.columns[1].distinct_estimate, 7.0, 0.5);
+}
+
+TEST(StatsCollectorTest, InternalPredicatesAreInvisible) {
+  StatsCollector collector;
+  uint32_t ids[1] = {42};
+  collector.RecordRow("sys_relations", ids, 1);
+  collector.RecordRow("m#path#bf", ids, 1);
+  collector.RecordProbes("sys_relations", "bf", 10, 5, 100);
+  EXPECT_TRUE(collector.Snapshot().columns.empty());
+  EXPECT_TRUE(collector.Snapshot().selectivity.empty());
+}
+
+TEST(StatsCollectorTest, SelectivityEwmaMatchesGroundTruth) {
+  StatsCollector collector;
+  // Batch 1 seeds the EWMA: 100 probes, 50 candidates, 1000-row relation
+  // => (50/100)/1000 = 5e-4.
+  collector.RecordProbes("edge", "bf", 100, 50, 1000);
+  // Batch 2 folds in: (200/100)/1000 = 2e-3.
+  collector.RecordProbes("edge", "bf", 100, 200, 1000);
+  StatsSnapshot snap = collector.Snapshot();
+  ASSERT_EQ(snap.selectivity.size(), 1u);
+  const SelectivityView& s = snap.selectivity[0];
+  EXPECT_EQ(s.predicate, "edge");
+  EXPECT_EQ(s.adornment, "bf");
+  EXPECT_EQ(s.probes, 200u);
+  EXPECT_EQ(s.candidates, 250u);
+  const double expected =
+      5e-4 + StatsCollector::kEwmaAlpha * (2e-3 - 5e-4);
+  EXPECT_NEAR(s.ewma, expected, 1e-12);
+}
+
+QueryRecord MakeRecord(const std::string& fingerprint, uint64_t total_us,
+                       const std::string& status = "ok") {
+  QueryRecord r;
+  r.fingerprint = fingerprint;
+  r.status = status;
+  r.access_path = "fixpoint";
+  r.eval_us = total_us;
+  r.total_us = total_us;
+  r.rows = status == "ok" ? 3 : 0;
+  return r;
+}
+
+TEST(StatsCollectorTest, ExactQuantilesMatchNthElement) {
+  StatsCollector collector;
+  collector.set_slow_threshold_us(1u << 30);  // keep the slow ring empty
+  std::vector<uint64_t> latencies;
+  // A deterministic non-monotone latency series.
+  uint64_t x = 12345;
+  for (int i = 0; i < 200; ++i) {
+    x = x * 6364136223846793005ull + 1442695040888963407ull;
+    latencies.push_back(x % 100000);
+    collector.RecordQuery(MakeRecord("q($0)", latencies.back()));
+  }
+  std::vector<uint64_t> sorted = latencies;
+  std::sort(sorted.begin(), sorted.end());
+  const size_t n = sorted.size();
+  StatsSnapshot snap = collector.Snapshot();
+  ASSERT_EQ(snap.queries.size(), 1u);
+  EXPECT_EQ(snap.queries[0].count, n);
+  EXPECT_EQ(snap.queries[0].p50_us, sorted[(n - 1) / 2]);
+  EXPECT_EQ(snap.queries[0].p99_us, sorted[((n - 1) * 99) / 100]);
+  EXPECT_LE(snap.queries[0].p50_us, snap.queries[0].p99_us);
+}
+
+TEST(StatsCollectorTest, SlowRingKeepsNewestAtCapacity) {
+  StatsCollector collector;
+  collector.set_slow_threshold_us(0);  // every query is "slow"
+  collector.set_slow_capacity(4);
+  for (int i = 0; i < 10; ++i) {
+    collector.RecordQuery(MakeRecord("q($0)", 100 + i));
+  }
+  StatsSnapshot snap = collector.Snapshot();
+  ASSERT_EQ(snap.slow.size(), 4u);
+  EXPECT_EQ(snap.slow.front().seq, 7u);  // oldest retained
+  EXPECT_EQ(snap.slow.back().seq, 10u);  // newest
+  EXPECT_EQ(snap.total_queries, 10u);
+
+  collector.ResetSlowLog();
+  snap = collector.Snapshot();
+  EXPECT_TRUE(snap.slow.empty());
+  // The aggregates survive a slow-log reset...
+  EXPECT_EQ(snap.total_queries, 10u);
+  ASSERT_EQ(snap.queries.size(), 1u);
+  // ...but not a full reset.
+  collector.Reset();
+  snap = collector.Snapshot();
+  EXPECT_EQ(snap.total_queries, 0u);
+  EXPECT_TRUE(snap.queries.empty());
+  EXPECT_TRUE(snap.columns.empty());
+  EXPECT_TRUE(snap.selectivity.empty());
+}
+
+TEST(StatsCollectorTest, FailedQueriesAlwaysEnterTheRing) {
+  StatsCollector collector;
+  collector.set_slow_threshold_us(1u << 30);
+  collector.RecordQuery(MakeRecord("fast($0)", 5));
+  collector.RecordQuery(MakeRecord("bad($0)", 5, "deadline_exceeded"));
+  StatsSnapshot snap = collector.Snapshot();
+  ASSERT_EQ(snap.slow.size(), 1u);
+  EXPECT_EQ(snap.slow[0].fingerprint, "bad($0)");
+  EXPECT_EQ(snap.slow[0].status, "deadline_exceeded");
+}
+
+TEST(StatsCollectorTest, DisabledCollectorRecordsNothing) {
+  StatsCollector collector;
+  SetStatsEnabled(false);
+  uint32_t ids[1] = {1};
+  collector.RecordRow("edge", ids, 1);
+  collector.RecordProbes("edge", "b", 10, 5, 100);
+  collector.RecordQuery(MakeRecord("q($0)", 100));
+  SetStatsEnabled(true);
+  StatsSnapshot snap = collector.Snapshot();
+  EXPECT_TRUE(snap.columns.empty());
+  EXPECT_TRUE(snap.selectivity.empty());
+  EXPECT_TRUE(snap.queries.empty());
+  EXPECT_EQ(snap.total_queries, 0u);
+}
+
+TEST(SlowLogJsonTest, RenderValidatesRoundTrip) {
+  StatsCollector collector;
+  collector.set_slow_threshold_us(0);
+  QueryRecord failed = MakeRecord("bad($0, $1)", 777, "resource_exhausted");
+  failed.reason = "memory budget exceeded";
+  failed.bytes_peak = 4096;
+  collector.RecordQuery(MakeRecord("path($0, $1)", 150));
+  collector.RecordQuery(MakeRecord("path($0, $1)", 250));
+  collector.RecordQuery(std::move(failed));
+  std::string json = collector.RenderSlowLogJson();
+  std::string error;
+  EXPECT_TRUE(ValidateSlowLogJson(json, &error)) << error;
+}
+
+TEST(SlowLogJsonTest, RejectsCorruptDocuments) {
+  std::string error;
+  EXPECT_FALSE(ValidateSlowLogJson("not json", &error));
+  EXPECT_FALSE(ValidateSlowLogJson("[]", &error));
+  EXPECT_FALSE(ValidateSlowLogJson(
+      R"json({"slow_threshold_us": 0, "total_queries": 1})json", &error));
+  // An entry missing its status field.
+  EXPECT_FALSE(ValidateSlowLogJson(
+      R"json({"slow_threshold_us": 0, "total_queries": 1, "entries": [
+          {"seq": 1, "fingerprint": "q($0)", "access_path": "fixpoint",
+           "reason": "", "rows": 0, "parse_us": 0, "rewrite_us": 0,
+           "eval_us": 0, "decode_us": 0, "total_us": 1, "bytes_peak": 0,
+           "tuples": 0, "solver_steps": 0}], "queries": []})json",
+      &error));
+  // Quantile inversion: p50 > p99.
+  EXPECT_FALSE(ValidateSlowLogJson(
+      R"json({"slow_threshold_us": 0, "total_queries": 1, "entries": [],
+          "queries": [{"fingerprint": "q($0)", "count": 1, "rows": 0,
+                       "p50_us": 9, "p99_us": 1, "statuses": {"ok": 1}}]})json",
+      &error));
+  EXPECT_EQ(error, "quantile inversion: p50_us > p99_us");
+  // Status counts not summing to count.
+  EXPECT_FALSE(ValidateSlowLogJson(
+      R"json({"slow_threshold_us": 0, "total_queries": 1, "entries": [],
+          "queries": [{"fingerprint": "q($0)", "count": 3, "rows": 0,
+                       "p50_us": 1, "p99_us": 2, "statuses": {"ok": 1}}]})json",
+      &error));
+}
+
+// Satellite (b): snapshots taken while writers hammer the collector must be
+// internally consistent (status counts summing to the fingerprint count;
+// quantiles ordered), and interleaved resets must be atomic — never a
+// half-cleared view. Run under TSan by tools/verify.sh.
+TEST(StatsCollectorTest, SnapshotConsistentUnderConcurrentLoad) {
+  StatsCollector collector;
+  collector.set_slow_threshold_us(50);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 4; ++t) {
+    writers.emplace_back([&collector, &stop, t] {
+      uint32_t ids[3];
+      uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        ids[0] = static_cast<uint32_t>(i);
+        ids[1] = static_cast<uint32_t>(i * 31 + t);
+        ids[2] = static_cast<uint32_t>(t);
+        collector.RecordRow("edge", ids, 3);
+        collector.RecordProbes("edge", "bff", 10, i % 20, 1000);
+        collector.RecordQuery(
+            MakeRecord("q($0)", i % 100, i % 5 == 0 ? "overloaded" : "ok"));
+        ++i;
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    StatsSnapshot snap = collector.Snapshot();
+    for (const QueryStatView& q : snap.queries) {
+      uint64_t status_sum = 0;
+      for (const auto& [name, n] : q.statuses) status_sum += n;
+      EXPECT_EQ(status_sum, q.count);
+      EXPECT_LE(q.p50_us, q.p99_us);
+    }
+    for (const ColumnStatView& c : snap.columns) {
+      EXPECT_GE(c.distinct_estimate, 0);
+    }
+    std::string error;
+    EXPECT_TRUE(ValidateSlowLogJson(collector.RenderSlowLogJson(), &error))
+        << error;
+    if (round % 50 == 49) collector.Reset();
+  }
+  stop.store(true);
+  for (std::thread& w : writers) w.join();
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vqldb

@@ -1,5 +1,6 @@
 #include "src/shell/repl.h"
 
+#include "src/obs/stats.h"
 #include "src/storage/journal.h"
 
 #include <gtest/gtest.h>
@@ -81,6 +82,53 @@ TEST_F(ReplTest, StatsAndObjects) {
   EXPECT_NE(objects.find("interval g"), std::string::npos);
 }
 
+TEST_F(ReplTest, SlowlogShowsEntriesAndResets) {
+  obs::StatsCollector::Global().Reset();
+  obs::StatsCollector::Global().set_slow_threshold_us(0);  // log everything
+  repl_.Execute("object o1 {}.");
+  repl_.Execute("object o2 {}.");
+  repl_.Execute("edge(o1, o2).");
+  repl_.Execute("p(X, Y) <- edge(X, Y).");
+  repl_.Execute("?- p(X, Y).");
+  std::string out = repl_.Execute(".slowlog");
+  EXPECT_NE(out.find("slow-query log"), std::string::npos);
+  EXPECT_NE(out.find("p($0, $1)"), std::string::npos) << out;
+  EXPECT_NE(out.find("total "), std::string::npos);
+  // A bounded listing still shows the newest entry.
+  out = repl_.Execute(".slowlog 1");
+  EXPECT_NE(out.find("p($0, $1)"), std::string::npos);
+
+  EXPECT_EQ(repl_.Execute(".slowlog reset"), "slow-query log reset\n");
+  out = repl_.Execute(".slowlog");
+  EXPECT_NE(out.find("(empty)"), std::string::npos);
+
+  EXPECT_NE(repl_.Execute(".slowlog nonsense").find("usage:"),
+            std::string::npos);
+  EXPECT_NE(repl_.Execute(".slowlog 0").find("usage:"), std::string::npos);
+  obs::StatsCollector::Global().set_slow_threshold_us(
+      obs::StatsCollector::kDefaultSlowThresholdUs);
+  obs::StatsCollector::Global().Reset();
+}
+
+TEST_F(ReplTest, StatsResetClearsTheCollectorAtomically) {
+  obs::StatsCollector::Global().Reset();
+  repl_.Execute("object o1 {}.");
+  repl_.Execute("object o2 {}.");
+  repl_.Execute("edge(o1, o2).");
+  repl_.Execute("p(X, Y) <- edge(X, Y).");
+  repl_.Execute("?- p(X, Y).");
+  obs::StatsSnapshot before = obs::StatsCollector::Global().Snapshot();
+  EXPECT_GT(before.total_queries, 0u);
+  EXPECT_FALSE(before.columns.empty());
+
+  EXPECT_EQ(repl_.Execute(".stats reset"), "metrics reset\n");
+  obs::StatsSnapshot after = obs::StatsCollector::Global().Snapshot();
+  EXPECT_EQ(after.total_queries, 0u);
+  EXPECT_TRUE(after.columns.empty());
+  EXPECT_TRUE(after.queries.empty());
+  EXPECT_TRUE(after.slow.empty());
+}
+
 TEST_F(ReplTest, RulesListing) {
   EXPECT_EQ(repl_.Execute(".rules"), "(no rules)\n");
   repl_.Execute("object o1 {}.");
@@ -134,8 +182,8 @@ TEST_F(ReplTest, UnknownMetaCommand) {
 
 TEST_F(ReplTest, HelpMentionsEveryCommand) {
   std::string help = repl_.Execute(".help");
-  for (const char* cmd : {".stats", ".rules", ".objects", ".lib", ".load",
-                          ".save", ".quit"}) {
+  for (const char* cmd : {".stats", ".slowlog", ".rules", ".objects", ".lib",
+                          ".load", ".save", ".quit"}) {
     EXPECT_NE(help.find(cmd), std::string::npos) << cmd;
   }
 }

@@ -5,6 +5,9 @@
 //   obs_check metrics <file>   metrics JSON snapshot (--metrics-out)
 //   obs_check trace <file>     Chrome trace_event JSON (--trace-out); must
 //                              contain at least one complete event
+//   obs_check slowlog <file>   slow-query log JSON (--slowlog-out): required
+//                              fields, phase timings summing within the
+//                              total, and p50 <= p99 per fingerprint
 //
 // Exit codes: 0 valid, 1 invalid content, 2 usage / unreadable file.
 
@@ -15,12 +18,13 @@
 
 #include "src/obs/json_lite.h"
 #include "src/obs/metrics.h"
+#include "src/obs/stats.h"
 #include "src/obs/trace.h"
 
 namespace {
 
 int Usage() {
-  std::cerr << "usage: obs_check metrics|trace <file>\n";
+  std::cerr << "usage: obs_check metrics|trace|slowlog <file>\n";
   return 2;
 }
 
@@ -66,6 +70,15 @@ int main(int argc, char** argv) {
     }
     std::cout << "ok: " << path << " is a valid Chrome trace ("
               << doc.array.size() << " events)\n";
+    return 0;
+  }
+
+  if (mode == "slowlog") {
+    if (!vqldb::obs::ValidateSlowLogJson(text, &error)) {
+      std::cerr << "obs_check: " << path << ": " << error << "\n";
+      return 1;
+    }
+    std::cout << "ok: " << path << " is a valid slow-query log\n";
     return 0;
   }
 

@@ -24,6 +24,10 @@
 #    --no-merge-join must print byte-identical answers (merge joins are a
 #    pure access-path change), and EXPLAIN ANALYZE must surface the join
 #    strategy counters.
+# 6b. Self-observation smoke: a workload under `vql --slow-ms=0` must answer
+#    a sys_queries goal containing its own earlier query's fingerprint,
+#    print slow-log entries via .slowlog, and emit a --slowlog-out JSON
+#    that tools/obs_check validates.
 # 7. Configure + build with -DVQLDB_SANITIZE=address and run the governance,
 #    dictionary, and columnar tests under ASan (the budget hierarchy moves
 #    ownership across queries, caches, and rollbacks; the dictionary arena
@@ -119,6 +123,26 @@ grep -q "join strategy:" <(./build/tools/vql \
     <<< $'object a { }.\nobject b { }.\ne(a, b).\np(X, Y) <- e(X, Y).\nexplain analyze ?- p(X, Y).\n.quit') \
   || { echo "EXPLAIN ANALYZE is missing the join strategy line"; exit 1; }
 
+echo "== self-observation smoke: sys_queries + .slowlog + obs_check slowlog =="
+{
+  for i in $(seq 0 20); do echo "object n$i { }."; done
+  for i in $(seq 0 19); do echo "edge(n$i, n$((i+1)))."; done
+  echo "path(X, Y) <- edge(X, Y)."
+  echo "path(X, Z) <- path(X, Y), edge(Y, Z)."
+  echo "?- path(X, Y)."
+  echo "?- path(X, Y)."
+  echo "?- sys_queries(F, C, P50, P99, R, S)."
+  echo ".slowlog 5"
+  echo ".quit"
+} > "$OBS_TMP/selfobs.vql"
+./build/tools/vql --slow-ms=0 --slowlog-out="$OBS_TMP/slowlog.json" \
+    <"$OBS_TMP/selfobs.vql" >"$OBS_TMP/selfobs.out"
+grep -qF 'path($0, $1)' "$OBS_TMP/selfobs.out" \
+  || { echo "sys_queries did not report the workload's own fingerprint"; exit 1; }
+grep -q "slow-query log" "$OBS_TMP/selfobs.out" \
+  || { echo ".slowlog printed no slow-query entries"; exit 1; }
+./build/tools/obs_check slowlog "$OBS_TMP/slowlog.json"
+
 echo "== governance smoke: vql --mem-limit-bytes= on a heavy program =="
 {
   for i in $(seq 0 64); do echo "object n$i { }."; done
@@ -160,7 +184,7 @@ echo "== tsan: build (-DVQLDB_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DVQLDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target parallel_determinism_test thread_pool_test gate_stress_test \
-           term_dict_test columnar_test
+           term_dict_test columnar_test stats_test
 
 echo "== tsan: parallel determinism + thread pool + gate stress + columnar =="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
@@ -168,5 +192,6 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/gate_stress_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/term_dict_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/columnar_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/stats_test
 
 echo "verify: OK"

@@ -30,6 +30,11 @@
 //   --max-concurrency=<n>  admission control: at most n queries execute at
 //                          once, excess arrivals queue then shed with
 //                          "Overloaded" (also settable: .concurrency)
+//   --slow-ms=<ms>         slow-query threshold: queries at or above it (and
+//                          all failed queries) enter the slow-query ring
+//                          (default 100; 0 logs every query; also .slowlog)
+//   --slowlog-out=<file>   on exit, dump the slow-query log as JSON (the
+//                          schema tools/obs_check slowlog validates)
 
 #include <fstream>
 #include <iostream>
@@ -40,6 +45,7 @@
 #include "src/common/string_util.h"
 #include "src/model/database.h"
 #include "src/obs/metrics.h"
+#include "src/obs/stats.h"
 #include "src/obs/trace.h"
 #include "src/shell/repl.h"
 #include "src/storage/binary_format.h"
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
   EvalOptions options;
   std::string metrics_out;
   std::string trace_out;
+  std::string slowlog_out;
   int64_t timeout_ms = 0;
   int64_t mem_limit_bytes = 0;
   int64_t max_concurrency = 0;
@@ -82,6 +89,21 @@ int main(int argc, char** argv) {
     }
     if (StartsWith(arg, "--trace-out=")) {
       trace_out = arg.substr(std::string("--trace-out=").size());
+      continue;
+    }
+    if (StartsWith(arg, "--slowlog-out=")) {
+      slowlog_out = arg.substr(std::string("--slowlog-out=").size());
+      continue;
+    }
+    if (StartsWith(arg, "--slow-ms=")) {
+      std::string value = arg.substr(std::string("--slow-ms=").size());
+      int64_t slow_ms = 0;
+      if (!ParseNonNegativeInt(value, &slow_ms)) {
+        std::cerr << "--slow-ms requires a non-negative integer\n";
+        return 1;
+      }
+      obs::StatsCollector::Global().set_slow_threshold_us(
+          static_cast<uint64_t>(slow_ms) * 1000);
       continue;
     }
     if (StartsWith(arg, "--log-level=")) {
@@ -206,6 +228,14 @@ int main(int argc, char** argv) {
 
   int rc = 0;
   if (!metrics_out.empty() && !WriteMetrics(metrics_out)) rc = 1;
+  if (!slowlog_out.empty()) {
+    std::ofstream out(slowlog_out);
+    if (out) out << obs::StatsCollector::Global().RenderSlowLogJson();
+    if (!out || !out.good()) {
+      std::cerr << "cannot write slow-query log " << slowlog_out << "\n";
+      rc = 1;
+    }
+  }
   if (!trace_out.empty()) {
     std::string error;
     if (!obs::Tracer::Global().WriteFile(trace_out, &error)) {
