@@ -1,0 +1,35 @@
+#include "src/common/backoff.h"
+
+#include <algorithm>
+
+namespace vqldb {
+
+Backoff::Backoff(BackoffOptions options)
+    : options_(options), rng_(options.seed) {
+  if (options_.multiplier < 1.0) options_.multiplier = 1.0;
+  if (options_.jitter < 0.0) options_.jitter = 0.0;
+  if (options_.jitter > 1.0) options_.jitter = 1.0;
+  if (options_.max_ms < options_.initial_ms) {
+    options_.max_ms = options_.initial_ms;
+  }
+}
+
+bool Backoff::ShouldRetry() const {
+  return options_.max_attempts == 0 || attempts_ < options_.max_attempts;
+}
+
+uint64_t Backoff::NextDelayMs() {
+  double delay = static_cast<double>(options_.initial_ms);
+  for (size_t i = 0; i < attempts_; ++i) {
+    delay *= options_.multiplier;
+    if (delay >= static_cast<double>(options_.max_ms)) break;
+  }
+  delay = std::min(delay, static_cast<double>(options_.max_ms));
+  ++attempts_;
+  // Uniform factor in [1 - jitter, 1]; the RNG advances exactly once per
+  // delay so the schedule is a pure function of (options, seed).
+  double factor = 1.0 - options_.jitter * rng_.UniformDouble();
+  return static_cast<uint64_t>(delay * factor + 0.5);
+}
+
+}  // namespace vqldb

@@ -1,0 +1,70 @@
+// Backoff: seeded jittered exponential retry pacing, after the classic
+// "exponential backoff and jitter" scheme (capped geometric growth, a
+// uniformly jittered fraction of each delay). Deterministic under a fixed
+// seed — the same seed yields the same delay sequence on every platform —
+// so retry schedules are reproducible in tests and the crash harness.
+//
+// Usage:
+//   Backoff backoff({.initial_ms = 10, .max_ms = 1000, .max_attempts = 5});
+//   while (backoff.ShouldRetry()) {
+//     if (TryOperation().ok()) break;
+//     SleepMs(backoff.NextDelayMs());
+//   }
+
+#ifndef VQLDB_COMMON_BACKOFF_H_
+#define VQLDB_COMMON_BACKOFF_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "src/common/rng.h"
+
+namespace vqldb {
+
+struct BackoffOptions {
+  /// Base delay before the first retry.
+  uint64_t initial_ms = 10;
+  /// Hard cap on any single delay (applied before jitter).
+  uint64_t max_ms = 1000;
+  /// Geometric growth factor between consecutive delays.
+  double multiplier = 2.0;
+  /// Jitter fraction in [0, 1]: each delay is scaled by a uniform factor in
+  /// [1 - jitter, 1], so 0 = fully deterministic delays, 1 = "full jitter".
+  double jitter = 0.5;
+  /// Total attempts allowed (the first try plus retries). 0 = unlimited.
+  size_t max_attempts = 5;
+  /// Seed for the jitter stream; the sequence is a pure function of it.
+  uint64_t seed = 1;
+};
+
+/// Tracks one operation's retry schedule. Not thread-safe.
+class Backoff {
+ public:
+  explicit Backoff(BackoffOptions options = {});
+
+  /// True while another attempt is allowed by max_attempts.
+  bool ShouldRetry() const;
+
+  /// The delay to sleep before the next attempt, advancing the schedule:
+  /// min(initial * multiplier^n, max), jittered into [delay*(1-jitter),
+  /// delay]. Never returns 0 unless initial_ms is 0.
+  uint64_t NextDelayMs();
+
+  /// Attempts consumed so far (NextDelayMs calls).
+  size_t attempts() const { return attempts_; }
+
+  /// Restarts the schedule (attempt counter and delay), keeping the jitter
+  /// stream position — a reset schedule does not replay old jitter values.
+  void Reset() { attempts_ = 0; }
+
+  const BackoffOptions& options() const { return options_; }
+
+ private:
+  BackoffOptions options_;
+  Rng rng_;
+  size_t attempts_ = 0;
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_COMMON_BACKOFF_H_

@@ -30,6 +30,7 @@ enum class StatusCode : int {
   kDeadlineExceeded = 13,
   kCancelled = 14,
   kOverloaded = 15,
+  kUnavailable = 16,
 };
 
 /// Returns a human-readable name for a status code (e.g. "Invalid argument").
@@ -107,6 +108,9 @@ class Status {
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
   }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return state_ == nullptr; }
   StatusCode code() const { return state_ ? state_->code : StatusCode::kOk; }
@@ -134,6 +138,7 @@ class Status {
   }
   bool IsCancelled() const { return code() == StatusCode::kCancelled; }
   bool IsOverloaded() const { return code() == StatusCode::kOverloaded; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

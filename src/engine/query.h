@@ -15,6 +15,7 @@
 #define VQLDB_ENGINE_QUERY_H_
 
 #include <cstdint>
+#include <functional>
 #include <list>
 #include <memory>
 #include <optional>
@@ -28,6 +29,7 @@
 #include "src/engine/evaluator.h"
 #include "src/engine/interpretation.h"
 #include "src/engine/query_gate.h"
+#include "src/engine/sysrel.h"
 #include "src/lang/ast.h"
 #include "src/model/database.h"
 
@@ -55,6 +57,12 @@ struct QueryExecInfo {
   std::string adornment;    // goal adornment when magic applied, e.g. "bf"
   size_t magic_rule_count = 0;
   size_t guarded_rule_count = 0;
+  // Scatter-gather completeness, filled by the sharded archive layer
+  // (src/storage/shard_store.h); single-session queries leave them zero.
+  bool partial = false;        // some targeted shard could not answer
+  size_t shards_targeted = 0;  // shards the goal was scattered to
+  size_t shards_answered = 0;  // shards that contributed an answer
+  size_t shards_pruned = 0;    // shards skipped by constant-binding pruning
 };
 
 /// A stateful session over one database.
@@ -168,6 +176,18 @@ class QuerySession {
   /// session across threads.
   void set_gate(std::shared_ptr<QueryGate> gate) { gate_ = std::move(gate); }
   const std::shared_ptr<QueryGate>& gate() const { return gate_; }
+
+  // -------------------------------------------------------- sharded archive
+
+  /// When this session serves one shard of a sharded archive, the archive
+  /// installs a provider so sys_shards queries see live per-shard health.
+  /// Invoked once per system-fact batch; every shard's session gets the
+  /// same provider, so sys_shards answers are identical regardless of which
+  /// shard evaluates them.
+  using ShardInfoProvider = std::function<std::vector<ShardInfoRow>()>;
+  void set_shard_info_provider(ShardInfoProvider provider) {
+    shard_info_provider_ = std::move(provider);
+  }
 
   // ------------------------------------------------------------ magic sets
 
@@ -284,6 +304,7 @@ class QuerySession {
   std::shared_ptr<ResourceBudget> governor_;
   std::shared_ptr<QueryGate> gate_;
   ResourceBudget::Limits per_query_limits_;
+  ShardInfoProvider shard_info_provider_;
 
   // --- self-observation state (see src/engine/sysrel.h) -------------------
   // Per-query phase timings, accumulated by the execution paths and

@@ -151,6 +151,17 @@ std::vector<Fact> BuildSystemFacts(const SystemFactsInput& input) {
     emit("sys_budget", {Value::String("governor"), Value::String("peak_bytes"),
                         Value::Int(static_cast<int64_t>(g.bytes_peak()))});
   }
+  // sys_shards(shard, state, facts, replayed, dropped, recoveries, error).
+  if (input.shards != nullptr) {
+    for (const ShardInfoRow& s : *input.shards) {
+      emit("sys_shards",
+           {Value::Int(s.shard_id), Value::String(s.state),
+            Value::Int(s.facts), Value::Int(s.records_replayed),
+            Value::Int(s.records_dropped), Value::Int(s.recoveries),
+            Value::String(s.last_error)});
+    }
+  }
+
   const ResourceBudget::Limits& lim = input.per_query_limits;
   emit("sys_budget", {Value::String("per_query"), Value::String("max_bytes"),
                       Value::Int(static_cast<int64_t>(lim.max_bytes))});

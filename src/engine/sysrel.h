@@ -19,6 +19,9 @@
 //   sys_queries(fingerprint, count, p50_us, p99_us, rows, status)
 //   sys_cache(kind, enabled, entries, bytes, max_bytes)
 //   sys_budget(scope, field, value)                    - governor + limits
+//   sys_shards(shard, state, facts, replayed, dropped, recoveries, error)
+//                            - per-shard health of a sharded archive; empty
+//                              for sessions not attached to one
 //
 // Consistency contract: all facts of one batch come from a single collector
 // snapshot and a single per-relation storage scan (Interpretation::
@@ -61,6 +64,20 @@ bool TouchesSystemRelations(const Atom& goal, const std::vector<Rule>& rules);
 ///   ?- path(X, X).       ->  "path($0, $0)"
 std::string QueryFingerprint(const Atom& goal);
 
+/// One shard's health summary, the row shape of the sys_shards relation.
+/// Produced by the sharded archive layer (src/storage/shard_store.h) and
+/// handed to sessions through QuerySession::set_shard_info_provider so
+/// shard health is queryable from any shard's session.
+struct ShardInfoRow {
+  int64_t shard_id = 0;
+  std::string state;  // "healthy" | "recovering" | "degraded" | "failed"
+  int64_t facts = 0;
+  int64_t records_replayed = 0;  // journal records applied by last recovery
+  int64_t records_dropped = 0;   // torn-tail records truncated
+  int64_t recoveries = 0;        // completed recovery passes
+  std::string last_error;        // "" when none
+};
+
 /// Everything a system-fact batch is built from. Pointers are borrowed for
 /// the duration of the BuildSystemFacts call.
 struct SystemFactsInput {
@@ -78,6 +95,8 @@ struct SystemFactsInput {
   // Resource governance (sys_budget rows); either may be absent.
   const ResourceBudget* governor = nullptr;
   ResourceBudget::Limits per_query_limits;
+  // Sharded-archive health (sys_shards rows); absent for single-db sessions.
+  const std::vector<ShardInfoRow>* shards = nullptr;
 };
 
 /// Materializes one consistent batch of system facts. The per-relation rows

@@ -23,49 +23,62 @@ TermDict::~TermDict() {
   for (auto& chunk : chunks_) delete[] chunk.load(std::memory_order_relaxed);
 }
 
+Value* TermDict::SlotFor(uint32_t id) {
+  uint32_t n = id / kBase + 1;
+  uint32_t k = 31 - std::countl_zero(n);
+  Value* slots = chunks_[k].load(std::memory_order_acquire);
+  if (slots == nullptr) {
+    // Interns in different stripes can race here; the loser frees its copy.
+    Value* fresh = new Value[size_t{kBase} << k];
+    if (chunks_[k].compare_exchange_strong(slots, fresh,
+                                           std::memory_order_acq_rel,
+                                           std::memory_order_acquire)) {
+      slots = fresh;
+    } else {
+      delete[] fresh;
+    }
+  }
+  return slots + (id - kBase * ((1u << k) - 1));
+}
+
 TermDict::Interned TermDict::Intern(const Value& v) {
+  Stripe& stripe = StripeFor(v);
   {
     // Optimistic shared-lock hit: most interned values are already present
     // (every emission of an existing term), so writers rarely contend.
-    std::shared_lock<std::shared_mutex> lock(mu_);
-    auto it = ids_.find(v);
-    if (it != ids_.end()) return {it->second, 0};
+    std::shared_lock<std::shared_mutex> lock(stripe.mu);
+    auto it = stripe.ids.find(v);
+    if (it != stripe.ids.end()) return {it->second, 0};
   }
-  std::unique_lock<std::shared_mutex> lock(mu_);
-  auto it = ids_.find(v);
-  if (it != ids_.end()) return {it->second, 0};  // raced with another writer
-  size_t next = count_.load(std::memory_order_relaxed);
+  std::unique_lock<std::shared_mutex> lock(stripe.mu);
+  auto it = stripe.ids.find(v);
+  if (it != stripe.ids.end()) return {it->second, 0};  // raced with a writer
+  size_t next = count_.fetch_add(1, std::memory_order_acq_rel);
   VQLDB_CHECK(next < size_t{kNoTermId})
       << "term dictionary exhausted the 32-bit id space";
   uint32_t id = static_cast<uint32_t>(next);
-  uint32_t n = id / kBase + 1;
-  uint32_t k = 31 - std::countl_zero(n);
-  Value* slots = chunks_[k].load(std::memory_order_relaxed);
-  if (slots == nullptr) {
-    slots = new Value[size_t{kBase} << k];
-    chunks_[k].store(slots, std::memory_order_release);
-  }
-  slots[id - kBase * ((1u << k) - 1)] = v;
-  ids_.emplace(v, id);
+  *SlotFor(id) = v;
+  stripe.ids.emplace(v, id);
   // Two value copies live per term (arena slot and id-map key, each with its
   // heap payload) plus the estimated map node; chunk slack is not metered.
   size_t added = 2 * v.ApproxBytes() + kMapNodeBytes;
   bytes_.fetch_add(added, std::memory_order_relaxed);
-  count_.store(next + 1, std::memory_order_release);
   return {id, added};
 }
 
 std::optional<uint32_t> TermDict::TryGetId(const Value& v) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = ids_.find(v);
-  if (it == ids_.end()) return std::nullopt;
+  Stripe& stripe = StripeFor(v);
+  std::shared_lock<std::shared_mutex> lock(stripe.mu);
+  auto it = stripe.ids.find(v);
+  if (it == stripe.ids.end()) return std::nullopt;
   return it->second;
 }
 
 uint32_t TermDict::IdOf(const Value& v) const {
-  std::shared_lock<std::shared_mutex> lock(mu_);
-  auto it = ids_.find(v);
-  return it == ids_.end() ? kNoTermId : it->second;
+  Stripe& stripe = StripeFor(v);
+  std::shared_lock<std::shared_mutex> lock(stripe.mu);
+  auto it = stripe.ids.find(v);
+  return it == stripe.ids.end() ? kNoTermId : it->second;
 }
 
 }  // namespace vqldb

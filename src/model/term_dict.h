@@ -6,9 +6,13 @@
 //
 // Reads are lock-free: Get(id) resolves through an append-only arena of
 // doubling chunks that never move once published, guarded only by acquire
-// loads. Id lookups by value (IdOf/TryGetId) take a shared lock — parallel
-// fixpoint tasks resolve probe keys concurrently — and Intern upgrades to an
-// exclusive lock only on a genuine miss (emit/merge phases and load time).
+// loads. The value→id map is striped by value hash so concurrent interning
+// (parallel shard recovery replaying disjoint journals, parallel fixpoint
+// emit phases) contends only within a stripe: IdOf/TryGetId take one
+// stripe's shared lock, and Intern upgrades to that stripe's exclusive lock
+// only on a genuine miss. Ids are allocated from a shared atomic counter;
+// a slot is always constructed before its id escapes the stripe lock, so
+// any id a reader legitimately holds is safe to Get().
 
 #ifndef VQLDB_MODEL_TERM_DICT_H_
 #define VQLDB_MODEL_TERM_DICT_H_
@@ -70,7 +74,8 @@ class TermDict {
     return slots[id - kBase * ((1u << k) - 1)];
   }
 
-  /// Number of interned terms.
+  /// Number of interned terms (report-only: concurrent interns may still be
+  /// constructing their slots, so this is not an iteration bound).
   size_t size() const { return count_.load(std::memory_order_acquire); }
 
   /// Estimated resident bytes of the dictionary (entries + hash map + value
@@ -80,11 +85,26 @@ class TermDict {
  private:
   static constexpr uint32_t kBase = 4096;  // capacity of chunk 0
   static constexpr uint32_t kNumChunks = 21;  // covers the full 32-bit space
+  static constexpr size_t kStripes = 64;  // power of two; chosen by hash
 
-  mutable std::shared_mutex mu_;
-  std::unordered_map<Value, uint32_t> ids_;  // guarded by mu_
+  struct Stripe {
+    mutable std::shared_mutex mu;
+    std::unordered_map<Value, uint32_t> ids;  // guarded by mu
+  };
+
+  Stripe& StripeFor(const Value& v) const {
+    return stripes_[std::hash<Value>{}(v) & (kStripes - 1)];
+  }
+
+  /// Ensures the chunk holding `id` exists and returns its slot pointer.
+  /// Lock-free: losers of the allocation race delete their copy.
+  Value* SlotFor(uint32_t id);
+
+  mutable Stripe stripes_[kStripes];
   // Chunk arrays are allocated at exact capacity and published with release
-  // stores; Get() only touches slots of ids < count_, constructed by then.
+  // stores. A slot is constructed before its id leaves the stripe lock, so
+  // every id obtained from the map (or from data a relation published) is
+  // safe to resolve.
   std::atomic<Value*> chunks_[kNumChunks] = {};
   std::atomic<size_t> count_{0};
   std::atomic<size_t> bytes_{0};

@@ -93,16 +93,34 @@ std::string Repl::Dispatch(const std::string& input) {
     if (!StartsWith(rest, "?-")) {
       return "usage: explain [analyze] ?- goal.\n";
     }
+    if (archive_ != nullptr) {
+      auto text = archive_->Explain(rest, analyze);
+      if (!text.ok()) return "error: " + text.status().ToString() + "\n";
+      return *text;
+    }
     DeadlineScope deadline(&session_, timeout_ms_);
     auto text = session_.Explain(rest, analyze);
     if (!text.ok()) return "error: " + text.status().ToString() + "\n";
     return *text;
   }
   if (StartsWith(trimmed, "?-")) {
+    if (archive_ != nullptr) {
+      ShardedArchive::QueryOptions qopts;
+      qopts.allow_partial = allow_partial_;
+      auto result = archive_->Query(trimmed, qopts);
+      if (!result.ok()) return "error: " + result.status().ToString() + "\n";
+      return result->ToString();
+    }
     DeadlineScope deadline(&session_, timeout_ms_);
     auto result = session_.Query(trimmed);
     if (!result.ok()) return "error: " + result.status().ToString() + "\n";
     return result->ToString(db_);
+  }
+  if (archive_ != nullptr) {
+    Status st = archive_->Apply(tenant_, std::string(trimmed));
+    if (!st.ok()) return "error: " + st.ToString() + "\n";
+    return "ok (tenant " + tenant_ + " -> shard " +
+           std::to_string(archive_->ShardIdFor(tenant_)) + ")\n";
   }
   Status st = session_.Load(trimmed);
   if (!st.ok()) return "error: " + st.ToString() + "\n";
@@ -402,7 +420,141 @@ std::string Repl::Meta(const std::string& command,
     journal_ = std::move(*journal);
     return "journaling data statements to " + path + "\n";
   }
+  if (command == ".archive") return ArchiveMeta(argument);
+  if (command == ".tenant") {
+    if (argument.empty()) {
+      std::string out = "tenant: " + tenant_;
+      if (archive_ != nullptr) {
+        out += " (shard " + std::to_string(archive_->ShardIdFor(tenant_)) +
+               ")";
+      }
+      return out + "\n";
+    }
+    tenant_ = argument;
+    std::string out = "tenant: " + tenant_;
+    if (archive_ != nullptr) {
+      out += " (shard " + std::to_string(archive_->ShardIdFor(tenant_)) + ")";
+    }
+    return out + "\n";
+  }
+  if (command == ".partial") {
+    if (argument.empty()) {
+      return std::string("partial answers: ") +
+             (allow_partial_ ? "on" : "off") + "\n";
+    }
+    if (argument == "on" || argument == "off") {
+      allow_partial_ = argument == "on";
+      return "partial answers: " + argument + "\n";
+    }
+    return "usage: .partial [on|off]\n";
+  }
+  if (command == ".shards") {
+    if (archive_ == nullptr) return "no archive attached (.archive open)\n";
+    return ListShards();
+  }
+  if (command == ".shard") return ShardMeta(argument);
   return "unknown command " + command + " (try .help)\n";
+}
+
+std::string Repl::ArchiveMeta(const std::string& argument) {
+  if (argument.empty()) {
+    if (archive_ == nullptr) {
+      return "no archive attached (usage: .archive open <dir> [shards])\n";
+    }
+    return "archive: " + archive_->root() + " (" +
+           std::to_string(archive_->shard_count()) + " shards)\n" +
+           ListShards();
+  }
+  std::string_view rest = argument;
+  if (rest == "close") {
+    if (archive_ == nullptr) return "no archive attached\n";
+    archive_.reset();
+    return "archive closed\n";
+  }
+  if (EatKeyword(&rest, "open")) {
+    if (rest.empty()) return "usage: .archive open <dir> [shards]\n";
+    size_t space = rest.find(' ');
+    std::string dir(Trim(rest.substr(0, space)));
+    ShardedArchive::Options aopts;
+    if (space != std::string_view::npos) {
+      int64_t n = 0;
+      std::string count(Trim(rest.substr(space + 1)));
+      if (!ParseNonNegativeInt(count, &n) || n < 1) {
+        return "usage: .archive open <dir> [shards]\n";
+      }
+      aopts.shard_count = static_cast<size_t>(n);
+    }
+    auto archive = ShardedArchive::Open(dir, std::move(aopts));
+    if (!archive.ok()) return "error: " + archive.status().ToString() + "\n";
+    archive_ = std::move(*archive);
+    return "archive " + dir + " open (" +
+           std::to_string(archive_->shard_count()) + " shards)\n" +
+           ListShards();
+  }
+  return "usage: .archive open <dir> [shards] | .archive close\n";
+}
+
+std::string Repl::ShardMeta(const std::string& argument) {
+  if (archive_ == nullptr) return "no archive attached (.archive open)\n";
+  const std::string usage =
+      "usage: .shard snapshot <id>|all | .shard kill <id> | "
+      ".shard recover <id>|all\n";
+  std::string_view rest = argument;
+  auto parse_id = [&](std::string_view arg, int64_t* id) {
+    return ParseNonNegativeInt(std::string(Trim(arg)), id) &&
+           static_cast<size_t>(*id) < archive_->shard_count();
+  };
+  if (EatKeyword(&rest, "snapshot")) {
+    if (rest == "all") {
+      Status st = archive_->SnapshotAll();
+      if (!st.ok()) return "error: " + st.ToString() + "\n";
+      return "all shards rotated to fresh snapshots\n";
+    }
+    int64_t id = 0;
+    if (!parse_id(rest, &id)) return usage;
+    Status st = archive_->SnapshotShard(static_cast<uint32_t>(id));
+    if (!st.ok()) return "error: " + st.ToString() + "\n";
+    return "shard " + std::to_string(id) + " rotated to generation " +
+           std::to_string(archive_->shard_generation(
+               static_cast<uint32_t>(id))) +
+           "\n";
+  }
+  if (EatKeyword(&rest, "kill")) {
+    int64_t id = 0;
+    if (!parse_id(rest, &id)) return usage;
+    archive_->KillShard(static_cast<uint32_t>(id));
+    return "shard " + std::to_string(id) + " killed (durable state intact; "
+           ".shard recover " + std::to_string(id) + " restores it)\n";
+  }
+  if (EatKeyword(&rest, "recover")) {
+    if (rest == "all") {
+      Status st = archive_->RecoverAll();
+      if (!st.ok()) return "error: " + st.ToString() + "\n";
+      return "recovery pass complete\n" + ListShards();
+    }
+    int64_t id = 0;
+    if (!parse_id(rest, &id)) return usage;
+    Status st = archive_->RecoverShard(static_cast<uint32_t>(id));
+    if (!st.ok()) return "error: " + st.ToString() + "\n";
+    return "shard " + std::to_string(id) + " recovered [" +
+           ShardedArchive::ShardStateName(
+               archive_->shard_state(static_cast<uint32_t>(id))) +
+           "]\n";
+  }
+  return usage;
+}
+
+std::string Repl::ListShards() const {
+  std::ostringstream os;
+  for (const ShardInfoRow& row : archive_->ShardInfo()) {
+    os << "  shard " << row.shard_id << " [" << row.state << "] "
+       << row.facts << " facts, replayed " << row.records_replayed
+       << ", dropped " << row.records_dropped << ", recoveries "
+       << row.recoveries;
+    if (!row.last_error.empty()) os << " — " << row.last_error;
+    os << "\n";
+  }
+  return os.str();
 }
 
 std::string Repl::Help() const {
@@ -443,6 +595,17 @@ std::string Repl::Help() const {
       "  .journal <path> [flush|fsync|batch]\n"
       "                    mirror data statements to a crash-safe log\n"
       "  .journal off      stop journaling (syncing any batched tail)\n"
+      "  .archive open <dir> [shards]\n"
+      "                    attach a sharded archive: statements route to the\n"
+      "                    tenant's shard, queries scatter-gather all shards\n"
+      "  .archive close    detach (back to the single in-memory database)\n"
+      "  .tenant <name>    routing key for subsequent data statements\n"
+      "  .partial [on|off] degraded-mode queries: answer from live shards\n"
+      "                    and mark the result PARTIAL (default: strict)\n"
+      "  .shards           per-shard health (also: ?- sys_shards(...).)\n"
+      "  .shard snapshot <id>|all   rotate to a fresh snapshot + empty journal\n"
+      "  .shard kill <id>           drop a shard's serving copy (recoverable)\n"
+      "  .shard recover <id>|all    re-run per-shard recovery\n"
       "  .clearbuf         discard a half-entered statement\n"
       "  .quit             leave\n";
 }

@@ -7,15 +7,16 @@
 #ifndef VQLDB_SHELL_REPL_H_
 #define VQLDB_SHELL_REPL_H_
 
+#include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
-
-#include <optional>
 
 #include "src/common/result.h"
 #include "src/engine/query.h"
 #include "src/model/database.h"
 #include "src/storage/journal.h"
+#include "src/storage/shard_store.h"
 
 namespace vqldb {
 
@@ -36,6 +37,18 @@ class Repl {
 
   QuerySession& session() { return session_; }
 
+  /// The sharded archive this shell is attached to (".archive open"),
+  /// nullptr in single-database mode. While attached, statements route to
+  /// the current tenant's shard and queries scatter-gather across shards.
+  ShardedArchive* archive() { return archive_.get(); }
+  /// Attaches an already-open archive (the vql tool's --archive flag).
+  void AttachArchive(std::unique_ptr<ShardedArchive> archive) {
+    archive_ = std::move(archive);
+  }
+  const std::string& tenant() const { return tenant_; }
+  bool allow_partial() const { return allow_partial_; }
+  void set_allow_partial(bool on) { allow_partial_ = on; }
+
   /// Per-query wall-clock budget in milliseconds (0 = none); every query /
   /// explain gets a fresh deadline of now + budget. Also ".timeout <ms>".
   void set_timeout_ms(int64_t ms) { timeout_ms_ = ms < 0 ? 0 : ms; }
@@ -44,6 +57,9 @@ class Repl {
  private:
   std::string Dispatch(const std::string& input);
   std::string Meta(const std::string& command, const std::string& argument);
+  std::string ArchiveMeta(const std::string& argument);
+  std::string ShardMeta(const std::string& argument);
+  std::string ListShards() const;
   std::string Help() const;
   std::string Stats() const;
   std::string Storage();
@@ -58,6 +74,9 @@ class Repl {
   QuerySession session_;
   std::string buffer_;
   std::optional<Journal> journal_;  // ".journal <path>" mirrors data statements
+  std::unique_ptr<ShardedArchive> archive_;  // ".archive open <dir>"
+  std::string tenant_ = "default";  // ".tenant <name>": routing key
+  bool allow_partial_ = false;      // ".partial on": degraded-mode answers
   std::string trace_path_;          // ".trace on <file>" destination
   int64_t timeout_ms_ = 0;          // ".timeout <ms>": 0 = no deadline
   bool done_ = false;

@@ -119,6 +119,18 @@ class PosixEnv : public Env {
     return Status::OK();
   }
 
+  Status CreateDir(const std::string& path) override {
+    std::error_code ec;
+    std::filesystem::create_directories(path, ec);
+    if (ec) {
+      return Status::IOError("mkdir " + path + ": " + ec.message());
+    }
+    if (!std::filesystem::is_directory(path, ec)) {
+      return Status::IOError("mkdir " + path + ": not a directory");
+    }
+    return Status::OK();
+  }
+
   Status SyncDir(const std::string& path_in_dir) override {
     std::filesystem::path p(path_in_dir);
     std::error_code ec;
@@ -193,7 +205,8 @@ class FaultInjectingFile : public WritableFile {
       : base_(std::move(base)), env_(env), path_(std::move(path)) {}
 
   Status Append(std::string_view data) override {
-    if (env_->ShouldInject(env_->options_.write_fault_p) && !data.empty()) {
+    if (env_->PathEligible(path_) &&
+        env_->ShouldInject(env_->options_.write_fault_p) && !data.empty()) {
       // Torn write: a prefix reaches the file, then the "crash". The prefix
       // length is seeded, so a fault schedule replays identically.
       size_t prefix = env_->rng_.UniformU64(data.size());
@@ -208,7 +221,8 @@ class FaultInjectingFile : public WritableFile {
   }
 
   Status Sync() override {
-    if (env_->ShouldInject(env_->options_.sync_fault_p)) {
+    if (env_->PathEligible(path_) &&
+        env_->ShouldInject(env_->options_.sync_fault_p)) {
       env_->CrashIfConfigured();
       return Status::IOError("injected fsync failure on " + path_);
     }
@@ -233,6 +247,11 @@ bool FaultInjectingEnv::ShouldInject(double p) {
   return true;
 }
 
+bool FaultInjectingEnv::PathEligible(const std::string& path) const {
+  return options_.path_substring.empty() ||
+         path.find(options_.path_substring) != std::string::npos;
+}
+
 void FaultInjectingEnv::CrashIfConfigured() {
   if (options_.crash_on_fault) {
     // _exit: no atexit handlers, no stdio flush — whatever the torn write
@@ -243,7 +262,7 @@ void FaultInjectingEnv::CrashIfConfigured() {
 
 Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewAppendableFile(
     const std::string& path) {
-  if (options_.fail_opens) {
+  if (options_.fail_opens && PathEligible(path)) {
     ++injected_faults_;
     return Status::IOError("injected open failure for " + path);
   }
@@ -255,7 +274,7 @@ Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewAppendableFile(
 
 Result<std::unique_ptr<WritableFile>> FaultInjectingEnv::NewTruncatedFile(
     const std::string& path) {
-  if (options_.fail_opens) {
+  if (options_.fail_opens && PathEligible(path)) {
     ++injected_faults_;
     return Status::IOError("injected open failure for " + path);
   }
@@ -281,6 +300,10 @@ Status FaultInjectingEnv::RenameFile(const std::string& from,
 
 Status FaultInjectingEnv::RemoveFile(const std::string& path) {
   return base_->RemoveFile(path);
+}
+
+Status FaultInjectingEnv::CreateDir(const std::string& path) {
+  return base_->CreateDir(path);
 }
 
 Status FaultInjectingEnv::SyncDir(const std::string& path_in_dir) {

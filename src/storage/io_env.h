@@ -66,6 +66,10 @@ class Env {
   virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
   virtual Status RemoveFile(const std::string& path) = 0;
 
+  /// Creates `path` and any missing parents (mkdir -p); OK if it already
+  /// exists as a directory. The caller SyncDirs the parent for durability.
+  virtual Status CreateDir(const std::string& path) = 0;
+
   /// fsyncs the directory containing `path_in_dir` (or the directory itself
   /// when the path is one), making completed renames/creates durable.
   virtual Status SyncDir(const std::string& path_in_dir) = 0;
@@ -89,6 +93,10 @@ struct FaultOptions {
   double sync_fault_p = 0.0;   // probability a Sync fails
   bool crash_on_fault = false; // _exit(kCrashExitCode) right after injecting
   bool fail_opens = false;     // every NewAppendableFile/NewTruncatedFile fails
+  /// When non-empty, faults inject only on paths containing this substring
+  /// (other paths pass straight through to the base env). The shard-kill
+  /// harness uses this to aim the fault schedule at one shard's files.
+  std::string path_substring;
 };
 
 class FaultInjectingEnv : public Env {
@@ -107,6 +115,7 @@ class FaultInjectingEnv : public Env {
   bool FileExists(const std::string& path) override;
   Status RenameFile(const std::string& from, const std::string& to) override;
   Status RemoveFile(const std::string& path) override;
+  Status CreateDir(const std::string& path) override;
   Status SyncDir(const std::string& path_in_dir) override;
 
   /// Faults injected so far (short writes + failed syncs + failed opens).
@@ -117,6 +126,9 @@ class FaultInjectingEnv : public Env {
 
   // Decides one trial; counts the fault when injected.
   bool ShouldInject(double p);
+
+  // True when `path` is eligible for fault injection (path_substring match).
+  bool PathEligible(const std::string& path) const;
 
   // When crash_on_fault is set, terminates the process without running
   // atexit handlers or flushing stdio — a genuine crash as far as the

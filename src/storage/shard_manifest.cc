@@ -1,0 +1,176 @@
+#include "src/storage/shard_manifest.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+#include <sstream>
+
+namespace vqldb {
+
+namespace {
+
+constexpr uint32_t kManifestMagic = 0x564d414eu;  // "NAMV" little-endian
+constexpr char kHeaderLine[] = "vqldb-shard-manifest v1";
+
+void PutU32(std::string* out, uint32_t v) {
+  char b[4];
+  b[0] = static_cast<char>(v & 0xff);
+  b[1] = static_cast<char>((v >> 8) & 0xff);
+  b[2] = static_cast<char>((v >> 16) & 0xff);
+  b[3] = static_cast<char>((v >> 24) & 0xff);
+  out->append(b, 4);
+}
+
+uint32_t GetU32(const char* p) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[1])) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[2])) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(p[3])) << 24;
+}
+
+// Directory names may not contain whitespace or path separators — they are
+// single components under the archive root.
+bool ValidDirName(const std::string& dir) {
+  if (dir.empty()) return false;
+  for (char c : dir) {
+    if (c == '/' || c == '\\' || std::isspace(static_cast<unsigned char>(c))) {
+      return false;
+    }
+  }
+  return dir != "." && dir != "..";
+}
+
+}  // namespace
+
+std::string ShardManifest::Serialize() const {
+  std::ostringstream payload;
+  payload << kHeaderLine << "\n";
+  payload << "shards " << entries.size() << "\n";
+  for (const ShardEntry& e : entries) {
+    payload << "shard " << e.shard_id << " " << e.dir << " " << e.generation
+            << "\n";
+  }
+  std::string body = payload.str();
+  std::string out;
+  out.reserve(body.size() + 12);
+  PutU32(&out, kManifestMagic);
+  PutU32(&out, static_cast<uint32_t>(body.size()));
+  PutU32(&out, Crc32c(body));
+  out += body;
+  return out;
+}
+
+Result<ShardManifest> ShardManifest::Deserialize(std::string_view bytes) {
+  if (bytes.size() < 12) {
+    return Status::Corruption("shard manifest: short frame (" +
+                              std::to_string(bytes.size()) + " bytes)");
+  }
+  if (GetU32(bytes.data()) != kManifestMagic) {
+    return Status::Corruption("shard manifest: bad magic");
+  }
+  const uint32_t len = GetU32(bytes.data() + 4);
+  const uint32_t crc = GetU32(bytes.data() + 8);
+  if (bytes.size() != 12u + len) {
+    return Status::Corruption("shard manifest: length mismatch (frame says " +
+                              std::to_string(len) + ", file has " +
+                              std::to_string(bytes.size() - 12) + ")");
+  }
+  std::string_view payload = bytes.substr(12, len);
+  if (Crc32c(payload) != crc) {
+    return Status::Corruption("shard manifest: CRC mismatch");
+  }
+
+  std::istringstream in{std::string(payload)};
+  std::string line;
+  if (!std::getline(in, line) || line != kHeaderLine) {
+    return Status::Corruption("shard manifest: missing or unknown header");
+  }
+  size_t declared = 0;
+  {
+    if (!std::getline(in, line)) {
+      return Status::Corruption("shard manifest: missing shard count");
+    }
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word >> declared) || word != "shards") {
+      return Status::Corruption("shard manifest: malformed shard count line '" +
+                                line + "'");
+    }
+  }
+  if (declared == 0) {
+    return Status::Corruption("shard manifest: empty manifest (zero shards)");
+  }
+
+  ShardManifest manifest;
+  std::vector<bool> seen(declared, false);
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string word;
+    ShardEntry entry;
+    if (!(ls >> word >> entry.shard_id >> entry.dir >> entry.generation) ||
+        word != "shard") {
+      return Status::Corruption("shard manifest: unknown entry '" + line + "'");
+    }
+    std::string extra;
+    if (ls >> extra) {
+      return Status::Corruption("shard manifest: trailing junk in entry '" +
+                                line + "'");
+    }
+    if (entry.shard_id >= declared) {
+      return Status::Corruption("shard manifest: unknown shard entry id " +
+                                std::to_string(entry.shard_id) + " (count " +
+                                std::to_string(declared) + ")");
+    }
+    if (seen[entry.shard_id]) {
+      return Status::Corruption("shard manifest: duplicate shard entry id " +
+                                std::to_string(entry.shard_id));
+    }
+    if (!ValidDirName(entry.dir)) {
+      return Status::Corruption("shard manifest: invalid shard directory '" +
+                                entry.dir + "'");
+    }
+    seen[entry.shard_id] = true;
+    manifest.entries.push_back(std::move(entry));
+  }
+  if (manifest.entries.size() != declared) {
+    return Status::Corruption(
+        "shard manifest: " + std::to_string(manifest.entries.size()) +
+        " entries for declared count " + std::to_string(declared));
+  }
+  std::sort(manifest.entries.begin(), manifest.entries.end(),
+            [](const ShardEntry& a, const ShardEntry& b) {
+              return a.shard_id < b.shard_id;
+            });
+  return manifest;
+}
+
+Status ShardManifest::Save(const std::string& path, Env* env) const {
+  if (env == nullptr) env = Env::Default();
+  const std::string bytes = Serialize();
+  const std::string tmp = path + ".tmp";
+  {
+    VQLDB_ASSIGN_OR_RETURN(std::unique_ptr<WritableFile> file,
+                           env->NewTruncatedFile(tmp));
+    VQLDB_RETURN_NOT_OK(file->Append(bytes));
+    VQLDB_RETURN_NOT_OK(file->Sync());
+    VQLDB_RETURN_NOT_OK(file->Close());
+  }
+  VQLDB_RETURN_NOT_OK(env->RenameFile(tmp, path));
+  return env->SyncDir(path);
+}
+
+Result<ShardManifest> ShardManifest::Load(const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  if (!env->FileExists(path)) {
+    return Status::NotFound("shard manifest " + path + " does not exist");
+  }
+  VQLDB_ASSIGN_OR_RETURN(std::string bytes, env->ReadFileToString(path));
+  Result<ShardManifest> manifest = Deserialize(bytes);
+  if (!manifest.ok()) {
+    return manifest.status().WithContext(path);
+  }
+  return manifest;
+}
+
+}  // namespace vqldb

@@ -1,0 +1,70 @@
+// ShardManifest: the root metadata of a sharded archive. One small file
+// (`MANIFEST`) at the archive root records the shard layout and, per shard,
+// the current snapshot/journal *generation* — the commit point of the
+// snapshot-rotate protocol (see shard_store.h). The manifest is the single
+// source of truth recovery trusts: a shard recovers from
+// `snapshot-<gen>.vqdb` + `journal-<gen>.wal` for the generation the
+// manifest names, and files of other generations are leftovers of an
+// interrupted rotation, ignored and garbage-collected.
+//
+// Framing mirrors the journal's torn-tail armor: one record
+//   [magic u32][payload length u32][crc32c(payload) u32][payload]
+// over a line-oriented text payload:
+//   vqldb-shard-manifest v1
+//   shards <count>
+//   shard <id> <dir> <generation>
+//   ...
+// Updates are atomic and durable: serialize to `path + ".tmp"`, fsync,
+// rename over `path`, fsync the directory — a crash leaves either the old
+// manifest or the new one, never a torn file.
+//
+// Load is strict: a missing file is NotFound (the caller decides whether to
+// create a fresh archive); a bad magic, short frame, CRC mismatch, zero
+// shard count, malformed or duplicate or out-of-range shard entry is
+// Corruption with a message naming the offense.
+
+#ifndef VQLDB_STORAGE_SHARD_MANIFEST_H_
+#define VQLDB_STORAGE_SHARD_MANIFEST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/storage/io_env.h"
+
+namespace vqldb {
+
+struct ShardEntry {
+  uint32_t shard_id = 0;
+  std::string dir;          // directory name relative to the archive root
+  uint64_t generation = 0;  // current snapshot/journal generation
+};
+
+class ShardManifest {
+ public:
+  /// Entries sorted by shard_id, one per shard, ids dense in [0, count).
+  std::vector<ShardEntry> entries;
+
+  size_t shard_count() const { return entries.size(); }
+
+  /// Serializes to the framed record (exposed for tests to craft corrupt
+  /// manifests byte-for-byte).
+  std::string Serialize() const;
+
+  /// Parses a framed record. Corruption on any structural violation.
+  static Result<ShardManifest> Deserialize(std::string_view bytes);
+
+  /// Atomic durable write: tmp + fsync + rename + dir-fsync. The previous
+  /// manifest survives any crash before the rename lands.
+  Status Save(const std::string& path, Env* env = nullptr) const;
+
+  /// Reads and parses the manifest. NotFound when the file does not exist;
+  /// Corruption on framing/CRC/structure violations.
+  static Result<ShardManifest> Load(const std::string& path,
+                                    Env* env = nullptr);
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_STORAGE_SHARD_MANIFEST_H_

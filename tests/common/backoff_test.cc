@@ -1,0 +1,133 @@
+#include "src/common/backoff.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace vqldb {
+namespace {
+
+TEST(BackoffTest, DeterministicUnderSeed) {
+  BackoffOptions options;
+  options.seed = 42;
+  Backoff a(options);
+  Backoff b(options);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(a.NextDelayMs(), b.NextDelayMs()) << "attempt " << i;
+  }
+}
+
+TEST(BackoffTest, DifferentSeedsDiverge) {
+  BackoffOptions a_opts;
+  a_opts.seed = 1;
+  BackoffOptions b_opts;
+  b_opts.seed = 2;
+  Backoff a(a_opts);
+  Backoff b(b_opts);
+  bool diverged = false;
+  for (int i = 0; i < 5 && !diverged; ++i) {
+    diverged = a.NextDelayMs() != b.NextDelayMs();
+  }
+  EXPECT_TRUE(diverged);
+}
+
+TEST(BackoffTest, ExponentialGrowthWithoutJitter) {
+  BackoffOptions options;
+  options.initial_ms = 10;
+  options.multiplier = 2.0;
+  options.jitter = 0.0;  // deterministic full delays
+  options.max_ms = 1000;
+  options.max_attempts = 0;
+  Backoff backoff(options);
+  EXPECT_EQ(backoff.NextDelayMs(), 10u);
+  EXPECT_EQ(backoff.NextDelayMs(), 20u);
+  EXPECT_EQ(backoff.NextDelayMs(), 40u);
+  EXPECT_EQ(backoff.NextDelayMs(), 80u);
+}
+
+TEST(BackoffTest, CapsAtMax) {
+  BackoffOptions options;
+  options.initial_ms = 100;
+  options.multiplier = 10.0;
+  options.jitter = 0.0;
+  options.max_ms = 250;
+  options.max_attempts = 0;
+  Backoff backoff(options);
+  EXPECT_EQ(backoff.NextDelayMs(), 100u);
+  EXPECT_EQ(backoff.NextDelayMs(), 250u);
+  EXPECT_EQ(backoff.NextDelayMs(), 250u);
+}
+
+TEST(BackoffTest, JitterStaysWithinBand) {
+  BackoffOptions options;
+  options.initial_ms = 1000;
+  options.multiplier = 1.0;  // constant base so the band is easy to check
+  options.jitter = 0.5;      // delays land in [500, 1000]
+  options.max_ms = 1000;
+  options.max_attempts = 0;
+  options.seed = 7;
+  Backoff backoff(options);
+  for (int i = 0; i < 100; ++i) {
+    uint64_t delay = backoff.NextDelayMs();
+    EXPECT_GE(delay, 500u);
+    EXPECT_LE(delay, 1000u);
+  }
+}
+
+TEST(BackoffTest, MaxAttemptsBoundsRetries) {
+  BackoffOptions options;
+  options.max_attempts = 3;
+  Backoff backoff(options);
+  EXPECT_TRUE(backoff.ShouldRetry());
+  backoff.NextDelayMs();
+  EXPECT_TRUE(backoff.ShouldRetry());
+  backoff.NextDelayMs();
+  EXPECT_TRUE(backoff.ShouldRetry());
+  backoff.NextDelayMs();
+  EXPECT_FALSE(backoff.ShouldRetry());
+  EXPECT_EQ(backoff.attempts(), 3u);
+}
+
+TEST(BackoffTest, ZeroMaxAttemptsIsUnlimited) {
+  BackoffOptions options;
+  options.max_attempts = 0;
+  Backoff backoff(options);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(backoff.ShouldRetry());
+    backoff.NextDelayMs();
+  }
+  EXPECT_TRUE(backoff.ShouldRetry());
+}
+
+TEST(BackoffTest, ResetRestartsScheduleButNotJitterStream) {
+  BackoffOptions options;
+  options.initial_ms = 10;
+  options.multiplier = 2.0;
+  options.jitter = 0.0;
+  options.max_attempts = 2;
+  Backoff backoff(options);
+  backoff.NextDelayMs();
+  backoff.NextDelayMs();
+  EXPECT_FALSE(backoff.ShouldRetry());
+  backoff.Reset();
+  EXPECT_TRUE(backoff.ShouldRetry());
+  EXPECT_EQ(backoff.attempts(), 0u);
+  EXPECT_EQ(backoff.NextDelayMs(), 10u);  // schedule restarts at initial
+}
+
+TEST(BackoffTest, ClampsDegenerateOptions) {
+  BackoffOptions options;
+  options.multiplier = 0.25;  // clamped to 1.0
+  options.jitter = 3.0;       // clamped to 1.0
+  options.initial_ms = 100;
+  options.max_ms = 1;  // clamped up to initial
+  Backoff backoff(options);
+  EXPECT_GE(backoff.options().multiplier, 1.0);
+  EXPECT_LE(backoff.options().jitter, 1.0);
+  EXPECT_GE(backoff.options().max_ms, backoff.options().initial_ms);
+  uint64_t delay = backoff.NextDelayMs();
+  EXPECT_LE(delay, 100u);  // never above the (clamped) cap
+}
+
+}  // namespace
+}  // namespace vqldb

@@ -260,5 +260,132 @@ TEST_F(ReplTest, CacheCommandReportsTogglesAndClears) {
   EXPECT_EQ(repl_.Execute(".cache on"), "query cache: on\n");
 }
 
+class ReplArchiveTest : public ReplTest {
+ protected:
+  void SetUp() override {
+    dir_ = ::testing::TempDir() + "/repl_archive_" +
+           ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  std::string dir_;
+};
+
+TEST_F(ReplArchiveTest, OpenRouteQueryAndClose) {
+  EXPECT_NE(repl_.Execute(".archive"), "");  // usage hint, not a crash
+  std::string out = repl_.Execute(".archive open " + dir_ + " 2");
+  EXPECT_NE(out.find("archive " + dir_ + " open (2 shards)"),
+            std::string::npos)
+      << out;
+
+  // Statements route through the archive under the active tenant.
+  out = repl_.Execute(".tenant alice");
+  EXPECT_NE(out.find("tenant: alice (shard "), std::string::npos);
+  out = repl_.Execute("object a1 { }.");
+  EXPECT_NE(out.find("ok (tenant alice -> shard "), std::string::npos);
+  EXPECT_EQ(repl_.Execute("tagged(a1)."),
+            out);  // same tenant, same shard
+  repl_.Execute(".tenant bob");
+  EXPECT_NE(repl_.Execute("object b1 { }.")
+                .find("ok (tenant bob -> shard "),
+            std::string::npos);
+  repl_.Execute("tagged(b1).");
+
+  // Queries scatter-gather over every shard.
+  out = repl_.Execute("?- tagged(X).");
+  EXPECT_NE(out.find("2 answers"), std::string::npos) << out;
+  EXPECT_NE(out.find("a1"), std::string::npos);
+  EXPECT_NE(out.find("b1"), std::string::npos);
+
+  // Shard introspection.
+  out = repl_.Execute(".shards");
+  EXPECT_NE(out.find("shard 0 [healthy]"), std::string::npos) << out;
+  EXPECT_NE(out.find("shard 1 [healthy]"), std::string::npos);
+
+  EXPECT_EQ(repl_.Execute(".archive close"), "archive closed\n");
+  // Back to plain single-database mode.
+  EXPECT_EQ(repl_.Execute("object local { }."), "ok\n");
+}
+
+TEST_F(ReplArchiveTest, KilledShardStrictThenPartialThenRecovered) {
+  repl_.Execute(".archive open " + dir_ + " 2");
+  repl_.Execute(".tenant alice");
+  repl_.Execute("object a1 { }.");
+  repl_.Execute("tagged(a1).");
+  repl_.Execute(".tenant bob");
+  repl_.Execute("object b1 { }.");
+  repl_.Execute("tagged(b1).");
+
+  // Kill the shard alice's data lives on, whichever one routing picked.
+  ASSERT_NE(repl_.archive(), nullptr);
+  const uint32_t dead = repl_.archive()->ShardIdFor("alice");
+  const std::string dead_str = std::to_string(dead);
+  std::string out = repl_.Execute(".shard kill " + dead_str);
+  EXPECT_NE(out.find("shard " + dead_str + " killed"), std::string::npos);
+
+  // Strict (default): the query refuses rather than answering silently
+  // incompletely.
+  out = repl_.Execute("?- tagged(X).");
+  EXPECT_NE(out.find("error:"), std::string::npos) << out;
+  EXPECT_NE(out.find("unavailable"), std::string::npos) << out;
+
+  // Opt-in partial answers are marked and carry the gap report.
+  EXPECT_EQ(repl_.Execute(".partial on"), "partial answers: on\n");
+  out = repl_.Execute("?- tagged(X).");
+  EXPECT_NE(out.find("PARTIAL"), std::string::npos) << out;
+  EXPECT_NE(out.find("1 answer"), std::string::npos);
+  EXPECT_NE(out.find("missing shard " + dead_str), std::string::npos);
+
+  // Writes to the dead shard refuse; sys_shards shows the failure.
+  repl_.Execute(".tenant alice");
+  out = repl_.Execute("object a2 { }.");
+  EXPECT_NE(out.find("error:"), std::string::npos);
+  out = repl_.Execute("?- sys_shards(S, St, F, R, D, Rec, E).");
+  EXPECT_NE(out.find("failed"), std::string::npos) << out;
+
+  out = repl_.Execute(".shard recover " + dead_str);
+  EXPECT_NE(out.find("shard " + dead_str + " recovered [healthy]"),
+            std::string::npos)
+      << out;
+  EXPECT_EQ(repl_.Execute(".partial off"), "partial answers: off\n");
+  out = repl_.Execute("?- tagged(X).");
+  EXPECT_NE(out.find("2 answers"), std::string::npos) << out;
+}
+
+TEST_F(ReplArchiveTest, SnapshotRotatesAndExplainShowsShards) {
+  repl_.Execute(".archive open " + dir_ + " 2");
+  repl_.Execute(".tenant alice");
+  repl_.Execute("object a1 { }.");
+  std::string out = repl_.Execute(".shard snapshot all");
+  EXPECT_EQ(out, "all shards rotated to fresh snapshots\n");
+  out = repl_.Execute("explain analyze ?- Entity(X).");
+  EXPECT_NE(out.find("sharded archive:"), std::string::npos) << out;
+  EXPECT_NE(out.find("scatter-gather"), std::string::npos);
+}
+
+TEST_F(ReplArchiveTest, ArchivePersistsAcrossReopen) {
+  repl_.Execute(".archive open " + dir_ + " 2");
+  repl_.Execute(".tenant alice");
+  repl_.Execute("object a1 { }.");
+  repl_.Execute("tagged(a1).");
+  repl_.Execute(".archive close");
+
+  VideoDatabase fresh;
+  Repl other(&fresh);
+  other.Execute(".archive open " + dir_);
+  std::string out = other.Execute("?- tagged(X).");
+  EXPECT_NE(out.find("1 answer"), std::string::npos) << out;
+  EXPECT_NE(out.find("a1"), std::string::npos);
+}
+
+TEST_F(ReplArchiveTest, HelpMentionsArchiveCommands) {
+  std::string help = repl_.Execute(".help");
+  for (const char* cmd :
+       {".archive", ".tenant", ".partial", ".shards", ".shard"}) {
+    EXPECT_NE(help.find(cmd), std::string::npos) << cmd;
+  }
+}
+
 }  // namespace
 }  // namespace vqldb

@@ -15,6 +15,27 @@
 //   crash_test [--iterations=50] [--seed=1 | --seed=1..5]
 //              [--statements=120] [--dir=/tmp/...]
 //
+// With --kill-shard the gauntlet runs against a ShardedArchive instead: the
+// child applies a multi-tenant workload with the fault schedule aimed at ONE
+// victim shard's files (FaultOptions::path_substring) and dies at an injected
+// fault. The parent then reopens the archive and asserts the fault-isolation
+// contract:
+//
+//   1. the archive opens whatever the crash left (per-shard recovery
+//      isolates; it never fails the whole archive),
+//   2. healthy shards serve (partial) answers while the victim recovers,
+//   3. every unaffected shard is byte-identical to a reference replay of
+//      exactly its acknowledged statements,
+//   4. the victim holds a prefix of its stream no shorter than its
+//      acknowledged count — no fsync-acked fact is ever lost,
+//   5. on poisoned iterations (a CRC-valid but foreign record appended to
+//      the victim's journal) the victim fails permanently: strict queries
+//      refuse with Unavailable and partial queries are marked PARTIAL —
+//      never a silently complete answer.
+//
+//   crash_test --kill-shard [--iterations=250] [--seed=A[..B]]
+//              [--statements=120] [--shards=3] [--dir=/tmp/...]
+//
 // Exit code 0 iff every iteration of every seed holds the contract.
 
 #include <sys/stat.h>
@@ -29,12 +50,19 @@
 #include <string>
 #include <vector>
 
+#include <atomic>
+#include <condition_variable>
+#include <fstream>
+#include <mutex>
+#include <thread>
+
 #include "src/common/rng.h"
 #include "src/common/string_util.h"
 #include "src/model/database.h"
 #include "src/storage/binary_format.h"
 #include "src/storage/io_env.h"
 #include "src/storage/journal.h"
+#include "src/storage/shard_store.h"
 #include "src/storage/text_format.h"
 
 namespace vqldb {
@@ -96,7 +124,311 @@ struct Flags {
   uint64_t seed_lo = 1, seed_hi = 1;
   size_t statements = 120;
   std::string dir;
+  bool kill_shard = false;
+  size_t shards = 3;
 };
+
+// ---------------------------------------------------------------------------
+// --kill-shard mode
+// ---------------------------------------------------------------------------
+
+// One tenant per shard, found by probing the exported routing hash — the
+// child and the parent derive the same mapping independently.
+std::vector<std::string> TenantsPerShard(size_t shard_count) {
+  std::vector<std::string> tenants(shard_count);
+  std::vector<bool> found(shard_count, false);
+  size_t remaining = shard_count;
+  for (int i = 0; remaining > 0; ++i) {
+    std::string tenant = "tenant" + std::to_string(i);
+    size_t shard = static_cast<size_t>(TenantHash(tenant) % shard_count);
+    if (!found[shard]) {
+      found[shard] = true;
+      tenants[shard] = tenant;
+      --remaining;
+    }
+  }
+  return tenants;
+}
+
+// The deterministic multi-tenant workload: statements round-robin over the
+// shards; symbols are shard-local ("s<shard>o<k>") so each shard's stream
+// replays independently.
+struct ShardStatement {
+  size_t shard = 0;
+  std::string text;
+};
+
+std::vector<ShardStatement> MakeShardStatements(uint64_t seed, size_t count,
+                                                size_t shard_count) {
+  Rng rng(seed ^ 0x5157ACE5157ACE51ULL);
+  std::vector<size_t> objects(shard_count, 0);
+  std::vector<ShardStatement> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    size_t shard = i % shard_count;
+    std::string prefix = "s" + std::to_string(shard) + "o";
+    ShardStatement statement;
+    statement.shard = shard;
+    if (objects[shard] == 0 || rng.Bernoulli(0.4)) {
+      statement.text = "object " + prefix + std::to_string(objects[shard]) +
+                       " { idx: " + std::to_string(i) + " }.";
+      ++objects[shard];
+    } else {
+      size_t target = rng.UniformU64(objects[shard]);
+      statement.text = "touched(" + prefix + std::to_string(target) + ", " +
+                       std::to_string(i) + ").";
+    }
+    out.push_back(std::move(statement));
+  }
+  return out;
+}
+
+// Child body: apply the workload through an archive whose fault schedule is
+// aimed at the victim shard's files. Each acknowledged statement grows that
+// shard's ack file by one fsynced byte.
+int RunShardWriterChild(const std::string& root, uint64_t fault_seed,
+                        size_t shard_count, size_t victim,
+                        const std::vector<ShardStatement>& statements,
+                        const std::vector<std::string>& tenants) {
+  FaultOptions faults;
+  faults.seed = fault_seed;
+  faults.write_fault_p = 0.05;
+  faults.sync_fault_p = 0.02;
+  faults.crash_on_fault = true;
+  faults.path_substring = "shard_" + std::to_string(victim) + "/";
+  FaultInjectingEnv env(Env::Default(), faults);
+
+  ShardedArchive::Options options;
+  options.shard_count = shard_count;
+  options.env = &env;
+  options.durability = Journal::Durability::kFsync;
+  auto archive = ShardedArchive::Open(root, std::move(options));
+  if (!archive.ok()) return 3;
+
+  std::vector<std::unique_ptr<WritableFile>> acks;
+  for (size_t s = 0; s < shard_count; ++s) {
+    auto ack = Env::Default()->NewAppendableFile(root + "/acked_" +
+                                                 std::to_string(s));
+    if (!ack.ok()) return 3;
+    acks.push_back(std::move(*ack));
+  }
+
+  for (const ShardStatement& statement : statements) {
+    if (!(*archive)->Apply(tenants[statement.shard], statement.text).ok()) {
+      return 2;  // non-crash fault (e.g. the shard degraded under us)
+    }
+    // Acknowledge only after the fsynced apply returned OK.
+    if (!acks[statement.shard]->Append("a").ok() ||
+        !acks[statement.shard]->Sync().ok()) {
+      return 2;
+    }
+  }
+  return 0;
+}
+
+size_t AckedCount(const std::string& root, size_t shard) {
+  struct stat st;
+  std::string path = root + "/acked_" + std::to_string(shard);
+  return ::stat(path.c_str(), &st) == 0 ? static_cast<size_t>(st.st_size) : 0;
+}
+
+Result<std::string> ReferenceBytes(
+    const std::vector<ShardStatement>& statements, size_t shard,
+    size_t prefix) {
+  VideoDatabase reference;
+  size_t applied = 0;
+  for (const ShardStatement& statement : statements) {
+    if (statement.shard != shard) continue;
+    if (applied == prefix) break;
+    VQLDB_ASSIGN_OR_RETURN(LoadedProgram loaded,
+                           TextFormat::Load(statement.text, &reference));
+    (void)loaded;
+    ++applied;
+  }
+  if (applied < prefix) {
+    return Status::InvalidArgument("prefix longer than the shard's stream");
+  }
+  return BinaryFormat::Serialize(reference);
+}
+
+// One fork / kill-one-shard / recover cycle.
+bool RunKillShardIteration(const std::string& dir, uint64_t seed,
+                           size_t iteration, size_t statement_count,
+                           size_t shard_count, size_t* crashes,
+                           size_t* poisoned_runs) {
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  const uint64_t fault_seed = seed * 1000003ULL + iteration;
+  const size_t victim = static_cast<size_t>((seed + iteration) % shard_count);
+  const std::vector<std::string> tenants = TenantsPerShard(shard_count);
+  const std::vector<ShardStatement> statements =
+      MakeShardStatements(seed * 7919ULL + iteration, statement_count,
+                          shard_count);
+  auto fail = [&](const char* what) {
+    std::fprintf(stderr, "kill-shard seed %llu iter %zu (victim %zu): %s\n",
+                 (unsigned long long)seed, iteration, victim, what);
+    return false;
+  };
+
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    std::perror("fork");
+    return false;
+  }
+  if (pid == 0) {
+    ::_exit(RunShardWriterChild(dir, fault_seed, shard_count, victim,
+                                statements, tenants));
+  }
+  int wstatus = 0;
+  if (::waitpid(pid, &wstatus, 0) != pid) {
+    std::perror("waitpid");
+    return false;
+  }
+  if (!WIFEXITED(wstatus)) return fail("child died abnormally");
+  int child_code = WEXITSTATUS(wstatus);
+  if (child_code == FaultInjectingEnv::kCrashExitCode) ++*crashes;
+  if (child_code != 0 && child_code != 2 &&
+      child_code != FaultInjectingEnv::kCrashExitCode) {
+    return fail("child setup failure");
+  }
+
+  std::vector<size_t> acked(shard_count);
+  std::vector<size_t> sent(shard_count, 0);
+  for (size_t s = 0; s < shard_count; ++s) acked[s] = AckedCount(dir, s);
+  for (const ShardStatement& statement : statements) ++sent[statement.shard];
+
+  // Every fifth iteration: poison the victim's journal with a CRC-valid
+  // record no writer would produce (a rule). Replay must treat it as
+  // corruption, not a torn tail, so the victim fails permanently.
+  const bool poisoned = iteration % 5 == 4;
+  if (poisoned) {
+    ++*poisoned_runs;
+    const std::string journal_path =
+        dir + "/shard_" + std::to_string(victim) + "/journal-0.wal";
+    // The crash may have left a torn tail; replay stops there and would
+    // never reach a record appended after it. Trim to the valid prefix so
+    // the poison record is what replay actually meets.
+    VideoDatabase scratch;
+    auto replayed = Journal::Replay(journal_path, &scratch);
+    if (replayed.ok() && replayed->bytes_dropped > 0) {
+      std::error_code ec;
+      uintmax_t size = std::filesystem::file_size(journal_path, ec);
+      if (!ec) {
+        std::filesystem::resize_file(journal_path,
+                                     size - replayed->bytes_dropped, ec);
+      }
+    }
+    std::ofstream raw(journal_path, std::ios::binary | std::ios::app);
+    std::string record = Journal::FrameRecord("p(X) <- q(X).");
+    raw.write(record.data(), static_cast<std::streamsize>(record.size()));
+  }
+
+  // Contract 1: the archive opens; recovery failures isolate per shard.
+  // The recovery hook pins the victim so we can observe contract 2.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool victim_entered = false;
+  bool release = false;
+  ShardedArchive::Options options;
+  options.shard_count = shard_count;
+  options.backoff.max_attempts = 1;
+  options.backoff.initial_ms = 1;
+  options.sleep_between_retries = false;
+  options.recovery_threads = shard_count;
+  options.defer_recovery = true;
+  options.recovery_hook = [&](uint32_t shard_id) {
+    if (shard_id != victim) return;
+    std::unique_lock<std::mutex> lock(mu);
+    victim_entered = true;
+    cv.notify_all();
+    cv.wait(lock, [&] { return release; });
+  };
+  auto opened = ShardedArchive::Open(dir, std::move(options));
+  if (!opened.ok()) return fail("archive open failed");
+  ShardedArchive& archive = **opened;
+
+  std::thread recovery([&] { (void)archive.RecoverAll(); });
+  {
+    std::unique_lock<std::mutex> lock(mu);
+    cv.wait(lock, [&] { return victim_entered; });
+  }
+  for (size_t s = 0; s < shard_count; ++s) {
+    if (s == victim) continue;
+    while (archive.shard_state(static_cast<uint32_t>(s)) !=
+           ShardedArchive::ShardState::kHealthy) {
+      std::this_thread::yield();
+    }
+  }
+
+  // Contract 2: healthy shards answer (marked partial) while the victim is
+  // still recovering.
+  ShardedArchive::QueryOptions partial_opts;
+  partial_opts.allow_partial = true;
+  auto during = archive.Query("?- touched(X, I).", partial_opts);
+  bool during_ok = during.ok() && during->partial &&
+                   during->shards_answered == shard_count - 1;
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  recovery.join();
+  if (!during_ok) return fail("healthy shards did not serve during recovery");
+
+  // Contracts 3 + 4: unaffected shards hold exactly their acked stream;
+  // the victim holds a prefix in [acked, sent].
+  for (size_t s = 0; s < shard_count; ++s) {
+    const uint32_t id = static_cast<uint32_t>(s);
+    if (s == victim && poisoned) {
+      if (archive.shard_state(id) != ShardedArchive::ShardState::kFailed) {
+        return fail("poisoned victim did not fail");
+      }
+      continue;
+    }
+    if (archive.shard_state(id) != ShardedArchive::ShardState::kHealthy) {
+      return fail("shard did not recover to healthy");
+    }
+    auto recovered_bytes = BinaryFormat::Serialize(*archive.shard_db(id));
+    if (!recovered_bytes.ok()) return fail("serialize failed");
+    if (s != victim) {
+      auto expect = ReferenceBytes(statements, s, acked[s]);
+      if (!expect.ok() || *expect != *recovered_bytes) {
+        return fail("unaffected shard diverges from its acked stream");
+      }
+    } else {
+      bool matched = false;
+      for (size_t m = acked[s]; m <= sent[s] && !matched; ++m) {
+        auto expect = ReferenceBytes(statements, s, m);
+        if (expect.ok() && *expect == *recovered_bytes) matched = true;
+      }
+      if (!matched) {
+        return fail("victim is not a >=acked prefix of its stream "
+                    "(acked data lost or foreign data surfaced)");
+      }
+    }
+  }
+
+  // Contract 5: with a failed shard, strict queries refuse and partial
+  // queries are marked — never a silently complete answer.
+  if (poisoned) {
+    auto strict = archive.Query("?- touched(X, I).");
+    if (strict.ok() || !strict.status().IsUnavailable()) {
+      return fail("strict query on a failed shard did not refuse");
+    }
+    auto partial = archive.Query("?- touched(X, I).", partial_opts);
+    if (!partial.ok() || !partial->partial) {
+      return fail("partial query on a failed shard was not marked");
+    }
+    bool victim_reported = false;
+    for (const auto& report : partial->reports) {
+      if (report.shard_id == victim && !report.error.empty()) {
+        victim_reported = true;
+      }
+    }
+    if (!victim_reported) return fail("failed shard missing from the report");
+  }
+  return true;
+}
 
 bool ParseFlags(int argc, char** argv, Flags* flags) {
   for (int i = 1; i < argc; ++i) {
@@ -111,6 +443,11 @@ bool ParseFlags(int argc, char** argv, Flags* flags) {
       flags->statements = static_cast<size_t>(std::strtoul(v, nullptr, 10));
     } else if (const char* v = value_of("--dir=")) {
       flags->dir = v;
+    } else if (arg == "--kill-shard") {
+      flags->kill_shard = true;
+    } else if (const char* v = value_of("--shards=")) {
+      flags->shards = static_cast<size_t>(std::strtoul(v, nullptr, 10));
+      if (flags->shards < 2) return false;  // need healthy shards to isolate
     } else if (const char* v = value_of("--seed=")) {
       const char* dots = std::strstr(v, "..");
       char* end = nullptr;
@@ -266,19 +603,25 @@ int main(int argc, char** argv) {
   Flags flags;
   if (!ParseFlags(argc, argv, &flags)) {
     std::fprintf(stderr,
-                 "usage: crash_test [--iterations=N] [--seed=A[..B]] "
-                 "[--statements=M] [--dir=path]\n");
+                 "usage: crash_test [--kill-shard] [--iterations=N] "
+                 "[--seed=A[..B]] [--statements=M] [--shards=S] "
+                 "[--dir=path]\n");
     return 1;
   }
   if (flags.dir.empty()) {
     flags.dir = "/tmp/vqldb_crash_test_" + std::to_string(::getpid());
   }
 
-  size_t total = 0, crashes = 0, truncations = 0;
+  size_t total = 0, crashes = 0, truncations = 0, poisoned = 0;
   for (uint64_t seed = flags.seed_lo; seed <= flags.seed_hi; ++seed) {
     for (size_t i = 0; i < flags.iterations; ++i) {
-      if (!RunIteration(flags.dir, seed, i, flags.statements, &crashes,
-                        &truncations)) {
+      bool ok = flags.kill_shard
+                    ? RunKillShardIteration(flags.dir, seed, i,
+                                            flags.statements, flags.shards,
+                                            &crashes, &poisoned)
+                    : RunIteration(flags.dir, seed, i, flags.statements,
+                                   &crashes, &truncations);
+      if (!ok) {
         std::fprintf(stderr, "crash_test: FAILED (seed %llu iteration %zu)\n",
                      (unsigned long long)seed, i);
         return 1;
@@ -287,10 +630,19 @@ int main(int argc, char** argv) {
     }
   }
   std::filesystem::remove_all(flags.dir);
-  std::printf(
-      "crash_test: OK (%zu iterations, seeds %llu..%llu, %zu injected "
-      "crashes, %zu torn tails truncated, 0 acknowledged statements lost)\n",
-      total, (unsigned long long)flags.seed_lo,
-      (unsigned long long)flags.seed_hi, crashes, truncations);
+  if (flags.kill_shard) {
+    std::printf(
+        "crash_test --kill-shard: OK (%zu iterations, seeds %llu..%llu, "
+        "%zu shards, %zu injected crashes, %zu poisoned recoveries isolated, "
+        "0 acknowledged statements lost)\n",
+        total, (unsigned long long)flags.seed_lo,
+        (unsigned long long)flags.seed_hi, flags.shards, crashes, poisoned);
+  } else {
+    std::printf(
+        "crash_test: OK (%zu iterations, seeds %llu..%llu, %zu injected "
+        "crashes, %zu torn tails truncated, 0 acknowledged statements lost)\n",
+        total, (unsigned long long)flags.seed_lo,
+        (unsigned long long)flags.seed_hi, crashes, truncations);
+  }
   return 0;
 }

@@ -2,7 +2,10 @@
 // runs (tools/verify.sh, CI) can assert the files are well-formed instead of
 // merely present.
 //
-//   obs_check metrics <file>   metrics JSON snapshot (--metrics-out)
+//   obs_check metrics <file> [--require=<name>]...
+//                              metrics JSON snapshot (--metrics-out); each
+//                              --require'd metric must exist as a counter,
+//                              gauge, or histogram
 //   obs_check trace <file>     Chrome trace_event JSON (--trace-out); must
 //                              contain at least one complete event
 //   obs_check slowlog <file>   slow-query log JSON (--slowlog-out): required
@@ -15,6 +18,7 @@
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "src/obs/json_lite.h"
 #include "src/obs/metrics.h"
@@ -24,16 +28,40 @@
 namespace {
 
 int Usage() {
-  std::cerr << "usage: obs_check metrics|trace|slowlog <file>\n";
+  std::cerr << "usage: obs_check metrics <file> [--require=<name>]...\n"
+            << "       obs_check trace|slowlog <file>\n";
   return 2;
+}
+
+bool MetricsSnapshotHas(const vqldb::obs::JsonValue& doc,
+                        const std::string& name) {
+  for (const char* section : {"counters", "gauges", "histograms"}) {
+    const vqldb::obs::JsonValue* group = doc.Find(section);
+    if (group == nullptr) continue;
+    for (const auto& [metric, value] : group->object) {
+      (void)value;
+      if (metric == name) return true;
+    }
+  }
+  return false;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc != 3) return Usage();
+  if (argc < 3) return Usage();
   std::string mode = argv[1];
   std::string path = argv[2];
+  std::vector<std::string> required;
+  for (int i = 3; i < argc; ++i) {
+    std::string arg = argv[i];
+    const std::string prefix = "--require=";
+    if (mode != "metrics" || arg.rfind(prefix, 0) != 0 ||
+        arg.size() == prefix.size()) {
+      return Usage();
+    }
+    required.push_back(arg.substr(prefix.size()));
+  }
 
   std::ifstream file(path);
   if (!file) {
@@ -50,7 +78,28 @@ int main(int argc, char** argv) {
       std::cerr << "obs_check: " << path << ": " << error << "\n";
       return 1;
     }
-    std::cout << "ok: " << path << " is a valid metrics snapshot\n";
+    vqldb::obs::JsonValue doc;
+    if (!vqldb::obs::ParseJson(text, &doc, &error)) {
+      std::cerr << "obs_check: " << path << ": " << error << "\n";
+      return 1;
+    }
+    std::vector<std::string> missing;
+    for (const std::string& name : required) {
+      if (!MetricsSnapshotHas(doc, name)) missing.push_back(name);
+    }
+    if (!missing.empty()) {
+      std::cerr << "obs_check: " << path << ": missing required metric";
+      if (missing.size() > 1) std::cerr << "s";
+      for (const std::string& name : missing) std::cerr << " " << name;
+      std::cerr << "\n";
+      return 1;
+    }
+    std::cout << "ok: " << path << " is a valid metrics snapshot";
+    if (!required.empty()) {
+      std::cout << " (" << required.size() << " required metric"
+                << (required.size() > 1 ? "s" : "") << " present)";
+    }
+    std::cout << "\n";
     return 0;
   }
 

@@ -28,15 +28,27 @@
 #    a sys_queries goal containing its own earlier query's fingerprint,
 #    print slow-log entries via .slowlog, and emit a --slowlog-out JSON
 #    that tools/obs_check validates.
+# 6c. Shard smoke: a scripted `vql --archive` session writes through two
+#    tenants, kills a shard, sees a marked-PARTIAL degraded answer, recovers
+#    the shard, sees the full answer again, and lists sys_shards; the
+#    --metrics-out snapshot must then contain the per-shard state gauge and
+#    the recoveries counter (obs_check --require=).
+# 6d. Shard crash gauntlet: tools/crash_test --kill-shard aims injected
+#    faults at one shard's files across 25 seeded iterations and asserts
+#    fault isolation — unaffected shards byte-identical to a reference
+#    replay, the victim a prefix of its acked stream, poisoned journals
+#    quarantined to strict-Unavailable / marked-partial answers.
 # 7. Configure + build with -DVQLDB_SANITIZE=address and run the governance,
-#    dictionary, and columnar tests under ASan (the budget hierarchy moves
-#    ownership across queries, caches, and rollbacks; the dictionary arena
-#    and segment seal/merge paths juggle raw pointers — exactly where
-#    lifetime bugs would live).
+#    dictionary, columnar, and shard tests under ASan (the budget hierarchy
+#    moves ownership across queries, caches, and rollbacks; the dictionary
+#    arena and segment seal/merge paths juggle raw pointers; shard recovery
+#    tears down and rebuilds per-shard databases — exactly where lifetime
+#    bugs would live).
 # 8. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
 #    determinism test, the thread-pool tests, the admission-gate stress
-#    test, and the dictionary/columnar tests (lock-free Get, concurrent
-#    interning, parallel seal digests) under TSan.
+#    test, the dictionary/columnar tests (lock-free Get, concurrent
+#    interning, parallel seal digests), and the shard-store test (parallel
+#    per-shard recovery, scatter-gather over live shards) under TSan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -143,6 +155,41 @@ grep -q "slow-query log" "$OBS_TMP/selfobs.out" \
   || { echo ".slowlog printed no slow-query entries"; exit 1; }
 ./build/tools/obs_check slowlog "$OBS_TMP/slowlog.json"
 
+echo "== shard smoke: kill a shard mid-session, degrade, recover =="
+./build/tools/vql --archive="$OBS_TMP/shardarc" --archive-shards=2 \
+    --metrics-out="$OBS_TMP/shard_metrics.json" \
+    >"$OBS_TMP/shard.out" 2>&1 <<'EOF'
+.tenant alice
+object a1 { }.
+tagged(a1).
+.tenant bob
+object b1 { }.
+tagged(b1).
+?- tagged(X).
+.shard kill 0
+.partial on
+?- tagged(X).
+.shard recover 0
+.partial off
+?- tagged(X).
+?- sys_shards(S, St, F, R, D, Rec, E).
+.shards
+.quit
+EOF
+grep -q "PARTIAL" "$OBS_TMP/shard.out" \
+  || { echo "degraded query was not marked PARTIAL"; exit 1; }
+grep -q "shard 0 recovered" "$OBS_TMP/shard.out" \
+  || { echo ".shard recover did not restore the killed shard"; exit 1; }
+grep -q "healthy" "$OBS_TMP/shard.out" \
+  || { echo "sys_shards/.shards reported no healthy shard"; exit 1; }
+./build/tools/obs_check metrics "$OBS_TMP/shard_metrics.json" \
+    --require=vqldb_shard_state_0 --require=vqldb_shard_state_1 \
+    --require=vqldb_shard_recoveries_total
+
+echo "== shard crash gauntlet: crash_test --kill-shard --iterations=25 =="
+./build/tools/crash_test --kill-shard --iterations=25 --seed=1 --shards=3 \
+    --dir="$OBS_TMP/ks"
+
 echo "== governance smoke: vql --mem-limit-bytes= on a heavy program =="
 {
   for i in $(seq 0 64); do echo "object n$i { }."; done
@@ -170,28 +217,33 @@ echo "== asan: build (-DVQLDB_SANITIZE=address) =="
 cmake -B build-asan -S . -DVQLDB_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target budget_test query_gate_test resource_governor_test \
-           term_dict_test columnar_test columnar_accounting_test
+           term_dict_test columnar_test columnar_accounting_test \
+           backoff_test shard_manifest_test shard_store_test
 
-echo "== asan: budget + gate + governor + dictionary + columnar =="
+echo "== asan: budget + gate + governor + dictionary + columnar + shards =="
 ./build-asan/tests/budget_test
 ./build-asan/tests/query_gate_test
 ./build-asan/tests/resource_governor_test
 ./build-asan/tests/term_dict_test
 ./build-asan/tests/columnar_test
 ./build-asan/tests/columnar_accounting_test
+./build-asan/tests/backoff_test
+./build-asan/tests/shard_manifest_test
+./build-asan/tests/shard_store_test
 
 echo "== tsan: build (-DVQLDB_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DVQLDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target parallel_determinism_test thread_pool_test gate_stress_test \
-           term_dict_test columnar_test stats_test
+           term_dict_test columnar_test stats_test shard_store_test
 
-echo "== tsan: parallel determinism + thread pool + gate stress + columnar =="
+echo "== tsan: parallel determinism + thread pool + gate stress + columnar + shards =="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/gate_stress_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/term_dict_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/columnar_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/stats_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_store_test
 
 echo "verify: OK"

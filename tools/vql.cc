@@ -35,6 +35,15 @@
 //                          (default 100; 0 logs every query; also .slowlog)
 //   --slowlog-out=<file>   on exit, dump the slow-query log as JSON (the
 //                          schema tools/obs_check slowlog validates)
+//   --archive=<dir>        attach the sharded archive at <dir> (creating it
+//                          if absent): data statements route to the current
+//                          tenant's shard, queries scatter-gather across all
+//                          shards (also: .archive open / .archive close)
+//   --archive-shards=<n>   shard count when --archive creates a fresh
+//                          archive (default 4; an existing manifest wins)
+//   --allow-partial        degraded-mode queries: answer from the shards
+//                          that can and mark the result PARTIAL instead of
+//                          failing with Unavailable (also: .partial on)
 
 #include <fstream>
 #include <iostream>
@@ -80,6 +89,9 @@ int main(int argc, char** argv) {
   int64_t max_concurrency = 0;
   bool no_magic = false;
   bool no_cache = false;
+  std::string archive_dir;
+  int64_t archive_shards = 4;
+  bool allow_partial = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -141,6 +153,22 @@ int main(int argc, char** argv) {
         std::cerr << "--max-concurrency requires a positive integer\n";
         return 1;
       }
+      continue;
+    }
+    if (StartsWith(arg, "--archive=")) {
+      archive_dir = arg.substr(std::string("--archive=").size());
+      continue;
+    }
+    if (StartsWith(arg, "--archive-shards=")) {
+      std::string value = arg.substr(std::string("--archive-shards=").size());
+      if (!ParseNonNegativeInt(value, &archive_shards) || archive_shards < 1) {
+        std::cerr << "--archive-shards requires a positive integer\n";
+        return 1;
+      }
+      continue;
+    }
+    if (arg == "--allow-partial") {
+      allow_partial = true;
       continue;
     }
     if (arg == "--no-magic") {
@@ -214,6 +242,21 @@ int main(int argc, char** argv) {
   for (const Rule& rule : preloaded_rules) {
     Status st = repl.session().AddRule(rule);
     if (!st.ok()) std::cerr << "warning: " << st << "\n";
+  }
+  repl.set_allow_partial(allow_partial);
+  if (!archive_dir.empty()) {
+    ShardedArchive::Options aopts;
+    aopts.shard_count = static_cast<size_t>(archive_shards);
+    aopts.eval_options = options;
+    auto archive = ShardedArchive::Open(archive_dir, std::move(aopts));
+    if (!archive.ok()) {
+      std::cerr << "cannot open archive " << archive_dir << ": "
+                << archive.status() << "\n";
+      return 1;
+    }
+    repl.AttachArchive(std::move(*archive));
+    std::cerr << "archive " << archive_dir << " attached ("
+              << repl.archive()->shard_count() << " shards)\n";
   }
 
   if (!trace_out.empty()) obs::SetTracingEnabled(true);
