@@ -68,6 +68,9 @@ Sample RunGoal(const std::string& goal) {
 
   QuerySession magic(db.get());
   magic.set_cache_enabled(false);
+  // The bench measures the magic rewrite specifically; pin it so kAuto's
+  // cost model can't route the bound goals to QSQR.
+  magic.mutable_options()->strategy = EvalStrategy::kMagic;
   VQLDB_CHECK_OK(magic.Load(kRules));
   auto begin = std::chrono::steady_clock::now();
   auto magic_result = magic.Query(goal);
@@ -187,6 +190,7 @@ void BM_MagicVsNaive(benchmark::State& state) {
   QuerySession session(db.get());
   session.set_cache_enabled(false);
   session.set_magic_enabled(use_magic);
+  if (use_magic) session.mutable_options()->strategy = EvalStrategy::kMagic;
   VQLDB_CHECK_OK(session.Load(kRules));
   for (auto _ : state) {
     session.Invalidate();

@@ -1,12 +1,19 @@
 #include "src/constraint/concrete_domain.h"
 
 #include <algorithm>
+#include <atomic>
 
 namespace vqldb {
+
+uint64_t ConcreteDomain::NextFingerprint() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
 
 void ConcreteDomain::RegisterPredicate(const std::string& pred_name, int arity,
                                        DomainPredicateFn fn) {
   predicates_[{pred_name, arity}] = std::move(fn);
+  fingerprint_ = NextFingerprint();
 }
 
 bool ConcreteDomain::HasPredicate(const std::string& pred_name,

@@ -8,6 +8,7 @@
 #ifndef VQLDB_CONSTRAINT_CONCRETE_DOMAIN_H_
 #define VQLDB_CONSTRAINT_CONCRETE_DOMAIN_H_
 
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <string>
@@ -50,6 +51,14 @@ class ConcreteDomain {
 
   bool HasPredicate(const std::string& pred_name, int arity) const;
 
+  /// A process-unique generation stamp. Two ConcreteDomain instances never
+  /// share a fingerprint (even when one is constructed at the other's
+  /// recycled address), and each RegisterPredicate call advances it — so a
+  /// fingerprint identifies one immutable predicate table. Predicate
+  /// interpretations are opaque std::functions and cannot be content-hashed;
+  /// the generation counter is the conservative substitute cache keys need.
+  uint64_t Fingerprint() const { return fingerprint_; }
+
   /// Evaluates `pred_name(args)`. NotFound if unregistered; InvalidArgument
   /// on arity mismatch with every registration of that name.
   Result<bool> Evaluate(const std::string& pred_name,
@@ -64,8 +73,11 @@ class ConcreteDomain {
   static ConcreteDomain StandardOrder();
 
  private:
+  static uint64_t NextFingerprint();
+
   std::string name_;
   std::map<std::pair<std::string, int>, DomainPredicateFn> predicates_;
+  uint64_t fingerprint_ = NextFingerprint();
 };
 
 }  // namespace vqldb

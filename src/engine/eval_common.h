@@ -1,0 +1,54 @@
+// Evaluation machinery shared by the bottom-up Evaluator and the top-down
+// QSQR engine: constraint operand resolution, constraint checking,
+// concrete-domain literal evaluation, and builtin-class domain handling.
+// Both engines must agree on these semantics exactly — the strategy
+// equivalence property (QSQR ≡ magic ≡ full fixpoint) rests on it — so the
+// logic lives here once, counters and interrupt polling stay with the
+// callers.
+
+#ifndef VQLDB_ENGINE_EVAL_COMMON_H_
+#define VQLDB_ENGINE_EVAL_COMMON_H_
+
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/constraint/concrete_domain.h"
+#include "src/engine/binding.h"
+#include "src/engine/rule_compiler.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+namespace eval_common {
+
+/// Resolves one compiled constraint operand against the bindings. Attribute
+/// access on a non-object or a missing attribute sets `*defined = false`
+/// (the constraint then simply fails) unless `strict_types` upgrades the
+/// former to TypeError.
+Status ResolveOperand(const VideoDatabase& db, bool strict_types,
+                      const CompiledOperand& operand, const BindingEnv& env,
+                      Value* out, bool* defined);
+
+/// Checks one compiled constraint; `*ok` receives the verdict. Status is
+/// non-OK only for hard errors (strict_types type mismatches).
+Status CheckConstraint(const VideoDatabase& db, bool strict_types,
+                       const CompiledConstraint& constraint,
+                       const BindingEnv& env, bool* ok);
+
+/// Evaluates a concrete-domain (computable) literal over fully bound
+/// arguments; `*holds` receives the verdict. EvaluationError when an
+/// argument is unbound, TypeError (strict) or a false verdict (lenient)
+/// when an argument is not atomic.
+Status EvalConcreteLiteral(const ConcreteDomain& domain, bool strict_types,
+                           const CompiledLiteral& lit, const BindingEnv& env,
+                           bool* holds);
+
+/// Class membership of a builtin literal (Interval/Object/Anyobject).
+bool InClass(const VideoDatabase& db, ObjectId id, BuiltinClass builtin);
+
+/// The object domain a builtin class literal enumerates when unbound.
+std::vector<ObjectId> DomainOf(const VideoDatabase& db, BuiltinClass builtin);
+
+}  // namespace eval_common
+}  // namespace vqldb
+
+#endif  // VQLDB_ENGINE_EVAL_COMMON_H_

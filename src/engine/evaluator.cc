@@ -9,6 +9,7 @@
 
 #include "src/common/thread_pool.h"
 #include "src/engine/binding.h"
+#include "src/engine/eval_common.h"
 #include "src/lang/analyzer.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stats.h"
@@ -109,6 +110,16 @@ void PublishEvalMetrics(const EvalStats& stats, double total_ms) {
 
 }  // namespace
 
+const char* EvalStrategyName(EvalStrategy strategy) {
+  switch (strategy) {
+    case EvalStrategy::kAuto: return "auto";
+    case EvalStrategy::kQsqr: return "qsqr";
+    case EvalStrategy::kMagic: return "magic";
+    case EvalStrategy::kFixpoint: return "fixpoint";
+  }
+  return "auto";
+}
+
 std::string EvalProfile::ToString() const {
   std::ostringstream os;
   os << std::fixed << std::setprecision(3);
@@ -164,9 +175,12 @@ Result<Evaluator> Evaluator::Make(VideoDatabase* db, std::vector<Rule> rules,
   std::map<std::string, size_t> arities;
   for (Rule& rule : rules) {
     VQLDB_RETURN_NOT_OK(Analyzer::CheckRule(rule, &arities));
-    VQLDB_ASSIGN_OR_RETURN(
-        CompiledRule compiled,
-        RuleCompiler::Compile(rule, *db, options.reorder_body));
+    CompileOptions copts;
+    copts.reorder_body = options.reorder_body;
+    copts.concrete_domain = options.concrete_domain;
+    copts.orderer = options.reorder_body ? options.body_orderer : nullptr;
+    VQLDB_ASSIGN_OR_RETURN(CompiledRule compiled,
+                           RuleCompiler::Compile(rule, *db, copts));
     eval.rules_.push_back(std::move(compiled));
     eval.source_rules_.push_back(std::move(rule));
   }
@@ -189,38 +203,18 @@ void Evaluator::AddSeedFacts(std::vector<Fact> facts) {
 }
 
 bool Evaluator::InClass(ObjectId id, BuiltinClass builtin) const {
-  switch (builtin) {
-    case BuiltinClass::kInterval:
-      return db_->IsInterval(id);
-    case BuiltinClass::kObject:
-      return db_->IsEntity(id);
-    case BuiltinClass::kAnyobject:
-      return db_->Exists(id);
-    case BuiltinClass::kNone:
-      return false;
-  }
-  return false;
+  return eval_common::InClass(*db_, id, builtin);
 }
 
 std::vector<ObjectId> Evaluator::DomainOf(
     BuiltinClass builtin, const std::vector<ObjectId>* interval_delta) {
-  switch (builtin) {
-    case BuiltinClass::kInterval:
-      if (interval_delta != nullptr) return *interval_delta;
-      return db_->AllIntervals();
-    case BuiltinClass::kObject:
-      return db_->Entities();
-    case BuiltinClass::kAnyobject: {
-      if (interval_delta != nullptr) return *interval_delta;
-      std::vector<ObjectId> out = db_->Entities();
-      std::vector<ObjectId> intervals = db_->AllIntervals();
-      out.insert(out.end(), intervals.begin(), intervals.end());
-      return out;
-    }
-    case BuiltinClass::kNone:
-      return {};
+  // Semi-naive rounds restrict interval-bearing classes to the round's
+  // newly materialized intervals; otherwise enumerate the full domain.
+  if (interval_delta != nullptr && builtin != BuiltinClass::kObject &&
+      builtin != BuiltinClass::kNone) {
+    return *interval_delta;
   }
-  return {};
+  return eval_common::DomainOf(*db_, builtin);
 }
 
 Status Evaluator::MaterializeExtendedDomain() {
@@ -245,41 +239,8 @@ Status Evaluator::MaterializeExtendedDomain() {
 Status Evaluator::ResolveOperand(const CompiledOperand& operand,
                                  const BindingEnv& env, Value* out,
                                  bool* defined) {
-  *defined = true;
-  switch (operand.kind) {
-    case CompiledOperand::Kind::kValue:
-    case CompiledOperand::Kind::kTemporal:
-      *out = operand.value;
-      return Status::OK();
-    case CompiledOperand::Kind::kVar:
-      *out = env.Get(operand.var);
-      return Status::OK();
-    case CompiledOperand::Kind::kAccess: {
-      Value base = operand.base_is_var ? env.Get(operand.var)
-                                       : operand.base_value;
-      if (!base.is_oid()) {
-        if (options_.strict_types) {
-          return Status::TypeError("attribute access on non-object value " +
-                                   base.ToString());
-        }
-        *defined = false;
-        return Status::OK();
-      }
-      auto obj = db_->GetObject(base.oid_value());
-      if (!obj.ok()) {
-        *defined = false;
-        return Status::OK();
-      }
-      const Value* v = (*obj)->FindAttribute(operand.attribute);
-      if (v == nullptr) {
-        *defined = false;  // undefined attribute: the constraint fails
-        return Status::OK();
-      }
-      *out = *v;
-      return Status::OK();
-    }
-  }
-  return Status::Internal("unhandled operand kind");
+  return eval_common::ResolveOperand(*db_, options_.strict_types, operand, env,
+                                     out, defined);
 }
 
 Status Evaluator::CheckConstraint(const CompiledConstraint& constraint,
@@ -291,106 +252,8 @@ Status Evaluator::CheckConstraint(const CompiledConstraint& constraint,
   if ((stats->constraint_checks & 1023u) == 0u) {
     VQLDB_RETURN_NOT_OK(CheckInterrupt());
   }
-  *ok = false;
-  Value lhs, rhs;
-  bool lhs_defined = false, rhs_defined = false;
-  VQLDB_RETURN_NOT_OK(ResolveOperand(constraint.lhs, env, &lhs, &lhs_defined));
-  VQLDB_RETURN_NOT_OK(ResolveOperand(constraint.rhs, env, &rhs, &rhs_defined));
-  if (!lhs_defined || !rhs_defined) return Status::OK();  // *ok stays false
-
-  auto type_fail = [&](const std::string& message) -> Status {
-    if (options_.strict_types) {
-      return Status::TypeError(message + " in constraint " + constraint.source);
-    }
-    return Status::OK();  // *ok stays false
-  };
-
-  switch (constraint.kind) {
-    case ConstraintExpr::Kind::kCompare: {
-      if (constraint.op == CompareOp::kEq || constraint.op == CompareOp::kNe) {
-        *ok = EvalCompare(lhs.Compare(rhs), constraint.op, 0);
-        return Status::OK();
-      }
-      // Order comparisons require comparable sorts.
-      bool comparable = (lhs.is_numeric() && rhs.is_numeric()) ||
-                        (lhs.is_string() && rhs.is_string());
-      if (!comparable) {
-        return type_fail("order comparison between " + lhs.ToString() +
-                         " and " + rhs.ToString());
-      }
-      *ok = EvalCompare(lhs.Compare(rhs), constraint.op, 0);
-      return Status::OK();
-    }
-
-    case ConstraintExpr::Kind::kMembership: {
-      if (rhs.is_set()) {
-        auto r = rhs.SetContains(lhs);
-        *ok = r.ok() && *r;
-        return Status::OK();
-      }
-      if (rhs.is_temporal() && lhs.is_numeric()) {
-        auto t = lhs.AsDouble();
-        *ok = t.ok() && rhs.temporal_value().Contains(*t);
-        return Status::OK();
-      }
-      return type_fail("membership in non-set value " + rhs.ToString());
-    }
-
-    case ConstraintExpr::Kind::kSubset: {
-      if (lhs.is_set() && rhs.is_set()) {
-        auto r = lhs.SetSubsetOf(rhs);
-        *ok = r.ok() && *r;
-        return Status::OK();
-      }
-      if (lhs.is_temporal() && rhs.is_temporal()) {
-        *ok = lhs.temporal_value().SubsetOf(rhs.temporal_value());
-        return Status::OK();
-      }
-      return type_fail("subset between " + lhs.ToString() + " and " +
-                       rhs.ToString());
-    }
-
-    case ConstraintExpr::Kind::kEntails: {
-      // c1 => c2 over C~: inclusion of the denoted point sets (a constraint
-      // entails another iff c1 and not(c2) is unsatisfiable; Def. 2 remark).
-      if (lhs.is_temporal() && rhs.is_temporal()) {
-        *ok = lhs.temporal_value().SubsetOf(rhs.temporal_value());
-        return Status::OK();
-      }
-      return type_fail("entailment between non-temporal values " +
-                       lhs.ToString() + " and " + rhs.ToString());
-    }
-
-    case ConstraintExpr::Kind::kBefore:
-    case ConstraintExpr::Kind::kMeets:
-    case ConstraintExpr::Kind::kOverlaps: {
-      // Interval-operator constraints (the `equals, before, ...` operators
-      // of the related SQL-like languages, lifted to generalized intervals):
-      //   before:   every instant of lhs precedes every instant of rhs
-      //   meets:    sup(lhs) == inf(rhs)
-      //   overlaps: the extents share at least one instant.
-      if (!lhs.is_temporal() || !rhs.is_temporal()) {
-        return type_fail("temporal relation between non-temporal values " +
-                         lhs.ToString() + " and " + rhs.ToString());
-      }
-      const IntervalSet& a = lhs.temporal_value();
-      const IntervalSet& b = rhs.temporal_value();
-      if (constraint.kind == ConstraintExpr::Kind::kOverlaps) {
-        *ok = a.Overlaps(b);
-      } else if (a.IsEmpty() || b.IsEmpty()) {
-        *ok = false;
-      } else if (constraint.kind == ConstraintExpr::Kind::kBefore) {
-        *ok = a.Max() < b.Min() ||
-              (a.Max() == b.Min() &&
-               (a.fragments().back().hi_open() ||
-                b.fragments().front().lo_open()));
-      } else {  // kMeets
-        *ok = a.Max() == b.Min();
-      }
-      return Status::OK();
-    }
-  }
-  return Status::Internal("unhandled constraint kind");
+  return eval_common::CheckConstraint(*db_, options_.strict_types, constraint,
+                                      env, ok);
 }
 
 Status Evaluator::EmitHead(const CompiledRule& rule, const BindingEnv& env,
@@ -514,37 +377,9 @@ Status Evaluator::EvalSteps(const CompiledRule& rule, size_t step_idx,
   if (options_.concrete_domain != nullptr &&
       options_.concrete_domain->HasPredicate(
           lit.predicate, static_cast<int>(lit.args.size()))) {
-    std::vector<DomainValue> args;
-    args.reserve(lit.args.size());
-    for (const CompiledTerm& arg : lit.args) {
-      const Value* v;
-      if (arg.is_var) {
-        if (!env->IsBound(arg.var)) {
-          return Status::EvaluationError(
-              "argument of concrete-domain predicate " + lit.predicate +
-              " is unbound; computable predicates cannot bind variables");
-        }
-        v = &env->Get(arg.var);
-      } else {
-        v = &arg.value;
-      }
-      if (v->is_numeric()) {
-        args.push_back(DomainValue::Number(*v->AsDouble()));
-      } else if (v->is_string()) {
-        args.push_back(DomainValue::String(v->string_value()));
-      } else {
-        if (options_.strict_types) {
-          return Status::TypeError("concrete-domain predicate " +
-                                   lit.predicate +
-                                   " applied to non-atomic value " +
-                                   v->ToString());
-        }
-        return Status::OK();  // non-atomic argument: the check fails
-      }
-    }
-    VQLDB_ASSIGN_OR_RETURN(bool holds,
-                           options_.concrete_domain->Evaluate(lit.predicate,
-                                                              args));
+    bool holds = false;
+    VQLDB_RETURN_NOT_OK(eval_common::EvalConcreteLiteral(
+        *options_.concrete_domain, options_.strict_types, lit, *env, &holds));
     return holds ? proceed() : Status::OK();
   }
 

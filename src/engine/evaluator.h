@@ -46,6 +46,19 @@ namespace vqldb {
 
 class ThreadPool;
 
+/// How a query session answers a goal. The answers are identical across
+/// strategies (the strategy property suite proves it); only the work done to
+/// produce them differs, so — like reorder_body — this never enters the
+/// query-cache key.
+enum class EvalStrategy {
+  kAuto,      // planner picks per query from cardinality estimates
+  kQsqr,      // top-down memoized backward chaining (falls back when declined)
+  kMagic,     // magic-set rewrite + semi-naive fixpoint
+  kFixpoint,  // full bottom-up fixpoint, no goal direction
+};
+
+const char* EvalStrategyName(EvalStrategy strategy);
+
 struct EvalOptions {
   /// Optional concrete domain (Def. 1): body literals whose predicate is
   /// registered here with a matching arity evaluate as computable checks
@@ -59,9 +72,19 @@ struct EvalOptions {
   size_t max_facts = 10000000;
   /// Use semi-naive (delta-driven) evaluation; naive otherwise.
   bool semi_naive = true;
-  /// Greedy bound-first reordering of rule body literals (the classic join
-  /// heuristic); off by default — the written order is the author's plan.
+  /// Reorder rule body literals; off by default — the written order is the
+  /// author's plan. With `body_orderer` set, the supplied policy (the
+  /// planner's selectivity ordering) decides; otherwise the greedy
+  /// bound-first heuristic runs. Either way concrete-domain literals are
+  /// never moved ahead of the literals binding their variables.
   bool reorder_body = false;
+  /// Stats-driven body ordering policy, consulted only when reorder_body is
+  /// set. Not owned; must outlive rule compilation (Evaluator::Make /
+  /// QuerySession rule loading).
+  const LiteralOrderer* body_orderer = nullptr;
+  /// Execution strategy for QuerySession goals (ignored by a bare
+  /// Evaluator, which always runs the fixpoint it is asked for).
+  EvalStrategy strategy = EvalStrategy::kAuto;
   /// Full Def. 21 extended-active-domain semantics for Interval():
   /// enumerate pairwise concatenations of all current intervals too.
   bool extended_active_domain = false;

@@ -1,0 +1,84 @@
+// QSQR (Query-Subquery Recursive) evaluation: top-down memoized backward
+// chaining. Where the magic-set rewrite makes the *bottom-up* engine
+// goal-directed by materializing demand relations (m#pred#adornment) and
+// running a full semi-naive fixpoint over the rewritten program, QSQR walks
+// the rules of the goal's dependency cone top-down, tuple at a time,
+// pushing the goal's bound arguments into rule bodies directly — no demand
+// relations, no rewritten program, no per-round delta bookkeeping.
+//
+// The engine keeps one memo Interpretation of every answer derived so far
+// (seeded with the cone's EDB relations) and a per-pass set of expanded
+// call patterns (predicate, adornment, bound values). Solving a goal
+// expands each defining rule once per pass: the head is unified against
+// the call's bound arguments, the body is walked left-to-right with
+// backtracking, IDB subgoals recurse (then probe the memo), EDB literals
+// probe the memo directly. Because answers derived *after* a memo probe are
+// not re-joined within the pass, the outer loop repeats — clearing the
+// call set, keeping the memo — until a full pass derives nothing new.
+// Answers grow monotonically and are bounded by the finite ground-atom
+// universe, so the loop terminates; on the final (quiescent) pass every
+// probe saw the complete answer set, which gives completeness. Soundness is
+// immediate: every emission instantiates a program rule over memo facts.
+//
+// Equivalence: for every goal QSQR answers, the answer set equals the
+// magic-set evaluation's and the full fixpoint's restriction to the goal —
+// property-tested across serial / parallel / deadlined / governed modes.
+// The shared semantic kernel (eval_common.h) keeps constraint checking,
+// concrete-domain literals and builtin-class domains identical by
+// construction.
+//
+// QSQR declines (applied == false) in exactly the situations the magic
+// rewrite declines — builtin-class goals, the extended active domain,
+// constructive rules in (or observable from) the goal's cone — because all
+// three make goal-directed pruning unsound for the same reasons. Callers
+// fall back to a bottom-up strategy, preserving equivalence.
+
+#ifndef VQLDB_ENGINE_QSQR_H_
+#define VQLDB_ENGINE_QSQR_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/engine/evaluator.h"
+#include "src/engine/interpretation.h"
+#include "src/lang/ast.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+
+/// Result of one QSQR evaluation.
+struct QsqrResult {
+  /// False when QSQR declined (see `reason`); the caller must fall back to
+  /// a bottom-up strategy.
+  bool applied = false;
+  std::string reason;
+
+  /// The goal's adornment string ('b' = bound argument, 'f' = free).
+  std::string adornment;
+
+  /// Everything derived (plus the cone's EDB relations): the goal's
+  /// answers are the memo's goal-predicate facts. Budget-governed when the
+  /// options carry a budget.
+  Interpretation memo;
+
+  /// `iterations` counts outer passes; join counters count memo probes.
+  EvalStats stats;
+};
+
+class QsqrEvaluator {
+ public:
+  /// Answers `query` over `rules` top-down. `db` supplies the EDB and
+  /// resolves goal constants; it is never mutated (constructive rules make
+  /// QSQR decline). Honors options.deadline / cancel / budget at the same
+  /// granularity as the bottom-up engine, and options.max_iterations /
+  /// max_facts as caps on outer passes / memo size.
+  static Result<QsqrResult> Run(const Query& query,
+                                const std::vector<Rule>& rules,
+                                const VideoDatabase& db,
+                                const EvalOptions& options);
+};
+
+}  // namespace vqldb
+
+#endif  // VQLDB_ENGINE_QSQR_H_

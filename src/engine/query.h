@@ -28,6 +28,7 @@
 #include "src/common/result.h"
 #include "src/engine/evaluator.h"
 #include "src/engine/interpretation.h"
+#include "src/engine/planner.h"
 #include "src/engine/query_gate.h"
 #include "src/engine/sysrel.h"
 #include "src/lang/ast.h"
@@ -53,8 +54,17 @@ struct QueryResult {
 struct QueryExecInfo {
   bool cache_hit = false;   // served from the query cache, no evaluation
   bool used_magic = false;  // evaluated the magic-rewritten program
+  bool used_qsqr = false;   // answered top-down by the QSQR engine
   std::string magic_reason; // why the rewrite declined (when it did)
-  std::string adornment;    // goal adornment when magic applied, e.g. "bf"
+  std::string adornment;    // goal adornment when magic/qsqr applied, "bf"
+  /// The strategy that actually executed ("qsqr" | "magic" | "fixpoint"),
+  /// and — when the planner chose it (EvalStrategy::kAuto) — the cost
+  /// estimates behind the choice. Forced strategies leave plan_reason empty.
+  std::string strategy;
+  std::string plan_reason;
+  double cost_qsqr = 0;
+  double cost_magic = 0;
+  double cost_fixpoint = 0;
   size_t magic_rule_count = 0;
   size_t guarded_rule_count = 0;
   // Scatter-gather completeness, filled by the sharded archive layer
@@ -104,6 +114,13 @@ class QuerySession {
   /// MagicSetRewriter). Exposed for tests and benchmarks; Run() uses this
   /// automatically.
   Result<QueryResult> RunMagic(const struct Query& query);
+
+  /// Forces the top-down QSQR path (no cache): answers the goal by memoized
+  /// backward chaining over its dependency cone. Falls back to RunMagic when
+  /// QSQR declines (see QsqrEvaluator) or the goal observes sys_* relations.
+  /// Exposed for tests and benchmarks; Run() with EvalStrategy::kQsqr (or a
+  /// planner choice of qsqr under kAuto) uses this automatically.
+  Result<QueryResult> RunQsqr(const struct Query& query);
 
   /// EXPLAIN: renders the program that Run() would evaluate — the
   /// magic-rewritten rules when the demand transformation applies, else the
@@ -242,6 +259,18 @@ class QuerySession {
     std::list<CacheKey>::iterator lru_it;
   };
 
+  /// Plans and dispatches one query under EvalStrategy::kAuto: builds a
+  /// Planner over the current statistics snapshot, costs the three
+  /// strategies, records the choice (sys_plan_choices) and runs the winner.
+  Result<QueryResult> RunAuto(const struct Query& query);
+  /// The cached strategy-choice planner, refreshed on epoch change.
+  const Planner& AutoPlanner();
+
+  /// Installs the planner as the body-literal orderer when reorder_body is
+  /// on and the caller did not supply one, refreshing its statistics
+  /// snapshot. Called at the top of every execution entry point.
+  void RefreshPlanner();
+
   Result<QueryResult> AnswerFrom(const Interpretation& interp,
                                  const struct Query& query);
   /// AnswerFrom with the decode phase timed into phases_.decode_us.
@@ -288,6 +317,16 @@ class QuerySession {
   VideoDatabase* db_;
   EvalOptions options_;
   std::vector<Rule> rules_;
+  /// Session-owned planner standing in for options_.body_orderer when
+  /// reorder_body is on (RefreshPlanner); rebuilt per query so its
+  /// statistics snapshot stays current.
+  std::unique_ptr<Planner> planner_;
+  /// Strategy-choice planner for kAuto, cached per (db epoch, rules epoch):
+  /// a collector snapshot copies every sketch and latency ring, too costly
+  /// to re-take for each sub-millisecond goal (AutoPlanner()).
+  std::unique_ptr<Planner> auto_planner_;
+  uint64_t auto_planner_db_epoch_ = 0;
+  uint64_t auto_planner_rules_epoch_ = 0;
   std::optional<Interpretation> fixpoint_cache_;
   EvalStats last_stats_;
   QueryExecInfo exec_info_;

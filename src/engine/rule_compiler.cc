@@ -6,6 +6,7 @@
 #include <set>
 #include <sstream>
 
+#include "src/constraint/concrete_domain.h"
 #include "src/engine/binding.h"
 
 namespace vqldb {
@@ -138,8 +139,15 @@ namespace {
 // Greedy bound-first ordering over compiled literals: repeatedly pick the
 // literal maximizing (bound argument positions, then fewest free variables),
 // treating builtin class literals as maximally unselective when unbound.
+// A computable (concrete-domain) literal cannot bind variables — the
+// evaluator raises EvaluationError if one runs with an unbound argument —
+// so it is only eligible once every variable it mentions is already bound.
+// (The old greedy scored a literal like lt(Y, 5) as highly bound, hoisting
+// it ahead of the literal producing Y and turning a valid written order
+// into a runtime error.)
 std::vector<CompiledLiteral> ReorderLiterals(
-    std::vector<CompiledLiteral> literals) {
+    std::vector<CompiledLiteral> literals,
+    const std::vector<bool>& computable) {
   std::vector<CompiledLiteral> ordered;
   std::set<int> bound;
   std::vector<bool> used(literals.size(), false);
@@ -158,12 +166,23 @@ std::vector<CompiledLiteral> ReorderLiterals(
           ++free_vars;
         }
       }
+      if (computable[i] && free_vars != 0) continue;  // illegal yet
       int score = 100 * bound_args - free_vars;
       // An unbound builtin enumerates the whole object domain: deprioritize.
       if (lit.builtin != BuiltinClass::kNone && bound_args == 0) score -= 1000;
       if (score > best_score) {
         best_score = score;
         best = static_cast<int>(i);
+      }
+    }
+    if (best < 0) {
+      // Only computable literals with unbound variables remain — the program
+      // is not range-restricted under any order. Fall back to written order
+      // for the rest so the evaluator reports the same error it always has.
+      for (size_t i = 0; i < literals.size(); ++i) {
+        if (used[i]) continue;
+        best = static_cast<int>(i);
+        break;
       }
     }
     used[static_cast<size_t>(best)] = true;
@@ -175,11 +194,52 @@ std::vector<CompiledLiteral> ReorderLiterals(
   return ordered;
 }
 
+// Applies a policy-supplied permutation, enforcing the same legality rule.
+// Returns false (leaving `literals` untouched) when the permutation is
+// malformed or strands a computable literal before its producers.
+bool ApplyOrderer(const LiteralOrderer& orderer,
+                  std::vector<CompiledLiteral>* literals,
+                  const std::vector<bool>& computable) {
+  const size_t n = literals->size();
+  std::vector<size_t> perm = orderer.OrderBody(*literals, computable);
+  if (perm.size() != n) return false;
+  std::vector<bool> seen(n, false);
+  for (size_t i : perm) {
+    if (i >= n || seen[i]) return false;
+    seen[i] = true;
+  }
+  std::set<int> bound;
+  for (size_t i : perm) {
+    const CompiledLiteral& lit = (*literals)[i];
+    if (computable[i]) {
+      for (const CompiledTerm& t : lit.args) {
+        if (t.is_var && !bound.count(t.var)) return false;
+      }
+    }
+    for (const CompiledTerm& t : lit.args) {
+      if (t.is_var) bound.insert(t.var);
+    }
+  }
+  std::vector<CompiledLiteral> ordered;
+  ordered.reserve(n);
+  for (size_t i : perm) ordered.push_back(std::move((*literals)[i]));
+  *literals = std::move(ordered);
+  return true;
+}
+
 }  // namespace
 
 Result<CompiledRule> RuleCompiler::Compile(const Rule& rule,
                                            const VideoDatabase& db,
                                            bool reorder_body) {
+  CompileOptions options;
+  options.reorder_body = reorder_body;
+  return Compile(rule, db, options);
+}
+
+Result<CompiledRule> RuleCompiler::Compile(const Rule& rule,
+                                           const VideoDatabase& db,
+                                           const CompileOptions& options) {
   CompileContext ctx(db);
   CompiledRule out;
   out.name = rule.name;
@@ -200,7 +260,25 @@ Result<CompiledRule> RuleCompiler::Compile(const Rule& rule,
     }
     literals.push_back(std::move(lit));
   }
-  if (reorder_body) literals = ReorderLiterals(std::move(literals));
+  if (options.reorder_body || options.orderer != nullptr) {
+    // Concrete-domain literals are computable checks: they must not be
+    // scheduled before the literals that bind their variables.
+    std::vector<bool> computable(literals.size(), false);
+    for (size_t i = 0; i < literals.size(); ++i) {
+      computable[i] =
+          options.concrete_domain != nullptr &&
+          literals[i].builtin == BuiltinClass::kNone &&
+          options.concrete_domain->HasPredicate(
+              literals[i].predicate, static_cast<int>(literals[i].args.size()));
+    }
+    bool ordered = false;
+    if (options.orderer != nullptr) {
+      ordered = ApplyOrderer(*options.orderer, &literals, computable);
+    }
+    if (!ordered && options.reorder_body) {
+      literals = ReorderLiterals(std::move(literals), computable);
+    }
+  }
 
   // Compile constraints and record their variable requirements.
   struct PendingConstraint {

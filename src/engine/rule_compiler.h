@@ -113,15 +113,50 @@ struct CompiledRule {
   bool is_constructive = false;
 };
 
+class ConcreteDomain;
+
+/// A pluggable body-literal ordering policy (the planner implements this
+/// with selectivity estimates). `computable[i]` marks literals evaluated as
+/// concrete-domain checks — they cannot bind variables, so any returned
+/// order must place them after a literal prefix that binds all their
+/// variables. OrderBody returns a permutation of [0, literals.size()); an
+/// invalid permutation (or an order that strands a computable literal) makes
+/// the compiler fall back to the written order.
+class LiteralOrderer {
+ public:
+  virtual ~LiteralOrderer() = default;
+  virtual std::vector<size_t> OrderBody(
+      const std::vector<CompiledLiteral>& literals,
+      const std::vector<bool>& computable) const = 0;
+};
+
+/// Knobs of one compilation.
+struct CompileOptions {
+  /// Greedy bound-first reordering of body literals (the classic join
+  /// heuristic), used when no `orderer` is supplied.
+  bool reorder_body = false;
+  /// Identifies concrete-domain (computable) literals so any reordering
+  /// keeps them after the literals that bind their variables. Not owned.
+  const ConcreteDomain* concrete_domain = nullptr;
+  /// Stats-driven ordering policy; overrides the greedy heuristic. Not
+  /// owned; must outlive the Compile call only.
+  const LiteralOrderer* orderer = nullptr;
+};
+
 class RuleCompiler {
  public:
   /// Compiles `rule` against `db` (for symbol resolution). The rule must
-  /// already have passed Analyzer::CheckRule. When `reorder_body` is set,
-  /// body literals are greedily reordered: at each step pick the literal
-  /// with the most bound argument positions (constants or already-bound
-  /// variables), preferring relational literals over builtin class
-  /// enumerations — the classic bound-first join heuristic. Constraint
-  /// scheduling is unaffected (still as early as possible).
+  /// already have passed Analyzer::CheckRule. When reordering is requested
+  /// (options.reorder_body or options.orderer), body literals are permuted —
+  /// greedily bound-first, or by the supplied policy — under the legality
+  /// constraint that concrete-domain literals never precede the literals
+  /// binding their variables. Constraint scheduling is unaffected (still as
+  /// early as possible).
+  static Result<CompiledRule> Compile(const Rule& rule,
+                                      const VideoDatabase& db,
+                                      const CompileOptions& options);
+
+  /// Legacy entry point: equivalent to CompileOptions{reorder_body}.
   static Result<CompiledRule> Compile(const Rule& rule,
                                       const VideoDatabase& db,
                                       bool reorder_body = false);

@@ -166,6 +166,27 @@ class Parser {
     }
   }
 
+  bool ParseHexQuad(unsigned* out) {
+    if (pos_ + 4 > text_.size()) {
+      error_ = "truncated \\u escape";
+      return false;
+    }
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+      else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+      else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+      else {
+        error_ = "invalid \\u escape";
+        return false;
+      }
+    }
+    *out = code;
+    return true;
+  }
+
   bool ParseString(std::string* out) {
     ++pos_;  // opening quote
     out->clear();
@@ -188,31 +209,41 @@ class Parser {
         case 'r': out->push_back('\r'); break;
         case 't': out->push_back('\t'); break;
         case 'u': {
-          if (pos_ + 4 > text_.size()) {
-            error_ = "truncated \\u escape";
-            return false;
-          }
           unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else {
-              error_ = "invalid \\u escape";
+          if (!ParseHexQuad(&code)) return false;
+          if (code >= 0xD800 && code <= 0xDBFF) {
+            // High surrogate: a low surrogate escape must follow, and the
+            // pair combines into one supplementary-plane code point.
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              error_ = "unpaired high surrogate in \\u escape";
               return false;
             }
+            pos_ += 2;
+            unsigned low = 0;
+            if (!ParseHexQuad(&low)) return false;
+            if (low < 0xDC00 || low > 0xDFFF) {
+              error_ = "unpaired high surrogate in \\u escape";
+              return false;
+            }
+            code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+          } else if (code >= 0xDC00 && code <= 0xDFFF) {
+            error_ = "unpaired low surrogate in \\u escape";
+            return false;
           }
-          // UTF-8 encode (BMP only; surrogate pairs are passed through as
-          // two separate code points, good enough for validation).
+          // UTF-8 encode (1-4 bytes; code <= 0x10FFFF by construction).
           if (code < 0x80) {
             out->push_back(static_cast<char>(code));
           } else if (code < 0x800) {
             out->push_back(static_cast<char>(0xC0 | (code >> 6)));
             out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
+          } else if (code < 0x10000) {
             out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
             out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
           }

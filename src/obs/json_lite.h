@@ -2,7 +2,8 @@
 // validate the files we emit (metrics snapshots, Chrome trace_event logs)
 // from tests, tools/obs_check, and the verify script — without pulling a
 // JSON dependency into the tree. Parses the full JSON grammar into a small
-// tree; numbers are doubles, \uXXXX escapes decode the BMP only.
+// tree; numbers are doubles, \uXXXX escapes decode to UTF-8 including
+// surrogate pairs (lone surrogates are rejected).
 
 #ifndef VQLDB_OBS_JSON_LITE_H_
 #define VQLDB_OBS_JSON_LITE_H_

@@ -192,6 +192,16 @@ void StatsCollector::RecordQuery(QueryRecord record) {
   }
 }
 
+void StatsCollector::RecordPlanChoice(const std::string& fingerprint,
+                                      const std::string& strategy,
+                                      double est_cost) {
+  if (!StatsEnabled()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  PlanChoiceStats& p = plan_choices_[{fingerprint, strategy}];
+  ++p.count;
+  p.last_cost = est_cost;
+}
+
 void StatsCollector::set_slow_threshold_us(uint64_t us) {
   std::lock_guard<std::mutex> lock(mu_);
   slow_threshold_us_ = us;
@@ -244,6 +254,9 @@ StatsSnapshot StatsCollector::Snapshot() const {
     phases_[i].Quantiles(&view.p50_us, &view.p99_us);
     snap.phases.push_back(std::move(view));
   }
+  for (const auto& [key, p] : plan_choices_) {
+    snap.plan_choices.push_back({key.first, key.second, p.count, p.last_cost});
+  }
   snap.slow.assign(slow_.begin(), slow_.end());
   return snap;
 }
@@ -255,6 +268,7 @@ void StatsCollector::Reset() {
   last_sketches_ = nullptr;
   selectivity_.clear();
   queries_.clear();
+  plan_choices_.clear();
   for (LatencyWindow& w : phases_) w = LatencyWindow{};
   slow_.clear();
   total_queries_ = 0;

@@ -123,6 +123,15 @@ struct SelectivityView {
   double ewma = 0;           // smoothed candidates-per-probe / relation-rows
 };
 
+/// Aggregated view of the planner's strategy decisions for one
+/// (fingerprint, strategy) pair — the substrate of sys_plan_choices.
+struct PlanChoiceView {
+  std::string fingerprint;  // normalized goal the plan was chosen for
+  std::string strategy;     // "qsqr" | "magic" | "fixpoint"
+  uint64_t count = 0;       // times this strategy was chosen
+  double last_cost = 0;     // estimated cost at the most recent choice
+};
+
 struct PhaseStatView {
   std::string phase;  // parse | rewrite | eval | decode | total
   uint64_t count = 0;
@@ -136,6 +145,7 @@ struct StatsSnapshot {
   std::vector<SelectivityView> selectivity;     // sorted (predicate, adorn)
   std::vector<QueryStatView> queries;           // sorted by fingerprint
   std::vector<PhaseStatView> phases;            // fixed phase order
+  std::vector<PlanChoiceView> plan_choices;     // sorted (fingerprint, strat)
   std::vector<QueryRecord> slow;                // oldest -> newest
   uint64_t slow_threshold_us = 0;
   uint64_t total_queries = 0;                   // since last Reset
@@ -173,6 +183,11 @@ class StatsCollector {
   /// Records one finished query. Appends to the slow ring when
   /// total_us >= slow threshold or status != "ok".
   void RecordQuery(QueryRecord record);
+
+  /// Records one planner strategy decision for a query fingerprint, with
+  /// the estimated cost that won. Feeds sys_plan_choices.
+  void RecordPlanChoice(const std::string& fingerprint,
+                        const std::string& strategy, double est_cost);
 
   void set_slow_threshold_us(uint64_t us);
   uint64_t slow_threshold_us() const;
@@ -215,6 +230,10 @@ class StatsCollector {
     double ewma = 0;
     bool seeded = false;
   };
+  struct PlanChoiceStats {
+    uint64_t count = 0;
+    double last_cost = 0;
+  };
 
   mutable std::mutex mu_;
   std::map<std::string, std::vector<Hll>> columns_;
@@ -224,6 +243,7 @@ class StatsCollector {
   std::vector<Hll>* last_sketches_ = nullptr;
   std::map<std::pair<std::string, std::string>, SelectivityStats> selectivity_;
   std::map<std::string, FingerprintStats> queries_;
+  std::map<std::pair<std::string, std::string>, PlanChoiceStats> plan_choices_;
   std::array<LatencyWindow, 5> phases_;  // parse/rewrite/eval/decode/total
   std::deque<QueryRecord> slow_;
   size_t slow_capacity_ = kDefaultSlowCapacity;

@@ -312,6 +312,40 @@ std::string Repl::Meta(const std::string& command,
     }
     return "usage: .magic [on|off]\n";
   }
+  if (command == ".strategy") {
+    if (argument.empty()) {
+      return std::string("strategy: ") +
+             EvalStrategyName(session_.options().strategy) + "\n";
+    }
+    EvalStrategy strategy;
+    if (argument == "auto") {
+      strategy = EvalStrategy::kAuto;
+    } else if (argument == "qsqr") {
+      strategy = EvalStrategy::kQsqr;
+    } else if (argument == "magic") {
+      strategy = EvalStrategy::kMagic;
+    } else if (argument == "fixpoint") {
+      strategy = EvalStrategy::kFixpoint;
+    } else {
+      return "usage: .strategy [auto|qsqr|magic|fixpoint]\n";
+    }
+    // Answers are strategy-independent, so cached entries stay valid.
+    session_.mutable_options()->strategy = strategy;
+    return "strategy: " + argument + "\n";
+  }
+  if (command == ".reorder") {
+    if (argument.empty()) {
+      return std::string("body reordering: ") +
+             (session_.options().reorder_body ? "on" : "off") + "\n";
+    }
+    if (argument == "on" || argument == "off") {
+      session_.mutable_options()->reorder_body = argument == "on";
+      // Rules compile their literal order in; recompile on the next query.
+      session_.Invalidate();
+      return "body reordering: " + argument + "\n";
+    }
+    return "usage: .reorder [on|off]\n";
+  }
   if (command == ".mergejoin") {
     if (argument.empty()) {
       return std::string("merge joins: ") +
@@ -581,6 +615,9 @@ std::string Repl::Help() const {
       "  .threads <N|auto> fixpoint worker threads (1 = serial engine)\n"
       "  .timeout <ms|off> per-query wall-clock budget (DeadlineExceeded)\n"
       "  .magic [on|off]   goal-directed magic-set rewriting (default on)\n"
+      "  .strategy [auto|qsqr|magic|fixpoint]\n"
+      "                    execution strategy (auto = cost-based planner)\n"
+      "  .reorder [on|off] stats-driven body-literal reordering (default off)\n"
       "  .mergejoin [on|off]\n"
       "                    sorted-segment merge joins (default on; off = hash)\n"
       "  .storage          columnar storage + dictionary statistics\n"

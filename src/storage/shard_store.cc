@@ -560,6 +560,30 @@ Result<ShardedArchive::ArchiveQueryResult> ShardedArchive::Query(
   result.columns = GoalColumns(query);
   result.reports.reserve(shards_.size());
 
+  // Pre-scan shard health before touching any session. In strict mode a
+  // doomed scatter fails up front, before any shard runs (and caches) a
+  // per-shard answer for a query whose merged result was never produced.
+  // In partial mode the scatter is known-degraded from the start, so the
+  // live shards run with their query caches suppressed: a per-shard answer
+  // produced while a sibling was down must not be retained, because a
+  // cached entry carries no completeness report and a later hit would
+  // serve it as if the scatter had been complete.
+  bool degraded_scatter = false;
+  for (const auto& shard_ptr : shards_) {
+    Shard& s = *shard_ptr;
+    ShardState state = s.State();
+    if (state != ShardState::kHealthy && state != ShardState::kDegraded) {
+      if (!options.allow_partial) {
+        std::string detail = s.Error();
+        return Status::Unavailable(
+            "shard " + std::to_string(s.id) + " unavailable (" +
+            ShardStateName(state) + ")" +
+            (detail.empty() ? "" : ": " + detail));
+      }
+      degraded_scatter = true;
+    }
+  }
+
   for (const auto& shard_ptr : shards_) {
     Shard& s = *shard_ptr;
     ShardReport report;
@@ -614,7 +638,10 @@ Result<ShardedArchive::ArchiveQueryResult> ShardedArchive::Query(
     }
 
     ++result.shards_targeted;
+    const bool cache_was_enabled = s.session->cache_enabled();
+    if (degraded_scatter) s.session->set_cache_enabled(false);
     Result<QueryResult> answer = s.session->Run(query);
+    if (degraded_scatter) s.session->set_cache_enabled(cache_was_enabled);
     if (!answer.ok()) {
       if (answer.status().IsNotFound()) {
         // Shard-local vocabulary miss (e.g. a relation only other tenants
@@ -645,6 +672,18 @@ Result<ShardedArchive::ArchiveQueryResult> ShardedArchive::Query(
       result.rows.push_back(std::move(rendered));
     }
     result.reports.push_back(std::move(report));
+  }
+
+  // A shard can fail between the health pre-scan and its turn in the loop
+  // (or its Run itself can fail). Shards that answered before the failure
+  // cached their per-shard answers under a complete-scatter assumption —
+  // purge them so no entry stored during a partial scatter survives.
+  if (result.partial && !degraded_scatter) {
+    for (const auto& shard_ptr : shards_) {
+      Shard& s = *shard_ptr;
+      std::lock_guard<std::mutex> lock(s.mu);
+      if (s.session != nullptr) s.session->ClearQueryCache();
+    }
   }
 
   // Deterministic merge: answers are independent of shard order, recovery

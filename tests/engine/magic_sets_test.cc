@@ -17,6 +17,10 @@ class MagicSetsTest : public ::testing::Test {
  protected:
   void SetUp() override {
     session_ = std::make_unique<QuerySession>(&db_);
+    // This suite asserts on magic-specific exec info (used_magic, adornment,
+    // derived-fact counts), so pin the strategy rather than letting the
+    // cost-based kAuto default pick QSQR for bound goals.
+    session_->mutable_options()->strategy = EvalStrategy::kMagic;
     std::string program;
     // A 12-node edge chain c0 -> c1 -> ... -> c11 plus transitive closure.
     for (int i = 0; i < 12; ++i) {

@@ -198,6 +198,43 @@ TEST_F(QueryCacheTest, ByteAccountingTracksStoresAndClear) {
   EXPECT_EQ(session_->query_cache_bytes(), 0u);
 }
 
+TEST_F(QueryCacheTest, DomainRebuiltAtRecycledAddressDoesNotReviveAnswers) {
+  // Regression: OptionsFingerprint used to hash options_.concrete_domain by
+  // pointer, so a domain rebuilt at a recycled address silently revived
+  // answers computed against the old predicate table. Force the recycled
+  // address with placement new and require a miss plus the new semantics.
+  ASSERT_TRUE(session_->AddRule("num(1, 0).").ok());
+  ASSERT_TRUE(session_->AddRule("num(5, 0).").ok());
+  ASSERT_TRUE(session_->AddRule("tiny(X) <- num(X, Y), small(X).").ok());
+
+  alignas(ConcreteDomain) unsigned char buf[sizeof(ConcreteDomain)];
+  auto* v1 = new (buf) ConcreteDomain("v1");
+  v1->RegisterPredicate("small", 1, [](const std::vector<DomainValue>& a) {
+    return a[0].sort == DomainValue::Sort::kNumber && a[0].number < 3;
+  });
+  session_->mutable_options()->concrete_domain = v1;
+  auto first = session_->Query("?- tiny(X).");
+  ASSERT_TRUE(first.ok()) << first.status();
+  ASSERT_EQ(first->rows.size(), 1u);  // only num 1 is small
+
+  v1->~ConcreteDomain();
+  auto* v2 = new (buf) ConcreteDomain("v2");
+  ASSERT_EQ(static_cast<void*>(v2), static_cast<void*>(v1));
+  v2->RegisterPredicate("small", 1, [](const std::vector<DomainValue>& a) {
+    return a[0].sort == DomainValue::Sort::kNumber && a[0].number > 3;
+  });
+  session_->mutable_options()->concrete_domain = v2;
+  auto second = session_->Query("?- tiny(X).");
+  ASSERT_TRUE(second.ok()) << second.status();
+  EXPECT_FALSE(session_->last_exec_info().cache_hit);
+  ASSERT_EQ(second->rows.size(), 1u);  // now only num 5 qualifies
+  EXPECT_NE(first->rows, second->rows);
+
+  session_->mutable_options()->concrete_domain = nullptr;
+  session_->ClearQueryCache();
+  v2->~ConcreteDomain();
+}
+
 TEST_F(QueryCacheTest, ConstructiveEvaluationStoresPostEpoch) {
   // Answering the first query materializes derived intervals, advancing the
   // database epoch mid-query. The entry must be stored under the

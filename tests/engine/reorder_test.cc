@@ -4,9 +4,14 @@
 
 #include <gtest/gtest.h>
 
+#include <numeric>
+
 #include "src/common/logging.h"
+#include "src/constraint/concrete_domain.h"
+#include "src/engine/planner.h"
 #include "src/engine/query.h"
 #include "src/lang/parser.h"
+#include "src/obs/stats.h"
 
 namespace vqldb {
 namespace {
@@ -123,6 +128,155 @@ TEST(ReorderTest, RecursiveProgramStillCorrect) {
     ASSERT_TRUE(fp.ok());
     EXPECT_EQ(fp->FactsFor("reach").size(), 15u) << "reorder=" << reorder;
   }
+}
+
+// ------------------------------------------------------------------------
+// Negative tests: orderings that would hoist a computable (concrete-domain)
+// literal past the literal producing its variables. A computable literal
+// cannot bind variables, so such an order is a runtime EvaluationError; the
+// greedy heuristic, the planner policy, and the policy validator must all
+// refuse to produce it.
+
+ConcreteDomain NumericDomain() {
+  ConcreteDomain d("numeric");
+  d.RegisterPredicate("small", 1, [](const std::vector<DomainValue>& a) {
+    return a[0].number < 10;
+  });
+  return d;
+}
+
+TEST(ReorderTest, GreedyNeverHoistsComputablePastProducer) {
+  // small(X) scores as nearly-bound (one argument, no constants needed) —
+  // the old greedy hoisted it ahead of at(O, X), the literal that binds X,
+  // turning a valid written order into an unbound-argument error.
+  auto db = std::make_unique<VideoDatabase>();
+  for (auto [name, x] : std::initializer_list<std::pair<const char*, int>>{
+           {"a", 3}, {"b", 7}, {"c", 50}}) {
+    ObjectId id = *db->CreateEntity(name);
+    VQLDB_CHECK_OK(db->AssertFact("at", {Value::Oid(id), Value::Int(x)}));
+  }
+  ConcreteDomain domain = NumericDomain();
+  EvalOptions options;
+  options.reorder_body = true;
+  options.concrete_domain = &domain;
+  auto eval = Evaluator::Make(
+      db.get(), ParseRules({"tiny(O) <- at(O, X), small(X)."}), options);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  const CompiledRule& compiled = eval->compiled_rules()[0];
+  ASSERT_EQ(compiled.steps.size(), 2u);
+  EXPECT_EQ(compiled.steps[0].literal.predicate, "at");
+  EXPECT_EQ(compiled.steps[1].literal.predicate, "small");
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok()) << fp.status();
+  EXPECT_EQ(fp->FactsFor("tiny").size(), 2u);  // a, b
+}
+
+TEST(ReorderTest, GreedyRepairsComputableWrittenBeforeProducer) {
+  // Written with the computable literal first — unrunnable as written; the
+  // legality-aware greedy moves the producing literal ahead of it.
+  auto db = std::make_unique<VideoDatabase>();
+  ObjectId id = *db->CreateEntity("a");
+  VQLDB_CHECK_OK(db->AssertFact("at", {Value::Oid(id), Value::Int(3)}));
+  ConcreteDomain domain = NumericDomain();
+  EvalOptions options;
+  options.concrete_domain = &domain;
+
+  auto rules = ParseRules({"tiny(O) <- small(X), at(O, X)."});
+  {
+    // Written order: unbound computable argument is a runtime error.
+    auto eval = Evaluator::Make(db.get(), rules, options);
+    ASSERT_TRUE(eval.ok()) << eval.status();
+    EXPECT_TRUE(eval->Fixpoint().status().IsEvaluationError());
+  }
+  options.reorder_body = true;
+  auto eval = Evaluator::Make(db.get(), rules, options);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  const CompiledRule& compiled = eval->compiled_rules()[0];
+  EXPECT_EQ(compiled.steps[0].literal.predicate, "at");
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok()) << fp.status();
+  EXPECT_EQ(fp->FactsFor("tiny").size(), 1u);
+}
+
+// An adversarial policy that strands the computable literal first; the
+// compiler must reject the permutation and keep the written order.
+class StrandingOrderer : public LiteralOrderer {
+ public:
+  std::vector<size_t> OrderBody(
+      const std::vector<CompiledLiteral>& literals,
+      const std::vector<bool>& computable) const override {
+    std::vector<size_t> perm(literals.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    // Move the computable literal to the front, shifting the rest right.
+    for (size_t i = 0; i < computable.size(); ++i) {
+      if (computable[i]) {
+        perm.erase(perm.begin() + static_cast<ptrdiff_t>(i));
+        perm.insert(perm.begin(), i);
+        break;
+      }
+    }
+    return perm;
+  }
+};
+
+// A policy returning a malformed (duplicated-index) permutation.
+class MalformedOrderer : public LiteralOrderer {
+ public:
+  std::vector<size_t> OrderBody(
+      const std::vector<CompiledLiteral>& literals,
+      const std::vector<bool>&) const override {
+    return std::vector<size_t>(literals.size(), 0);
+  }
+};
+
+TEST(ReorderTest, IllegalPolicyPermutationFallsBackToWrittenOrder) {
+  VideoDatabase db;
+  ObjectId id = *db.CreateEntity("a");
+  VQLDB_CHECK_OK(db.AssertFact("at", {Value::Oid(id), Value::Int(3)}));
+  ConcreteDomain domain = NumericDomain();
+  auto rule = Parser::ParseRule("tiny(O) <- at(O, X), small(X).");
+  ASSERT_TRUE(rule.ok());
+
+  for (const LiteralOrderer* orderer :
+       std::initializer_list<const LiteralOrderer*>{
+           new StrandingOrderer(), new MalformedOrderer()}) {
+    CompileOptions copts;
+    copts.concrete_domain = &domain;
+    copts.orderer = orderer;
+    auto compiled = RuleCompiler::Compile(*rule, db, copts);
+    ASSERT_TRUE(compiled.ok()) << compiled.status();
+    // The written order survives: producer first, computable check second.
+    ASSERT_EQ(compiled->steps.size(), 2u);
+    EXPECT_EQ(compiled->steps[0].literal.predicate, "at");
+    EXPECT_EQ(compiled->steps[1].literal.predicate, "small");
+    delete orderer;
+  }
+}
+
+TEST(ReorderTest, PlannerOrderingPreservesComputableLegality) {
+  // The planner's selectivity ordering faces the same trap: small(X) has
+  // the fewest estimated candidates, but must still wait for at(O, X).
+  auto db = std::make_unique<VideoDatabase>();
+  for (int i = 0; i < 40; ++i) {
+    ObjectId id = *db->CreateEntity("e" + std::to_string(i));
+    VQLDB_CHECK_OK(db->AssertFact("at", {Value::Oid(id), Value::Int(i)}));
+  }
+  ConcreteDomain domain = NumericDomain();
+  Planner planner(db.get(), obs::StatsSnapshot{});
+  EvalOptions options;
+  options.reorder_body = true;
+  options.body_orderer = &planner;
+  options.concrete_domain = &domain;
+  auto eval = Evaluator::Make(
+      db.get(), ParseRules({"tiny(O) <- small(X), at(O, X)."}), options);
+  ASSERT_TRUE(eval.ok()) << eval.status();
+  const CompiledRule& compiled = eval->compiled_rules()[0];
+  ASSERT_EQ(compiled.steps.size(), 2u);
+  EXPECT_EQ(compiled.steps[0].literal.predicate, "at");
+  EXPECT_EQ(compiled.steps[1].literal.predicate, "small");
+  auto fp = eval->Fixpoint();
+  ASSERT_TRUE(fp.ok()) << fp.status();
+  EXPECT_EQ(fp->FactsFor("tiny").size(), 10u);  // x in [0, 10)
 }
 
 }  // namespace

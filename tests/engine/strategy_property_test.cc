@@ -1,7 +1,10 @@
 // Property test: for seeded random programs and every goal binding pattern,
-// the magic-set rewritten evaluation produces exactly the answer set of the
-// full (naive) fixpoint — serially, in parallel, and under a (far-future)
-// deadline. This is the correctness bar of the goal-directed engine.
+// the three execution strategies — QSQR top-down, magic-set rewrite, and the
+// full bottom-up fixpoint — produce exactly the same answer sets, serially,
+// in parallel, under a (far-future) deadline, and under a memory governor.
+// Three coexisting strategies is where answer-divergence bugs breed; this
+// suite is the correctness bar for EvalStrategy::kAuto being free to pick
+// any of them.
 
 #include <gtest/gtest.h>
 
@@ -26,8 +29,8 @@ struct Scenario {
 };
 
 // Random positive programs over two EDB relations e/2 and f/2 and two IDB
-// predicates d0/2 and d1/2 (the differential-oracle generator's fragment:
-// joins, recursion, mutual recursion, Object(), variable (dis)equality).
+// predicates d0/2 and d1/2 (the same fragment the magic-set property suite
+// uses: joins, recursion, mutual recursion, Object(), (dis)equality).
 Scenario RandomScenario(uint64_t seed) {
   Rng rng(seed);
   Scenario s;
@@ -64,8 +67,8 @@ Scenario RandomScenario(uint64_t seed) {
   return s;
 }
 
-// Every goal shape exercised per scenario: both IDB predicates under all
-// four binding patterns plus a repeated-variable goal.
+// Every goal shape per scenario: both IDB predicates under all four binding
+// patterns plus a repeated-variable goal.
 std::vector<std::string> GoalsFor(const Scenario& s, uint64_t seed) {
   Rng rng(seed * 7919 + 13);
   auto c = [&] { return "c" + std::to_string(rng.UniformU64(s.entity_count)); };
@@ -81,7 +84,8 @@ std::vector<std::string> GoalsFor(const Scenario& s, uint64_t seed) {
   return goals;
 }
 
-void CheckEquivalence(uint64_t seed, size_t num_threads, bool with_deadline) {
+void CheckEquivalence(uint64_t seed, size_t num_threads, bool with_deadline,
+                      bool governed) {
   Scenario s = RandomScenario(seed);
   EvalOptions options;
   options.num_threads = num_threads;
@@ -90,49 +94,74 @@ void CheckEquivalence(uint64_t seed, size_t num_threads, bool with_deadline) {
         std::chrono::steady_clock::now() + std::chrono::minutes(10);
   }
   QuerySession session(s.db.get(), options);
-  // The suite asserts used_magic, so pin the magic strategy instead of
-  // letting the cost-based kAuto default route bound goals to QSQR.
-  session.mutable_options()->strategy = EvalStrategy::kMagic;
   session.set_cache_enabled(false);
+  if (governed) session.EnableMemoryGovernor(256ull << 20);
   for (const Rule& rule : s.rules) ASSERT_TRUE(session.AddRule(rule).ok());
 
   for (const std::string& goal : GoalsFor(s, seed)) {
-    session.set_magic_enabled(true);
-    auto magic = session.Query(goal);
-    ASSERT_TRUE(magic.ok()) << "seed " << seed << " goal " << goal << ": "
-                            << magic.status();
-    EXPECT_TRUE(session.last_exec_info().used_magic)
-        << "seed " << seed << " goal " << goal;
-
-    session.set_magic_enabled(false);
+    // Baseline: the full bottom-up fixpoint, no goal direction.
+    session.mutable_options()->strategy = EvalStrategy::kFixpoint;
     session.Invalidate();
     auto full = session.Query(goal);
     ASSERT_TRUE(full.ok()) << "seed " << seed << " goal " << goal << ": "
                            << full.status();
 
+    session.mutable_options()->strategy = EvalStrategy::kQsqr;
+    auto qsqr = session.Query(goal);
+    ASSERT_TRUE(qsqr.ok()) << "seed " << seed << " goal " << goal << ": "
+                           << qsqr.status();
+    // This fragment has no decline condition: QSQR must actually run.
+    EXPECT_TRUE(session.last_exec_info().used_qsqr)
+        << "seed " << seed << " goal " << goal << " fell back: "
+        << session.last_exec_info().magic_reason;
+    EXPECT_EQ(qsqr->rows, full->rows) << "seed " << seed << " goal " << goal;
+    EXPECT_EQ(qsqr->columns, full->columns)
+        << "seed " << seed << " goal " << goal;
+
+    session.mutable_options()->strategy = EvalStrategy::kMagic;
+    auto magic = session.Query(goal);
+    ASSERT_TRUE(magic.ok()) << "seed " << seed << " goal " << goal << ": "
+                            << magic.status();
+    EXPECT_TRUE(session.last_exec_info().used_magic)
+        << "seed " << seed << " goal " << goal;
     EXPECT_EQ(magic->rows, full->rows) << "seed " << seed << " goal " << goal;
     EXPECT_EQ(magic->columns, full->columns)
         << "seed " << seed << " goal " << goal;
+
+    // Auto may pick any of the three; whatever it picks must agree too.
+    session.mutable_options()->strategy = EvalStrategy::kAuto;
+    auto automatic = session.Query(goal);
+    ASSERT_TRUE(automatic.ok()) << "seed " << seed << " goal " << goal << ": "
+                                << automatic.status();
+    EXPECT_EQ(automatic->rows, full->rows)
+        << "seed " << seed << " goal " << goal << " (auto chose "
+        << session.last_exec_info().strategy << ")";
   }
 }
 
-class MagicEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
+class StrategyEquivalenceTest : public ::testing::TestWithParam<uint64_t> {};
 
-TEST_P(MagicEquivalenceTest, SerialMatchesFullFixpoint) {
-  CheckEquivalence(GetParam(), /*num_threads=*/1, /*with_deadline=*/false);
+TEST_P(StrategyEquivalenceTest, SerialAnswersAgree) {
+  CheckEquivalence(GetParam(), /*num_threads=*/1, /*with_deadline=*/false,
+                   /*governed=*/false);
 }
 
-TEST_P(MagicEquivalenceTest, ParallelMatchesFullFixpoint) {
+TEST_P(StrategyEquivalenceTest, ParallelAnswersAgree) {
   CheckEquivalence(GetParam() + 5000, /*num_threads=*/8,
-                   /*with_deadline=*/false);
+                   /*with_deadline=*/false, /*governed=*/false);
 }
 
-TEST_P(MagicEquivalenceTest, DeadlinedRunsMatchToo) {
+TEST_P(StrategyEquivalenceTest, DeadlinedAnswersAgree) {
   CheckEquivalence(GetParam() + 9000, /*num_threads=*/(GetParam() % 2) ? 8 : 1,
-                   /*with_deadline=*/true);
+                   /*with_deadline=*/true, /*governed=*/false);
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, MagicEquivalenceTest,
+TEST_P(StrategyEquivalenceTest, GovernedAnswersAgree) {
+  CheckEquivalence(GetParam() + 13000, /*num_threads=*/1,
+                   /*with_deadline=*/false, /*governed=*/true);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StrategyEquivalenceTest,
                          ::testing::Range<uint64_t>(0, 40));
 
 }  // namespace

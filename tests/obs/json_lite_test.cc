@@ -1,0 +1,108 @@
+// Unicode handling in the minimal JSON reader: \uXXXX escapes must decode
+// surrogate pairs to supplementary-plane UTF-8 and reject lone surrogates.
+
+#include "src/obs/json_lite.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vqldb {
+namespace obs {
+namespace {
+
+JsonValue MustParse(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &v, &error)) << error;
+  return v;
+}
+
+std::string ParseError(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_FALSE(ParseJson(text, &v, &error)) << "expected parse failure";
+  return error;
+}
+
+TEST(JsonLiteUnicodeTest, BmpEscapesDecodeToUtf8) {
+  JsonValue v = MustParse("\"\\u0041\\u00e9\\u20ac\"");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.string_value, "A\xc3\xa9\xe2\x82\xac");  // A é €
+}
+
+TEST(JsonLiteUnicodeTest, SurrogatePairDecodesToFourByteUtf8) {
+  // U+1F600 GRINNING FACE as the pair \uD83D\uDE00.
+  JsonValue v = MustParse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.string_value, "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonLiteUnicodeTest, UppercaseHexSurrogatePair) {
+  // U+10348 GOTHIC LETTER HWAIR.
+  JsonValue v = MustParse("\"\\uD800\\uDF48\"");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.string_value, "\xf0\x90\x8d\x88");
+}
+
+TEST(JsonLiteUnicodeTest, MaxCodePointRoundTrips) {
+  // U+10FFFF = \uDBFF\uDFFF.
+  JsonValue v = MustParse("\"\\udbff\\udfff\"");
+  ASSERT_TRUE(v.is_string());
+  EXPECT_EQ(v.string_value, "\xf4\x8f\xbf\xbf");
+}
+
+TEST(JsonLiteUnicodeTest, LoneHighSurrogateRejected) {
+  std::string err = ParseError("\"\\ud83d\"");
+  EXPECT_NE(err.find("unpaired high surrogate"), std::string::npos) << err;
+}
+
+TEST(JsonLiteUnicodeTest, HighSurrogateFollowedByNonEscapeRejected) {
+  std::string err = ParseError("\"\\ud83dx\"");
+  EXPECT_NE(err.find("unpaired high surrogate"), std::string::npos) << err;
+}
+
+TEST(JsonLiteUnicodeTest, HighSurrogateFollowedByBmpEscapeRejected) {
+  std::string err = ParseError("\"\\ud83d\\u0041\"");
+  EXPECT_NE(err.find("unpaired high surrogate"), std::string::npos) << err;
+}
+
+TEST(JsonLiteUnicodeTest, LoneLowSurrogateRejected) {
+  std::string err = ParseError("\"\\ude00\"");
+  EXPECT_NE(err.find("unpaired low surrogate"), std::string::npos) << err;
+}
+
+TEST(JsonLiteUnicodeTest, TruncatedSecondEscapeRejected) {
+  std::string err = ParseError("\"\\ud83d\\ud\"");
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(JsonLiteUnicodeTest, EscapedAndRawNonBmpAgree) {
+  // A raw 4-byte UTF-8 emoji passes through untouched and equals the
+  // decoded escape form.
+  JsonValue raw = MustParse("\"\xf0\x9f\x98\x80\"");
+  JsonValue escaped = MustParse("\"\\ud83d\\ude00\"");
+  EXPECT_EQ(raw.string_value, escaped.string_value);
+}
+
+TEST(JsonLiteUnicodeTest, JsonEscapeRoundTripsNonBmp) {
+  // JsonEscape passes bytes >= 0x20 through raw, so non-BMP UTF-8 embedded
+  // in a document round-trips byte-identically.
+  std::string original = "plan \xf0\x9f\x98\x80 cost \xf0\x90\x8d\x88";
+  std::string doc = "{\"k\":\"" + JsonEscape(original) + "\"}";
+  JsonValue v = MustParse(doc);
+  const JsonValue* k = v.Find("k");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->string_value, original);
+}
+
+TEST(JsonLiteUnicodeTest, SurrogatePairInsideObjectKey) {
+  JsonValue v = MustParse("{\"\\ud83d\\ude00\":1}");
+  const JsonValue* k = v.Find("\xf0\x9f\x98\x80");
+  ASSERT_NE(k, nullptr);
+  EXPECT_EQ(k->number_value, 1.0);
+}
+
+}  // namespace
+}  // namespace obs
+}  // namespace vqldb

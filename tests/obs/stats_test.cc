@@ -6,6 +6,8 @@
 #include "src/obs/stats.h"
 
 #include <algorithm>
+
+#include "src/obs/json_lite.h"
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -216,6 +218,43 @@ TEST(SlowLogJsonTest, RenderValidatesRoundTrip) {
   std::string json = collector.RenderSlowLogJson();
   std::string error;
   EXPECT_TRUE(ValidateSlowLogJson(json, &error)) << error;
+}
+
+TEST(SlowLogJsonTest, NonBmpFingerprintsRoundTrip) {
+  // Fingerprints carrying supplementary-plane symbols (a predicate named
+  // after an emoji label, say) must survive render -> validate intact: the
+  // escaper passes raw UTF-8 through and the parser reassembles \uXXXX
+  // surrogate pairs.
+  StatsCollector collector;
+  collector.set_slow_threshold_us(0);
+  const std::string fp = "clip_\xf0\x9f\x8e\xac($0)";  // U+1F3AC movie camera
+  collector.RecordQuery(MakeRecord(fp, 120));
+  std::string json = collector.RenderSlowLogJson();
+  std::string error;
+  ASSERT_TRUE(ValidateSlowLogJson(json, &error)) << error;
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(json, &doc, &error)) << error;
+  const JsonValue* entries = doc.Find("entries");
+  ASSERT_NE(entries, nullptr);
+  ASSERT_FALSE(entries->array.empty());
+  const JsonValue* got = entries->array[0].Find("fingerprint");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->string_value, fp);
+}
+
+TEST(SlowLogJsonTest, EscapedSurrogatePairFingerprintValidates) {
+  // A document produced by a stricter writer that \u-escapes non-ASCII must
+  // validate too, and decode to the same UTF-8 bytes.
+  std::string error;
+  JsonValue doc;
+  ASSERT_TRUE(ParseJson(
+      R"json({"fingerprint": "clip_\ud83c\udfac($0)"})json", &doc, &error))
+      << error;
+  const JsonValue* fp = doc.Find("fingerprint");
+  ASSERT_NE(fp, nullptr);
+  EXPECT_EQ(fp->string_value, "clip_\xf0\x9f\x8e\xac($0)");
+  // Lone surrogates are mojibake feedstock and must not validate.
+  EXPECT_FALSE(ParseJson(R"json({"fingerprint": "\ud83c"})json", &doc, &error));
 }
 
 TEST(SlowLogJsonTest, RejectsCorruptDocuments) {

@@ -129,6 +129,39 @@ TEST_F(ReplTest, StatsResetClearsTheCollectorAtomically) {
   EXPECT_TRUE(after.slow.empty());
 }
 
+TEST_F(ReplTest, StrategyCommandSwitchesAndReports) {
+  EXPECT_EQ(repl_.Execute(".strategy"), "strategy: auto\n");
+  EXPECT_EQ(repl_.Execute(".strategy qsqr"), "strategy: qsqr\n");
+  EXPECT_EQ(repl_.Execute(".strategy"), "strategy: qsqr\n");
+  EXPECT_NE(repl_.Execute(".strategy nope").find("usage"), std::string::npos);
+  // Answers are strategy-independent.
+  repl_.Execute("object o1 {}.");
+  repl_.Execute("object o2 {}.");
+  repl_.Execute("edge(o1, o2).");
+  repl_.Execute("p(X, Y) <- edge(X, Y).");
+  std::string qsqr_out = repl_.Execute("?- p(o1, Y).");
+  EXPECT_EQ(repl_.Execute(".strategy fixpoint"), "strategy: fixpoint\n");
+  EXPECT_EQ(repl_.Execute("?- p(o1, Y)."), qsqr_out);
+}
+
+TEST_F(ReplTest, ReorderCommandTogglesAndReports) {
+  std::string off = repl_.Execute(".reorder");
+  EXPECT_NE(off.find("off"), std::string::npos);
+  EXPECT_NE(repl_.Execute(".reorder on").find("on"), std::string::npos);
+  EXPECT_NE(repl_.Execute(".reorder").find("on"), std::string::npos);
+  EXPECT_NE(repl_.Execute(".reorder nope").find("usage"), std::string::npos);
+  // Reordering is a pure access-path change.
+  repl_.Execute("object o1 {}.");
+  repl_.Execute("object o2 {}.");
+  repl_.Execute("edge(o1, o2).");
+  repl_.Execute("tagged(o2).");
+  repl_.Execute("hit(X, Y) <- edge(X, Y), tagged(Y).");
+  std::string on_out = repl_.Execute("?- hit(X, Y).");
+  EXPECT_NE(on_out.find("1 answer"), std::string::npos);
+  EXPECT_NE(repl_.Execute(".reorder off").find("off"), std::string::npos);
+  EXPECT_EQ(repl_.Execute("?- hit(X, Y)."), on_out);
+}
+
 TEST_F(ReplTest, RulesListing) {
   EXPECT_EQ(repl_.Execute(".rules"), "(no rules)\n");
   repl_.Execute("object o1 {}.");

@@ -5,6 +5,8 @@
 #include <filesystem>
 #include <fstream>
 
+#include <unistd.h>
+
 #include "src/common/logging.h"
 #include "src/model/term_dict.h"
 #include "src/obs/metrics.h"
@@ -17,7 +19,10 @@ namespace {
 class JournalTest : public ::testing::Test {
  protected:
   void SetUp() override {
-    dir_ = ::testing::TempDir() + "/journal_test";
+    // Per-process directory: ctest runs each case as its own process, and
+    // concurrent cases sharing one fixed path race in SetUp/TearDown.
+    dir_ = ::testing::TempDir() + "/journal_test." +
+           std::to_string(static_cast<long>(::getpid()));
     std::filesystem::remove_all(dir_);
     std::filesystem::create_directories(dir_);
     journal_path_ = dir_ + "/archive.log";

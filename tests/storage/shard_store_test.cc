@@ -383,6 +383,66 @@ TEST_F(ShardStoreTest, KillAndRecoverShardRoundTrip) {
   EXPECT_FALSE(full->partial);
 }
 
+// Kill -> query -> recover -> query: answers produced during a degraded
+// (PARTIAL) scatter must never enter the per-shard query caches — a cached
+// entry carries no completeness report, so a later hit would serve the
+// degraded-era answer as if the scatter had been complete.
+TEST_F(ShardStoreTest, DegradedScatterNeverPopulatesShardCaches) {
+  auto archive = MustOpen(root_, FastOptions(4));
+  ASSERT_NE(archive, nullptr);
+  SeedEveryShard(*archive);
+
+  // A complete scatter caches one entry in every shard's session.
+  auto before = archive->Query("?- tagged(X).");
+  ASSERT_TRUE(before.ok()) << before.status();
+  EXPECT_EQ(before->size(), 4u);
+
+  archive->KillShard(1);
+
+  // Strict mode fails on the health pre-scan, before any shard session
+  // runs — no shard caches an answer for the doomed scatter.
+  EXPECT_TRUE(archive->Query("?- tagged(sym0).").status().IsUnavailable());
+
+  // A degraded scatter answers from the live shards with caching
+  // suppressed: sym0 resolves only on shard 0, so shard 0 runs this fresh
+  // goal but must not retain it.
+  ShardedArchive::QueryOptions partial_opts;
+  partial_opts.allow_partial = true;
+  auto partial = archive->Query("?- tagged(sym0).", partial_opts);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_TRUE(partial->partial);
+  EXPECT_EQ(partial->size(), 1u);
+
+  // Every live shard still holds exactly the one complete-era entry; the
+  // degraded-era goal was not stored. sys_cache(kind, enabled, entries,
+  // bytes, max) reports each session's cache occupancy.
+  auto caches = archive->Query("?- sys_cache(K, E, N, B, M).", partial_opts);
+  ASSERT_TRUE(caches.ok()) << caches.status();
+  bool saw_query_row = false;
+  for (const auto& row : caches->rows) {
+    ASSERT_EQ(row.size(), 5u);
+    if (row[0] != "\"query\"" && row[0] != "query") continue;
+    saw_query_row = true;
+    EXPECT_EQ(row[2], "1") << "degraded-era answer was cached";
+  }
+  EXPECT_TRUE(saw_query_row);
+
+  // Recovery restores the shard; a strict scatter is complete again and
+  // includes the recovered shard's contribution.
+  ASSERT_TRUE(archive->RecoverShard(1).ok());
+  auto full = archive->Query("?- tagged(X).");
+  ASSERT_TRUE(full.ok()) << full.status();
+  EXPECT_FALSE(full->partial);
+  EXPECT_EQ(full->rows, before->rows);
+
+  // The goal suppressed during degradation now answers (and caches)
+  // normally, still with the same rows.
+  auto again = archive->Query("?- tagged(sym0).");
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_FALSE(again->partial);
+  EXPECT_EQ(again->rows, partial->rows);
+}
+
 TEST_F(ShardStoreTest, RecoveryRetriesWithBackoffUntilTheFaultClears) {
   {
     auto archive = MustOpen(root_, FastOptions(2));

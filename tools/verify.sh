@@ -24,6 +24,12 @@
 #    --no-merge-join must print byte-identical answers (merge joins are a
 #    pure access-path change), and EXPLAIN ANALYZE must surface the join
 #    strategy counters.
+# 6a. Planner smoke: the same chain workload run under every forced
+#    --strategy= (qsqr, magic, fixpoint) and under auto must print
+#    byte-identical answers, --reorder must not change answers, EXPLAIN must
+#    show the planner's strategy line (and mark forced choices), and
+#    bench_planner's deterministic series must pass its own gates (auto
+#    within 5% of the per-query best, >=5x bound-goal speedup vs fixpoint).
 # 6b. Self-observation smoke: a workload under `vql --slow-ms=0` must answer
 #    a sys_queries goal containing its own earlier query's fingerprint,
 #    print slow-log entries via .slowlog, and emit a --slowlog-out JSON
@@ -39,7 +45,8 @@
 #    replay, the victim a prefix of its acked stream, poisoned journals
 #    quarantined to strict-Unavailable / marked-partial answers.
 # 7. Configure + build with -DVQLDB_SANITIZE=address and run the governance,
-#    dictionary, columnar, and shard tests under ASan (the budget hierarchy
+#    dictionary, columnar, shard, and planner/QSQR tests under ASan (the
+#    budget hierarchy
 #    moves ownership across queries, caches, and rollbacks; the dictionary
 #    arena and segment seal/merge paths juggle raw pointers; shard recovery
 #    tears down and rebuilds per-shard databases — exactly where lifetime
@@ -47,8 +54,9 @@
 # 8. Configure + build with -DVQLDB_SANITIZE=thread and run the fixpoint
 #    determinism test, the thread-pool tests, the admission-gate stress
 #    test, the dictionary/columnar tests (lock-free Get, concurrent
-#    interning, parallel seal digests), and the shard-store test (parallel
-#    per-shard recovery, scatter-gather over live shards) under TSan.
+#    interning, parallel seal digests), the shard-store test (parallel
+#    per-shard recovery, scatter-gather over live shards), and the
+#    strategy-equivalence property suite's parallel mode under TSan.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -113,6 +121,39 @@ diff "$OBS_TMP/magic_on.out" "$OBS_TMP/magic_off.out" \
   || { echo "goal-directed answers diverge from the full fixpoint"; exit 1; }
 grep -q "magic: on" <(./build/tools/vql <<< $'object a { }.\np(a).\nexplain ?- p(X).\n.quit') \
   || { echo "EXPLAIN is missing the magic status line"; exit 1; }
+
+echo "== planner smoke: answers byte-identical across --strategy= =="
+{
+  for i in $(seq 0 60); do echo "object n$i { }."; done
+  for i in $(seq 0 59); do echo "edge(n$i, n$((i+1)))."; done
+  echo "path(X, Y) <- edge(X, Y)."
+  echo "path(X, Z) <- path(X, Y), edge(Y, Z)."
+  echo "?- path(n55, Y)."
+  echo "?- path(X, n3)."
+  echo "?- path(X, Y)."
+  echo ".quit"
+} > "$OBS_TMP/strategy.vql"
+for s in qsqr magic fixpoint auto; do
+  ./build/tools/vql --no-cache --strategy="$s" <"$OBS_TMP/strategy.vql" \
+      >"$OBS_TMP/strategy_$s.out"
+done
+for s in magic fixpoint auto; do
+  diff "$OBS_TMP/strategy_qsqr.out" "$OBS_TMP/strategy_$s.out" \
+    || { echo "--strategy=$s answers diverge from --strategy=qsqr"; exit 1; }
+done
+./build/tools/vql --no-cache --reorder <"$OBS_TMP/strategy.vql" \
+    >"$OBS_TMP/strategy_reorder.out"
+diff "$OBS_TMP/strategy_qsqr.out" "$OBS_TMP/strategy_reorder.out" \
+  || { echo "--reorder answers diverge from the written order"; exit 1; }
+grep -q "strategy: " <(./build/tools/vql \
+    <<< $'object a { }.\nobject b { }.\ne(a, b).\np(X, Y) <- e(X, Y).\nexplain ?- p(a, Y).\n.quit') \
+  || { echo "EXPLAIN is missing the planner strategy line"; exit 1; }
+grep -q "strategy: fixpoint (forced" <(./build/tools/vql --strategy=fixpoint \
+    <<< $'object a { }.\nobject b { }.\ne(a, b).\np(X, Y) <- e(X, Y).\nexplain ?- p(a, Y).\n.quit') \
+  || { echo "EXPLAIN does not mark a forced strategy"; exit 1; }
+
+echo "== planner bench gate: bench_planner series (auto within 5% of best) =="
+(cd "$OBS_TMP" && "$OLDPWD/build/bench/bench_planner" >/dev/null)
 
 echo "== columnar smoke: join answers identical with --no-merge-join =="
 {
@@ -218,9 +259,10 @@ cmake -B build-asan -S . -DVQLDB_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target budget_test query_gate_test resource_governor_test \
            term_dict_test columnar_test columnar_accounting_test \
-           backoff_test shard_manifest_test shard_store_test
+           backoff_test shard_manifest_test shard_store_test \
+           qsqr_test planner_test
 
-echo "== asan: budget + gate + governor + dictionary + columnar + shards =="
+echo "== asan: budget + gate + governor + dictionary + columnar + shards + planner =="
 ./build-asan/tests/budget_test
 ./build-asan/tests/query_gate_test
 ./build-asan/tests/resource_governor_test
@@ -230,14 +272,17 @@ echo "== asan: budget + gate + governor + dictionary + columnar + shards =="
 ./build-asan/tests/backoff_test
 ./build-asan/tests/shard_manifest_test
 ./build-asan/tests/shard_store_test
+./build-asan/tests/qsqr_test
+./build-asan/tests/planner_test
 
 echo "== tsan: build (-DVQLDB_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DVQLDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target parallel_determinism_test thread_pool_test gate_stress_test \
-           term_dict_test columnar_test stats_test shard_store_test
+           term_dict_test columnar_test stats_test shard_store_test \
+           strategy_property_test
 
-echo "== tsan: parallel determinism + thread pool + gate stress + columnar + shards =="
+echo "== tsan: parallel determinism + thread pool + gate stress + columnar + shards + strategies =="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/thread_pool_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/gate_stress_test
@@ -245,5 +290,7 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/term_dict_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/columnar_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/stats_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_store_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/strategy_property_test \
+    --gtest_filter='*Parallel*'
 
 echo "verify: OK"

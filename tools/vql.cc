@@ -18,6 +18,12 @@
 //   --no-magic             disable goal-directed magic-set rewriting — every
 //                          query materializes the full fixpoint (also
 //                          settable at runtime: .magic on|off)
+//   --strategy=<s>         execution strategy: auto (cost-based planner,
+//                          default) | qsqr | magic | fixpoint (also
+//                          settable at runtime: .strategy)
+//   --reorder              stats-driven body-literal reordering: the planner
+//                          orders each rule body by estimated selectivity
+//                          instead of the written order (also: .reorder on)
 //   --no-cache             disable the memoizing query cache (also settable
 //                          at runtime: .cache on|off|clear)
 //   --no-merge-join        disable sorted-segment merge joins — every bound
@@ -173,6 +179,27 @@ int main(int argc, char** argv) {
     }
     if (arg == "--no-magic") {
       no_magic = true;
+      continue;
+    }
+    if (StartsWith(arg, "--strategy=")) {
+      std::string value = arg.substr(std::string("--strategy=").size());
+      if (value == "auto") {
+        options.strategy = EvalStrategy::kAuto;
+      } else if (value == "qsqr") {
+        options.strategy = EvalStrategy::kQsqr;
+      } else if (value == "magic") {
+        options.strategy = EvalStrategy::kMagic;
+      } else if (value == "fixpoint") {
+        options.strategy = EvalStrategy::kFixpoint;
+      } else {
+        std::cerr << "--strategy: unknown strategy " << value
+                  << " (auto|qsqr|magic|fixpoint)\n";
+        return 1;
+      }
+      continue;
+    }
+    if (arg == "--reorder") {
+      options.reorder_body = true;
       continue;
     }
     if (arg == "--no-cache") {
