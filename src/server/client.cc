@@ -1,0 +1,301 @@
+#include "src/server/client.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+namespace server {
+
+namespace {
+
+Status ErrnoStatus(const char* what) {
+  return Status::IOError(std::string(what) + ": " + std::strerror(errno));
+}
+
+void SetTimeout(int fd, int opt, uint64_t ms) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((ms % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, opt, &tv, sizeof(tv));
+}
+
+Result<int> ConnectFd(const std::string& host, uint16_t port,
+                      uint64_t connect_timeout_ms, uint64_t io_timeout_ms) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return ErrnoStatus("socket");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad host address: " + host);
+  }
+
+  // Connect with its own timeout (nonblocking + poll), then switch to
+  // blocking IO with per-call timeouts.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    Status st = ErrnoStatus("connect");
+    ::close(fd);
+    return st;
+  }
+  if (rc != 0) {
+    pollfd pfd{fd, POLLOUT, 0};
+    int pr = ::poll(&pfd, 1, static_cast<int>(connect_timeout_ms));
+    if (pr <= 0) {
+      ::close(fd);
+      return Status::Unavailable(pr == 0 ? "connect timed out"
+                                         : "connect poll failed");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (err != 0) {
+      ::close(fd);
+      return Status::Unavailable(std::string("connect: ") +
+                                 std::strerror(err));
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  SetTimeout(fd, SO_SNDTIMEO, io_timeout_ms);
+  SetTimeout(fd, SO_RCVTIMEO, io_timeout_ms);
+  return fd;
+}
+
+}  // namespace
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    options_ = std::move(other.options_);
+    fd_ = other.fd_;
+    rbuf_ = std::move(other.rbuf_);
+    other.fd_ = -1;
+    other.rbuf_.clear();
+  }
+  return *this;
+}
+
+Status Client::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  auto fd = ConnectFd(options_.host, options_.port,
+                      options_.connect_timeout_ms, options_.io_timeout_ms);
+  if (!fd.ok()) return fd.status();
+  fd_ = *fd;
+  rbuf_.clear();
+  return Status::OK();
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  rbuf_.clear();
+}
+
+Status Client::SendAll(const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return Status::Unavailable("send timed out");
+    }
+    return ErrnoStatus("send");
+  }
+  return Status::OK();
+}
+
+Result<Response> Client::RecvResponse() {
+  char buf[16384];
+  for (;;) {
+    std::string payload;
+    size_t consumed = 0;
+    DecodeResult dr = DecodeFrame(rbuf_, 0, &payload, &consumed);
+    if (dr == DecodeResult::kOk) {
+      rbuf_.erase(0, consumed);
+      Response response;
+      Status st = ParseResponse(payload, &response);
+      if (!st.ok()) return st;
+      return response;
+    }
+    if (dr == DecodeResult::kBad) {
+      return Status::Corruption("malformed response frame");
+    }
+    ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      rbuf_.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      // A torn frame (connection closed mid-response) lands here: some
+      // bytes arrived but never completed a frame.
+      return rbuf_.empty()
+                 ? Status::Unavailable("connection closed by server")
+                 : Status::Corruption("torn response frame");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::Unavailable("recv timed out");
+    }
+    return ErrnoStatus("recv");
+  }
+}
+
+Result<Response> Client::CallOnce(const Request& request) {
+  Status conn = Connect();
+  if (!conn.ok()) return conn;
+  Status sent = SendAll(EncodeRequest(request));
+  if (!sent.ok()) {
+    Close();
+    return sent;
+  }
+  auto response = RecvResponse();
+  if (!response.ok()) Close();
+  return response;
+}
+
+Result<Response> Client::Call(const Request& request) {
+  bool had_conn = connected();
+  auto response = CallOnce(request);
+  if (response.ok() || !had_conn) return response;
+  // The server may have closed the idle connection (drain, idle timeout)
+  // between calls; one reconnect attempt distinguishes that from a down
+  // server. Corruption (torn frame) is not retried: the request may have
+  // executed.
+  if (response.status().IsCorruption()) return response;
+  return CallOnce(request);
+}
+
+Result<Response> Client::Query(std::string text, uint32_t deadline_ms,
+                               bool allow_partial) {
+  Request request;
+  request.type = MsgType::kQuery;
+  request.deadline_ms = deadline_ms;
+  if (allow_partial) request.flags |= kFlagPartial;
+  request.text = std::move(text);
+  return Call(request);
+}
+
+Result<Response> Client::Statement(std::string text, uint32_t deadline_ms) {
+  Request request;
+  request.type = MsgType::kStatement;
+  request.deadline_ms = deadline_ms;
+  request.text = std::move(text);
+  return Call(request);
+}
+
+Result<Response> Client::Ping(std::string text) {
+  Request request;
+  request.type = MsgType::kPing;
+  request.text = std::move(text);
+  return Call(request);
+}
+
+Result<Response> Client::Admin(std::string text) {
+  Request request;
+  request.type = MsgType::kAdmin;
+  request.text = std::move(text);
+  return Call(request);
+}
+
+Result<Client::Options> ParseHostPort(std::string_view spec) {
+  Client::Options options;
+  size_t colon = spec.rfind(':');
+  std::string_view host = colon == std::string_view::npos
+                              ? std::string_view()
+                              : spec.substr(0, colon);
+  std::string_view port = colon == std::string_view::npos
+                              ? spec
+                              : spec.substr(colon + 1);
+  if (!host.empty()) options.host.assign(host);
+  int64_t p = 0;
+  if (!ParseNonNegativeInt(port, &p) || p <= 0 || p > 65535) {
+    return Status::InvalidArgument("bad host:port spec: " + std::string(spec));
+  }
+  options.port = static_cast<uint16_t>(p);
+  return options;
+}
+
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path, uint64_t timeout_ms,
+                            int* status_out) {
+  auto fd = ConnectFd(host, port, timeout_ms, timeout_ms);
+  if (!fd.ok()) return fd.status();
+
+  std::string request = "GET " + path + " HTTP/1.1\r\nHost: " + host +
+                        "\r\nConnection: close\r\n\r\n";
+  size_t off = 0;
+  while (off < request.size()) {
+    ssize_t n = ::send(*fd, request.data() + off, request.size() - off,
+                       MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    ::close(*fd);
+    return ErrnoStatus("send");
+  }
+
+  std::string raw;
+  char buf[16384];
+  for (;;) {
+    ssize_t n = ::recv(*fd, buf, sizeof(buf), 0);
+    if (n > 0) {
+      raw.append(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0) {
+      ::close(*fd);
+      return ErrnoStatus("recv");
+    }
+    break;  // EOF: server sent Connection: close
+  }
+  ::close(*fd);
+
+  size_t header_end = raw.find("\r\n\r\n");
+  if (!StartsWith(raw, "HTTP/1.") || header_end == std::string::npos) {
+    return Status::Corruption("malformed HTTP response");
+  }
+  size_t sp = raw.find(' ');
+  int code = 0;
+  if (sp != std::string::npos) {
+    int64_t parsed = 0;
+    if (ParseNonNegativeInt(std::string_view(raw).substr(sp + 1, 3), &parsed)) {
+      code = static_cast<int>(parsed);
+    }
+  }
+  if (status_out != nullptr) *status_out = code;
+  std::string body = raw.substr(header_end + 4);
+  if (status_out == nullptr && code != 200) {
+    return Status::Unavailable("HTTP " + std::to_string(code) + ": " + body);
+  }
+  return body;
+}
+
+}  // namespace server
+}  // namespace vqldb

@@ -1,0 +1,80 @@
+// A small blocking client for the vqldb wire protocol, used by
+// `vql --connect=`, tools/server_chaos, tools/obs_check and the tests.
+// One request in flight at a time (matching the server's per-connection
+// pipeline); timeouts apply per send/recv so a dead or torn server surfaces
+// as Status::IOError / Status::Unavailable instead of a hang.
+
+#ifndef VQLDB_SERVER_CLIENT_H_
+#define VQLDB_SERVER_CLIENT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/common/result.h"
+#include "src/server/wire.h"
+
+namespace vqldb {
+namespace server {
+
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;
+    uint64_t connect_timeout_ms = 5'000;
+    uint64_t io_timeout_ms = 30'000;  // per send / recv call
+  };
+
+  Client() = default;
+  explicit Client(Options options) : options_(std::move(options)) {}
+  ~Client() { Close(); }
+
+  Client(Client&& other) noexcept { *this = std::move(other); }
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// Connects (with timeout). Idempotent when already connected.
+  Status Connect();
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// One request/response round trip. Reconnects once when the connection
+  /// was lost since the last call (a server drain closes politely).
+  Result<Response> Call(const Request& request);
+
+  // Convenience wrappers.
+  Result<Response> Query(std::string text, uint32_t deadline_ms = 0,
+                         bool allow_partial = false);
+  Result<Response> Statement(std::string text, uint32_t deadline_ms = 0);
+  Result<Response> Ping(std::string text = "ping");
+  Result<Response> Admin(std::string text);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Result<Response> CallOnce(const Request& request);
+  Status SendAll(const std::string& bytes);
+  Result<Response> RecvResponse();
+
+  Options options_;
+  int fd_ = -1;
+  std::string rbuf_;  // bytes past the last decoded frame
+};
+
+/// "host:port" → Options host/port (for --connect= flags).
+Result<Client::Options> ParseHostPort(std::string_view spec);
+
+/// A one-shot HTTP/1.1 GET: connects, sends the request, reads until EOF
+/// and returns the response *body* (status line must be 200 unless
+/// `allow_any_status`, in which case the full body is still returned and
+/// `*status_out` receives the code).
+Result<std::string> HttpGet(const std::string& host, uint16_t port,
+                            const std::string& path,
+                            uint64_t timeout_ms = 10'000,
+                            int* status_out = nullptr);
+
+}  // namespace server
+}  // namespace vqldb
+
+#endif  // VQLDB_SERVER_CLIENT_H_

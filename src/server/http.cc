@@ -1,0 +1,188 @@
+#include "src/server/http.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "src/common/string_util.h"
+
+namespace vqldb {
+namespace server {
+
+namespace {
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+// %xx / '+' decoding for query-parameter values.
+std::string UrlDecode(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '+') {
+      out.push_back(' ');
+    } else if (s[i] == '%' && i + 2 < s.size() &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 1])) &&
+               std::isxdigit(static_cast<unsigned char>(s[i + 2]))) {
+      auto hex = [](char c) -> int {
+        if (c >= '0' && c <= '9') return c - '0';
+        return std::tolower(static_cast<unsigned char>(c)) - 'a' + 10;
+      };
+      out.push_back(static_cast<char>(hex(s[i + 1]) * 16 + hex(s[i + 2])));
+      i += 2;
+    } else {
+      out.push_back(s[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::string& HttpRequest::Header(const std::string& lower_name) const {
+  static const std::string kEmpty;
+  auto it = headers.find(lower_name);
+  return it == headers.end() ? kEmpty : it->second;
+}
+
+std::string HttpRequest::QueryParam(const std::string& name) const {
+  for (std::string_view pair :
+       Split(query, '&') /* empty pieces are harmless */) {
+    size_t eq = pair.find('=');
+    std::string_view key = pair.substr(0, eq);
+    if (key != name) continue;
+    return eq == std::string_view::npos ? std::string()
+                                        : UrlDecode(pair.substr(eq + 1));
+  }
+  return "";
+}
+
+bool LooksLikeHttp(std::string_view prefix) {
+  static constexpr std::string_view kMethods[] = {
+      "GET ", "POST ", "HEAD ", "PUT ", "DELETE ", "OPTIONS "};
+  for (std::string_view m : kMethods) {
+    size_t n = std::min(prefix.size(), m.size());
+    if (prefix.substr(0, n) == m.substr(0, n)) return true;
+  }
+  return false;
+}
+
+HttpParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* request,
+                                 size_t* consumed) {
+  size_t header_end = buffer.find("\r\n\r\n");
+  if (header_end == std::string_view::npos) {
+    return buffer.size() > kMaxHttpHeaderBytes ? HttpParseResult::kBad
+                                               : HttpParseResult::kNeedMore;
+  }
+  if (header_end > kMaxHttpHeaderBytes) return HttpParseResult::kBad;
+
+  std::string_view head = buffer.substr(0, header_end);
+  size_t line_end = head.find("\r\n");
+  std::string_view request_line =
+      line_end == std::string_view::npos ? head : head.substr(0, line_end);
+
+  // METHOD SP target SP HTTP/1.x
+  size_t sp1 = request_line.find(' ');
+  size_t sp2 = request_line.rfind(' ');
+  if (sp1 == std::string_view::npos || sp2 == sp1) return HttpParseResult::kBad;
+  std::string_view method = request_line.substr(0, sp1);
+  std::string_view target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+  std::string_view version = request_line.substr(sp2 + 1);
+  if (method.empty() || target.empty() || !StartsWith(version, "HTTP/1.")) {
+    return HttpParseResult::kBad;
+  }
+  request->method.assign(method);
+  size_t qmark = target.find('?');
+  request->path.assign(target.substr(0, qmark));
+  request->query.assign(
+      qmark == std::string_view::npos ? std::string_view() : target.substr(qmark + 1));
+
+  request->headers.clear();
+  std::string_view rest =
+      line_end == std::string_view::npos ? std::string_view() : head.substr(line_end + 2);
+  while (!rest.empty()) {
+    size_t eol = rest.find("\r\n");
+    std::string_view line =
+        eol == std::string_view::npos ? rest : rest.substr(0, eol);
+    rest = eol == std::string_view::npos ? std::string_view() : rest.substr(eol + 2);
+    size_t colon = line.find(':');
+    if (colon == std::string_view::npos) return HttpParseResult::kBad;
+    request->headers[ToLower(Trim(line.substr(0, colon)))] =
+        std::string(Trim(line.substr(colon + 1)));
+  }
+
+  size_t body_len = 0;
+  const std::string& cl = request->Header("content-length");
+  if (!cl.empty()) {
+    int64_t n = 0;
+    if (!ParseNonNegativeInt(cl, &n) ||
+        static_cast<size_t>(n) > kMaxHttpBodyBytes) {
+      return HttpParseResult::kBad;
+    }
+    body_len = static_cast<size_t>(n);
+  }
+  size_t total = header_end + 4 + body_len;
+  if (buffer.size() < total) return HttpParseResult::kNeedMore;
+  request->body.assign(buffer.substr(header_end + 4, body_len));
+  *consumed = total;
+  return HttpParseResult::kOk;
+}
+
+std::string BuildHttpResponse(int status_code, std::string_view content_type,
+                              std::string_view body,
+                              std::string_view extra_headers) {
+  std::string out;
+  out.reserve(body.size() + 256);
+  out += "HTTP/1.1 " + std::to_string(status_code) + " " +
+         HttpStatusText(status_code) + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size()) + "\r\n";
+  out += extra_headers;
+  out += "Connection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+int HttpStatusForQueryStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return 200;
+    case StatusCode::kParseError:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kTypeError:
+      return 400;
+    case StatusCode::kNotFound:
+      return 404;
+    case StatusCode::kOverloaded:
+      return 429;
+    case StatusCode::kUnavailable:
+      return 503;
+    case StatusCode::kDeadlineExceeded:
+      return 504;
+    default:
+      return 500;
+  }
+}
+
+const char* HttpStatusText(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    case 408: return "Request Timeout";
+    case 413: return "Payload Too Large";
+    case 429: return "Too Many Requests";
+    case 503: return "Service Unavailable";
+    case 504: return "Gateway Timeout";
+    default:  return "Internal Server Error";
+  }
+}
+
+}  // namespace server
+}  // namespace vqldb

@@ -1,0 +1,69 @@
+// Minimal HTTP/1.x support for the service layer: enough for `curl` and a
+// Prometheus scraper, nothing more. The server auto-detects HTTP on a
+// connection's first bytes (the binary protocol leads with "VQL1"; HTTP
+// leads with a method token), parses one request (request line, headers,
+// Content-Length body), serves one response with `Connection: close`, and
+// closes. Endpoints are the server's concern (server.cc); this file is the
+// resumable parser and the response builder.
+
+#ifndef VQLDB_SERVER_HTTP_H_
+#define VQLDB_SERVER_HTTP_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace vqldb {
+namespace server {
+
+struct HttpRequest {
+  std::string method;   // "GET", "POST", ...
+  std::string path;     // path only, query string split off
+  std::string query;    // raw query string ("" when absent)
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+
+  /// Header lookup by lower-case name; "" when absent.
+  const std::string& Header(const std::string& lower_name) const;
+  /// "k1=v1&k2=v2" query-parameter lookup (no %-decoding beyond %20/+).
+  std::string QueryParam(const std::string& name) const;
+};
+
+enum class HttpParseResult {
+  kOk,        // one full request parsed
+  kNeedMore,  // valid prefix; read more bytes
+  kBad,       // malformed request line / headers / length
+};
+
+/// Resumable request parser over `buffer`. On kOk, `*consumed` is the byte
+/// count of the request (headers + body). Bounds: header block and body are
+/// each capped (kMaxHttpHeaderBytes / kMaxHttpBodyBytes) so a slow-dripping
+/// client cannot grow the buffer unboundedly.
+HttpParseResult ParseHttpRequest(std::string_view buffer, HttpRequest* request,
+                                 size_t* consumed);
+
+inline constexpr size_t kMaxHttpHeaderBytes = 16 * 1024;
+inline constexpr size_t kMaxHttpBodyBytes = 1u << 20;
+
+/// True when the first bytes of a stream look like an HTTP request line
+/// (used for protocol auto-detection; needs at most 8 bytes to decide).
+bool LooksLikeHttp(std::string_view prefix);
+
+/// Serializes a response with Content-Length and Connection: close.
+std::string BuildHttpResponse(int status_code, std::string_view content_type,
+                              std::string_view body,
+                              std::string_view extra_headers = {});
+
+/// The HTTP status for a query outcome: 200 OK, 400 parse/invalid, 404
+/// unknown path, 429 overloaded, 503 unavailable, 504 deadline exceeded,
+/// 500 everything else.
+int HttpStatusForQueryStatus(const Status& status);
+const char* HttpStatusText(int code);
+
+}  // namespace server
+}  // namespace vqldb
+
+#endif  // VQLDB_SERVER_HTTP_H_

@@ -1,0 +1,172 @@
+#include "src/server/snapshot.h"
+
+#include <utility>
+
+#include "src/common/string_util.h"
+#include "src/storage/binary_format.h"
+
+namespace vqldb {
+namespace server {
+
+// ---------------------------------------------------------------- the lease
+
+SessionLease& SessionLease::operator=(SessionLease&& other) noexcept {
+  if (this != &other) {
+    if (snapshot_ != nullptr) snapshot_->ReturnSlot(slot_);
+    snapshot_ = std::move(other.snapshot_);
+    slot_ = other.slot_;
+    session_ = other.session_;
+    db_ = other.db_;
+    other.snapshot_ = nullptr;
+    other.session_ = nullptr;
+    other.db_ = nullptr;
+  }
+  return *this;
+}
+
+SessionLease::~SessionLease() {
+  if (snapshot_ != nullptr) snapshot_->ReturnSlot(slot_);
+}
+
+uint64_t SessionLease::db_epoch() const {
+  return snapshot_ == nullptr ? 0 : snapshot_->db_epoch();
+}
+
+uint64_t SessionLease::rules_epoch() const {
+  return snapshot_ == nullptr ? 0 : snapshot_->rules_epoch();
+}
+
+// ------------------------------------------------------------- the snapshot
+
+DbSnapshot::DbSnapshot(uint64_t db_epoch, uint64_t rules_epoch,
+                       std::string bytes, std::vector<Rule> rules,
+                       EvalOptions options, size_t max_sessions)
+    : db_epoch_(db_epoch),
+      rules_epoch_(rules_epoch),
+      bytes_(std::move(bytes)),
+      rules_(std::move(rules)),
+      options_(std::move(options)),
+      max_sessions_(max_sessions == 0 ? 1 : max_sessions) {}
+
+Result<SessionLease> DbSnapshot::Acquire() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!free_.empty()) {
+      size_t slot = free_.back();
+      free_.pop_back();
+      Slot* s = slots_[slot].get();
+      return SessionLease(shared_from_this(), slot, s->session.get(),
+                          s->db.get());
+    }
+    if (slots_.size() + building_ < max_sessions_) {
+      // Build a fresh clone outside the lock: deserialization is the
+      // expensive part and other leases must keep flowing meanwhile.
+      ++building_;
+      lock.unlock();
+      auto built = std::make_unique<Slot>();
+      Status build_status;
+      auto restored = BinaryFormat::Deserialize(bytes_);
+      if (!restored.ok()) {
+        build_status = restored.status().WithContext("snapshot clone");
+      } else {
+        built->db = std::make_unique<VideoDatabase>(std::move(*restored));
+        built->session =
+            std::make_unique<QuerySession>(built->db.get(), options_);
+        for (const Rule& rule : rules_) {
+          Status st = built->session->AddRule(rule);
+          if (!st.ok()) {
+            build_status = st.WithContext("snapshot rules");
+            break;
+          }
+        }
+      }
+      lock.lock();
+      --building_;
+      if (!build_status.ok()) {
+        free_cv_.notify_one();  // the capacity this build held is free again
+        return build_status;
+      }
+      size_t slot = slots_.size();
+      slots_.push_back(std::move(built));
+      Slot* s = slots_[slot].get();
+      return SessionLease(shared_from_this(), slot, s->session.get(),
+                          s->db.get());
+    }
+    free_cv_.wait(lock, [&] {
+      return !free_.empty() || slots_.size() + building_ < max_sessions_;
+    });
+  }
+}
+
+size_t DbSnapshot::sessions_built() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slots_.size();
+}
+
+void DbSnapshot::ReturnSlot(size_t slot) {
+  std::lock_guard<std::mutex> lock(mu_);
+  free_.push_back(slot);
+  free_cv_.notify_one();
+}
+
+// -------------------------------------------------------------- the manager
+
+SnapshotManager::SnapshotManager(VideoDatabase* db, EvalOptions options,
+                                 size_t sessions_per_snapshot)
+    : db_(db),
+      options_(std::move(options)),
+      sessions_per_snapshot_(sessions_per_snapshot == 0
+                                 ? 4
+                                 : sessions_per_snapshot),
+      write_session_(db, options_) {}
+
+Status SnapshotManager::Apply(std::string_view statement_text) {
+  std::string_view trimmed = Trim(statement_text);
+  if (StartsWith(trimmed, "?-") || StartsWith(trimmed, "explain")) {
+    return Status::InvalidArgument(
+        "queries are read-path requests; Apply takes statements only");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_session_.Load(trimmed);
+}
+
+Result<std::shared_ptr<DbSnapshot>> SnapshotManager::Current() {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t db_epoch = db_->epoch();
+  uint64_t rules_epoch = write_session_.rules().size();
+  if (current_ != nullptr && current_->db_epoch() == db_epoch &&
+      current_->rules_epoch() == rules_epoch) {
+    return current_;
+  }
+  auto bytes = BinaryFormat::Serialize(*db_);
+  if (!bytes.ok()) return bytes.status().WithContext("snapshot build");
+  current_ = std::make_shared<DbSnapshot>(
+      db_epoch, rules_epoch, std::move(*bytes), write_session_.rules(),
+      options_, sessions_per_snapshot_);
+  ++built_;
+  return current_;
+}
+
+Result<SessionLease> SnapshotManager::AcquireSession() {
+  auto snapshot = Current();
+  if (!snapshot.ok()) return snapshot.status();
+  return (*snapshot)->Acquire();
+}
+
+uint64_t SnapshotManager::rules_epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_session_.rules().size();
+}
+
+uint64_t SnapshotManager::snapshots_built() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return built_;
+}
+
+std::vector<Rule> SnapshotManager::rules() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return write_session_.rules();
+}
+
+}  // namespace server
+}  // namespace vqldb

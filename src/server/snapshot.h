@@ -1,0 +1,168 @@
+// Snapshot-isolated read sessions for the service layer.
+//
+// The server owns one authoritative ("live") VideoDatabase that all writes
+// mutate, and every read request runs against an immutable *snapshot* of it
+// keyed on (VideoDatabase::epoch(), rules epoch). A snapshot materializes
+// lazily: the first read after a write serializes the live database
+// (BinaryFormat — the same bytes a .vqdb file holds) under the writer lock,
+// and every reader session of that snapshot is a private deserialized clone
+// plus its own QuerySession, so
+//
+//   * writers never block readers: a commit only bumps the epoch; in-flight
+//     readers keep their shared_ptr<DbSnapshot> and finish on the state they
+//     started on,
+//   * readers never block writers: reads touch only clone databases,
+//   * readers never see a torn state: a clone is built from one serialized
+//     image, and the session pool hands a clone to one request at a time.
+//
+// This is the freeze/thaw idea from the columnar engine lifted to the whole
+// database: cheap to reason about, O(db) only when the db actually changed,
+// and exactly the isolation contract the snapshot_isolation property test
+// pins down with SealedDigest.
+//
+// Concurrency: SnapshotManager is fully thread-safe. Apply() serializes
+// writers; Acquire() is called from any worker thread. Sessions are leased
+// (RAII SessionLease) from a per-snapshot pool bounded by
+// `sessions_per_snapshot` — size it >= the admission gate's slot count and a
+// lease is always available without waiting; when undersized, Acquire blocks
+// briefly until a lease returns.
+
+#ifndef VQLDB_SERVER_SNAPSHOT_H_
+#define VQLDB_SERVER_SNAPSHOT_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/result.h"
+#include "src/engine/evaluator.h"
+#include "src/engine/query.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+namespace server {
+
+class DbSnapshot;
+
+/// An exclusive lease on one snapshot session. Keeps the snapshot alive;
+/// returning (destroying) the lease hands the session to the next reader.
+class SessionLease {
+ public:
+  SessionLease() = default;
+  SessionLease(SessionLease&& other) noexcept { *this = std::move(other); }
+  SessionLease& operator=(SessionLease&& other) noexcept;
+  ~SessionLease();
+
+  SessionLease(const SessionLease&) = delete;
+  SessionLease& operator=(const SessionLease&) = delete;
+
+  bool valid() const { return session_ != nullptr; }
+  QuerySession* session() { return session_; }
+  VideoDatabase* db() { return db_; }
+  /// The generation this session is pinned to.
+  uint64_t db_epoch() const;
+  uint64_t rules_epoch() const;
+
+ private:
+  friend class DbSnapshot;
+  SessionLease(std::shared_ptr<DbSnapshot> snapshot, size_t slot,
+               QuerySession* session, VideoDatabase* db)
+      : snapshot_(std::move(snapshot)), slot_(slot), session_(session), db_(db) {}
+
+  std::shared_ptr<DbSnapshot> snapshot_;
+  size_t slot_ = 0;
+  QuerySession* session_ = nullptr;
+  VideoDatabase* db_ = nullptr;
+};
+
+/// One immutable generation of the database: the serialized image plus a
+/// bounded pool of (clone, session) slots built from it on demand.
+class DbSnapshot : public std::enable_shared_from_this<DbSnapshot> {
+ public:
+  DbSnapshot(uint64_t db_epoch, uint64_t rules_epoch, std::string bytes,
+             std::vector<Rule> rules, EvalOptions options, size_t max_sessions);
+
+  uint64_t db_epoch() const { return db_epoch_; }
+  uint64_t rules_epoch() const { return rules_epoch_; }
+  const std::string& bytes() const { return bytes_; }
+
+  /// Leases a session (building a clone if the pool has headroom, blocking
+  /// for a returned lease otherwise). Fails only if the image fails to
+  /// deserialize — which means the snapshot itself is corrupt.
+  Result<SessionLease> Acquire();
+
+  /// Sessions materialized so far (tests).
+  size_t sessions_built() const;
+
+ private:
+  friend class SessionLease;
+  struct Slot {
+    std::unique_ptr<VideoDatabase> db;
+    std::unique_ptr<QuerySession> session;
+  };
+
+  void ReturnSlot(size_t slot);
+
+  const uint64_t db_epoch_;
+  const uint64_t rules_epoch_;
+  const std::string bytes_;
+  const std::vector<Rule> rules_;
+  const EvalOptions options_;
+  const size_t max_sessions_;
+
+  mutable std::mutex mu_;
+  std::condition_variable free_cv_;
+  std::vector<std::unique_ptr<Slot>> slots_;  // guarded by mu_
+  std::vector<size_t> free_;                  // free slot indexes
+  size_t building_ = 0;  // clones under construction (capacity reserved)
+};
+
+/// The writer side plus the snapshot cache. Owns neither the database nor
+/// the journal mirroring — the server composes those.
+class SnapshotManager {
+ public:
+  /// `db` must outlive the manager. `options` seeds every snapshot session
+  /// (strategy, threads, ...); per-request deadline/cancel are layered on by
+  /// the caller on the leased session.
+  SnapshotManager(VideoDatabase* db, EvalOptions options,
+                  size_t sessions_per_snapshot);
+
+  /// Applies one or more statements (declarations, facts, rules) to the
+  /// live database. Serialized internally; queries are rejected. On OK the
+  /// next Current() observes the new generation.
+  Status Apply(std::string_view statement_text);
+
+  /// The current snapshot, (re)built if the live database or the rule set
+  /// advanced since the last build. In-flight readers on older snapshots
+  /// are unaffected.
+  Result<std::shared_ptr<DbSnapshot>> Current();
+
+  /// Convenience: Current() + Acquire().
+  Result<SessionLease> AcquireSession();
+
+  uint64_t live_epoch() const { return db_->epoch(); }
+  uint64_t rules_epoch() const;
+  /// Snapshot builds so far (tests; also exported as a server metric).
+  uint64_t snapshots_built() const;
+
+  /// The live-session rules (for persisting / diagnostics).
+  std::vector<Rule> rules() const;
+
+ private:
+  VideoDatabase* const db_;
+  const EvalOptions options_;
+  const size_t sessions_per_snapshot_;
+
+  mutable std::mutex mu_;  // writer path + snapshot cache
+  QuerySession write_session_;
+  std::shared_ptr<DbSnapshot> current_;
+  uint64_t built_ = 0;
+};
+
+}  // namespace server
+}  // namespace vqldb
+
+#endif  // VQLDB_SERVER_SNAPSHOT_H_

@@ -1,0 +1,114 @@
+// Wire protocol of the vqldb network service layer (src/server/).
+//
+// Framing: every message travels as
+//
+//   [u32 magic "VQL1"][u32 payload_len][payload bytes]
+//
+// with both integers little-endian and payload_len bounded by
+// kMaxPayloadBytes — a frame that announces more is a protocol error, not an
+// allocation. Decoding is resumable: DecodeFrame answers "need more bytes",
+// "one frame consumed", or "stream is garbage" (bad magic / oversized
+// length), so a server can accumulate partial reads and a torn frame can
+// never wedge a connection.
+//
+// Request payload:  [u8 MsgType][u8 flags][u32 deadline_ms][text...]
+// Response payload: [u8 status ][u8 flags][text...]
+//
+// `deadline_ms` is the client's remaining budget for the request (0 = none);
+// the server turns it into EvalOptions::deadline, so the budget propagates
+// through the whole evaluation stack. `status` is the StatusCode enum value
+// (stable on the wire — see the static_asserts in wire.cc); flags bit 0
+// marks a PARTIAL degraded-mode answer on responses and requests partial
+// tolerance on queries.
+
+#ifndef VQLDB_SERVER_WIRE_H_
+#define VQLDB_SERVER_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "src/common/status.h"
+
+namespace vqldb {
+namespace server {
+
+/// "VQL1" read as a little-endian u32.
+inline constexpr uint32_t kFrameMagic = 0x314C5156u;
+
+/// Upper bound on a frame payload; a length beyond it is Corruption.
+inline constexpr size_t kMaxPayloadBytes = 4u << 20;
+
+/// Request header + response header sizes inside the payload.
+inline constexpr size_t kRequestHeaderBytes = 6;   // type, flags, deadline_ms
+inline constexpr size_t kResponseHeaderBytes = 2;  // status, flags
+
+enum class MsgType : uint8_t {
+  kQuery = 1,      // "?- goal." (or "explain [analyze] ?- goal.")
+  kStatement = 2,  // declarations / facts / rules
+  kPing = 3,       // liveness probe; response body echoes the text
+  kAdmin = 4,      // ops plane (vqlsrv --admin): shard kill/recover, ...
+};
+
+/// Response flag bits.
+inline constexpr uint8_t kFlagPartial = 0x01;
+
+struct Request {
+  MsgType type = MsgType::kQuery;
+  uint8_t flags = 0;
+  uint32_t deadline_ms = 0;  // 0 = no client budget
+  std::string text;
+
+  bool allow_partial() const { return (flags & kFlagPartial) != 0; }
+};
+
+struct Response {
+  StatusCode status = StatusCode::kOk;
+  uint8_t flags = 0;
+  std::string body;  // answer table on OK, error message otherwise
+
+  bool ok() const { return status == StatusCode::kOk; }
+  bool partial() const { return (flags & kFlagPartial) != 0; }
+};
+
+/// Appends one framed message ([magic][len][payload]) to `*out`.
+void AppendFrame(std::string_view payload, std::string* out);
+
+/// Serializes a request / response into a framed message.
+std::string EncodeRequest(const Request& request);
+std::string EncodeResponse(const Response& response);
+
+enum class DecodeResult {
+  kOk,        // one frame decoded, *consumed advanced past it
+  kNeedMore,  // the buffer holds a prefix of a valid frame
+  kBad,       // bad magic or oversized length: the stream is unrecoverable
+};
+
+/// Resumable frame decoder over `buffer[offset..]`. On kOk, `*payload` is
+/// the frame's payload (copied out) and `*consumed` the total frame size.
+DecodeResult DecodeFrame(std::string_view buffer, size_t offset,
+                         std::string* payload, size_t* consumed);
+
+/// Payload parsers (the payload from DecodeFrame, header included).
+Status ParseRequest(std::string_view payload, Request* request);
+Status ParseResponse(std::string_view payload, Response* response);
+
+/// StatusCode <-> wire byte. Unknown wire bytes decode to kInternal so a
+/// corrupt (but well-framed) response never turns into a fake success.
+uint8_t WireCodeOf(StatusCode code);
+StatusCode StatusCodeFromWire(uint8_t wire);
+
+/// Reconstructs a Status from a response (OK for kOk).
+Status StatusFromResponse(const Response& response);
+
+}  // namespace server
+
+/// Process exit code for a query/session outcome, shared by vql and the
+/// chaos harness so scripts can tell a shed from a bug:
+///   0 OK · 2 parse error · 3 overloaded (shed) · 4 deadline exceeded ·
+///   5 unavailable · 1 everything else.
+int ExitCodeForStatus(const Status& status);
+
+}  // namespace vqldb
+
+#endif  // VQLDB_SERVER_WIRE_H_

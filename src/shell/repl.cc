@@ -43,6 +43,16 @@ bool EatKeyword(std::string_view* s, std::string_view keyword) {
 Repl::Repl(VideoDatabase* db, EvalOptions options)
     : db_(db), session_(db, options) {}
 
+void Repl::InstallCancelToken(std::shared_ptr<CancelToken> token) {
+  cancel_ = std::move(token);
+  session_.mutable_options()->cancel = cancel_;
+}
+
+Status Repl::FlushJournal() {
+  if (!journal_.has_value()) return Status::OK();
+  return journal_->Sync();
+}
+
 class Repl::DeadlineScope {
  public:
   DeadlineScope(QuerySession* session, int64_t timeout_ms) : session_(session) {
@@ -88,6 +98,17 @@ std::string Repl::Execute(std::string_view line) {
 std::string Repl::Dispatch(const std::string& input) {
   std::string_view trimmed = Trim(input);
   std::string_view rest = trimmed;
+  last_status_ = Status::OK();
+  auto fail = [this](const Status& st) {
+    last_status_ = st;
+    return "error: " + st.ToString() + "\n";
+  };
+  // A tripped cancel token (SIGINT between inputs) fails the next input
+  // up front: the engine only polls the token inside rule evaluation, and
+  // an interrupted shell should not start new work at all.
+  if (cancel_ != nullptr && cancel_->cancelled()) {
+    return fail(Status::Cancelled("interrupted"));
+  }
   if (EatKeyword(&rest, "explain")) {
     bool analyze = EatKeyword(&rest, "analyze");
     if (!StartsWith(rest, "?-")) {
@@ -95,35 +116,36 @@ std::string Repl::Dispatch(const std::string& input) {
     }
     if (archive_ != nullptr) {
       auto text = archive_->Explain(rest, analyze);
-      if (!text.ok()) return "error: " + text.status().ToString() + "\n";
+      if (!text.ok()) return fail(text.status());
       return *text;
     }
     DeadlineScope deadline(&session_, timeout_ms_);
     auto text = session_.Explain(rest, analyze);
-    if (!text.ok()) return "error: " + text.status().ToString() + "\n";
+    if (!text.ok()) return fail(text.status());
     return *text;
   }
   if (StartsWith(trimmed, "?-")) {
     if (archive_ != nullptr) {
       ShardedArchive::QueryOptions qopts;
       qopts.allow_partial = allow_partial_;
+      qopts.cancel = cancel_;
       auto result = archive_->Query(trimmed, qopts);
-      if (!result.ok()) return "error: " + result.status().ToString() + "\n";
+      if (!result.ok()) return fail(result.status());
       return result->ToString();
     }
     DeadlineScope deadline(&session_, timeout_ms_);
     auto result = session_.Query(trimmed);
-    if (!result.ok()) return "error: " + result.status().ToString() + "\n";
+    if (!result.ok()) return fail(result.status());
     return result->ToString(db_);
   }
   if (archive_ != nullptr) {
     Status st = archive_->Apply(tenant_, std::string(trimmed));
-    if (!st.ok()) return "error: " + st.ToString() + "\n";
+    if (!st.ok()) return fail(st);
     return "ok (tenant " + tenant_ + " -> shard " +
            std::to_string(archive_->ShardIdFor(tenant_)) + ")\n";
   }
   Status st = session_.Load(trimmed);
-  if (!st.ok()) return "error: " + st.ToString() + "\n";
+  if (!st.ok()) return fail(st);
   if (journal_.has_value()) {
     // Mirror data statements; Append itself rejects rules/queries, which
     // simply stay out of the journal.
@@ -137,6 +159,7 @@ std::string Repl::Dispatch(const std::string& input) {
 
 std::string Repl::Meta(const std::string& command,
                        const std::string& argument) {
+  last_status_ = Status::OK();
   if (command == ".quit" || command == ".exit") {
     done_ = true;
     return "";
@@ -487,6 +510,7 @@ std::string Repl::Meta(const std::string& command,
     return ListShards();
   }
   if (command == ".shard") return ShardMeta(argument);
+  last_status_ = Status::InvalidArgument("unknown command " + command);
   return "unknown command " + command + " (try .help)\n";
 }
 

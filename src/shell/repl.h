@@ -54,6 +54,23 @@ class Repl {
   void set_timeout_ms(int64_t ms) { timeout_ms_ = ms < 0 ? 0 : ms; }
   int64_t timeout_ms() const { return timeout_ms_; }
 
+  /// The Status of the most recent dispatched query/statement (meta
+  /// commands and continuations leave it OK). The vql tool folds this into
+  /// its exit code, so scripts can tell a parse error from an overload shed
+  /// from a missed deadline.
+  const Status& last_status() const { return last_status_; }
+
+  /// Installs a cooperative cancel token on the underlying session (and on
+  /// archive scatters): a signal handler trips it to stop a running query
+  /// at the next ExecContext poll. The caller re-arms (Reset) between
+  /// inputs.
+  void InstallCancelToken(std::shared_ptr<CancelToken> token);
+
+  /// Syncs the ".journal" mirror to disk — the signal-exit path calls this
+  /// so an interrupt never leaves buffered journal records behind. OK when
+  /// no journal is attached.
+  Status FlushJournal();
+
  private:
   std::string Dispatch(const std::string& input);
   std::string Meta(const std::string& command, const std::string& argument);
@@ -79,6 +96,8 @@ class Repl {
   bool allow_partial_ = false;      // ".partial on": degraded-mode answers
   std::string trace_path_;          // ".trace on <file>" destination
   int64_t timeout_ms_ = 0;          // ".timeout <ms>": 0 = no deadline
+  Status last_status_;              // outcome of the last Dispatch
+  std::shared_ptr<CancelToken> cancel_;  // signal-tripped; see Install...
   bool done_ = false;
 };
 

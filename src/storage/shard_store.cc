@@ -640,7 +640,17 @@ Result<ShardedArchive::ArchiveQueryResult> ShardedArchive::Query(
     ++result.shards_targeted;
     const bool cache_was_enabled = s.session->cache_enabled();
     if (degraded_scatter) s.session->set_cache_enabled(false);
+    // Layer the caller's deadline/cancel onto the shard session for this
+    // scatter only; the session keeps its own options afterwards.
+    EvalOptions* session_options = s.session->mutable_options();
+    const auto saved_deadline = session_options->deadline;
+    const auto saved_cancel = session_options->cancel;
+    if (options.deadline.has_value()) session_options->deadline = options.deadline;
+    if (options.cancel != nullptr) session_options->cancel = options.cancel;
     Result<QueryResult> answer = s.session->Run(query);
+    session_options = s.session->mutable_options();
+    session_options->deadline = saved_deadline;
+    session_options->cancel = saved_cancel;
     if (degraded_scatter) s.session->set_cache_enabled(cache_was_enabled);
     if (!answer.ok()) {
       if (answer.status().IsNotFound()) {

@@ -53,6 +53,7 @@
 #define VQLDB_STORAGE_SHARD_STORE_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -128,6 +129,13 @@ class ShardedArchive {
     /// complete); a shard failing mid-scatter purges the sibling caches for
     /// the same reason.
     bool allow_partial = false;
+
+    /// Per-request execution overrides from the service layer, applied to
+    /// each shard session for the duration of the scatter (saved and
+    /// restored under the shard lock): deadline propagation and cooperative
+    /// cancellation. Unset members leave the session's own options alone.
+    std::optional<std::chrono::steady_clock::time_point> deadline;
+    std::shared_ptr<CancelToken> cancel;
   };
 
   /// One shard's contribution to (or absence from) a scatter-gather answer.

@@ -1,0 +1,125 @@
+#include "src/server/http.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vqldb {
+namespace server {
+namespace {
+
+TEST(HttpTest, ParsesSimpleGet) {
+  std::string raw =
+      "GET /healthz HTTP/1.1\r\n"
+      "Host: localhost\r\n"
+      "\r\n";
+  HttpRequest request;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseHttpRequest(raw, &request, &consumed), HttpParseResult::kOk);
+  EXPECT_EQ(consumed, raw.size());
+  EXPECT_EQ(request.method, "GET");
+  EXPECT_EQ(request.path, "/healthz");
+  EXPECT_EQ(request.query, "");
+  EXPECT_EQ(request.Header("host"), "localhost");
+  EXPECT_TRUE(request.body.empty());
+}
+
+TEST(HttpTest, HeaderNamesLowerCasedValuesTrimmed) {
+  std::string raw =
+      "POST /query HTTP/1.1\r\n"
+      "X-Vqldb-Deadline-Ms:   250  \r\n"
+      "Content-Length: 4\r\n"
+      "\r\n"
+      "body";
+  HttpRequest request;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseHttpRequest(raw, &request, &consumed), HttpParseResult::kOk);
+  EXPECT_EQ(request.Header("x-vqldb-deadline-ms"), "250");
+  EXPECT_EQ(request.body, "body");
+}
+
+TEST(HttpTest, SplitsQueryStringAndLooksUpParams) {
+  std::string raw = "GET /metrics?dump=/tmp/m.prom&x=1 HTTP/1.1\r\n\r\n";
+  HttpRequest request;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseHttpRequest(raw, &request, &consumed), HttpParseResult::kOk);
+  EXPECT_EQ(request.path, "/metrics");
+  EXPECT_EQ(request.QueryParam("dump"), "/tmp/m.prom");
+  EXPECT_EQ(request.QueryParam("x"), "1");
+  EXPECT_EQ(request.QueryParam("missing"), "");
+}
+
+TEST(HttpTest, ResumableAcrossArbitrarySplits) {
+  std::string raw =
+      "POST /query HTTP/1.1\r\n"
+      "Content-Length: 11\r\n"
+      "\r\n"
+      "?- p(X, Y).";
+  for (size_t n = 0; n < raw.size(); ++n) {
+    HttpRequest request;
+    size_t consumed = 0;
+    EXPECT_EQ(ParseHttpRequest(std::string_view(raw).substr(0, n), &request,
+                               &consumed),
+              HttpParseResult::kNeedMore)
+        << "prefix length " << n;
+  }
+  HttpRequest request;
+  size_t consumed = 0;
+  ASSERT_EQ(ParseHttpRequest(raw, &request, &consumed), HttpParseResult::kOk);
+  EXPECT_EQ(request.body, "?- p(X, Y).");
+}
+
+TEST(HttpTest, MalformedRequestLineIsBad) {
+  HttpRequest request;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseHttpRequest("NOT AN HTTP LINE\r\n\r\n", &request, &consumed),
+            HttpParseResult::kBad);
+}
+
+TEST(HttpTest, OversizedHeaderBlockIsBadNotUnbounded) {
+  std::string raw = "GET / HTTP/1.1\r\nX-Pad: ";
+  raw.append(kMaxHttpHeaderBytes, 'a');  // never terminates the header block
+  HttpRequest request;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseHttpRequest(raw, &request, &consumed), HttpParseResult::kBad);
+}
+
+TEST(HttpTest, OversizedBodyIsBad) {
+  std::string raw = "POST /query HTTP/1.1\r\nContent-Length: " +
+                    std::to_string(kMaxHttpBodyBytes + 1) + "\r\n\r\n";
+  HttpRequest request;
+  size_t consumed = 0;
+  EXPECT_EQ(ParseHttpRequest(raw, &request, &consumed), HttpParseResult::kBad);
+}
+
+TEST(HttpTest, LooksLikeHttpDetectsMethodsNotFrames) {
+  EXPECT_TRUE(LooksLikeHttp("GET / HTTP/1.1"));
+  EXPECT_TRUE(LooksLikeHttp("POST /query"));
+  EXPECT_TRUE(LooksLikeHttp("GE"));  // undecided prefix stays HTTP-possible
+  EXPECT_FALSE(LooksLikeHttp("VQL1\x08\x00\x00\x00"));
+  EXPECT_FALSE(LooksLikeHttp("randombytes"));
+}
+
+TEST(HttpTest, BuildResponseHasLengthAndClose) {
+  std::string response = BuildHttpResponse(200, "application/json", "{}",
+                                           "X-Vqldb-Status: OK\r\n");
+  EXPECT_NE(response.find("HTTP/1.1 200 OK\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 2\r\n"), std::string::npos);
+  EXPECT_NE(response.find("Connection: close\r\n"), std::string::npos);
+  EXPECT_NE(response.find("X-Vqldb-Status: OK\r\n"), std::string::npos);
+  EXPECT_EQ(response.substr(response.size() - 2), "{}");
+}
+
+TEST(HttpTest, QueryStatusMapsToDistinctHttpCodes) {
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::OK()), 200);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::ParseError("x")), 400);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::InvalidArgument("x")), 400);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::Overloaded("x")), 429);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::Unavailable("x")), 503);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::DeadlineExceeded("x")), 504);
+  EXPECT_EQ(HttpStatusForQueryStatus(Status::Internal("x")), 500);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace vqldb

@@ -1,0 +1,156 @@
+#include "src/server/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "src/engine/query.h"
+#include "src/model/database.h"
+
+namespace vqldb {
+namespace server {
+namespace {
+
+size_t RowCount(SessionLease& lease, const std::string& text) {
+  auto result = lease.session()->Query(text);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return result.ok() ? result->rows.size() : 0;
+}
+
+TEST(SnapshotManagerTest, ApplyAdvancesEpochAndCurrentRebuilds) {
+  VideoDatabase db;
+  SnapshotManager manager(&db, EvalOptions{}, 2);
+
+  ASSERT_TRUE(manager.Apply("object a { }. object b { }. e(a, b).").ok());
+  auto first = manager.Current();
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(manager.snapshots_built(), 1u);
+
+  // No change: Current() must serve the cached snapshot, not rebuild.
+  auto again = manager.Current();
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(first->get(), again->get());
+  EXPECT_EQ(manager.snapshots_built(), 1u);
+
+  ASSERT_TRUE(manager.Apply("object c { }. e(b, c).").ok());
+  auto second = manager.Current();
+  ASSERT_TRUE(second.ok());
+  EXPECT_NE(first->get(), second->get());
+  EXPECT_EQ(manager.snapshots_built(), 2u);
+  EXPECT_GT((*second)->db_epoch(), (*first)->db_epoch());
+}
+
+TEST(SnapshotManagerTest, RejectsQueriesOnTheWritePath) {
+  VideoDatabase db;
+  SnapshotManager manager(&db, EvalOptions{}, 1);
+  EXPECT_FALSE(manager.Apply("?- p(X).").ok());
+  EXPECT_FALSE(manager.Apply("explain ?- p(X).").ok());
+  EXPECT_FALSE(manager.Apply("  explain analyze ?- p(X).").ok());
+}
+
+TEST(SnapshotManagerTest, RuleChangesRebuildWithoutDbEpochChange) {
+  VideoDatabase db;
+  SnapshotManager manager(&db, EvalOptions{}, 1);
+  ASSERT_TRUE(manager.Apply("object a { }. object b { }. e(a, b).").ok());
+  uint64_t built_before = 0;
+  {
+    auto lease = manager.AcquireSession();
+    ASSERT_TRUE(lease.ok());
+    EXPECT_EQ(RowCount(*lease, "?- p(X, Y)."), 0u);
+    built_before = manager.snapshots_built();
+  }
+  ASSERT_TRUE(manager.Apply("p(X, Y) <- e(X, Y).").ok());
+  auto lease = manager.AcquireSession();
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(RowCount(*lease, "?- p(X, Y)."), 1u);
+  EXPECT_GT(manager.snapshots_built(), built_before);
+}
+
+TEST(SnapshotManagerTest, InFlightLeaseIsIsolatedFromLaterWrites) {
+  VideoDatabase db;
+  SnapshotManager manager(&db, EvalOptions{}, 2);
+  ASSERT_TRUE(manager.Apply("object a { }. object b { }. e(a, b).").ok());
+
+  auto lease = manager.AcquireSession();
+  ASSERT_TRUE(lease.ok());
+  EXPECT_EQ(RowCount(*lease, "?- e(X, Y)."), 1u);
+
+  // A write after the lease was taken must be invisible to it...
+  ASSERT_TRUE(manager.Apply("object c { }. e(b, c). e(a, c).").ok());
+  EXPECT_EQ(RowCount(*lease, "?- e(X, Y)."), 1u);
+  EXPECT_LT(lease->db_epoch(), manager.live_epoch());
+
+  // ...while a fresh lease sees the new generation.
+  auto fresh = manager.AcquireSession();
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(RowCount(*fresh, "?- e(X, Y)."), 3u);
+}
+
+TEST(SnapshotManagerTest, LeasesAreExclusiveAndRecycled) {
+  VideoDatabase db;
+  SnapshotManager manager(&db, EvalOptions{}, 2);
+  ASSERT_TRUE(manager.Apply("object a { }. object b { }. e(a, b).").ok());
+
+  auto snapshot = manager.Current();
+  ASSERT_TRUE(snapshot.ok());
+  {
+    auto one = (*snapshot)->Acquire();
+    auto two = (*snapshot)->Acquire();
+    ASSERT_TRUE(one.ok());
+    ASSERT_TRUE(two.ok());
+    EXPECT_NE(one->session(), two->session());
+    EXPECT_EQ((*snapshot)->sessions_built(), 2u);
+  }
+  // Pool exhausted (2 sessions max) -> returned leases are reused, not
+  // rebuilt.
+  auto three = (*snapshot)->Acquire();
+  ASSERT_TRUE(three.ok());
+  EXPECT_EQ((*snapshot)->sessions_built(), 2u);
+}
+
+TEST(SnapshotManagerTest, BoundedPoolBlocksUntilReturnNotForever) {
+  VideoDatabase db;
+  SnapshotManager manager(&db, EvalOptions{}, 1);
+  ASSERT_TRUE(manager.Apply("object a { }. object b { }. e(a, b).").ok());
+
+  auto held = manager.AcquireSession();
+  ASSERT_TRUE(held.ok());
+
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    *held = SessionLease();  // return the lease
+  });
+  auto next = manager.AcquireSession();  // must block, then succeed
+  releaser.join();
+  ASSERT_TRUE(next.ok());
+  EXPECT_EQ(RowCount(*next, "?- e(X, Y)."), 1u);
+}
+
+TEST(SnapshotManagerTest, ConcurrentAcquireBuildsAtMostPoolSize) {
+  VideoDatabase db;
+  SnapshotManager manager(&db, EvalOptions{}, 4);
+  ASSERT_TRUE(manager.Apply("object a { }. object b { }. e(a, b).").ok());
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 25; ++i) {
+        auto lease = manager.AcquireSession();
+        ASSERT_TRUE(lease.ok());
+        EXPECT_EQ(RowCount(*lease, "?- e(X, Y)."), 1u);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  auto snapshot = manager.Current();
+  ASSERT_TRUE(snapshot.ok());
+  EXPECT_LE((*snapshot)->sessions_built(), 4u);
+  EXPECT_EQ(manager.snapshots_built(), 1u);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace vqldb

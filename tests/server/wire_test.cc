@@ -1,0 +1,163 @@
+#include "src/server/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace vqldb {
+namespace server {
+namespace {
+
+TEST(WireTest, RequestRoundTrip) {
+  Request request;
+  request.type = MsgType::kQuery;
+  request.flags = kFlagPartial;
+  request.deadline_ms = 1234;
+  request.text = "?- p(X, Y).";
+
+  std::string frame = EncodeRequest(request);
+  std::string payload;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(frame, 0, &payload, &consumed), DecodeResult::kOk);
+  EXPECT_EQ(consumed, frame.size());
+
+  Request decoded;
+  ASSERT_TRUE(ParseRequest(payload, &decoded).ok());
+  EXPECT_EQ(decoded.type, MsgType::kQuery);
+  EXPECT_TRUE(decoded.allow_partial());
+  EXPECT_EQ(decoded.deadline_ms, 1234u);
+  EXPECT_EQ(decoded.text, "?- p(X, Y).");
+}
+
+TEST(WireTest, ResponseRoundTrip) {
+  Response response;
+  response.status = StatusCode::kDeadlineExceeded;
+  response.flags = kFlagPartial;
+  response.body = "ran out of budget";
+
+  std::string frame = EncodeResponse(response);
+  std::string payload;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(frame, 0, &payload, &consumed), DecodeResult::kOk);
+
+  Response decoded;
+  ASSERT_TRUE(ParseResponse(payload, &decoded).ok());
+  EXPECT_EQ(decoded.status, StatusCode::kDeadlineExceeded);
+  EXPECT_FALSE(decoded.ok());
+  EXPECT_TRUE(decoded.partial());
+  EXPECT_EQ(decoded.body, "ran out of budget");
+}
+
+TEST(WireTest, DecodeIsResumableBytewise) {
+  Request request;
+  request.type = MsgType::kStatement;
+  request.text = "e(a, b).";
+  std::string frame = EncodeRequest(request);
+
+  // Feeding any strict prefix must report kNeedMore, never kBad: a torn
+  // frame mid-read is normal TCP behaviour, not corruption.
+  std::string payload;
+  size_t consumed = 0;
+  for (size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_EQ(DecodeFrame(std::string_view(frame).substr(0, n), 0, &payload,
+                          &consumed),
+              DecodeResult::kNeedMore)
+        << "prefix length " << n;
+  }
+  EXPECT_EQ(DecodeFrame(frame, 0, &payload, &consumed), DecodeResult::kOk);
+}
+
+TEST(WireTest, DecodeAtOffsetHandlesPipelinedFrames) {
+  Request first, second;
+  first.type = MsgType::kPing;
+  first.text = "one";
+  second.type = MsgType::kPing;
+  second.text = "two";
+  std::string buffer = EncodeRequest(first) + EncodeRequest(second);
+
+  std::string payload;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(buffer, 0, &payload, &consumed), DecodeResult::kOk);
+  Request a;
+  ASSERT_TRUE(ParseRequest(payload, &a).ok());
+  EXPECT_EQ(a.text, "one");
+
+  size_t offset = consumed;
+  ASSERT_EQ(DecodeFrame(buffer, offset, &payload, &consumed),
+            DecodeResult::kOk);
+  Request b;
+  ASSERT_TRUE(ParseRequest(payload, &b).ok());
+  EXPECT_EQ(b.text, "two");
+  EXPECT_EQ(offset + consumed, buffer.size());
+}
+
+TEST(WireTest, BadMagicIsUnrecoverable) {
+  std::string garbage = "GET / HTTP/1.1\r\n";
+  std::string payload;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(garbage, 0, &payload, &consumed), DecodeResult::kBad);
+}
+
+TEST(WireTest, OversizedLengthIsBadNotAnAllocation) {
+  std::string frame;
+  frame.push_back('V');
+  frame.push_back('Q');
+  frame.push_back('L');
+  frame.push_back('1');
+  uint32_t huge = static_cast<uint32_t>(kMaxPayloadBytes) + 1;
+  frame.append(reinterpret_cast<const char*>(&huge), 4);
+  std::string payload;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(frame, 0, &payload, &consumed), DecodeResult::kBad);
+}
+
+TEST(WireTest, TruncatedHeaderIsInvalid) {
+  Request request;
+  EXPECT_FALSE(ParseRequest("abc", &request).ok());
+  Response response;
+  EXPECT_FALSE(ParseResponse("x", &response).ok());
+}
+
+TEST(WireTest, StatusCodesAreStableOnTheWire) {
+  // These values are the protocol; changing them breaks deployed clients.
+  EXPECT_EQ(WireCodeOf(StatusCode::kOk), 0);
+  EXPECT_EQ(WireCodeOf(StatusCode::kParseError), 6);
+  EXPECT_EQ(WireCodeOf(StatusCode::kDeadlineExceeded), 13);
+  EXPECT_EQ(WireCodeOf(StatusCode::kCancelled), 14);
+  EXPECT_EQ(WireCodeOf(StatusCode::kOverloaded), 15);
+  EXPECT_EQ(WireCodeOf(StatusCode::kUnavailable), 16);
+
+  for (uint8_t code : {0, 6, 13, 14, 15, 16}) {
+    EXPECT_EQ(WireCodeOf(StatusCodeFromWire(code)), code);
+  }
+}
+
+TEST(WireTest, UnknownWireByteNeverDecodesToSuccess) {
+  EXPECT_EQ(StatusCodeFromWire(250), StatusCode::kInternal);
+}
+
+TEST(WireTest, StatusFromResponseCarriesMessage) {
+  Response response;
+  response.status = StatusCode::kOverloaded;
+  response.body = "queue full";
+  Status status = StatusFromResponse(response);
+  EXPECT_TRUE(status.IsOverloaded());
+  EXPECT_NE(status.ToString().find("queue full"), std::string::npos);
+
+  response.status = StatusCode::kOk;
+  EXPECT_TRUE(StatusFromResponse(response).ok());
+}
+
+TEST(WireTest, ExitCodesDistinguishShedsFromBugs) {
+  EXPECT_EQ(ExitCodeForStatus(Status::OK()), 0);
+  EXPECT_EQ(ExitCodeForStatus(Status::ParseError("x")), 2);
+  EXPECT_EQ(ExitCodeForStatus(Status::Overloaded("x")), 3);
+  EXPECT_EQ(ExitCodeForStatus(Status::DeadlineExceeded("x")), 4);
+  EXPECT_EQ(ExitCodeForStatus(Status::Unavailable("x")), 5);
+  EXPECT_EQ(ExitCodeForStatus(Status::Internal("x")), 1);
+  EXPECT_EQ(ExitCodeForStatus(Status::IOError("x")), 1);
+}
+
+}  // namespace
+}  // namespace server
+}  // namespace vqldb

@@ -1,6 +1,8 @@
 #include "src/shell/repl.h"
 
+#include "src/common/cancel.h"
 #include "src/obs/stats.h"
+#include "src/server/wire.h"
 #include "src/storage/journal.h"
 
 #include <gtest/gtest.h>
@@ -241,6 +243,56 @@ TEST_F(ReplTest, JournalMirrorsDataStatements) {
   std::filesystem::remove(path);
 }
 
+TEST_F(ReplTest, LastStatusTracksOutcomesForExitCodes) {
+  // The vql exit code comes from last_status() via ExitCodeForStatus: a
+  // script can tell a parse error (2) from success (0).
+  repl_.Execute("object o1 { }.");
+  EXPECT_TRUE(repl_.last_status().ok());
+
+  repl_.Execute("?- p(X.");  // parse error
+  EXPECT_TRUE(repl_.last_status().IsParseError());
+  EXPECT_EQ(ExitCodeForStatus(repl_.last_status()), 2);
+
+  repl_.Execute("?- Object(X).");
+  EXPECT_TRUE(repl_.last_status().ok());
+  EXPECT_EQ(ExitCodeForStatus(repl_.last_status()), 0);
+
+  repl_.Execute(".nonsense");  // meta-command errors count too
+  EXPECT_FALSE(repl_.last_status().ok());
+}
+
+TEST_F(ReplTest, CancelTokenInterruptsQueries) {
+  auto token = std::make_shared<CancelToken>();
+  repl_.InstallCancelToken(token);
+  EXPECT_EQ(repl_.Execute("object a { }."), "ok\n");
+  token->Cancel();
+  std::string out = repl_.Execute("?- Object(X).");
+  EXPECT_NE(out.find("Cancelled"), std::string::npos) << out;
+  EXPECT_TRUE(repl_.last_status().IsCancelled());
+  token->Reset();
+  out = repl_.Execute("?- Object(X).");
+  EXPECT_NE(out.find("1 answer"), std::string::npos) << out;
+}
+
+TEST_F(ReplTest, FlushJournalSyncsTheMirror) {
+  // No journal attached: flushing is a no-op, not an error.
+  EXPECT_TRUE(repl_.FlushJournal().ok());
+
+  std::string path = ::testing::TempDir() + "/repl_flush_journal.log";
+  std::filesystem::remove(path);
+  repl_.Execute(".journal " + path);
+  repl_.Execute("object o1 { name: \"x\" }.");
+  // The signal-exit path: flush without detaching, then replay what's on
+  // disk — the statement must be durable.
+  EXPECT_TRUE(repl_.FlushJournal().ok());
+  VideoDatabase fresh;
+  auto replayed = Journal::Replay(path, &fresh);
+  ASSERT_TRUE(replayed.ok()) << replayed.status();
+  EXPECT_EQ(replayed->statements_replayed, 1u);
+  repl_.Execute(".journal off");
+  std::filesystem::remove(path);
+}
+
 TEST_F(ReplTest, ThreadsRejectsMalformedNumbers) {
   // The old strtol path silently accepted trailing garbage and wrapped on
   // overflow; all of these must be usage errors now.
@@ -392,7 +444,7 @@ TEST_F(ReplArchiveTest, SnapshotRotatesAndExplainShowsShards) {
   repl_.Execute("object a1 { }.");
   std::string out = repl_.Execute(".shard snapshot all");
   EXPECT_EQ(out, "all shards rotated to fresh snapshots\n");
-  out = repl_.Execute("explain analyze ?- Entity(X).");
+  out = repl_.Execute("explain analyze ?- Object(X).");
   EXPECT_NE(out.find("sharded archive:"), std::string::npos) << out;
   EXPECT_NE(out.find("scatter-gather"), std::string::npos);
 }

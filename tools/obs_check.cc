@@ -11,6 +11,14 @@
 //   obs_check slowlog <file>   slow-query log JSON (--slowlog-out): required
 //                              fields, phase timings summing within the
 //                              total, and p50 <= p99 per fingerprint
+//   obs_check server <host:port> [--dump=<path>]
+//                              live service checks: /healthz must parse as
+//                              JSON with the documented schema, and (with
+//                              --dump, admin-enabled servers only) the
+//                              /metrics?dump= response body must be
+//                              byte-identical to the file the server wrote
+//                              — the HTTP scrape and the --metrics-out
+//                              export are the same render.
 //
 // Exit codes: 0 valid, 1 invalid content, 2 usage / unreadable file.
 
@@ -24,13 +32,115 @@
 #include "src/obs/metrics.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
+#include "src/server/client.h"
 
 namespace {
 
 int Usage() {
   std::cerr << "usage: obs_check metrics <file> [--require=<name>]...\n"
-            << "       obs_check trace|slowlog <file>\n";
+            << "       obs_check trace|slowlog <file>\n"
+            << "       obs_check server <host:port> [--dump=<path>]\n";
   return 2;
+}
+
+// The /healthz schema the service layer documents (DESIGN.md §13): required
+// fields with their kinds, plus the mode-specific tail.
+int CheckServer(const std::string& spec, const std::string& dump_path) {
+  auto options = vqldb::server::ParseHostPort(spec);
+  if (!options.ok()) {
+    std::cerr << "obs_check: " << options.status().ToString() << "\n";
+    return 2;
+  }
+
+  auto health = vqldb::server::HttpGet(options->host, options->port,
+                                       "/healthz");
+  if (!health.ok()) {
+    std::cerr << "obs_check: /healthz: " << health.status().ToString()
+              << "\n";
+    return 1;
+  }
+  vqldb::obs::JsonValue doc;
+  std::string error;
+  if (!vqldb::obs::ParseJson(*health, &doc, &error)) {
+    std::cerr << "obs_check: /healthz is not JSON: " << error << "\n";
+    return 1;
+  }
+  auto require = [&](const char* key, bool ok_kind) {
+    if (doc.Find(key) == nullptr) {
+      std::cerr << "obs_check: /healthz missing field \"" << key << "\"\n";
+      return false;
+    }
+    if (!ok_kind) {
+      std::cerr << "obs_check: /healthz field \"" << key
+                << "\" has the wrong type\n";
+      return false;
+    }
+    return true;
+  };
+  const vqldb::obs::JsonValue* v;
+  bool ok = true;
+  ok &= require("status", (v = doc.Find("status")) && v->is_string());
+  ok &= require("mode", (v = doc.Find("mode")) && v->is_string());
+  ok &= require("draining", (v = doc.Find("draining")) && v->is_bool());
+  for (const char* key : {"connections", "outstanding", "requests_total",
+                          "admitted_total", "shed_total"}) {
+    ok &= require(key, (v = doc.Find(key)) && v->is_number());
+  }
+  if (!ok) return 1;
+  const std::string mode_value = doc.Find("mode")->string_value;
+  if (mode_value == "single") {
+    for (const char* key : {"epoch", "rules_epoch", "snapshots_built"}) {
+      ok &= require(key, (v = doc.Find(key)) && v->is_number());
+    }
+  } else if (mode_value == "archive") {
+    ok &= require("shards", (v = doc.Find("shards")) && v->is_array());
+  } else {
+    std::cerr << "obs_check: /healthz mode \"" << mode_value
+              << "\" is neither \"single\" nor \"archive\"\n";
+    ok = false;
+  }
+  if (!ok) return 1;
+
+  auto metrics = vqldb::server::HttpGet(options->host, options->port,
+                                        "/metrics");
+  if (!metrics.ok()) {
+    std::cerr << "obs_check: /metrics: " << metrics.status().ToString()
+              << "\n";
+    return 1;
+  }
+  if (metrics->find("vqldb_server_requests_total") == std::string::npos) {
+    std::cerr << "obs_check: /metrics lacks vqldb_server_* counters\n";
+    return 1;
+  }
+
+  if (!dump_path.empty()) {
+    // One render, two sinks: the response bytes and the dumped file must be
+    // identical, or a scraper and a file consumer would disagree.
+    auto served = vqldb::server::HttpGet(
+        options->host, options->port, "/metrics?dump=" + dump_path);
+    if (!served.ok()) {
+      std::cerr << "obs_check: /metrics?dump=: " << served.status().ToString()
+                << " (is the server running with --admin?)\n";
+      return 1;
+    }
+    std::ifstream dumped(dump_path, std::ios::binary);
+    if (!dumped) {
+      std::cerr << "obs_check: server did not write " << dump_path << "\n";
+      return 1;
+    }
+    std::ostringstream file_bytes;
+    file_bytes << dumped.rdbuf();
+    if (file_bytes.str() != *served) {
+      std::cerr << "obs_check: /metrics?dump= response (" << served->size()
+                << " bytes) differs from " << dump_path << " ("
+                << file_bytes.str().size() << " bytes)\n";
+      return 1;
+    }
+  }
+
+  std::cout << "ok: " << spec << " healthz schema valid, metrics served"
+            << (dump_path.empty() ? "" : ", dump byte-identical") << "\n";
+  return 0;
 }
 
 bool MetricsSnapshotHas(const vqldb::obs::JsonValue& doc,
@@ -52,6 +162,18 @@ int main(int argc, char** argv) {
   if (argc < 3) return Usage();
   std::string mode = argv[1];
   std::string path = argv[2];
+  if (mode == "server") {
+    std::string dump_path;
+    for (int i = 3; i < argc; ++i) {
+      std::string arg = argv[i];
+      const std::string prefix = "--dump=";
+      if (arg.rfind(prefix, 0) != 0 || arg.size() == prefix.size()) {
+        return Usage();
+      }
+      dump_path = arg.substr(prefix.size());
+    }
+    return CheckServer(path, dump_path);
+  }
   std::vector<std::string> required;
   for (int i = 3; i < argc; ++i) {
     std::string arg = argv[i];

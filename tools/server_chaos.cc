@@ -1,0 +1,594 @@
+// server_chaos: the chaos harness for the vqldb service layer.
+//
+// Forks a server process (sharded archive + armed transport faults), then
+// attacks it from the parent: a ramp to thousands of concurrent
+// connections, seeded iterations of queries / writes / garbage frames /
+// torn requests / abrupt disconnects / slow clients / shard kill+recover
+// cycles / concurrent bursts, and finally a SIGTERM graceful drain with a
+// request still in flight.
+//
+// The contract checked on every interaction:
+//   * no crash (the server child must exit 0 after SIGTERM),
+//   * no hang (every client call is bounded by timeouts),
+//   * every admitted request gets exactly one well-formed response or a
+//     structured shed (Overloaded / DeadlineExceeded / Unavailable /
+//     parse error) — raw transport errors are tolerated only because the
+//     server is *injecting* torn frames and disconnects, and the server's
+//     own drain ledger must agree: admitted == responded, dropped == 0.
+//
+//   --connections=<n>   concurrent connection ramp (default 10000)
+//   --iterations=<n>    chaos iterations (default 250)
+//   --seed=<n>          the schedule seed (default 20260808)
+//   --out=<file>        benchmark JSON (default BENCH_server.json)
+//   --shards=<n>        archive shard count (default 4)
+//   --keep              keep the scratch archive directory
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/string_util.h"
+#include "src/server/client.h"
+#include "src/server/server.h"
+#include "src/server/wire.h"
+#include "src/storage/shard_store.h"
+
+namespace {
+
+using vqldb::ParseNonNegativeInt;
+using vqldb::Rng;
+using vqldb::StartsWith;
+using vqldb::Status;
+using vqldb::StatusCode;
+using vqldb::server::Client;
+using vqldb::server::MsgType;
+using vqldb::server::Request;
+using vqldb::server::Response;
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+int g_failures = 0;
+
+void Fail(const std::string& what) {
+  ++g_failures;
+  std::cerr << "CONTRACT VIOLATION: " << what << "\n";
+}
+
+// A response status the protocol allows: success or a structured error.
+bool IsStructured(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+    case StatusCode::kParseError:
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kNotFound:
+    case StatusCode::kOverloaded:
+    case StatusCode::kDeadlineExceeded:
+    case StatusCode::kCancelled:
+    case StatusCode::kUnavailable:
+    case StatusCode::kResourceExhausted:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// A transport-level failure. Tolerated only because the server injects
+// torn frames / disconnects; it must never leak engine internals.
+bool IsTransport(const Status& st) {
+  return st.IsIOError() || st.IsUnavailable() || st.IsCorruption();
+}
+
+void CheckCallOutcome(const vqldb::Result<Response>& response,
+                      const char* what) {
+  if (response.ok()) {
+    if (!IsStructured(response->status)) {
+      Fail(std::string(what) + ": unexpected wire status " +
+           std::to_string(static_cast<int>(response->status)));
+    }
+    return;
+  }
+  if (!IsTransport(response.status())) {
+    Fail(std::string(what) + ": unexpected client error " +
+         response.status().ToString());
+  }
+}
+
+// Raw (non-Client) socket helpers for the ramp and for malformed input.
+int RawConnect(uint16_t port, int timeout_ms = 5000) {
+  int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return -1;
+  timeval tv{timeout_ms / 1000, (timeout_ms % 1000) * 1000};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+bool RawSend(int fd, const std::string& bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                       MSG_NOSIGNAL);
+    if (n <= 0) return false;
+    off += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// One ping round trip over a raw ramp connection; false = connection dead
+// (expected under injected faults — the caller reconnects).
+bool RawPing(int fd) {
+  Request ping;
+  ping.type = MsgType::kPing;
+  ping.text = "ramp";
+  if (!RawSend(fd, vqldb::server::EncodeRequest(ping))) return false;
+  std::string buf;
+  char chunk[512];
+  for (;;) {
+    std::string payload;
+    size_t consumed = 0;
+    auto dr = vqldb::server::DecodeFrame(buf, 0, &payload, &consumed);
+    if (dr == vqldb::server::DecodeResult::kOk) return true;
+    if (dr == vqldb::server::DecodeResult::kBad) return false;
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (n <= 0) return false;
+    buf.append(chunk, static_cast<size_t>(n));
+  }
+}
+
+struct DrainSummary {
+  uint64_t admitted = 0, responded = 0, shed = 0, dropped = 0, unflushed = 0;
+  bool parsed = false;
+};
+
+DrainSummary ParseSummary(const std::string& line) {
+  DrainSummary s;
+  auto field = [&](const char* key) -> uint64_t {
+    std::string needle = std::string(key) + "=";
+    size_t pos = line.find(needle);
+    if (pos == std::string::npos) return 0;
+    return std::strtoull(line.c_str() + pos + needle.size(), nullptr, 10);
+  };
+  s.admitted = field("admitted");
+  s.responded = field("responded");
+  s.shed = field("shed");
+  s.dropped = field("dropped");
+  s.unflushed = field("unflushed");
+  s.parsed = line.find("admitted=") != std::string::npos;
+  return s;
+}
+
+vqldb::server::Server* g_chaos_server = nullptr;
+
+void ChaosSigterm(int) {
+  if (g_chaos_server != nullptr) g_chaos_server->RequestShutdown();
+}
+
+double Percentile(std::vector<double>& v, double p) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(v.size() - 1));
+  return v[idx];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int64_t connections = 10000;
+  int64_t iterations = 250;
+  int64_t seed = 20260808;
+  int64_t shard_count = 4;
+  std::string out_path = "BENCH_server.json";
+  bool keep = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (StartsWith(arg, "--connections=")) {
+      ParseNonNegativeInt(arg.substr(14), &connections);
+    } else if (StartsWith(arg, "--iterations=")) {
+      ParseNonNegativeInt(arg.substr(13), &iterations);
+    } else if (StartsWith(arg, "--seed=")) {
+      ParseNonNegativeInt(arg.substr(7), &seed);
+    } else if (StartsWith(arg, "--shards=")) {
+      ParseNonNegativeInt(arg.substr(9), &shard_count);
+    } else if (StartsWith(arg, "--out=")) {
+      out_path = arg.substr(6);
+    } else if (arg == "--keep") {
+      keep = true;
+    } else {
+      std::cerr << "unknown flag " << arg << "\n";
+      return 2;
+    }
+  }
+
+  std::string scratch = "chaos_archive_" + std::to_string(::getpid());
+  std::filesystem::create_directories(scratch);
+
+  int info_pipe[2];
+  if (::pipe(info_pipe) != 0) {
+    std::cerr << "pipe: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+
+  pid_t child = ::fork();
+  if (child < 0) {
+    std::cerr << "fork: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+
+  if (child == 0) {
+    // ---- server process ---------------------------------------------------
+    ::close(info_pipe[0]);
+    ::signal(SIGPIPE, SIG_IGN);
+
+    vqldb::ShardedArchive::Options aopts;
+    aopts.shard_count = static_cast<size_t>(shard_count);
+    auto archive = vqldb::ShardedArchive::Open(scratch, std::move(aopts));
+    if (!archive.ok()) ::_exit(3);
+    // Seed every tenant shard with a small graph + one rule.
+    for (int t = 0; t < 8; ++t) {
+      std::string tenant = "t" + std::to_string(t);
+      std::string program;
+      for (int k = 0; k < 4; ++k) {
+        std::string a = "a" + std::to_string(t) + "_" + std::to_string(k);
+        std::string b = "b" + std::to_string(t) + "_" + std::to_string(k);
+        program += "object " + a + " { }. object " + b + " { }. e(" + a +
+                   ", " + b + ").\n";
+      }
+      if (!(*archive)->Apply(tenant, program).ok()) ::_exit(3);
+    }
+    if (!(*archive)->Apply("t0", "p(X, Y) <- e(X, Y).").ok()) ::_exit(3);
+
+    vqldb::server::ServerOptions sopts;
+    sopts.port = 0;
+    sopts.io_threads = 1;
+    sopts.worker_threads = 2;
+    sopts.gate.max_concurrent = 2;
+    sopts.gate.max_queued = 16;
+    sopts.gate.queue_timeout = std::chrono::milliseconds(250);
+    sopts.default_deadline_ms = 2000;
+    sopts.max_deadline_ms = 5000;
+    sopts.idle_timeout_ms = 120'000;  // the ramp must survive the run
+    sopts.drain_grace_ms = 3000;
+    sopts.max_connections = static_cast<size_t>(connections) + 512;
+    sopts.enable_admin = true;
+    sopts.faults.seed = static_cast<uint64_t>(seed);
+    sopts.faults.torn_response_p = 0.01;
+    sopts.faults.disconnect_p = 0.01;
+    sopts.faults.accept_fail_p = 0.002;
+    sopts.faults.accept_burst = 4;
+
+    vqldb::server::Server server(archive->get(), sopts);
+    if (!server.Start().ok()) ::_exit(3);
+    g_chaos_server = &server;
+    struct sigaction sa {};
+    sa.sa_handler = ChaosSigterm;
+    ::sigaction(SIGTERM, &sa, nullptr);
+
+    std::string port_line = "PORT " + std::to_string(server.port()) + "\n";
+    if (::write(info_pipe[1], port_line.data(), port_line.size()) < 0) {
+      ::_exit(3);
+    }
+    server.WaitUntilShutdownAndDrain();
+    std::string summary = "SUMMARY " + server.DrainSummary() + "\n";
+    [[maybe_unused]] ssize_t n =
+        ::write(info_pipe[1], summary.data(), summary.size());
+    ::close(info_pipe[1]);
+    ::_exit(0);
+  }
+
+  // ---- attacker process -----------------------------------------------
+  ::close(info_pipe[1]);
+  ::signal(SIGPIPE, SIG_IGN);
+
+  auto read_line = [&](std::string* line, int timeout_ms) -> bool {
+    line->clear();
+    uint64_t deadline = NowUs() + static_cast<uint64_t>(timeout_ms) * 1000;
+    char c;
+    for (;;) {
+      ssize_t n = ::read(info_pipe[0], &c, 1);
+      if (n == 1) {
+        if (c == '\n') return true;
+        line->push_back(c);
+        continue;
+      }
+      if (n == 0) return false;
+      if (errno == EINTR) continue;
+      if (NowUs() > deadline) return false;
+    }
+  };
+
+  std::string line;
+  if (!read_line(&line, 30'000) || !StartsWith(line, "PORT ")) {
+    std::cerr << "server did not report a port\n";
+    ::kill(child, SIGKILL);
+    return 2;
+  }
+  uint16_t port = static_cast<uint16_t>(std::atoi(line.c_str() + 5));
+  std::cerr << "server up on port " << port << "\n";
+
+  Rng rng(static_cast<uint64_t>(seed));
+
+  // Phase 1: ramp to N concurrent connections.
+  std::vector<int> ramp;
+  ramp.reserve(static_cast<size_t>(connections));
+  while (ramp.size() < static_cast<size_t>(connections)) {
+    int fd = RawConnect(port);
+    if (fd < 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    ramp.push_back(fd);
+  }
+  std::cerr << "ramped to " << ramp.size() << " connections\n";
+
+  Client::Options copts;
+  copts.port = port;
+  copts.io_timeout_ms = 10'000;
+  Client worker(copts);
+
+  // Accept-fault bursts can eat a connect; verify liveness with retries.
+  bool alive = false;
+  for (int i = 0; i < 20 && !alive; ++i) {
+    auto pong = worker.Ping();
+    alive = pong.ok();
+  }
+  if (!alive) {
+    Fail("server unreachable after ramp");
+  }
+
+  std::vector<double> latencies_ms;
+  uint64_t calls = 0, sheds = 0, transport_errors = 0, ok_calls = 0;
+  std::vector<uint32_t> killed_shards;
+  uint64_t fact_id = 0;
+
+  // Phase 2: seeded chaos iterations.
+  for (int64_t iter = 0; iter < iterations; ++iter) {
+    uint64_t action = rng.UniformU64(10);
+    switch (action) {
+      case 0: {  // write through a random tenant
+        std::string tenant = "t" + std::to_string(rng.UniformU64(8));
+        std::string x = "x" + std::to_string(fact_id++);
+        std::string y = "y" + std::to_string(fact_id++);
+        auto response = worker.Statement("@tenant:" + tenant + " object " + x +
+                                         " { }. object " + y + " { }. e(" + x +
+                                         ", " + y + ").");
+        ++calls;
+        CheckCallOutcome(response, "statement");
+        if (response.ok() && response->status == StatusCode::kOverloaded) {
+          ++sheds;
+        }
+        if (!response.ok()) ++transport_errors;
+        break;
+      }
+      case 1: {  // garbage bytes, then abrupt close
+        int fd = RawConnect(port);
+        if (fd >= 0) {
+          RawSend(fd, "THIS IS NOT A FRAME\r\n\r\n!!");
+          ::close(fd);
+        }
+        break;
+      }
+      case 2: {  // torn *request*: half a frame, then abrupt close
+        int fd = RawConnect(port);
+        if (fd >= 0) {
+          Request req;
+          req.type = MsgType::kQuery;
+          req.text = "?- p(X, Y).";
+          std::string frame = vqldb::server::EncodeRequest(req);
+          RawSend(fd, frame.substr(0, frame.size() / 2));
+          ::close(fd);
+        }
+        break;
+      }
+      case 3: {  // abrupt churn in the ramp
+        for (int k = 0; k < 8 && !ramp.empty(); ++k) {
+          size_t victim = rng.UniformU64(ramp.size());
+          ::close(ramp[victim]);
+          ramp[victim] = ramp.back();
+          ramp.pop_back();
+        }
+        break;
+      }
+      case 4: {  // shard kill / recover cycle
+        if (killed_shards.empty() || rng.Bernoulli(0.4)) {
+          uint32_t shard = static_cast<uint32_t>(
+              rng.UniformU64(static_cast<uint64_t>(shard_count)));
+          auto response = worker.Admin("shard kill " + std::to_string(shard));
+          CheckCallOutcome(response, "shard kill");
+          if (response.ok() && response->ok()) killed_shards.push_back(shard);
+        } else {
+          uint32_t shard = killed_shards.back();
+          auto response =
+              worker.Admin("shard recover " + std::to_string(shard));
+          CheckCallOutcome(response, "shard recover");
+          if (response.ok() && response->ok()) killed_shards.pop_back();
+        }
+        break;
+      }
+      case 5: {  // deliberate parse error must come back structured
+        auto response = worker.Query("?- p(X.");
+        ++calls;
+        CheckCallOutcome(response, "bad query");
+        if (response.ok() && response->status == StatusCode::kOk) {
+          Fail("parse error answered OK");
+        }
+        if (!response.ok()) ++transport_errors;
+        break;
+      }
+      case 6: {  // concurrent burst
+        std::atomic<uint64_t> burst_sheds{0}, burst_transport{0};
+        std::vector<std::thread> threads;
+        for (int t = 0; t < 6; ++t) {
+          threads.emplace_back([&, t] {
+            Client c(copts);
+            auto response =
+                c.Query("?- p(X, Y).", /*deadline_ms=*/1000,
+                        /*allow_partial=*/(t % 2) == 0);
+            CheckCallOutcome(response, "burst query");
+            if (response.ok() &&
+                response->status == StatusCode::kOverloaded) {
+              burst_sheds.fetch_add(1);
+            }
+            if (!response.ok()) burst_transport.fetch_add(1);
+          });
+        }
+        for (auto& t : threads) t.join();
+        calls += threads.size();
+        sheds += burst_sheds.load();
+        transport_errors += burst_transport.load();
+        break;
+      }
+      default: {  // plain query (the common case), with latency tracking
+        bool partial = rng.Bernoulli(0.5);
+        uint32_t deadline = partial ? 1000 : 2000;
+        uint64_t start = NowUs();
+        auto response = worker.Query("?- p(X, Y).", deadline, partial);
+        ++calls;
+        CheckCallOutcome(response, "query");
+        if (response.ok()) {
+          if (response->status == StatusCode::kOk) {
+            ++ok_calls;
+            latencies_ms.push_back(
+                static_cast<double>(NowUs() - start) / 1000.0);
+          } else if (response->status == StatusCode::kOverloaded) {
+            ++sheds;
+          }
+        } else {
+          ++transport_errors;
+        }
+        break;
+      }
+    }
+
+    // Keep a sample of the ramp warm (and detect injected disconnects).
+    for (int k = 0; k < 4 && !ramp.empty(); ++k) {
+      size_t idx = rng.UniformU64(ramp.size());
+      if (!RawPing(ramp[idx])) {
+        ::close(ramp[idx]);
+        int fd = RawConnect(port);
+        if (fd >= 0) {
+          ramp[idx] = fd;
+        } else {
+          ramp[idx] = ramp.back();
+          ramp.pop_back();
+        }
+      }
+    }
+
+    if ((iter + 1) % 50 == 0) {
+      std::cerr << "iteration " << (iter + 1) << "/" << iterations << ", "
+                << ramp.size() << " conns, " << ok_calls << " ok, " << sheds
+                << " shed, " << transport_errors << " transport\n";
+    }
+  }
+
+  // Phase 3: graceful drain with a request in flight. The in-flight call
+  // must still produce exactly one outcome (an answer or a structured
+  // shed), and the server's own ledger must balance.
+  std::thread inflight([&] {
+    Client c(copts);
+    auto response = c.Query("?- p(X, Y).", 2000, true);
+    CheckCallOutcome(response, "in-flight-at-drain query");
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ::kill(child, SIGTERM);
+  inflight.join();
+
+  DrainSummary summary;
+  if (read_line(&line, 30'000) && StartsWith(line, "SUMMARY ")) {
+    summary = ParseSummary(line);
+  }
+  int wstatus = 0;
+  pid_t waited = ::waitpid(child, &wstatus, 0);
+  bool clean_exit = waited == child && WIFEXITED(wstatus) &&
+                    WEXITSTATUS(wstatus) == 0;
+  if (!clean_exit) {
+    Fail("server child did not exit cleanly (status " +
+         std::to_string(wstatus) + ")");
+    ::kill(child, SIGKILL);
+  }
+  if (!summary.parsed) {
+    Fail("server did not report a drain summary");
+  } else {
+    if (summary.dropped != 0) {
+      Fail("drain dropped " + std::to_string(summary.dropped) +
+           " admitted requests");
+    }
+    if (summary.admitted != summary.responded) {
+      Fail("drain ledger unbalanced: admitted=" +
+           std::to_string(summary.admitted) +
+           " responded=" + std::to_string(summary.responded));
+    }
+  }
+
+  for (int fd : ramp) ::close(fd);
+  if (!keep) {
+    std::error_code ec;
+    std::filesystem::remove_all(scratch, ec);
+  }
+
+  double p50 = Percentile(latencies_ms, 0.50);
+  double p99 = Percentile(latencies_ms, 0.99);
+  double shed_rate =
+      calls == 0 ? 0 : static_cast<double>(sheds) / static_cast<double>(calls);
+
+  std::ofstream out(out_path, std::ios::trunc);
+  out << "{\n"
+      << "  \"bench\": \"server_chaos\",\n"
+      << "  \"connections\": " << connections << ",\n"
+      << "  \"iterations\": " << iterations << ",\n"
+      << "  \"seed\": " << seed << ",\n"
+      << "  \"calls\": " << calls << ",\n"
+      << "  \"ok_calls\": " << ok_calls << ",\n"
+      << "  \"query_p50_ms\": " << p50 << ",\n"
+      << "  \"query_p99_ms\": " << p99 << ",\n"
+      << "  \"shed_rate\": " << shed_rate << ",\n"
+      << "  \"transport_errors\": " << transport_errors << ",\n"
+      << "  \"drain\": {\"admitted\": " << summary.admitted
+      << ", \"responded\": " << summary.responded
+      << ", \"shed\": " << summary.shed
+      << ", \"dropped\": " << summary.dropped
+      << ", \"unflushed\": " << summary.unflushed << "},\n"
+      << "  \"contract_violations\": " << g_failures << "\n"
+      << "}\n";
+  out.close();
+
+  if (g_failures != 0) {
+    std::cerr << "FAIL: " << g_failures << " contract violations\n";
+    return 1;
+  }
+  std::cerr << "PASS: " << calls << " calls, p50 " << p50 << " ms, p99 "
+            << p99 << " ms, shed rate " << shed_rate << ", drain "
+            << summary.admitted << "/" << summary.responded << "/"
+            << summary.dropped << " admitted/responded/dropped\n";
+  return 0;
+}

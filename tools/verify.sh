@@ -13,7 +13,8 @@
 #    fsync-acknowledged statement is ever lost across 25 seeded iterations.
 # 4. Deadline smoke: a heavy transitive-closure program under
 #    `vql --timeout-ms=1` must fail with a clean "Deadline exceeded" error
-#    and exit 0 — a structured failure, never an abort.
+#    and exit 4 (the deadline slot of the exit-code taxonomy) — a
+#    structured failure, never an abort.
 # 5. Resource-governance smoke: a heavy program under `vql
 #    --mem-limit-bytes=` must fail with a clean "Resource exhausted" error
 #    and the same session must still answer the next (selective) query;
@@ -44,6 +45,14 @@
 #    fault isolation — unaffected shards byte-identical to a reference
 #    replay, the victim a prefix of its acked stream, poisoned journals
 #    quarantined to strict-Unavailable / marked-partial answers.
+# 6e. Server smoke: vqlsrv serves a seed program; four concurrent
+#    `vql --connect=` sessions must all get their answers; remote exit codes
+#    must distinguish a parse error (2) from success (0); `obs_check server`
+#    validates the live /healthz schema and that /metrics?dump= serves bytes
+#    identical to the file it writes; SIGTERM must drain with
+#    "dropped=0" in the ledger line and flush the --metrics-out snapshot.
+#    Then tools/server_chaos runs at smoke scale (the full 10k-connection /
+#    250-iteration run writes BENCH_server.json out-of-band).
 # 7. Configure + build with -DVQLDB_SANITIZE=address and run the governance,
 #    dictionary, columnar, shard, and planner/QSQR tests under ASan (the
 #    budget hierarchy
@@ -101,9 +110,13 @@ echo "== deadline smoke: vql --timeout-ms=1 on a heavy program =="
   echo "?- path(X, Y)."
   echo ".quit"
 } > "$OBS_TMP/heavy.vql"
-./build/tools/vql --timeout-ms=1 <"$OBS_TMP/heavy.vql" >"$OBS_TMP/deadline.out"
+deadline_rc=0
+./build/tools/vql --timeout-ms=1 <"$OBS_TMP/heavy.vql" >"$OBS_TMP/deadline.out" \
+  || deadline_rc=$?
 grep -q "Deadline exceeded" "$OBS_TMP/deadline.out" \
   || { echo "expected a structured Deadline exceeded error"; exit 1; }
+[ "$deadline_rc" -eq 4 ] \
+  || { echo "expected deadline exit code 4, got $deadline_rc"; exit 1; }
 
 echo "== magic smoke: selective query answers identical with --no-magic =="
 {
@@ -241,10 +254,13 @@ echo "== governance smoke: vql --mem-limit-bytes= on a heavy program =="
   echo "?- edge(n0, Y)."
   echo ".quit"
 } > "$OBS_TMP/governed.vql"
+governed_rc=0
 ./build/tools/vql --mem-limit-bytes=60000 <"$OBS_TMP/governed.vql" \
-    >"$OBS_TMP/governed.out"
+    >"$OBS_TMP/governed.out" || governed_rc=$?
 grep -q "Resource exhausted" "$OBS_TMP/governed.out" \
   || { echo "expected a structured Resource exhausted error"; exit 1; }
+[ "$governed_rc" -eq 1 ] \
+  || { echo "expected resource-exhausted exit code 1, got $governed_rc"; exit 1; }
 grep -q "n1" "$OBS_TMP/governed.out" \
   || { echo "session did not answer the follow-up query after the trip"; exit 1; }
 
@@ -254,13 +270,70 @@ echo "== governance gauntlet: governor_test --iterations=250 =="
 echo "== overload smoke: governor_test --overload =="
 ./build/tools/governor_test --overload --threads=4 --per-thread=8
 
+echo "== server smoke: vqlsrv start, concurrent clients, SIGTERM drain =="
+{
+  for i in $(seq 0 16); do echo "object s$i { }."; done
+  for i in $(seq 0 15); do echo "e(s$i, s$((i+1)))."; done
+  echo "p(X, Y) <- e(X, Y)."
+} > "$OBS_TMP/served.vql"
+./build/tools/vqlsrv "$OBS_TMP/served.vql" --admin \
+    --metrics-out="$OBS_TMP/server_metrics.json" \
+    >"$OBS_TMP/server.out" 2>&1 &
+SRV_PID=$!
+for i in $(seq 1 50); do
+  SRV_PORT="$(sed -n 's/.*listening on 127.0.0.1://p' "$OBS_TMP/server.out")"
+  [ -n "$SRV_PORT" ] && break
+  sleep 0.1
+done
+[ -n "$SRV_PORT" ] || { echo "vqlsrv did not report a port"; exit 1; }
+
+# Concurrent remote sessions: every query must be answered.
+for c in 1 2 3 4; do
+  printf '?- p(X, Y).\n.quit\n' \
+    | ./build/tools/vql --connect="127.0.0.1:$SRV_PORT" \
+    > "$OBS_TMP/client$c.out" &
+done
+wait $(jobs -p | grep -v "^$SRV_PID$") 2>/dev/null || true
+for c in 1 2 3 4; do
+  grep -q "s0, s1" "$OBS_TMP/client$c.out" \
+    || { echo "remote client $c did not get its answer"; exit 1; }
+done
+
+# Exit-code taxonomy over the wire: parse error must exit 2, success 0.
+printf '?- p(X.\n.quit\n' \
+  | ./build/tools/vql --connect="127.0.0.1:$SRV_PORT" >/dev/null 2>&1 \
+  && { echo "remote parse error must not exit 0"; exit 1; } \
+  || [ $? -eq 2 ] || { echo "remote parse error must exit 2"; exit 1; }
+printf '?- p(X, Y).\n.quit\n' \
+  | ./build/tools/vql --connect="127.0.0.1:$SRV_PORT" >/dev/null \
+  || { echo "remote success must exit 0"; exit 1; }
+
+# Live /healthz schema + /metrics?dump= byte-identity.
+./build/tools/obs_check server "127.0.0.1:$SRV_PORT" \
+    --dump="$OBS_TMP/server_dump.prom"
+
+# Graceful drain: SIGTERM, in-flight work finishes, ledger balances, and
+# the metrics snapshot flushes on the way out.
+kill -TERM "$SRV_PID"
+wait "$SRV_PID" || { echo "vqlsrv did not exit 0 after SIGTERM"; exit 1; }
+grep -q "drain complete: .*dropped=0" "$OBS_TMP/server.out" \
+  || { echo "drain dropped admitted requests"; cat "$OBS_TMP/server.out"; exit 1; }
+./build/tools/obs_check metrics "$OBS_TMP/server_metrics.json" \
+    --require=vqldb_server_requests_total \
+    --require=vqldb_server_admitted_dropped_total
+
+echo "== server chaos (smoke scale): 300 connections, 40 iterations =="
+./build/tools/server_chaos --connections=300 --iterations=40 --seed=11 \
+    --out="$OBS_TMP/bench_server_smoke.json"
+
 echo "== asan: build (-DVQLDB_SANITIZE=address) =="
 cmake -B build-asan -S . -DVQLDB_SANITIZE=address >/dev/null
 cmake --build build-asan -j "$JOBS" \
   --target budget_test query_gate_test resource_governor_test \
            term_dict_test columnar_test columnar_accounting_test \
            backoff_test shard_manifest_test shard_store_test \
-           qsqr_test planner_test
+           qsqr_test planner_test wire_test http_test snapshot_test \
+           server_test
 
 echo "== asan: budget + gate + governor + dictionary + columnar + shards + planner =="
 ./build-asan/tests/budget_test
@@ -275,12 +348,18 @@ echo "== asan: budget + gate + governor + dictionary + columnar + shards + plann
 ./build-asan/tests/qsqr_test
 ./build-asan/tests/planner_test
 
+echo "== asan: server protocol + end-to-end (framing, sessions, drain) =="
+./build-asan/tests/wire_test
+./build-asan/tests/http_test
+./build-asan/tests/snapshot_test
+./build-asan/tests/server_test
+
 echo "== tsan: build (-DVQLDB_SANITIZE=thread) =="
 cmake -B build-tsan -S . -DVQLDB_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j "$JOBS" \
   --target parallel_determinism_test thread_pool_test gate_stress_test \
            term_dict_test columnar_test stats_test shard_store_test \
-           strategy_property_test
+           strategy_property_test server_test snapshot_isolation_test
 
 echo "== tsan: parallel determinism + thread pool + gate stress + columnar + shards + strategies =="
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/parallel_determinism_test
@@ -292,5 +371,9 @@ TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/stats_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/shard_store_test
 TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/strategy_property_test \
     --gtest_filter='*Parallel*'
+
+echo "== tsan: server connection handling + snapshot isolation =="
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/server_test
+TSAN_OPTIONS="halt_on_error=1" ./build-tsan/tests/snapshot_isolation_test
 
 echo "verify: OK"

@@ -50,18 +50,35 @@
 //   --allow-partial        degraded-mode queries: answer from the shards
 //                          that can and mark the result PARTIAL instead of
 //                          failing with Unavailable (also: .partial on)
+//   --connect=<host:port>  remote mode: statements and queries are sent to a
+//                          vqlsrv over the wire protocol instead of running
+//                          in-process; --timeout-ms becomes the propagated
+//                          per-request deadline
+//
+// Exit codes (local and remote): 0 success, 2 parse error, 3 overloaded
+// (admission shed), 4 deadline exceeded, 5 unavailable (server draining /
+// shard down), 1 anything else. The code reflects the last failed input, so
+// scripted pipelines can branch on what went wrong.
+//
+// SIGINT / SIGTERM trip a cooperative CancelToken: a running query stops at
+// its next ExecContext poll with "Cancelled", the journal mirror (".journal")
+// is flushed, and the shell exits cleanly.
 
+#include <csignal>
 #include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "src/common/cancel.h"
 #include "src/common/logging.h"
 #include "src/common/string_util.h"
 #include "src/model/database.h"
 #include "src/obs/metrics.h"
 #include "src/obs/stats.h"
 #include "src/obs/trace.h"
+#include "src/server/client.h"
+#include "src/server/wire.h"
 #include "src/shell/repl.h"
 #include "src/storage/binary_format.h"
 #include "src/storage/text_format.h"
@@ -81,6 +98,93 @@ bool WriteMetrics(const std::string& path) {
   return out.good();
 }
 
+volatile std::sig_atomic_t g_signal = 0;
+std::shared_ptr<vqldb::CancelToken> g_cancel;  // installed before handlers
+
+void HandleSignal(int sig) {
+  g_signal = sig;
+  // CancelToken::Cancel is one relaxed atomic store — signal-safe. The
+  // shared_ptr itself is never written after handler installation.
+  if (g_cancel != nullptr) g_cancel->Cancel();
+}
+
+void InstallSignalHandlers() {
+  struct sigaction sa{};
+  sa.sa_handler = HandleSignal;  // no SA_RESTART: interrupt blocking reads
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+// Remote mode: the same line discipline as the local shell (buffer until a
+// terminating '.'), but every completed input travels to a vqlsrv.
+int RunRemote(vqldb::server::Client& client, int64_t timeout_ms,
+              bool allow_partial) {
+  using namespace vqldb;
+  using server::MsgType;
+  using server::Request;
+
+  std::cerr << "vqldb shell (remote " << client.options().host << ":"
+            << client.options().port
+            << ") — statements end with '.', .quit to exit\n";
+  Status last_status;
+  std::string line;
+  std::string buffer;
+  while (g_signal == 0) {
+    std::cerr << (buffer.empty() ? "vql> " : "...> ");
+    if (!std::getline(std::cin, line)) break;
+    std::string trimmed(Trim(line));
+    if (buffer.empty() && (trimmed == ".quit" || trimmed == ".exit")) break;
+    if (buffer.empty() && trimmed == ".ping") {
+      auto response = client.Ping();
+      std::cout << (response.ok() ? "pong\n"
+                                  : "error: " + response.status().ToString() +
+                                        "\n");
+      continue;
+    }
+    if (buffer.empty() && !trimmed.empty() && trimmed[0] == '.' &&
+        trimmed.size() > 1 &&
+        !std::isdigit(static_cast<unsigned char>(trimmed[1]))) {
+      std::cout << "meta commands run locally; over --connect only .ping and "
+                   ".quit are available\n";
+      continue;
+    }
+    if (trimmed.empty() && buffer.empty()) continue;
+    if (!buffer.empty()) buffer += "\n";
+    buffer += trimmed;
+    if (!EndsWith(Trim(buffer), ".")) continue;
+    std::string input = std::move(buffer);
+    buffer.clear();
+
+    Request request;
+    std::string_view text = Trim(input);
+    request.type = (StartsWith(text, "?-") || StartsWith(text, "explain"))
+                       ? MsgType::kQuery
+                       : MsgType::kStatement;
+    request.deadline_ms =
+        timeout_ms > 0 ? static_cast<uint32_t>(timeout_ms) : 0;
+    if (allow_partial) request.flags |= server::kFlagPartial;
+    request.text = input;
+
+    auto response = client.Call(request);
+    if (!response.ok()) {
+      last_status = response.status();
+      std::cout << "error: " << last_status.ToString() << "\n";
+      continue;
+    }
+    last_status = server::StatusFromResponse(*response);
+    if (!last_status.ok()) {
+      std::cout << "error: " << last_status.ToString() << "\n";
+      continue;
+    }
+    if (response->partial()) std::cout << "-- PARTIAL ANSWER --\n";
+    std::cout << response->body;
+    if (!response->body.empty() && response->body.back() != '\n') {
+      std::cout << "\n";
+    }
+  }
+  return ExitCodeForStatus(last_status);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -98,6 +202,7 @@ int main(int argc, char** argv) {
   std::string archive_dir;
   int64_t archive_shards = 4;
   bool allow_partial = false;
+  std::string connect_spec;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -177,6 +282,10 @@ int main(int argc, char** argv) {
       allow_partial = true;
       continue;
     }
+    if (StartsWith(arg, "--connect=")) {
+      connect_spec = arg.substr(std::string("--connect=").size());
+      continue;
+    }
     if (arg == "--no-magic") {
       no_magic = true;
       continue;
@@ -229,6 +338,25 @@ int main(int argc, char** argv) {
       continue;
     }
     args.push_back(std::move(arg));
+  }
+
+  g_cancel = std::make_shared<CancelToken>();
+  InstallSignalHandlers();
+
+  if (!connect_spec.empty()) {
+    auto copts = server::ParseHostPort(connect_spec);
+    if (!copts.ok()) {
+      std::cerr << copts.status() << "\n";
+      return 1;
+    }
+    server::Client client(*copts);
+    Status connected = client.Connect();
+    if (!connected.ok()) {
+      std::cerr << "cannot connect to " << connect_spec << ": " << connected
+                << "\n";
+      return ExitCodeForStatus(connected);
+    }
+    return RunRemote(client, timeout_ms, allow_partial);
   }
 
   VideoDatabase db;
@@ -288,15 +416,32 @@ int main(int argc, char** argv) {
 
   if (!trace_out.empty()) obs::SetTracingEnabled(true);
 
+  repl.InstallCancelToken(g_cancel);
+
   std::cerr << "vqldb shell — statements end with '.', .help for help\n";
+  Status last_status;
   std::string line;
-  while (!repl.done()) {
+  while (!repl.done() && g_signal == 0) {
     std::cerr << (repl.pending() ? "...> " : "vql> ");
-    if (!std::getline(std::cin, line)) break;
+    if (!std::getline(std::cin, line)) {
+      if (g_signal != 0) break;   // interrupted read, not EOF
+      break;
+    }
     std::cout << repl.Execute(line);
+    if (!repl.last_status().ok()) last_status = repl.last_status();
+    // A signal during the query cancelled it cooperatively; the next input
+    // starts with a fresh token.
+    if (g_signal != 0) break;
+    g_cancel->Reset();
   }
 
-  int rc = 0;
+  // Signal-exit path: never leave buffered journal records behind.
+  Status flushed = repl.FlushJournal();
+  if (!flushed.ok()) {
+    std::cerr << "journal flush failed: " << flushed << "\n";
+  }
+
+  int rc = ExitCodeForStatus(last_status);
   if (!metrics_out.empty() && !WriteMetrics(metrics_out)) rc = 1;
   if (!slowlog_out.empty()) {
     std::ofstream out(slowlog_out);
